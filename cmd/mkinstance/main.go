@@ -1,0 +1,88 @@
+// Command mkinstance writes the named synthetic instances to DIMACS
+// .clq files, for interoperability with other clique solvers and for
+// inspecting exactly what the harness searches:
+//
+//	mkinstance -out /tmp/instances            # all Table 1 instances
+//	mkinstance -out /tmp/instances -name brock400_1
+//	mkinstance -out /tmp/instances -kneser 10,3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"yewpar/internal/graph"
+	"yewpar/internal/instances"
+)
+
+func main() {
+	var (
+		out    = flag.String("out", ".", "output directory")
+		name   = flag.String("name", "", "write only this named Table 1 instance")
+		kneser = flag.String("kneser", "", "write Kneser graph K(n,k), e.g. 10,3")
+	)
+	flag.Parse()
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+	wrote := 0
+	if *kneser != "" {
+		parts := strings.SplitN(*kneser, ",", 2)
+		if len(parts) != 2 {
+			fatal(fmt.Errorf("-kneser wants n,k"))
+		}
+		n, err1 := strconv.Atoi(parts[0])
+		k, err2 := strconv.Atoi(parts[1])
+		if err1 != nil || err2 != nil || n <= 0 || k <= 0 || k > n {
+			fatal(fmt.Errorf("bad -kneser %q", *kneser))
+		}
+		g := graph.Kneser(n, k)
+		file := filepath.Join(*out, fmt.Sprintf("kneser_%d_%d.clq", n, k))
+		write(file, g)
+		fmt.Printf("%s: %v (omega = %d)\n", file, g, graph.KneserCliqueNumber(n, k))
+		wrote++
+	}
+	for _, inst := range instances.Table1() {
+		if *name != "" && inst.Name != *name {
+			continue
+		}
+		if *name == "" && *kneser != "" {
+			continue // explicit kneser request: skip the full set
+		}
+		g := inst.Gen()
+		file := filepath.Join(*out, inst.Name+".clq")
+		write(file, g)
+		fmt.Printf("%s: %v\n", file, g)
+		wrote++
+	}
+	if spread, omega := instances.SpreadsH44Like(); *name == "spreads_H44" || (*name == "" && *kneser == "") {
+		file := filepath.Join(*out, "spreads_H44.clq")
+		write(file, spread)
+		fmt.Printf("%s: %v (omega = %d)\n", file, spread, omega)
+		wrote++
+	}
+	if wrote == 0 {
+		fatal(fmt.Errorf("no instance matched %q", *name))
+	}
+}
+
+func write(path string, g *graph.Graph) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if err := graph.WriteDIMACS(f, g); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mkinstance:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,28 @@
+// Command yewpar is the CLI driver for the search applications,
+// mirroring the paper artifact's binaries (e.g.
+// `maxclique-14 --skeleton depthbounded -d 2 --hpx:threads 4`):
+//
+//	yewpar -app maxclique -gen brock400_1 -skeleton depthbounded -d 2 -workers 8
+//	yewpar -app kclique -f graph.clq -decision-bound 27 -skeleton budget -b 1000000
+//	yewpar -app ns -genus 18 -skeleton stacksteal -chunked
+//
+// All logic lives in internal/cli; run `yewpar -h` for the flag set.
+package main
+
+import (
+	"fmt"
+	"os"
+	"runtime/debug"
+
+	"yewpar/internal/cli"
+)
+
+func main() {
+	// GC headroom: search allocates short-lived nodes at a very high
+	// rate; the default GOGC spends much of the machine collecting.
+	debug.SetGCPercent(800)
+	if err := cli.Run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "yewpar:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,81 @@
+// Figure 1: prints the maximum-clique search tree of the paper's
+// running example — the 8-vertex graph whose maximum clique is
+// {a, d, f, g}. Each line shows a search-tree node: the current clique
+// and the candidate list in the heuristic (colour) order the Lazy Node
+// Generator yields them, exactly as Figure 1 of the paper draws it.
+package main
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"yewpar/internal/apps/maxclique"
+	"yewpar/internal/core"
+)
+
+func main() {
+	g, names := maxclique.FigureOneGraph()
+	space := maxclique.NewSpace(g)
+
+	fmt.Println("Input graph (Figure 1):")
+	for v := 0; v < g.N; v++ {
+		var adj []string
+		g.Adj[v].ForEach(func(u int) bool {
+			adj = append(adj, names[u])
+			return true
+		})
+		fmt.Printf("  %s: %s\n", names[v], strings.Join(adj, " "))
+	}
+	fmt.Println("\nSearch tree (node = clique [candidates in heuristic order]):")
+	printTree(space, maxclique.Root(space), names, 1)
+
+	clique, stats := maxclique.Solve(g, core.Sequential, core.Config{})
+	fmt.Printf("\nmaximum clique: %s (size %d), %d nodes visited\n",
+		setNames(cliqueMembers(clique.Elements(nil)), names), clique.Count(), stats.Nodes)
+}
+
+func printTree(space *maxclique.Space, n maxclique.Node, names map[int]string, depth int) {
+	gen := maxclique.Gen(space, n)
+	for gen.HasNext() {
+		child := gen.Next()
+		// The child's own candidate order is what the tree shows.
+		var cands []string
+		cg := maxclique.Gen(space, child)
+		for cg.HasNext() {
+			cc := cg.Next()
+			added := diff(cc.Clique.Elements(nil), child.Clique.Elements(nil))
+			cands = append(cands, names[added])
+		}
+		fmt.Printf("%s%s [%s]\n", strings.Repeat("  ", depth),
+			setNames(child.Clique.Elements(nil), names), strings.Join(cands, ","))
+		printTree(space, child, names, depth+1)
+	}
+}
+
+// diff returns the single element of a not in b.
+func diff(a, b []int) int {
+	in := map[int]bool{}
+	for _, x := range b {
+		in[x] = true
+	}
+	for _, x := range a {
+		if !in[x] {
+			return x
+		}
+	}
+	return -1
+}
+
+func cliqueMembers(vs []int) []int {
+	sort.Ints(vs)
+	return vs
+}
+
+func setNames(vs []int, names map[int]string) string {
+	var out []string
+	for _, v := range vs {
+		out = append(out, names[v])
+	}
+	return "{" + strings.Join(out, ",") + "}"
+}

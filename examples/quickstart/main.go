@@ -1,0 +1,45 @@
+// Quickstart: composing a YewPar search application (the paper's
+// Listing 5 in Go). A search application = a search skeleton (search
+// coordination × search type) + an application-specific Lazy Node
+// Generator. Exploring an alternate parallelisation is a one-line
+// change: swap the coordination constant.
+package main
+
+import (
+	"fmt"
+
+	"yewpar/internal/apps/maxclique"
+	"yewpar/internal/core"
+	"yewpar/internal/graph"
+)
+
+func main() {
+	// The search space: a random graph with a hidden 14-clique.
+	g, planted := graph.PlantedClique(130, 0.62, 14, 7)
+	fmt.Printf("searching %v (planted clique of %d)\n\n", g, len(planted))
+
+	space := maxclique.NewSpace(g)
+	root := maxclique.Root(space)
+
+	// Compose: StackStealing coordination × Optimisation search type
+	// × the MaxClique Lazy Node Generator + bound function.
+	// (cf. Listing 5: StackStealing<Gen, Optimisation, BoundFunction>)
+	result := core.Opt(core.StackStealing, space, root, core.OptProblem[*maxclique.Space, maxclique.Node]{
+		Gen:       maxclique.Gen,        // lazy node generator
+		Objective: maxclique.Objective,  // value to maximise
+		Bound:     maxclique.UpperBound, // enables (prune)
+	}, core.Config{Workers: 8})
+
+	fmt.Printf("maximum clique: %v (size %d)\n", result.Best.Clique, result.Objective)
+	fmt.Printf("visited %d nodes, pruned %d subtrees, %d steals\n\n",
+		result.Stats.Nodes, result.Stats.Prunes, result.Stats.StealsOK)
+
+	// Exploring alternate parallelisations is one changed line each:
+	for _, coord := range []core.Coordination{core.Sequential, core.DepthBounded, core.Budget} {
+		r := core.Opt(coord, space, root, core.OptProblem[*maxclique.Space, maxclique.Node]{
+			Gen: maxclique.Gen, Objective: maxclique.Objective, Bound: maxclique.UpperBound,
+		}, core.Config{Workers: 8, DCutoff: 2, Budget: 10_000})
+		fmt.Printf("%-13s -> clique %d in %8v (%d nodes)\n",
+			coord, r.Objective, r.Stats.Elapsed.Round(1000), r.Stats.Nodes)
+	}
+}

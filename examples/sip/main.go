@@ -1,0 +1,33 @@
+// SIP: subgraph-isomorphism decision search under the Stack-Stealing
+// skeleton — the combination the paper's Table 2 finds best for SIP
+// (speedups around 100x on 120 workers). Decision searches
+// short-circuit: the moment any worker completes an embedding, the
+// (shortcircuit) rule cancels all outstanding work.
+package main
+
+import (
+	"fmt"
+
+	"yewpar/internal/apps/sip"
+	"yewpar/internal/core"
+)
+
+func main() {
+	s := sip.GenerateSat(90, 0.32, 30, 0.1, 309)
+	fmt.Printf("pattern: %v\ntarget : %v\n\n", s.P, s.T)
+
+	mapping, found, stats := sip.Solve(s, core.StackStealing, core.Config{Workers: 8, Chunked: true})
+	fmt.Printf("embedding found: %v (%d nodes, %d steals, %v)\n",
+		found, stats.Nodes, stats.StealsOK, stats.Elapsed.Round(1000))
+	if found {
+		fmt.Printf("pattern vertex -> target vertex: %v\n", mapping)
+		fmt.Printf("verified: %v\n", sip.VerifyEmbedding(s.P, s.T, mapping))
+	}
+
+	// An unsatisfiable variant must prove exhaustively that no
+	// embedding exists — no short-circuit possible.
+	u := sip.GenerateRandom(60, 0.3, 14, 0.6, 11)
+	_, found2, stats2 := sip.Solve(u, core.StackStealing, core.Config{Workers: 8})
+	fmt.Printf("\nunsat probe: found=%v after %d nodes (%v)\n",
+		found2, stats2.Nodes, stats2.Elapsed.Round(1000))
+}

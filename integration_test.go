@@ -1,0 +1,296 @@
+package yewpar
+
+// Repository-level integration tests: cross-validation of the
+// executable operational model against the production engine, the
+// full application × skeleton matrix on small instances, and the
+// twelve named skeleton entry points.
+
+import (
+	"fmt"
+	"testing"
+
+	"yewpar/internal/apps/knapsack"
+	"yewpar/internal/apps/maxclique"
+	"yewpar/internal/apps/nqueens"
+	"yewpar/internal/apps/semigroups"
+	"yewpar/internal/apps/sip"
+	"yewpar/internal/apps/tsp"
+	"yewpar/internal/apps/uts"
+	"yewpar/internal/core"
+	"yewpar/internal/graph"
+	"yewpar/internal/semantics"
+)
+
+var allCoords = []core.Coordination{core.Sequential, core.DepthBounded, core.StackStealing, core.Budget}
+
+// semTreeGen adapts a materialised semantics.Tree to the engine's Lazy
+// Node Generator interface, letting the same tree be searched by both
+// the formal model and the production skeletons.
+func semTreeGen(s *semantics.Tree, parent string) core.NodeGenerator[string] {
+	return core.NewSliceGen(s.Children[parent])
+}
+
+// The operational model (Section 3) and the engine (Section 4) must
+// compute identical enumeration folds and optimisation maxima on the
+// same trees.
+func TestModelMatchesEngineEnumeration(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		tr := semantics.GenTree(seed, 3, 6, 100)
+
+		cfg := semantics.NewConfig(tr, semantics.Enumeration, 0, 3)
+		cfg.Run(seed, semantics.Params{DCutoff: 2, KBudget: 2}, nil, 60*tr.Size()*tr.Size()+2000)
+		model := cfg.Result()
+
+		p := core.EnumProblem[*semantics.Tree, string, int64]{
+			Gen:       semTreeGen,
+			Objective: func(s *semantics.Tree, n string) int64 { return int64(s.H[n]) },
+			Monoid:    core.SumInt64{},
+		}
+		for _, coord := range allCoords {
+			res := core.Enum(coord, tr, "", p, core.Config{Workers: 4})
+			if res.Value != int64(model) {
+				t.Errorf("seed %d %v: engine %d, model %d", seed, coord, res.Value, model)
+			}
+			if res.Stats.Nodes != int64(tr.Size()) {
+				t.Errorf("seed %d %v: engine visited %d nodes, tree has %d", seed, coord, res.Stats.Nodes, tr.Size())
+			}
+		}
+	}
+}
+
+func TestModelMatchesEngineOptimisation(t *testing.T) {
+	for seed := int64(20); seed < 28; seed++ {
+		tr := semantics.GenTree(seed, 3, 6, 100)
+
+		cfg := semantics.NewConfig(tr, semantics.Optimisation, 0, 2)
+		cfg.Run(seed, semantics.Params{DCutoff: 2, KBudget: 2}, nil, 60*tr.Size()*tr.Size()+2000)
+		model := cfg.Result()
+
+		p := core.OptProblem[*semantics.Tree, string]{
+			Gen:       semTreeGen,
+			Objective: func(s *semantics.Tree, n string) int64 { return int64(s.H[n]) },
+			Bound:     func(s *semantics.Tree, n string) int64 { return int64(s.SubtreeMax(n)) },
+		}
+		for _, coord := range allCoords {
+			res := core.Opt(coord, tr, "", p, core.Config{Workers: 4})
+			if res.Objective != int64(model) {
+				t.Errorf("seed %d %v: engine max %d, model max %d", seed, coord, res.Objective, model)
+			}
+		}
+	}
+}
+
+// Kneser k-clique: ω(K(n,k)) = ⌊n/k⌋ exactly, giving decision
+// instances with certain answers on a genuine combinatorial object
+// (the family the paper's H(4,4) spreads instance belongs to).
+func TestKneserCliqueDecision(t *testing.T) {
+	cases := []struct{ n, k int }{{6, 2}, {7, 2}, {8, 2}, {9, 3}}
+	for _, c := range cases {
+		g := graph.Kneser(c.n, c.k)
+		omega := graph.KneserCliqueNumber(c.n, c.k)
+		for _, coord := range allCoords {
+			if _, found, _ := maxclique.Decide(g, omega, coord, core.Config{Workers: 4}); !found {
+				t.Errorf("K(%d,%d) %v: ω-clique of size %d not found", c.n, c.k, coord, omega)
+			}
+			if _, found, _ := maxclique.Decide(g, omega+1, coord, core.Config{Workers: 4}); found {
+				t.Errorf("K(%d,%d) %v: impossible clique of size %d found", c.n, c.k, coord, omega+1)
+			}
+		}
+		clique, _ := maxclique.Solve(g, core.DepthBounded, core.Config{Workers: 4})
+		if clique.Count() != omega {
+			t.Errorf("K(%d,%d): solved ω = %d, want %d", c.n, c.k, clique.Count(), omega)
+		}
+	}
+}
+
+// Every application agrees with its sequential self under every
+// parallel skeleton and a non-trivial locality/latency configuration.
+func TestMatrixAllAppsAllSkeletons(t *testing.T) {
+	cfg := core.Config{Workers: 6, Localities: 2, DCutoff: 2, Budget: 64, Chunked: true,
+		BoundLatency: 50_000, StealLatency: 10_000}
+
+	t.Run("maxclique", func(t *testing.T) {
+		g := graph.Random(45, 0.6, 5)
+		want, _ := maxclique.Solve(g, core.Sequential, core.Config{})
+		for _, coord := range allCoords[1:] {
+			got, _ := maxclique.Solve(g, coord, cfg)
+			if got.Count() != want.Count() {
+				t.Errorf("%v: %d != %d", coord, got.Count(), want.Count())
+			}
+		}
+	})
+	t.Run("knapsack", func(t *testing.T) {
+		s := knapsack.Generate(18, 1000, knapsack.SubsetSum, 9)
+		want, _ := knapsack.Solve(s, core.Sequential, core.Config{})
+		for _, coord := range allCoords[1:] {
+			got, _ := knapsack.Solve(s, coord, cfg)
+			if got != want {
+				t.Errorf("%v: %d != %d", coord, got, want)
+			}
+		}
+	})
+	t.Run("tsp", func(t *testing.T) {
+		s := tsp.GenerateEuclidean(11, 500, 9)
+		want, _ := tsp.Solve(s, core.Sequential, core.Config{})
+		for _, coord := range allCoords[1:] {
+			got, _ := tsp.Solve(s, coord, cfg)
+			if got != want {
+				t.Errorf("%v: %d != %d", coord, got, want)
+			}
+		}
+	})
+	t.Run("sip", func(t *testing.T) {
+		s := sip.GenerateSat(35, 0.4, 10, 0.2, 9)
+		for _, coord := range allCoords {
+			mapping, found, _ := sip.Solve(s, coord, cfg)
+			if !found || !sip.VerifyEmbedding(s.P, s.T, mapping) {
+				t.Errorf("%v: embedding missing or invalid", coord)
+			}
+		}
+	})
+	t.Run("uts", func(t *testing.T) {
+		s := &uts.Space{Shape: uts.Binomial, B0: 300, M: 5, Q: 0.15, Seed: 9}
+		want, _ := uts.Count(s, core.Sequential, core.Config{})
+		for _, coord := range allCoords[1:] {
+			got, _ := uts.Count(s, coord, cfg)
+			if got != want {
+				t.Errorf("%v: %d != %d", coord, got, want)
+			}
+		}
+	})
+	t.Run("semigroups", func(t *testing.T) {
+		const genus, want = 11, 343
+		for _, coord := range allCoords {
+			got, _ := semigroups.Count(genus, coord, cfg)
+			if got != want {
+				t.Errorf("%v: %d != %d", coord, got, want)
+			}
+		}
+	})
+}
+
+// The twelve named skeletons of the paper, each exercised once.
+func TestTwelveNamedSkeletons(t *testing.T) {
+	g := graph.Random(35, 0.55, 3)
+	s := maxclique.NewSpace(g)
+	root := maxclique.Root(s)
+	opt := maxclique.OptProblem()
+	wantOpt := core.SequentialOpt(s, root, opt).Objective
+
+	dec := maxclique.DecisionProblem(int(wantOpt))
+	cfg := core.Config{Workers: 4}
+
+	cnt := core.EnumProblem[*maxclique.Space, maxclique.Node, int64]{
+		Gen:       maxclique.Gen,
+		Objective: func(*maxclique.Space, maxclique.Node) int64 { return 1 },
+		Monoid:    core.SumInt64{},
+	}
+	wantCnt := core.SequentialEnum(s, root, cnt).Value
+
+	if v := core.DepthBoundedEnum(s, root, cnt, cfg).Value; v != wantCnt {
+		t.Errorf("DepthBoundedEnum: %d != %d", v, wantCnt)
+	}
+	if v := core.StackStealEnum(s, root, cnt, cfg).Value; v != wantCnt {
+		t.Errorf("StackStealEnum: %d != %d", v, wantCnt)
+	}
+	if v := core.BudgetEnum(s, root, cnt, cfg).Value; v != wantCnt {
+		t.Errorf("BudgetEnum: %d != %d", v, wantCnt)
+	}
+	if v := core.DepthBoundedOpt(s, root, opt, cfg).Objective; v != wantOpt {
+		t.Errorf("DepthBoundedOpt: %d != %d", v, wantOpt)
+	}
+	if v := core.StackStealOpt(s, root, opt, cfg).Objective; v != wantOpt {
+		t.Errorf("StackStealOpt: %d != %d", v, wantOpt)
+	}
+	if v := core.BudgetOpt(s, root, opt, cfg).Objective; v != wantOpt {
+		t.Errorf("BudgetOpt: %d != %d", v, wantOpt)
+	}
+	if r := core.SequentialDecision(s, root, dec); !r.Found {
+		t.Error("SequentialDecision: not found")
+	}
+	if r := core.DepthBoundedDecision(s, root, dec, cfg); !r.Found {
+		t.Error("DepthBoundedDecision: not found")
+	}
+	if r := core.StackStealDecision(s, root, dec, cfg); !r.Found {
+		t.Error("StackStealDecision: not found")
+	}
+	if r := core.BudgetDecision(s, root, dec, cfg); !r.Found {
+		t.Error("BudgetDecision: not found")
+	}
+}
+
+// The BestFirst extension coordination must agree with the paper's
+// skeletons on real applications.
+func TestBestFirstOnApplications(t *testing.T) {
+	g := graph.Random(50, 0.6, 13)
+	want, _ := maxclique.Solve(g, core.Sequential, core.Config{})
+	s := maxclique.NewSpace(g)
+	res := core.BestFirstOpt(s, maxclique.Root(s), maxclique.OptProblem(), core.Config{Workers: 6, Budget: 64})
+	if int(res.Objective) != want.Count() {
+		t.Errorf("BestFirstOpt clique %d, want %d", res.Objective, want.Count())
+	}
+
+	ks := knapsack.Generate(18, 1000, knapsack.SubsetSum, 4)
+	wantP, _ := knapsack.Solve(ks, core.Sequential, core.Config{})
+	kres := core.BestFirstOpt(ks, knapsack.Root(ks), knapsack.OptProblem(), core.Config{Workers: 6, Budget: 256})
+	if kres.Objective != wantP {
+		t.Errorf("BestFirstOpt knapsack %d, want %d", kres.Objective, wantP)
+	}
+}
+
+// The replicable skeleton on a real application: same answer as the
+// anomalous skeletons, and node counts independent of worker count.
+func TestReplicableOnMaxClique(t *testing.T) {
+	g := graph.Random(60, 0.6, 77)
+	want, _ := maxclique.Solve(g, core.Sequential, core.Config{})
+	s := maxclique.NewSpace(g)
+	var reference int64
+	for _, workers := range []int{1, 3, 8} {
+		res := core.ReplicableOpt(s, maxclique.Root(s), maxclique.OptProblem(),
+			core.Config{Workers: workers, DCutoff: 2})
+		if int(res.Objective) != want.Count() {
+			t.Fatalf("workers=%d: clique %d, want %d", workers, res.Objective, want.Count())
+		}
+		if reference == 0 {
+			reference = res.Stats.Nodes
+		} else if res.Stats.Nodes != reference {
+			t.Errorf("workers=%d visited %d nodes, reference %d — not replicable",
+				workers, res.Stats.Nodes, reference)
+		}
+	}
+}
+
+// N-Queens under every skeleton (the extra application shipped with
+// the original YewPar distribution).
+func TestNQueensMatrix(t *testing.T) {
+	const n, want = 10, 724
+	for _, coord := range allCoords {
+		got, _ := nqueens.Count(n, coord, core.Config{Workers: 6, DCutoff: 3, Budget: 64})
+		if got != want {
+			t.Errorf("%v: %d solutions, want %d", coord, got, want)
+		}
+	}
+}
+
+// Parallel enumeration visits every node exactly once even under
+// latency injection, across many seeds — the Theorem 3.1 invariant on
+// the production engine.
+func TestEveryNodeOnceUnderLatency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("latency-injected sweep")
+	}
+	for seed := int64(0); seed < 6; seed++ {
+		s := &uts.Space{Shape: uts.Binomial, B0: 200, M: 4, Q: 0.2, Seed: seed}
+		want, _ := uts.Count(s, core.Sequential, core.Config{})
+		for _, coord := range allCoords[1:] {
+			t.Run(fmt.Sprintf("%v/seed%d", coord, seed), func(t *testing.T) {
+				got, stats := uts.Count(s, coord, core.Config{
+					Workers: 8, Localities: 3, StealLatency: 20_000, Budget: 16, DCutoff: 3,
+				})
+				if got != want || stats.Nodes != want {
+					t.Errorf("count %d (visited %d), want %d", got, stats.Nodes, want)
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package knapsack
+
+import "yewpar/internal/core"
+
+// This file provides a second Lazy Node Generator for the same
+// knapsack search space: the binary take/leave tree, where each level
+// decides one item (include it or not) instead of the default
+// next-included-item formulation. Both generators plug into the same
+// skeletons and must find the same optimum — a demonstration that the
+// application/parallelism split of Figure 3 also decouples the *tree
+// shape* from the coordination.
+//
+// The two trees differ substantially: the inclusion tree has one node
+// per feasible subset (wide, shallow), while the binary tree has one
+// node per decision prefix (depth exactly n, branching 2) and visits
+// "leave" chains that the inclusion tree never materialises. Bound
+// functions carry over unchanged.
+
+// BinNode is a node of the take/leave tree: items before Pos are
+// decided, Profit/Weight account for the taken ones.
+type BinNode struct {
+	Pos    int
+	Profit int64
+	Weight int64
+}
+
+// BinRoot is the undecided prefix.
+func BinRoot(_ *Space) BinNode { return BinNode{} }
+
+type binGen struct {
+	s      *Space
+	parent BinNode
+	step   int // 0 = take child pending, 1 = leave child pending, 2 = done
+}
+
+// BinGen yields "take item Pos" (if it fits) then "leave item Pos";
+// taking first preserves the greedy density heuristic.
+func BinGen(s *Space, parent BinNode) core.NodeGenerator[BinNode] {
+	if parent.Pos >= len(s.Items) {
+		return core.EmptyGen[BinNode]{}
+	}
+	g := &binGen{s: s, parent: parent}
+	if parent.Weight+s.Items[parent.Pos].Weight > s.Cap {
+		g.step = 1 // taking is infeasible, only the leave child exists
+	}
+	return g
+}
+
+func (g *binGen) HasNext() bool { return g.step < 2 }
+
+func (g *binGen) Next() BinNode {
+	it := g.s.Items[g.parent.Pos]
+	var child BinNode
+	switch g.step {
+	case 0:
+		child = BinNode{Pos: g.parent.Pos + 1, Profit: g.parent.Profit + it.Profit, Weight: g.parent.Weight + it.Weight}
+	case 1:
+		child = BinNode{Pos: g.parent.Pos + 1, Profit: g.parent.Profit, Weight: g.parent.Weight}
+	default:
+		panic("knapsack: Next on exhausted binary generator")
+	}
+	g.step++
+	return child
+}
+
+// BinObjective is the node's accumulated profit.
+func BinObjective(_ *Space, n BinNode) int64 { return n.Profit }
+
+// BinUpperBound is the Dantzig bound on any completion of the prefix.
+func BinUpperBound(s *Space, n BinNode) int64 {
+	return UpperBound(s, Node{Pos: n.Pos, Profit: n.Profit, Weight: n.Weight})
+}
+
+// BinOptProblem returns the take/leave-tree optimisation problem.
+func BinOptProblem() core.OptProblem[*Space, BinNode] {
+	return core.OptProblem[*Space, BinNode]{
+		Gen:       BinGen,
+		Objective: BinObjective,
+		Bound:     BinUpperBound,
+	}
+}
+
+// SolveBinary maximises profit over the take/leave tree.
+func SolveBinary(s *Space, coord core.Coordination, cfg core.Config) (int64, core.Stats) {
+	res := core.Opt(coord, s, BinRoot(s), BinOptProblem(), cfg)
+	return res.Objective, res.Stats
+}

@@ -1,0 +1,98 @@
+package knapsack
+
+import (
+	"testing"
+
+	"yewpar/internal/core"
+)
+
+func TestBinaryMatchesInclusionTree(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		for _, corr := range []Correlation{Uncorrelated, WeaklyCorrelated, SubsetSum} {
+			s := Generate(16, 200, corr, seed)
+			a, _ := Solve(s, core.Sequential, core.Config{})
+			b, _ := SolveBinary(s, core.Sequential, core.Config{})
+			if a != b {
+				t.Errorf("seed %d corr %d: inclusion tree %d, binary tree %d", seed, corr, a, b)
+			}
+		}
+	}
+}
+
+func TestBinaryMatchesBruteForce(t *testing.T) {
+	for seed := int64(20); seed < 26; seed++ {
+		s := Generate(14, 100, Uncorrelated, seed)
+		want := bruteForce(s)
+		got, _ := SolveBinary(s, core.Sequential, core.Config{})
+		if got != want {
+			t.Errorf("seed %d: %d, want %d", seed, got, want)
+		}
+	}
+}
+
+func TestBinaryParallelSkeletons(t *testing.T) {
+	s := Generate(20, 1000, SubsetSum, 31)
+	want, _ := SolveBinary(s, core.Sequential, core.Config{})
+	for _, coord := range []core.Coordination{core.DepthBounded, core.StackStealing, core.Budget} {
+		got, _ := SolveBinary(s, coord, core.Config{Workers: 6, DCutoff: 4, Budget: 64})
+		if got != want {
+			t.Errorf("%v: %d, want %d", coord, got, want)
+		}
+	}
+}
+
+func TestBinaryGenTakeFirst(t *testing.T) {
+	s := NewSpace([]Item{{Profit: 5, Weight: 5}, {Profit: 3, Weight: 3}}, 10)
+	g := BinGen(s, BinRoot(s))
+	take := g.Next()
+	if take.Profit != 5 || take.Weight != 5 {
+		t.Fatalf("first child should take the item: %+v", take)
+	}
+	leave := g.Next()
+	if leave.Profit != 0 || leave.Weight != 0 || leave.Pos != 1 {
+		t.Fatalf("second child should leave the item: %+v", leave)
+	}
+	if g.HasNext() {
+		t.Fatal("binary generator yielded a third child")
+	}
+}
+
+func TestBinaryGenSkipsInfeasibleTake(t *testing.T) {
+	s := NewSpace([]Item{{Profit: 9, Weight: 100}}, 10)
+	g := BinGen(s, BinRoot(s))
+	only := g.Next()
+	if only.Weight != 0 {
+		t.Fatalf("oversized item was taken: %+v", only)
+	}
+	if g.HasNext() {
+		t.Fatal("infeasible take should be skipped entirely")
+	}
+}
+
+func TestBinaryLeafHasNoChildren(t *testing.T) {
+	s := NewSpace([]Item{{Profit: 1, Weight: 1}}, 10)
+	leaf := BinNode{Pos: 1}
+	if BinGen(s, leaf).HasNext() {
+		t.Fatal("fully decided prefix has children")
+	}
+}
+
+func TestBinaryTreeLargerThanInclusionTree(t *testing.T) {
+	// the binary tree materialises leave-chains the inclusion tree
+	// skips, so without identical pruning it visits at least as many
+	// nodes — the generator choice is a real engineering decision
+	s := Generate(18, 500, Uncorrelated, 3)
+	p1 := OptProblem()
+	p1.Bound = nil
+	p2 := BinOptProblem()
+	p2.Bound = nil
+	incl := core.Opt(core.Sequential, s, Root(s), p1, core.Config{})
+	bin := core.Opt(core.Sequential, s, BinRoot(s), p2, core.Config{})
+	if bin.Objective != incl.Objective {
+		t.Fatalf("answers differ: %d vs %d", bin.Objective, incl.Objective)
+	}
+	if bin.Stats.Nodes <= incl.Stats.Nodes {
+		t.Errorf("binary tree (%d nodes) unexpectedly smaller than inclusion tree (%d)",
+			bin.Stats.Nodes, incl.Stats.Nodes)
+	}
+}

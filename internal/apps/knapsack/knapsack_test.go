@@ -1,0 +1,187 @@
+package knapsack
+
+import (
+	"testing"
+	"testing/quick"
+
+	"yewpar/internal/core"
+)
+
+// bruteForce enumerates all subsets (n <= 20).
+func bruteForce(s *Space) int64 {
+	n := len(s.Items)
+	var best int64
+	for mask := 0; mask < 1<<n; mask++ {
+		var p, w int64
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				p += s.Items[i].Profit
+				w += s.Items[i].Weight
+			}
+		}
+		if w <= s.Cap && p > best {
+			best = p
+		}
+	}
+	return best
+}
+
+func TestSolveMatchesBruteForce(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		for _, corr := range []Correlation{Uncorrelated, WeaklyCorrelated, StronglyCorrelated} {
+			s := Generate(14, 100, corr, seed)
+			want := bruteForce(s)
+			got, _ := Solve(s, core.Sequential, core.Config{})
+			if got != want {
+				t.Errorf("seed %d corr %d: profit %d, want %d", seed, corr, got, want)
+			}
+		}
+	}
+}
+
+func TestAllSkeletonsAgree(t *testing.T) {
+	s := Generate(28, 1000, WeaklyCorrelated, 3)
+	want, _ := Solve(s, core.Sequential, core.Config{})
+	for _, coord := range []core.Coordination{core.DepthBounded, core.StackStealing, core.Budget} {
+		got, _ := Solve(s, coord, core.Config{Workers: 6, Localities: 2, Budget: 100})
+		if got != want {
+			t.Errorf("%v: profit %d, want %d", coord, got, want)
+		}
+	}
+}
+
+func TestDensityOrder(t *testing.T) {
+	s := NewSpace([]Item{{Profit: 1, Weight: 10}, {Profit: 10, Weight: 1}, {Profit: 5, Weight: 5}}, 10)
+	if s.Items[0].Profit != 10 || s.Items[2].Weight != 10 {
+		t.Fatalf("items not density sorted: %v", s.Items)
+	}
+}
+
+func TestGenSkipsOverweightItems(t *testing.T) {
+	s := NewSpace([]Item{{Profit: 5, Weight: 5}, {Profit: 4, Weight: 100}, {Profit: 3, Weight: 3}}, 10)
+	g := Gen(s, Root(s))
+	var children []Node
+	for g.HasNext() {
+		children = append(children, g.Next())
+	}
+	if len(children) != 2 {
+		t.Fatalf("%d children, want 2 (overweight item skipped)", len(children))
+	}
+	for _, c := range children {
+		if c.Weight > s.Cap {
+			t.Fatalf("infeasible child %+v", c)
+		}
+	}
+}
+
+func TestGenEmptyWhenNothingFits(t *testing.T) {
+	s := NewSpace([]Item{{Profit: 1, Weight: 100}}, 10)
+	g := Gen(s, Root(s))
+	if g.HasNext() {
+		t.Fatal("child generated for item exceeding capacity")
+	}
+}
+
+func TestUpperBoundAdmissible(t *testing.T) {
+	f := func(seed int64) bool {
+		s := Generate(12, 50, Uncorrelated, seed)
+		want := bruteForce(s)
+		return UpperBound(s, Root(s)) >= want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUpperBoundTightAtLeaf(t *testing.T) {
+	s := NewSpace([]Item{{Profit: 7, Weight: 7}}, 7)
+	leaf := Node{Pos: 1, Profit: 7, Weight: 7}
+	if b := UpperBound(s, leaf); b != 7 {
+		t.Fatalf("leaf bound %d, want 7", b)
+	}
+}
+
+func TestPruningReducesNodes(t *testing.T) {
+	s := Generate(24, 1000, Uncorrelated, 5)
+	p := OptProblem()
+	withBound := core.Opt(core.Sequential, s, Root(s), p, core.Config{})
+	p.Bound = nil
+	noBound := core.Opt(core.Sequential, s, Root(s), p, core.Config{})
+	if withBound.Objective != noBound.Objective {
+		t.Fatalf("bound changed answer: %d vs %d", withBound.Objective, noBound.Objective)
+	}
+	if withBound.Stats.Nodes >= noBound.Stats.Nodes {
+		t.Errorf("bound did not reduce nodes: %d vs %d", withBound.Stats.Nodes, noBound.Stats.Nodes)
+	}
+}
+
+// subsetSumDP is an exact oracle for profit == weight instances:
+// classic reachability DP over achievable weights.
+func subsetSumDP(s *Space) int64 {
+	reach := make([]bool, s.Cap+1)
+	reach[0] = true
+	for _, it := range s.Items {
+		if it.Weight > s.Cap {
+			continue
+		}
+		for w := s.Cap - it.Weight; w >= 0; w-- {
+			if reach[w] {
+				reach[w+it.Weight] = true
+			}
+		}
+	}
+	for w := s.Cap; w >= 0; w-- {
+		if reach[w] {
+			return w
+		}
+	}
+	return 0
+}
+
+func TestSubsetSumAgainstDP(t *testing.T) {
+	for seed := int64(200); seed < 208; seed++ {
+		s := Generate(20, 2_000, SubsetSum, seed)
+		want := subsetSumDP(s)
+		got, _ := Solve(s, core.Sequential, core.Config{})
+		if got != want {
+			t.Errorf("seed %d: B&B found %d, DP oracle says %d", seed, got, want)
+		}
+	}
+}
+
+func TestSubsetSumOddCapacityUnreachable(t *testing.T) {
+	s := Generate(18, 1_000, SubsetSum, 77)
+	got, _ := Solve(s, core.Sequential, core.Config{})
+	if got == s.Cap {
+		t.Fatal("even weights filled an odd capacity exactly")
+	}
+	if got != s.Cap-1 {
+		// not guaranteed in theory, but with 18 random items weight
+		// cap-1 is reachable in practice; the DP confirms either way
+		if got != subsetSumDP(s) {
+			t.Fatalf("B&B %d disagrees with DP %d", got, subsetSumDP(s))
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(20, 100, StronglyCorrelated, 9)
+	b := Generate(20, 100, StronglyCorrelated, 9)
+	for i := range a.Items {
+		if a.Items[i] != b.Items[i] {
+			t.Fatal("same seed, different instances")
+		}
+	}
+	if a.Cap != b.Cap {
+		t.Fatal("capacities differ")
+	}
+}
+
+func TestGenerateCoefficientRanges(t *testing.T) {
+	s := Generate(200, 100, Uncorrelated, 11)
+	for _, it := range s.Items {
+		if it.Profit < 1 || it.Weight < 1 || it.Weight > 100 {
+			t.Fatalf("coefficient out of range: %+v", it)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package maxclique
+
+import (
+	"yewpar/internal/bitset"
+	"yewpar/internal/core"
+)
+
+// Enumeration problems over the clique tree. The lazy node generator
+// enumerates every clique of the graph exactly once (each clique has
+// one generation path: extensions are drawn from a shrinking,
+// order-respecting candidate set), so enumeration searches can fold
+// over all cliques — the paper's introductory example of the
+// enumeration search type is exactly "all maximal cliques in a graph".
+
+// CountCliquesProblem counts every clique in the graph, including the
+// empty clique at the root.
+func CountCliquesProblem() core.EnumProblem[*Space, Node, int64] {
+	return core.EnumProblem[*Space, Node, int64]{
+		Gen:       Gen,
+		Objective: func(*Space, Node) int64 { return 1 },
+		Monoid:    core.SumInt64{},
+	}
+}
+
+// IsMaximal reports whether the node's clique is maximal: no vertex
+// outside it is adjacent to all of its members. (The node's own
+// candidate set is not enough — it only holds extensions that respect
+// the traversal order — so the common neighbourhood is recomputed
+// from the adjacency rows.)
+func IsMaximal(s *Space, n Node) bool {
+	if n.Size == 0 {
+		// The empty clique is maximal only in the edgeless graph…
+		// of zero vertices; any vertex extends it otherwise.
+		return s.G.N == 0
+	}
+	common, _ := bitset.MakePair(s.G.N)
+	common.Fill()
+	n.Clique.ForEach(func(v int) bool {
+		common.IntersectWith(s.G.Adj[v])
+		return true
+	})
+	// Adjacency excludes self-loops, so members are already absent
+	// from their own neighbourhoods; any surviving vertex extends C.
+	return common.Empty()
+}
+
+// CountMaximalProblem counts the maximal cliques of the graph.
+func CountMaximalProblem() core.EnumProblem[*Space, Node, int64] {
+	return core.EnumProblem[*Space, Node, int64]{
+		Gen: Gen,
+		Objective: func(s *Space, n Node) int64 {
+			if IsMaximal(s, n) {
+				return 1
+			}
+			return 0
+		},
+		Monoid: core.SumInt64{},
+	}
+}
+
+// CliqueProfileProblem counts cliques by size in one traversal,
+// returning a vector indexed by clique size (0..maxSize).
+func CliqueProfileProblem(maxSize int) core.EnumProblem[*Space, Node, []int64] {
+	return core.EnumProblem[*Space, Node, []int64]{
+		Gen: Gen,
+		Objective: func(_ *Space, n Node) []int64 {
+			v := make([]int64, maxSize+1)
+			if n.Size <= maxSize {
+				v[n.Size] = 1
+			}
+			return v
+		},
+		Monoid: core.SumVec{Len: maxSize + 1},
+	}
+}

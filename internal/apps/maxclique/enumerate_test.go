@@ -1,0 +1,135 @@
+package maxclique
+
+import (
+	"testing"
+
+	"yewpar/internal/bitset"
+	"yewpar/internal/core"
+	"yewpar/internal/graph"
+)
+
+// bruteCliques enumerates subsets, returning (#cliques incl. empty,
+// #maximal cliques, per-size counts).
+func bruteCliques(g *graph.Graph) (total, maximal int64, bySize []int64) {
+	bySize = make([]int64, g.N+1)
+	for mask := 0; mask < 1<<g.N; mask++ {
+		vs := bitset.New(g.N)
+		for v := 0; v < g.N; v++ {
+			if mask&(1<<v) != 0 {
+				vs.Add(v)
+			}
+		}
+		if !g.IsClique(vs) {
+			continue
+		}
+		total++
+		bySize[vs.Count()]++
+		// maximal?
+		isMax := true
+		for v := 0; v < g.N && isMax; v++ {
+			if vs.Contains(v) {
+				continue
+			}
+			extends := true
+			vs.ForEach(func(u int) bool {
+				if !g.HasEdge(u, v) {
+					extends = false
+				}
+				return extends
+			})
+			if extends {
+				isMax = false
+			}
+		}
+		if isMax && vs.Count() > 0 {
+			maximal++
+		}
+	}
+	return total, maximal, bySize
+}
+
+func TestCountCliquesMatchesBruteForce(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		g := graph.Random(12, 0.5, seed)
+		want, _, _ := bruteCliques(g)
+		s := NewSpace(g)
+		res := core.Enum(core.Sequential, s, Root(s), CountCliquesProblem(), core.Config{})
+		if res.Value != want {
+			t.Errorf("seed %d: counted %d cliques, want %d", seed, res.Value, want)
+		}
+	}
+}
+
+func TestCountMaximalMatchesBruteForce(t *testing.T) {
+	for seed := int64(10); seed < 16; seed++ {
+		g := graph.Random(12, 0.5, seed)
+		_, want, _ := bruteCliques(g)
+		s := NewSpace(g)
+		res := core.Enum(core.Sequential, s, Root(s), CountMaximalProblem(), core.Config{})
+		if res.Value != want {
+			t.Errorf("seed %d: counted %d maximal cliques, want %d", seed, res.Value, want)
+		}
+	}
+}
+
+func TestCliqueProfileMatchesBruteForce(t *testing.T) {
+	g := graph.Random(12, 0.6, 21)
+	_, _, want := bruteCliques(g)
+	s := NewSpace(g)
+	res := core.Enum(core.DepthBounded, s, Root(s), CliqueProfileProblem(12), core.Config{Workers: 4})
+	for size, w := range want {
+		if res.Value[size] != w {
+			t.Errorf("size %d: %d cliques, want %d", size, res.Value[size], w)
+		}
+	}
+}
+
+func TestMaximalEnumerationParallel(t *testing.T) {
+	g := graph.Random(30, 0.4, 31)
+	s := NewSpace(g)
+	want := core.Enum(core.Sequential, s, Root(s), CountMaximalProblem(), core.Config{})
+	for _, coord := range []core.Coordination{core.DepthBounded, core.StackStealing, core.Budget} {
+		res := core.Enum(coord, s, Root(s), CountMaximalProblem(), core.Config{Workers: 6, Budget: 32})
+		if res.Value != want.Value {
+			t.Errorf("%v: %d maximal cliques, want %d", coord, res.Value, want.Value)
+		}
+	}
+}
+
+func TestIsMaximalTriangleWithTail(t *testing.T) {
+	// triangle 0-1-2 plus pendant 3-0: {0,1,2} is maximal, {0,3} is
+	// maximal, {0,1} is not.
+	g := graph.New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(0, 2)
+	g.AddEdge(0, 3)
+	s := NewSpace(g)
+	mk := func(vs ...int) Node {
+		c := bitset.FromSlice(4, vs)
+		return Node{Clique: c, Size: len(vs)}
+	}
+	if !IsMaximal(s, mk(0, 1, 2)) {
+		t.Error("triangle should be maximal")
+	}
+	if !IsMaximal(s, mk(0, 3)) {
+		t.Error("pendant edge should be maximal")
+	}
+	if IsMaximal(s, mk(0, 1)) {
+		t.Error("{0,1} extends to the triangle")
+	}
+	if IsMaximal(s, mk()) {
+		t.Error("empty clique is not maximal in a non-empty graph")
+	}
+}
+
+func TestFigureOneMaximalCliques(t *testing.T) {
+	// Hand count for the paper's Figure 1 graph: maximal cliques are
+	// {a,b,c}, {a,b,g}, {a,d,f,g}, {a,h}, {c,e}, {e,h}.
+	g, _ := FigureOneGraph()
+	s := NewSpace(g)
+	res := core.Enum(core.Sequential, s, Root(s), CountMaximalProblem(), core.Config{})
+	if res.Value != 6 {
+		t.Fatalf("figure 1 graph has %d maximal cliques, want 6", res.Value)
+	}
+}

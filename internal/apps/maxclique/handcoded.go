@@ -1,0 +1,209 @@
+package maxclique
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"yewpar/internal/bitset"
+	"yewpar/internal/graph"
+)
+
+// This file holds the search-specific comparators of the paper's
+// Table 1: a hand-written sequential maximum-clique solver (the
+// stand-in for McCreesh's C++ MCSa1) and a hand-written parallel
+// version spawning one task per depth-1 subtree (the stand-in for the
+// OpenMP implementation). Both run the same algorithm as the skeleton
+// version but specialise everything the skeletons keep generic:
+// candidate sets live in per-depth scratch buffers, nodes are never
+// copied, and there are no generator objects.
+
+// hcState is the per-worker state of the hand-coded solvers. The
+// incumbent is abstracted over two closures so the sequential solver
+// can use a plain int and the parallel one an atomic shared between
+// workers.
+type hcState struct {
+	g            *graph.Graph
+	current      bitset.Set
+	uncol, class bitset.Set     // colouring scratch (colourInto is not reentrant)
+	locals       []bitset.Set   // per-depth shrinking candidate sets
+	nexts        []bitset.Set   // per-depth child candidate sets
+	order        [][]int32      // per-depth colour orders
+	colour       [][]int32      // per-depth colour bounds
+	nodes        int64          // search nodes visited
+	best         func() int     // incumbent read
+	report       func(size int) // incumbent strengthen (clique = current)
+}
+
+func newHCState(g *graph.Graph, best func() int, report func(int)) *hcState {
+	d := g.N + 2
+	st := &hcState{
+		g:       g,
+		current: bitset.New(g.N),
+		uncol:   bitset.New(g.N),
+		class:   bitset.New(g.N),
+		locals:  make([]bitset.Set, d),
+		nexts:   make([]bitset.Set, d),
+		order:   make([][]int32, d),
+		colour:  make([][]int32, d),
+		best:    best,
+		report:  report,
+	}
+	for i := 0; i < d; i++ {
+		st.locals[i] = bitset.New(g.N)
+		st.nexts[i] = bitset.New(g.N)
+		st.order[i] = make([]int32, 0, g.N)
+		st.colour[i] = make([]int32, 0, g.N)
+	}
+	return st
+}
+
+// colourInto is GreedyColour writing into the depth's scratch slices.
+// It does not modify p.
+func (st *hcState) colourInto(depth int, p bitset.Set) ([]int32, []int32) {
+	order := st.order[depth][:0]
+	colour := st.colour[depth][:0]
+	st.uncol.CopyFrom(p)
+	c := int32(0)
+	for !st.uncol.Empty() {
+		c++
+		st.class.CopyFrom(st.uncol)
+		for {
+			v := st.class.Min()
+			if v < 0 {
+				break
+			}
+			order = append(order, int32(v))
+			colour = append(colour, c)
+			st.uncol.Remove(v)
+			st.class.Remove(v)
+			st.class.DifferenceWith(st.g.Adj[v])
+		}
+	}
+	st.order[depth], st.colour[depth] = order, colour
+	return order, colour
+}
+
+func (st *hcState) expand(size int, p bitset.Set, depth int) {
+	order, colour := st.colourInto(depth, p)
+	local := st.locals[depth]
+	local.CopyFrom(p)
+	for i := len(order) - 1; i >= 0; i-- {
+		if size+int(colour[i]) <= st.best() {
+			return // every remaining candidate has a lower colour bound
+		}
+		v := int(order[i])
+		st.current.Add(v)
+		st.nodes++
+		st.report(size + 1)
+		local.Remove(v)
+		next := st.nexts[depth]
+		next.CopyFrom(local)
+		next.IntersectWith(st.g.Adj[v])
+		if !next.Empty() {
+			st.expand(size+1, next, depth+1)
+		}
+		st.current.Remove(v)
+	}
+}
+
+// SeqHandcoded finds a maximum clique with the specialised sequential
+// solver. It returns the clique and the number of search nodes visited.
+func SeqHandcoded(g *graph.Graph) (bitset.Set, int64) {
+	bestSet := bitset.New(g.N)
+	best := 0
+	var st *hcState
+	st = newHCState(g,
+		func() int { return best },
+		func(size int) {
+			if size > best {
+				best = size
+				bestSet.CopyFrom(st.current)
+			}
+		})
+	if g.N > 0 {
+		all := bitset.New(g.N)
+		all.Fill()
+		st.expand(0, all, 0)
+	}
+	return bestSet, st.nodes
+}
+
+// parTask is one depth-1 subtree of the hand-coded parallel solver.
+type parTask struct {
+	v     int
+	cands bitset.Set
+	bound int32
+}
+
+// ParHandcoded finds a maximum clique with the hand-written parallel
+// solver: the root's children (in heuristic colour order) become tasks
+// consumed by a fixed worker pool sharing an atomic incumbent — the
+// direct analogue of the paper's OpenMP `task`-per-depth-1-node
+// comparator.
+func ParHandcoded(g *graph.Graph, workers int) (bitset.Set, int64) {
+	if workers < 1 {
+		workers = 1
+	}
+	bestSet := bitset.New(g.N)
+	if g.N == 0 {
+		return bestSet, 0
+	}
+	all := bitset.New(g.N)
+	all.Fill()
+	order, colour := GreedyColour(g, all)
+
+	var best atomic.Int64
+	var mu sync.Mutex
+	var nodes atomic.Int64
+
+	// Heuristic order: highest colour class first, like the skeleton.
+	tasks := make(chan parTask, len(order))
+	remaining := all.Clone()
+	for i := len(order) - 1; i >= 0; i-- {
+		v := int(order[i])
+		remaining.Remove(v)
+		cands := remaining.Clone()
+		cands.IntersectWith(g.Adj[v])
+		tasks <- parTask{v: v, cands: cands, bound: colour[i]}
+	}
+	close(tasks)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var st *hcState
+			st = newHCState(g,
+				func() int { return int(best.Load()) },
+				func(size int) {
+					if int64(size) <= best.Load() {
+						return
+					}
+					// Objective and witness must move together, so the
+					// strengthen is re-checked under the lock.
+					mu.Lock()
+					if int64(size) > best.Load() {
+						best.Store(int64(size))
+						bestSet.CopyFrom(st.current)
+					}
+					mu.Unlock()
+				})
+			for t := range tasks {
+				if 1+int(t.bound) <= int(best.Load()) {
+					continue // whole subtree dominated
+				}
+				st.current.Clear()
+				st.current.Add(t.v)
+				st.nodes++
+				st.report(1)
+				if !t.cands.Empty() {
+					st.expand(1, t.cands, 0)
+				}
+			}
+			nodes.Add(st.nodes)
+		}()
+	}
+	wg.Wait()
+	return bestSet, nodes.Load()
+}

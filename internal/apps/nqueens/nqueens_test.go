@@ -1,0 +1,95 @@
+package nqueens
+
+import (
+	"testing"
+
+	"yewpar/internal/core"
+)
+
+// Known solution counts (OEIS A000170).
+var known = map[int]int64{
+	1: 1, 2: 0, 3: 0, 4: 2, 5: 10, 6: 4, 7: 40, 8: 92,
+	9: 352, 10: 724, 11: 2680, 12: 14200,
+}
+
+func TestKnownCountsSequential(t *testing.T) {
+	for n, want := range known {
+		got, _ := Count(n, core.Sequential, core.Config{})
+		if got != want {
+			t.Errorf("n=%d: %d solutions, want %d", n, got, want)
+		}
+	}
+}
+
+func TestAllSkeletonsAgree(t *testing.T) {
+	const n = 11
+	want := known[n]
+	for _, coord := range []core.Coordination{core.DepthBounded, core.StackStealing, core.Budget} {
+		got, _ := Count(n, coord, core.Config{Workers: 8, Localities: 2, DCutoff: 3, Budget: 100})
+		if got != want {
+			t.Errorf("%v: %d, want %d", coord, got, want)
+		}
+	}
+}
+
+func TestNoAttacksInvariant(t *testing.T) {
+	// walk the whole n=6 tree; every node's masks must be consistent
+	// with a legal partial placement: Row bits placed, no column reuse.
+	s := NewSpace(6)
+	var walk func(n Node)
+	walk = func(n Node) {
+		if popcount(n.Cols) != n.Row {
+			t.Fatalf("node at row %d has %d columns occupied", n.Row, popcount(n.Cols))
+		}
+		g := Gen(s, n)
+		for g.HasNext() {
+			walk(g.Next())
+		}
+	}
+	walk(Root(s))
+}
+
+func popcount(x uint64) int {
+	c := 0
+	for ; x != 0; x &= x - 1 {
+		c++
+	}
+	return c
+}
+
+func TestChildrenLeftToRight(t *testing.T) {
+	s := NewSpace(5)
+	g := Gen(s, Root(s))
+	prev := -1
+	for g.HasNext() {
+		n := g.Next()
+		col := -1
+		for c := 0; c < 5; c++ {
+			if n.Cols&(1<<uint(c)) != 0 {
+				col = c
+			}
+		}
+		if col <= prev {
+			t.Fatalf("columns not left-to-right: %d after %d", col, prev)
+		}
+		prev = col
+	}
+	if prev != 4 {
+		t.Fatalf("root should offer all 5 columns, last was %d", prev)
+	}
+}
+
+func TestSpaceValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for n=0")
+		}
+	}()
+	NewSpace(0)
+}
+
+func BenchmarkCountQueens11(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Count(11, core.Sequential, core.Config{})
+	}
+}

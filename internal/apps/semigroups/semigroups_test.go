@@ -1,0 +1,219 @@
+package semigroups
+
+import (
+	"testing"
+
+	"yewpar/internal/core"
+)
+
+// OEIS A007323: number of numerical semigroups of genus n.
+var knownCounts = []int64{1, 1, 2, 4, 7, 12, 23, 39, 67, 118, 204, 343, 592, 1001, 1693, 2857, 4806}
+
+func TestKnownCountsSequential(t *testing.T) {
+	for g, want := range knownCounts {
+		got, _ := Count(g, core.Sequential, core.Config{})
+		if got != want {
+			t.Errorf("genus %d: count = %d, want %d", g, got, want)
+		}
+	}
+}
+
+func TestAllSkeletonsAgree(t *testing.T) {
+	const g = 12
+	want := knownCounts[g]
+	for _, coord := range []core.Coordination{core.DepthBounded, core.StackStealing, core.Budget} {
+		got, _ := Count(g, coord, core.Config{Workers: 8, Localities: 2, DCutoff: 4, Budget: 32})
+		if got != want {
+			t.Errorf("%v: count = %d, want %d", coord, got, want)
+		}
+	}
+}
+
+func TestCountProfileMatchesPerGenusCounts(t *testing.T) {
+	s := NewSpace(10)
+	res := core.Enum(core.DepthBounded, s, Root(s), CountProfile(s), core.Config{Workers: 4, DCutoff: 3})
+	for g := 0; g <= 10; g++ {
+		if res.Value[g] != knownCounts[g] {
+			t.Errorf("profile genus %d = %d, want %d", g, res.Value[g], knownCounts[g])
+		}
+	}
+}
+
+func TestRootIsNaturals(t *testing.T) {
+	r := Root(NewSpace(5))
+	for v := 0; v <= 20; v++ {
+		if !r.Contains(v) {
+			t.Fatalf("root missing %d", v)
+		}
+	}
+	if r.Genus != 0 || r.Frob != -1 {
+		t.Fatalf("bad root: %+v", r)
+	}
+	if r.Multiplicity() != 1 {
+		t.Fatalf("root multiplicity = %d", r.Multiplicity())
+	}
+}
+
+func TestFirstLevels(t *testing.T) {
+	s := NewSpace(3)
+	root := Root(s)
+	g := Gen(s, root)
+	if !g.HasNext() {
+		t.Fatal("root has no children")
+	}
+	child := g.Next() // ℕ \ {1} = {0, 2, 3, ...}
+	if g.HasNext() {
+		t.Fatal("root should have exactly one child (removing 1)")
+	}
+	if child.Contains(1) || !child.Contains(2) || child.Frob != 1 || child.Genus != 1 {
+		t.Fatalf("bad first child: %+v", child)
+	}
+	// children of {0,2,3,...}: remove 2 or remove 3
+	g2 := Gen(s, child)
+	var frobs []int
+	for g2.HasNext() {
+		frobs = append(frobs, g2.Next().Frob)
+	}
+	if len(frobs) != 2 || frobs[0] != 2 || frobs[1] != 3 {
+		t.Fatalf("genus-2 frobenius numbers = %v, want [2 3]", frobs)
+	}
+}
+
+func TestNodesAreClosedUnderAddition(t *testing.T) {
+	// walk the full tree to genus 7 and check closure of every node
+	s := NewSpace(7)
+	var walk func(n Node)
+	walk = func(n Node) {
+		for x := 1; x <= 20; x++ {
+			if !n.Contains(x) {
+				continue
+			}
+			for y := x; y+x <= 40 && y <= 20; y++ {
+				if n.Contains(y) && !n.Contains(x+y) {
+					t.Fatalf("not closed: %d+%d missing (frob %d genus %d)", x, y, n.Frob, n.Genus)
+				}
+			}
+		}
+		g := Gen(s, n)
+		for g.HasNext() {
+			walk(g.Next())
+		}
+	}
+	walk(Root(s))
+}
+
+func TestGenusMatchesGapCount(t *testing.T) {
+	s := NewSpace(8)
+	var walk func(n Node)
+	walk = func(n Node) {
+		if got := n.popcountGaps(); got != n.Genus {
+			t.Fatalf("genus bookkeeping broken: mask says %d, node says %d", got, n.Genus)
+		}
+		if len(n.Gaps()) != n.Genus {
+			t.Fatalf("Gaps() length %d != genus %d", len(n.Gaps()), n.Genus)
+		}
+		g := Gen(s, n)
+		for g.HasNext() {
+			walk(g.Next())
+		}
+	}
+	walk(Root(s))
+}
+
+func TestFrobeniusBound(t *testing.T) {
+	// f <= 2g - 1 for every semigroup in the tree
+	s := NewSpace(9)
+	var walk func(n Node)
+	walk = func(n Node) {
+		if n.Genus > 0 && n.Frob > 2*n.Genus-1 {
+			t.Fatalf("frobenius %d exceeds 2g-1 for genus %d", n.Frob, n.Genus)
+		}
+		g := Gen(s, n)
+		for g.HasNext() {
+			walk(g.Next())
+		}
+	}
+	walk(Root(s))
+}
+
+func TestIsGenerator(t *testing.T) {
+	// In ℕ\{1} = {0,2,3,4,...}: 2 and 3 are generators; 4 = 2+2 and
+	// 5 = 2+3 are not.
+	m := mask128{lo: ^uint64(0), hi: ^uint64(0)}
+	m.remove(1)
+	if !isGenerator(m, 2) || !isGenerator(m, 3) {
+		t.Fatal("2 and 3 must be generators of <2,3,...>")
+	}
+	if isGenerator(m, 4) || isGenerator(m, 5) {
+		t.Fatal("4 and 5 are sums, not generators")
+	}
+}
+
+func TestNewSpaceRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range genus")
+		}
+	}()
+	NewSpace(64)
+}
+
+func TestNewSpaceNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for negative genus")
+		}
+	}()
+	NewSpace(-1)
+}
+
+func TestMultiplicityAlongChain(t *testing.T) {
+	// Removing 1, then 2, then 3 gives ⟨4,5,6,7⟩ with multiplicity 4.
+	s := NewSpace(5)
+	n := Root(s)
+	for _, wantFrob := range []int{1, 2, 3} {
+		g := Gen(s, n)
+		if !g.HasNext() {
+			t.Fatal("chain broke early")
+		}
+		n = g.Next() // first child removes the smallest generator
+		if n.Frob != wantFrob {
+			t.Fatalf("frobenius %d, want %d", n.Frob, wantFrob)
+		}
+	}
+	if n.Multiplicity() != 4 {
+		t.Fatalf("multiplicity = %d, want 4", n.Multiplicity())
+	}
+	if gaps := n.Gaps(); len(gaps) != 3 || gaps[0] != 1 || gaps[2] != 3 {
+		t.Fatalf("gaps = %v", gaps)
+	}
+}
+
+func TestHighGenusMaskPaths(t *testing.T) {
+	// Drive the search deep enough that Frobenius numbers cross the
+	// 64-bit word boundary in popcountGaps (frob >= 64 needs genus
+	// >= 33; walk a single max-frobenius chain instead of the full
+	// tree: always take the LAST child, which removes the largest
+	// generator and maximises frobenius growth).
+	s := NewSpace(40)
+	n := Root(s)
+	for n.Genus < 40 {
+		g := Gen(s, n)
+		var last Node
+		ok := false
+		for g.HasNext() {
+			last = g.Next()
+			ok = true
+		}
+		if !ok {
+			t.Fatal("chain ended early")
+		}
+		n = last
+		if got := n.popcountGaps(); got != n.Genus {
+			t.Fatalf("genus bookkeeping broken at frob %d: %d != %d", n.Frob, got, n.Genus)
+		}
+	}
+	if n.Frob < 64 {
+		t.Fatalf("chain did not cross the word boundary: frob %d", n.Frob)
+	}
+}

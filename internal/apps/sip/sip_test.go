@@ -1,0 +1,256 @@
+package sip
+
+import (
+	"testing"
+
+	"yewpar/internal/core"
+	"yewpar/internal/graph"
+)
+
+// bruteForce tries all injective mappings (tiny instances only).
+func bruteForce(p, t *graph.Graph) bool {
+	mapping := make([]int, p.N)
+	used := make([]bool, t.N)
+	var try func(v int) bool
+	try = func(v int) bool {
+		if v == p.N {
+			return true
+		}
+		for tv := 0; tv < t.N; tv++ {
+			if used[tv] {
+				continue
+			}
+			ok := true
+			for u := 0; u < v; u++ {
+				if p.HasEdge(u, v) && !t.HasEdge(mapping[u], tv) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			mapping[v] = tv
+			used[tv] = true
+			if try(v + 1) {
+				return true
+			}
+			used[tv] = false
+		}
+		return false
+	}
+	return try(0)
+}
+
+func TestSolveMatchesBruteForce(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		s := GenerateRandom(10, 0.5, 5, 0.5, seed)
+		want := bruteForce(s.P, s.T)
+		_, found, _ := Solve(s, core.Sequential, core.Config{})
+		if found != want {
+			t.Errorf("seed %d: found=%v, brute force says %v", seed, found, want)
+		}
+	}
+}
+
+func TestSatInstancesAlwaysFound(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		s := GenerateSat(40, 0.4, 10, 0.2, seed)
+		mapping, found, _ := Solve(s, core.Sequential, core.Config{})
+		if !found {
+			t.Errorf("seed %d: planted embedding not found", seed)
+			continue
+		}
+		if !VerifyEmbedding(s.P, s.T, mapping) {
+			t.Errorf("seed %d: returned mapping is not an embedding", seed)
+		}
+	}
+}
+
+func TestAllSkeletonsAgree(t *testing.T) {
+	sat := GenerateSat(35, 0.5, 12, 0.3, 7)
+	unsatP := graph.Random(8, 0.95, 100) // dense pattern
+	unsatT := graph.Random(20, 0.2, 101) // sparse target
+	unsat := NewSpace(unsatP, unsatT)
+	if bruteForce(unsat.P, unsat.T) {
+		t.Skip("unsat instance accidentally satisfiable")
+	}
+	for _, coord := range []core.Coordination{core.Sequential, core.DepthBounded, core.StackStealing, core.Budget} {
+		mapping, found, _ := Solve(sat, coord, core.Config{Workers: 4})
+		if !found {
+			t.Errorf("%v: satisfiable instance not solved", coord)
+		} else if !VerifyEmbedding(sat.P, sat.T, mapping) {
+			t.Errorf("%v: invalid embedding", coord)
+		}
+		if _, found, _ := Solve(unsat, coord, core.Config{Workers: 4}); found {
+			t.Errorf("%v: unsatisfiable instance 'solved'", coord)
+		}
+	}
+}
+
+func TestTriangleInTriangle(t *testing.T) {
+	tri := graph.New(3)
+	tri.AddEdge(0, 1)
+	tri.AddEdge(1, 2)
+	tri.AddEdge(0, 2)
+	s := NewSpace(tri, tri)
+	mapping, found, _ := Solve(s, core.Sequential, core.Config{})
+	if !found || !VerifyEmbedding(tri, tri, mapping) {
+		t.Fatal("triangle not found in itself")
+	}
+}
+
+func TestTriangleNotInPath(t *testing.T) {
+	tri := graph.New(3)
+	tri.AddEdge(0, 1)
+	tri.AddEdge(1, 2)
+	tri.AddEdge(0, 2)
+	path := graph.New(4)
+	path.AddEdge(0, 1)
+	path.AddEdge(1, 2)
+	path.AddEdge(2, 3)
+	if _, found, _ := Solve(NewSpace(tri, path), core.Sequential, core.Config{}); found {
+		t.Fatal("triangle found in a path")
+	}
+}
+
+func TestNonInducedMatching(t *testing.T) {
+	// pattern path 0-1-2 must embed into a triangle even though the
+	// pattern non-edge (0,2) maps onto a target edge.
+	path := graph.New(3)
+	path.AddEdge(0, 1)
+	path.AddEdge(1, 2)
+	tri := graph.New(3)
+	tri.AddEdge(0, 1)
+	tri.AddEdge(1, 2)
+	tri.AddEdge(0, 2)
+	if _, found, _ := Solve(NewSpace(path, tri), core.Sequential, core.Config{}); !found {
+		t.Fatal("non-induced embedding rejected")
+	}
+}
+
+func TestEmptyPattern(t *testing.T) {
+	p := graph.New(0)
+	target := graph.Random(5, 0.5, 1)
+	s := NewSpace(p, target)
+	// Root already satisfies target objective 0.
+	res := core.Decide(core.Sequential, s, Root(s), DecisionProblem(s), core.Config{})
+	if !res.Found {
+		t.Fatal("empty pattern should trivially embed")
+	}
+}
+
+func TestDegreeFilter(t *testing.T) {
+	star := graph.New(4) // centre has degree 3
+	star.AddEdge(0, 1)
+	star.AddEdge(0, 2)
+	star.AddEdge(0, 3)
+	cycle := graph.New(4) // all degrees 2
+	cycle.AddEdge(0, 1)
+	cycle.AddEdge(1, 2)
+	cycle.AddEdge(2, 3)
+	cycle.AddEdge(3, 0)
+	s := NewSpace(star, cycle)
+	g := Gen(s, Root(s))
+	if g.HasNext() {
+		t.Fatal("degree filter should leave no candidates for the star centre")
+	}
+}
+
+func TestGeneratorYieldsValidPartialAssignments(t *testing.T) {
+	s := GenerateSat(20, 0.5, 6, 0.2, 3)
+	g := Gen(s, Root(s))
+	for g.HasNext() {
+		child := g.Next()
+		if child.Depth() != 1 {
+			t.Fatalf("depth = %d", child.Depth())
+		}
+		if !child.Used.Contains(int(child.Assigned[0])) {
+			t.Fatal("used set out of sync")
+		}
+	}
+}
+
+func TestNDSDominates(t *testing.T) {
+	cases := []struct {
+		target, pattern []int32
+		want            bool
+	}{
+		{[]int32{5, 3, 2}, []int32{4, 3}, true},
+		{[]int32{5, 3, 2}, []int32{5, 3, 2}, true},
+		{[]int32{5, 3}, []int32{5, 3, 1}, false}, // too short
+		{[]int32{5, 2, 2}, []int32{5, 3}, false}, // pointwise fail
+		{[]int32{}, []int32{}, true},
+		{[]int32{1}, nil, true},
+	}
+	for i, c := range cases {
+		if got := ndsDominates(c.target, c.pattern); got != c.want {
+			t.Errorf("case %d: ndsDominates(%v, %v) = %v", i, c.target, c.pattern, got)
+		}
+	}
+}
+
+func TestNeighbourhoodDegreesSorted(t *testing.T) {
+	g := graph.Random(20, 0.4, 5)
+	nds := neighbourhoodDegrees(g)
+	for v, seq := range nds {
+		if len(seq) != g.Degree(v) {
+			t.Fatalf("vertex %d: sequence length %d, degree %d", v, len(seq), g.Degree(v))
+		}
+		for i := 1; i < len(seq); i++ {
+			if seq[i] > seq[i-1] {
+				t.Fatalf("vertex %d: sequence not descending: %v", v, seq)
+			}
+		}
+	}
+}
+
+func TestNDSFilterNeverRemovesSolutions(t *testing.T) {
+	// brute force (no NDS filter) vs the filtered search on random
+	// instances around the phase transition
+	for seed := int64(50); seed < 62; seed++ {
+		s := GenerateRandom(12, 0.5, 5, 0.5, seed)
+		want := bruteForce(s.P, s.T)
+		_, found, _ := Solve(s, core.Sequential, core.Config{})
+		if found != want {
+			t.Errorf("seed %d: filter changed satisfiability: got %v, want %v", seed, found, want)
+		}
+	}
+}
+
+func TestNDSFilterPrunesCandidates(t *testing.T) {
+	// A star pattern whose centre's neighbours all have degree >= 2
+	// cannot map onto a star whose leaves are degree-1, even though
+	// plain degree counting allows it.
+	pattern := graph.New(4) // path 0-1-2 plus 1-3: vertex 1 has nbr degs [2,1,1]... build explicit:
+	pattern.AddEdge(0, 1)
+	pattern.AddEdge(1, 2)
+	pattern.AddEdge(2, 3) // path of 4: nds(1) = [2,1]
+	target := graph.New(5) // star K1,4: centre nds = [1,1,1,1]
+	for leaf := 1; leaf < 5; leaf++ {
+		target.AddEdge(0, leaf)
+	}
+	s := NewSpace(pattern, target)
+	if _, found, _ := Solve(s, core.Sequential, core.Config{}); found {
+		t.Fatal("path of 4 embedded into a star")
+	}
+}
+
+func TestVerifyEmbeddingRejects(t *testing.T) {
+	tri := graph.New(3)
+	tri.AddEdge(0, 1)
+	tri.AddEdge(1, 2)
+	tri.AddEdge(0, 2)
+	path := graph.New(3)
+	path.AddEdge(0, 1)
+	path.AddEdge(1, 2)
+	if VerifyEmbedding(tri, path, []int{0, 1, 2}) {
+		t.Fatal("accepted non-edge-preserving mapping")
+	}
+	if VerifyEmbedding(tri, tri, []int{0, 0, 1}) {
+		t.Fatal("accepted non-injective mapping")
+	}
+	if VerifyEmbedding(tri, tri, []int{0, 1}) {
+		t.Fatal("accepted short mapping")
+	}
+}

@@ -1,0 +1,228 @@
+package tsp
+
+import (
+	"testing"
+
+	"yewpar/internal/core"
+)
+
+// bruteForce tries all permutations (n <= 10).
+func bruteForce(s *Space) int64 {
+	cities := make([]int, 0, s.N-1)
+	for c := 1; c < s.N; c++ {
+		cities = append(cities, c)
+	}
+	best := int64(1) << 62
+	var perm func(k int, last int, cost int64)
+	perm = func(k int, last int, cost int64) {
+		if k == len(cities) {
+			if total := cost + s.D[last][0]; total < best {
+				best = total
+			}
+			return
+		}
+		for i := k; i < len(cities); i++ {
+			cities[k], cities[i] = cities[i], cities[k]
+			perm(k+1, cities[k], cost+s.D[last][cities[k]])
+			cities[k], cities[i] = cities[i], cities[k]
+		}
+	}
+	perm(0, 0, 0)
+	return best
+}
+
+// heldKarp is the exact O(2^n · n²) dynamic program, an independent
+// oracle stronger than permutation enumeration.
+func heldKarp(s *Space) int64 {
+	n := s.N
+	const inf = int64(1) << 60
+	full := 1 << uint(n)
+	dp := make([][]int64, full)
+	for mask := range dp {
+		dp[mask] = make([]int64, n)
+		for i := range dp[mask] {
+			dp[mask][i] = inf
+		}
+	}
+	dp[1][0] = 0
+	for mask := 1; mask < full; mask++ {
+		if mask&1 == 0 {
+			continue // tours start at city 0
+		}
+		for last := 0; last < n; last++ {
+			if dp[mask][last] == inf || mask&(1<<uint(last)) == 0 {
+				continue
+			}
+			for next := 1; next < n; next++ {
+				if mask&(1<<uint(next)) != 0 {
+					continue
+				}
+				m2 := mask | 1<<uint(next)
+				if c := dp[mask][last] + s.D[last][next]; c < dp[m2][next] {
+					dp[m2][next] = c
+				}
+			}
+		}
+	}
+	best := inf
+	for last := 1; last < n; last++ {
+		if c := dp[full-1][last] + s.D[last][0]; c < best {
+			best = c
+		}
+	}
+	if n == 1 {
+		return 0
+	}
+	return best
+}
+
+func TestSolveMatchesHeldKarp(t *testing.T) {
+	for seed := int64(30); seed < 38; seed++ {
+		s := GenerateEuclidean(12, 1000, seed)
+		want := heldKarp(s)
+		got, _ := Solve(s, core.Sequential, core.Config{})
+		if got != want {
+			t.Errorf("seed %d: B&B %d, Held-Karp %d", seed, got, want)
+		}
+	}
+}
+
+func TestHeldKarpMatchesBruteForce(t *testing.T) {
+	// oracle vs oracle on tiny instances
+	for seed := int64(0); seed < 5; seed++ {
+		s := GenerateEuclidean(8, 300, seed)
+		if heldKarp(s) != bruteForce(s) {
+			t.Fatalf("seed %d: Held-Karp and brute force disagree", seed)
+		}
+	}
+}
+
+func TestSolveMatchesBruteForce(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		s := GenerateEuclidean(9, 1000, seed)
+		want := bruteForce(s)
+		got, _ := Solve(s, core.Sequential, core.Config{})
+		if got != want {
+			t.Errorf("seed %d: tour %d, want %d", seed, got, want)
+		}
+	}
+}
+
+func TestAllSkeletonsAgree(t *testing.T) {
+	s := GenerateEuclidean(13, 1000, 4)
+	want, _ := Solve(s, core.Sequential, core.Config{})
+	for _, coord := range []core.Coordination{core.DepthBounded, core.StackStealing, core.Budget} {
+		got, _ := Solve(s, coord, core.Config{Workers: 6, Localities: 2, DCutoff: 2, Budget: 200})
+		if got != want {
+			t.Errorf("%v: tour %d, want %d", coord, got, want)
+		}
+	}
+}
+
+func TestTriangleTour(t *testing.T) {
+	d := [][]int64{
+		{0, 1, 2},
+		{1, 0, 3},
+		{2, 3, 0},
+	}
+	s := NewSpace(d)
+	got, _ := Solve(s, core.Sequential, core.Config{})
+	if got != 6 { // only tour: 0-1-2-0 = 1+3+2
+		t.Fatalf("tour = %d, want 6", got)
+	}
+}
+
+func TestGenNearestFirst(t *testing.T) {
+	d := [][]int64{
+		{0, 5, 1, 9},
+		{5, 0, 2, 4},
+		{1, 2, 0, 7},
+		{9, 4, 7, 0},
+	}
+	s := NewSpace(d)
+	g := Gen(s, Root(s))
+	first := g.Next()
+	if first.Last != 2 {
+		t.Fatalf("first child visits %d, want nearest city 2", first.Last)
+	}
+}
+
+func TestGenSkipsVisited(t *testing.T) {
+	s := GenerateEuclidean(6, 100, 1)
+	n := Root(s)
+	g := Gen(s, n)
+	child := g.Next()
+	g2 := Gen(s, child)
+	for g2.HasNext() {
+		grand := g2.Next()
+		if grand.Visited&(1<<uint(child.Last)) == 0 {
+			t.Fatal("child lost visited bit")
+		}
+		if grand.Last == child.Last || grand.Last == 0 {
+			t.Fatal("revisited a city")
+		}
+	}
+}
+
+func TestCompleteTourClosesLoop(t *testing.T) {
+	d := [][]int64{{0, 2}, {2, 0}}
+	s := NewSpace(d)
+	g := Gen(s, Root(s))
+	leaf := g.Next()
+	if leaf.Count != 2 || leaf.Cost != 4 { // 0->1 and back
+		t.Fatalf("leaf = %+v, want cost 4", leaf)
+	}
+	if Gen(s, leaf).HasNext() {
+		t.Fatal("complete tour has children")
+	}
+}
+
+func TestObjectiveOnlyForCompleteTours(t *testing.T) {
+	s := GenerateEuclidean(5, 100, 2)
+	root := Root(s)
+	if Objective(s, root) != incomplete {
+		t.Fatal("partial tour has a real objective")
+	}
+}
+
+func TestUpperBoundAdmissible(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		s := GenerateEuclidean(8, 500, seed)
+		opt := bruteForce(s)
+		if UpperBound(s, Root(s)) < -opt {
+			t.Errorf("seed %d: root bound %d below optimal objective %d", seed, UpperBound(s, Root(s)), -opt)
+		}
+	}
+}
+
+func TestPruningReducesNodes(t *testing.T) {
+	s := GenerateEuclidean(11, 1000, 7)
+	p := OptProblem()
+	withBound := core.Opt(core.Sequential, s, Root(s), p, core.Config{})
+	p.Bound = nil
+	noBound := core.Opt(core.Sequential, s, Root(s), p, core.Config{})
+	if withBound.Objective != noBound.Objective {
+		t.Fatalf("bound changed answer")
+	}
+	if withBound.Stats.Nodes >= noBound.Stats.Nodes {
+		t.Errorf("bound did not help: %d vs %d nodes", withBound.Stats.Nodes, noBound.Stats.Nodes)
+	}
+}
+
+func TestGenerateDeterministicAndSymmetric(t *testing.T) {
+	a := GenerateEuclidean(12, 1000, 5)
+	b := GenerateEuclidean(12, 1000, 5)
+	for i := 0; i < 12; i++ {
+		for j := 0; j < 12; j++ {
+			if a.D[i][j] != b.D[i][j] {
+				t.Fatal("same seed, different distances")
+			}
+			if a.D[i][j] != a.D[j][i] {
+				t.Fatal("asymmetric distances")
+			}
+		}
+		if a.D[i][i] != 0 {
+			t.Fatal("non-zero diagonal")
+		}
+	}
+}

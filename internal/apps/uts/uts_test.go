@@ -1,0 +1,130 @@
+package uts
+
+import (
+	"testing"
+
+	"yewpar/internal/core"
+)
+
+func binomial(b0, m int, q float64, seed int64) *Space {
+	return &Space{Shape: Binomial, B0: b0, M: m, Q: q, Seed: seed}
+}
+
+func geometric(b0, depth int, seed int64) *Space {
+	return &Space{Shape: Geometric, B0: b0, MaxDepth: depth, Seed: seed}
+}
+
+func TestCountDeterministic(t *testing.T) {
+	s := binomial(200, 5, 0.15, 42)
+	a, _ := Count(s, core.Sequential, core.Config{})
+	b, _ := Count(s, core.Sequential, core.Config{})
+	if a != b {
+		t.Fatalf("same seed counted %d then %d", a, b)
+	}
+	if a < 201 {
+		t.Fatalf("binomial tree suspiciously small: %d", a)
+	}
+	s2 := binomial(200, 5, 0.15, 43)
+	c, _ := Count(s2, core.Sequential, core.Config{})
+	if c == a {
+		t.Fatal("different seeds gave identical counts")
+	}
+}
+
+func TestAllSkeletonsAgreeBinomial(t *testing.T) {
+	s := binomial(500, 6, 0.14, 7)
+	want, _ := Count(s, core.Sequential, core.Config{})
+	for _, coord := range []core.Coordination{core.DepthBounded, core.StackStealing, core.Budget} {
+		got, _ := Count(s, coord, core.Config{Workers: 8, Localities: 2, Budget: 64})
+		if got != want {
+			t.Errorf("%v: count %d, want %d", coord, got, want)
+		}
+	}
+}
+
+func TestAllSkeletonsAgreeGeometric(t *testing.T) {
+	s := geometric(4, 9, 11)
+	want, _ := Count(s, core.Sequential, core.Config{})
+	if want < 100 {
+		t.Fatalf("geometric tree too small for a meaningful test: %d", want)
+	}
+	for _, coord := range []core.Coordination{core.DepthBounded, core.StackStealing, core.Budget} {
+		got, _ := Count(s, coord, core.Config{Workers: 6, DCutoff: 3})
+		if got != want {
+			t.Errorf("%v: count %d, want %d", coord, got, want)
+		}
+	}
+}
+
+func TestGeometricRespectsDepthLimit(t *testing.T) {
+	s := geometric(5, 6, 3)
+	res := core.Enum(core.Sequential, s, Root(s), MaxDepthProblem(), core.Config{})
+	if res.Value > 6 {
+		t.Fatalf("node deeper than limit: %d", res.Value)
+	}
+}
+
+func TestBinomialLeafProbability(t *testing.T) {
+	// With q = 0 every non-root node is a leaf: size = 1 + b0.
+	s := binomial(37, 4, 0, 5)
+	got, _ := Count(s, core.Sequential, core.Config{})
+	if got != 38 {
+		t.Fatalf("count = %d, want 38", got)
+	}
+}
+
+func TestRootBranching(t *testing.T) {
+	s := binomial(12, 3, 0.1, 9)
+	if NumChildren(s, Root(s)) != 12 {
+		t.Fatal("root branching != B0")
+	}
+}
+
+func TestChildHashesDistinct(t *testing.T) {
+	s := binomial(10, 3, 0.5, 1)
+	root := Root(s)
+	seen := map[[20]byte]bool{}
+	g := Gen(s, root)
+	for g.HasNext() {
+		n := g.Next()
+		if seen[n.H] {
+			t.Fatal("duplicate child hash")
+		}
+		seen[n.H] = true
+		if n.Depth != 1 {
+			t.Fatalf("child depth = %d", n.Depth)
+		}
+	}
+	if len(seen) != 10 {
+		t.Fatalf("%d children, want 10", len(seen))
+	}
+}
+
+func TestRand01Range(t *testing.T) {
+	s := geometric(3, 5, 2)
+	n := Root(s)
+	for i := 0; i < 100; i++ {
+		r := rand01(n.H)
+		if r < 0 || r >= 1 {
+			t.Fatalf("rand01 out of range: %f", r)
+		}
+		n.H = childHash(&n, i)
+	}
+}
+
+func TestCountRegression(t *testing.T) {
+	// Pin exact sizes so accidental generator changes are caught.
+	cases := []struct {
+		s    *Space
+		want int64
+	}{
+		{binomial(100, 4, 0.2, 1), 353},
+		{geometric(3, 8, 1), 11},
+	}
+	for i, c := range cases {
+		got, _ := Count(c.s, core.Sequential, core.Config{})
+		if got != c.want {
+			t.Errorf("case %d: count = %d, want %d (tree generation changed!)", i, got, c.want)
+		}
+	}
+}

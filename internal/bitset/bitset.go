@@ -1,0 +1,293 @@
+// Package bitset provides fixed-capacity bit sets backed by word arrays.
+//
+// It is the vertex-set substrate for the search applications (the paper's
+// Listing 1 represents cliques and candidate sets as std::bitset<N>; the
+// word-parallel operations are what enable the bit-parallel MaxClique
+// algorithms of San Segundo et al. that YewPar builds on).
+package bitset
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+const wordBits = 64
+
+// Set is a fixed-capacity bit set. The zero value is an empty set of
+// capacity 0; use New to create a set with room for n elements.
+//
+// Sets are value types holding a slice: copying a Set copies the header
+// only. Use Clone for an independent copy.
+type Set struct {
+	words []uint64
+	n     int
+}
+
+// New returns an empty set with capacity for elements 0..n-1.
+func New(n int) Set {
+	if n < 0 {
+		panic(fmt.Sprintf("bitset: negative capacity %d", n))
+	}
+	return Set{words: make([]uint64, (n+wordBits-1)/wordBits), n: n}
+}
+
+// MakeSlab returns k empty sets of capacity n carved out of a single
+// backing allocation. Search-tree node constructors use it to build a
+// node's several sets with one allocation, which matters when millions
+// of nodes are materialised per second across many workers.
+func MakeSlab(n, k int) []Set {
+	words := (n + wordBits - 1) / wordBits
+	backing := make([]uint64, words*k)
+	sets := make([]Set, k)
+	for i := range sets {
+		sets[i] = Set{words: backing[i*words : (i+1)*words : (i+1)*words], n: n}
+	}
+	return sets
+}
+
+// MakePair returns two empty sets of capacity n sharing one backing
+// allocation — the common two-sets-per-node case of MakeSlab without
+// the slice-header allocation.
+func MakePair(n int) (Set, Set) {
+	words := (n + wordBits - 1) / wordBits
+	backing := make([]uint64, 2*words)
+	return Set{words: backing[:words:words], n: n},
+		Set{words: backing[words : 2*words : 2*words], n: n}
+}
+
+// FromSlice returns a set of capacity n containing the given elements.
+func FromSlice(n int, elems []int) Set {
+	s := New(n)
+	for _, e := range elems {
+		s.Add(e)
+	}
+	return s
+}
+
+// Cap returns the capacity (the n passed to New).
+func (s Set) Cap() int { return s.n }
+
+// Add inserts element i.
+func (s Set) Add(i int) { s.words[i/wordBits] |= 1 << (uint(i) % wordBits) }
+
+// Remove deletes element i.
+func (s Set) Remove(i int) { s.words[i/wordBits] &^= 1 << (uint(i) % wordBits) }
+
+// Contains reports whether i is in the set.
+func (s Set) Contains(i int) bool {
+	return s.words[i/wordBits]&(1<<(uint(i)%wordBits)) != 0
+}
+
+// Count returns the number of elements in the set.
+func (s Set) Count() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Empty reports whether the set has no elements.
+func (s Set) Empty() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns an independent copy of s.
+func (s Set) Clone() Set {
+	w := make([]uint64, len(s.words))
+	copy(w, s.words)
+	return Set{words: w, n: s.n}
+}
+
+// CopyFrom overwrites s with the contents of o. The sets must have the
+// same capacity.
+func (s Set) CopyFrom(o Set) {
+	if len(s.words) != len(o.words) {
+		panic("bitset: CopyFrom capacity mismatch")
+	}
+	copy(s.words, o.words)
+}
+
+// IntersectWith removes from s every element not in o (s &= o).
+func (s Set) IntersectWith(o Set) {
+	if len(s.words) != len(o.words) {
+		panic("bitset: IntersectWith capacity mismatch")
+	}
+	for i := range s.words {
+		s.words[i] &= o.words[i]
+	}
+}
+
+// UnionWith adds to s every element of o (s |= o).
+func (s Set) UnionWith(o Set) {
+	if len(s.words) != len(o.words) {
+		panic("bitset: UnionWith capacity mismatch")
+	}
+	for i := range s.words {
+		s.words[i] |= o.words[i]
+	}
+}
+
+// DifferenceWith removes from s every element of o (s &^= o).
+func (s Set) DifferenceWith(o Set) {
+	if len(s.words) != len(o.words) {
+		panic("bitset: DifferenceWith capacity mismatch")
+	}
+	for i := range s.words {
+		s.words[i] &^= o.words[i]
+	}
+}
+
+// Intersects reports whether s and o share at least one element.
+func (s Set) Intersects(o Set) bool {
+	for i := range s.words {
+		if s.words[i]&o.words[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// SubsetOf reports whether every element of s is in o.
+func (s Set) SubsetOf(o Set) bool {
+	for i := range s.words {
+		if s.words[i]&^o.words[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether s and o contain exactly the same elements.
+func (s Set) Equal(o Set) bool {
+	if s.n != o.n {
+		return false
+	}
+	for i := range s.words {
+		if s.words[i] != o.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clear removes all elements.
+func (s Set) Clear() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// Fill adds all elements 0..n-1.
+func (s Set) Fill() {
+	for i := range s.words {
+		s.words[i] = ^uint64(0)
+	}
+	s.trim()
+}
+
+// trim zeroes bits at positions >= n in the last word.
+func (s Set) trim() {
+	if len(s.words) == 0 {
+		return
+	}
+	if r := uint(s.n % wordBits); r != 0 {
+		s.words[len(s.words)-1] &= (1 << r) - 1
+	}
+}
+
+// Min returns the smallest element, or -1 if the set is empty.
+func (s Set) Min() int {
+	for i, w := range s.words {
+		if w != 0 {
+			return i*wordBits + bits.TrailingZeros64(w)
+		}
+	}
+	return -1
+}
+
+// Max returns the largest element, or -1 if the set is empty.
+func (s Set) Max() int {
+	for i := len(s.words) - 1; i >= 0; i-- {
+		if w := s.words[i]; w != 0 {
+			return i*wordBits + wordBits - 1 - bits.LeadingZeros64(w)
+		}
+	}
+	return -1
+}
+
+// NextAfter returns the smallest element strictly greater than i,
+// or -1 if none exists. Pass i = -1 to get the minimum.
+func (s Set) NextAfter(i int) int {
+	i++
+	if i >= s.n {
+		return -1
+	}
+	wi := i / wordBits
+	w := s.words[wi] >> (uint(i) % wordBits)
+	if w != 0 {
+		return i + bits.TrailingZeros64(w)
+	}
+	for wi++; wi < len(s.words); wi++ {
+		if s.words[wi] != 0 {
+			return wi*wordBits + bits.TrailingZeros64(s.words[wi])
+		}
+	}
+	return -1
+}
+
+// ForEach calls f on each element in increasing order until f returns
+// false or the set is exhausted.
+func (s Set) ForEach(f func(int) bool) {
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			if !f(wi*wordBits + b) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}
+
+// Elements appends the elements of s in increasing order to dst and
+// returns the extended slice.
+func (s Set) Elements(dst []int) []int {
+	s.ForEach(func(i int) bool {
+		dst = append(dst, i)
+		return true
+	})
+	return dst
+}
+
+// IntersectionCount returns |s ∩ o| without allocating.
+func (s Set) IntersectionCount(o Set) int {
+	c := 0
+	for i := range s.words {
+		c += bits.OnesCount64(s.words[i] & o.words[i])
+	}
+	return c
+}
+
+// String renders the set as {e1, e2, ...}.
+func (s Set) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	s.ForEach(func(i int) bool {
+		if !first {
+			b.WriteString(", ")
+		}
+		first = false
+		fmt.Fprintf(&b, "%d", i)
+		return true
+	})
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,350 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewIsEmpty(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 128, 1000} {
+		s := New(n)
+		if !s.Empty() {
+			t.Errorf("New(%d) not empty", n)
+		}
+		if s.Count() != 0 {
+			t.Errorf("New(%d).Count() = %d", n, s.Count())
+		}
+		if s.Cap() != n {
+			t.Errorf("New(%d).Cap() = %d", n, s.Cap())
+		}
+	}
+}
+
+func TestAddRemoveContains(t *testing.T) {
+	s := New(130)
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		if s.Contains(i) {
+			t.Fatalf("fresh set contains %d", i)
+		}
+		s.Add(i)
+		if !s.Contains(i) {
+			t.Fatalf("after Add(%d), Contains false", i)
+		}
+		s.Remove(i)
+		if s.Contains(i) {
+			t.Fatalf("after Remove(%d), Contains true", i)
+		}
+	}
+}
+
+func TestAddIdempotent(t *testing.T) {
+	s := New(10)
+	s.Add(3)
+	s.Add(3)
+	if s.Count() != 1 {
+		t.Fatalf("Count = %d, want 1", s.Count())
+	}
+}
+
+func TestCountAcrossWords(t *testing.T) {
+	s := New(200)
+	want := 0
+	for i := 0; i < 200; i += 7 {
+		s.Add(i)
+		want++
+	}
+	if s.Count() != want {
+		t.Fatalf("Count = %d, want %d", s.Count(), want)
+	}
+}
+
+func TestFillAndClear(t *testing.T) {
+	for _, n := range []int{1, 64, 65, 100} {
+		s := New(n)
+		s.Fill()
+		if s.Count() != n {
+			t.Errorf("Fill(%d).Count = %d", n, s.Count())
+		}
+		if s.Max() != n-1 {
+			t.Errorf("Fill(%d).Max = %d", n, s.Max())
+		}
+		s.Clear()
+		if !s.Empty() {
+			t.Errorf("Clear(%d) not empty", n)
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	s := New(70)
+	s.Add(5)
+	c := s.Clone()
+	c.Add(6)
+	if s.Contains(6) {
+		t.Fatal("Clone shares storage with original")
+	}
+	if !c.Contains(5) {
+		t.Fatal("Clone missing original element")
+	}
+}
+
+func TestCopyFrom(t *testing.T) {
+	a := New(70)
+	b := New(70)
+	a.Add(3)
+	a.Add(69)
+	b.Add(1)
+	b.CopyFrom(a)
+	if !b.Contains(3) || !b.Contains(69) || b.Contains(1) {
+		t.Fatalf("CopyFrom wrong contents: %v", b)
+	}
+}
+
+func TestSetOps(t *testing.T) {
+	a := FromSlice(100, []int{1, 2, 3, 64, 65})
+	b := FromSlice(100, []int{2, 3, 4, 65, 99})
+
+	inter := a.Clone()
+	inter.IntersectWith(b)
+	if got := inter.String(); got != "{2, 3, 65}" {
+		t.Errorf("intersection = %s", got)
+	}
+
+	uni := a.Clone()
+	uni.UnionWith(b)
+	if uni.Count() != 7 {
+		t.Errorf("union count = %d, want 7", uni.Count())
+	}
+
+	diff := a.Clone()
+	diff.DifferenceWith(b)
+	if got := diff.String(); got != "{1, 64}" {
+		t.Errorf("difference = %s", got)
+	}
+}
+
+func TestIntersectsAndSubset(t *testing.T) {
+	a := FromSlice(100, []int{1, 70})
+	b := FromSlice(100, []int{70})
+	c := FromSlice(100, []int{2})
+	if !a.Intersects(b) {
+		t.Error("a should intersect b")
+	}
+	if a.Intersects(c) {
+		t.Error("a should not intersect c")
+	}
+	if !b.SubsetOf(a) {
+		t.Error("b should be subset of a")
+	}
+	if a.SubsetOf(b) {
+		t.Error("a should not be subset of b")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := FromSlice(100, []int{1, 2})
+	b := FromSlice(100, []int{1, 2})
+	c := FromSlice(100, []int{1, 3})
+	d := FromSlice(101, []int{1, 2})
+	if !a.Equal(b) {
+		t.Error("a != b")
+	}
+	if a.Equal(c) {
+		t.Error("a == c")
+	}
+	if a.Equal(d) {
+		t.Error("equal across different capacities")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	s := New(200)
+	if s.Min() != -1 || s.Max() != -1 {
+		t.Fatal("empty Min/Max should be -1")
+	}
+	s.Add(67)
+	s.Add(130)
+	s.Add(5)
+	if s.Min() != 5 {
+		t.Errorf("Min = %d", s.Min())
+	}
+	if s.Max() != 130 {
+		t.Errorf("Max = %d", s.Max())
+	}
+}
+
+func TestNextAfter(t *testing.T) {
+	s := FromSlice(200, []int{0, 63, 64, 150})
+	var got []int
+	for i := s.NextAfter(-1); i != -1; i = s.NextAfter(i) {
+		got = append(got, i)
+	}
+	want := []int{0, 63, 64, 150}
+	if len(got) != len(want) {
+		t.Fatalf("NextAfter walk = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("NextAfter walk = %v, want %v", got, want)
+		}
+	}
+	if s.NextAfter(199) != -1 {
+		t.Error("NextAfter(199) should be -1")
+	}
+}
+
+func TestForEachOrderAndEarlyStop(t *testing.T) {
+	s := FromSlice(100, []int{9, 1, 64, 3})
+	var got []int
+	s.ForEach(func(i int) bool {
+		got = append(got, i)
+		return true
+	})
+	want := []int{1, 3, 9, 64}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ForEach order = %v", got)
+		}
+	}
+	count := 0
+	s.ForEach(func(int) bool {
+		count++
+		return count < 2
+	})
+	if count != 2 {
+		t.Fatalf("early stop visited %d", count)
+	}
+}
+
+func TestElements(t *testing.T) {
+	s := FromSlice(100, []int{5, 99, 0})
+	e := s.Elements(nil)
+	if len(e) != 3 || e[0] != 0 || e[1] != 5 || e[2] != 99 {
+		t.Fatalf("Elements = %v", e)
+	}
+}
+
+func TestIntersectionCount(t *testing.T) {
+	a := FromSlice(100, []int{1, 2, 3, 80})
+	b := FromSlice(100, []int{2, 80, 99})
+	if got := a.IntersectionCount(b); got != 2 {
+		t.Fatalf("IntersectionCount = %d", got)
+	}
+}
+
+func TestStringEmpty(t *testing.T) {
+	if got := New(10).String(); got != "{}" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+// Property: Add/Contains matches a reference map implementation.
+func TestQuickAgainstMap(t *testing.T) {
+	f := func(ops []uint16, seed int64) bool {
+		const n = 257
+		s := New(n)
+		ref := map[int]bool{}
+		r := rand.New(rand.NewSource(seed))
+		for _, op := range ops {
+			i := int(op) % n
+			if r.Intn(2) == 0 {
+				s.Add(i)
+				ref[i] = true
+			} else {
+				s.Remove(i)
+				delete(ref, i)
+			}
+		}
+		if s.Count() != len(ref) {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if s.Contains(i) != ref[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: De Morgan-ish identity |A∪B| = |A| + |B| - |A∩B|.
+func TestQuickInclusionExclusion(t *testing.T) {
+	f := func(xs, ys []uint16) bool {
+		const n = 300
+		a, b := New(n), New(n)
+		for _, x := range xs {
+			a.Add(int(x) % n)
+		}
+		for _, y := range ys {
+			b.Add(int(y) % n)
+		}
+		u := a.Clone()
+		u.UnionWith(b)
+		return u.Count() == a.Count()+b.Count()-a.IntersectionCount(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: NextAfter enumerates exactly ForEach's order.
+func TestQuickNextAfterMatchesForEach(t *testing.T) {
+	f := func(xs []uint16) bool {
+		const n = 300
+		s := New(n)
+		for _, x := range xs {
+			s.Add(int(x) % n)
+		}
+		var a, b []int
+		s.ForEach(func(i int) bool { a = append(a, i); return true })
+		for i := s.NextAfter(-1); i != -1; i = s.NextAfter(i) {
+			b = append(b, i)
+		}
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkIntersectWith(b *testing.B) {
+	a := New(1024)
+	c := New(1024)
+	for i := 0; i < 1024; i += 3 {
+		a.Add(i)
+	}
+	for i := 0; i < 1024; i += 2 {
+		c.Add(i)
+	}
+	tmp := New(1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tmp.CopyFrom(a)
+		tmp.IntersectWith(c)
+	}
+}
+
+func BenchmarkCount(b *testing.B) {
+	a := New(1024)
+	for i := 0; i < 1024; i += 3 {
+		a.Add(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if a.Count() == 0 {
+			b.Fatal("empty")
+		}
+	}
+}

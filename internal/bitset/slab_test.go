@@ -1,0 +1,90 @@
+package bitset
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMakeSlabIndependentSets(t *testing.T) {
+	sets := MakeSlab(100, 3)
+	if len(sets) != 3 {
+		t.Fatalf("MakeSlab returned %d sets", len(sets))
+	}
+	sets[0].Add(5)
+	sets[1].Add(70)
+	if sets[1].Contains(5) || sets[0].Contains(70) || sets[2].Count() != 0 {
+		t.Fatal("slab sets share bits")
+	}
+	for _, s := range sets {
+		if s.Cap() != 100 {
+			t.Fatalf("slab set capacity %d", s.Cap())
+		}
+	}
+}
+
+func TestMakeSlabNoWordBleed(t *testing.T) {
+	// Fill one set completely; neighbours must stay empty even though
+	// they share a backing array.
+	sets := MakeSlab(67, 4)
+	sets[1].Fill()
+	if sets[0].Count() != 0 || sets[2].Count() != 0 {
+		t.Fatal("Fill bled into adjacent slab set")
+	}
+	if sets[1].Count() != 67 {
+		t.Fatalf("filled set has %d elements", sets[1].Count())
+	}
+	sets[1].Clear()
+	if !sets[1].Empty() {
+		t.Fatal("Clear failed on slab set")
+	}
+}
+
+func TestMakePairMatchesSlab(t *testing.T) {
+	a, b := MakePair(130)
+	a.Add(129)
+	b.Add(0)
+	if b.Contains(129) || a.Contains(0) {
+		t.Fatal("pair sets share bits")
+	}
+	if a.Cap() != 130 || b.Cap() != 130 {
+		t.Fatal("wrong pair capacity")
+	}
+}
+
+// Property: slab sets behave exactly like independently allocated sets
+// under interleaved mutation.
+func TestQuickSlabEquivalence(t *testing.T) {
+	f := func(ops []uint16) bool {
+		const n = 150
+		slab := MakeSlab(n, 2)
+		ref0, ref1 := New(n), New(n)
+		for i, op := range ops {
+			v := int(op) % n
+			if i%2 == 0 {
+				slab[0].Add(v)
+				ref0.Add(v)
+			} else {
+				slab[1].Add(v)
+				ref1.Add(v)
+			}
+		}
+		return slab[0].Equal(ref0) && slab[1].Equal(ref1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSlabAppendCannotGrowIntoNeighbour(t *testing.T) {
+	// The sub-slices are capacity-clamped; writing through set ops can
+	// never touch a neighbour. Exercise the boundary words directly.
+	sets := MakeSlab(64, 2) // exactly one word each
+	sets[0].Add(63)
+	sets[1].Add(0)
+	if sets[0].Count() != 1 || sets[1].Count() != 1 {
+		t.Fatal("boundary bits misplaced")
+	}
+	if sets[0].Max() != 63 || sets[1].Min() != 0 {
+		t.Fatal("boundary values wrong")
+	}
+}

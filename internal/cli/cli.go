@@ -1,0 +1,299 @@
+// Package cli implements the yewpar command-line driver: flag
+// parsing, instance loading/generation, skeleton dispatch, and result
+// reporting for all seven search applications. It mirrors the paper
+// artifact's per-application binaries behind one executable and is
+// factored out of package main so the whole surface is testable.
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"yewpar/internal/apps/knapsack"
+	"yewpar/internal/apps/maxclique"
+	"yewpar/internal/apps/nqueens"
+	"yewpar/internal/apps/semigroups"
+	"yewpar/internal/apps/sip"
+	"yewpar/internal/apps/tsp"
+	"yewpar/internal/apps/uts"
+	"yewpar/internal/core"
+	"yewpar/internal/graph"
+	"yewpar/internal/instances"
+)
+
+// Options are the parsed command-line options.
+type Options struct {
+	App      string
+	Skeleton string
+	Workers  int
+	Locs     int
+	DCutoff  int
+	Budget   int64
+	Chunked  bool
+	StealLat time.Duration
+	BoundLat time.Duration
+	Pool     string
+
+	File string
+	Gen  string
+	N    int
+	P    float64
+	Seed int64
+
+	KBound   int
+	Genus    int
+	Items    int
+	Cities   int
+	PatN     int
+	UTSB0    int
+	UTSM     int
+	UTSQ     float64
+	UTSDepth int
+	UTSShape string
+
+	ShowStats bool
+	TraceRun  bool
+}
+
+// ParseArgs parses command-line arguments into Options.
+func ParseArgs(args []string) (*Options, error) {
+	o := &Options{}
+	fs := flag.NewFlagSet("yewpar", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	fs.StringVar(&o.App, "app", "maxclique", "application: maxclique|kclique|knapsack|tsp|sip|uts|ns|queens")
+	fs.StringVar(&o.Skeleton, "skeleton", "seq", "search coordination: seq|depthbounded|stacksteal|budget|bestfirst")
+	fs.IntVar(&o.Workers, "workers", 0, "worker count (0 = GOMAXPROCS)")
+	fs.IntVar(&o.Locs, "localities", 1, "simulated localities")
+	fs.IntVar(&o.DCutoff, "d", 1, "depth-bounded spawn cutoff")
+	fs.Int64Var(&o.Budget, "b", 10000, "budget coordination backtrack budget")
+	fs.BoolVar(&o.Chunked, "chunked", false, "stack-stealing: steal whole lowest generator")
+	fs.DurationVar(&o.StealLat, "steal-latency", 0, "simulated remote-steal latency")
+	fs.DurationVar(&o.BoundLat, "bound-latency", 0, "simulated bound-broadcast latency")
+	fs.StringVar(&o.Pool, "pool", "depthpool", "workpool: depthpool|deque")
+	fs.StringVar(&o.File, "f", "", "DIMACS .clq input (clique apps; SIP target)")
+	fs.StringVar(&o.Gen, "gen", "", "named generated instance (clique apps)")
+	fs.IntVar(&o.N, "n", 120, "generator: size")
+	fs.Float64Var(&o.P, "p", 0.6, "generator: density")
+	fs.Int64Var(&o.Seed, "seed", 1, "generator: seed")
+	fs.IntVar(&o.KBound, "decision-bound", 0, "kclique: clique size to find")
+	fs.IntVar(&o.Genus, "genus", 16, "ns: genus to count")
+	fs.IntVar(&o.Items, "items", 24, "knapsack: item count")
+	fs.IntVar(&o.Cities, "cities", 14, "tsp: city count")
+	fs.IntVar(&o.PatN, "pattern", 25, "sip: pattern size")
+	fs.IntVar(&o.UTSB0, "uts-b0", 2000, "uts: root branching")
+	fs.IntVar(&o.UTSM, "uts-m", 6, "uts: non-root branching")
+	fs.Float64Var(&o.UTSQ, "uts-q", 0.16, "uts: branch probability")
+	fs.IntVar(&o.UTSDepth, "uts-depth", 12, "uts: geometric depth limit")
+	fs.StringVar(&o.UTSShape, "uts-shape", "binomial", "uts: binomial|geometric")
+	fs.BoolVar(&o.ShowStats, "stats", true, "print search statistics")
+	fs.BoolVar(&o.TraceRun, "trace", false, "print a per-task workload summary")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	return o, nil
+}
+
+// ParseSkeleton maps a skeleton name to a Coordination.
+func ParseSkeleton(s string) (core.Coordination, error) {
+	switch s {
+	case "seq", "sequential":
+		return core.Sequential, nil
+	case "depthbounded":
+		return core.DepthBounded, nil
+	case "stacksteal", "stackstealing":
+		return core.StackStealing, nil
+	case "budget":
+		return core.Budget, nil
+	}
+	return 0, fmt.Errorf("unknown skeleton %q", s)
+}
+
+// Config builds the core.Config from the options.
+func (o *Options) Config() core.Config {
+	cfg := core.Config{
+		Workers:      o.Workers,
+		Localities:   o.Locs,
+		DCutoff:      o.DCutoff,
+		Budget:       o.Budget,
+		Chunked:      o.Chunked,
+		StealLatency: o.StealLat,
+		BoundLatency: o.BoundLat,
+	}
+	if o.Pool == "deque" {
+		cfg.Pool = core.DequeKind
+	}
+	return cfg
+}
+
+// LoadGraph resolves the graph input: a DIMACS file, a named
+// instance, or a generated G(n, p).
+func LoadGraph(o *Options) (*graph.Graph, error) {
+	if o.File != "" {
+		f, err := os.Open(o.File)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return graph.ParseDIMACS(f)
+	}
+	if o.Gen != "" {
+		for _, inst := range instances.Table1() {
+			if inst.Name == o.Gen {
+				return inst.Gen(), nil
+			}
+		}
+		if o.Gen == "spreads_H44" {
+			g, _ := instances.SpreadsH44Like()
+			return g, nil
+		}
+		return nil, fmt.Errorf("unknown instance %q", o.Gen)
+	}
+	return graph.Random(o.N, o.P, o.Seed), nil
+}
+
+// Run executes the selected application and writes a human-readable
+// report to w.
+func Run(args []string, w io.Writer) error {
+	o, err := ParseArgs(args)
+	if err != nil {
+		return err
+	}
+	coord, err := ParseSkeleton(o.Skeleton)
+	if err != nil {
+		if o.Skeleton == "bestfirst" {
+			return runBestFirst(o, w)
+		}
+		return err
+	}
+	cfg := o.Config()
+	var trace *core.Trace
+	if o.TraceRun {
+		workers := cfg.Workers
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		trace = core.NewTrace(workers)
+		cfg.Trace = trace
+	}
+
+	start := time.Now()
+	var stats core.Stats
+	switch o.App {
+	case "maxclique":
+		g, err := LoadGraph(o)
+		if err != nil {
+			return err
+		}
+		clique, st := maxclique.Solve(g, coord, cfg)
+		stats = st
+		fmt.Fprintf(w, "maximum clique size: %d\n", clique.Count())
+	case "kclique":
+		g, err := LoadGraph(o)
+		if err != nil {
+			return err
+		}
+		if o.KBound <= 0 {
+			return fmt.Errorf("kclique requires -decision-bound k > 0")
+		}
+		_, found, st := maxclique.Decide(g, o.KBound, coord, cfg)
+		stats = st
+		fmt.Fprintf(w, "%d-clique exists: %v\n", o.KBound, found)
+	case "knapsack":
+		s := knapsack.Generate(o.Items, 10_000, knapsack.SubsetSum, o.Seed)
+		profit, st := knapsack.Solve(s, coord, cfg)
+		stats = st
+		fmt.Fprintf(w, "optimal profit: %d (items=%d cap=%d)\n", profit, len(s.Items), s.Cap)
+	case "tsp":
+		s := tsp.GenerateEuclidean(o.Cities, 1000, o.Seed)
+		cost, st := tsp.Solve(s, coord, cfg)
+		stats = st
+		fmt.Fprintf(w, "optimal tour cost: %d (%d cities)\n", cost, s.N)
+	case "sip":
+		var s *sip.Space
+		if o.File != "" {
+			g, err := LoadGraph(o)
+			if err != nil {
+				return err
+			}
+			vs := make([]int, min(o.PatN, g.N))
+			for i := range vs {
+				vs[i] = i
+			}
+			pat, _ := g.InducedSubgraph(vs)
+			s = sip.NewSpace(pat, g)
+		} else {
+			s = sip.GenerateSat(o.N, o.P, o.PatN, 0.2, o.Seed)
+		}
+		_, found, st := sip.Solve(s, coord, cfg)
+		stats = st
+		fmt.Fprintf(w, "pattern (%d vertices) found in target (%d vertices): %v\n", s.P.N, s.T.N, found)
+	case "uts":
+		s := &uts.Space{B0: o.UTSB0, M: o.UTSM, Q: o.UTSQ, MaxDepth: o.UTSDepth, Seed: o.Seed}
+		if o.UTSShape == "geometric" {
+			s.Shape = uts.Geometric
+		}
+		count, st := uts.Count(s, coord, cfg)
+		stats = st
+		fmt.Fprintf(w, "tree size: %d\n", count)
+	case "ns":
+		count, st := semigroups.Count(o.Genus, coord, cfg)
+		stats = st
+		fmt.Fprintf(w, "numerical semigroups of genus %d: %d\n", o.Genus, count)
+	case "queens":
+		count, st := nqueens.Count(o.N, coord, cfg)
+		stats = st
+		fmt.Fprintf(w, "%d-queens solutions: %d\n", o.N, count)
+	default:
+		return fmt.Errorf("unknown app %q", o.App)
+	}
+
+	if o.ShowStats {
+		fmt.Fprintf(w, "skeleton=%s workers=%d localities=%d elapsed=%v\n",
+			coord, stats.Workers, o.Locs, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(w, "nodes=%d prunes=%d spawns=%d steals=%d/%d backtracks=%d\n",
+			stats.Nodes, stats.Prunes, stats.Spawns, stats.StealsOK,
+			stats.StealsOK+stats.StealsFail, stats.Backtracks)
+	}
+	if trace != nil {
+		fmt.Fprint(w, trace.Summary())
+	}
+	return nil
+}
+
+// runBestFirst handles the -skeleton bestfirst extension, available
+// for the optimisation applications.
+func runBestFirst(o *Options, w io.Writer) error {
+	cfg := o.Config()
+	switch o.App {
+	case "maxclique":
+		g, err := LoadGraph(o)
+		if err != nil {
+			return err
+		}
+		s := maxclique.NewSpace(g)
+		res := core.BestFirstOpt(s, maxclique.Root(s), maxclique.OptProblem(), cfg)
+		fmt.Fprintf(w, "maximum clique size: %d (best-first)\n", res.Objective)
+	case "knapsack":
+		s := knapsack.Generate(o.Items, 10_000, knapsack.SubsetSum, o.Seed)
+		res := core.BestFirstOpt(s, knapsack.Root(s), knapsack.OptProblem(), cfg)
+		fmt.Fprintf(w, "optimal profit: %d (best-first)\n", res.Objective)
+	case "tsp":
+		s := tsp.GenerateEuclidean(o.Cities, 1000, o.Seed)
+		res := core.BestFirstOpt(s, tsp.Root(s), tsp.OptProblem(), cfg)
+		fmt.Fprintf(w, "optimal tour cost: %d (best-first)\n", -res.Objective)
+	default:
+		return fmt.Errorf("bestfirst supports optimisation apps only, not %q", o.App)
+	}
+	return nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

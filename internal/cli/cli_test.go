@@ -1,0 +1,225 @@
+package cli
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"yewpar/internal/core"
+	"yewpar/internal/graph"
+)
+
+func run(t *testing.T, args ...string) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := Run(args, &sb); err != nil {
+		t.Fatalf("Run(%v): %v", args, err)
+	}
+	return sb.String()
+}
+
+func TestParseSkeletonNames(t *testing.T) {
+	cases := map[string]core.Coordination{
+		"seq": core.Sequential, "sequential": core.Sequential,
+		"depthbounded": core.DepthBounded,
+		"stacksteal":   core.StackStealing, "stackstealing": core.StackStealing,
+		"budget": core.Budget,
+	}
+	for name, want := range cases {
+		got, err := ParseSkeleton(name)
+		if err != nil || got != want {
+			t.Errorf("ParseSkeleton(%q) = %v/%v", name, got, err)
+		}
+	}
+	if _, err := ParseSkeleton("nonsense"); err == nil {
+		t.Error("bad skeleton accepted")
+	}
+}
+
+func TestParseArgsDefaults(t *testing.T) {
+	o, err := ParseArgs(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.App != "maxclique" || o.Skeleton != "seq" || o.Budget != 10000 {
+		t.Errorf("defaults = %+v", o)
+	}
+}
+
+func TestParseArgsRejectsUnknownFlag(t *testing.T) {
+	if _, err := ParseArgs([]string{"-no-such-flag"}); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}
+
+func TestConfigMapping(t *testing.T) {
+	o, err := ParseArgs([]string{"-workers", "7", "-localities", "3", "-d", "4",
+		"-b", "777", "-chunked", "-pool", "deque"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := o.Config()
+	if cfg.Workers != 7 || cfg.Localities != 3 || cfg.DCutoff != 4 ||
+		cfg.Budget != 777 || !cfg.Chunked || cfg.Pool != core.DequeKind {
+		t.Errorf("Config = %+v", cfg)
+	}
+}
+
+func TestRunMaxCliqueGenerated(t *testing.T) {
+	out := run(t, "-app", "maxclique", "-n", "40", "-p", "0.5", "-seed", "3",
+		"-skeleton", "depthbounded", "-workers", "4")
+	if !strings.Contains(out, "maximum clique size:") {
+		t.Fatalf("output missing result: %q", out)
+	}
+	if !strings.Contains(out, "skeleton=depthbounded") {
+		t.Fatalf("output missing stats: %q", out)
+	}
+}
+
+func TestRunNamedInstance(t *testing.T) {
+	out := run(t, "-app", "maxclique", "-gen", "brock400_4", "-skeleton", "stacksteal", "-workers", "4")
+	if !strings.Contains(out, "maximum clique size: 15") {
+		t.Fatalf("unexpected result for brock400_4: %q", out)
+	}
+}
+
+func TestRunUnknownInstance(t *testing.T) {
+	var sb strings.Builder
+	if err := Run([]string{"-app", "maxclique", "-gen", "no_such"}, &sb); err == nil {
+		t.Fatal("unknown instance accepted")
+	}
+}
+
+func TestRunKCliqueRequiresBound(t *testing.T) {
+	var sb strings.Builder
+	if err := Run([]string{"-app", "kclique", "-n", "20"}, &sb); err == nil {
+		t.Fatal("kclique without -decision-bound accepted")
+	}
+}
+
+func TestRunKCliqueDecision(t *testing.T) {
+	out := run(t, "-app", "kclique", "-n", "40", "-p", "0.9", "-seed", "2",
+		"-decision-bound", "5", "-skeleton", "budget", "-b", "50", "-workers", "4")
+	if !strings.Contains(out, "5-clique exists: true") {
+		t.Fatalf("dense graph should contain a 5-clique: %q", out)
+	}
+}
+
+func TestRunDIMACSFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "tiny.clq")
+	g := graph.Random(30, 0.7, 5)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graph.WriteDIMACS(f, g); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	out := run(t, "-app", "maxclique", "-f", path)
+	if !strings.Contains(out, "maximum clique size:") {
+		t.Fatalf("file-based run failed: %q", out)
+	}
+}
+
+func TestRunMissingFile(t *testing.T) {
+	var sb strings.Builder
+	if err := Run([]string{"-app", "maxclique", "-f", "/no/such/file.clq"}, &sb); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestRunEachApp(t *testing.T) {
+	cases := [][]string{
+		{"-app", "knapsack", "-items", "16", "-skeleton", "budget", "-b", "100", "-workers", "4"},
+		{"-app", "tsp", "-cities", "9", "-skeleton", "depthbounded", "-workers", "4"},
+		{"-app", "sip", "-n", "30", "-p", "0.4", "-pattern", "8", "-skeleton", "stacksteal", "-workers", "4"},
+		{"-app", "uts", "-uts-b0", "50", "-uts-m", "3", "-uts-q", "0.2", "-workers", "4"},
+		{"-app", "uts", "-uts-shape", "geometric", "-uts-b0", "3", "-uts-depth", "8"},
+		{"-app", "ns", "-genus", "10", "-skeleton", "budget", "-b", "50", "-workers", "4"},
+	}
+	for _, args := range cases {
+		out := run(t, args...)
+		if out == "" {
+			t.Errorf("no output for %v", args)
+		}
+	}
+}
+
+func TestRunQueensKnownCount(t *testing.T) {
+	out := run(t, "-app", "queens", "-n", "8", "-skeleton", "depthbounded", "-workers", "4")
+	if !strings.Contains(out, "8-queens solutions: 92") {
+		t.Fatalf("queens output: %q", out)
+	}
+}
+
+func TestRunNSKnownCount(t *testing.T) {
+	out := run(t, "-app", "ns", "-genus", "12")
+	if !strings.Contains(out, "genus 12: 592") {
+		t.Fatalf("NS count wrong: %q", out)
+	}
+}
+
+func TestRunUnknownApp(t *testing.T) {
+	var sb strings.Builder
+	if err := Run([]string{"-app", "sudoku"}, &sb); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+}
+
+func TestRunBestFirst(t *testing.T) {
+	out := run(t, "-app", "maxclique", "-n", "40", "-p", "0.6", "-skeleton", "bestfirst", "-workers", "4", "-b", "64")
+	if !strings.Contains(out, "best-first") {
+		t.Fatalf("bestfirst output: %q", out)
+	}
+	out = run(t, "-app", "knapsack", "-items", "16", "-skeleton", "bestfirst", "-workers", "4", "-b", "128")
+	if !strings.Contains(out, "optimal profit") {
+		t.Fatalf("bestfirst knapsack output: %q", out)
+	}
+	out = run(t, "-app", "tsp", "-cities", "9", "-skeleton", "bestfirst", "-workers", "4", "-b", "256")
+	if !strings.Contains(out, "optimal tour cost") {
+		t.Fatalf("bestfirst tsp output: %q", out)
+	}
+	var sb strings.Builder
+	if err := Run([]string{"-app", "ns", "-skeleton", "bestfirst"}, &sb); err == nil {
+		t.Fatal("bestfirst on enumeration app accepted")
+	}
+	if err := Run([]string{"-app", "maxclique", "-skeleton", "bestfirst", "-f", "/no/file"}, &sb); err == nil {
+		t.Fatal("bestfirst with missing file accepted")
+	}
+}
+
+func TestRunSIPFromFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.clq")
+	g := graph.Random(25, 0.6, 3)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graph.WriteDIMACS(f, g); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	out := run(t, "-app", "sip", "-f", path, "-pattern", "6")
+	if !strings.Contains(out, "found in target") {
+		t.Fatalf("sip file output: %q", out)
+	}
+}
+
+func TestRunTraceSummary(t *testing.T) {
+	out := run(t, "-app", "maxclique", "-n", "40", "-p", "0.6",
+		"-skeleton", "depthbounded", "-workers", "4", "-trace")
+	if !strings.Contains(out, "utilisation=") || !strings.Contains(out, "tasks per depth:") {
+		t.Fatalf("trace summary missing: %q", out)
+	}
+}
+
+func TestRunStatsSuppressed(t *testing.T) {
+	out := run(t, "-app", "maxclique", "-n", "25", "-stats=false")
+	if strings.Contains(out, "nodes=") {
+		t.Fatalf("stats printed despite -stats=false: %q", out)
+	}
+}

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// This file implements the BestFirst extension coordination — not one
+// of the paper's four, but the worked instance of its extensibility
+// claim (Section 4: "new coordination methods may provide best-first
+// search or random task creation"). The coordination keeps a global
+// priority workpool ordered by a user-supplied task priority
+// (typically the optimisation bound). Workers repeatedly take the most
+// promising subtree and explore it depth-first for a backtrack budget,
+// shedding the lowest-depth leftovers back into the pool with fresh
+// priorities — a budget-style splitter married to best-first global
+// ordering.
+
+// BestFirstOpt runs an optimisation search with best-bound-first task
+// scheduling. The priority of a spawned subtree is p.Bound of its
+// root, so globally promising regions are searched early, which finds
+// strong incumbents fast and amplifies pruning. Requires p.Bound.
+func BestFirstOpt[S, N any](space S, root N, p OptProblem[S, N], cfg Config) OptResult[N] {
+	if p.Bound == nil {
+		panic("core: BestFirstOpt requires a Bound function")
+	}
+	cfg = cfg.withDefaults()
+	m := newMetrics(cfg.Workers)
+	cancel := newCanceller()
+	inc := newIncumbent[N](cfg.Localities, cfg.BoundLatency)
+	locOf := make([]int, cfg.Workers)
+	for w := range locOf {
+		locOf[w] = w % cfg.Localities
+	}
+	vs := newOptVisitors(space, p, inc, m, locOf)
+	start := time.Now()
+	runBestFirst(space, p.Gen, func(n N) int64 { return p.Bound(space, n) }, cfg, m, cancel, vs, root)
+	stats := m.total()
+	stats.Elapsed = time.Since(start)
+	node, obj, has := inc.result()
+	return OptResult[N]{Best: node, Objective: obj, Found: has, Stats: stats}
+}
+
+// runBestFirst drives workers over a single global priority pool.
+// Tasks run depth-first for cfg.Budget backtracks; on exhaustion the
+// bottom-most generator is drained back into the pool, prioritised by
+// each subtree root's own bound.
+func runBestFirst[S, N any](space S, gf GenFactory[S, N], prio func(N) int64, cfg Config, m *Metrics, cancel *canceller, visitors []visitor[N], root N) {
+	pool := NewPrioPool[N]()
+	tr := newTracker()
+	tr.add(1)
+	pool.PushPrio(Task[N]{Node: root, Depth: 0}, prio(root))
+
+	runTask := func(w int, v visitor[N], sh *WorkerStats, t Task[N]) {
+		if trc := cfg.Trace; trc != nil {
+			start := time.Now()
+			defer func() { trc.record(w, t.Depth, start, time.Now()) }()
+		}
+		defer tr.finish()
+		if cancel.cancelled() {
+			return
+		}
+		if v.visit(t.Node) != descend {
+			return
+		}
+		stack := make([]NodeGenerator[N], 0, 32)
+		stack = append(stack, gf(space, t.Node))
+		backtracks := int64(0)
+		for len(stack) > 0 {
+			if cancel.cancelled() {
+				return
+			}
+			if backtracks >= cfg.Budget {
+				for i := 0; i < len(stack); i++ {
+					if stack[i].HasNext() {
+						for stack[i].HasNext() {
+							child := stack[i].Next()
+							tr.add(1)
+							sh.Spawns++
+							pool.PushPrio(Task[N]{Node: child, Depth: t.Depth + i + 1}, prio(child))
+						}
+						break
+					}
+				}
+				backtracks = 0
+				continue
+			}
+			g := stack[len(stack)-1]
+			if !g.HasNext() {
+				stack[len(stack)-1] = nil
+				stack = stack[:len(stack)-1]
+				sh.Backtracks++
+				backtracks++
+				continue
+			}
+			child := g.Next()
+			switch v.visit(child) {
+			case descend:
+				stack = append(stack, gf(space, child))
+			case pruneLevel:
+				stack[len(stack)-1] = nil
+				stack = stack[:len(stack)-1]
+				sh.Backtracks++
+				backtracks++
+			}
+		}
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			v := visitors[w]
+			sh := m.shard(w)
+			idle := 0
+			for {
+				if cancel.cancelled() {
+					return
+				}
+				t, ok := pool.PopPrio()
+				if ok {
+					idle = 0
+					runTask(w, v, sh, t)
+					continue
+				}
+				select {
+				case <-tr.done:
+					return
+				case <-cancel.ch:
+					return
+				default:
+				}
+				idle++
+				if idle > 64 {
+					time.Sleep(20 * time.Microsecond)
+				} else {
+					runtime.Gosched()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

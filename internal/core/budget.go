@@ -1,0 +1,62 @@
+package core
+
+// runBudget is the Budget coordination, implementing the (spawn-budget)
+// rule (Listing 4): each task runs a sequential backtracking search,
+// counting backtracks; when the count reaches the budget, the
+// bottom-most non-exhausted generator — the unexplored nodes at lowest
+// depth, i.e. closest to the root — is drained into the workpool in
+// traversal order and the counter resets. Long-running tasks thereby
+// periodically shed their largest pending subtrees.
+func runBudget[S, N any](e *engine[S, N], visitors []visitor[N], root N) {
+	budget := e.cfg.Budget
+	e.runPoolWorkers(root, visitors, func(w int, v visitor[N], sh *WorkerStats, t Task[N]) {
+		defer e.tracker.finish()
+		if e.cancel.cancelled() {
+			return
+		}
+		if v.visit(t.Node) != descend {
+			return
+		}
+		stack := make([]NodeGenerator[N], 0, 32)
+		stack = append(stack, e.gf(e.space, t.Node))
+		backtracks := int64(0)
+		for len(stack) > 0 {
+			if e.cancel.cancelled() {
+				return
+			}
+			if backtracks >= budget {
+				for i := 0; i < len(stack); i++ {
+					if stack[i].HasNext() {
+						for stack[i].HasNext() {
+							child := stack[i].Next()
+							e.tracker.add(1)
+							sh.Spawns++
+							e.topo.push(w, Task[N]{Node: child, Depth: t.Depth + i + 1})
+						}
+						break
+					}
+				}
+				backtracks = 0
+				continue
+			}
+			g := stack[len(stack)-1]
+			if !g.HasNext() {
+				stack[len(stack)-1] = nil
+				stack = stack[:len(stack)-1]
+				sh.Backtracks++
+				backtracks++
+				continue
+			}
+			child := g.Next()
+			switch v.visit(child) {
+			case descend:
+				stack = append(stack, e.gf(e.space, child))
+			case pruneLevel:
+				stack[len(stack)-1] = nil
+				stack = stack[:len(stack)-1]
+				sh.Backtracks++
+				backtracks++
+			}
+		}
+	})
+}

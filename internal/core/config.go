@@ -1,0 +1,81 @@
+package core
+
+import (
+	"runtime"
+	"time"
+)
+
+// PoolKind selects the workpool implementation used by the pool-based
+// coordinations (Depth-Bounded and Budget).
+type PoolKind int
+
+const (
+	// DepthPoolKind is the paper's order-preserving workpool: tasks
+	// pop lowest-depth-first, FIFO within a depth, so the frontier is
+	// consumed in heuristic search order. The default.
+	DepthPoolKind PoolKind = iota
+	// DequeKind is a conventional work-stealing deque (LIFO owner,
+	// FIFO thief). It breaks heuristic order and exists as the
+	// ablation the paper argues against in Section 2.3.
+	DequeKind
+)
+
+// Config tunes the parallel skeletons. The zero value selects sensible
+// defaults (GOMAXPROCS workers on a single locality).
+type Config struct {
+	// Workers is the total number of search workers. Default:
+	// runtime.GOMAXPROCS(0).
+	Workers int
+	// Localities simulates physical machines: each locality owns a
+	// workpool and a cached bound. Workers are spread evenly across
+	// localities. Default 1.
+	Localities int
+	// DCutoff is the Depth-Bounded spawn depth d_cutoff: every node
+	// shallower than DCutoff has its children spawned as tasks.
+	// Default 1.
+	DCutoff int
+	// Budget is the backtrack budget k_budget for the Budget
+	// coordination. Default 10_000.
+	Budget int64
+	// Chunked makes Stack-Stealing hand over all nodes at the lowest
+	// depth of the victim's stack instead of a single node.
+	Chunked bool
+	// StealLatency, if positive, is slept before each steal from a
+	// remote locality's pool, simulating network cost.
+	StealLatency time.Duration
+	// BoundLatency, if positive, delays propagation of improved
+	// bounds to other localities' caches, simulating the PGAS bound
+	// broadcast of Section 4.3. Remote workers prune against stale
+	// bounds in the meantime — fewer prunes, never incorrect.
+	BoundLatency time.Duration
+	// Pool selects the workpool implementation.
+	Pool PoolKind
+	// Seed seeds victim selection for work stealing. Default 1.
+	Seed int64
+	// Trace, if non-nil, records every task execution for workload
+	// analysis. Create with NewTrace(Workers) and read with Summary
+	// after the run.
+	Trace *Trace
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Localities <= 0 {
+		c.Localities = 1
+	}
+	if c.Localities > c.Workers {
+		c.Localities = c.Workers
+	}
+	if c.DCutoff <= 0 {
+		c.DCutoff = 1
+	}
+	if c.Budget <= 0 {
+		c.Budget = 10_000
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// canceller implements the global short-circuit of the (shortcircuit)
+// rule: a decision search that reaches the greatest element cancels all
+// outstanding work.
+type canceller struct {
+	flag atomic.Bool
+	ch   chan struct{}
+	once sync.Once
+}
+
+func newCanceller() *canceller {
+	return &canceller{ch: make(chan struct{})}
+}
+
+func (c *canceller) cancel() {
+	c.once.Do(func() {
+		c.flag.Store(true)
+		close(c.ch)
+	})
+}
+
+func (c *canceller) cancelled() bool { return c.flag.Load() }
+
+// tracker counts live tasks for distributed termination detection: a
+// task is registered (add) before it becomes visible to any worker and
+// deregistered (finish) after it has completed, including spawning its
+// children. The done channel closes exactly when the last task
+// finishes, which is sound because children are always added before
+// their parent finishes, so the count cannot touch zero early.
+type tracker struct {
+	live atomic.Int64
+	done chan struct{}
+	once sync.Once
+}
+
+func newTracker() *tracker {
+	return &tracker{done: make(chan struct{})}
+}
+
+func (t *tracker) add(n int64) { t.live.Add(n) }
+
+func (t *tracker) finish() {
+	if t.live.Add(-1) == 0 {
+		t.once.Do(func() { close(t.done) })
+	}
+}
+
+func (t *tracker) quiescent() bool {
+	select {
+	case <-t.done:
+		return true
+	default:
+		return false
+	}
+}

@@ -1,0 +1,30 @@
+package core
+
+// runDepthBounded is the Depth-Bounded coordination, implementing the
+// (spawn-depth) rule: every node at depth < d_cutoff has all its
+// children spawned as tasks, queued in traversal order on the worker's
+// locality pool; nodes at or below the cutoff are searched in place.
+// Spawns happen as tasks execute rather than upfront, matching
+// Section 4.2.
+func runDepthBounded[S, N any](e *engine[S, N], visitors []visitor[N], root N) {
+	e.runPoolWorkers(root, visitors, func(w int, v visitor[N], sh *WorkerStats, t Task[N]) {
+		defer e.tracker.finish()
+		if e.cancel.cancelled() {
+			return
+		}
+		if v.visit(t.Node) != descend {
+			return
+		}
+		if t.Depth < e.cfg.DCutoff {
+			g := e.gf(e.space, t.Node)
+			for g.HasNext() {
+				child := g.Next()
+				e.tracker.add(1)
+				sh.Spawns++
+				e.topo.push(w, Task[N]{Node: child, Depth: t.Depth + 1})
+			}
+			return
+		}
+		expandBelow(e.space, e.gf, v, e.cancel, sh, t.Node)
+	})
+}

@@ -1,0 +1,31 @@
+// Package core implements the YewPar search-skeleton library
+// (Archibald, Maier, Stewart, Trinder: "YewPar: Skeletons for Exact
+// Combinatorial Search", PPoPP 2020).
+//
+// A search application is composed from two parts, mirroring Figure 3 of
+// the paper:
+//
+//   - a Lazy Node Generator (GenFactory) supplied by the application,
+//     which describes how the search tree is created on demand and in
+//     which (heuristic) order children are traversed; and
+//   - a search skeleton, the combination of a search coordination
+//     (Sequential, Depth-Bounded, Stack-Stealing, Budget) with a search
+//     type (Enumeration, Optimisation, Decision).
+//
+// The twelve skeletons are exposed as SequentialEnum, DepthBoundedOpt,
+// StackStealDecision, BudgetEnum, and so on. All parallel skeletons run
+// on a simulated distributed runtime: workers are goroutines grouped
+// into localities, each locality owning an order-preserving workpool
+// and a locally cached copy of the global incumbent bound, with
+// optional latency injection for remote steals and bound broadcasts.
+// This substitutes for the HPX/cluster substrate of the paper while
+// preserving the coordination behaviour the evaluation measures.
+//
+// The semantics of the skeletons follows the operational model of
+// Section 3 of the paper (see the sibling package internal/semantics
+// for an executable version of that model): enumeration folds the tree
+// into a commutative monoid, optimisation and decision maximise an
+// objective over the tree with sound-but-possibly-stale pruning, and
+// the spawn behaviour of each coordination implements one of the
+// (spawn-depth), (spawn-budget) and (spawn-stack) rules of Figure 2.
+package core

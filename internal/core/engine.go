@@ -1,0 +1,90 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// engine bundles the runtime substrate shared by the pool-based
+// parallel coordinations (Depth-Bounded and Budget): the simulated
+// locality topology, task tracker for termination detection, canceller
+// for decision short-circuits, and per-worker metrics.
+type engine[S, N any] struct {
+	space   S
+	gf      GenFactory[S, N]
+	cfg     Config
+	metrics *Metrics
+	tracker *tracker
+	cancel  *canceller
+	topo    *topology[N]
+}
+
+func newEngine[S, N any](space S, gf GenFactory[S, N], cfg Config, metrics *Metrics, cancel *canceller) *engine[S, N] {
+	return &engine[S, N]{
+		space:   space,
+		gf:      gf,
+		cfg:     cfg,
+		metrics: metrics,
+		tracker: newTracker(),
+		cancel:  cancel,
+		topo:    newTopology[N](cfg),
+	}
+}
+
+// runPoolWorkers seeds the root task and runs cfg.Workers workers, each
+// executing runTask on every task it obtains, until global termination
+// or cancellation. runTask must call e.tracker.finish exactly once per
+// task and register any tasks it spawns with e.tracker.add before
+// pushing them.
+func (e *engine[S, N]) runPoolWorkers(root N, visitors []visitor[N], runTask func(w int, v visitor[N], sh *WorkerStats, t Task[N])) {
+	if tr := e.cfg.Trace; tr != nil {
+		inner := runTask
+		runTask = func(w int, v visitor[N], sh *WorkerStats, t Task[N]) {
+			start := time.Now()
+			inner(w, v, sh, t)
+			tr.record(w, t.Depth, start, time.Now())
+		}
+	}
+	e.tracker.add(1)
+	e.topo.pools[0].Push(Task[N]{Node: root, Depth: 0})
+
+	var wg sync.WaitGroup
+	for w := 0; w < e.cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			v := visitors[w]
+			sh := e.metrics.shard(w)
+			idle := 0
+			for {
+				if e.cancel.cancelled() {
+					return
+				}
+				t, ok := e.topo.popOrSteal(w, sh)
+				if ok {
+					idle = 0
+					runTask(w, v, sh, t)
+					continue
+				}
+				select {
+				case <-e.tracker.done:
+					return
+				case <-e.cancel.ch:
+					return
+				default:
+				}
+				// No work anywhere yet: back off briefly. The sleep
+				// bounds busy-wait cost while keeping steal response
+				// times far below task granularity.
+				idle++
+				if idle > 64 {
+					time.Sleep(20 * time.Microsecond)
+				} else {
+					runtime.Gosched()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

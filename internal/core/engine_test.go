@@ -1,0 +1,130 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// trivialVisitor descends everywhere and counts nothing beyond the
+// shared metrics shard.
+type trivialVisitor struct{ shard *WorkerStats }
+
+func (v *trivialVisitor) visit(int) pruneAction {
+	v.shard.Nodes++
+	return descend
+}
+
+func TestRunPoolWorkersExecutesAllSpawns(t *testing.T) {
+	cfg := Config{Workers: 4}.withDefaults()
+	m := newMetrics(cfg.Workers)
+	cancel := newCanceller()
+	gf := func(struct{}, int) NodeGenerator[int] { return EmptyGen[int]{} }
+	e := newEngine(struct{}{}, gf, cfg, m, cancel)
+
+	vs := make([]visitor[int], cfg.Workers)
+	for w := range vs {
+		vs[w] = &trivialVisitor{shard: m.shard(w)}
+	}
+	var executed atomic.Int64
+	e.runPoolWorkers(0, vs, func(w int, _ visitor[int], sh *WorkerStats, task Task[int]) {
+		defer e.tracker.finish()
+		executed.Add(1)
+		// fan out a small two-level tree of tasks
+		if task.Depth < 2 {
+			for i := 0; i < 3; i++ {
+				e.tracker.add(1)
+				e.topo.push(w, Task[int]{Node: task.Node*10 + i, Depth: task.Depth + 1})
+			}
+		}
+	})
+	// 1 root + 3 + 9 = 13 tasks
+	if executed.Load() != 13 {
+		t.Fatalf("executed %d tasks, want 13", executed.Load())
+	}
+	if !e.tracker.quiescent() {
+		t.Fatal("tracker not quiescent after join")
+	}
+}
+
+func TestRunPoolWorkersCancelStopsEarly(t *testing.T) {
+	cfg := Config{Workers: 4}.withDefaults()
+	m := newMetrics(cfg.Workers)
+	cancel := newCanceller()
+	gf := func(struct{}, int) NodeGenerator[int] { return EmptyGen[int]{} }
+	e := newEngine(struct{}{}, gf, cfg, m, cancel)
+
+	vs := make([]visitor[int], cfg.Workers)
+	for w := range vs {
+		vs[w] = &trivialVisitor{shard: m.shard(w)}
+	}
+	var executed atomic.Int64
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		e.runPoolWorkers(0, vs, func(w int, _ visitor[int], sh *WorkerStats, task Task[int]) {
+			defer e.tracker.finish()
+			if executed.Add(1) == 5 {
+				cancel.cancel() // simulate a decision witness
+				return
+			}
+			// endless task fan-out: only cancellation can stop this
+			for i := 0; i < 2; i++ {
+				e.tracker.add(1)
+				e.topo.push(w, Task[int]{Node: task.Node + 1, Depth: task.Depth + 1})
+			}
+		})
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancellation did not stop the workers")
+	}
+}
+
+func TestTopologyLocalFirst(t *testing.T) {
+	cfg := Config{Workers: 4, Localities: 2, Seed: 9}.withDefaults()
+	tp := newTopology[int](cfg)
+	var sh WorkerStats
+	// worker 0 is locality 0; push one task in each pool
+	tp.pools[0].Push(Task[int]{Node: 100})
+	tp.pools[1].Push(Task[int]{Node: 200})
+	task, ok := tp.popOrSteal(0, &sh)
+	if !ok || task.Node != 100 {
+		t.Fatalf("worker 0 took %d, want its local task 100", task.Node)
+	}
+	if sh.StealsOK != 0 {
+		t.Fatal("local pop counted as a steal")
+	}
+	// local pool now empty: next take must be a remote steal
+	task, ok = tp.popOrSteal(0, &sh)
+	if !ok || task.Node != 200 {
+		t.Fatalf("worker 0 stole %d, want remote task 200", task.Node)
+	}
+	if sh.StealsOK != 1 {
+		t.Fatalf("remote steal not recorded: %+v", sh)
+	}
+}
+
+func TestTopologyEmptyEverywhere(t *testing.T) {
+	cfg := Config{Workers: 2, Localities: 2}.withDefaults()
+	tp := newTopology[int](cfg)
+	var sh WorkerStats
+	if _, ok := tp.popOrSteal(0, &sh); ok {
+		t.Fatal("popOrSteal invented a task")
+	}
+	if sh.StealsFail == 0 {
+		t.Fatal("failed remote probe not recorded")
+	}
+}
+
+func TestTopologyWorkerAssignment(t *testing.T) {
+	cfg := Config{Workers: 5, Localities: 2}.withDefaults()
+	tp := newTopology[int](cfg)
+	want := []int{0, 1, 0, 1, 0}
+	for w, loc := range want {
+		if tp.locality(w) != loc {
+			t.Fatalf("worker %d at locality %d, want %d", w, tp.locality(w), loc)
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package core
+
+// NodeGenerator lazily yields the children of one search-tree node in
+// traversal (heuristic) order. It is the paper's Lazy Node Generator
+// interface (Section 4.1): children are materialised one at a time so
+// that pruning can discard subtrees before they are ever built.
+//
+// Implementations are used by a single worker at a time and need not be
+// safe for concurrent use.
+type NodeGenerator[N any] interface {
+	// HasNext reports whether more children remain.
+	HasNext() bool
+	// Next returns the next child. It must only be called after
+	// HasNext has returned true.
+	Next() N
+}
+
+// GenFactory constructs the lazy node generator for a parent node within
+// a search space. It corresponds to the NodeGenerator constructor of the
+// paper's Listing 1. Node values must be treated as immutable: a factory
+// must not retain or mutate the parent it is given, because nodes are
+// shared between tasks when subtrees are spawned.
+type GenFactory[S, N any] func(space S, parent N) NodeGenerator[N]
+
+// SliceGen is a NodeGenerator over a pre-computed child slice, in slice
+// order. It is convenient for applications whose child lists are cheap
+// to build eagerly, and for tests.
+type SliceGen[N any] struct {
+	children []N
+	i        int
+}
+
+// NewSliceGen returns a generator yielding the given children in order.
+func NewSliceGen[N any](children []N) *SliceGen[N] {
+	return &SliceGen[N]{children: children}
+}
+
+// HasNext implements NodeGenerator.
+func (g *SliceGen[N]) HasNext() bool { return g.i < len(g.children) }
+
+// Next implements NodeGenerator.
+func (g *SliceGen[N]) Next() N {
+	n := g.children[g.i]
+	g.i++
+	return n
+}
+
+// Remaining returns the number of children not yet yielded.
+func (g *SliceGen[N]) Remaining() int { return len(g.children) - g.i }
+
+// EmptyGen is a NodeGenerator with no children (a leaf).
+type EmptyGen[N any] struct{}
+
+// HasNext implements NodeGenerator.
+func (EmptyGen[N]) HasNext() bool { return false }
+
+// Next implements NodeGenerator; it panics, as leaves have no children.
+func (EmptyGen[N]) Next() N { panic("core: Next on empty generator") }
+
+// FuncGen adapts a pull function to a NodeGenerator. The function
+// returns the next child and true, or a zero node and false when
+// exhausted. FuncGen buffers one lookahead element so HasNext is pure.
+type FuncGen[N any] struct {
+	next func() (N, bool)
+	buf  N
+	ok   bool
+	done bool
+}
+
+// NewFuncGen returns a generator pulling children from next.
+func NewFuncGen[N any](next func() (N, bool)) *FuncGen[N] {
+	return &FuncGen[N]{next: next}
+}
+
+// HasNext implements NodeGenerator.
+func (g *FuncGen[N]) HasNext() bool {
+	if g.done {
+		return false
+	}
+	if g.ok {
+		return true
+	}
+	g.buf, g.ok = g.next()
+	if !g.ok {
+		g.done = true
+	}
+	return g.ok
+}
+
+// Next implements NodeGenerator.
+func (g *FuncGen[N]) Next() N {
+	if !g.HasNext() {
+		panic("core: Next on exhausted generator")
+	}
+	g.ok = false
+	return g.buf
+}

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSliceGen(t *testing.T) {
+	g := NewSliceGen([]int{1, 2, 3})
+	if g.Remaining() != 3 {
+		t.Fatalf("Remaining = %d", g.Remaining())
+	}
+	var got []int
+	for g.HasNext() {
+		got = append(got, g.Next())
+	}
+	if len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Fatalf("yielded %v", got)
+	}
+	if g.HasNext() {
+		t.Fatal("exhausted generator claims more")
+	}
+	if g.Remaining() != 0 {
+		t.Fatalf("Remaining = %d after drain", g.Remaining())
+	}
+}
+
+func TestSliceGenEmpty(t *testing.T) {
+	g := NewSliceGen[string](nil)
+	if g.HasNext() {
+		t.Fatal("empty slice gen has next")
+	}
+}
+
+func TestEmptyGen(t *testing.T) {
+	var g EmptyGen[int]
+	if g.HasNext() {
+		t.Fatal("EmptyGen has next")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Next on EmptyGen did not panic")
+		}
+	}()
+	g.Next()
+}
+
+func TestFuncGen(t *testing.T) {
+	i := 0
+	g := NewFuncGen(func() (int, bool) {
+		if i >= 4 {
+			return 0, false
+		}
+		i++
+		return i * 10, true
+	})
+	var got []int
+	for g.HasNext() {
+		// HasNext must be idempotent between Next calls
+		if !g.HasNext() {
+			t.Fatal("HasNext not idempotent")
+		}
+		got = append(got, g.Next())
+	}
+	want := []int{10, 20, 30, 40}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("FuncGen yielded %v", got)
+		}
+	}
+	if g.HasNext() {
+		t.Fatal("exhausted FuncGen has next")
+	}
+}
+
+func TestFuncGenNextPanicsWhenDone(t *testing.T) {
+	g := NewFuncGen(func() (int, bool) { return 0, false })
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	g.Next()
+}
+
+// Property: SliceGen yields exactly the input slice in order.
+func TestQuickSliceGenFaithful(t *testing.T) {
+	f := func(xs []int32) bool {
+		g := NewSliceGen(xs)
+		for i := 0; g.HasNext(); i++ {
+			if g.Next() != xs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMonoidLaws(t *testing.T) {
+	sums := SumInt64{}
+	maxs := MaxInt64{}
+	f := func(a, b, c int64) bool {
+		// associativity + commutativity + identity for both monoids
+		if sums.Plus(sums.Plus(a, b), c) != sums.Plus(a, sums.Plus(b, c)) {
+			return false
+		}
+		if sums.Plus(a, b) != sums.Plus(b, a) {
+			return false
+		}
+		if sums.Plus(a, sums.Zero()) != a {
+			return false
+		}
+		if maxs.Plus(maxs.Plus(a, b), c) != maxs.Plus(a, maxs.Plus(b, c)) {
+			return false
+		}
+		if maxs.Plus(a, b) != maxs.Plus(b, a) {
+			return false
+		}
+		if maxs.Plus(a, maxs.Zero()) != a {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSumVecLaws(t *testing.T) {
+	m := SumVec{Len: 4}
+	a := []int64{1, 2, 3, 4}
+	b := []int64{10, 20, 30, 40}
+	ab := m.Plus(a, b)
+	ba := m.Plus(b, a)
+	for i := range ab {
+		if ab[i] != ba[i] {
+			t.Fatal("SumVec not commutative")
+		}
+	}
+	az := m.Plus(a, m.Zero())
+	for i := range az {
+		if az[i] != a[i] {
+			t.Fatal("SumVec identity broken")
+		}
+	}
+	// Plus must not mutate arguments
+	if a[0] != 1 || b[0] != 10 {
+		t.Fatal("SumVec.Plus mutated its arguments")
+	}
+}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+type paddedInt64 struct {
+	v atomic.Int64
+	_ [7]int64
+}
+
+// incumbent is the knowledge-management substrate of Section 4.3: a
+// single authoritative incumbent (best node + objective) plus one
+// cached bound per locality. Strengthening broadcasts the new bound to
+// every locality cache; with a positive latency remote caches update
+// late, so remote workers may miss pruning opportunities — exactly the
+// stale-bound tolerance the paper describes — but results are
+// unaffected because pruning is only ever justified by a bound the
+// search has actually proven.
+type incumbent[N any] struct {
+	mu      sync.Mutex
+	node    N
+	has     bool
+	bestObj int64
+
+	caches  []paddedInt64
+	latency time.Duration
+}
+
+func newIncumbent[N any](localities int, latency time.Duration) *incumbent[N] {
+	in := &incumbent[N]{
+		bestObj: math.MinInt64,
+		caches:  make([]paddedInt64, localities),
+		latency: latency,
+	}
+	for i := range in.caches {
+		in.caches[i].v.Store(math.MinInt64)
+	}
+	return in
+}
+
+// localBest returns the bound as currently known at a locality.
+func (in *incumbent[N]) localBest(loc int) int64 { return in.caches[loc].v.Load() }
+
+// strengthen installs (obj, n) as the incumbent if obj improves on the
+// authoritative best, then broadcasts the bound. The caller's own
+// locality always learns the bound immediately; other localities learn
+// it after the configured latency. Reports whether the incumbent
+// changed, implementing (strengthen)/(skip).
+func (in *incumbent[N]) strengthen(loc int, obj int64, n N) bool {
+	in.mu.Lock()
+	if in.has && obj <= in.bestObj {
+		in.mu.Unlock()
+		return false
+	}
+	in.bestObj = obj
+	in.node = n
+	in.has = true
+	in.mu.Unlock()
+
+	for i := range in.caches {
+		c := &in.caches[i].v
+		if i == loc || in.latency == 0 {
+			storeMax(c, obj)
+		} else {
+			o := obj
+			time.AfterFunc(in.latency, func() { storeMax(c, o) })
+		}
+	}
+	return true
+}
+
+// result returns the final incumbent. Call only after all workers have
+// joined.
+func (in *incumbent[N]) result() (N, int64, bool) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.node, in.bestObj, in.has
+}
+
+// storeMax monotonically raises a to at least v.
+func storeMax(a *atomic.Int64, v int64) {
+	for {
+		cur := a.Load()
+		if v <= cur || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}

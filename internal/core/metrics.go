@@ -1,0 +1,36 @@
+package core
+
+// WorkerStats holds one worker's counters. Each worker writes only its
+// own shard, so the fields are plain integers; shards are padded to a
+// cache line to avoid false sharing, and are only read after all
+// workers have joined.
+type WorkerStats struct {
+	Nodes      int64
+	Prunes     int64
+	Spawns     int64
+	StealsOK   int64
+	StealsFail int64
+	Backtracks int64
+	_          [2]int64 // pad to 64 bytes
+}
+
+// Metrics is a set of per-worker counter shards.
+type Metrics struct {
+	shards []WorkerStats
+}
+
+func newMetrics(workers int) *Metrics {
+	return &Metrics{shards: make([]WorkerStats, workers)}
+}
+
+func (m *Metrics) shard(w int) *WorkerStats { return &m.shards[w] }
+
+// total sums all shards. Only valid after workers have joined.
+func (m *Metrics) total() Stats {
+	var s Stats
+	for i := range m.shards {
+		s.add(m.shards[i])
+	}
+	s.Workers = len(m.shards)
+	return s
+}

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"sync"
+	"testing"
+)
+
+// Micro-benchmarks of the runtime substrate: pool throughput under
+// contention and incumbent strengthen/read costs. These are the hot
+// paths whose costs set the minimum useful task granularity.
+
+func benchmarkPool(b *testing.B, p Pool[int]) {
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			p.Push(Task[int]{Node: i, Depth: i % 8})
+			p.Pop()
+			i++
+		}
+	})
+}
+
+func BenchmarkDepthPoolPushPop(b *testing.B) { benchmarkPool(b, NewDepthPool[int]()) }
+func BenchmarkDequePushPop(b *testing.B)     { benchmarkPool(b, NewDeque[int]()) }
+func BenchmarkPrioPoolPushPop(b *testing.B) {
+	p := NewPrioPool[int]()
+	b.RunParallel(func(pb *testing.PB) {
+		i := int64(0)
+		for pb.Next() {
+			p.PushPrio(Task[int]{Node: int(i)}, i%16)
+			p.PopPrio()
+			i++
+		}
+	})
+}
+
+func BenchmarkIncumbentLocalBest(b *testing.B) {
+	in := newIncumbent[int](4, 0)
+	in.strengthen(0, 100, 1)
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if in.localBest(0) != 100 {
+				b.Fatal("wrong bound")
+			}
+		}
+	})
+}
+
+func BenchmarkIncumbentStrengthenContention(b *testing.B) {
+	in := newIncumbent[int](4, 0)
+	var mu sync.Mutex
+	next := int64(0)
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			mu.Lock()
+			next++
+			v := next
+			mu.Unlock()
+			in.strengthen(int(v)%4, v, int(v))
+		}
+	})
+}
+
+func BenchmarkSequentialEngineOverhead(b *testing.B) {
+	// Cost per node of the generic engine on a featherweight problem:
+	// upper-bounds the skeleton tax measured in Table 1.
+	tree := genTree(1, 4, 9)
+	p := tree.enumProblem()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Enum(Sequential, tree, testNode{}, p, Config{})
+	}
+}

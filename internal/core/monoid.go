@@ -1,0 +1,54 @@
+package core
+
+import "math"
+
+// Monoid is a commutative monoid ⟨M, Plus, Zero⟩ used to accumulate
+// knowledge in enumeration searches (Section 3.2 of the paper). Plus
+// must be associative and commutative with Zero as identity, and must
+// not mutate its arguments.
+type Monoid[M any] interface {
+	Zero() M
+	Plus(a, b M) M
+}
+
+// SumInt64 is the (int64, +, 0) monoid, used for node counting.
+type SumInt64 struct{}
+
+// Zero implements Monoid.
+func (SumInt64) Zero() int64 { return 0 }
+
+// Plus implements Monoid.
+func (SumInt64) Plus(a, b int64) int64 { return a + b }
+
+// MaxInt64 is the (int64, max, MinInt64) monoid, used for
+// depth-of-tree style enumerations.
+type MaxInt64 struct{}
+
+// Zero implements Monoid.
+func (MaxInt64) Zero() int64 { return math.MinInt64 }
+
+// Plus implements Monoid.
+func (MaxInt64) Plus(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// SumVec is the element-wise sum monoid over fixed-length []int64
+// vectors, used e.g. to build depth profiles (number of tree nodes per
+// depth) in a single enumeration.
+type SumVec struct{ Len int }
+
+// Zero implements Monoid.
+func (m SumVec) Zero() []int64 { return make([]int64, m.Len) }
+
+// Plus implements Monoid. It allocates a fresh vector; arguments are
+// not mutated.
+func (m SumVec) Plus(a, b []int64) []int64 {
+	c := make([]int64, m.Len)
+	for i := range c {
+		c[i] = a[i] + b[i]
+	}
+	return c
+}

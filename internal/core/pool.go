@@ -1,0 +1,190 @@
+package core
+
+import "sync"
+
+// Task is a unit of spawned work: an unvisited search-tree node and its
+// absolute depth. Depth orders the pool so that tasks near the root —
+// heuristically the largest subtrees — are scheduled first.
+type Task[N any] struct {
+	Node  N
+	Depth int
+}
+
+// Pool is a locality's workpool. Pop is used by local workers, Steal by
+// remote ones; both must be safe for concurrent use.
+type Pool[N any] interface {
+	Push(t Task[N])
+	Pop() (Task[N], bool)
+	Steal() (Task[N], bool)
+	Size() int
+}
+
+// DepthPool is the paper's order-preserving workpool: one FIFO bucket
+// per depth. Within a depth tasks leave in insertion order, so the
+// sibling spawn order — which encodes the application's search
+// heuristic — is always respected; a conventional deque inverts it,
+// because an owner's LIFO pop returns the heuristically *worst*
+// sibling first. Owners pop from the deepest non-empty bucket
+// (continuing depth-first, like the sequential search would), while
+// thieves steal from the shallowest (the expected-largest subtrees,
+// in heuristic order).
+type DepthPool[N any] struct {
+	mu      sync.Mutex
+	buckets [][]Task[N]
+	heads   []int
+	size    int
+	min     int // lowest possibly-non-empty depth
+	max     int // highest possibly-non-empty depth
+}
+
+// NewDepthPool returns an empty DepthPool.
+func NewDepthPool[N any]() *DepthPool[N] { return &DepthPool[N]{max: -1} }
+
+// Push implements Pool.
+func (p *DepthPool[N]) Push(t Task[N]) {
+	p.mu.Lock()
+	for len(p.buckets) <= t.Depth {
+		p.buckets = append(p.buckets, nil)
+		p.heads = append(p.heads, 0)
+	}
+	p.buckets[t.Depth] = append(p.buckets[t.Depth], t)
+	if t.Depth < p.min {
+		p.min = t.Depth
+	}
+	if t.Depth > p.max {
+		p.max = t.Depth
+	}
+	p.size++
+	p.mu.Unlock()
+}
+
+// takeAt removes the FIFO-front task of bucket d.
+func (p *DepthPool[N]) takeAt(d int) Task[N] {
+	t := p.buckets[d][p.heads[d]]
+	var zero Task[N]
+	p.buckets[d][p.heads[d]] = zero // release node for GC
+	p.heads[d]++
+	if p.heads[d] == len(p.buckets[d]) {
+		p.buckets[d] = p.buckets[d][:0]
+		p.heads[d] = 0
+	}
+	p.size--
+	return t
+}
+
+// Pop implements Pool: deepest bucket first, FIFO within the bucket.
+func (p *DepthPool[N]) Pop() (Task[N], bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for d := p.max; d >= 0; d-- {
+		if p.heads[d] < len(p.buckets[d]) {
+			p.max = d
+			return p.takeAt(d), true
+		}
+	}
+	p.max = -1
+	var zero Task[N]
+	return zero, false
+}
+
+// Steal implements Pool: shallowest bucket first, FIFO within the
+// bucket, handing thieves the heuristically-next large subtree.
+func (p *DepthPool[N]) Steal() (Task[N], bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for d := p.min; d < len(p.buckets); d++ {
+		if p.heads[d] < len(p.buckets[d]) {
+			p.min = d
+			return p.takeAt(d), true
+		}
+	}
+	p.min = len(p.buckets)
+	var zero Task[N]
+	return zero, false
+}
+
+// Size implements Pool.
+func (p *DepthPool[N]) Size() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.size
+}
+
+// Deque is a conventional work-stealing double-ended queue: owners pop
+// newest-first (LIFO), thieves steal oldest-first (FIFO). It ignores
+// depth and therefore does not preserve heuristic search order; it is
+// provided as the ablation discussed in Section 2.3 of the paper.
+type Deque[N any] struct {
+	mu    sync.Mutex
+	items []Task[N]
+	head  int
+}
+
+// NewDeque returns an empty Deque.
+func NewDeque[N any]() *Deque[N] { return &Deque[N]{} }
+
+// Push implements Pool.
+func (q *Deque[N]) Push(t Task[N]) {
+	q.mu.Lock()
+	q.items = append(q.items, t)
+	q.mu.Unlock()
+}
+
+// Pop implements Pool (LIFO end).
+func (q *Deque[N]) Pop() (Task[N], bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.head >= len(q.items) {
+		q.reset()
+		var zero Task[N]
+		return zero, false
+	}
+	t := q.items[len(q.items)-1]
+	var zero Task[N]
+	q.items[len(q.items)-1] = zero
+	q.items = q.items[:len(q.items)-1]
+	if q.head >= len(q.items) {
+		q.reset()
+	}
+	return t, true
+}
+
+// Steal implements Pool (FIFO end).
+func (q *Deque[N]) Steal() (Task[N], bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.head >= len(q.items) {
+		q.reset()
+		var zero Task[N]
+		return zero, false
+	}
+	t := q.items[q.head]
+	var zero Task[N]
+	q.items[q.head] = zero
+	q.head++
+	if q.head >= len(q.items) {
+		q.reset()
+	}
+	return t, true
+}
+
+func (q *Deque[N]) reset() {
+	q.items = q.items[:0]
+	q.head = 0
+}
+
+// Size implements Pool.
+func (q *Deque[N]) Size() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items) - q.head
+}
+
+func newPool[N any](kind PoolKind) Pool[N] {
+	switch kind {
+	case DequeKind:
+		return NewDeque[N]()
+	default:
+		return NewDepthPool[N]()
+	}
+}

@@ -1,0 +1,216 @@
+package core
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestDepthPoolOwnerDeepestFirstFIFO(t *testing.T) {
+	p := NewDepthPool[string]()
+	p.Push(Task[string]{Node: "d2a", Depth: 2})
+	p.Push(Task[string]{Node: "d1a", Depth: 1})
+	p.Push(Task[string]{Node: "d1b", Depth: 1})
+	p.Push(Task[string]{Node: "d0", Depth: 0})
+	p.Push(Task[string]{Node: "d2b", Depth: 2})
+
+	// Owner pops continue depth-first (deepest level first) but honour
+	// the heuristic FIFO order among siblings at one level.
+	want := []string{"d2a", "d2b", "d1a", "d1b", "d0"}
+	for i, w := range want {
+		task, ok := p.Pop()
+		if !ok {
+			t.Fatalf("pop %d: empty", i)
+		}
+		if task.Node != w {
+			t.Fatalf("pop %d = %q, want %q", i, task.Node, w)
+		}
+	}
+	if _, ok := p.Pop(); ok {
+		t.Fatal("pool should be empty")
+	}
+}
+
+func TestDepthPoolThiefShallowestFirstFIFO(t *testing.T) {
+	p := NewDepthPool[string]()
+	p.Push(Task[string]{Node: "d2a", Depth: 2})
+	p.Push(Task[string]{Node: "d0a", Depth: 0})
+	p.Push(Task[string]{Node: "d0b", Depth: 0})
+	want := []string{"d0a", "d0b", "d2a"}
+	for i, w := range want {
+		task, ok := p.Steal()
+		if !ok || task.Node != w {
+			t.Fatalf("steal %d = %q/%v, want %q", i, task.Node, ok, w)
+		}
+	}
+}
+
+func TestDepthPoolInterleavedPushPop(t *testing.T) {
+	p := NewDepthPool[int]()
+	p.Push(Task[int]{Node: 1, Depth: 3})
+	if task, _ := p.Pop(); task.Node != 1 {
+		t.Fatal("wrong task")
+	}
+	// After draining depth 3, a later deeper push must win owner pops.
+	p.Push(Task[int]{Node: 2, Depth: 5})
+	p.Push(Task[int]{Node: 3, Depth: 1})
+	if task, _ := p.Pop(); task.Node != 2 {
+		t.Fatal("deep task should pop first for the owner")
+	}
+	if task, _ := p.Pop(); task.Node != 3 {
+		t.Fatal("remaining task lost")
+	}
+	// And a shallow push after the max-hint rose must still be found.
+	p.Push(Task[int]{Node: 4, Depth: 0})
+	if task, ok := p.Pop(); !ok || task.Node != 4 {
+		t.Fatal("shallow task lost after hint movement")
+	}
+}
+
+func TestDepthPoolMixedPopSteal(t *testing.T) {
+	p := NewDepthPool[int]()
+	for d := 0; d < 4; d++ {
+		p.Push(Task[int]{Node: d, Depth: d})
+	}
+	if task, _ := p.Pop(); task.Depth != 3 {
+		t.Fatalf("owner got depth %d, want 3", task.Depth)
+	}
+	if task, _ := p.Steal(); task.Depth != 0 {
+		t.Fatalf("thief got depth %d, want 0", task.Depth)
+	}
+	if task, _ := p.Pop(); task.Depth != 2 {
+		t.Fatalf("owner got depth %d, want 2", task.Depth)
+	}
+	if task, _ := p.Steal(); task.Depth != 1 {
+		t.Fatalf("thief got depth %d, want 1", task.Depth)
+	}
+	if p.Size() != 0 {
+		t.Fatalf("Size = %d", p.Size())
+	}
+}
+
+func TestDepthPoolSize(t *testing.T) {
+	p := NewDepthPool[int]()
+	if p.Size() != 0 {
+		t.Fatal("fresh pool non-empty")
+	}
+	for i := 0; i < 10; i++ {
+		p.Push(Task[int]{Node: i, Depth: i % 3})
+	}
+	if p.Size() != 10 {
+		t.Fatalf("Size = %d", p.Size())
+	}
+	p.Pop()
+	p.Steal()
+	if p.Size() != 8 {
+		t.Fatalf("Size = %d after two removals", p.Size())
+	}
+}
+
+func TestDepthPoolStealPrefersShallow(t *testing.T) {
+	p := NewDepthPool[string]()
+	p.Push(Task[string]{Node: "deep", Depth: 9})
+	p.Push(Task[string]{Node: "shallow", Depth: 1})
+	task, ok := p.Steal()
+	if !ok || task.Node != "shallow" {
+		t.Fatalf("Steal = %v, want shallow", task.Node)
+	}
+	task, ok = p.Pop()
+	if !ok || task.Node != "deep" {
+		t.Fatalf("Pop = %v, want deep", task.Node)
+	}
+}
+
+func TestDequeOwnerLIFOThiefFIFO(t *testing.T) {
+	q := NewDeque[int]()
+	for i := 1; i <= 4; i++ {
+		q.Push(Task[int]{Node: i, Depth: 0})
+	}
+	if task, _ := q.Pop(); task.Node != 4 {
+		t.Fatalf("owner pop = %d, want 4 (LIFO)", task.Node)
+	}
+	if task, _ := q.Steal(); task.Node != 1 {
+		t.Fatalf("thief steal = %d, want 1 (FIFO)", task.Node)
+	}
+	if task, _ := q.Pop(); task.Node != 3 {
+		t.Fatalf("owner pop = %d, want 3", task.Node)
+	}
+	if task, _ := q.Steal(); task.Node != 2 {
+		t.Fatalf("thief steal = %d, want 2", task.Node)
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("deque should be empty")
+	}
+	if q.Size() != 0 {
+		t.Fatalf("Size = %d", q.Size())
+	}
+}
+
+func TestDequeEmptySteal(t *testing.T) {
+	q := NewDeque[int]()
+	if _, ok := q.Steal(); ok {
+		t.Fatal("steal from empty deque succeeded")
+	}
+}
+
+func poolConcurrencyCheck(t *testing.T, p Pool[int]) {
+	t.Helper()
+	const producers, perProducer = 4, 2000
+	var wg sync.WaitGroup
+	for i := 0; i < producers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < perProducer; j++ {
+				p.Push(Task[int]{Node: i*perProducer + j, Depth: j % 7})
+			}
+		}(i)
+	}
+	seen := make([]bool, producers*perProducer)
+	var mu sync.Mutex
+	var cg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		cg.Add(1)
+		go func(thief bool) {
+			defer cg.Done()
+			for {
+				var task Task[int]
+				var ok bool
+				if thief {
+					task, ok = p.Steal()
+				} else {
+					task, ok = p.Pop()
+				}
+				if ok {
+					mu.Lock()
+					if seen[task.Node] {
+						t.Errorf("task %d delivered twice", task.Node)
+					}
+					seen[task.Node] = true
+					mu.Unlock()
+					continue
+				}
+				select {
+				case <-stop:
+					return
+				default:
+				}
+			}
+		}(i%2 == 0)
+	}
+	wg.Wait()
+	for p.Size() > 0 {
+	}
+	close(stop)
+	cg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	for i, s := range seen {
+		if !s {
+			t.Fatalf("task %d lost", i)
+		}
+	}
+}
+
+func TestDepthPoolConcurrent(t *testing.T) { poolConcurrencyCheck(t, NewDepthPool[int]()) }
+func TestDequeConcurrent(t *testing.T)     { poolConcurrencyCheck(t, NewDeque[int]()) }

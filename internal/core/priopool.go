@@ -1,0 +1,75 @@
+package core
+
+import (
+	"container/heap"
+	"sync"
+)
+
+// PrioTask is a task with an explicit priority (larger = scheduled
+// earlier). Ties break by insertion order, preserving the heuristic
+// spawn order among equally promising tasks.
+type PrioTask[N any] struct {
+	Task[N]
+	Priority int64
+	seq      int64
+}
+
+type prioHeap[N any] []PrioTask[N]
+
+func (h prioHeap[N]) Len() int { return len(h) }
+func (h prioHeap[N]) Less(i, j int) bool {
+	if h[i].Priority != h[j].Priority {
+		return h[i].Priority > h[j].Priority
+	}
+	return h[i].seq < h[j].seq
+}
+func (h prioHeap[N]) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *prioHeap[N]) Push(x interface{}) { *h = append(*h, x.(PrioTask[N])) }
+func (h *prioHeap[N]) Pop() interface{} {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	var zero PrioTask[N]
+	old[n-1] = zero
+	*h = old[:n-1]
+	return t
+}
+
+// PrioPool is a concurrent max-priority workpool used by the BestFirst
+// extension coordination: Pop and Steal both return the highest
+// priority (most promising) task.
+type PrioPool[N any] struct {
+	mu   sync.Mutex
+	h    prioHeap[N]
+	next int64
+}
+
+// NewPrioPool returns an empty priority pool.
+func NewPrioPool[N any]() *PrioPool[N] { return &PrioPool[N]{} }
+
+// PushPrio enqueues a task with a priority.
+func (p *PrioPool[N]) PushPrio(t Task[N], prio int64) {
+	p.mu.Lock()
+	heap.Push(&p.h, PrioTask[N]{Task: t, Priority: prio, seq: p.next})
+	p.next++
+	p.mu.Unlock()
+}
+
+// PopPrio removes and returns the highest-priority task.
+func (p *PrioPool[N]) PopPrio() (Task[N], bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.h) == 0 {
+		var zero Task[N]
+		return zero, false
+	}
+	t := heap.Pop(&p.h).(PrioTask[N])
+	return t.Task, true
+}
+
+// Size returns the number of queued tasks.
+func (p *PrioPool[N]) Size() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.h)
+}

@@ -1,0 +1,99 @@
+package core
+
+import "time"
+
+// EnumProblem describes an enumeration search: traverse the whole tree
+// and fold the objective of every node into the monoid.
+type EnumProblem[S, N, M any] struct {
+	// Gen is the application's lazy node generator factory.
+	Gen GenFactory[S, N]
+	// Objective maps each visited node into the monoid.
+	Objective func(space S, n N) M
+	// Monoid accumulates objective values. It must be commutative.
+	Monoid Monoid[M]
+}
+
+// OptProblem describes an optimisation search: find a node maximising
+// Objective. (Minimisation problems negate their objective.)
+type OptProblem[S, N any] struct {
+	Gen GenFactory[S, N]
+	// Objective is the value to maximise.
+	Objective func(space S, n N) int64
+	// Bound, if non-nil, returns an upper bound on the objective of
+	// any node in the subtree rooted at n (n excluded — n itself has
+	// already been visited when Bound is consulted). Subtrees whose
+	// bound cannot beat the incumbent are pruned, implementing the
+	// (prune) rule with the admissible relation u ▷ v ⇔ h(u) ≥ Bound(v).
+	Bound func(space S, n N) int64
+	// PruneLevel declares that every generator yields children in
+	// non-increasing Bound order, so a failed bound check on a child
+	// also prunes all of its later siblings (the "prune future
+	// children to-the-right" property of Section 4.1). Setting it
+	// when the order property does not hold loses solutions.
+	PruneLevel bool
+}
+
+// DecisionProblem describes a decision search: find any node whose
+// objective reaches Target, the greatest element of the bounded order.
+// Search short-circuits globally as soon as a witness is found.
+type DecisionProblem[S, N any] struct {
+	Gen GenFactory[S, N]
+	// Objective is compared against Target.
+	Objective func(space S, n N) int64
+	// Target is the greatest element; reaching it ends the search.
+	Target int64
+	// Bound, if non-nil, upper-bounds the objective over the subtree
+	// below n; subtrees with Bound < Target are pruned.
+	Bound func(space S, n N) int64
+	// PruneLevel declares non-increasing sibling Bound order, letting
+	// one failed bound check prune all later siblings (see
+	// OptProblem.PruneLevel).
+	PruneLevel bool
+}
+
+// Stats reports work performed by a search.
+type Stats struct {
+	Nodes      int64 // search-tree nodes visited (processed)
+	Prunes     int64 // subtrees pruned by a bound check
+	Spawns     int64 // tasks created by a spawn rule
+	StealsOK   int64 // successful steals (pool or stack)
+	StealsFail int64 // steal attempts that found no work
+	Backtracks int64 // generator-stack pops
+	Workers    int   // workers used
+	Elapsed    time.Duration
+}
+
+func (s *Stats) add(w WorkerStats) {
+	s.Nodes += w.Nodes
+	s.Prunes += w.Prunes
+	s.Spawns += w.Spawns
+	s.StealsOK += w.StealsOK
+	s.StealsFail += w.StealsFail
+	s.Backtracks += w.Backtracks
+}
+
+// EnumResult is the outcome of an enumeration skeleton.
+type EnumResult[M any] struct {
+	Value M
+	Stats Stats
+}
+
+// OptResult is the outcome of an optimisation skeleton. Found is false
+// only when the search visited no nodes (never happens: the root is
+// always visited).
+type OptResult[N any] struct {
+	Best      N
+	Objective int64
+	Found     bool
+	Stats     Stats
+}
+
+// DecisionResult is the outcome of a decision skeleton. Found reports
+// whether a node with Objective >= Target exists; when true, Witness is
+// one (nondeterministically chosen) such node.
+type DecisionResult[N any] struct {
+	Witness   N
+	Objective int64
+	Found     bool
+	Stats     Stats
+}

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file implements a simplified form of the replicable
+// branch-and-bound skeleton of Archibald et al., "Replicable parallel
+// branch and bound search" (JPDC 2018) — the specialised skeleton the
+// paper's §2.1 cites as the cure for performance anomalies. Parallel
+// B&B is normally nondeterministic: the visited-node count depends on
+// when incumbent updates happen to arrive. The replicable variant
+// trades some pruning for determinism:
+//
+//  1. The tree above d_cutoff is searched sequentially, producing the
+//     task list in heuristic order and a starting incumbent.
+//  2. Every task subtree is then searched in parallel, pruning ONLY
+//     against the fixed phase-1 bound, with incumbent candidates kept
+//     worker-local.
+//  3. Local candidates merge after the barrier.
+//
+// Because no knowledge flows between tasks mid-round, the set of
+// nodes visited is a pure function of the problem and d_cutoff —
+// independent of worker count, scheduling, and timing. Speedups are
+// lower than the anomalous skeletons (pruning is weaker), but every
+// run does identical work: no detrimental or acceleration anomalies.
+
+// ReplicableOpt runs the round-synchronous replicable optimisation
+// search. cfg.DCutoff controls the split depth.
+func ReplicableOpt[S, N any](space S, root N, p OptProblem[S, N], cfg Config) OptResult[N] {
+	cfg = cfg.withDefaults()
+	m := newMetrics(cfg.Workers)
+	cancel := newCanceller()
+	start := time.Now()
+
+	// Phase 1: sequential prefix search. The incumbent here is plain
+	// single-threaded B&B, so this phase is deterministic too.
+	inc := newIncumbent[N](1, 0)
+	prefixVisitor := &optVisitor[S, N]{
+		space: space, obj: p.Objective, bound: p.Bound, level: p.PruneLevel,
+		inc: inc, loc: 0, shard: m.shard(0),
+	}
+	var tasks []Task[N]
+	collectPrefix(space, p.Gen, prefixVisitor, m.shard(0), root, 0, cfg.DCutoff, &tasks)
+
+	// Phase 2: parallel round with a frozen bound.
+	_, frozen, has := inc.result()
+	if !has {
+		frozen = -1 << 62
+	}
+	type localBest struct {
+		node  N
+		obj   int64
+		found bool
+	}
+	locals := make([]localBest, cfg.Workers)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sh := m.shard(w)
+			// A private incumbent seeded with the frozen bound: being
+			// worker-local it cannot leak knowledge across tasks owned
+			// by other workers… but it could leak between tasks run by
+			// the SAME worker, so it is reset for every task.
+			for {
+				i := next.Add(1) - 1
+				if int(i) >= len(tasks) {
+					return
+				}
+				t := tasks[i]
+				// A private incumbent seeded with the frozen bound,
+				// reset per task so no knowledge leaks between tasks —
+				// the property that makes the visited set timing-free.
+				priv := newIncumbent[N](1, 0)
+				var zero N
+				priv.strengthen(0, frozen, zero)
+				v := &optVisitor[S, N]{
+					space: space, obj: p.Objective, bound: p.Bound, level: p.PruneLevel,
+					inc: priv, loc: 0, shard: sh,
+				}
+				// The task root was already visited in phase 1; only
+				// its subtree remains.
+				expandBelow(space, p.Gen, v, cancel, sh, t.Node)
+				if n, obj, found := priv.result(); found && obj > frozen {
+					if !locals[w].found || obj > locals[w].obj {
+						locals[w] = localBest{node: n, obj: obj, found: true}
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Phase 3: merge.
+	bestNode, bestObj, found := inc.result()
+	for _, lb := range locals {
+		if lb.found && (!found || lb.obj > bestObj) {
+			bestNode, bestObj, found = lb.node, lb.obj, true
+		}
+	}
+	stats := m.total()
+	stats.Elapsed = time.Since(start)
+	return OptResult[N]{Best: bestNode, Objective: bestObj, Found: found, Stats: stats}
+}
+
+// collectPrefix searches the tree above the cutoff sequentially
+// (visiting and possibly pruning as usual) and appends the unvisited
+// subtree roots at the cutoff depth to tasks, in traversal order.
+func collectPrefix[S, N any](space S, gf GenFactory[S, N], v visitor[N], sh *WorkerStats, node N, depth, cutoff int, tasks *[]Task[N]) {
+	if v.visit(node) != descend {
+		return
+	}
+	if depth >= cutoff {
+		*tasks = append(*tasks, Task[N]{Node: node, Depth: depth})
+		sh.Spawns++
+		return
+	}
+	g := gf(space, node)
+	for g.HasNext() {
+		collectPrefix(space, gf, v, sh, g.Next(), depth+1, cutoff, tasks)
+	}
+}

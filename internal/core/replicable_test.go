@@ -1,0 +1,86 @@
+package core
+
+import "testing"
+
+func TestReplicableOptFindsMax(t *testing.T) {
+	for _, seed := range []int64{1, 3, 23, 31, 47} {
+		tree := genTree(seed, 4, 9)
+		want := tree.max()
+		for _, cutoff := range []int{1, 2, 3} {
+			res := ReplicableOpt(tree, testNode{}, tree.optProblem(true),
+				Config{Workers: 6, DCutoff: cutoff})
+			if !res.Found || res.Objective != want {
+				t.Errorf("seed %d d=%d: got %d (found=%v), want %d",
+					seed, cutoff, res.Objective, res.Found, want)
+			}
+		}
+	}
+}
+
+// The defining property: visited-node counts are identical across
+// repeated runs AND across worker counts — no performance anomalies.
+func TestReplicableOptDeterministicNodeCounts(t *testing.T) {
+	tree := genTree(11, 5, 10)
+	p := tree.optProblem(true)
+	var reference int64
+	for run := 0; run < 3; run++ {
+		for _, workers := range []int{1, 2, 7, 16} {
+			res := ReplicableOpt(tree, testNode{}, p, Config{Workers: workers, DCutoff: 2})
+			if reference == 0 {
+				reference = res.Stats.Nodes
+				continue
+			}
+			if res.Stats.Nodes != reference {
+				t.Fatalf("run %d workers %d: visited %d nodes, reference %d — not replicable",
+					run, workers, res.Stats.Nodes, reference)
+			}
+		}
+	}
+}
+
+// The anomalous skeletons generally do NOT have this property — and
+// the replicable one must pay for determinism with at least as many
+// visits as fully-shared pruning achieves on one worker.
+func TestReplicableVisitsAtLeastSequential(t *testing.T) {
+	tree := genTree(13, 5, 10)
+	p := tree.optProblem(true)
+	seq := Opt(Sequential, tree, testNode{}, p, Config{})
+	rep := ReplicableOpt(tree, testNode{}, p, Config{Workers: 4, DCutoff: 2})
+	if rep.Objective != seq.Objective {
+		t.Fatalf("answers differ: %d vs %d", rep.Objective, seq.Objective)
+	}
+	if rep.Stats.Nodes < seq.Stats.Nodes {
+		t.Errorf("replicable visited fewer nodes (%d) than sequential (%d)?",
+			rep.Stats.Nodes, seq.Stats.Nodes)
+	}
+}
+
+func TestReplicableWithPruneLevel(t *testing.T) {
+	tree := genTree(17, 4, 9)
+	tree.sortChildrenByBound()
+	p := tree.optProblem(true)
+	p.PruneLevel = true
+	res := ReplicableOpt(tree, testNode{}, p, Config{Workers: 4, DCutoff: 2})
+	if res.Objective != tree.max() {
+		t.Fatalf("got %d, want %d", res.Objective, tree.max())
+	}
+}
+
+func TestReplicableSingleNodeTree(t *testing.T) {
+	tree := chainTree(1)
+	res := ReplicableOpt(tree, testNode{}, tree.optProblem(false), Config{Workers: 4, DCutoff: 2})
+	if !res.Found || res.Objective != tree.value[""] {
+		t.Fatalf("single-node tree: %+v", res)
+	}
+}
+
+func TestReplicableNoBound(t *testing.T) {
+	tree := genTree(19, 4, 8)
+	res := ReplicableOpt(tree, testNode{}, tree.optProblem(false), Config{Workers: 4, DCutoff: 1})
+	if res.Objective != tree.max() {
+		t.Fatalf("got %d, want %d", res.Objective, tree.max())
+	}
+	if res.Stats.Nodes != int64(tree.size) {
+		t.Fatalf("unpruned replicable visited %d of %d nodes", res.Stats.Nodes, tree.size)
+	}
+}

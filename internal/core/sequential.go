@@ -1,0 +1,43 @@
+package core
+
+// expandBelow performs the depth-first backtracking traversal of
+// Listing 2 over the subtree strictly below root. The caller must have
+// visited root already (and received prune == false). A stack of lazy
+// node generators drives the traversal: advancing the top generator is
+// the (expand) rule, popping an exhausted generator is (backtrack), and
+// an empty stack is (terminate).
+func expandBelow[S, N any](space S, gf GenFactory[S, N], v visitor[N], cancel *canceller, sh *WorkerStats, root N) {
+	stack := make([]NodeGenerator[N], 0, 32)
+	stack = append(stack, gf(space, root))
+	for len(stack) > 0 {
+		if cancel.cancelled() {
+			return
+		}
+		g := stack[len(stack)-1]
+		if !g.HasNext() {
+			stack[len(stack)-1] = nil
+			stack = stack[:len(stack)-1]
+			sh.Backtracks++
+			continue
+		}
+		child := g.Next()
+		switch v.visit(child) {
+		case descend:
+			stack = append(stack, gf(space, child))
+		case pruneLevel:
+			// Later siblings have no better bound: abandon the level.
+			stack[len(stack)-1] = nil
+			stack = stack[:len(stack)-1]
+			sh.Backtracks++
+		}
+	}
+}
+
+// runSequential is the Sequential coordination: one worker, no spawn
+// rules.
+func runSequential[S, N any](space S, gf GenFactory[S, N], v visitor[N], cancel *canceller, sh *WorkerStats, root N) {
+	if v.visit(root) != descend {
+		return
+	}
+	expandBelow(space, gf, v, cancel, sh, root)
+}

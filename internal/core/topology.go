@@ -1,0 +1,74 @@
+package core
+
+import (
+	"math/rand"
+	"time"
+)
+
+// topology is the simulated distributed machine: a set of localities
+// (stand-ins for the paper's physical cluster nodes), each owning a
+// workpool, with workers assigned round-robin. Steals prefer the local
+// pool; only when it is empty is a random remote locality tried, with
+// an optional latency charge per remote attempt — mirroring the
+// locality-aware victim selection of Section 4.3.
+type topology[N any] struct {
+	pools     []Pool[N]
+	workerLoc []int
+	stealLat  time.Duration
+	rngs      []*rand.Rand
+}
+
+func newTopology[N any](cfg Config) *topology[N] {
+	tp := &topology[N]{
+		pools:     make([]Pool[N], cfg.Localities),
+		workerLoc: make([]int, cfg.Workers),
+		stealLat:  cfg.StealLatency,
+		rngs:      make([]*rand.Rand, cfg.Workers),
+	}
+	for i := range tp.pools {
+		tp.pools[i] = newPool[N](cfg.Pool)
+	}
+	for w := 0; w < cfg.Workers; w++ {
+		tp.workerLoc[w] = w % cfg.Localities
+		tp.rngs[w] = rand.New(rand.NewSource(cfg.Seed + int64(w)*7919))
+	}
+	return tp
+}
+
+// locality returns the locality a worker belongs to.
+func (tp *topology[N]) locality(w int) int { return tp.workerLoc[w] }
+
+// push enqueues a task on the worker's local pool.
+func (tp *topology[N]) push(w int, t Task[N]) { tp.pools[tp.workerLoc[w]].Push(t) }
+
+// popOrSteal takes the next task for worker w: local pool first, then
+// remote localities in random order. Steal accounting is recorded in
+// the worker's shard.
+func (tp *topology[N]) popOrSteal(w int, sh *WorkerStats) (Task[N], bool) {
+	loc := tp.workerLoc[w]
+	if t, ok := tp.pools[loc].Pop(); ok {
+		return t, true
+	}
+	if len(tp.pools) == 1 {
+		var zero Task[N]
+		return zero, false
+	}
+	r := tp.rngs[w]
+	start := r.Intn(len(tp.pools))
+	for i := 0; i < len(tp.pools); i++ {
+		v := (start + i) % len(tp.pools)
+		if v == loc {
+			continue
+		}
+		if tp.stealLat > 0 {
+			time.Sleep(tp.stealLat)
+		}
+		if t, ok := tp.pools[v].Steal(); ok {
+			sh.StealsOK++
+			return t, true
+		}
+		sh.StealsFail++
+	}
+	var zero Task[N]
+	return zero, false
+}

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTraceDepthBounded(t *testing.T) {
+	tree := genTree(1, 4, 9)
+	trace := NewTrace(4)
+	res := Enum(DepthBounded, tree, testNode{}, tree.enumProblem(),
+		Config{Workers: 4, DCutoff: 2, Trace: trace})
+	s := trace.Summary()
+	// one event per executed task: the root plus every spawn
+	if int64(s.Tasks) != res.Stats.Spawns+1 {
+		t.Errorf("traced %d tasks, stats says %d spawns (+1 root)", s.Tasks, res.Stats.Spawns)
+	}
+	if s.Workers != 4 {
+		t.Errorf("Workers = %d", s.Workers)
+	}
+	if s.Utilisation <= 0 || s.Utilisation > 1.0001 {
+		t.Errorf("Utilisation = %f", s.Utilisation)
+	}
+	if s.MakespanLessThan(0) {
+		t.Error("negative makespan")
+	}
+	var perWorker time.Duration
+	for _, d := range s.PerWorker {
+		perWorker += d
+	}
+	if perWorker != s.TotalBusy {
+		t.Errorf("per-worker busy %v != total %v", perWorker, s.TotalBusy)
+	}
+	// depth-bounded with cutoff 2 spawns tasks only at depths 0..2
+	for d := range s.DepthCount {
+		if d < 0 || d > 2 {
+			t.Errorf("task recorded at depth %d, cutoff was 2", d)
+		}
+	}
+	if s.MinTask > s.MedianTask || s.MedianTask > s.MaxTask {
+		t.Errorf("task size quantiles out of order: %v %v %v", s.MinTask, s.MedianTask, s.MaxTask)
+	}
+}
+
+// MakespanLessThan is a tiny helper to keep the test readable.
+func (s Summary) MakespanLessThan(d time.Duration) bool { return s.Makespan < d }
+
+func TestTraceStackStealAndBudget(t *testing.T) {
+	tree := genTree(2, 4, 9)
+	for _, coord := range []Coordination{StackStealing, Budget} {
+		trace := NewTrace(4)
+		res := Enum(coord, tree, testNode{}, tree.enumProblem(),
+			Config{Workers: 4, Budget: 8, Trace: trace})
+		s := trace.Summary()
+		if s.Tasks == 0 {
+			t.Errorf("%v: no tasks traced", coord)
+		}
+		// stack-stealing tasks exclude the coordinator's root visit,
+		// budget includes the root task
+		if int64(s.Tasks) > res.Stats.Spawns+1 {
+			t.Errorf("%v: %d tasks traced, only %d spawned", coord, s.Tasks, res.Stats.Spawns)
+		}
+	}
+}
+
+func TestTraceBestFirst(t *testing.T) {
+	tree := genTree(3, 4, 9)
+	trace := NewTrace(3)
+	res := BestFirstOpt(tree, testNode{}, tree.optProblem(true),
+		Config{Workers: 3, Budget: 8, Trace: trace})
+	if res.Objective != tree.max() {
+		t.Fatalf("wrong answer under tracing")
+	}
+	if trace.Summary().Tasks == 0 {
+		t.Error("no tasks traced")
+	}
+}
+
+func TestTraceEventsOrdered(t *testing.T) {
+	tree := genTree(5, 4, 8)
+	trace := NewTrace(4)
+	Enum(DepthBounded, tree, testNode{}, tree.enumProblem(),
+		Config{Workers: 4, DCutoff: 3, Trace: trace})
+	events := trace.Events()
+	for i := 1; i < len(events); i++ {
+		if events[i].Start < events[i-1].Start {
+			t.Fatal("events not sorted by start time")
+		}
+	}
+	for _, e := range events {
+		if e.End < e.Start {
+			t.Fatalf("event ends before it starts: %+v", e)
+		}
+		if e.Worker < 0 || e.Worker >= 4 {
+			t.Fatalf("bad worker id %d", e.Worker)
+		}
+	}
+}
+
+func TestTraceEmptySummary(t *testing.T) {
+	s := NewTrace(2).Summary()
+	if s.Tasks != 0 || s.TotalBusy != 0 {
+		t.Fatalf("empty trace summary = %+v", s)
+	}
+}
+
+func TestGantt(t *testing.T) {
+	tree := genTree(9, 4, 9)
+	trace := NewTrace(3)
+	Enum(DepthBounded, tree, testNode{}, tree.enumProblem(),
+		Config{Workers: 3, DCutoff: 2, Trace: trace})
+	out := trace.Gantt(40)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // 3 workers + axis
+		t.Fatalf("gantt has %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(out, "#") {
+		t.Fatal("gantt shows no busy time")
+	}
+	for w := 0; w < 3; w++ {
+		if !strings.HasPrefix(lines[w], "w0") {
+			t.Fatalf("row %d missing worker label: %q", w, lines[w])
+		}
+	}
+	if NewTrace(2).Gantt(20) != "(no tasks traced)\n" {
+		t.Fatal("empty gantt wrong")
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	tree := genTree(7, 4, 8)
+	trace := NewTrace(2)
+	Enum(DepthBounded, tree, testNode{}, tree.enumProblem(),
+		Config{Workers: 2, DCutoff: 1, Trace: trace})
+	out := trace.Summary().String()
+	for _, want := range []string{"tasks=", "utilisation=", "task sizes:", "tasks per depth:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q: %s", want, out)
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"math/rand"
+)
+
+// testTree is an explicit materialised search tree used to validate the
+// skeletons against direct recursion. Node ids are strings; children
+// are ordered (the sibling order of Section 3.1).
+type testTree struct {
+	children map[string][]string
+	value    map[string]int64
+	size     int
+}
+
+type testNode struct {
+	id    string
+	depth int
+}
+
+// genTree builds a random irregular tree. Branching at each node is
+// 0..maxBranch, biased thinner with depth; node values are random in
+// [0, 1000).
+func genTree(seed int64, maxBranch, maxDepth int) *testTree {
+	r := rand.New(rand.NewSource(seed))
+	t := &testTree{
+		children: map[string][]string{},
+		value:    map[string]int64{},
+	}
+	var build func(id string, depth int)
+	build = func(id string, depth int) {
+		t.size++
+		t.value[id] = int64(r.Intn(1000))
+		if depth >= maxDepth {
+			return
+		}
+		var b int
+		if depth < 3 {
+			b = 2 + r.Intn(maxBranch) // bushy near the root
+		} else {
+			b = r.Intn(maxBranch + 1)
+			if depth > maxDepth/2 && b > 0 {
+				b = r.Intn(b + 1) // thin out deep levels
+			}
+		}
+		for i := 0; i < b; i++ {
+			child := id + string(rune('a'+i))
+			t.children[id] = append(t.children[id], child)
+			build(child, depth+1)
+		}
+	}
+	build("", 0)
+	return t
+}
+
+// chainTree is a degenerate unary tree of the given length (stresses
+// deep generator stacks and backtracking).
+func chainTree(n int) *testTree {
+	t := &testTree{children: map[string][]string{}, value: map[string]int64{}}
+	id := ""
+	for i := 0; i < n; i++ {
+		t.value[id] = int64(i)
+		t.size++
+		if i < n-1 {
+			child := id + "a"
+			t.children[id] = []string{child}
+			id = child
+		}
+	}
+	return t
+}
+
+// wideTree has all leaves directly under the root.
+func wideTree(n int) *testTree {
+	t := &testTree{children: map[string][]string{}, value: map[string]int64{}}
+	t.value[""] = 0
+	t.size = 1
+	for i := 0; i < n; i++ {
+		id := "" + string(rune(33+i%90)) + string(rune('0'+i/90))
+		t.children[""] = append(t.children[""], id)
+		t.value[id] = int64(i % 997)
+		t.size++
+	}
+	return t
+}
+
+func testGen(t *testTree, parent testNode) NodeGenerator[testNode] {
+	kids := t.children[parent.id]
+	nodes := make([]testNode, len(kids))
+	for i, k := range kids {
+		nodes[i] = testNode{id: k, depth: parent.depth + 1}
+	}
+	return NewSliceGen(nodes)
+}
+
+// subtreeMax computes max value over subtree(id) inclusive — the
+// admissible bound used by the pruning tests.
+func (t *testTree) subtreeMax(id string) int64 {
+	best := t.value[id]
+	for _, c := range t.children[id] {
+		if m := t.subtreeMax(c); m > best {
+			best = m
+		}
+	}
+	return best
+}
+
+func (t *testTree) sum() int64 {
+	var s int64
+	for _, v := range t.value {
+		s += v
+	}
+	return s
+}
+
+func (t *testTree) max() int64 {
+	best := int64(-1 << 62)
+	for _, v := range t.value {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+func (t *testTree) enumProblem() EnumProblem[*testTree, testNode, int64] {
+	return EnumProblem[*testTree, testNode, int64]{
+		Gen:       testGen,
+		Objective: func(tt *testTree, n testNode) int64 { return tt.value[n.id] },
+		Monoid:    SumInt64{},
+	}
+}
+
+func (t *testTree) optProblem(withBound bool) OptProblem[*testTree, testNode] {
+	p := OptProblem[*testTree, testNode]{
+		Gen:       testGen,
+		Objective: func(tt *testTree, n testNode) int64 { return tt.value[n.id] },
+	}
+	if withBound {
+		// Bound must cover the subtree below n; subtreeMax includes n,
+		// which is a valid (slightly weak) upper bound.
+		p.Bound = func(tt *testTree, n testNode) int64 { return tt.subtreeMax(n.id) }
+	}
+	return p
+}
+
+// sortChildrenByBound reorders every child list by non-increasing
+// subtree maximum, establishing the sibling-order precondition of
+// PruneLevel.
+func (t *testTree) sortChildrenByBound() {
+	for id, kids := range t.children {
+		sorted := make([]string, len(kids))
+		copy(sorted, kids)
+		for i := 1; i < len(sorted); i++ {
+			for j := i; j > 0 && t.subtreeMax(sorted[j]) > t.subtreeMax(sorted[j-1]); j-- {
+				sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+			}
+		}
+		t.children[id] = sorted
+	}
+}
+
+func (t *testTree) decisionProblem(target int64, withBound bool) DecisionProblem[*testTree, testNode] {
+	p := DecisionProblem[*testTree, testNode]{
+		Gen:       testGen,
+		Objective: func(tt *testTree, n testNode) int64 { return tt.value[n.id] },
+		Target:    target,
+	}
+	if withBound {
+		p.Bound = func(tt *testTree, n testNode) int64 { return tt.subtreeMax(n.id) }
+	}
+	return p
+}

@@ -1,0 +1,169 @@
+package core
+
+import "sync"
+
+// pruneAction is a visitor's verdict on a just-visited node.
+type pruneAction int
+
+const (
+	// descend: explore the node's children.
+	descend pruneAction = iota
+	// pruneChild: skip the node's subtree, continue with its siblings.
+	pruneChild
+	// pruneLevel: skip the node's subtree and all later siblings.
+	// Sound only when the application declares (via PruneLevel) that
+	// siblings are generated in non-increasing bound order, so a
+	// failed bound check also dooms everything to-the-right — the
+	// "prune future children" property of Section 4.1.
+	pruneLevel
+)
+
+// visitor is the per-worker node-processing strategy determined by the
+// search type: it implements the (accumulate) rule for enumeration and
+// the (strengthen)/(skip) and (prune) rules for optimisation and
+// decision searches.
+type visitor[N any] interface {
+	visit(n N) pruneAction
+}
+
+// enumVisitor accumulates objective values into a worker-local monoid
+// sum. Local accumulation plus a final combine is equivalent to the
+// semantics' single global accumulator because the monoid is
+// commutative, and avoids a contended hot word.
+type enumVisitor[S, N, M any] struct {
+	space S
+	obj   func(S, N) M
+	mon   Monoid[M]
+	acc   M
+	shard *WorkerStats
+}
+
+func (v *enumVisitor[S, N, M]) visit(n N) pruneAction {
+	v.shard.Nodes++
+	v.acc = v.mon.Plus(v.acc, v.obj(v.space, n))
+	return descend
+}
+
+func newEnumVisitors[S, N, M any](space S, p EnumProblem[S, N, M], m *Metrics, workers int) []visitor[N] {
+	vs := make([]visitor[N], workers)
+	for w := 0; w < workers; w++ {
+		vs[w] = &enumVisitor[S, N, M]{
+			space: space, obj: p.Objective, mon: p.Monoid,
+			acc: p.Monoid.Zero(), shard: m.shard(w),
+		}
+	}
+	return vs
+}
+
+func combineEnum[S, N, M any](mon Monoid[M], vs []visitor[N]) M {
+	acc := mon.Zero()
+	for _, v := range vs {
+		acc = mon.Plus(acc, v.(*enumVisitor[S, N, M]).acc)
+	}
+	return acc
+}
+
+// optVisitor strengthens the shared incumbent and prunes subtrees whose
+// bound cannot beat the locality's (possibly stale) view of the best
+// objective.
+type optVisitor[S, N any] struct {
+	space S
+	obj   func(S, N) int64
+	bound func(S, N) int64
+	level bool
+	inc   *incumbent[N]
+	loc   int
+	shard *WorkerStats
+}
+
+func (v *optVisitor[S, N]) visit(n N) pruneAction {
+	v.shard.Nodes++
+	o := v.obj(v.space, n)
+	if o > v.inc.localBest(v.loc) {
+		v.inc.strengthen(v.loc, o, n)
+	}
+	if v.bound != nil && v.bound(v.space, n) <= v.inc.localBest(v.loc) {
+		v.shard.Prunes++
+		if v.level {
+			return pruneLevel
+		}
+		return pruneChild
+	}
+	return descend
+}
+
+func newOptVisitors[S, N any](space S, p OptProblem[S, N], inc *incumbent[N], m *Metrics, locOf []int) []visitor[N] {
+	vs := make([]visitor[N], len(locOf))
+	for w := range vs {
+		vs[w] = &optVisitor[S, N]{
+			space: space, obj: p.Objective, bound: p.Bound, level: p.PruneLevel,
+			inc: inc, loc: locOf[w], shard: m.shard(w),
+		}
+	}
+	return vs
+}
+
+// decisionVisitor looks for a node reaching the greatest element of the
+// bounded order. Reaching it records the witness and fires the
+// (shortcircuit) rule via the global canceller.
+type decisionVisitor[S, N any] struct {
+	space  S
+	obj    func(S, N) int64
+	bound  func(S, N) int64
+	level  bool
+	target int64
+	wit    *witness[N]
+	cancel *canceller
+	shard  *WorkerStats
+}
+
+// witness stores the first decision witness found.
+type witness[N any] struct {
+	mu    sync.Mutex
+	node  N
+	obj   int64
+	found bool
+}
+
+func (w *witness[N]) record(n N, obj int64) {
+	w.mu.Lock()
+	if !w.found {
+		w.node, w.obj, w.found = n, obj, true
+	}
+	w.mu.Unlock()
+}
+
+func (w *witness[N]) get() (N, int64, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.node, w.obj, w.found
+}
+
+func (v *decisionVisitor[S, N]) visit(n N) pruneAction {
+	v.shard.Nodes++
+	o := v.obj(v.space, n)
+	if o >= v.target {
+		v.wit.record(n, o)
+		v.cancel.cancel()
+		return pruneChild
+	}
+	if v.bound != nil && v.bound(v.space, n) < v.target {
+		v.shard.Prunes++
+		if v.level {
+			return pruneLevel
+		}
+		return pruneChild
+	}
+	return descend
+}
+
+func newDecisionVisitors[S, N any](space S, p DecisionProblem[S, N], wit *witness[N], cancel *canceller, m *Metrics, workers int) []visitor[N] {
+	vs := make([]visitor[N], workers)
+	for w := 0; w < workers; w++ {
+		vs[w] = &decisionVisitor[S, N]{
+			space: space, obj: p.Objective, bound: p.Bound, level: p.PruneLevel,
+			target: p.Target, wit: wit, cancel: cancel, shard: m.shard(w),
+		}
+	}
+	return vs
+}

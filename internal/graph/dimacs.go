@@ -1,0 +1,92 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParseDIMACS reads a graph in DIMACS clique format (.clq):
+//
+//	c <comment>
+//	p edge <n> <m>
+//	e <u> <v>        (1-based vertices)
+//
+// It tolerates "p col" headers and duplicate edge lines.
+func ParseDIMACS(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	var g *Graph
+	line := 0
+	for sc.Scan() {
+		line++
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "c":
+			// comment
+		case "p":
+			if g != nil {
+				return nil, fmt.Errorf("dimacs: line %d: duplicate problem line", line)
+			}
+			if len(fields) < 3 {
+				return nil, fmt.Errorf("dimacs: line %d: malformed problem line", line)
+			}
+			n, err := strconv.Atoi(fields[2])
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("dimacs: line %d: bad vertex count %q", line, fields[2])
+			}
+			g = New(n)
+		case "e":
+			if g == nil {
+				return nil, fmt.Errorf("dimacs: line %d: edge before problem line", line)
+			}
+			if len(fields) < 3 {
+				return nil, fmt.Errorf("dimacs: line %d: malformed edge line", line)
+			}
+			u, err1 := strconv.Atoi(fields[1])
+			v, err2 := strconv.Atoi(fields[2])
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("dimacs: line %d: bad edge endpoints", line)
+			}
+			if u < 1 || u > g.N || v < 1 || v > g.N {
+				return nil, fmt.Errorf("dimacs: line %d: edge (%d,%d) out of range 1..%d", line, u, v, g.N)
+			}
+			g.AddEdge(u-1, v-1)
+		default:
+			return nil, fmt.Errorf("dimacs: line %d: unknown record %q", line, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if g == nil {
+		return nil, fmt.Errorf("dimacs: missing problem line")
+	}
+	return g, nil
+}
+
+// WriteDIMACS writes g in DIMACS clique format with 1-based vertices.
+func WriteDIMACS(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "p edge %d %d\n", g.N, g.Edges()); err != nil {
+		return err
+	}
+	var werr error
+	for u := 0; u < g.N && werr == nil; u++ {
+		g.Adj[u].ForEach(func(v int) bool {
+			if u < v {
+				_, werr = fmt.Fprintf(bw, "e %d %d\n", u+1, v+1)
+			}
+			return werr == nil
+		})
+	}
+	if werr != nil {
+		return werr
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,40 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParseDIMACS checks the parser never panics and that everything
+// it accepts survives a write/parse round trip unchanged.
+func FuzzParseDIMACS(f *testing.F) {
+	f.Add("p edge 3 2\ne 1 2\ne 2 3\n")
+	f.Add("c comment\np edge 1 0\n")
+	f.Add("p col 4 1\ne 1 4\n")
+	f.Add("e 1 2\n")
+	f.Add("p edge 0 0\n")
+	f.Add("p edge 2 1\ne 2 2\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := ParseDIMACS(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteDIMACS(&buf, g); err != nil {
+			t.Fatalf("write after successful parse: %v", err)
+		}
+		h, err := ParseDIMACS(&buf)
+		if err != nil {
+			t.Fatalf("reparse of own output: %v", err)
+		}
+		if h.N != g.N || h.Edges() != g.Edges() {
+			t.Fatalf("round trip changed graph: %d/%d -> %d/%d", g.N, g.Edges(), h.N, h.Edges())
+		}
+		for v := 0; v < g.N; v++ {
+			if !g.Adj[v].Equal(h.Adj[v]) {
+				t.Fatal("round trip changed adjacency")
+			}
+		}
+	})
+}

@@ -1,0 +1,119 @@
+package graph
+
+import "math/rand"
+
+// Random returns an Erdős–Rényi G(n, p) graph, deterministic for a seed.
+func Random(n int, p float64, seed int64) *Graph {
+	r := rand.New(rand.NewSource(seed))
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if r.Float64() < p {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+	return g
+}
+
+// PlantedClique returns a G(n, p) graph with a clique of size k planted
+// on k random vertices. Returns the graph and the planted vertices.
+// This is the stand-in for the brock-family DIMACS instances (random
+// graphs with hidden cliques) and the finite-geometry k-clique instance.
+func PlantedClique(n int, p float64, k int, seed int64) (*Graph, []int) {
+	r := rand.New(rand.NewSource(seed))
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if r.Float64() < p {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+	perm := r.Perm(n)
+	planted := perm[:k]
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			g.AddEdge(planted[i], planted[j])
+		}
+	}
+	out := make([]int, k)
+	copy(out, planted)
+	return g, out
+}
+
+// Banded returns a graph whose edge probability varies smoothly with the
+// vertex-index distance, producing the wide degree spread of the
+// p_hat DIMACS family: edges between close indices appear with pHigh,
+// distant ones with pLow.
+func Banded(n int, pLow, pHigh float64, seed int64) *Graph {
+	r := rand.New(rand.NewSource(seed))
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			d := float64(v-u) / float64(n-1)
+			p := pHigh - (pHigh-pLow)*d
+			if r.Float64() < p {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+	return g
+}
+
+// Kneser returns the Kneser graph K(n, k): vertices are the k-element
+// subsets of {0..n-1}, adjacent iff disjoint. Cliques in K(n, k) are
+// families of pairwise-disjoint k-sets, so the maximum clique size is
+// exactly ⌊n/k⌋ — a combinatorial decision instance with a known
+// answer, standing in for the finite-geometry spread problems
+// (spreads are partitions into pairwise-disjoint subspaces) that the
+// paper's Figure 4 instance comes from. Requires n <= 62 and a
+// subset count that fits in memory.
+func Kneser(n, k int) *Graph {
+	var subsets []uint64
+	var build func(start int, chosen int, mask uint64)
+	build = func(start, chosen int, mask uint64) {
+		if chosen == k {
+			subsets = append(subsets, mask)
+			return
+		}
+		for i := start; i <= n-(k-chosen); i++ {
+			build(i+1, chosen+1, mask|1<<uint(i))
+		}
+	}
+	build(0, 0, 0)
+	g := New(len(subsets))
+	for i := range subsets {
+		for j := i + 1; j < len(subsets); j++ {
+			if subsets[i]&subsets[j] == 0 {
+				g.AddEdge(i, j)
+			}
+		}
+	}
+	return g
+}
+
+// KneserCliqueNumber returns the maximum clique size of K(n, k),
+// which is the number of pairwise-disjoint k-subsets of an n-set.
+func KneserCliqueNumber(n, k int) int { return n / k }
+
+// Partitioned returns an n-vertex graph split into blocks of size
+// blockSize with intra-block probability pIn and inter-block pOut,
+// the structure class of the san DIMACS family (near-regular graphs
+// engineered to hide their maximum cliques).
+func Partitioned(n, blockSize int, pIn, pOut float64, seed int64) *Graph {
+	r := rand.New(rand.NewSource(seed))
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			p := pOut
+			if u/blockSize == v/blockSize {
+				p = pIn
+			}
+			if r.Float64() < p {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+	return g
+}

@@ -1,0 +1,345 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"yewpar/internal/bitset"
+)
+
+func TestAddEdgeSymmetric(t *testing.T) {
+	g := New(5)
+	g.AddEdge(1, 3)
+	if !g.HasEdge(1, 3) || !g.HasEdge(3, 1) {
+		t.Fatal("edge not symmetric")
+	}
+	if g.HasEdge(1, 2) {
+		t.Fatal("phantom edge")
+	}
+}
+
+func TestSelfLoopIgnored(t *testing.T) {
+	g := New(3)
+	g.AddEdge(1, 1)
+	if g.HasEdge(1, 1) || g.Edges() != 0 {
+		t.Fatal("self loop stored")
+	}
+}
+
+func TestEdgesAndDensity(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	g.AddEdge(2, 3)
+	if g.Edges() != 3 {
+		t.Fatalf("Edges = %d", g.Edges())
+	}
+	if got, want := g.Density(), 3.0/6.0; got != want {
+		t.Fatalf("Density = %f, want %f", got, want)
+	}
+}
+
+func TestDegreeOrder(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 0)
+	g.AddEdge(2, 1)
+	g.AddEdge(2, 3)
+	order := g.DegreeOrder()
+	if order[0] != 2 {
+		t.Fatalf("highest-degree vertex should be first: %v", order)
+	}
+	// ties (0 and 1, both degree 2) broken by index
+	if order[1] != 0 || order[2] != 1 || order[3] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestDegeneracyOrderProperties(t *testing.T) {
+	g := Random(40, 0.3, 6)
+	order, degeneracy := g.DegeneracyOrder()
+	// order is a permutation
+	seen := make([]bool, g.N)
+	for _, v := range order {
+		if seen[v] {
+			t.Fatalf("vertex %d appears twice", v)
+		}
+		seen[v] = true
+	}
+	// defining property of the (reversed, core-first) order: every
+	// vertex has at most `degeneracy` neighbours EARLIER in the order
+	pos := make([]int, g.N)
+	for i, v := range order {
+		pos[v] = i
+	}
+	for _, v := range order {
+		earlier := 0
+		g.Adj[v].ForEach(func(u int) bool {
+			if pos[u] < pos[v] {
+				earlier++
+			}
+			return true
+		})
+		if earlier > degeneracy {
+			t.Fatalf("vertex %d has %d earlier neighbours, degeneracy claims %d", v, earlier, degeneracy)
+		}
+	}
+}
+
+func TestDegeneracyOfCompleteGraph(t *testing.T) {
+	g := New(6)
+	for u := 0; u < 6; u++ {
+		for v := u + 1; v < 6; v++ {
+			g.AddEdge(u, v)
+		}
+	}
+	if _, d := g.DegeneracyOrder(); d != 5 {
+		t.Fatalf("K6 degeneracy = %d, want 5", d)
+	}
+	tree := New(5)
+	tree.AddEdge(0, 1)
+	tree.AddEdge(1, 2)
+	tree.AddEdge(1, 3)
+	tree.AddEdge(3, 4)
+	if _, d := tree.DegeneracyOrder(); d != 1 {
+		t.Fatalf("tree degeneracy = %d, want 1", d)
+	}
+}
+
+func TestRelabelPreservesEdgeCount(t *testing.T) {
+	g := Random(30, 0.4, 1)
+	perm := make([]int, 30)
+	for i := range perm {
+		perm[i] = (i + 7) % 30
+	}
+	h := g.Relabel(perm)
+	if h.Edges() != g.Edges() {
+		t.Fatalf("relabel changed edge count %d -> %d", g.Edges(), h.Edges())
+	}
+	if !h.HasEdge(perm[0], perm[1]) == g.HasEdge(0, 1) {
+		t.Fatal("relabel lost an adjacency")
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g := New(5)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(3, 4)
+	h, orig := g.InducedSubgraph([]int{1, 2, 4})
+	if h.N != 3 {
+		t.Fatalf("N = %d", h.N)
+	}
+	if !h.HasEdge(0, 1) { // 1-2
+		t.Fatal("missing induced edge")
+	}
+	if h.HasEdge(0, 2) || h.HasEdge(1, 2) {
+		t.Fatal("phantom induced edge")
+	}
+	if orig[2] != 4 {
+		t.Fatalf("orig = %v", orig)
+	}
+}
+
+func TestIsClique(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	g.AddEdge(1, 2)
+	yes := bitset.FromSlice(4, []int{0, 1, 2})
+	no := bitset.FromSlice(4, []int{0, 1, 3})
+	if !g.IsClique(yes) {
+		t.Fatal("triangle not recognised")
+	}
+	if g.IsClique(no) {
+		t.Fatal("non-clique accepted")
+	}
+	if !g.IsClique(bitset.New(4)) {
+		t.Fatal("empty set is a clique")
+	}
+}
+
+func TestComplement(t *testing.T) {
+	g := Random(20, 0.3, 2)
+	c := g.Complement()
+	if g.Edges()+c.Edges() != 20*19/2 {
+		t.Fatalf("edges don't partition: %d + %d", g.Edges(), c.Edges())
+	}
+}
+
+func TestRandomDeterministic(t *testing.T) {
+	a := Random(40, 0.5, 42)
+	b := Random(40, 0.5, 42)
+	for v := 0; v < 40; v++ {
+		if !a.Adj[v].Equal(b.Adj[v]) {
+			t.Fatal("same seed produced different graphs")
+		}
+	}
+	c := Random(40, 0.5, 43)
+	same := true
+	for v := 0; v < 40; v++ {
+		if !a.Adj[v].Equal(c.Adj[v]) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical graphs")
+	}
+}
+
+func TestPlantedCliqueIsClique(t *testing.T) {
+	g, planted := PlantedClique(60, 0.3, 8, 7)
+	vs := bitset.FromSlice(60, planted)
+	if vs.Count() != 8 {
+		t.Fatalf("planted %d distinct vertices, want 8", vs.Count())
+	}
+	if !g.IsClique(vs) {
+		t.Fatal("planted set is not a clique")
+	}
+}
+
+func TestBandedDensityGradient(t *testing.T) {
+	g := Banded(120, 0.1, 0.9, 3)
+	near, nearCnt := 0, 0
+	far, farCnt := 0, 0
+	for u := 0; u < g.N; u++ {
+		for v := u + 1; v < g.N; v++ {
+			if v-u < 10 {
+				nearCnt++
+				if g.HasEdge(u, v) {
+					near++
+				}
+			}
+			if v-u > 100 {
+				farCnt++
+				if g.HasEdge(u, v) {
+					far++
+				}
+			}
+		}
+	}
+	if float64(near)/float64(nearCnt) < float64(far)/float64(farCnt) {
+		t.Fatal("banded graph has no density gradient")
+	}
+}
+
+func TestPartitionedStructure(t *testing.T) {
+	g := Partitioned(60, 10, 0.9, 0.05, 4)
+	in, inCnt, out, outCnt := 0, 0, 0, 0
+	for u := 0; u < g.N; u++ {
+		for v := u + 1; v < g.N; v++ {
+			if u/10 == v/10 {
+				inCnt++
+				if g.HasEdge(u, v) {
+					in++
+				}
+			} else {
+				outCnt++
+				if g.HasEdge(u, v) {
+					out++
+				}
+			}
+		}
+	}
+	if float64(in)/float64(inCnt) < 5*float64(out)/float64(outCnt) {
+		t.Fatal("partitioned graph lacks block structure")
+	}
+}
+
+func TestDIMACSRoundTrip(t *testing.T) {
+	g := Random(25, 0.4, 9)
+	var buf bytes.Buffer
+	if err := WriteDIMACS(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	h, err := ParseDIMACS(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.N != g.N || h.Edges() != g.Edges() {
+		t.Fatalf("round trip changed graph: %v vs %v", g, h)
+	}
+	for v := 0; v < g.N; v++ {
+		if !g.Adj[v].Equal(h.Adj[v]) {
+			t.Fatal("round trip changed adjacency")
+		}
+	}
+}
+
+func TestParseDIMACSTiny(t *testing.T) {
+	in := "c example\np edge 3 2\ne 1 2\ne 2 3\n"
+	g, err := ParseDIMACS(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 3 || !g.HasEdge(0, 1) || !g.HasEdge(1, 2) || g.HasEdge(0, 2) {
+		t.Fatalf("parsed wrong graph: %v", g)
+	}
+}
+
+func TestParseDIMACSErrors(t *testing.T) {
+	cases := []string{
+		"",                          // no problem line
+		"e 1 2\n",                   // edge before header
+		"p edge 2 1\ne 1 5\n",       // out of range
+		"p edge 2 1\ne x y\n",       // bad ints
+		"p edge x 1\n",              // bad n
+		"p edge 2 0\np edge 2 0\n",  // duplicate header
+		"p edge 2 1\nq something\n", // unknown record
+	}
+	for i, in := range cases {
+		if _, err := ParseDIMACS(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d: expected error for %q", i, in)
+		}
+	}
+}
+
+func TestKneserPetersen(t *testing.T) {
+	// K(5,2) is the Petersen graph: 10 vertices, 15 edges, 3-regular.
+	g := Kneser(5, 2)
+	if g.N != 10 || g.Edges() != 15 {
+		t.Fatalf("K(5,2): n=%d m=%d, want 10/15", g.N, g.Edges())
+	}
+	for v := 0; v < g.N; v++ {
+		if g.Degree(v) != 3 {
+			t.Fatalf("K(5,2) vertex %d has degree %d", v, g.Degree(v))
+		}
+	}
+	if KneserCliqueNumber(5, 2) != 2 {
+		t.Fatal("ω(K(5,2)) should be 2 (no triangles in Petersen)")
+	}
+}
+
+func TestKneserVertexCount(t *testing.T) {
+	// C(7,3) = 35
+	if g := Kneser(7, 3); g.N != 35 {
+		t.Fatalf("K(7,3) has %d vertices, want 35", g.N)
+	}
+	// k = n: single vertex, no edges
+	if g := Kneser(4, 4); g.N != 1 || g.Edges() != 0 {
+		t.Fatal("K(4,4) should be a single isolated vertex")
+	}
+}
+
+// Property: G(n,p) generators never create self loops and are symmetric.
+func TestQuickRandomWellFormed(t *testing.T) {
+	f := func(seed int64) bool {
+		g := Random(30, 0.5, seed)
+		for u := 0; u < g.N; u++ {
+			if g.HasEdge(u, u) {
+				return false
+			}
+			for v := 0; v < g.N; v++ {
+				if g.HasEdge(u, v) != g.HasEdge(v, u) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

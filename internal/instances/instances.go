@@ -1,0 +1,133 @@
+// Package instances provides the deterministic synthetic instances
+// standing in for the paper's evaluation inputs: the 18 DIMACS clique
+// instances of Table 1, the H(4,4) spreads k-clique instance of
+// Figure 4, and the per-application instance sets of Table 2.
+//
+// The DIMACS graphs themselves are proprietary-by-obscurity (large
+// binary downloads) and far too hard for a single-machine test cycle —
+// brock800_4 alone takes 24 CPU-minutes sequentially in the paper — so
+// each named instance here is a generated graph of the same structural
+// family (planted cliques for brock, banded density for p_hat,
+// block-structured for san, uniform dense for sanr/MANN), scaled so
+// the whole Table 1 harness runs in minutes. Overhead and scaling
+// comparisons are relative measurements and survive this rescaling;
+// absolute runtimes obviously do not (see EXPERIMENTS.md).
+package instances
+
+import (
+	"yewpar/internal/apps/knapsack"
+	"yewpar/internal/apps/sip"
+	"yewpar/internal/apps/tsp"
+	"yewpar/internal/apps/uts"
+	"yewpar/internal/graph"
+)
+
+// CliqueInstance is a named graph for the clique searches.
+type CliqueInstance struct {
+	Name string
+	Gen  func() *graph.Graph
+}
+
+// Table1 returns the 18 named instances of Table 1, in the paper's
+// row order.
+func Table1() []CliqueInstance {
+	planted := func(n int, p float64, k int, seed int64) func() *graph.Graph {
+		return func() *graph.Graph {
+			g, _ := graph.PlantedClique(n, p, k, seed)
+			return g
+		}
+	}
+	random := func(n int, p float64, seed int64) func() *graph.Graph {
+		return func() *graph.Graph { return graph.Random(n, p, seed) }
+	}
+	banded := func(n int, lo, hi float64, seed int64) func() *graph.Graph {
+		return func() *graph.Graph { return graph.Banded(n, lo, hi, seed) }
+	}
+	part := func(n, bs int, in, out float64, seed int64) func() *graph.Graph {
+		return func() *graph.Graph { return graph.Partitioned(n, bs, in, out, seed) }
+	}
+	return []CliqueInstance{
+		{"MANN_a45", random(100, 0.90, 451)},
+		{"brock400_1", planted(130, 0.65, 14, 4011)},
+		{"brock400_2", planted(130, 0.65, 14, 4012)},
+		{"brock400_3", planted(130, 0.65, 14, 4013)},
+		{"brock400_4", planted(120, 0.65, 13, 4014)},
+		{"brock800_4", planted(150, 0.60, 15, 8004)},
+		{"p_hat1000-2", banded(180, 0.30, 0.80, 10002)},
+		{"p_hat1500-1", banded(200, 0.10, 0.50, 15001)},
+		{"p_hat300-3", banded(130, 0.50, 0.90, 3003)},
+		{"p_hat500-3", banded(160, 0.45, 0.90, 5003)},
+		{"p_hat700-2", banded(170, 0.30, 0.80, 7002)},
+		{"p_hat700-3", banded(170, 0.45, 0.90, 7003)},
+		{"san1000", part(160, 20, 0.85, 0.30, 1000)},
+		{"san400_0.7_2", part(130, 13, 0.90, 0.45, 4072)},
+		{"san400_0.7_3", part(130, 13, 0.90, 0.45, 4073)},
+		{"san400_0.9_1", part(120, 12, 0.95, 0.60, 4091)},
+		{"sanr200_0.9", random(95, 0.90, 2009)},
+		{"sanr400_0.7", random(140, 0.70, 4007)},
+	}
+}
+
+// SpreadsH44Like returns the Figure 4 stand-in: a dense random graph
+// whose k-clique decision at k = ω+1 is unsatisfiable, so the whole
+// (pruned) tree must be explored — the way proving the non-existence
+// of a spread in H(4,4) does. High density keeps the colouring bound
+// weak, giving the multi-second sequential runtimes the scaling study
+// needs. Returns the graph and its (precomputed, deterministic)
+// maximum clique size ω = 30; harnesses should disprove k = ω+1 and
+// check that the decision indeed fails.
+func SpreadsH44Like() (*graph.Graph, int) {
+	return graph.Random(105, 0.90, 44_44), 30
+}
+
+// Table2Clique returns the MaxClique instance set for Table 2: the
+// three hardest Table 1 families (dense MANN-like, banded p_hat-like,
+// uniform sanr-like), which keep hundreds of milliseconds of
+// sequential work even with level pruning.
+func Table2Clique() []CliqueInstance {
+	t1 := Table1()
+	return []CliqueInstance{t1[0], t1[9], t1[16]}
+}
+
+// Table2Knapsack returns the knapsack instance set for Table 2:
+// odd-capacity subset-sum instances, the family on which the Dantzig
+// bound is weakest and the search tree genuinely large (correlated
+// families at this scale are solved in hundreds of nodes).
+func Table2Knapsack() []*knapsack.Space {
+	return []*knapsack.Space{
+		knapsack.Generate(24, 10_000, knapsack.SubsetSum, 103),
+		knapsack.Generate(25, 10_000, knapsack.SubsetSum, 104),
+		knapsack.Generate(26, 10_000, knapsack.SubsetSum, 105),
+	}
+}
+
+// Table2TSP returns the TSP instance set for Table 2.
+func Table2TSP() []*tsp.Space {
+	return []*tsp.Space{
+		tsp.GenerateEuclidean(15, 1000, 201),
+		tsp.GenerateEuclidean(15, 1000, 202),
+		tsp.GenerateEuclidean(16, 1000, 203),
+	}
+}
+
+// Table2SIP returns the SIP instance set for Table 2 (a satisfiable
+// and two unsatisfiable instances, as in the paper's benchmark mix).
+func Table2SIP() []*sip.Space {
+	return []*sip.Space{
+		sip.GenerateSat(90, 0.32, 30, 0.1, 309),
+		sip.GenerateRandom(95, 0.25, 18, 0.42, 307),
+		sip.GenerateRandom(85, 0.28, 17, 0.45, 306),
+	}
+}
+
+// Table2UTS returns the UTS instance set for Table 2.
+func Table2UTS() []*uts.Space {
+	return []*uts.Space{
+		{Shape: uts.Binomial, B0: 2000, M: 6, Q: 0.166, Seed: 401},
+		{Shape: uts.Binomial, B0: 4000, M: 8, Q: 0.1245, Seed: 404},
+		{Shape: uts.Geometric, B0: 5, MaxDepth: 15, Seed: 403},
+	}
+}
+
+// Table2NS returns the Numerical Semigroups genus targets for Table 2.
+func Table2NS() []int { return []int{23, 25} }

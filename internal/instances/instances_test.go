@@ -1,0 +1,103 @@
+package instances
+
+import (
+	"testing"
+
+	"yewpar/internal/apps/maxclique"
+	"yewpar/internal/core"
+)
+
+func TestTable1HasEighteenNamedInstances(t *testing.T) {
+	insts := Table1()
+	if len(insts) != 18 {
+		t.Fatalf("Table1 has %d instances, want 18 (as in the paper)", len(insts))
+	}
+	seen := map[string]bool{}
+	for _, inst := range insts {
+		if inst.Name == "" {
+			t.Fatal("unnamed instance")
+		}
+		if seen[inst.Name] {
+			t.Fatalf("duplicate instance name %q", inst.Name)
+		}
+		seen[inst.Name] = true
+	}
+	for _, want := range []string{"MANN_a45", "brock400_1", "p_hat700-3", "san1000", "sanr400_0.7"} {
+		if !seen[want] {
+			t.Errorf("missing paper row %q", want)
+		}
+	}
+}
+
+func TestTable1InstancesDeterministic(t *testing.T) {
+	a := Table1()[1].Gen()
+	b := Table1()[1].Gen()
+	if a.N != b.N || a.Edges() != b.Edges() {
+		t.Fatal("instance generation not deterministic")
+	}
+	for v := 0; v < a.N; v++ {
+		if !a.Adj[v].Equal(b.Adj[v]) {
+			t.Fatal("instance adjacency not deterministic")
+		}
+	}
+}
+
+func TestTable1InstancesNonTrivial(t *testing.T) {
+	for _, inst := range Table1() {
+		g := inst.Gen()
+		if g.N < 50 {
+			t.Errorf("%s: only %d vertices", inst.Name, g.N)
+		}
+		if g.Density() < 0.2 || g.Density() > 0.95 {
+			t.Errorf("%s: density %.2f outside clique-search regime", inst.Name, g.Density())
+		}
+	}
+}
+
+func TestSpreadsOmegaHint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second maximum-clique verification")
+	}
+	g, omega := SpreadsH44Like()
+	clique, _ := maxclique.Solve(g, core.DepthBounded, core.Config{DCutoff: 2})
+	if clique.Count() != omega {
+		t.Fatalf("precomputed ω = %d but solver found %d — update SpreadsH44Like", omega, clique.Count())
+	}
+}
+
+func TestTable2SetsNonEmpty(t *testing.T) {
+	if n := len(Table2Clique()); n != 3 {
+		t.Errorf("Table2Clique: %d instances", n)
+	}
+	if n := len(Table2Knapsack()); n != 3 {
+		t.Errorf("Table2Knapsack: %d instances", n)
+	}
+	if n := len(Table2TSP()); n != 3 {
+		t.Errorf("Table2TSP: %d instances", n)
+	}
+	if n := len(Table2SIP()); n != 3 {
+		t.Errorf("Table2SIP: %d instances", n)
+	}
+	if n := len(Table2UTS()); n != 3 {
+		t.Errorf("Table2UTS: %d instances", n)
+	}
+	if n := len(Table2NS()); n != 2 {
+		t.Errorf("Table2NS: %d targets", n)
+	}
+}
+
+func TestTable2KnapsackIsHardFamily(t *testing.T) {
+	for i, s := range Table2Knapsack() {
+		if s.Cap%2 != 1 {
+			t.Errorf("instance %d: capacity %d not odd (hard subset-sum requires it)", i, s.Cap)
+		}
+		for _, it := range s.Items {
+			if it.Profit != it.Weight {
+				t.Fatalf("instance %d: not subset-sum", i)
+			}
+			if it.Weight%2 != 0 {
+				t.Fatalf("instance %d: odd weight %d", i, it.Weight)
+			}
+		}
+	}
+}
