@@ -6,6 +6,13 @@
 //	yewpar -app kclique -f graph.clq -decision-bound 27 -skeleton budget -b 1000000
 //	yewpar -app ns -genus 18 -skeleton stacksteal -chunked
 //
+// Multi-process distributed search (every process gets the same
+// application flags; the coordinator prints the aggregated result):
+//
+//	yewpar -app knapsack -items 26 -skeleton depthbounded -d 4 -dist worker &
+//	yewpar -app knapsack -items 26 -skeleton depthbounded -d 4 -dist worker &
+//	yewpar -app knapsack -items 26 -skeleton depthbounded -d 4 -dist coordinator -dist-workers 2
+//
 // All logic lives in internal/cli; run `yewpar -h` for the flag set.
 package main
 

@@ -1,0 +1,156 @@
+package yewpar
+
+// Integration test of the multi-process distributed mode: build the
+// real yewpar binary, deploy 1 coordinator + 2 worker OS processes
+// over TCP, and check the optimum matches the single-process answer on
+// the acceptance workloads (knapsack and maxclique).
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+var (
+	buildOnce sync.Once
+	buildBin  string
+	buildErr  error
+)
+
+// yewparBinary builds cmd/yewpar once per test run.
+func yewparBinary(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		// Not t.TempDir: that is torn down when the first test ends,
+		// and the binary is shared by every test in the run.
+		dir, err := os.MkdirTemp("", "yewpar-dist-test")
+		if err != nil {
+			buildErr = err
+			return
+		}
+		bin := filepath.Join(dir, "yewpar")
+		cmd := exec.Command("go", "build", "-o", bin, "./cmd/yewpar")
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			buildErr = fmt.Errorf("building yewpar: %v\n%s", err, out)
+			return
+		}
+		buildBin = bin
+	})
+	if buildErr != nil {
+		t.Fatal(buildErr)
+	}
+	return buildBin
+}
+
+// freeAddr reserves a TCP port and releases it for the coordinator.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+// runDeployment launches 2 workers and a coordinator with the given
+// app flags and returns the coordinator's output.
+func runDeployment(t *testing.T, bin string, appFlags []string) string {
+	t.Helper()
+	addr := freeAddr(t)
+	var workers []*exec.Cmd
+	for i := 0; i < 2; i++ {
+		w := exec.Command(bin, append(appFlags, "-dist", "worker", "-dist-addr", addr)...)
+		w.Stderr = nil
+		if err := w.Start(); err != nil {
+			t.Fatalf("starting worker: %v", err)
+		}
+		workers = append(workers, w)
+	}
+	defer func() {
+		for _, w := range workers {
+			w.Process.Kill()
+			w.Wait()
+		}
+	}()
+
+	coord := exec.Command(bin, append(appFlags, "-dist", "coordinator", "-dist-workers", "2", "-dist-addr", addr)...)
+	done := make(chan struct{})
+	var out []byte
+	var err error
+	go func() {
+		defer close(done)
+		out, err = coord.CombinedOutput()
+	}()
+	select {
+	case <-done:
+	case <-time.After(120 * time.Second):
+		coord.Process.Kill()
+		t.Fatal("distributed deployment timed out")
+	}
+	if err != nil {
+		t.Fatalf("coordinator failed: %v\n%s", err, out)
+	}
+	for _, w := range workers {
+		if werr := w.Wait(); werr != nil {
+			t.Fatalf("worker failed: %v", werr)
+		}
+	}
+	return string(out)
+}
+
+// resultLine extracts the first line of a run's output (the answer).
+func resultLine(t *testing.T, output string) string {
+	t.Helper()
+	for _, line := range strings.Split(output, "\n") {
+		if strings.HasPrefix(line, "dist:") || strings.TrimSpace(line) == "" {
+			continue
+		}
+		return line
+	}
+	t.Fatalf("no result line in output:\n%s", output)
+	return ""
+}
+
+func testDistMatchesSingle(t *testing.T, appFlags []string) {
+	bin := yewparBinary(t)
+	single, err := exec.Command(bin, appFlags...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("single-process run failed: %v\n%s", err, single)
+	}
+	wantAnswer := resultLine(t, string(single))
+
+	out := runDeployment(t, bin, appFlags)
+	gotAnswer := resultLine(t, out)
+	if gotAnswer != wantAnswer {
+		t.Fatalf("distributed answer %q != single-process answer %q\nfull output:\n%s", gotAnswer, wantAnswer, out)
+	}
+	// The aggregated metrics must reflect a real 3-locality deployment
+	// with steal traffic and bound broadcasts on the wire.
+	if !strings.Contains(out, "localities=3") {
+		t.Errorf("aggregated stats missing localities=3:\n%s", out)
+	}
+	if !strings.Contains(out, "steals=") || !strings.Contains(out, "broadcasts=") {
+		t.Errorf("aggregated stats missing steal/broadcast counters:\n%s", out)
+	}
+}
+
+func TestDistributedKnapsackMatchesSingleProcess(t *testing.T) {
+	testDistMatchesSingle(t, []string{"-app", "knapsack", "-items", "22", "-skeleton", "depthbounded", "-d", "3", "-workers", "2"})
+}
+
+func TestDistributedMaxCliqueMatchesSingleProcess(t *testing.T) {
+	testDistMatchesSingle(t, []string{"-app", "maxclique", "-n", "90", "-p", "0.7", "-skeleton", "depthbounded", "-d", "2", "-workers", "2"})
+}
+
+func TestDistributedBudgetKnapsack(t *testing.T) {
+	testDistMatchesSingle(t, []string{"-app", "knapsack", "-items", "20", "-skeleton", "budget", "-b", "5000", "-workers", "2"})
+}

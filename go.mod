@@ -1,0 +1,3 @@
+module yewpar
+
+go 1.24

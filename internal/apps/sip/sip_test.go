@@ -225,7 +225,7 @@ func TestNDSFilterPrunesCandidates(t *testing.T) {
 	pattern := graph.New(4) // path 0-1-2 plus 1-3: vertex 1 has nbr degs [2,1,1]... build explicit:
 	pattern.AddEdge(0, 1)
 	pattern.AddEdge(1, 2)
-	pattern.AddEdge(2, 3) // path of 4: nds(1) = [2,1]
+	pattern.AddEdge(2, 3)  // path of 4: nds(1) = [2,1]
 	target := graph.New(5) // star K1,4: centre nds = [1,1,1,1]
 	for leaf := 1; leaf < 5; leaf++ {
 		target.AddEdge(0, leaf)

@@ -1,0 +1,46 @@
+package bitset
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Wire encoding for sets crossing process boundaries (the distributed
+// transport serialises search-tree nodes, and clique nodes are mostly
+// bitsets): capacity as a little-endian uint64 followed by the raw
+// words. Fixed-width framing keeps Encode/Decode allocation-free
+// beyond the output buffer and independent of gob's reflection.
+
+// GobEncode implements gob.GobEncoder.
+func (s Set) GobEncode() ([]byte, error) {
+	buf := make([]byte, 8+8*len(s.words))
+	binary.LittleEndian.PutUint64(buf, uint64(s.n))
+	for i, w := range s.words {
+		binary.LittleEndian.PutUint64(buf[8+8*i:], w)
+	}
+	return buf, nil
+}
+
+// GobDecode implements gob.GobDecoder. The payload is validated
+// before any allocation: decoders receive wire bytes, and a truncated
+// or corrupt frame must surface as an error, not a panic or an
+// attacker-chosen allocation size.
+func (s *Set) GobDecode(b []byte) error {
+	if len(b) < 8 {
+		return fmt.Errorf("bitset: gob payload truncated: %d bytes", len(b))
+	}
+	n64 := binary.LittleEndian.Uint64(b)
+	if n64 > uint64(len(b))*wordBits {
+		return fmt.Errorf("bitset: gob payload capacity %d exceeds %d payload bytes", n64, len(b))
+	}
+	n := int(n64)
+	words := (n + wordBits - 1) / wordBits
+	if len(b) < 8+8*words {
+		return fmt.Errorf("bitset: gob payload truncated: capacity %d needs %d bytes, have %d", n, 8+8*words, len(b))
+	}
+	*s = New(n)
+	for i := range s.words {
+		s.words[i] = binary.LittleEndian.Uint64(b[8+8*i:])
+	}
+	return nil
+}

@@ -1,0 +1,63 @@
+package bitset
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+)
+
+func TestGobRoundTrip(t *testing.T) {
+	for _, elems := range [][]int{{}, {0}, {63, 64, 65}, {0, 1, 2, 100, 199}} {
+		orig := FromSlice(200, elems)
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(orig); err != nil {
+			t.Fatalf("encode %v: %v", elems, err)
+		}
+		var got Set
+		if err := gob.NewDecoder(&buf).Decode(&got); err != nil {
+			t.Fatalf("decode %v: %v", elems, err)
+		}
+		if got.Cap() != orig.Cap() || got.Count() != orig.Count() {
+			t.Fatalf("round trip of %v: cap %d→%d count %d→%d",
+				elems, orig.Cap(), got.Cap(), orig.Count(), got.Count())
+		}
+		for _, e := range elems {
+			if !got.Contains(e) {
+				t.Fatalf("round trip of %v lost element %d", elems, e)
+			}
+		}
+	}
+}
+
+func TestGobDecodeRejectsCorruptPayloads(t *testing.T) {
+	var s Set
+	for _, b := range [][]byte{
+		nil,
+		{1, 2, 3},                                // shorter than the capacity header
+		{200, 0, 0, 0, 0, 0, 0, 0},               // capacity 200 but no words
+		{255, 255, 255, 255, 255, 255, 255, 255}, // absurd capacity
+	} {
+		if err := s.GobDecode(b); err == nil {
+			t.Errorf("GobDecode(%v) accepted a corrupt payload", b)
+		}
+	}
+}
+
+func TestGobRoundTripInsideStruct(t *testing.T) {
+	type node struct {
+		Clique Set
+		Size   int
+	}
+	orig := node{Clique: FromSlice(70, []int{1, 64, 69}), Size: 3}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(orig); err != nil {
+		t.Fatal(err)
+	}
+	var got node
+	if err := gob.NewDecoder(&buf).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Size != 3 || got.Clique.Count() != 3 || !got.Clique.Contains(69) {
+		t.Fatalf("round trip mangled node: %+v", got)
+	}
+}

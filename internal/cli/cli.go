@@ -57,6 +57,10 @@ type Options struct {
 
 	ShowStats bool
 	TraceRun  bool
+
+	Dist        string
+	DistAddr    string
+	DistWorkers int
 }
 
 // ParseArgs parses command-line arguments into Options.
@@ -91,6 +95,9 @@ func ParseArgs(args []string) (*Options, error) {
 	fs.StringVar(&o.UTSShape, "uts-shape", "binomial", "uts: binomial|geometric")
 	fs.BoolVar(&o.ShowStats, "stats", true, "print search statistics")
 	fs.BoolVar(&o.TraceRun, "trace", false, "print a per-task workload summary")
+	fs.StringVar(&o.Dist, "dist", "", "multi-process role: coordinator|worker (empty = single process)")
+	fs.StringVar(&o.DistAddr, "dist-addr", "127.0.0.1:9967", "coordinator address for -dist")
+	fs.IntVar(&o.DistWorkers, "dist-workers", 2, "coordinator: worker processes to wait for")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -161,6 +168,9 @@ func Run(args []string, w io.Writer) error {
 	o, err := ParseArgs(args)
 	if err != nil {
 		return err
+	}
+	if o.Dist != "" {
+		return RunDist(o, w)
 	}
 	coord, err := ParseSkeleton(o.Skeleton)
 	if err != nil {
@@ -254,9 +264,9 @@ func Run(args []string, w io.Writer) error {
 	if o.ShowStats {
 		fmt.Fprintf(w, "skeleton=%s workers=%d localities=%d elapsed=%v\n",
 			coord, stats.Workers, o.Locs, time.Since(start).Round(time.Millisecond))
-		fmt.Fprintf(w, "nodes=%d prunes=%d spawns=%d steals=%d/%d backtracks=%d\n",
+		fmt.Fprintf(w, "nodes=%d prunes=%d spawns=%d steals=%d/%d backtracks=%d broadcasts=%d\n",
 			stats.Nodes, stats.Prunes, stats.Spawns, stats.StealsOK,
-			stats.StealsOK+stats.StealsFail, stats.Backtracks)
+			stats.StealsOK+stats.StealsFail, stats.Backtracks, stats.Broadcasts)
 	}
 	if trace != nil {
 		fmt.Fprint(w, trace.Summary())

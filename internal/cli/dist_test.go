@@ -1,0 +1,45 @@
+package cli
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestParseDistFlags(t *testing.T) {
+	o, err := ParseArgs([]string{"-dist", "worker", "-dist-addr", "10.0.0.1:7000", "-dist-workers", "5"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Dist != "worker" || o.DistAddr != "10.0.0.1:7000" || o.DistWorkers != 5 {
+		t.Fatalf("parsed %+v", o)
+	}
+}
+
+func TestDistRejectsUnknownRole(t *testing.T) {
+	err := Run([]string{"-dist", "observer"}, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "unknown -dist role") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDistRejectsNonPoolSkeleton(t *testing.T) {
+	for _, skel := range []string{"seq", "stacksteal"} {
+		err := Run([]string{"-dist", "coordinator", "-skeleton", skel}, io.Discard)
+		if err == nil || !strings.Contains(err.Error(), "pool-based") {
+			t.Fatalf("skeleton %s: err = %v", skel, err)
+		}
+	}
+}
+
+func TestDistSpecDiffersAcrossInstances(t *testing.T) {
+	a, _ := ParseArgs([]string{"-app", "knapsack", "-items", "20"})
+	b, _ := ParseArgs([]string{"-app", "knapsack", "-items", "24"})
+	if a.distSpec() == b.distSpec() {
+		t.Fatal("different instances produced identical deployment specs")
+	}
+	c, _ := ParseArgs([]string{"-app", "knapsack", "-items", "20"})
+	if a.distSpec() != c.distSpec() {
+		t.Fatal("identical options produced different deployment specs")
+	}
+}

@@ -26,18 +26,23 @@ func BestFirstOpt[S, N any](space S, root N, p OptProblem[S, N], cfg Config) Opt
 		panic("core: BestFirstOpt requires a Bound function")
 	}
 	cfg = cfg.withDefaults()
+	fab := newLoopbackFabric[N](cfg)
+	defer fab.close()
 	m := newMetrics(cfg.Workers)
 	cancel := newCanceller()
-	inc := newIncumbent[N](cfg.Localities, cfg.BoundLatency)
+	inc := newIncumbent[N](fab.trs)
+	fab.bounds = inc
 	locOf := make([]int, cfg.Workers)
 	for w := range locOf {
 		locOf[w] = w % cfg.Localities
 	}
 	vs := newOptVisitors(space, p, inc, m, locOf)
+	fab.start(cancel)
 	start := time.Now()
 	runBestFirst(space, p.Gen, func(n N) int64 { return p.Bound(space, n) }, cfg, m, cancel, vs, root)
 	stats := m.total()
 	stats.Elapsed = time.Since(start)
+	stats.Broadcasts = inc.broadcasts()
 	node, obj, has := inc.result()
 	return OptResult[N]{Best: node, Objective: obj, Found: has, Stats: stats}
 }

@@ -10,7 +10,7 @@ package core
 func runBudget[S, N any](e *engine[S, N], visitors []visitor[N], root N) {
 	budget := e.cfg.Budget
 	e.runPoolWorkers(root, visitors, func(w int, v visitor[N], sh *WorkerStats, t Task[N]) {
-		defer e.tracker.finish()
+		defer e.finishTask(w)
 		if e.cancel.cancelled() {
 			return
 		}
@@ -29,9 +29,7 @@ func runBudget[S, N any](e *engine[S, N], visitors []visitor[N], root N) {
 					if stack[i].HasNext() {
 						for stack[i].HasNext() {
 							child := stack[i].Next()
-							e.tracker.add(1)
-							sh.Spawns++
-							e.topo.push(w, Task[N]{Node: child, Depth: t.Depth + i + 1})
+							e.spawnTask(w, sh, Task[N]{Node: child, Depth: t.Depth + i + 1})
 						}
 						break
 					}

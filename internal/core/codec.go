@@ -1,0 +1,55 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+)
+
+// Codec serialises application search-tree nodes for wire transports.
+// Single-process runs never invoke it — the loopback transport passes
+// nodes by reference — so applications only provide one to enable the
+// multi-process distributed mode.
+//
+// Encode and Decode must be inverses and safe for concurrent use
+// (transports serve steals from their receive goroutines).
+type Codec[N any] interface {
+	Encode(n N) ([]byte, error)
+	Decode(b []byte) (N, error)
+}
+
+// GobCodec is the default Codec: encoding/gob over the node value. It
+// works for any node whose meaningful state is reachable through
+// exported fields or GobEncoder/GobDecoder implementations. Each node
+// is a self-describing gob stream, which is robust but not compact;
+// applications with hot distributed paths should supply a hand-rolled
+// Codec instead.
+type GobCodec[N any] struct{}
+
+// Encode implements Codec.
+func (GobCodec[N]) Encode(n N) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&n); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode implements Codec.
+func (GobCodec[N]) Decode(b []byte) (N, error) {
+	var n N
+	err := gob.NewDecoder(bytes.NewReader(b)).Decode(&n)
+	return n, err
+}
+
+// FuncCodec adapts a pair of functions to a Codec, for applications
+// that prefer a compact hand-rolled node encoding.
+type FuncCodec[N any] struct {
+	Enc func(N) ([]byte, error)
+	Dec func([]byte) (N, error)
+}
+
+// Encode implements Codec.
+func (c FuncCodec[N]) Encode(n N) ([]byte, error) { return c.Enc(n) }
+
+// Decode implements Codec.
+func (c FuncCodec[N]) Decode(b []byte) (N, error) { return c.Dec(b) }

@@ -26,9 +26,11 @@ type Config struct {
 	// Workers is the total number of search workers. Default:
 	// runtime.GOMAXPROCS(0).
 	Workers int
-	// Localities simulates physical machines: each locality owns a
-	// workpool and a cached bound. Workers are spread evenly across
-	// localities. Default 1.
+	// Localities is the number of in-process localities (stand-ins for
+	// physical machines, connected by the loopback transport): each
+	// locality owns a workpool and a cached bound. Workers are spread
+	// evenly across localities. Default 1. Multi-process runs (the
+	// Dist entry points) host one locality per process instead.
 	Localities int
 	// DCutoff is the Depth-Bounded spawn depth d_cutoff: every node
 	// shallower than DCutoff has its children spawned as tasks.
@@ -40,13 +42,15 @@ type Config struct {
 	// Chunked makes Stack-Stealing hand over all nodes at the lowest
 	// depth of the victim's stack instead of a single node.
 	Chunked bool
-	// StealLatency, if positive, is slept before each steal from a
-	// remote locality's pool, simulating network cost.
+	// StealLatency, if positive, is charged by the loopback transport
+	// on each steal from a remote locality's pool, simulating network
+	// cost. Ignored in multi-process runs, where the network is real.
 	StealLatency time.Duration
-	// BoundLatency, if positive, delays propagation of improved
-	// bounds to other localities' caches, simulating the PGAS bound
-	// broadcast of Section 4.3. Remote workers prune against stale
-	// bounds in the meantime — fewer prunes, never incorrect.
+	// BoundLatency, if positive, delays the loopback transport's
+	// delivery of improved bounds to other localities' caches,
+	// simulating the PGAS bound broadcast of Section 4.3. Remote
+	// workers prune against stale bounds in the meantime — fewer
+	// prunes, never incorrect. Ignored in multi-process runs.
 	BoundLatency time.Duration
 	// Pool selects the workpool implementation.
 	Pool PoolKind

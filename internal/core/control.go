@@ -7,11 +7,14 @@ import (
 
 // canceller implements the global short-circuit of the (shortcircuit)
 // rule: a decision search that reaches the greatest element cancels all
-// outstanding work.
+// outstanding work. When a broadcast hook is wired (fabric.start), a
+// locally originated cancel also reaches every peer locality; cancels
+// received FROM a peer latch without re-broadcasting (cancelQuiet).
 type canceller struct {
-	flag atomic.Bool
-	ch   chan struct{}
-	once sync.Once
+	flag  atomic.Bool
+	ch    chan struct{}
+	once  sync.Once
+	bcast func()
 }
 
 func newCanceller() *canceller {
@@ -19,6 +22,22 @@ func newCanceller() *canceller {
 }
 
 func (c *canceller) cancel() {
+	first := false
+	c.once.Do(func() {
+		c.flag.Store(true)
+		close(c.ch)
+		first = true
+	})
+	// Broadcast outside the Once: a loopback peer's OnCancel calls
+	// cancelQuiet on this same canceller synchronously, which would
+	// deadlock inside Do.
+	if first && c.bcast != nil {
+		c.bcast()
+	}
+}
+
+// cancelQuiet latches the cancellation without notifying peers.
+func (c *canceller) cancelQuiet() {
 	c.once.Do(func() {
 		c.flag.Store(true)
 		close(c.ch)

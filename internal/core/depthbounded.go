@@ -8,7 +8,7 @@ package core
 // Section 4.2.
 func runDepthBounded[S, N any](e *engine[S, N], visitors []visitor[N], root N) {
 	e.runPoolWorkers(root, visitors, func(w int, v visitor[N], sh *WorkerStats, t Task[N]) {
-		defer e.tracker.finish()
+		defer e.finishTask(w)
 		if e.cancel.cancelled() {
 			return
 		}
@@ -19,9 +19,7 @@ func runDepthBounded[S, N any](e *engine[S, N], visitors []visitor[N], root N) {
 			g := e.gf(e.space, t.Node)
 			for g.HasNext() {
 				child := g.Next()
-				e.tracker.add(1)
-				sh.Spawns++
-				e.topo.push(w, Task[N]{Node: child, Depth: t.Depth + 1})
+				e.spawnTask(w, sh, Task[N]{Node: child, Depth: t.Depth + 1})
 			}
 			return
 		}

@@ -1,0 +1,247 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"time"
+
+	"yewpar/internal/dist"
+)
+
+// This file hosts the multi-process skeleton entry points. Each OS
+// process is one locality: it runs cfg.Workers workers over its own
+// workpool, steals across the transport when idle, broadcasts
+// incumbent bounds, and at the end contributes its local result and
+// metrics to a gather that the coordinator (rank 0) reconciles. The
+// problem definition (space, root, objective, bounds) must be
+// constructed identically in every process — deployments are expected
+// to launch the same binary with the same arguments, which the
+// transport's spec handshake enforces.
+
+// distShare is one locality's contribution to the final gather.
+type distShare struct {
+	Obj   int64  // best local objective (optimisation/decision)
+	Has   bool   // whether Node is meaningful
+	Node  []byte // codec-encoded best node or witness
+	Value []byte // gob-encoded monoid value (enumeration)
+	Stats Stats
+}
+
+func encodeShare(s distShare) []byte {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&s); err != nil {
+		panic(fmt.Sprintf("core: encoding gather share: %v", err))
+	}
+	return buf.Bytes()
+}
+
+func decodeShare(b []byte) (distShare, error) {
+	var s distShare
+	err := gob.NewDecoder(bytes.NewReader(b)).Decode(&s)
+	return s, err
+}
+
+// gatherShares runs the terminal collective: every locality
+// contributes its share, and rank 0 gets everyone's back, decoded,
+// with all Stats merged into agg. Non-root callers get (nil, nil).
+func gatherShares(tr dist.Transport, share distShare, agg *Stats) ([]distShare, error) {
+	blobs, err := tr.Gather(encodeShare(share))
+	if err != nil {
+		return nil, fmt.Errorf("core: gathering results: %w", err)
+	}
+	if tr.Rank() != 0 {
+		return nil, nil
+	}
+	shares := make([]distShare, len(blobs))
+	for rank, blob := range blobs {
+		if blob == nil {
+			return nil, fmt.Errorf("core: locality %d died before contributing its result", rank)
+		}
+		s, err := decodeShare(blob)
+		if err != nil {
+			return nil, fmt.Errorf("core: decoding locality %d share: %w", rank, err)
+		}
+		agg.merge(s.Stats)
+		shares[rank] = s
+	}
+	return shares, nil
+}
+
+// distCoordination validates that a coordination is available across
+// processes. Stack-Stealing splits live generator stacks over shared
+// memory and Sequential is single-worker by definition; the pool-based
+// coordinations are the distributed ones, as in the paper.
+func distCoordination(coord Coordination) error {
+	if coord != DepthBounded && coord != Budget {
+		return fmt.Errorf("core: coordination %v not supported across processes (use depthbounded or budget)", coord)
+	}
+	return nil
+}
+
+// runDistEngine runs the local share of a distributed pool-based
+// search: build the engine (installing the pool), start the transport,
+// and drive the workers to global termination or cancellation.
+func runDistEngine[S, N any](coord Coordination, space S, gf GenFactory[S, N], cfg Config, m *Metrics, cancel *canceller, vs []visitor[N], root N, fab *fabric[N]) {
+	e := newEngine(space, gf, cfg, m, cancel, fab)
+	fab.start(cancel)
+	switch coord {
+	case DepthBounded:
+		runDepthBounded(e, vs, root)
+	case Budget:
+		runBudget(e, vs, root)
+	}
+}
+
+// distDefaults normalises a distributed config: each process hosts
+// exactly one locality, and latency injection is meaningless when the
+// network is real.
+func distDefaults(cfg Config) Config {
+	cfg.Localities = 1
+	cfg.StealLatency = 0
+	cfg.BoundLatency = 0
+	return cfg.withDefaults()
+}
+
+// DistOpt runs this process's locality of a distributed optimisation
+// search over the given transport. All processes must call it with an
+// identically constructed problem. On the coordinator (rank 0) the
+// returned result is the global one — best node across all localities,
+// metrics summed; on workers it is the locality's local contribution,
+// which callers normally discard.
+func DistOpt[S, N any](tr dist.Transport, codec Codec[N], coord Coordination, space S, root N, p OptProblem[S, N], cfg Config) (OptResult[N], error) {
+	if err := distCoordination(coord); err != nil {
+		return OptResult[N]{}, err
+	}
+	cfg = distDefaults(cfg)
+	fab := newDistFabric(tr, codec)
+	m := newMetrics(cfg.Workers)
+	cancel := newCanceller()
+	inc := newIncumbent[N](fab.trs)
+	fab.bounds = inc
+	vs := newOptVisitors(space, p, inc, m, make([]int, cfg.Workers))
+	start := time.Now()
+	runDistEngine(coord, space, p.Gen, cfg, m, cancel, vs, root, fab)
+	stats := m.total()
+	stats.Elapsed = time.Since(start)
+	stats.Broadcasts = inc.broadcasts()
+	node, obj, has := inc.result()
+
+	share := distShare{Obj: obj, Has: has, Stats: stats}
+	if has {
+		b, err := codec.Encode(node)
+		if err != nil {
+			return OptResult[N]{}, fmt.Errorf("core: encoding local best node: %w", err)
+		}
+		share.Node = b
+	}
+	local := OptResult[N]{Best: node, Objective: obj, Found: has, Stats: stats}
+	agg := OptResult[N]{Stats: Stats{Elapsed: stats.Elapsed}}
+	shares, err := gatherShares(tr, share, &agg.Stats)
+	if err != nil {
+		return local, err
+	}
+	if shares == nil {
+		return local, nil
+	}
+	for rank, s := range shares {
+		if s.Has && (!agg.Found || s.Obj > agg.Objective) {
+			n, err := codec.Decode(s.Node)
+			if err != nil {
+				return agg, fmt.Errorf("core: decoding locality %d best node: %w", rank, err)
+			}
+			agg.Best, agg.Objective, agg.Found = n, s.Obj, true
+		}
+	}
+	return agg, nil
+}
+
+// DistEnum runs this process's locality of a distributed enumeration
+// search. The monoid value crosses the wire gob-encoded; rank 0
+// returns the fold over every locality's partial value.
+func DistEnum[S, N, M any](tr dist.Transport, codec Codec[N], coord Coordination, space S, root N, p EnumProblem[S, N, M], cfg Config) (EnumResult[M], error) {
+	if err := distCoordination(coord); err != nil {
+		return EnumResult[M]{}, err
+	}
+	cfg = distDefaults(cfg)
+	fab := newDistFabric(tr, codec)
+	m := newMetrics(cfg.Workers)
+	cancel := newCanceller()
+	vs := newEnumVisitors(space, p, m, cfg.Workers)
+	start := time.Now()
+	runDistEngine(coord, space, p.Gen, cfg, m, cancel, vs, root, fab)
+	stats := m.total()
+	stats.Elapsed = time.Since(start)
+	value := combineEnum[S, N, M](p.Monoid, vs)
+
+	var vbuf bytes.Buffer
+	if err := gob.NewEncoder(&vbuf).Encode(&value); err != nil {
+		return EnumResult[M]{}, fmt.Errorf("core: encoding local monoid value: %w", err)
+	}
+	local := EnumResult[M]{Value: value, Stats: stats}
+	agg := EnumResult[M]{Value: p.Monoid.Zero(), Stats: Stats{Elapsed: stats.Elapsed}}
+	shares, err := gatherShares(tr, distShare{Value: vbuf.Bytes(), Stats: stats}, &agg.Stats)
+	if err != nil {
+		return local, err
+	}
+	if shares == nil {
+		return local, nil
+	}
+	for rank, s := range shares {
+		var v M
+		if err := gob.NewDecoder(bytes.NewReader(s.Value)).Decode(&v); err != nil {
+			return agg, fmt.Errorf("core: decoding locality %d monoid value: %w", rank, err)
+		}
+		agg.Value = p.Monoid.Plus(agg.Value, v)
+	}
+	return agg, nil
+}
+
+// DistDecide runs this process's locality of a distributed decision
+// search. The first locality to reach the target cancels the others
+// through the transport; rank 0 returns whichever witness survived the
+// gather.
+func DistDecide[S, N any](tr dist.Transport, codec Codec[N], coord Coordination, space S, root N, p DecisionProblem[S, N], cfg Config) (DecisionResult[N], error) {
+	if err := distCoordination(coord); err != nil {
+		return DecisionResult[N]{}, err
+	}
+	cfg = distDefaults(cfg)
+	fab := newDistFabric(tr, codec)
+	m := newMetrics(cfg.Workers)
+	cancel := newCanceller()
+	wit := &witness[N]{}
+	vs := newDecisionVisitors(space, p, wit, cancel, m, cfg.Workers)
+	start := time.Now()
+	runDistEngine(coord, space, p.Gen, cfg, m, cancel, vs, root, fab)
+	stats := m.total()
+	stats.Elapsed = time.Since(start)
+	node, obj, found := wit.get()
+
+	share := distShare{Obj: obj, Has: found, Stats: stats}
+	if found {
+		b, err := codec.Encode(node)
+		if err != nil {
+			return DecisionResult[N]{}, fmt.Errorf("core: encoding witness: %w", err)
+		}
+		share.Node = b
+	}
+	local := DecisionResult[N]{Witness: node, Objective: obj, Found: found, Stats: stats}
+	agg := DecisionResult[N]{Stats: Stats{Elapsed: stats.Elapsed}}
+	shares, err := gatherShares(tr, share, &agg.Stats)
+	if err != nil {
+		return local, err
+	}
+	if shares == nil {
+		return local, nil
+	}
+	for rank, s := range shares {
+		if s.Has && !agg.Found {
+			n, err := codec.Decode(s.Node)
+			if err != nil {
+				return agg, fmt.Errorf("core: decoding locality %d witness: %w", rank, err)
+			}
+			agg.Witness, agg.Objective, agg.Found = n, s.Obj, true
+		}
+	}
+	return agg, nil
+}

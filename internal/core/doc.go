@@ -13,13 +13,18 @@
 //     type (Enumeration, Optimisation, Decision).
 //
 // The twelve skeletons are exposed as SequentialEnum, DepthBoundedOpt,
-// StackStealDecision, BudgetEnum, and so on. All parallel skeletons run
-// on a simulated distributed runtime: workers are goroutines grouped
-// into localities, each locality owning an order-preserving workpool
-// and a locally cached copy of the global incumbent bound, with
-// optional latency injection for remote steals and bound broadcasts.
-// This substitutes for the HPX/cluster substrate of the paper while
-// preserving the coordination behaviour the evaluation measures.
+// StackStealDecision, BudgetEnum, and so on. All parallel skeletons
+// run on a distributed runtime built over the pluggable Transport of
+// internal/dist: workers are grouped into localities, each owning an
+// order-preserving workpool and a locally cached copy of the incumbent
+// bound, with remote steals and bound broadcasts crossing the
+// transport. Single-process runs use the in-process loopback transport
+// (optionally with injected steal/bound latencies, simulating the
+// paper's cluster experiments); the DistEnum/DistOpt/DistDecide entry
+// points run one locality per OS process over the TCP transport, with
+// task serialisation through a Codec and final result/metric
+// aggregation at the coordinator — the role HPX plays in the paper's
+// own implementation.
 //
 // The semantics of the skeletons follows the operational model of
 // Section 3 of the paper (see the sibling package internal/semantics

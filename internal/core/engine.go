@@ -7,36 +7,52 @@ import (
 )
 
 // engine bundles the runtime substrate shared by the pool-based
-// parallel coordinations (Depth-Bounded and Budget): the simulated
-// locality topology, task tracker for termination detection, canceller
-// for decision short-circuits, and per-worker metrics.
+// parallel coordinations (Depth-Bounded and Budget): the locality
+// fabric and its workpool topology, global task accounting for
+// termination detection, canceller for decision short-circuits, and
+// per-worker metrics.
 type engine[S, N any] struct {
 	space   S
 	gf      GenFactory[S, N]
 	cfg     Config
 	metrics *Metrics
-	tracker *tracker
 	cancel  *canceller
+	fab     *fabric[N]
 	topo    *topology[N]
 }
 
-func newEngine[S, N any](space S, gf GenFactory[S, N], cfg Config, metrics *Metrics, cancel *canceller) *engine[S, N] {
+func newEngine[S, N any](space S, gf GenFactory[S, N], cfg Config, metrics *Metrics, cancel *canceller, fab *fabric[N]) *engine[S, N] {
 	return &engine[S, N]{
 		space:   space,
 		gf:      gf,
 		cfg:     cfg,
 		metrics: metrics,
-		tracker: newTracker(),
 		cancel:  cancel,
-		topo:    newTopology[N](cfg),
+		fab:     fab,
+		topo:    newTopology(fab, cfg),
 	}
 }
 
-// runPoolWorkers seeds the root task and runs cfg.Workers workers, each
-// executing runTask on every task it obtains, until global termination
-// or cancellation. runTask must call e.tracker.finish exactly once per
-// task and register any tasks it spawns with e.tracker.add before
-// pushing them.
+// spawnTask registers a new task with the global live count (before it
+// becomes visible to any worker) and pushes it on w's locality pool.
+func (e *engine[S, N]) spawnTask(w int, sh *WorkerStats, t Task[N]) {
+	e.fab.trs[e.topo.locality(w)].AddTasks(1)
+	sh.Spawns++
+	e.topo.push(w, t)
+}
+
+// finishTask deregisters one completed task. Every task obtained by a
+// worker must be finished exactly once, after any children it spawns
+// are registered.
+func (e *engine[S, N]) finishTask(w int) {
+	e.fab.trs[e.topo.locality(w)].AddTasks(-1)
+}
+
+// runPoolWorkers seeds the root task (on the locality that owns the
+// root) and runs cfg.Workers workers, each executing runTask on every
+// task it obtains, until global termination or cancellation. runTask
+// must call e.finishTask exactly once per task and register any tasks
+// it spawns with e.spawnTask.
 func (e *engine[S, N]) runPoolWorkers(root N, visitors []visitor[N], runTask func(w int, v visitor[N], sh *WorkerStats, t Task[N])) {
 	if tr := e.cfg.Trace; tr != nil {
 		inner := runTask
@@ -46,8 +62,20 @@ func (e *engine[S, N]) runPoolWorkers(root N, visitors []visitor[N], runTask fun
 			tr.record(w, t.Depth, start, time.Now())
 		}
 	}
-	e.tracker.add(1)
-	e.topo.pools[0].Push(Task[N]{Node: root, Depth: 0})
+	if e.fab.hasRoot {
+		e.fab.trs[0].AddTasks(1)
+		e.topo.pools[0].Push(Task[N]{Node: root, Depth: 0})
+	}
+	done := e.fab.trs[0].Done()
+
+	// Idle backoff: bound busy-wait cost while keeping steal response
+	// far below task granularity. Over a wire transport each failed
+	// steal round already costs network round trips, so idle probing
+	// backs off harder to spare the coordinator.
+	idleSleep := 20 * time.Microsecond
+	if e.fab.wire {
+		idleSleep = 500 * time.Microsecond
+	}
 
 	var wg sync.WaitGroup
 	for w := 0; w < e.cfg.Workers; w++ {
@@ -68,18 +96,15 @@ func (e *engine[S, N]) runPoolWorkers(root N, visitors []visitor[N], runTask fun
 					continue
 				}
 				select {
-				case <-e.tracker.done:
+				case <-done:
 					return
 				case <-e.cancel.ch:
 					return
 				default:
 				}
-				// No work anywhere yet: back off briefly. The sleep
-				// bounds busy-wait cost while keeping steal response
-				// times far below task granularity.
 				idle++
 				if idle > 64 {
-					time.Sleep(20 * time.Microsecond)
+					time.Sleep(idleSleep)
 				} else {
 					runtime.Gosched()
 				}

@@ -15,12 +15,20 @@ func (v *trivialVisitor) visit(int) pruneAction {
 	return descend
 }
 
+// newTestEngine builds an engine over a started loopback fabric.
+func newTestEngine(cfg Config, m *Metrics, cancel *canceller) (*engine[struct{}, int], *fabric[int]) {
+	gf := func(struct{}, int) NodeGenerator[int] { return EmptyGen[int]{} }
+	fab := newLoopbackFabric[int](cfg)
+	e := newEngine(struct{}{}, gf, cfg, m, cancel, fab)
+	fab.start(cancel)
+	return e, fab
+}
+
 func TestRunPoolWorkersExecutesAllSpawns(t *testing.T) {
 	cfg := Config{Workers: 4}.withDefaults()
 	m := newMetrics(cfg.Workers)
 	cancel := newCanceller()
-	gf := func(struct{}, int) NodeGenerator[int] { return EmptyGen[int]{} }
-	e := newEngine(struct{}{}, gf, cfg, m, cancel)
+	e, fab := newTestEngine(cfg, m, cancel)
 
 	vs := make([]visitor[int], cfg.Workers)
 	for w := range vs {
@@ -28,13 +36,12 @@ func TestRunPoolWorkersExecutesAllSpawns(t *testing.T) {
 	}
 	var executed atomic.Int64
 	e.runPoolWorkers(0, vs, func(w int, _ visitor[int], sh *WorkerStats, task Task[int]) {
-		defer e.tracker.finish()
+		defer e.finishTask(w)
 		executed.Add(1)
 		// fan out a small two-level tree of tasks
 		if task.Depth < 2 {
 			for i := 0; i < 3; i++ {
-				e.tracker.add(1)
-				e.topo.push(w, Task[int]{Node: task.Node*10 + i, Depth: task.Depth + 1})
+				e.spawnTask(w, sh, Task[int]{Node: task.Node*10 + i, Depth: task.Depth + 1})
 			}
 		}
 	})
@@ -42,8 +49,10 @@ func TestRunPoolWorkersExecutesAllSpawns(t *testing.T) {
 	if executed.Load() != 13 {
 		t.Fatalf("executed %d tasks, want 13", executed.Load())
 	}
-	if !e.tracker.quiescent() {
-		t.Fatal("tracker not quiescent after join")
+	select {
+	case <-fab.trs[0].Done():
+	default:
+		t.Fatal("live-task count not quiescent after join")
 	}
 }
 
@@ -51,8 +60,7 @@ func TestRunPoolWorkersCancelStopsEarly(t *testing.T) {
 	cfg := Config{Workers: 4}.withDefaults()
 	m := newMetrics(cfg.Workers)
 	cancel := newCanceller()
-	gf := func(struct{}, int) NodeGenerator[int] { return EmptyGen[int]{} }
-	e := newEngine(struct{}{}, gf, cfg, m, cancel)
+	e, _ := newTestEngine(cfg, m, cancel)
 
 	vs := make([]visitor[int], cfg.Workers)
 	for w := range vs {
@@ -63,15 +71,14 @@ func TestRunPoolWorkersCancelStopsEarly(t *testing.T) {
 	go func() {
 		defer close(done)
 		e.runPoolWorkers(0, vs, func(w int, _ visitor[int], sh *WorkerStats, task Task[int]) {
-			defer e.tracker.finish()
+			defer e.finishTask(w)
 			if executed.Add(1) == 5 {
 				cancel.cancel() // simulate a decision witness
 				return
 			}
 			// endless task fan-out: only cancellation can stop this
 			for i := 0; i < 2; i++ {
-				e.tracker.add(1)
-				e.topo.push(w, Task[int]{Node: task.Node + 1, Depth: task.Depth + 1})
+				e.spawnTask(w, sh, Task[int]{Node: task.Node + 1, Depth: task.Depth + 1})
 			}
 		})
 	}()
@@ -82,9 +89,17 @@ func TestRunPoolWorkersCancelStopsEarly(t *testing.T) {
 	}
 }
 
+// newTestTopology builds a topology over a started loopback fabric.
+func newTestTopology(cfg Config) *topology[int] {
+	fab := newLoopbackFabric[int](cfg)
+	tp := newTopology(fab, cfg)
+	fab.start(newCanceller())
+	return tp
+}
+
 func TestTopologyLocalFirst(t *testing.T) {
 	cfg := Config{Workers: 4, Localities: 2, Seed: 9}.withDefaults()
-	tp := newTopology[int](cfg)
+	tp := newTestTopology(cfg)
 	var sh WorkerStats
 	// worker 0 is locality 0; push one task in each pool
 	tp.pools[0].Push(Task[int]{Node: 100})
@@ -96,7 +111,8 @@ func TestTopologyLocalFirst(t *testing.T) {
 	if sh.StealsOK != 0 {
 		t.Fatal("local pop counted as a steal")
 	}
-	// local pool now empty: next take must be a remote steal
+	// local pool now empty: next take must be a remote steal through
+	// the loopback transport
 	task, ok = tp.popOrSteal(0, &sh)
 	if !ok || task.Node != 200 {
 		t.Fatalf("worker 0 stole %d, want remote task 200", task.Node)
@@ -108,7 +124,7 @@ func TestTopologyLocalFirst(t *testing.T) {
 
 func TestTopologyEmptyEverywhere(t *testing.T) {
 	cfg := Config{Workers: 2, Localities: 2}.withDefaults()
-	tp := newTopology[int](cfg)
+	tp := newTestTopology(cfg)
 	var sh WorkerStats
 	if _, ok := tp.popOrSteal(0, &sh); ok {
 		t.Fatal("popOrSteal invented a task")
@@ -120,7 +136,7 @@ func TestTopologyEmptyEverywhere(t *testing.T) {
 
 func TestTopologyWorkerAssignment(t *testing.T) {
 	cfg := Config{Workers: 5, Localities: 2}.withDefaults()
-	tp := newTopology[int](cfg)
+	tp := newTestTopology(cfg)
 	want := []int{0, 1, 0, 1, 0}
 	for w, loc := range want {
 		if tp.locality(w) != loc {

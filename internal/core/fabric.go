@@ -1,0 +1,172 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"yewpar/internal/dist"
+)
+
+// boundSink is the incumbent's knowledge-management face as the fabric
+// sees it: a per-locality monotonic bound cache.
+type boundSink interface {
+	localBest(loc int) int64
+	applyRemote(loc int, obj int64)
+}
+
+// fabric binds the engine to its communication substrate: one
+// dist.Transport per in-process locality. Single-process runs host all
+// localities on a loopback network (newLoopbackFabric); a distributed
+// process hosts exactly one locality whose transport reaches the other
+// OS processes (newDistFabric). Everything above the fabric — pools,
+// visitors, coordinations — is identical in both deployments.
+type fabric[N any] struct {
+	trs   []dist.Transport // in-process localities, parallel to locs
+	locs  []*locState[N]
+	codec Codec[N]
+	wire  bool // tasks leave the process: encode on steal hand-over
+	// hasRoot marks the locality that seeds the search root (the
+	// coordinator); every in-process run has it.
+	hasRoot bool
+	size    int // global locality count across all processes
+
+	bounds boundSink  // set for optimisation searches
+	cancel *canceller // set at start
+	net    *dist.LoopbackNetwork
+}
+
+// newLoopbackFabric builds the single-process fabric: cfg.Localities
+// localities on a loopback network with the configured steal and bound
+// latencies. This is what subsumes the old simulated topology — the
+// same Transport path a cluster run uses, minus the serialisation.
+func newLoopbackFabric[N any](cfg Config) *fabric[N] {
+	net := dist.NewLoopback(cfg.Localities, dist.LoopbackOptions{
+		StealLatency: cfg.StealLatency,
+		BoundLatency: cfg.BoundLatency,
+	})
+	f := &fabric[N]{
+		trs:     net.Transports(),
+		hasRoot: true,
+		size:    cfg.Localities,
+		net:     net,
+	}
+	for i := range f.trs {
+		f.locs = append(f.locs, &locState[N]{idx: i, rank: i, fab: f})
+	}
+	return f
+}
+
+// newDistFabric builds one distributed process's fabric: a single
+// locality on the given transport, encoding stolen tasks with codec.
+// Only the coordinator (rank 0) seeds the root.
+func newDistFabric[N any](tr dist.Transport, codec Codec[N]) *fabric[N] {
+	f := &fabric[N]{
+		trs:     []dist.Transport{tr},
+		codec:   codec,
+		wire:    true,
+		hasRoot: tr.Rank() == 0,
+		size:    tr.Size(),
+	}
+	f.locs = []*locState[N]{{idx: 0, rank: tr.Rank(), fab: f}}
+	return f
+}
+
+// start attaches the localities to their transports and wires the
+// canceller's broadcast. Must run after pools are installed (engine
+// construction) and before any search worker starts.
+func (f *fabric[N]) start(cancel *canceller) {
+	f.cancel = cancel
+	cancel.bcast = func() { f.trs[0].Cancel() }
+	for i, tr := range f.trs {
+		tr.Start(f.locs[i])
+	}
+}
+
+// close releases an owned loopback network. Distributed transports are
+// owned by the caller (they outlive the search for result gathering).
+func (f *fabric[N]) close() {
+	if f.net != nil {
+		f.net.Close()
+	}
+}
+
+// locState is one in-process locality's engine endpoint: the
+// dist.Handler serving its peers. The pool is installed by the engine
+// before the fabric starts; coordinations without pools (sequential,
+// stack-stealing) simply serve no transport steals.
+type locState[N any] struct {
+	idx  int // index among in-process localities
+	rank int // global rank
+	pool Pool[N]
+	fab  *fabric[N]
+}
+
+var _ dist.Handler = (*locState[string])(nil)
+
+// ServeSteal implements dist.Handler: hand the thief the shallowest
+// spare task, stamped with this locality's current bound so the thief
+// prunes with knowledge at least as fresh as the victim's.
+func (h *locState[N]) ServeSteal(thief int) (dist.WireTask, bool) {
+	if h.pool == nil {
+		return dist.WireTask{}, false
+	}
+	t, ok := h.pool.Steal()
+	if !ok {
+		return dist.WireTask{}, false
+	}
+	wt := dist.WireTask{Depth: t.Depth, Bound: math.MinInt64}
+	if b := h.fab.bounds; b != nil {
+		wt.Bound = b.localBest(h.idx)
+	}
+	if h.fab.wire {
+		bs, err := h.fab.codec.Encode(t.Node)
+		if err != nil {
+			// An unencodable node is a deployment bug; keep the task
+			// rather than lose it, and let the thief look elsewhere.
+			h.pool.Push(t)
+			return dist.WireTask{}, false
+		}
+		wt.Payload = bs
+	} else {
+		wt.Local = t
+	}
+	return wt, true
+}
+
+// OnBound implements dist.Handler: merge a peer's bound into the local
+// cache (monotonically — late deliveries are harmless).
+func (h *locState[N]) OnBound(from int, obj int64) {
+	if b := h.fab.bounds; b != nil {
+		b.applyRemote(h.idx, obj)
+	}
+}
+
+// OnCancel implements dist.Handler: latch the local short-circuit
+// without re-broadcasting (the originator already reached everyone).
+func (h *locState[N]) OnCancel(from int) {
+	if c := h.fab.cancel; c != nil {
+		c.cancelQuiet()
+	}
+}
+
+// OnTask implements dist.Handler: adopt a stolen task whose steal
+// request had already timed out when the reply arrived. It is still
+// registered in the global live count, so it must run here or the
+// search never terminates.
+func (h *locState[N]) OnTask(wt dist.WireTask) {
+	if h.pool == nil {
+		return
+	}
+	if b := h.fab.bounds; b != nil && wt.Bound > math.MinInt64 {
+		b.applyRemote(h.idx, wt.Bound)
+	}
+	if wt.Local != nil {
+		h.pool.Push(wt.Local.(Task[N]))
+		return
+	}
+	n, err := h.fab.codec.Decode(wt.Payload)
+	if err != nil {
+		panic(fmt.Sprintf("core: decoding adopted task: %v", err))
+	}
+	h.pool.Push(Task[N]{Node: n, Depth: wt.Depth})
+}

@@ -4,7 +4,8 @@ import (
 	"math"
 	"sync"
 	"sync/atomic"
-	"time"
+
+	"yewpar/internal/dist"
 )
 
 type paddedInt64 struct {
@@ -12,29 +13,37 @@ type paddedInt64 struct {
 	_ [7]int64
 }
 
-// incumbent is the knowledge-management substrate of Section 4.3: a
-// single authoritative incumbent (best node + objective) plus one
-// cached bound per locality. Strengthening broadcasts the new bound to
-// every locality cache; with a positive latency remote caches update
-// late, so remote workers may miss pruning opportunities — exactly the
-// stale-bound tolerance the paper describes — but results are
-// unaffected because pruning is only ever justified by a bound the
-// search has actually proven.
+// incumbent is the knowledge-management substrate of Section 4.3: an
+// authoritative incumbent (best node + objective) for the localities
+// hosted in this process, plus one cached bound per locality.
+// Strengthening broadcasts the new bound over each locality's
+// transport; peers — in-process or across the network — learn it after
+// the transport's delivery latency and merge it monotonically, so
+// remote workers may prune against stale bounds in the meantime.
+// That loses pruning opportunities, never correctness, because pruning
+// is only ever justified by a bound the search has actually proven.
+//
+// In a distributed deployment each process holds one locality and its
+// own authoritative incumbent; the coordinator reconciles them in the
+// final gather.
 type incumbent[N any] struct {
 	mu      sync.Mutex
 	node    N
 	has     bool
 	bestObj int64
 
-	caches  []paddedInt64
-	latency time.Duration
+	caches []paddedInt64
+	trs    []dist.Transport // parallel to caches; broadcast targets
+	bcasts atomic.Int64     // bound broadcasts sent (metrics)
 }
 
-func newIncumbent[N any](localities int, latency time.Duration) *incumbent[N] {
+// newIncumbent creates the incumbent for the given in-process locality
+// transports (one bound cache per locality).
+func newIncumbent[N any](trs []dist.Transport) *incumbent[N] {
 	in := &incumbent[N]{
 		bestObj: math.MinInt64,
-		caches:  make([]paddedInt64, localities),
-		latency: latency,
+		caches:  make([]paddedInt64, len(trs)),
+		trs:     trs,
 	}
 	for i := range in.caches {
 		in.caches[i].v.Store(math.MinInt64)
@@ -42,14 +51,30 @@ func newIncumbent[N any](localities int, latency time.Duration) *incumbent[N] {
 	return in
 }
 
+// newLocalIncumbent creates a single-locality incumbent with no peers
+// to notify — plain deterministic B&B bookkeeping, used by phases that
+// must not leak knowledge (the replicable skeleton).
+func newLocalIncumbent[N any]() *incumbent[N] {
+	in := &incumbent[N]{bestObj: math.MinInt64, caches: make([]paddedInt64, 1)}
+	in.caches[0].v.Store(math.MinInt64)
+	return in
+}
+
 // localBest returns the bound as currently known at a locality.
 func (in *incumbent[N]) localBest(loc int) int64 { return in.caches[loc].v.Load() }
 
+// applyRemote merges a bound learned from a peer (via broadcast or a
+// stolen task's bound snapshot) into a locality's cache.
+func (in *incumbent[N]) applyRemote(loc int, obj int64) {
+	storeMax(&in.caches[loc].v, obj)
+}
+
 // strengthen installs (obj, n) as the incumbent if obj improves on the
-// authoritative best, then broadcasts the bound. The caller's own
-// locality always learns the bound immediately; other localities learn
-// it after the configured latency. Reports whether the incumbent
-// changed, implementing (strengthen)/(skip).
+// authoritative best, then broadcasts the bound over the locality's
+// transport. The caller's own locality always learns the bound
+// immediately; peers learn it after the transport's delivery latency.
+// Reports whether the incumbent changed, implementing
+// (strengthen)/(skip).
 func (in *incumbent[N]) strengthen(loc int, obj int64, n N) bool {
 	in.mu.Lock()
 	if in.has && obj <= in.bestObj {
@@ -61,25 +86,26 @@ func (in *incumbent[N]) strengthen(loc int, obj int64, n N) bool {
 	in.has = true
 	in.mu.Unlock()
 
-	for i := range in.caches {
-		c := &in.caches[i].v
-		if i == loc || in.latency == 0 {
-			storeMax(c, obj)
-		} else {
-			o := obj
-			time.AfterFunc(in.latency, func() { storeMax(c, o) })
-		}
+	storeMax(&in.caches[loc].v, obj)
+	// Broadcast (and count) only when there is a peer to tell: a
+	// single-locality deployment must report broadcasts=0.
+	if in.trs != nil && in.trs[loc].Size() > 1 {
+		in.trs[loc].BroadcastBound(obj)
+		in.bcasts.Add(1)
 	}
 	return true
 }
 
-// result returns the final incumbent. Call only after all workers have
-// joined.
+// result returns the final incumbent of this process's localities.
+// Call only after all workers have joined.
 func (in *incumbent[N]) result() (N, int64, bool) {
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	return in.node, in.bestObj, in.has
 }
+
+// broadcasts reports how many bound broadcasts strengthen sent.
+func (in *incumbent[N]) broadcasts() int64 { return in.bcasts.Load() }
 
 // storeMax monotonically raises a to at least v.
 func storeMax(a *atomic.Int64, v int64) {

@@ -6,8 +6,20 @@ import (
 	"time"
 )
 
+// newTestIncumbent builds an incumbent whose localities are connected
+// by a started loopback network with the given bound latency — the
+// transport-backed replacement for the old direct-broadcast incumbent.
+func newTestIncumbent[N any](localities int, lat time.Duration) *incumbent[N] {
+	cfg := Config{Workers: localities, Localities: localities, BoundLatency: lat}.withDefaults()
+	fab := newLoopbackFabric[N](cfg)
+	in := newIncumbent[N](fab.trs)
+	fab.bounds = in
+	fab.start(newCanceller())
+	return in
+}
+
 func TestIncumbentStrengthenMonotonic(t *testing.T) {
-	in := newIncumbent[string](1, 0)
+	in := newTestIncumbent[string](1, 0)
 	if _, _, has := in.result(); has {
 		t.Fatal("fresh incumbent claims a result")
 	}
@@ -30,7 +42,7 @@ func TestIncumbentStrengthenMonotonic(t *testing.T) {
 }
 
 func TestIncumbentLocalBestImmediate(t *testing.T) {
-	in := newIncumbent[int](3, 0)
+	in := newTestIncumbent[int](3, 0)
 	in.strengthen(1, 42, 7)
 	for loc := 0; loc < 3; loc++ {
 		if in.localBest(loc) != 42 {
@@ -40,7 +52,7 @@ func TestIncumbentLocalBestImmediate(t *testing.T) {
 }
 
 func TestIncumbentBoundLatency(t *testing.T) {
-	in := newIncumbent[int](2, 5*time.Millisecond)
+	in := newTestIncumbent[int](2, 5*time.Millisecond)
 	in.strengthen(0, 99, 1)
 	if in.localBest(0) != 99 {
 		t.Fatal("own locality must learn the bound immediately")
@@ -55,7 +67,7 @@ func TestIncumbentBoundLatency(t *testing.T) {
 }
 
 func TestIncumbentConcurrentStrengthen(t *testing.T) {
-	in := newIncumbent[int](4, 0)
+	in := newTestIncumbent[int](4, 0)
 	var wg sync.WaitGroup
 	for w := 0; w < 8; w++ {
 		wg.Add(1)
@@ -143,7 +155,7 @@ func TestCancellerIdempotent(t *testing.T) {
 }
 
 func TestStoreMax(t *testing.T) {
-	in := newIncumbent[int](1, 0)
+	in := newTestIncumbent[int](1, 0)
 	c := &in.caches[0].v
 	storeMax(c, 5)
 	storeMax(c, 3)

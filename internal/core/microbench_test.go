@@ -35,7 +35,7 @@ func BenchmarkPrioPoolPushPop(b *testing.B) {
 }
 
 func BenchmarkIncumbentLocalBest(b *testing.B) {
-	in := newIncumbent[int](4, 0)
+	in := newTestIncumbent[int](4, 0)
 	in.strengthen(0, 100, 1)
 	b.RunParallel(func(pb *testing.PB) {
 		for pb.Next() {
@@ -47,7 +47,7 @@ func BenchmarkIncumbentLocalBest(b *testing.B) {
 }
 
 func BenchmarkIncumbentStrengthenContention(b *testing.B) {
-	in := newIncumbent[int](4, 0)
+	in := newTestIncumbent[int](4, 0)
 	var mu sync.Mutex
 	next := int64(0)
 	b.RunParallel(func(pb *testing.PB) {

@@ -56,11 +56,26 @@ type Stats struct {
 	Nodes      int64 // search-tree nodes visited (processed)
 	Prunes     int64 // subtrees pruned by a bound check
 	Spawns     int64 // tasks created by a spawn rule
-	StealsOK   int64 // successful steals (pool or stack)
+	StealsOK   int64 // successful steals (pool or stack), local or remote
 	StealsFail int64 // steal attempts that found no work
 	Backtracks int64 // generator-stack pops
+	Broadcasts int64 // incumbent-bound broadcasts sent to peer localities
 	Workers    int   // workers used
 	Elapsed    time.Duration
+}
+
+// merge folds another process's stats into s (distributed result
+// aggregation). Elapsed is left alone: wall-clock time is the
+// coordinator's, not a sum.
+func (s *Stats) merge(o Stats) {
+	s.Nodes += o.Nodes
+	s.Prunes += o.Prunes
+	s.Spawns += o.Spawns
+	s.StealsOK += o.StealsOK
+	s.StealsFail += o.StealsFail
+	s.Backtracks += o.Backtracks
+	s.Broadcasts += o.Broadcasts
+	s.Workers += o.Workers
 }
 
 func (s *Stats) add(w WorkerStats) {

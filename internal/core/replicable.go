@@ -37,7 +37,7 @@ func ReplicableOpt[S, N any](space S, root N, p OptProblem[S, N], cfg Config) Op
 
 	// Phase 1: sequential prefix search. The incumbent here is plain
 	// single-threaded B&B, so this phase is deterministic too.
-	inc := newIncumbent[N](1, 0)
+	inc := newLocalIncumbent[N]()
 	prefixVisitor := &optVisitor[S, N]{
 		space: space, obj: p.Objective, bound: p.Bound, level: p.PruneLevel,
 		inc: inc, loc: 0, shard: m.shard(0),
@@ -76,7 +76,7 @@ func ReplicableOpt[S, N any](space S, root N, p OptProblem[S, N], cfg Config) Op
 				// A private incumbent seeded with the frozen bound,
 				// reset per task so no knowledge leaks between tasks —
 				// the property that makes the visited set timing-free.
-				priv := newIncumbent[N](1, 0)
+				priv := newLocalIncumbent[N]()
 				var zero N
 				priv.strengthen(0, frozen, zero)
 				v := &optVisitor[S, N]{

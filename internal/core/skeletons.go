@@ -36,17 +36,24 @@ func (c Coordination) String() string {
 	}
 }
 
-func dispatch[S, N any](coord Coordination, space S, gf GenFactory[S, N], cfg Config, m *Metrics, cancel *canceller, vs []visitor[N], root N) {
+// dispatch starts the fabric and runs the chosen coordination. Engines
+// are built before the fabric starts so that every locality's pool is
+// installed by the time peers can request steals.
+func dispatch[S, N any](coord Coordination, space S, gf GenFactory[S, N], cfg Config, m *Metrics, cancel *canceller, vs []visitor[N], root N, fab *fabric[N]) {
 	switch coord {
 	case Sequential:
+		fab.start(cancel)
 		runSequential(space, gf, vs[0], cancel, m.shard(0), root)
 	case DepthBounded:
-		e := newEngine(space, gf, cfg, m, cancel)
+		e := newEngine(space, gf, cfg, m, cancel, fab)
+		fab.start(cancel)
 		runDepthBounded(e, vs, root)
 	case Budget:
-		e := newEngine(space, gf, cfg, m, cancel)
+		e := newEngine(space, gf, cfg, m, cancel, fab)
+		fab.start(cancel)
 		runBudget(e, vs, root)
 	case StackStealing:
+		fab.start(cancel)
 		runStackStealing(space, gf, cfg, m, cancel, vs, root)
 	default:
 		panic("core: unknown coordination")
@@ -60,11 +67,13 @@ func Enum[S, N, M any](coord Coordination, space S, root N, p EnumProblem[S, N, 
 	if coord == Sequential {
 		cfg.Workers, cfg.Localities = 1, 1
 	}
+	fab := newLoopbackFabric[N](cfg)
+	defer fab.close()
 	m := newMetrics(cfg.Workers)
 	cancel := newCanceller()
 	vs := newEnumVisitors(space, p, m, cfg.Workers)
 	start := time.Now()
-	dispatch(coord, space, p.Gen, cfg, m, cancel, vs, root)
+	dispatch(coord, space, p.Gen, cfg, m, cancel, vs, root, fab)
 	stats := m.total()
 	stats.Elapsed = time.Since(start)
 	return EnumResult[M]{Value: combineEnum[S, N, M](p.Monoid, vs), Stats: stats}
@@ -77,18 +86,22 @@ func Opt[S, N any](coord Coordination, space S, root N, p OptProblem[S, N], cfg 
 	if coord == Sequential {
 		cfg.Workers, cfg.Localities = 1, 1
 	}
+	fab := newLoopbackFabric[N](cfg)
+	defer fab.close()
 	m := newMetrics(cfg.Workers)
 	cancel := newCanceller()
-	inc := newIncumbent[N](cfg.Localities, cfg.BoundLatency)
+	inc := newIncumbent[N](fab.trs)
+	fab.bounds = inc
 	locOf := make([]int, cfg.Workers)
 	for w := range locOf {
 		locOf[w] = w % cfg.Localities
 	}
 	vs := newOptVisitors(space, p, inc, m, locOf)
 	start := time.Now()
-	dispatch(coord, space, p.Gen, cfg, m, cancel, vs, root)
+	dispatch(coord, space, p.Gen, cfg, m, cancel, vs, root, fab)
 	stats := m.total()
 	stats.Elapsed = time.Since(start)
+	stats.Broadcasts = inc.broadcasts()
 	node, obj, has := inc.result()
 	return OptResult[N]{Best: node, Objective: obj, Found: has, Stats: stats}
 }
@@ -100,12 +113,14 @@ func Decide[S, N any](coord Coordination, space S, root N, p DecisionProblem[S, 
 	if coord == Sequential {
 		cfg.Workers, cfg.Localities = 1, 1
 	}
+	fab := newLoopbackFabric[N](cfg)
+	defer fab.close()
 	m := newMetrics(cfg.Workers)
 	cancel := newCanceller()
 	wit := &witness[N]{}
 	vs := newDecisionVisitors(space, p, wit, cancel, m, cfg.Workers)
 	start := time.Now()
-	dispatch(coord, space, p.Gen, cfg, m, cancel, vs, root)
+	dispatch(coord, space, p.Gen, cfg, m, cancel, vs, root, fab)
 	stats := m.total()
 	stats.Elapsed = time.Since(start)
 	node, obj, found := wit.get()

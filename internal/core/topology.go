@@ -1,74 +1,104 @@
 package core
 
 import (
+	"fmt"
+	"math"
 	"math/rand"
-	"time"
+
+	"yewpar/internal/dist"
 )
 
-// topology is the simulated distributed machine: a set of localities
-// (stand-ins for the paper's physical cluster nodes), each owning a
-// workpool, with workers assigned round-robin. Steals prefer the local
-// pool; only when it is empty is a random remote locality tried, with
-// an optional latency charge per remote attempt — mirroring the
-// locality-aware victim selection of Section 4.3.
+// topology is the engine's view of the distributed machine: the
+// workpools of the localities hosted in this process, the worker →
+// locality assignment, and the steal plan over the global rank space.
+// Local work is popped straight off the locality's pool; only when it
+// is empty is a random peer tried through the locality's Transport —
+// mirroring the locality-aware victim selection of Section 4.3. In a
+// single-process run the peers are loopback localities (with optional
+// injected latency); in a distributed run they are other OS processes.
 type topology[N any] struct {
+	fab       *fabric[N]
 	pools     []Pool[N]
 	workerLoc []int
-	stealLat  time.Duration
 	rngs      []*rand.Rand
+	victims   [][]int // per in-process locality: global ranks to rob
 }
 
-func newTopology[N any](cfg Config) *topology[N] {
+func newTopology[N any](fab *fabric[N], cfg Config) *topology[N] {
+	nloc := len(fab.locs)
 	tp := &topology[N]{
-		pools:     make([]Pool[N], cfg.Localities),
+		fab:       fab,
+		pools:     make([]Pool[N], nloc),
 		workerLoc: make([]int, cfg.Workers),
-		stealLat:  cfg.StealLatency,
 		rngs:      make([]*rand.Rand, cfg.Workers),
+		victims:   make([][]int, nloc),
 	}
 	for i := range tp.pools {
 		tp.pools[i] = newPool[N](cfg.Pool)
+		fab.locs[i].pool = tp.pools[i]
+		for rank := 0; rank < fab.size; rank++ {
+			if rank != fab.locs[i].rank {
+				tp.victims[i] = append(tp.victims[i], rank)
+			}
+		}
 	}
 	for w := 0; w < cfg.Workers; w++ {
-		tp.workerLoc[w] = w % cfg.Localities
+		tp.workerLoc[w] = w % nloc
 		tp.rngs[w] = rand.New(rand.NewSource(cfg.Seed + int64(w)*7919))
 	}
 	return tp
 }
 
-// locality returns the locality a worker belongs to.
+// locality returns the in-process locality a worker belongs to.
 func (tp *topology[N]) locality(w int) int { return tp.workerLoc[w] }
 
 // push enqueues a task on the worker's local pool.
 func (tp *topology[N]) push(w int, t Task[N]) { tp.pools[tp.workerLoc[w]].Push(t) }
 
 // popOrSteal takes the next task for worker w: local pool first, then
-// remote localities in random order. Steal accounting is recorded in
-// the worker's shard.
+// peer localities in random order through the transport. Steal
+// accounting is recorded in the worker's shard.
 func (tp *topology[N]) popOrSteal(w int, sh *WorkerStats) (Task[N], bool) {
 	loc := tp.workerLoc[w]
 	if t, ok := tp.pools[loc].Pop(); ok {
 		return t, true
 	}
-	if len(tp.pools) == 1 {
+	vs := tp.victims[loc]
+	if len(vs) == 0 {
 		var zero Task[N]
 		return zero, false
 	}
 	r := tp.rngs[w]
-	start := r.Intn(len(tp.pools))
-	for i := 0; i < len(tp.pools); i++ {
-		v := (start + i) % len(tp.pools)
-		if v == loc {
+	start := r.Intn(len(vs))
+	for i := 0; i < len(vs); i++ {
+		v := vs[(start+i)%len(vs)]
+		wt, ok, err := tp.fab.trs[loc].Steal(v)
+		if err != nil || !ok {
+			sh.StealsFail++
 			continue
 		}
-		if tp.stealLat > 0 {
-			time.Sleep(tp.stealLat)
-		}
-		if t, ok := tp.pools[v].Steal(); ok {
-			sh.StealsOK++
-			return t, true
-		}
-		sh.StealsFail++
+		sh.StealsOK++
+		return tp.fromWire(loc, wt), true
 	}
 	var zero Task[N]
 	return zero, false
+}
+
+// fromWire turns a transport task back into an engine task, merging
+// the victim's bound snapshot into the locality's cache so the stolen
+// subtree is pruned with knowledge at least as fresh as its victim's.
+func (tp *topology[N]) fromWire(loc int, wt dist.WireTask) Task[N] {
+	if b := tp.fab.bounds; b != nil && wt.Bound > math.MinInt64 {
+		b.applyRemote(loc, wt.Bound)
+	}
+	if wt.Local != nil {
+		return wt.Local.(Task[N])
+	}
+	n, err := tp.fab.codec.Decode(wt.Payload)
+	if err != nil {
+		// Mismatched codecs across a deployment are unrecoverable:
+		// the task cannot be run here and returning it is impossible.
+		panic(fmt.Sprintf("core: decoding stolen task: %v", err))
+	}
+	return Task[N]{Node: n, Depth: wt.Depth}
 }

@@ -1,0 +1,424 @@
+package dist
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// Transport conformance suite: every behaviour the engine relies on,
+// asserted against both implementations. A new transport only has to
+// pass this suite to be a valid substrate for the distributed engine.
+
+// harness builds a connected deployment of n localities.
+type harness struct {
+	name string
+	make func(t *testing.T, n int) []Transport
+}
+
+func harnesses() []harness {
+	return []harness{
+		{name: "loopback", make: func(t *testing.T, n int) []Transport {
+			net := NewLoopback(n, LoopbackOptions{})
+			t.Cleanup(func() { net.Close() })
+			return net.Transports()
+		}},
+		{name: "tcp", make: func(t *testing.T, n int) []Transport {
+			l, err := NewListener("127.0.0.1:0", "conformance")
+			if err != nil {
+				t.Fatalf("listen: %v", err)
+			}
+			trs := make([]Transport, n)
+			var wg sync.WaitGroup
+			errs := make([]error, n)
+			for i := 1; i < n; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					tr, err := Dial(l.Addr(), "conformance")
+					if err != nil {
+						errs[i] = err
+						return
+					}
+					// Ranks are assigned in registration order, which
+					// is racy across concurrent dials: index by the
+					// assigned rank, not the goroutine.
+					trs[tr.Rank()] = tr
+				}(i)
+			}
+			coord, err := l.Wait(n - 1)
+			wg.Wait()
+			if err != nil {
+				t.Fatalf("wait: %v", err)
+			}
+			for _, e := range errs {
+				if e != nil {
+					t.Fatalf("dial: %v", e)
+				}
+			}
+			trs[0] = coord
+			t.Cleanup(func() {
+				for _, tr := range trs {
+					if tr != nil {
+						tr.Close()
+					}
+				}
+			})
+			return trs
+		}},
+	}
+}
+
+// recHandler records everything the transport delivers.
+type recHandler struct {
+	mu         sync.Mutex
+	tasks      []WireTask
+	adopted    []WireTask // late steal replies re-homed via OnTask
+	boundMax   atomic.Int64
+	bounds     []int64 // delivery order, for monotonicity of the merge
+	cancelled  atomic.Int64
+	serveDelay time.Duration
+}
+
+func (h *recHandler) ServeSteal(thief int) (WireTask, bool) {
+	if h.serveDelay > 0 {
+		time.Sleep(h.serveDelay)
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.tasks) == 0 {
+		return WireTask{}, false
+	}
+	t := h.tasks[0]
+	h.tasks = h.tasks[1:]
+	return t, true
+}
+
+func (h *recHandler) OnTask(t WireTask) {
+	h.mu.Lock()
+	h.adopted = append(h.adopted, t)
+	h.mu.Unlock()
+}
+
+func (h *recHandler) OnBound(from int, obj int64) {
+	h.mu.Lock()
+	h.bounds = append(h.bounds, obj)
+	h.mu.Unlock()
+	for {
+		cur := h.boundMax.Load()
+		if obj <= cur || h.boundMax.CompareAndSwap(cur, obj) {
+			return
+		}
+	}
+}
+
+func (h *recHandler) OnCancel(from int) { h.cancelled.Add(1) }
+
+func (h *recHandler) push(t WireTask) {
+	h.mu.Lock()
+	h.tasks = append(h.tasks, t)
+	h.mu.Unlock()
+}
+
+func startAll(trs []Transport) []*recHandler {
+	hs := make([]*recHandler, len(trs))
+	for i, tr := range trs {
+		hs[i] = &recHandler{}
+		hs[i].boundMax.Store(-1 << 62)
+		tr.Start(hs[i])
+	}
+	return hs
+}
+
+func eventually(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestConformanceIdentity(t *testing.T) {
+	for _, h := range harnesses() {
+		t.Run(h.name, func(t *testing.T) {
+			trs := h.make(t, 3)
+			startAll(trs)
+			seen := map[int]bool{}
+			for _, tr := range trs {
+				if tr.Size() != 3 {
+					t.Errorf("size = %d, want 3", tr.Size())
+				}
+				if seen[tr.Rank()] {
+					t.Errorf("duplicate rank %d", tr.Rank())
+				}
+				seen[tr.Rank()] = true
+			}
+			for r := 0; r < 3; r++ {
+				if !seen[r] {
+					t.Errorf("missing rank %d", r)
+				}
+			}
+		})
+	}
+}
+
+func TestConformanceStealRequestReply(t *testing.T) {
+	for _, h := range harnesses() {
+		t.Run(h.name, func(t *testing.T) {
+			trs := h.make(t, 3)
+			hs := startAll(trs)
+			want := WireTask{Payload: []byte("node-bytes"), Depth: 4, Bound: 17}
+			hs[1].push(want)
+
+			got, ok, err := trs[0].Steal(1)
+			if err != nil || !ok {
+				t.Fatalf("steal from stocked victim: ok=%v err=%v", ok, err)
+			}
+			if !bytes.Equal(got.Payload, want.Payload) || got.Depth != want.Depth || got.Bound != want.Bound {
+				t.Fatalf("stolen task %+v, want %+v", got, want)
+			}
+			// Victim now empty: empty-handed, not an error.
+			if _, ok, err := trs[0].Steal(1); ok || err != nil {
+				t.Fatalf("steal from empty victim: ok=%v err=%v", ok, err)
+			}
+			// Worker→worker steal routes too (through the hub on TCP).
+			hs[2].push(WireTask{Payload: []byte("w2"), Depth: 1})
+			got, ok, err = trs[1].Steal(2)
+			if err != nil || !ok || !bytes.Equal(got.Payload, []byte("w2")) {
+				t.Fatalf("worker-to-worker steal: %+v ok=%v err=%v", got, ok, err)
+			}
+		})
+	}
+}
+
+func TestConformanceBoundBroadcastMonotonic(t *testing.T) {
+	for _, h := range harnesses() {
+		t.Run(h.name, func(t *testing.T) {
+			trs := h.make(t, 3)
+			hs := startAll(trs)
+			// Every rank broadcasts an interleaved ascending sequence.
+			var wg sync.WaitGroup
+			for r, tr := range trs {
+				wg.Add(1)
+				go func(r int, tr Transport) {
+					defer wg.Done()
+					for i := 1; i <= 50; i++ {
+						tr.BroadcastBound(int64(100*i + r))
+					}
+				}(r, tr)
+			}
+			wg.Wait()
+			// Eventually every rank has learned the strongest bound any
+			// peer published (its own strongest is 100*50+r, published
+			// by construction; peers' maxima are 5000+other).
+			for r := range trs {
+				r := r
+				want := int64(0)
+				for o := range trs {
+					if o != r && int64(5000+o) > want {
+						want = int64(5000 + o)
+					}
+				}
+				eventually(t, fmt.Sprintf("%s rank %d to learn max bound", h.name, r), func() bool {
+					return hs[r].boundMax.Load() >= want
+				})
+			}
+			// The merge discipline (monotonic max) absorbs reordered
+			// deliveries: the running max never regresses.
+			for r := range trs {
+				hs[r].mu.Lock()
+				max := int64(-1 << 62)
+				for _, b := range hs[r].bounds {
+					if b > max {
+						max = b
+					}
+				}
+				hs[r].mu.Unlock()
+				if got := hs[r].boundMax.Load(); got != max {
+					t.Errorf("rank %d merged max %d != delivered max %d", r, got, max)
+				}
+			}
+		})
+	}
+}
+
+func TestConformanceTaskAccountingTermination(t *testing.T) {
+	for _, h := range harnesses() {
+		t.Run(h.name, func(t *testing.T) {
+			trs := h.make(t, 3)
+			startAll(trs)
+			// Seed three tasks at the coordinator, complete one at each
+			// rank: Done must fire on every rank, and not before the
+			// last completion.
+			trs[0].AddTasks(3)
+			trs[1].AddTasks(-1)
+			trs[2].AddTasks(-1)
+			select {
+			case <-trs[0].Done():
+				t.Fatal("Done fired with a task still live")
+			case <-time.After(50 * time.Millisecond):
+			}
+			trs[0].AddTasks(-1)
+			for r, tr := range trs {
+				select {
+				case <-tr.Done():
+				case <-time.After(5 * time.Second):
+					t.Fatalf("rank %d never saw termination", r)
+				}
+			}
+		})
+	}
+}
+
+func TestConformanceCancelPropagates(t *testing.T) {
+	for _, h := range harnesses() {
+		t.Run(h.name, func(t *testing.T) {
+			trs := h.make(t, 3)
+			hs := startAll(trs)
+			trs[1].Cancel()
+			eventually(t, "cancel to reach rank 0", func() bool { return hs[0].cancelled.Load() > 0 })
+			eventually(t, "cancel to reach rank 2", func() bool { return hs[2].cancelled.Load() > 0 })
+		})
+	}
+}
+
+func TestConformanceGather(t *testing.T) {
+	for _, h := range harnesses() {
+		t.Run(h.name, func(t *testing.T) {
+			trs := h.make(t, 3)
+			startAll(trs)
+			var got [][]byte
+			var wg sync.WaitGroup
+			for r, tr := range trs {
+				wg.Add(1)
+				go func(r int, tr Transport) {
+					defer wg.Done()
+					blobs, err := tr.Gather([]byte{byte(r + 1)})
+					if err != nil {
+						t.Errorf("rank %d gather: %v", r, err)
+					}
+					if r == 0 {
+						got = blobs
+					} else if blobs != nil {
+						t.Errorf("rank %d gather returned blobs", r)
+					}
+				}(r, tr)
+			}
+			wg.Wait()
+			if len(got) != 3 {
+				t.Fatalf("gathered %d blobs, want 3", len(got))
+			}
+			for r, b := range got {
+				if len(b) != 1 || b[0] != byte(r+1) {
+					t.Errorf("rank %d slot = %v", r, b)
+				}
+			}
+		})
+	}
+}
+
+// A steal reply that lands after the request timed out carries a task
+// that already left its victim's pool: the transport must hand it to
+// the thief's handler (OnTask) rather than drop part of the search
+// tree. TCP-specific — the loopback transport replies synchronously.
+func TestTCPLateStealReplyAdopted(t *testing.T) {
+	old := stealTimeout
+	stealTimeout = 50 * time.Millisecond
+	defer func() { stealTimeout = old }()
+
+	trs := harnesses()[1].make(t, 3) // tcp
+	hs := startAll(trs)
+	hs[1].serveDelay = 300 * time.Millisecond
+
+	for thief, tr := range []Transport{trs[0], trs[2]} {
+		hs[1].push(WireTask{Payload: []byte("slow"), Depth: 2})
+		if _, ok, err := tr.Steal(1); ok || err != nil {
+			t.Fatalf("thief %d: steal should time out, got ok=%v err=%v", thief, ok, err)
+		}
+		h := hs[[]int{0, 2}[thief]]
+		eventually(t, "late reply to be adopted", func() bool {
+			h.mu.Lock()
+			defer h.mu.Unlock()
+			return len(h.adopted) > 0 && string(h.adopted[len(h.adopted)-1].Payload) == "slow"
+		})
+	}
+}
+
+func TestConformanceWorkerDisconnectMidSearch(t *testing.T) {
+	for _, h := range harnesses() {
+		t.Run(h.name, func(t *testing.T) {
+			trs := h.make(t, 4)
+			hs := startAll(trs)
+			hs[2].push(WireTask{Payload: []byte("doomed"), Depth: 1})
+			trs[2].Close()
+			// Give a wire transport a moment to observe the broken
+			// connection, so the steals below fail via the dead-victim
+			// path rather than a full request timeout.
+			time.Sleep(100 * time.Millisecond)
+
+			// Steals aimed at the dead locality fail fast instead of
+			// hanging the thief (coordinator and worker thieves both).
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				if _, ok, _ := trs[0].Steal(2); ok {
+					t.Error("coordinator stole from a dead locality")
+				}
+				if _, ok, _ := trs[1].Steal(2); ok {
+					t.Error("worker stole from a dead locality")
+				}
+			}()
+			select {
+			case <-done:
+			case <-time.After(30 * time.Second):
+				t.Fatal("steal from dead locality hung")
+			}
+
+			// The survivors keep working: steals and bounds still flow.
+			hs[3].push(WireTask{Payload: []byte("alive"), Depth: 2})
+			if _, ok, err := trs[1].Steal(3); !ok || err != nil {
+				t.Fatalf("steal between survivors: ok=%v err=%v", ok, err)
+			}
+			trs[1].BroadcastBound(77)
+			eventually(t, "bound to reach surviving rank 3", func() bool { return hs[3].boundMax.Load() == 77 })
+
+			// The dead locality's tasks can never complete, so the
+			// transport must force termination rather than leave the
+			// survivors spinning for a count that cannot reach zero.
+			for _, r := range []int{0, 1, 3} {
+				select {
+				case <-trs[r].Done():
+				case <-time.After(5 * time.Second):
+					t.Fatalf("rank %d not released after locality death", r)
+				}
+			}
+
+			// A final gather completes, with a nil slot for the dead rank.
+			var got [][]byte
+			var wg sync.WaitGroup
+			for _, r := range []int{0, 1, 3} {
+				wg.Add(1)
+				go func(r int) {
+					defer wg.Done()
+					blobs, err := trs[r].Gather([]byte{byte(r)})
+					if err != nil {
+						t.Errorf("rank %d gather: %v", r, err)
+					}
+					if r == 0 {
+						got = blobs
+					}
+				}(r)
+			}
+			wg.Wait()
+			if len(got) != 4 || got[2] != nil {
+				t.Fatalf("gather after death = %v, want nil slot for rank 2", got)
+			}
+		})
+	}
+}

@@ -1,0 +1,38 @@
+// Package dist is the communication substrate of the distributed
+// search runtime: a pluggable Transport over which localities — the
+// paper's physical cluster nodes — exchange work and incumbent
+// knowledge.
+//
+// YewPar's distributed skeletons need exactly four interactions
+// between localities, and Transport captures precisely those:
+//
+//   - work distribution: an idle locality steals a task from a peer
+//     (Steal on the thief side, Handler.ServeSteal on the victim
+//     side), the request/reply discipline of the paper's Section 4.3
+//     workpools;
+//   - knowledge propagation: an improved incumbent bound is broadcast
+//     to every locality (BroadcastBound/Handler.OnBound), with relaxed
+//     delivery — late or reordered bounds cost pruning opportunities,
+//     never correctness, because receivers merge with a monotonic max;
+//   - termination detection: a global live-task count (AddTasks/Done)
+//     that reaches zero exactly when no locality holds or will ever
+//     receive work;
+//   - short-circuit and aggregation: decision-search cancellation
+//     (Cancel/Handler.OnCancel) and the terminal collective Gather
+//     that brings every locality's result and metrics to rank 0.
+//
+// Two implementations are provided. The Loopback transport connects
+// localities within one process by direct calls, with optional
+// injected steal and bound latencies; it backs all single-process
+// skeleton runs (internal/core builds its simulated-cluster topology
+// on it) and serves as the reference for the conformance suite. The
+// TCP transport (NewListener/Dial) connects real OS processes in a
+// star around the coordinator with gob-encoded frames; it is what
+// `yewpar -dist` deploys.
+//
+// The package is deliberately engine-agnostic: tasks cross it as
+// WireTask values carrying an opaque encoded node, so dist imports
+// nothing from internal/core and new transports (shared-memory IPC,
+// RDMA, a message-queue fabric) can be added without touching the
+// search engine.
+package dist

@@ -1,0 +1,96 @@
+package dist_test
+
+import (
+	"fmt"
+	"sync"
+
+	"yewpar/internal/dist"
+)
+
+// queueHandler is a minimal locality: a task queue to be robbed and a
+// record of the bounds peers have shared.
+type queueHandler struct {
+	mu     sync.Mutex
+	tasks  []dist.WireTask
+	bounds []int64
+}
+
+func (h *queueHandler) ServeSteal(thief int) (dist.WireTask, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.tasks) == 0 {
+		return dist.WireTask{}, false
+	}
+	t := h.tasks[0]
+	h.tasks = h.tasks[1:]
+	return t, true
+}
+
+func (h *queueHandler) OnBound(from int, obj int64) {
+	h.mu.Lock()
+	h.bounds = append(h.bounds, obj)
+	h.mu.Unlock()
+}
+
+func (h *queueHandler) OnCancel(from int) {}
+
+func (h *queueHandler) OnTask(t dist.WireTask) {
+	h.mu.Lock()
+	h.tasks = append(h.tasks, t)
+	h.mu.Unlock()
+}
+
+// ExampleNewLoopback wires two localities over the in-process
+// transport: locality 1 holds a task, locality 0 steals it, and an
+// improved incumbent bound is broadcast back.
+func ExampleNewLoopback() {
+	net := dist.NewLoopback(2, dist.LoopbackOptions{})
+	defer net.Close()
+	trs := net.Transports()
+
+	h0, h1 := &queueHandler{}, &queueHandler{}
+	h1.tasks = []dist.WireTask{{Payload: []byte("subtree-root"), Depth: 3, Bound: 12}}
+	trs[0].Start(h0)
+	trs[1].Start(h1)
+
+	task, ok, _ := trs[0].Steal(1)
+	fmt.Printf("stole: %q at depth %d (victim bound %d) ok=%v\n",
+		task.Payload, task.Depth, task.Bound, ok)
+
+	trs[0].BroadcastBound(15)
+	fmt.Printf("locality 1 learned bounds: %v\n", h1.bounds)
+
+	// A second steal finds locality 1 empty-handed.
+	_, ok, _ = trs[0].Steal(1)
+	fmt.Printf("second steal ok=%v\n", ok)
+	// Output:
+	// stole: "subtree-root" at depth 3 (victim bound 12) ok=true
+	// locality 1 learned bounds: [15]
+	// second steal ok=false
+}
+
+// ExampleTransport_AddTasks shows the live-task accounting that powers
+// distributed termination detection: Done fires on every locality
+// exactly when all spawned tasks have completed.
+func ExampleTransport_AddTasks() {
+	net := dist.NewLoopback(2, dist.LoopbackOptions{})
+	defer net.Close()
+	trs := net.Transports()
+	trs[0].Start(&queueHandler{})
+	trs[1].Start(&queueHandler{})
+
+	trs[0].AddTasks(2)  // coordinator spawns the root and one child
+	trs[1].AddTasks(-1) // a thief completes one…
+	select {
+	case <-trs[1].Done():
+		fmt.Println("terminated too early")
+	default:
+		fmt.Println("still searching")
+	}
+	trs[0].AddTasks(-1) // …and the coordinator the other
+	<-trs[1].Done()
+	fmt.Println("search terminated everywhere")
+	// Output:
+	// still searching
+	// search terminated everywhere
+}

@@ -1,0 +1,200 @@
+package dist
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// LoopbackOptions tunes the in-process network.
+type LoopbackOptions struct {
+	// StealLatency, if positive, is slept on the thief's goroutine
+	// before each steal request is served, simulating the network cost
+	// of a remote steal.
+	StealLatency time.Duration
+	// BoundLatency, if positive, delays delivery of bound broadcasts
+	// to peer localities, simulating the PGAS bound-broadcast latency:
+	// peers prune against stale bounds in the meantime.
+	BoundLatency time.Duration
+}
+
+// LoopbackNetwork is a set of in-process localities connected by
+// direct calls: the Transport implementation backing single-process
+// runs, where "localities" are groups of goroutines sharing an address
+// space. Latency injection makes it a faithful stand-in for a real
+// network in experiments, and its simplicity makes it the reference
+// implementation for the Transport conformance suite.
+type LoopbackNetwork struct {
+	opts LoopbackOptions
+	trs  []*loopback
+
+	live     atomic.Int64
+	done     chan struct{}
+	doneOnce sync.Once
+
+	gatherMu    sync.Mutex
+	blobs       [][]byte
+	contributed []bool
+	have        int
+	gathered    chan struct{}
+}
+
+// NewLoopback creates a connected network of n localities.
+func NewLoopback(n int, opts LoopbackOptions) *LoopbackNetwork {
+	if n <= 0 {
+		panic(fmt.Sprintf("dist: loopback network of %d localities", n))
+	}
+	net := &LoopbackNetwork{
+		opts:        opts,
+		trs:         make([]*loopback, n),
+		done:        make(chan struct{}),
+		blobs:       make([][]byte, n),
+		contributed: make([]bool, n),
+		gathered:    make(chan struct{}),
+	}
+	for i := range net.trs {
+		net.trs[i] = &loopback{net: net, rank: i}
+	}
+	return net
+}
+
+// Transports returns the network's localities, indexed by rank.
+func (ln *LoopbackNetwork) Transports() []Transport {
+	ts := make([]Transport, len(ln.trs))
+	for i, tr := range ln.trs {
+		ts[i] = tr
+	}
+	return ts
+}
+
+// Close closes every locality of the network.
+func (ln *LoopbackNetwork) Close() error {
+	for _, tr := range ln.trs {
+		tr.Close()
+	}
+	return nil
+}
+
+func (ln *LoopbackNetwork) addTasks(delta int64) {
+	if ln.live.Add(delta) == 0 && delta < 0 {
+		ln.doneOnce.Do(func() { close(ln.done) })
+	}
+}
+
+// contribute records one locality's gather payload (or its death, with
+// a nil payload); the last contribution releases rank 0.
+func (ln *LoopbackNetwork) contribute(rank int, blob []byte) {
+	ln.gatherMu.Lock()
+	defer ln.gatherMu.Unlock()
+	if ln.contributed[rank] {
+		return
+	}
+	ln.contributed[rank] = true
+	ln.blobs[rank] = blob
+	ln.have++
+	if ln.have == len(ln.trs) {
+		close(ln.gathered)
+	}
+}
+
+// loopback is one locality's endpoint in a LoopbackNetwork.
+type loopback struct {
+	net    *LoopbackNetwork
+	rank   int
+	h      atomic.Value // Handler
+	closed atomic.Bool
+}
+
+var _ Transport = (*loopback)(nil)
+
+func (t *loopback) Rank() int { return t.rank }
+
+func (t *loopback) Size() int { return len(t.net.trs) }
+
+func (t *loopback) Start(h Handler) { t.h.Store(h) }
+
+func (t *loopback) handler() Handler {
+	if t.closed.Load() {
+		return nil
+	}
+	h, _ := t.h.Load().(Handler)
+	return h
+}
+
+func (t *loopback) Steal(victim int) (WireTask, bool, error) {
+	if victim < 0 || victim >= len(t.net.trs) || victim == t.rank {
+		return WireTask{}, false, fmt.Errorf("dist: steal from invalid rank %d", victim)
+	}
+	if lat := t.net.opts.StealLatency; lat > 0 {
+		time.Sleep(lat)
+	}
+	vh := t.net.trs[victim].handler()
+	if vh == nil {
+		return WireTask{}, false, nil
+	}
+	wt, ok := vh.ServeSteal(t.rank)
+	return wt, ok, nil
+}
+
+func (t *loopback) BroadcastBound(obj int64) error {
+	for _, peer := range t.net.trs {
+		if peer.rank == t.rank {
+			continue
+		}
+		if lat := t.net.opts.BoundLatency; lat > 0 {
+			p := peer
+			time.AfterFunc(lat, func() {
+				if h := p.handler(); h != nil {
+					h.OnBound(t.rank, obj)
+				}
+			})
+			continue
+		}
+		if h := peer.handler(); h != nil {
+			h.OnBound(t.rank, obj)
+		}
+	}
+	return nil
+}
+
+func (t *loopback) Cancel() error {
+	for _, peer := range t.net.trs {
+		if peer.rank == t.rank {
+			continue
+		}
+		if h := peer.handler(); h != nil {
+			h.OnCancel(t.rank)
+		}
+	}
+	return nil
+}
+
+func (t *loopback) AddTasks(delta int64) { t.net.addTasks(delta) }
+
+func (t *loopback) Done() <-chan struct{} { return t.net.done }
+
+func (t *loopback) Gather(payload []byte) ([][]byte, error) {
+	t.net.contribute(t.rank, payload)
+	if t.rank != 0 {
+		return nil, nil
+	}
+	<-t.net.gathered
+	t.net.gatherMu.Lock()
+	defer t.net.gatherMu.Unlock()
+	return t.net.blobs, nil
+}
+
+// Close detaches the locality: subsequent steals from it fail, bound
+// deliveries to it are dropped, a pending Gather sees a nil payload in
+// its slot, and — since a dead locality's live tasks can never
+// complete — the search is force-terminated so survivors unblock
+// (matching the TCP transport's worker-death behaviour; a no-op after
+// normal termination).
+func (t *loopback) Close() error {
+	if t.closed.CompareAndSwap(false, true) {
+		t.net.contribute(t.rank, nil)
+		t.net.doneOnce.Do(func() { close(t.net.done) })
+	}
+	return nil
+}

@@ -1,0 +1,635 @@
+package dist
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The TCP transport realises a deployment of real OS processes: one
+// coordinator (rank 0) and n workers (ranks 1..n), in a star topology.
+// Workers hold a single TCP connection to the coordinator, which
+// routes worker↔worker traffic; all frames are gob-encoded. The star
+// keeps connection management linear in the cluster size and gives the
+// coordinator the global view it needs anyway for termination
+// detection and result aggregation.
+
+const (
+	// registration must complete within this window or Wait fails.
+	regTimeout = 120 * time.Second
+	// dial keeps retrying (the coordinator may not be listening yet).
+	dialTimeout = 30 * time.Second
+)
+
+// stealTimeout bounds a steal request whose reply never arrives; a
+// reply landing after it is adopted via Handler.OnTask. A variable so
+// tests can exercise the late-reply path without the full wait.
+var stealTimeout = 10 * time.Second
+
+type kind uint8
+
+const (
+	kHello     kind = iota // worker→hub: registration (Blob = spec)
+	kWelcome               // hub→worker: To = rank, Delta = size
+	kReject                // hub→worker: registration refused (Blob = reason)
+	kSteal                 // From = thief, To = victim
+	kStealR                // From = victim, To = thief
+	kBound                 // From, Obj
+	kCancel                // From
+	kDelta                 // Delta
+	kTerminate             // global live-task count reached zero
+	kGather                // From, Blob
+)
+
+// frame is the single wire message; unused fields are zero.
+type frame struct {
+	Kind  kind
+	From  int
+	To    int
+	Seq   uint64
+	OK    bool
+	Obj   int64
+	Delta int64
+	Blob  []byte
+	Task  WireTask
+}
+
+// wconn is one gob-framed TCP connection with serialised writes.
+type wconn struct {
+	c    net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+	wmu  sync.Mutex
+	dead atomic.Bool
+}
+
+func newWconn(c net.Conn) *wconn {
+	return &wconn{c: c, enc: gob.NewEncoder(c), dec: gob.NewDecoder(c)}
+}
+
+func (cn *wconn) send(f *frame) error {
+	if cn.dead.Load() {
+		return errors.New("dist: connection closed")
+	}
+	cn.wmu.Lock()
+	defer cn.wmu.Unlock()
+	if err := cn.enc.Encode(f); err != nil {
+		cn.dead.Store(true)
+		return err
+	}
+	return nil
+}
+
+func (cn *wconn) recv(f *frame) error {
+	if err := cn.dec.Decode(f); err != nil {
+		cn.dead.Store(true)
+		return err
+	}
+	return nil
+}
+
+func (cn *wconn) close() { cn.dead.Store(true); cn.c.Close() }
+
+// stealRes is a pending steal's reply slot.
+type stealRes struct {
+	task WireTask
+	ok   bool
+}
+
+// pendingSteals tracks in-flight steal requests by sequence number.
+type pendingSteals struct {
+	mu   sync.Mutex
+	next uint64
+	m    map[uint64]*pendingSteal
+}
+
+type pendingSteal struct {
+	victim int
+	ch     chan stealRes
+}
+
+func (p *pendingSteals) register(victim int) (uint64, chan stealRes) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.m == nil {
+		p.m = make(map[uint64]*pendingSteal)
+	}
+	p.next++
+	ch := make(chan stealRes, 1)
+	p.m[p.next] = &pendingSteal{victim: victim, ch: ch}
+	return p.next, ch
+}
+
+// resolve delivers a steal reply to its waiter, reporting false when
+// the request is no longer pending (it timed out): the caller then
+// owns the reply and must not drop a carried task.
+func (p *pendingSteals) resolve(seq uint64, res stealRes) bool {
+	p.mu.Lock()
+	ps := p.m[seq]
+	delete(p.m, seq)
+	p.mu.Unlock()
+	if ps == nil {
+		return false
+	}
+	ps.ch <- res
+	return true
+}
+
+func (p *pendingSteals) drop(seq uint64) {
+	p.mu.Lock()
+	delete(p.m, seq)
+	p.mu.Unlock()
+}
+
+// failVictim resolves every pending steal aimed at a dead victim.
+func (p *pendingSteals) failVictim(victim int) {
+	p.mu.Lock()
+	var chs []chan stealRes
+	for seq, ps := range p.m {
+		if ps.victim == victim {
+			chs = append(chs, ps.ch)
+			delete(p.m, seq)
+		}
+	}
+	p.mu.Unlock()
+	for _, ch := range chs {
+		ch <- stealRes{}
+	}
+}
+
+// failAll resolves every pending steal (the link itself died).
+func (p *pendingSteals) failAll() {
+	p.mu.Lock()
+	var chs []chan stealRes
+	for seq, ps := range p.m {
+		chs = append(chs, ps.ch)
+		delete(p.m, seq)
+	}
+	p.mu.Unlock()
+	for _, ch := range chs {
+		ch <- stealRes{}
+	}
+}
+
+// Listener is the coordinator's registration endpoint. NewListener
+// binds immediately (so Addr can be advertised); Wait blocks until the
+// expected number of workers has registered, then returns the
+// coordinator's Transport. Search therefore cannot start before every
+// locality is present.
+type Listener struct {
+	ln   net.Listener
+	spec string
+}
+
+// NewListener binds the coordinator's address. spec is an arbitrary
+// deployment description (application, instance, parameters); workers
+// must present an identical spec, which catches the classic
+// distributed-search operator error of launching localities on
+// different problems.
+func NewListener(addr, spec string) (*Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Listener{ln: ln, spec: spec}, nil
+}
+
+// Addr returns the bound address (useful with a ":0" listen address).
+func (l *Listener) Addr() string { return l.ln.Addr().String() }
+
+// Close aborts a pending Wait.
+func (l *Listener) Close() error { return l.ln.Close() }
+
+// Wait accepts registrations until `workers` workers are connected,
+// then welcomes each with its rank and returns the coordinator
+// transport (rank 0 of a size workers+1 deployment).
+func (l *Listener) Wait(workers int) (Transport, error) {
+	if workers < 1 {
+		return nil, fmt.Errorf("dist: coordinator needs at least 1 worker, got %d", workers)
+	}
+	deadline := time.Now().Add(regTimeout)
+	h := &hub{
+		size:    workers + 1,
+		conns:   make([]*wconn, workers+1),
+		started: make(chan struct{}),
+		done:    make(chan struct{}),
+		blobs:   make([][]byte, workers+1),
+		contrib: make([]bool, workers+1),
+		gotAll:  make(chan struct{}),
+		ln:      l.ln,
+	}
+	for rank := 1; rank <= workers; rank++ {
+		if d, ok := l.ln.(*net.TCPListener); ok {
+			d.SetDeadline(deadline)
+		}
+		c, err := l.ln.Accept()
+		if err != nil {
+			return nil, fmt.Errorf("dist: registration failed waiting for worker %d/%d: %w", rank, workers, err)
+		}
+		cn := newWconn(c)
+		// The registration deadline must also bound the hello read: a
+		// connection that never sends a frame (port scan, stalled
+		// peer) must not hang Wait past the window.
+		c.SetReadDeadline(deadline)
+		var hello frame
+		if err := cn.recv(&hello); err != nil || hello.Kind != kHello {
+			cn.close()
+			return nil, fmt.Errorf("dist: bad registration from %v", c.RemoteAddr())
+		}
+		c.SetReadDeadline(time.Time{})
+		if string(hello.Blob) != l.spec {
+			cn.send(&frame{Kind: kReject, Blob: []byte(fmt.Sprintf("spec mismatch: coordinator runs %q, worker runs %q", l.spec, string(hello.Blob)))})
+			cn.close()
+			return nil, fmt.Errorf("dist: worker %v registered with mismatched spec %q (coordinator: %q)", c.RemoteAddr(), string(hello.Blob), l.spec)
+		}
+		h.conns[rank] = cn
+	}
+	if d, ok := l.ln.(*net.TCPListener); ok {
+		d.SetDeadline(time.Time{})
+	}
+	for rank := 1; rank <= workers; rank++ {
+		if err := h.conns[rank].send(&frame{Kind: kWelcome, To: rank, Delta: int64(h.size), Blob: []byte(l.spec)}); err != nil {
+			return nil, fmt.Errorf("dist: welcoming worker %d: %w", rank, err)
+		}
+	}
+	for rank := 1; rank <= workers; rank++ {
+		go h.serve(rank)
+	}
+	return h, nil
+}
+
+// hub is the coordinator transport: rank 0's endpoint plus the router
+// for worker↔worker traffic and the home of the global live-task
+// counter.
+type hub struct {
+	size    int
+	conns   []*wconn // index by rank; conns[0] is nil
+	h       atomic.Value
+	started chan struct{}
+	stOnce  sync.Once
+
+	live     atomic.Int64
+	done     chan struct{}
+	doneOnce sync.Once
+
+	pending pendingSteals
+
+	gatherMu sync.Mutex
+	blobs    [][]byte
+	contrib  []bool
+	have     int
+	gotAll   chan struct{}
+
+	closed atomic.Bool
+	ln     net.Listener
+}
+
+var _ Transport = (*hub)(nil)
+
+func (h *hub) Rank() int { return 0 }
+func (h *hub) Size() int { return h.size }
+
+func (h *hub) Start(hd Handler) {
+	h.h.Store(hd)
+	h.stOnce.Do(func() { close(h.started) })
+}
+
+// handler blocks until Start (or Close) and returns the attached
+// handler, which is nil only when the hub was closed before Start.
+func (h *hub) handler() Handler {
+	<-h.started
+	hd, _ := h.h.Load().(Handler)
+	return hd
+}
+
+// serve routes one worker connection until it dies.
+func (h *hub) serve(rank int) {
+	cn := h.conns[rank]
+	for {
+		var f frame
+		if err := cn.recv(&f); err != nil {
+			h.workerDied(rank)
+			return
+		}
+		switch f.Kind {
+		case kSteal:
+			if f.To == 0 {
+				var wt WireTask
+				var ok bool
+				if hd := h.handler(); hd != nil {
+					wt, ok = hd.ServeSteal(f.From)
+				}
+				cn.send(&frame{Kind: kStealR, From: 0, To: f.From, Seq: f.Seq, Task: wt, OK: ok})
+				break
+			}
+			if !h.forward(f.To, &f) {
+				cn.send(&frame{Kind: kStealR, From: f.To, To: f.From, Seq: f.Seq})
+			}
+		case kStealR:
+			if f.To == 0 {
+				if !h.pending.resolve(f.Seq, stealRes{task: f.Task, ok: f.OK}) && f.OK {
+					// The request timed out before this reply landed;
+					// the task is ours now — keep it as local work.
+					if hd := h.handler(); hd != nil {
+						hd.OnTask(f.Task)
+					}
+				}
+				break
+			}
+			h.forward(f.To, &f)
+		case kBound:
+			if hd := h.handler(); hd != nil {
+				hd.OnBound(f.From, f.Obj)
+			}
+			h.fanOut(&f, rank)
+		case kCancel:
+			if hd := h.handler(); hd != nil {
+				hd.OnCancel(f.From)
+			}
+			h.fanOut(&f, rank)
+		case kDelta:
+			h.AddTasks(f.Delta)
+		case kGather:
+			h.contribute(f.From, f.Blob)
+		}
+	}
+}
+
+// forward sends a frame to a worker; false when the worker is gone.
+func (h *hub) forward(rank int, f *frame) bool {
+	if rank <= 0 || rank >= h.size {
+		return false
+	}
+	cn := h.conns[rank]
+	if cn == nil || cn.dead.Load() {
+		return false
+	}
+	return cn.send(f) == nil
+}
+
+// fanOut relays a frame to every live worker except the origin.
+func (h *hub) fanOut(f *frame, except int) {
+	for rank := 1; rank < h.size; rank++ {
+		if rank == except {
+			continue
+		}
+		h.forward(rank, f)
+	}
+}
+
+// workerDied handles a lost connection: pending steals aimed at the
+// worker fail fast, its gather slot is filled with nil, and the
+// deployment is force-terminated — the dead locality's live tasks can
+// never complete, so the global count would stay positive forever.
+// The survivors unblock, gather, and the coordinator reports the dead
+// locality's nil slot as an error. Fault tolerance (re-executing a
+// dead locality's work) is an explicit non-goal here. A worker that
+// disconnected after contributing its result (normal shutdown) has
+// already seen termination, making all of this a no-op.
+func (h *hub) workerDied(rank int) {
+	h.conns[rank].dead.Store(true)
+	h.pending.failVictim(rank)
+	h.contribute(rank, nil)
+	h.terminate()
+}
+
+// terminate ends the search everywhere, once.
+func (h *hub) terminate() {
+	h.doneOnce.Do(func() {
+		close(h.done)
+		h.fanOut(&frame{Kind: kTerminate}, 0)
+	})
+}
+
+func (h *hub) Steal(victim int) (WireTask, bool, error) {
+	if victim <= 0 || victim >= h.size {
+		return WireTask{}, false, fmt.Errorf("dist: steal from invalid rank %d", victim)
+	}
+	seq, ch := h.pending.register(victim)
+	if !h.forward(victim, &frame{Kind: kSteal, From: 0, To: victim, Seq: seq}) {
+		h.pending.drop(seq)
+		return WireTask{}, false, nil
+	}
+	select {
+	case res := <-ch:
+		return res.task, res.ok, nil
+	case <-time.After(stealTimeout):
+		h.pending.drop(seq)
+		return WireTask{}, false, nil
+	}
+}
+
+func (h *hub) BroadcastBound(obj int64) error {
+	h.fanOut(&frame{Kind: kBound, From: 0, Obj: obj}, 0)
+	return nil
+}
+
+func (h *hub) Cancel() error {
+	h.fanOut(&frame{Kind: kCancel, From: 0}, 0)
+	return nil
+}
+
+func (h *hub) AddTasks(delta int64) {
+	if h.live.Add(delta) == 0 && delta < 0 {
+		h.terminate()
+	}
+}
+
+func (h *hub) Done() <-chan struct{} { return h.done }
+
+func (h *hub) contribute(rank int, blob []byte) {
+	h.gatherMu.Lock()
+	defer h.gatherMu.Unlock()
+	if h.contrib[rank] {
+		return
+	}
+	h.contrib[rank] = true
+	h.blobs[rank] = blob
+	h.have++
+	if h.have == h.size {
+		close(h.gotAll)
+	}
+}
+
+func (h *hub) Gather(payload []byte) ([][]byte, error) {
+	h.contribute(0, payload)
+	<-h.gotAll
+	h.gatherMu.Lock()
+	defer h.gatherMu.Unlock()
+	return h.blobs, nil
+}
+
+func (h *hub) Close() error {
+	if !h.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	h.stOnce.Do(func() { close(h.started) }) // unblock routing goroutines
+
+	for _, cn := range h.conns {
+		if cn != nil {
+			cn.close()
+		}
+	}
+	if h.ln != nil {
+		h.ln.Close()
+	}
+	return nil
+}
+
+// Dial connects a worker to the coordinator, retrying while the
+// coordinator is not yet listening, and completes registration. The
+// returned transport's rank is assigned by the coordinator.
+func Dial(addr, spec string) (Transport, error) {
+	var c net.Conn
+	var err error
+	deadline := time.Now().Add(dialTimeout)
+	for {
+		c, err = net.DialTimeout("tcp", addr, 2*time.Second)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("dist: dialing coordinator %s: %w", addr, err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	cn := newWconn(c)
+	if err := cn.send(&frame{Kind: kHello, Blob: []byte(spec)}); err != nil {
+		cn.close()
+		return nil, fmt.Errorf("dist: registering with %s: %w", addr, err)
+	}
+	var welcome frame
+	if err := cn.recv(&welcome); err != nil {
+		cn.close()
+		return nil, fmt.Errorf("dist: registration reply from %s: %w", addr, err)
+	}
+	switch welcome.Kind {
+	case kWelcome:
+	case kReject:
+		cn.close()
+		return nil, fmt.Errorf("dist: coordinator refused registration: %s", string(welcome.Blob))
+	default:
+		cn.close()
+		return nil, fmt.Errorf("dist: unexpected registration reply kind %d", welcome.Kind)
+	}
+	return &worker{
+		cn:      cn,
+		rank:    welcome.To,
+		size:    int(welcome.Delta),
+		started: make(chan struct{}),
+		done:    make(chan struct{}),
+	}, nil
+}
+
+// worker is a non-coordinator locality's endpoint: one connection to
+// the hub carrying all of its traffic.
+type worker struct {
+	cn      *wconn
+	rank    int
+	size    int
+	h       atomic.Value
+	started chan struct{}
+	stOnce  sync.Once
+
+	done     chan struct{}
+	doneOnce sync.Once
+
+	pending pendingSteals
+	closed  atomic.Bool
+}
+
+var _ Transport = (*worker)(nil)
+
+func (w *worker) Rank() int { return w.rank }
+func (w *worker) Size() int { return w.size }
+
+func (w *worker) Start(h Handler) {
+	w.h.Store(h)
+	w.stOnce.Do(func() { close(w.started) })
+	go w.readLoop()
+}
+
+func (w *worker) handler() Handler {
+	hd, _ := w.h.Load().(Handler)
+	return hd
+}
+
+func (w *worker) readLoop() {
+	for {
+		var f frame
+		if err := w.cn.recv(&f); err != nil {
+			// The hub is gone: no more work or termination signal can
+			// ever arrive, so release anyone waiting.
+			w.pending.failAll()
+			w.doneOnce.Do(func() { close(w.done) })
+			return
+		}
+		switch f.Kind {
+		case kSteal:
+			wt, ok := w.handler().ServeSteal(f.From)
+			w.cn.send(&frame{Kind: kStealR, From: w.rank, To: f.From, Seq: f.Seq, Task: wt, OK: ok})
+		case kStealR:
+			if !w.pending.resolve(f.Seq, stealRes{task: f.Task, ok: f.OK}) && f.OK {
+				// Late reply to a timed-out steal: the task left its
+				// victim and must not be lost — enqueue it locally.
+				w.handler().OnTask(f.Task)
+			}
+		case kBound:
+			w.handler().OnBound(f.From, f.Obj)
+		case kCancel:
+			w.handler().OnCancel(f.From)
+		case kTerminate:
+			w.doneOnce.Do(func() { close(w.done) })
+		}
+	}
+}
+
+func (w *worker) Steal(victim int) (WireTask, bool, error) {
+	if victim < 0 || victim >= w.size || victim == w.rank {
+		return WireTask{}, false, fmt.Errorf("dist: steal from invalid rank %d", victim)
+	}
+	seq, ch := w.pending.register(victim)
+	if err := w.cn.send(&frame{Kind: kSteal, From: w.rank, To: victim, Seq: seq}); err != nil {
+		w.pending.drop(seq)
+		return WireTask{}, false, err
+	}
+	select {
+	case res := <-ch:
+		return res.task, res.ok, nil
+	case <-time.After(stealTimeout):
+		w.pending.drop(seq)
+		return WireTask{}, false, nil
+	}
+}
+
+func (w *worker) BroadcastBound(obj int64) error {
+	return w.cn.send(&frame{Kind: kBound, From: w.rank, Obj: obj})
+}
+
+func (w *worker) Cancel() error {
+	return w.cn.send(&frame{Kind: kCancel, From: w.rank})
+}
+
+func (w *worker) AddTasks(delta int64) {
+	w.cn.send(&frame{Kind: kDelta, From: w.rank, Delta: delta})
+}
+
+func (w *worker) Done() <-chan struct{} { return w.done }
+
+func (w *worker) Gather(payload []byte) ([][]byte, error) {
+	if err := w.cn.send(&frame{Kind: kGather, From: w.rank, Blob: payload}); err != nil {
+		return nil, fmt.Errorf("dist: sending gather payload: %w", err)
+	}
+	return nil, nil
+}
+
+func (w *worker) Close() error {
+	if w.closed.CompareAndSwap(false, true) {
+		w.cn.close()
+	}
+	return nil
+}

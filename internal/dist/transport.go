@@ -1,0 +1,94 @@
+package dist
+
+// WireTask is a unit of work as it crosses a locality boundary: an
+// application search-tree node, its absolute depth, and a snapshot of
+// the sender's best known bound at hand-over time. The thief merges
+// Bound into its own cache before running the task, so stolen work
+// never prunes against knowledge older than its victim's.
+//
+// Exactly one of Payload and Local is set. Wire transports carry the
+// node encoded by the engine's Codec in Payload; the in-process
+// loopback transport passes the engine's task value by reference in
+// Local, avoiding a serialise/deserialise round trip that shared
+// memory does not need.
+type WireTask struct {
+	Payload []byte
+	Local   any
+	Depth   int
+	Bound   int64
+}
+
+// Handler is the locality engine's side of a Transport: the transport
+// calls it to serve incoming traffic. Implementations must be safe for
+// concurrent use — wire transports invoke handlers from their receive
+// goroutines while search workers run.
+type Handler interface {
+	// ServeSteal hands over one task to the thief locality, typically
+	// the shallowest (largest expected subtree) in the local workpool.
+	// It reports false when the locality has no spare work.
+	ServeSteal(thief int) (WireTask, bool)
+	// OnBound delivers a peer locality's improved incumbent bound.
+	// Deliveries may arrive late or out of order; receivers must merge
+	// with a monotonic max.
+	OnBound(from int, obj int64)
+	// OnCancel delivers a peer's global short-circuit (a decision
+	// search found its witness). It may be called more than once.
+	OnCancel(from int)
+	// OnTask delivers a task that was stolen on this locality's
+	// behalf but could not be handed to the requesting worker — e.g.
+	// the steal reply arrived after the request timed out. The
+	// locality must enqueue it as local work: the task left its
+	// victim's pool and is still registered in the global live count,
+	// so dropping it would lose part of the search tree and hang
+	// termination.
+	OnTask(t WireTask)
+}
+
+// Transport connects one locality to its peers. It is the pluggable
+// communication substrate of the distributed runtime: the engine above
+// it is identical whether the peers are goroutines in this process
+// (Loopback) or OS processes across a network (TCP).
+//
+// Ranks are dense integers 0..Size()-1; rank 0 is the coordinator and
+// owns the root of the search tree. All methods except Start and Close
+// require Start to have been called.
+type Transport interface {
+	// Rank is this locality's identity.
+	Rank() int
+	// Size is the number of localities in the deployment.
+	Size() int
+	// Start attaches the locality engine and begins serving incoming
+	// traffic. It must be called exactly once, before any search
+	// worker runs.
+	Start(h Handler)
+	// Steal requests one task from the victim locality, blocking until
+	// the victim replies (or the transport decides it never will). The
+	// bool reports whether a task was obtained; errors are reserved
+	// for transport failure, not empty-handed steals.
+	Steal(victim int) (WireTask, bool, error)
+	// BroadcastBound publishes an improved incumbent bound to every
+	// other locality, asynchronously: peers learn it after the
+	// transport's delivery latency, pruning against stale knowledge in
+	// the meantime.
+	BroadcastBound(obj int64) error
+	// Cancel propagates a global short-circuit to every other
+	// locality.
+	Cancel() error
+	// AddTasks adjusts the global live-task count by delta: +k when
+	// spawning k tasks (before they become visible to any worker), -1
+	// when a task completes. The count underpins distributed
+	// termination detection.
+	AddTasks(delta int64)
+	// Done is closed when the global live-task count returns to zero —
+	// every spawned task has completed, so no locality can ever
+	// receive work again.
+	Done() <-chan struct{}
+	// Gather is a terminal collective: every locality contributes one
+	// payload, and rank 0 receives all of them indexed by rank (its
+	// own included). Non-root callers return (nil, nil) as soon as
+	// their payload is on the way. A dead locality's slot is nil.
+	Gather(payload []byte) ([][]byte, error)
+	// Close releases the transport's resources. Safe to call more
+	// than once.
+	Close() error
+}
