@@ -17,9 +17,11 @@ package yewpar
 
 import (
 	"fmt"
+	"math/rand"
 	"os"
 	"runtime"
 	"runtime/debug"
+	"sync"
 	"testing"
 	"time"
 
@@ -30,6 +32,7 @@ import (
 	"yewpar/internal/apps/tsp"
 	"yewpar/internal/apps/uts"
 	"yewpar/internal/core"
+	"yewpar/internal/dist"
 	"yewpar/internal/graph"
 	"yewpar/internal/instances"
 )
@@ -239,5 +242,218 @@ func BenchmarkAblationBoundLatency(b *testing.B) {
 					core.Config{Workers: w, Localities: 4, DCutoff: 2, BoundLatency: lat})
 			}
 		})
+	}
+}
+
+// ------------------------------------------------------------------
+// Wire protocol v2 throughput: how fast do stolen tasks cross a
+// locality boundary, and at what protocol cost? The matrix covers the
+// three v2 levers — transport (loopback hand-over vs real TCP), codec
+// (self-describing gob vs compact hand-written), steal batching
+// (1 task per round trip vs DefaultStealBatch) — with the gob/batch=1
+// TCP row standing in for the PR 1 baseline protocol. frames/task and
+// bytes/task are reported from the transport's Meter; see
+// BENCH_transport.json for recorded numbers.
+
+// benchVictim serves pre-stocked encoded tasks, like a locality with a
+// deep backlog.
+type benchVictim struct {
+	mu    sync.Mutex
+	tasks []dist.WireTask
+}
+
+func (h *benchVictim) ServeSteal(thief int) (dist.WireTask, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.tasks) == 0 {
+		return dist.WireTask{}, false
+	}
+	t := h.tasks[len(h.tasks)-1]
+	h.tasks = h.tasks[:len(h.tasks)-1]
+	return t, true
+}
+func (h *benchVictim) OnBound(int, int64) {}
+func (h *benchVictim) OnCancel(int)       {}
+func (h *benchVictim) OnTask(t dist.WireTask) {
+	h.mu.Lock()
+	h.tasks = append(h.tasks, t)
+	h.mu.Unlock()
+}
+
+// benchThief collects batch extras delivered through OnTask.
+type benchThief struct {
+	mu    sync.Mutex
+	extra []dist.WireTask
+}
+
+func (h *benchThief) ServeSteal(int) (dist.WireTask, bool) { return dist.WireTask{}, false }
+func (h *benchThief) OnBound(int, int64)                   {}
+func (h *benchThief) OnCancel(int)                         {}
+func (h *benchThief) OnTask(t dist.WireTask) {
+	h.mu.Lock()
+	h.extra = append(h.extra, t)
+	h.mu.Unlock()
+}
+
+func (h *benchThief) take() []dist.WireTask {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := h.extra
+	h.extra = nil
+	return out
+}
+
+// benchWalk samples count real nodes along random root-to-leaf walks.
+func benchWalk[S, N any](space S, root N, gen core.GenFactory[S, N], count int) []N {
+	rng := rand.New(rand.NewSource(99))
+	nodes := []N{root}
+	for len(nodes) < count {
+		n := root
+		for {
+			nodes = append(nodes, n)
+			g := gen(space, n)
+			var kids []N
+			for g.HasNext() {
+				kids = append(kids, g.Next())
+			}
+			if len(kids) == 0 {
+				break
+			}
+			n = kids[rng.Intn(len(kids))]
+		}
+	}
+	return nodes[:count]
+}
+
+func benchTransportPair(b *testing.B, transport string, batch int) (thiefTr, victimTr dist.Transport, cleanup func()) {
+	switch transport {
+	case "loopback":
+		net := dist.NewLoopback(2, dist.LoopbackOptions{})
+		trs := net.Transports()
+		return trs[0], trs[1], func() { net.Close() }
+	case "tcp":
+		l, err := dist.NewListenerOpts("127.0.0.1:0", "bench", dist.WireOptions{StealBatch: batch})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var wtr dist.Transport
+		var derr error
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			wtr, derr = dist.Dial(l.Addr(), "bench")
+		}()
+		htr, err := l.Wait(1)
+		<-done
+		if err != nil || derr != nil {
+			b.Fatalf("tcp pair: %v / %v", err, derr)
+		}
+		return htr, wtr, func() { htr.Close(); wtr.Close() }
+	}
+	panic("unknown transport")
+}
+
+func runTransportThroughput[N any](b *testing.B, transport string, batch int, codec core.Codec[N], nodes []N) {
+	thiefTr, victimTr, cleanup := benchTransportPair(b, transport, batch)
+	defer cleanup()
+	victim := &benchVictim{}
+	thief := &benchThief{}
+	thiefTr.Start(thief)
+	victimTr.Start(victim)
+
+	var before core.Stats
+	meterInto := func(s *core.Stats) {
+		for _, tr := range []dist.Transport{thiefTr, victimTr} {
+			if m, ok := tr.(dist.Meter); ok {
+				ws := m.Wire()
+				s.Frames += ws.FramesSent
+				s.WireBytes += ws.BytesSent
+			}
+		}
+	}
+	meterInto(&before)
+
+	const tasksPerRound = 64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Victim encodes its backlog (as ServeSteal does on a real
+		// locality), thief drains and decodes every stolen task.
+		stock := make([]dist.WireTask, 0, tasksPerRound)
+		for _, n := range nodes {
+			bs, err := codec.EncodeTo(nil, n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			stock = append(stock, dist.WireTask{Payload: bs, Depth: 1})
+		}
+		victim.mu.Lock()
+		victim.tasks = stock
+		victim.mu.Unlock()
+
+		got := 0
+		decode := func(ts ...dist.WireTask) {
+			for _, wt := range ts {
+				if _, err := codec.Decode(wt.Payload); err != nil {
+					b.Fatal(err)
+				}
+				got++
+			}
+		}
+		for got < tasksPerRound {
+			wt, ok, err := thiefTr.Steal(1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !ok {
+				b.Fatal("victim ran dry early")
+			}
+			decode(wt)
+			decode(thief.take()...)
+		}
+	}
+	b.StopTimer()
+	var after core.Stats
+	meterInto(&after)
+	total := float64(b.N * tasksPerRound)
+	b.ReportMetric(float64(after.Frames-before.Frames)/total, "frames/task")
+	b.ReportMetric(float64(after.WireBytes-before.WireBytes)/total, "bytes/task")
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/total, "ns/task")
+}
+
+func BenchmarkTransportThroughput(b *testing.B) {
+	cliqueSpace := maxclique.NewSpace(table1Graph("brock400_1"))
+	cliqueNodes := benchWalk(cliqueSpace, maxclique.Root(cliqueSpace), maxclique.Gen, 64)
+	knapSpace := knapsack.Generate(60, 10_000, knapsack.StronglyCorrelated, 7)
+	knapNodes := benchWalk(knapSpace, knapsack.Root(knapSpace), knapsack.Gen, 64)
+
+	type codecCase[N any] struct {
+		name  string
+		codec core.Codec[N]
+	}
+	cliqueCodecs := []codecCase[maxclique.Node]{
+		{"gob", core.GobCodec[maxclique.Node]{}},
+		{"compact", maxclique.Codec()},
+	}
+	knapCodecs := []codecCase[knapsack.Node]{
+		{"gob", core.GobCodec[knapsack.Node]{}},
+		{"compact", knapsack.Codec()},
+	}
+	for _, transport := range []string{"loopback", "tcp"} {
+		batches := []int{1, dist.DefaultStealBatch}
+		if transport == "loopback" {
+			batches = []int{1} // the in-process hand-over has no round trip to batch away
+		}
+		for _, batch := range batches {
+			for _, cc := range cliqueCodecs {
+				b.Run(fmt.Sprintf("%s/maxclique/%s/batch=%d", transport, cc.name, batch), func(b *testing.B) {
+					runTransportThroughput(b, transport, batch, cc.codec, cliqueNodes)
+				})
+			}
+			for _, cc := range knapCodecs {
+				b.Run(fmt.Sprintf("%s/knapsack/%s/batch=%d", transport, cc.name, batch), func(b *testing.B) {
+					runTransportThroughput(b, transport, batch, cc.codec, knapNodes)
+				})
+			}
+		}
 	}
 }

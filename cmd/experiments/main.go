@@ -239,25 +239,35 @@ func figure4() {
 		{"Stack-Stealing (chunked)", core.StackStealing, core.Config{Chunked: true}},
 		{"Budget (b=1e5)", core.Budget, core.Config{Budget: 100_000}},
 	}
+	// The wire columns attribute efficiency loss at scale: frames and
+	// bytes are the transport Meter's logical traffic (real bytes when
+	// rerun over `yewpar -dist`), batch is the mean tasks per steal
+	// reply, pf-hit the share of remote work served from the
+	// steal-ahead buffer instead of a blocking round trip.
 	locSweep := []int{1, 2, 4, 8, 16, 17}
-	fmt.Printf("%-26s %6s %10s %10s\n", "Skeleton", "locs", "time(s)", "speedup")
+	fmt.Printf("%-26s %6s %10s %10s %10s %12s %6s %7s\n",
+		"Skeleton", "locs", "time(s)", "speedup", "frames", "wire-bytes", "batch", "pf-hit")
 	for _, sk := range skels {
 		var base time.Duration
 		for _, L := range locSweep {
 			cfg := sk.cfg
 			cfg.Localities = L
 			cfg.Workers = L * *flagWPL
+			var ws core.Stats
 			t := medianOf(*flagRuns, func() time.Duration {
 				_, found, stats := maxclique.Decide(g, k, sk.coord, cfg)
 				if found {
 					fmt.Println("!! impossible clique found")
 				}
+				ws = stats
 				return stats.Elapsed
 			})
 			if L == 1 {
 				base = t
 			}
-			fmt.Printf("%-26s %6d %10.3f %10.2f\n", sk.name, L, sec(t), sec(base)/sec(t))
+			fmt.Printf("%-26s %6d %10.3f %10.2f %10d %12d %6.2f %6.0f%%\n",
+				sk.name, L, sec(t), sec(base)/sec(t), ws.Frames, ws.WireBytes,
+				ws.BatchOccupancy(), 100*ws.PrefetchHitRate())
 		}
 		fmt.Println()
 	}

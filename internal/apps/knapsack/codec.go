@@ -1,0 +1,53 @@
+package knapsack
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"yewpar/internal/core"
+)
+
+// nodeCodec is the compact wire form of a knapsack node: three
+// varints. A typical node is 4-8 bytes against gob's ~60 (type
+// descriptor plus field headers every node).
+type nodeCodec struct{}
+
+// Codec returns the compact Node codec used by the distributed mode.
+func Codec() core.Codec[Node] { return nodeCodec{} }
+
+// Encode implements core.Codec.
+func (c nodeCodec) Encode(n Node) ([]byte, error) { return c.EncodeTo(nil, n) }
+
+// EncodeTo implements core.Codec.
+func (nodeCodec) EncodeTo(dst []byte, n Node) ([]byte, error) {
+	dst = binary.AppendUvarint(dst, uint64(n.Pos))
+	dst = binary.AppendVarint(dst, n.Profit)
+	dst = binary.AppendVarint(dst, n.Weight)
+	return dst, nil
+}
+
+// Decode implements core.Codec.
+func (nodeCodec) Decode(b []byte) (Node, error) {
+	var n Node
+	pos, k := binary.Uvarint(b)
+	if k <= 0 {
+		return n, fmt.Errorf("knapsack: truncated node position")
+	}
+	b = b[k:]
+	profit, k := binary.Varint(b)
+	if k <= 0 {
+		return n, fmt.Errorf("knapsack: truncated node profit")
+	}
+	b = b[k:]
+	weight, k := binary.Varint(b)
+	if k <= 0 {
+		return n, fmt.Errorf("knapsack: truncated node weight")
+	}
+	if len(b) != k {
+		return n, fmt.Errorf("knapsack: %d trailing bytes after node", len(b)-k)
+	}
+	n.Pos = int(pos)
+	n.Profit = profit
+	n.Weight = weight
+	return n, nil
+}

@@ -1,0 +1,74 @@
+package knapsack
+
+import (
+	"math/rand"
+	"testing"
+
+	"yewpar/internal/core"
+)
+
+func sampleNodes(s *Space, count int, rng *rand.Rand) []Node {
+	nodes := []Node{Root(s)}
+	for len(nodes) < count {
+		n := Root(s)
+		for {
+			nodes = append(nodes, n)
+			g := Gen(s, n)
+			var kids []Node
+			for g.HasNext() {
+				kids = append(kids, g.Next())
+			}
+			if len(kids) == 0 {
+				break
+			}
+			n = kids[rng.Intn(len(kids))]
+		}
+	}
+	return nodes[:count]
+}
+
+func TestCodecRoundTripMatchesGob(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	s := Generate(40, 10_000, StronglyCorrelated, 5)
+	compact := Codec()
+	gobc := core.GobCodec[Node]{}
+	for i, n := range sampleNodes(s, 300, rng) {
+		cb, err := compact.Encode(n)
+		if err != nil {
+			t.Fatalf("node %d: compact encode: %v", i, err)
+		}
+		cv, err := compact.Decode(cb)
+		if err != nil {
+			t.Fatalf("node %d: compact decode: %v", i, err)
+		}
+		gb, err := gobc.Encode(n)
+		if err != nil {
+			t.Fatalf("node %d: gob encode: %v", i, err)
+		}
+		gv, err := gobc.Decode(gb)
+		if err != nil {
+			t.Fatalf("node %d: gob decode: %v", i, err)
+		}
+		if cv != n {
+			t.Fatalf("node %d: compact round trip mutated the node: %+v != %+v", i, cv, n)
+		}
+		if cv != gv {
+			t.Fatalf("node %d: compact %+v and gob %+v disagree", i, cv, gv)
+		}
+		if len(cb) >= len(gb) {
+			t.Errorf("node %d: compact form (%dB) not smaller than gob (%dB)", i, len(cb), len(gb))
+		}
+	}
+}
+
+func TestCodecRejectsTruncation(t *testing.T) {
+	b, err := Codec().Encode(Node{Pos: 17, Profit: 123456, Weight: 99999})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(b); cut++ {
+		if _, err := Codec().Decode(b[:cut]); err == nil {
+			t.Fatalf("decode of %d/%d-byte truncation succeeded", cut, len(b))
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package maxclique
+
+import (
+	"math/rand"
+	"testing"
+
+	"yewpar/internal/core"
+	"yewpar/internal/graph"
+)
+
+// sampleNodes walks a few random root-to-leaf paths so the codec is
+// exercised on real search states at every depth, not synthetic ones.
+func sampleNodes(s *Space, count int, rng *rand.Rand) []Node {
+	nodes := []Node{Root(s)}
+	for len(nodes) < count {
+		n := Root(s)
+		for {
+			nodes = append(nodes, n)
+			g := Gen(s, n)
+			var kids []Node
+			for g.HasNext() {
+				kids = append(kids, g.Next())
+			}
+			if len(kids) == 0 {
+				break
+			}
+			n = kids[rng.Intn(len(kids))]
+		}
+	}
+	return nodes[:count]
+}
+
+func sameNode(a, b Node) bool {
+	return a.Size == b.Size && a.Bound == b.Bound &&
+		a.Clique.Equal(b.Clique) && a.Cands.Equal(b.Cands)
+}
+
+// The compact codec must round-trip every search-relevant field and
+// agree with the GobCodec fallback on the recovered state.
+func TestCodecRoundTripMatchesGob(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	s := NewSpace(graph.Random(130, 0.6, 3))
+	compact := Codec()
+	gobc := core.GobCodec[Node]{}
+	for i, n := range sampleNodes(s, 200, rng) {
+		cb, err := compact.Encode(n)
+		if err != nil {
+			t.Fatalf("node %d: compact encode: %v", i, err)
+		}
+		cv, err := compact.Decode(cb)
+		if err != nil {
+			t.Fatalf("node %d: compact decode: %v", i, err)
+		}
+		gb, err := gobc.Encode(n)
+		if err != nil {
+			t.Fatalf("node %d: gob encode: %v", i, err)
+		}
+		gv, err := gobc.Decode(gb)
+		if err != nil {
+			t.Fatalf("node %d: gob decode: %v", i, err)
+		}
+		if !sameNode(cv, n) {
+			t.Fatalf("node %d: compact round trip mutated the node: %+v != %+v", i, cv, n)
+		}
+		if !sameNode(cv, gv) {
+			t.Fatalf("node %d: compact %+v and gob %+v disagree", i, cv, gv)
+		}
+		if len(cb) >= len(gb) {
+			t.Errorf("node %d: compact form (%dB) not smaller than gob (%dB)", i, len(cb), len(gb))
+		}
+		// Append-style path produces the identical bytes at an offset.
+		pre := []byte{0xAA, 0xBB}
+		eb, err := compact.EncodeTo(pre, n)
+		if err != nil {
+			t.Fatalf("node %d: EncodeTo: %v", i, err)
+		}
+		if string(eb[:2]) != string(pre) || string(eb[2:]) != string(cb) {
+			t.Fatalf("node %d: EncodeTo bytes differ from Encode", i)
+		}
+	}
+}
+
+func TestCodecRejectsCorruptPayloads(t *testing.T) {
+	s := NewSpace(graph.Random(40, 0.5, 1))
+	b, err := Codec().Encode(Root(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(b); cut++ {
+		if _, err := Codec().Decode(b[:cut]); err == nil {
+			t.Fatalf("decode of %d/%d-byte truncation succeeded", cut, len(b))
+		}
+	}
+	if _, err := Codec().Decode(append(append([]byte{}, b...), 0x01)); err == nil {
+		t.Fatal("decode with trailing garbage succeeded")
+	}
+}

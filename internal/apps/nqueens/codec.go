@@ -1,0 +1,45 @@
+package nqueens
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"yewpar/internal/core"
+)
+
+// nodeCodec is the compact wire form of an n-queens node: the row as a
+// uvarint and the three attack masks as raw words.
+type nodeCodec struct{}
+
+// Codec returns the compact Node codec used by the distributed mode.
+func Codec() core.Codec[Node] { return nodeCodec{} }
+
+// Encode implements core.Codec.
+func (c nodeCodec) Encode(n Node) ([]byte, error) { return c.EncodeTo(nil, n) }
+
+// EncodeTo implements core.Codec.
+func (nodeCodec) EncodeTo(dst []byte, n Node) ([]byte, error) {
+	dst = binary.AppendUvarint(dst, uint64(n.Row))
+	dst = binary.LittleEndian.AppendUint64(dst, n.Cols)
+	dst = binary.LittleEndian.AppendUint64(dst, n.Diag1)
+	dst = binary.LittleEndian.AppendUint64(dst, n.Diag2)
+	return dst, nil
+}
+
+// Decode implements core.Codec.
+func (nodeCodec) Decode(b []byte) (Node, error) {
+	var n Node
+	row, k := binary.Uvarint(b)
+	if k <= 0 {
+		return n, fmt.Errorf("nqueens: truncated row")
+	}
+	b = b[k:]
+	if len(b) != 24 {
+		return n, fmt.Errorf("nqueens: mask payload of %d bytes, want 24", len(b))
+	}
+	n.Row = int(row)
+	n.Cols = binary.LittleEndian.Uint64(b)
+	n.Diag1 = binary.LittleEndian.Uint64(b[8:])
+	n.Diag2 = binary.LittleEndian.Uint64(b[16:])
+	return n, nil
+}

@@ -1,0 +1,72 @@
+package sip
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"yewpar/internal/bitset"
+	"yewpar/internal/core"
+)
+
+// nodeCodec is the compact wire form of a SIP node. Assigned is a
+// partial injection of pattern vertices into target vertices, sent as
+// a varint sequence; Used is by construction exactly the image of
+// Assigned, so it is not sent at all — only its capacity (the target
+// order) is, and the decoder rebuilds the set. For a 30-vertex pattern
+// over a 150-vertex target this replaces a ~100-byte bitset-plus-gob
+// stream with a handful of bytes per assigned vertex.
+type nodeCodec struct{}
+
+// Codec returns the compact Node codec used by the distributed mode.
+func Codec() core.Codec[Node] { return nodeCodec{} }
+
+// Encode implements core.Codec.
+func (c nodeCodec) Encode(n Node) ([]byte, error) { return c.EncodeTo(nil, n) }
+
+// EncodeTo implements core.Codec.
+func (nodeCodec) EncodeTo(dst []byte, n Node) ([]byte, error) {
+	dst = binary.AppendUvarint(dst, uint64(n.Used.Cap()))
+	dst = binary.AppendUvarint(dst, uint64(len(n.Assigned)))
+	for _, t := range n.Assigned {
+		dst = binary.AppendUvarint(dst, uint64(t))
+	}
+	return dst, nil
+}
+
+// Decode implements core.Codec.
+func (nodeCodec) Decode(b []byte) (Node, error) {
+	var n Node
+	capN, k := binary.Uvarint(b)
+	if k <= 0 {
+		return n, fmt.Errorf("sip: truncated target order")
+	}
+	b = b[k:]
+	cnt, k := binary.Uvarint(b)
+	if k <= 0 {
+		return n, fmt.Errorf("sip: truncated assignment count")
+	}
+	b = b[k:]
+	if cnt > capN {
+		return n, fmt.Errorf("sip: %d assignments exceed target order %d", cnt, capN)
+	}
+	n.Used = bitset.New(int(capN))
+	if cnt > 0 {
+		n.Assigned = make([]int32, cnt)
+	}
+	for i := range n.Assigned {
+		t, k := binary.Uvarint(b)
+		if k <= 0 {
+			return n, fmt.Errorf("sip: truncated assignment %d", i)
+		}
+		b = b[k:]
+		if t >= capN {
+			return n, fmt.Errorf("sip: assignment %d targets vertex %d of %d", i, t, capN)
+		}
+		n.Assigned[i] = int32(t)
+		n.Used.Add(int(t))
+	}
+	if len(b) != 0 {
+		return n, fmt.Errorf("sip: %d trailing bytes after node", len(b))
+	}
+	return n, nil
+}

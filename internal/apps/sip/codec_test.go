@@ -1,0 +1,92 @@
+package sip
+
+import (
+	"math/rand"
+	"testing"
+
+	"yewpar/internal/core"
+)
+
+func sampleNodes(s *Space, count int, rng *rand.Rand) []Node {
+	nodes := []Node{Root(s)}
+	for len(nodes) < count {
+		n := Root(s)
+		for {
+			nodes = append(nodes, n)
+			g := Gen(s, n)
+			var kids []Node
+			for g.HasNext() {
+				kids = append(kids, g.Next())
+			}
+			if len(kids) == 0 {
+				break
+			}
+			n = kids[rng.Intn(len(kids))]
+		}
+	}
+	return nodes[:count]
+}
+
+func sameNode(a, b Node) bool {
+	if len(a.Assigned) != len(b.Assigned) || !a.Used.Equal(b.Used) {
+		return false
+	}
+	for i := range a.Assigned {
+		if a.Assigned[i] != b.Assigned[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// The compact codec does not send Used at all — it reconstructs it
+// from the assignment — so this round trip is what proves the
+// reconstruction preserves the search-relevant state.
+func TestCodecRoundTripMatchesGob(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	s := GenerateSat(60, 0.3, 12, 0.2, 3)
+	compact := Codec()
+	gobc := core.GobCodec[Node]{}
+	for i, n := range sampleNodes(s, 150, rng) {
+		cb, err := compact.Encode(n)
+		if err != nil {
+			t.Fatalf("node %d: compact encode: %v", i, err)
+		}
+		cv, err := compact.Decode(cb)
+		if err != nil {
+			t.Fatalf("node %d: compact decode: %v", i, err)
+		}
+		gb, err := gobc.Encode(n)
+		if err != nil {
+			t.Fatalf("node %d: gob encode: %v", i, err)
+		}
+		gv, err := gobc.Decode(gb)
+		if err != nil {
+			t.Fatalf("node %d: gob decode: %v", i, err)
+		}
+		if !sameNode(cv, n) {
+			t.Fatalf("node %d: compact round trip mutated the node: %+v != %+v", i, cv, n)
+		}
+		if !sameNode(cv, gv) {
+			t.Fatalf("node %d: compact and gob disagree", i)
+		}
+		if len(cb) >= len(gb) {
+			t.Errorf("node %d: compact form (%dB) not smaller than gob (%dB)", i, len(cb), len(gb))
+		}
+	}
+}
+
+func TestCodecRejectsOutOfRangeAssignment(t *testing.T) {
+	s := GenerateSat(20, 0.4, 5, 0.2, 1)
+	nodes := sampleNodes(s, 10, rand.New(rand.NewSource(1)))
+	n := nodes[len(nodes)-1]
+	b, err := Codec().Encode(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(b); cut++ {
+		if _, err := Codec().Decode(b[:cut]); err == nil {
+			t.Fatalf("decode of %d/%d-byte truncation succeeded", cut, len(b))
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package tsp
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"yewpar/internal/core"
+)
+
+// nodeCodec is the compact wire form of a tour node: the visited set
+// as one raw word (the space caps N at 64), then last city, cost and
+// count as varints. Cost of incomplete tours is a huge negative
+// sentinel offset, so it gets the signed encoding.
+type nodeCodec struct{}
+
+// Codec returns the compact Node codec used by the distributed mode.
+func Codec() core.Codec[Node] { return nodeCodec{} }
+
+// Encode implements core.Codec.
+func (c nodeCodec) Encode(n Node) ([]byte, error) { return c.EncodeTo(nil, n) }
+
+// EncodeTo implements core.Codec.
+func (nodeCodec) EncodeTo(dst []byte, n Node) ([]byte, error) {
+	dst = binary.LittleEndian.AppendUint64(dst, n.Visited)
+	dst = binary.AppendUvarint(dst, uint64(n.Last))
+	dst = binary.AppendVarint(dst, n.Cost)
+	dst = binary.AppendUvarint(dst, uint64(n.Count))
+	return dst, nil
+}
+
+// Decode implements core.Codec.
+func (nodeCodec) Decode(b []byte) (Node, error) {
+	var n Node
+	if len(b) < 8 {
+		return n, fmt.Errorf("tsp: truncated visited set")
+	}
+	n.Visited = binary.LittleEndian.Uint64(b)
+	b = b[8:]
+	last, k := binary.Uvarint(b)
+	if k <= 0 {
+		return n, fmt.Errorf("tsp: truncated last city")
+	}
+	b = b[k:]
+	cost, k := binary.Varint(b)
+	if k <= 0 {
+		return n, fmt.Errorf("tsp: truncated cost")
+	}
+	b = b[k:]
+	count, k := binary.Uvarint(b)
+	if k <= 0 {
+		return n, fmt.Errorf("tsp: truncated count")
+	}
+	if len(b) != k {
+		return n, fmt.Errorf("tsp: %d trailing bytes after node", len(b)-k)
+	}
+	n.Last = int(last)
+	n.Cost = cost
+	n.Count = int(count)
+	return n, nil
+}

@@ -1,0 +1,79 @@
+package tsp
+
+import (
+	"math/rand"
+	"testing"
+
+	"yewpar/internal/core"
+)
+
+func sampleNodes(s *Space, count int, rng *rand.Rand) []Node {
+	nodes := []Node{Root(s)}
+	for len(nodes) < count {
+		n := Root(s)
+		for {
+			nodes = append(nodes, n)
+			g := Gen(s, n)
+			var kids []Node
+			for g.HasNext() {
+				kids = append(kids, g.Next())
+			}
+			if len(kids) == 0 {
+				break
+			}
+			n = kids[rng.Intn(len(kids))]
+		}
+	}
+	return nodes[:count]
+}
+
+func TestCodecRoundTripMatchesGob(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	s := GenerateEuclidean(12, 1000, 7)
+	compact := Codec()
+	gobc := core.GobCodec[Node]{}
+	for i, n := range sampleNodes(s, 300, rng) {
+		cb, err := compact.Encode(n)
+		if err != nil {
+			t.Fatalf("node %d: compact encode: %v", i, err)
+		}
+		cv, err := compact.Decode(cb)
+		if err != nil {
+			t.Fatalf("node %d: compact decode: %v", i, err)
+		}
+		gb, err := gobc.Encode(n)
+		if err != nil {
+			t.Fatalf("node %d: gob encode: %v", i, err)
+		}
+		gv, err := gobc.Decode(gb)
+		if err != nil {
+			t.Fatalf("node %d: gob decode: %v", i, err)
+		}
+		if cv != n {
+			t.Fatalf("node %d: compact round trip mutated the node: %+v != %+v", i, cv, n)
+		}
+		if cv != gv {
+			t.Fatalf("node %d: compact %+v and gob %+v disagree", i, cv, gv)
+		}
+		if len(cb) >= len(gb) {
+			t.Errorf("node %d: compact form (%dB) not smaller than gob (%dB)", i, len(cb), len(gb))
+		}
+	}
+}
+
+// The incomplete-tour sentinel cost is the extreme value the signed
+// varint must carry without mangling.
+func TestCodecCarriesSentinelCost(t *testing.T) {
+	n := Node{Visited: 1, Last: 0, Cost: incomplete, Count: 1}
+	b, err := Codec().Encode(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Codec().Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != n {
+		t.Fatalf("sentinel round trip: %+v != %+v", got, n)
+	}
+}

@@ -1,0 +1,45 @@
+package uts
+
+import (
+	"crypto/sha1"
+	"encoding/binary"
+	"fmt"
+
+	"yewpar/internal/core"
+)
+
+// nodeCodec is the compact wire form of a UTS node: the 20 raw SHA-1
+// descriptor bytes followed by the depth as a uvarint.
+type nodeCodec struct{}
+
+// Codec returns the compact Node codec used by the distributed mode.
+func Codec() core.Codec[Node] { return nodeCodec{} }
+
+// Encode implements core.Codec.
+func (c nodeCodec) Encode(n Node) ([]byte, error) { return c.EncodeTo(nil, n) }
+
+// EncodeTo implements core.Codec.
+func (nodeCodec) EncodeTo(dst []byte, n Node) ([]byte, error) {
+	dst = append(dst, n.H[:]...)
+	dst = binary.AppendUvarint(dst, uint64(n.Depth))
+	return dst, nil
+}
+
+// Decode implements core.Codec.
+func (nodeCodec) Decode(b []byte) (Node, error) {
+	var n Node
+	if len(b) < sha1.Size {
+		return n, fmt.Errorf("uts: truncated node descriptor")
+	}
+	copy(n.H[:], b)
+	b = b[sha1.Size:]
+	depth, k := binary.Uvarint(b)
+	if k <= 0 {
+		return n, fmt.Errorf("uts: truncated depth")
+	}
+	if len(b) != k {
+		return n, fmt.Errorf("uts: %d trailing bytes after node", len(b)-k)
+	}
+	n.Depth = int(depth)
+	return n, nil
+}

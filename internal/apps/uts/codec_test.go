@@ -1,0 +1,75 @@
+package uts
+
+import (
+	"math/rand"
+	"testing"
+
+	"yewpar/internal/core"
+)
+
+func sampleNodes(s *Space, count int, rng *rand.Rand) []Node {
+	nodes := []Node{Root(s)}
+	for len(nodes) < count {
+		n := Root(s)
+		for {
+			nodes = append(nodes, n)
+			g := Gen(s, n)
+			var kids []Node
+			for g.HasNext() {
+				kids = append(kids, g.Next())
+			}
+			if len(kids) == 0 {
+				break
+			}
+			n = kids[rng.Intn(len(kids))]
+		}
+	}
+	return nodes[:count]
+}
+
+func TestCodecRoundTripMatchesGob(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	s := &Space{Shape: Binomial, B0: 40, M: 4, Q: 0.23, Seed: 9}
+	compact := Codec()
+	gobc := core.GobCodec[Node]{}
+	for i, n := range sampleNodes(s, 300, rng) {
+		cb, err := compact.Encode(n)
+		if err != nil {
+			t.Fatalf("node %d: compact encode: %v", i, err)
+		}
+		cv, err := compact.Decode(cb)
+		if err != nil {
+			t.Fatalf("node %d: compact decode: %v", i, err)
+		}
+		gb, err := gobc.Encode(n)
+		if err != nil {
+			t.Fatalf("node %d: gob encode: %v", i, err)
+		}
+		gv, err := gobc.Decode(gb)
+		if err != nil {
+			t.Fatalf("node %d: gob decode: %v", i, err)
+		}
+		if cv != n {
+			t.Fatalf("node %d: compact round trip mutated the node", i)
+		}
+		if cv != gv {
+			t.Fatalf("node %d: compact and gob disagree", i)
+		}
+		if len(cb) >= len(gb) {
+			t.Errorf("node %d: compact form (%dB) not smaller than gob (%dB)", i, len(cb), len(gb))
+		}
+	}
+}
+
+func TestCodecRejectsTruncation(t *testing.T) {
+	s := &Space{Shape: Binomial, B0: 3, M: 2, Q: 0.1, Seed: 1}
+	b, err := Codec().Encode(Root(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(b); cut++ {
+		if _, err := Codec().Decode(b[:cut]); err == nil {
+			t.Fatalf("decode of %d/%d-byte truncation succeeded", cut, len(b))
+		}
+	}
+}

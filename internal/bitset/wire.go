@@ -1,0 +1,47 @@
+package bitset
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Compact wire form for the hand-written application codecs: uvarint
+// capacity followed by the raw words, little-endian. Unlike the gob
+// form (gob.go), it is designed to be embedded mid-stream — AppendBinary
+// extends a caller's buffer and ParseBinary returns the unconsumed
+// tail — so a node's several sets and scalars concatenate into one
+// self-framed payload with no per-field headers.
+
+// AppendBinary appends s's compact wire form to dst and returns the
+// extended slice.
+func (s Set) AppendBinary(dst []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(s.n))
+	for _, w := range s.words {
+		dst = binary.LittleEndian.AppendUint64(dst, w)
+	}
+	return dst
+}
+
+// ParseBinary decodes a set from the front of b, returning the set and
+// the remaining bytes. Like GobDecode it validates the peer-supplied
+// capacity against the available bytes before allocating.
+func ParseBinary(b []byte) (Set, []byte, error) {
+	n64, k := binary.Uvarint(b)
+	if k <= 0 {
+		return Set{}, nil, fmt.Errorf("bitset: truncated capacity varint")
+	}
+	if n64 > uint64(len(b))*wordBits {
+		return Set{}, nil, fmt.Errorf("bitset: capacity %d exceeds %d payload bytes", n64, len(b))
+	}
+	n := int(n64)
+	words := (n + wordBits - 1) / wordBits
+	b = b[k:]
+	if len(b) < 8*words {
+		return Set{}, nil, fmt.Errorf("bitset: capacity %d needs %d word bytes, have %d", n, 8*words, len(b))
+	}
+	s := New(n)
+	for i := range s.words {
+		s.words[i] = binary.LittleEndian.Uint64(b[8*i:])
+	}
+	return s, b[8*words:], nil
+}

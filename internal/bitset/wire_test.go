@@ -1,0 +1,47 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestAppendParseBinaryRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{0, 1, 63, 64, 65, 200, 1000} {
+		s := New(n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				s.Add(i)
+			}
+		}
+		// Embedded mid-stream: prefix and suffix must survive.
+		buf := s.AppendBinary([]byte{0xEE})
+		buf = append(buf, 0xDD)
+		got, rest, err := ParseBinary(buf[1:])
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !got.Equal(s) {
+			t.Fatalf("n=%d: round trip %v != %v", n, got, s)
+		}
+		if len(rest) != 1 || rest[0] != 0xDD {
+			t.Fatalf("n=%d: tail %v, want [0xDD]", n, rest)
+		}
+	}
+}
+
+func TestParseBinaryRejectsCorruptPayloads(t *testing.T) {
+	s := New(130)
+	s.Add(0)
+	s.Add(129)
+	b := s.AppendBinary(nil)
+	for cut := 0; cut < len(b); cut++ {
+		if _, _, err := ParseBinary(b[:cut]); err == nil {
+			t.Fatalf("parse of %d/%d-byte truncation succeeded", cut, len(b))
+		}
+	}
+	// A huge claimed capacity must be rejected before allocation.
+	if _, _, err := ParseBinary([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01}); err == nil {
+		t.Fatal("absurd capacity accepted")
+	}
+}

@@ -267,6 +267,11 @@ func Run(args []string, w io.Writer) error {
 		fmt.Fprintf(w, "nodes=%d prunes=%d spawns=%d steals=%d/%d backtracks=%d broadcasts=%d\n",
 			stats.Nodes, stats.Prunes, stats.Spawns, stats.StealsOK,
 			stats.StealsOK+stats.StealsFail, stats.Backtracks, stats.Broadcasts)
+		if stats.Frames > 0 {
+			fmt.Fprintf(w, "wire: frames=%d bytes=%d batch=%.2f prefetch-hits=%d (%.0f%%)\n",
+				stats.Frames, stats.WireBytes, stats.BatchOccupancy(),
+				stats.PrefetchHits, 100*stats.PrefetchHitRate())
+		}
 	}
 	if trace != nil {
 		fmt.Fprint(w, trace.Summary())

@@ -87,7 +87,7 @@ func RunDist(o *Options, w io.Writer) error {
 			return err
 		}
 		s := maxclique.NewSpace(g)
-		res, err := core.DistOpt(tr, core.GobCodec[maxclique.Node]{}, coord, s, maxclique.Root(s), maxclique.OptProblem(), cfg)
+		res, err := core.DistOpt(tr, maxclique.Codec(), coord, s, maxclique.Root(s), maxclique.OptProblem(), cfg)
 		if err != nil {
 			return err
 		}
@@ -104,7 +104,7 @@ func RunDist(o *Options, w io.Writer) error {
 			return fmt.Errorf("kclique requires -decision-bound k > 0")
 		}
 		s := maxclique.NewSpace(g)
-		res, err := core.DistDecide(tr, core.GobCodec[maxclique.Node]{}, coord, s, maxclique.Root(s), maxclique.DecisionProblem(o.KBound), cfg)
+		res, err := core.DistDecide(tr, maxclique.Codec(), coord, s, maxclique.Root(s), maxclique.DecisionProblem(o.KBound), cfg)
 		if err != nil {
 			return err
 		}
@@ -114,7 +114,7 @@ func RunDist(o *Options, w io.Writer) error {
 		}
 	case "knapsack":
 		s := knapsack.Generate(o.Items, 10_000, knapsack.SubsetSum, o.Seed)
-		res, err := core.DistOpt(tr, core.GobCodec[knapsack.Node]{}, coord, s, knapsack.Root(s), knapsack.OptProblem(), cfg)
+		res, err := core.DistOpt(tr, knapsack.Codec(), coord, s, knapsack.Root(s), knapsack.OptProblem(), cfg)
 		if err != nil {
 			return err
 		}
@@ -124,7 +124,7 @@ func RunDist(o *Options, w io.Writer) error {
 		}
 	case "tsp":
 		s := tsp.GenerateEuclidean(o.Cities, 1000, o.Seed)
-		res, err := core.DistOpt(tr, core.GobCodec[tsp.Node]{}, coord, s, tsp.Root(s), tsp.OptProblem(), cfg)
+		res, err := core.DistOpt(tr, tsp.Codec(), coord, s, tsp.Root(s), tsp.OptProblem(), cfg)
 		if err != nil {
 			return err
 		}
@@ -137,7 +137,7 @@ func RunDist(o *Options, w io.Writer) error {
 		if o.UTSShape == "geometric" {
 			s.Shape = uts.Geometric
 		}
-		res, err := core.DistEnum(tr, core.GobCodec[uts.Node]{}, coord, s, uts.Root(s), uts.CountProblem(), cfg)
+		res, err := core.DistEnum(tr, uts.Codec(), coord, s, uts.Root(s), uts.CountProblem(), cfg)
 		if err != nil {
 			return err
 		}
@@ -147,7 +147,7 @@ func RunDist(o *Options, w io.Writer) error {
 		}
 	case "queens":
 		s := nqueens.NewSpace(o.N)
-		res, err := core.DistEnum(tr, core.GobCodec[nqueens.Node]{}, coord, s, nqueens.Root(s), nqueens.CountProblem(), cfg)
+		res, err := core.DistEnum(tr, nqueens.Codec(), coord, s, nqueens.Root(s), nqueens.CountProblem(), cfg)
 		if err != nil {
 			return err
 		}
@@ -157,7 +157,7 @@ func RunDist(o *Options, w io.Writer) error {
 		}
 	case "sip":
 		s := sip.GenerateSat(o.N, o.P, o.PatN, 0.2, o.Seed)
-		res, err := core.DistDecide(tr, core.GobCodec[sip.Node]{}, coord, s, sip.Root(s), sip.DecisionProblem(s), cfg)
+		res, err := core.DistDecide(tr, sip.Codec(), coord, s, sip.Root(s), sip.DecisionProblem(s), cfg)
 		if err != nil {
 			return err
 		}
@@ -175,6 +175,9 @@ func RunDist(o *Options, w io.Writer) error {
 		fmt.Fprintf(w, "nodes=%d prunes=%d spawns=%d steals=%d/%d backtracks=%d broadcasts=%d\n",
 			stats.Nodes, stats.Prunes, stats.Spawns, stats.StealsOK,
 			stats.StealsOK+stats.StealsFail, stats.Backtracks, stats.Broadcasts)
+		fmt.Fprintf(w, "wire: frames=%d bytes=%d batch=%.2f prefetch-hits=%d (%.0f%%)\n",
+			stats.Frames, stats.WireBytes, stats.BatchOccupancy(),
+			stats.PrefetchHits, 100*stats.PrefetchHitRate())
 	}
 	return nil
 }

@@ -43,52 +43,3 @@ func TestBestFirstSpawnsWithTinyBudget(t *testing.T) {
 		t.Errorf("got %d, want %d", res.Objective, tree.max())
 	}
 }
-
-// Best-first ordering should reach a maximal incumbent with fewer
-// visits than worst-first ordering on average: verify the pool pops
-// by priority at all.
-func TestPrioPoolOrdering(t *testing.T) {
-	p := NewPrioPool[string]()
-	p.PushPrio(Task[string]{Node: "low"}, 1)
-	p.PushPrio(Task[string]{Node: "high"}, 10)
-	p.PushPrio(Task[string]{Node: "mid"}, 5)
-	want := []string{"high", "mid", "low"}
-	for _, w := range want {
-		task, ok := p.PopPrio()
-		if !ok || task.Node != w {
-			t.Fatalf("popped %q, want %q", task.Node, w)
-		}
-	}
-	if _, ok := p.PopPrio(); ok {
-		t.Fatal("pool should be empty")
-	}
-}
-
-func TestPrioPoolFIFOWithinPriority(t *testing.T) {
-	p := NewPrioPool[int]()
-	for i := 0; i < 5; i++ {
-		p.PushPrio(Task[int]{Node: i}, 7)
-	}
-	for i := 0; i < 5; i++ {
-		task, _ := p.PopPrio()
-		if task.Node != i {
-			t.Fatalf("tie-break broke insertion order: got %d at pos %d", task.Node, i)
-		}
-	}
-}
-
-func TestPrioPoolSize(t *testing.T) {
-	p := NewPrioPool[int]()
-	if p.Size() != 0 {
-		t.Fatal("fresh pool not empty")
-	}
-	p.PushPrio(Task[int]{Node: 1}, 0)
-	p.PushPrio(Task[int]{Node: 2}, 0)
-	if p.Size() != 2 {
-		t.Fatalf("Size = %d", p.Size())
-	}
-	p.PopPrio()
-	if p.Size() != 1 {
-		t.Fatalf("Size = %d", p.Size())
-	}
-}

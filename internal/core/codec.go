@@ -11,18 +11,25 @@ import (
 // multi-process distributed mode.
 //
 // Encode and Decode must be inverses and safe for concurrent use
-// (transports serve steals from their receive goroutines).
+// (transports serve steals from their receive goroutines). EncodeTo is
+// the append-style fast path used by the engine when filling steal
+// replies: it appends n's encoding to dst and returns the extended
+// slice, so hot codecs can encode straight into a batch buffer without
+// an intermediate allocation. EncodeTo(nil, n) must be equivalent to
+// Encode(n).
 type Codec[N any] interface {
 	Encode(n N) ([]byte, error)
+	EncodeTo(dst []byte, n N) ([]byte, error)
 	Decode(b []byte) (N, error)
 }
 
-// GobCodec is the default Codec: encoding/gob over the node value. It
+// GobCodec is the fallback Codec: encoding/gob over the node value. It
 // works for any node whose meaningful state is reachable through
 // exported fields or GobEncoder/GobDecoder implementations. Each node
 // is a self-describing gob stream, which is robust but not compact;
-// applications with hot distributed paths should supply a hand-rolled
-// Codec instead.
+// the applications shipped here all provide hand-written compact
+// codecs instead (see each package's Codec function), and new
+// applications with hot distributed paths should too.
 type GobCodec[N any] struct{}
 
 // Encode implements Codec.
@@ -34,6 +41,16 @@ func (GobCodec[N]) Encode(n N) ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
+// EncodeTo implements Codec. Gob must own its stream, so this is
+// Encode plus a copy — one reason hand-written codecs win on the wire.
+func (c GobCodec[N]) EncodeTo(dst []byte, n N) ([]byte, error) {
+	b, err := c.Encode(n)
+	if err != nil {
+		return nil, err
+	}
+	return append(dst, b...), nil
+}
+
 // Decode implements Codec.
 func (GobCodec[N]) Decode(b []byte) (N, error) {
 	var n N
@@ -41,15 +58,35 @@ func (GobCodec[N]) Decode(b []byte) (N, error) {
 	return n, err
 }
 
-// FuncCodec adapts a pair of functions to a Codec, for applications
-// that prefer a compact hand-rolled node encoding.
+// FuncCodec adapts a set of functions to a Codec, for applications
+// that prefer a compact hand-rolled node encoding without a dedicated
+// type. At least one of Enc and AppendEnc must be set.
 type FuncCodec[N any] struct {
-	Enc func(N) ([]byte, error)
-	Dec func([]byte) (N, error)
+	Enc       func(N) ([]byte, error)
+	AppendEnc func([]byte, N) ([]byte, error) // optional append-style path
+	Dec       func([]byte) (N, error)
 }
 
 // Encode implements Codec.
-func (c FuncCodec[N]) Encode(n N) ([]byte, error) { return c.Enc(n) }
+func (c FuncCodec[N]) Encode(n N) ([]byte, error) {
+	if c.Enc != nil {
+		return c.Enc(n)
+	}
+	return c.AppendEnc(nil, n)
+}
+
+// EncodeTo implements Codec, falling back to Enc-and-append when no
+// AppendEnc is provided.
+func (c FuncCodec[N]) EncodeTo(dst []byte, n N) ([]byte, error) {
+	if c.AppendEnc != nil {
+		return c.AppendEnc(dst, n)
+	}
+	b, err := c.Enc(n)
+	if err != nil {
+		return nil, err
+	}
+	return append(dst, b...), nil
+}
 
 // Decode implements Codec.
 func (c FuncCodec[N]) Decode(b []byte) (N, error) { return c.Dec(b) }

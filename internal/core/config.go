@@ -52,6 +52,15 @@ type Config struct {
 	// workers prune against stale bounds in the meantime — fewer
 	// prunes, never incorrect. Ignored in multi-process runs.
 	BoundLatency time.Duration
+	// StealAhead bounds the per-locality steal-ahead buffer: after a
+	// successful remote steal, up to this many further tasks are
+	// prefetched in the background while stolen work runs, hiding the
+	// steal round-trip latency. 0 selects the default (a buffer of 1
+	// wherever steals cost latency: multi-process transports, or the
+	// loopback transport with StealLatency injected; disabled on the
+	// zero-latency loopback, where a steal is a direct call). Negative
+	// disables prefetching entirely.
+	StealAhead int
 	// Pool selects the workpool implementation.
 	Pool PoolKind
 	// Seed seeds victim selection for work stealing. Default 1.

@@ -125,6 +125,7 @@ func DistOpt[S, N any](tr dist.Transport, codec Codec[N], coord Coordination, sp
 	stats := m.total()
 	stats.Elapsed = time.Since(start)
 	stats.Broadcasts = inc.broadcasts()
+	fab.wireStats(&stats)
 	node, obj, has := inc.result()
 
 	share := distShare{Obj: obj, Has: has, Stats: stats}
@@ -172,6 +173,7 @@ func DistEnum[S, N, M any](tr dist.Transport, codec Codec[N], coord Coordination
 	runDistEngine(coord, space, p.Gen, cfg, m, cancel, vs, root, fab)
 	stats := m.total()
 	stats.Elapsed = time.Since(start)
+	fab.wireStats(&stats)
 	value := combineEnum[S, N, M](p.Monoid, vs)
 
 	var vbuf bytes.Buffer
@@ -215,6 +217,7 @@ func DistDecide[S, N any](tr dist.Transport, codec Codec[N], coord Coordination,
 	runDistEngine(coord, space, p.Gen, cfg, m, cancel, vs, root, fab)
 	stats := m.total()
 	stats.Elapsed = time.Since(start)
+	fab.wireStats(&stats)
 	node, obj, found := wit.get()
 
 	share := distShare{Obj: obj, Has: found, Stats: stats}

@@ -90,6 +90,20 @@ func (f *fabric[N]) close() {
 	}
 }
 
+// wireStats folds the transport-level traffic counters of this
+// process's localities into s. Call after all workers have joined.
+func (f *fabric[N]) wireStats(s *Stats) {
+	for _, tr := range f.trs {
+		if m, ok := tr.(dist.Meter); ok {
+			ws := m.Wire()
+			s.Frames += ws.FramesSent
+			s.WireBytes += ws.BytesSent
+			s.BatchTasks += ws.StealTasks
+			s.BatchReplies += ws.StealReplies
+		}
+	}
+}
+
 // locState is one in-process locality's engine endpoint: the
 // dist.Handler serving its peers. The pool is installed by the engine
 // before the fabric starts; coordinations without pools (sequential,
@@ -102,6 +116,7 @@ type locState[N any] struct {
 }
 
 var _ dist.Handler = (*locState[string])(nil)
+var _ dist.MultiStealer = (*locState[string])(nil)
 
 // ServeSteal implements dist.Handler: hand the thief the shallowest
 // spare task, stamped with this locality's current bound so the thief
@@ -119,7 +134,7 @@ func (h *locState[N]) ServeSteal(thief int) (dist.WireTask, bool) {
 		wt.Bound = b.localBest(h.idx)
 	}
 	if h.fab.wire {
-		bs, err := h.fab.codec.Encode(t.Node)
+		bs, err := h.fab.codec.EncodeTo(nil, t.Node)
 		if err != nil {
 			// An unencodable node is a deployment bug; keep the task
 			// rather than lose it, and let the thief look elsewhere.
@@ -131,6 +146,67 @@ func (h *locState[N]) ServeSteal(thief int) (dist.WireTask, bool) {
 		wt.Local = t
 	}
 	return wt, true
+}
+
+// ServeStealMulti implements dist.MultiStealer for transports whose
+// steal replies carry batches, under a steal-half policy: one exchange
+// never takes more than half of the victim's backlog (rounded up, so a
+// single spare task still travels), keeping a batching thief from
+// starving the locality that is actually producing work. On a wire
+// fabric the whole batch is encoded into one backing buffer through
+// the codec's append path — one allocation per reply, not per task.
+func (h *locState[N]) ServeStealMulti(thief, max int) []dist.WireTask {
+	if h.pool == nil {
+		return nil
+	}
+	if half := (h.pool.Size() + 1) / 2; max > half {
+		max = half
+	}
+	if max < 1 {
+		max = 1
+	}
+	if !h.fab.wire {
+		var out []dist.WireTask
+		for len(out) < max {
+			wt, ok := h.ServeSteal(thief)
+			if !ok {
+				break
+			}
+			out = append(out, wt)
+		}
+		return out
+	}
+	bound := int64(math.MinInt64)
+	if b := h.fab.bounds; b != nil {
+		bound = b.localBest(h.idx)
+	}
+	// Offsets, not subslices, while encoding: append growth may move
+	// the backing array, and payloads are sliced out only at the end.
+	type span struct{ start, end, depth int }
+	var backing []byte
+	var spans []span
+	for len(spans) < max {
+		t, ok := h.pool.Steal()
+		if !ok {
+			break
+		}
+		nb, err := h.fab.codec.EncodeTo(backing, t.Node)
+		if err != nil {
+			h.pool.Push(t)
+			break
+		}
+		spans = append(spans, span{start: len(backing), end: len(nb), depth: t.Depth})
+		backing = nb
+	}
+	out := make([]dist.WireTask, len(spans))
+	for i, sp := range spans {
+		out[i] = dist.WireTask{
+			Payload: backing[sp.start:sp.end:sp.end],
+			Depth:   sp.depth,
+			Bound:   bound,
+		}
+	}
+	return out
 }
 
 // OnBound implements dist.Handler: merge a peer's bound into the local

@@ -5,13 +5,14 @@ package core
 // cache line to avoid false sharing, and are only read after all
 // workers have joined.
 type WorkerStats struct {
-	Nodes      int64
-	Prunes     int64
-	Spawns     int64
-	StealsOK   int64
-	StealsFail int64
-	Backtracks int64
-	_          [2]int64 // pad to 64 bytes
+	Nodes        int64
+	Prunes       int64
+	Spawns       int64
+	StealsOK     int64
+	StealsFail   int64
+	Backtracks   int64
+	PrefetchHits int64
+	_            [1]int64 // pad to 64 bytes
 }
 
 // Metrics is a set of per-worker counter shards.

@@ -23,9 +23,9 @@ func (h prioHeap[N]) Less(i, j int) bool {
 	}
 	return h[i].seq < h[j].seq
 }
-func (h prioHeap[N]) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *prioHeap[N]) Push(x interface{}) { *h = append(*h, x.(PrioTask[N])) }
-func (h *prioHeap[N]) Pop() interface{} {
+func (h prioHeap[N]) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *prioHeap[N]) Push(x any)   { *h = append(*h, x.(PrioTask[N])) }
+func (h *prioHeap[N]) Pop() any {
 	old := *h
 	n := len(old)
 	t := old[n-1]

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestPrioPoolOrdersByPriority(t *testing.T) {
+	p := NewPrioPool[string]()
+	p.PushPrio(Task[string]{Node: "low"}, 1)
+	p.PushPrio(Task[string]{Node: "high"}, 10)
+	p.PushPrio(Task[string]{Node: "mid"}, 5)
+	for _, want := range []string{"high", "mid", "low"} {
+		got, ok := p.PopPrio()
+		if !ok || got.Node != want {
+			t.Fatalf("PopPrio = %q ok=%v, want %q", got.Node, ok, want)
+		}
+	}
+	if _, ok := p.PopPrio(); ok {
+		t.Fatal("PopPrio on empty pool reported a task")
+	}
+}
+
+// Equal priorities must leave in insertion order: the heuristic spawn
+// order among equally promising tasks is search knowledge, and a heap
+// without the tiebreak would scramble it.
+func TestPrioPoolFIFOWithinPriority(t *testing.T) {
+	p := NewPrioPool[int]()
+	const n = 100
+	// Two interleaved priority classes, each pushed in ascending order.
+	for i := 0; i < n; i++ {
+		p.PushPrio(Task[int]{Node: i}, 7)
+		p.PushPrio(Task[int]{Node: n + i}, 3)
+	}
+	for class, base := range []int{0, n} {
+		for i := 0; i < n; i++ {
+			got, ok := p.PopPrio()
+			if !ok {
+				t.Fatalf("pool empty at class %d item %d", class, i)
+			}
+			if got.Node != base+i {
+				t.Fatalf("class %d item %d: got node %d, want %d (FIFO violated)", class, i, got.Node, base+i)
+			}
+		}
+	}
+}
+
+func TestPrioPoolSize(t *testing.T) {
+	p := NewPrioPool[int]()
+	if p.Size() != 0 {
+		t.Fatalf("empty pool size %d", p.Size())
+	}
+	for i := 0; i < 5; i++ {
+		p.PushPrio(Task[int]{Node: i}, int64(i))
+	}
+	if p.Size() != 5 {
+		t.Fatalf("size %d, want 5", p.Size())
+	}
+	p.PopPrio()
+	if p.Size() != 4 {
+		t.Fatalf("size %d after pop, want 4", p.Size())
+	}
+}
+
+// Concurrent pushes and pops must neither lose nor duplicate tasks
+// (the pool backs the best-first coordination's shared frontier).
+func TestPrioPoolConcurrentPushPop(t *testing.T) {
+	p := NewPrioPool[int]()
+	const producers, perProducer = 8, 200
+	var wg sync.WaitGroup
+	for pr := 0; pr < producers; pr++ {
+		wg.Add(1)
+		go func(pr int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(pr)))
+			for i := 0; i < perProducer; i++ {
+				p.PushPrio(Task[int]{Node: pr*perProducer + i}, rng.Int63n(5))
+			}
+		}(pr)
+	}
+	seen := make([]bool, producers*perProducer)
+	var mu sync.Mutex
+	var cg sync.WaitGroup
+	done := make(chan struct{})
+	for c := 0; c < 4; c++ {
+		cg.Add(1)
+		go func() {
+			defer cg.Done()
+			for {
+				t_, ok := p.PopPrio()
+				if !ok {
+					select {
+					case <-done:
+						return
+					default:
+						continue
+					}
+				}
+				mu.Lock()
+				seen[t_.Node] = true
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	close(done)
+	cg.Wait()
+	// Drain what the consumers left behind after done closed.
+	for {
+		t_, ok := p.PopPrio()
+		if !ok {
+			break
+		}
+		seen[t_.Node] = true
+	}
+	for i, s := range seen {
+		if !s {
+			t.Fatalf("task %d lost", i)
+		}
+	}
+}

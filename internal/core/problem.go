@@ -62,6 +62,37 @@ type Stats struct {
 	Broadcasts int64 // incumbent-bound broadcasts sent to peer localities
 	Workers    int   // workers used
 	Elapsed    time.Duration
+
+	// Wire-level counters, filled from the transport's Meter. For the
+	// TCP transport these are real frames and bytes on the wire; for
+	// the loopback transport they are the logical messages a wire
+	// transport would have sent, so single-process experiments can
+	// still report protocol pressure (with zero bytes — in-process
+	// hand-over passes nodes by reference, encoding nothing).
+	Frames       int64 // transport frames sent
+	WireBytes    int64 // bytes sent on the wire
+	BatchTasks   int64 // tasks received in steal replies (occupancy numerator)
+	BatchReplies int64 // non-empty steal replies received (occupancy denominator)
+	PrefetchHits int64 // steals satisfied from the steal-ahead buffer
+}
+
+// BatchOccupancy is the mean number of tasks per non-empty steal
+// reply — 1.0 on an unbatched transport, up to the transport's
+// StealBatch when victims have deep backlogs.
+func (s Stats) BatchOccupancy() float64 {
+	if s.BatchReplies == 0 {
+		return 0
+	}
+	return float64(s.BatchTasks) / float64(s.BatchReplies)
+}
+
+// PrefetchHitRate is the fraction of remote task acquisitions served
+// from the steal-ahead buffer instead of a blocking round trip.
+func (s Stats) PrefetchHitRate() float64 {
+	if s.StealsOK == 0 {
+		return 0
+	}
+	return float64(s.PrefetchHits) / float64(s.StealsOK)
 }
 
 // merge folds another process's stats into s (distributed result
@@ -76,6 +107,11 @@ func (s *Stats) merge(o Stats) {
 	s.Backtracks += o.Backtracks
 	s.Broadcasts += o.Broadcasts
 	s.Workers += o.Workers
+	s.Frames += o.Frames
+	s.WireBytes += o.WireBytes
+	s.BatchTasks += o.BatchTasks
+	s.BatchReplies += o.BatchReplies
+	s.PrefetchHits += o.PrefetchHits
 }
 
 func (s *Stats) add(w WorkerStats) {
@@ -85,6 +121,7 @@ func (s *Stats) add(w WorkerStats) {
 	s.StealsOK += w.StealsOK
 	s.StealsFail += w.StealsFail
 	s.Backtracks += w.Backtracks
+	s.PrefetchHits += w.PrefetchHits
 }
 
 // EnumResult is the outcome of an enumeration skeleton.

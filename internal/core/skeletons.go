@@ -76,6 +76,7 @@ func Enum[S, N, M any](coord Coordination, space S, root N, p EnumProblem[S, N, 
 	dispatch(coord, space, p.Gen, cfg, m, cancel, vs, root, fab)
 	stats := m.total()
 	stats.Elapsed = time.Since(start)
+	fab.wireStats(&stats)
 	return EnumResult[M]{Value: combineEnum[S, N, M](p.Monoid, vs), Stats: stats}
 }
 
@@ -102,6 +103,7 @@ func Opt[S, N any](coord Coordination, space S, root N, p OptProblem[S, N], cfg 
 	stats := m.total()
 	stats.Elapsed = time.Since(start)
 	stats.Broadcasts = inc.broadcasts()
+	fab.wireStats(&stats)
 	node, obj, has := inc.result()
 	return OptResult[N]{Best: node, Objective: obj, Found: has, Stats: stats}
 }
@@ -123,6 +125,7 @@ func Decide[S, N any](coord Coordination, space S, root N, p DecisionProblem[S, 
 	dispatch(coord, space, p.Gen, cfg, m, cancel, vs, root, fab)
 	stats := m.total()
 	stats.Elapsed = time.Since(start)
+	fab.wireStats(&stats)
 	node, obj, found := wit.get()
 	return DecisionResult[N]{Witness: node, Objective: obj, Found: found, Stats: stats}
 }

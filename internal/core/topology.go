@@ -16,12 +16,31 @@ import (
 // mirroring the locality-aware victim selection of Section 4.3. In a
 // single-process run the peers are loopback localities (with optional
 // injected latency); in a distributed run they are other OS processes.
+//
+// When steals are expensive (a wire transport, or loopback with
+// injected latency), each locality additionally runs a steal-ahead
+// buffer: after a successful remote steal, the next steal is issued in
+// the background while the stolen task runs, so a worker going idle
+// often finds a task already waiting instead of paying a blocking
+// round trip. The buffer is bounded and at most one prefetch is in
+// flight per locality; a prefetch whose transport-level request times
+// out is re-homed by the transport via Handler.OnTask exactly like any
+// late steal reply, so prefetched work is never lost.
 type topology[N any] struct {
 	fab       *fabric[N]
 	pools     []Pool[N]
 	workerLoc []int
 	rngs      []*rand.Rand
-	victims   [][]int // per in-process locality: global ranks to rob
+	victims   [][]int        // per in-process locality: global ranks to rob
+	ahead     []*aheadBuf[N] // per in-process locality; nil when disabled
+}
+
+// aheadBuf is one locality's steal-ahead state. The single-inflight
+// gate bounds background steal pressure and makes rng goroutine-safe.
+type aheadBuf[N any] struct {
+	buf      chan Task[N]
+	inflight chan struct{} // capacity 1: acquired by the prefetching goroutine
+	rng      *rand.Rand
 }
 
 func newTopology[N any](fab *fabric[N], cfg Config) *topology[N] {
@@ -33,12 +52,26 @@ func newTopology[N any](fab *fabric[N], cfg Config) *topology[N] {
 		rngs:      make([]*rand.Rand, cfg.Workers),
 		victims:   make([][]int, nloc),
 	}
+	depth := cfg.StealAhead
+	if depth == 0 && (fab.wire || cfg.StealLatency > 0) {
+		depth = 1 // auto: prefetch wherever a steal costs latency
+	}
+	if depth > 0 && fab.size > 1 {
+		tp.ahead = make([]*aheadBuf[N], nloc)
+	}
 	for i := range tp.pools {
 		tp.pools[i] = newPool[N](cfg.Pool)
 		fab.locs[i].pool = tp.pools[i]
 		for rank := 0; rank < fab.size; rank++ {
 			if rank != fab.locs[i].rank {
 				tp.victims[i] = append(tp.victims[i], rank)
+			}
+		}
+		if tp.ahead != nil {
+			tp.ahead[i] = &aheadBuf[N]{
+				buf:      make(chan Task[N], depth),
+				inflight: make(chan struct{}, 1),
+				rng:      rand.New(rand.NewSource(cfg.Seed ^ 0x5DEECE66D + int64(fab.locs[i].rank)*104729)),
 			}
 		}
 	}
@@ -56,12 +89,23 @@ func (tp *topology[N]) locality(w int) int { return tp.workerLoc[w] }
 func (tp *topology[N]) push(w int, t Task[N]) { tp.pools[tp.workerLoc[w]].Push(t) }
 
 // popOrSteal takes the next task for worker w: local pool first, then
-// peer localities in random order through the transport. Steal
-// accounting is recorded in the worker's shard.
+// the locality's steal-ahead buffer, then peer localities in random
+// order through the transport. Steal accounting is recorded in the
+// worker's shard.
 func (tp *topology[N]) popOrSteal(w int, sh *WorkerStats) (Task[N], bool) {
 	loc := tp.workerLoc[w]
 	if t, ok := tp.pools[loc].Pop(); ok {
 		return t, true
+	}
+	if tp.ahead != nil {
+		select {
+		case t := <-tp.ahead[loc].buf:
+			sh.StealsOK++
+			sh.PrefetchHits++
+			tp.prefetch(loc)
+			return t, true
+		default:
+		}
 	}
 	vs := tp.victims[loc]
 	if len(vs) == 0 {
@@ -78,10 +122,52 @@ func (tp *topology[N]) popOrSteal(w int, sh *WorkerStats) (Task[N], bool) {
 			continue
 		}
 		sh.StealsOK++
+		tp.prefetch(loc)
 		return tp.fromWire(loc, wt), true
 	}
 	var zero Task[N]
 	return zero, false
+}
+
+// prefetch issues one background steal round for a locality, if
+// steal-ahead is enabled, its buffer has room, and no prefetch is
+// already in flight. A stolen task lands in the buffer (or spills to
+// the pool if the buffer filled meanwhile); either way it is a
+// registered live task that local workers will drain before the global
+// count can reach zero.
+func (tp *topology[N]) prefetch(loc int) {
+	if tp.ahead == nil {
+		return
+	}
+	sa := tp.ahead[loc]
+	select {
+	case sa.inflight <- struct{}{}:
+	default:
+		return
+	}
+	if len(sa.buf) == cap(sa.buf) || (tp.fab.cancel != nil && tp.fab.cancel.cancelled()) {
+		<-sa.inflight
+		return
+	}
+	go func() {
+		defer func() { <-sa.inflight }()
+		vs := tp.victims[loc]
+		start := sa.rng.Intn(len(vs))
+		for i := 0; i < len(vs); i++ {
+			v := vs[(start+i)%len(vs)]
+			wt, ok, err := tp.fab.trs[loc].Steal(v)
+			if err != nil || !ok {
+				continue
+			}
+			t := tp.fromWire(loc, wt)
+			select {
+			case sa.buf <- t:
+			default:
+				tp.pools[loc].Push(t)
+			}
+			return
+		}
+	}()
 }
 
 // fromWire turns a transport task back into an engine task, merging

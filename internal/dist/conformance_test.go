@@ -422,3 +422,192 @@ func TestConformanceWorkerDisconnectMidSearch(t *testing.T) {
 		})
 	}
 }
+
+// drain empties the handler's task queue and adopted list, returning
+// all held tasks (conservation accounting for the batching tests).
+func (h *recHandler) drain() []WireTask {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := append([]WireTask{}, h.tasks...)
+	out = append(out, h.adopted...)
+	h.tasks, h.adopted = nil, nil
+	return out
+}
+
+// Multi-task steal replies: one exchange may move a batch, with the
+// first task handed to the caller and the extras re-homed through
+// OnTask. Whatever the transport's batch size (loopback serves one,
+// TCP up to its StealBatch), every task must end up somewhere exactly
+// once — conservation is the contract, batching the optimisation.
+func TestConformanceMultiTaskStealConservation(t *testing.T) {
+	for _, h := range harnesses() {
+		t.Run(h.name, func(t *testing.T) {
+			trs := h.make(t, 3)
+			hs := startAll(trs)
+			const total = 6
+			for i := 0; i < total; i++ {
+				hs[1].push(WireTask{Payload: []byte{byte(i)}, Depth: i})
+			}
+			seen := make(map[byte]int)
+			record := func(ts ...WireTask) {
+				for _, wt := range ts {
+					if len(wt.Payload) != 1 {
+						t.Fatalf("mangled payload %v", wt.Payload)
+					}
+					seen[wt.Payload[0]]++
+				}
+			}
+			// Thieves on both routing paths: the coordinator (direct)
+			// and a worker (via the hub).
+			for _, thief := range []int{0, 2} {
+				wt, ok, err := trs[thief].Steal(1)
+				if err != nil {
+					t.Fatalf("thief %d: %v", thief, err)
+				}
+				if ok {
+					record(wt)
+					record(hs[thief].drain()...)
+				}
+			}
+			// Drain the victim dry from rank 0.
+			for {
+				wt, ok, err := trs[0].Steal(1)
+				if err != nil {
+					t.Fatalf("draining steal: %v", err)
+				}
+				if !ok {
+					break
+				}
+				record(wt)
+				record(hs[0].drain()...)
+			}
+			record(hs[1].drain()...) // anything the victim kept
+			if len(seen) != total {
+				t.Fatalf("saw %d distinct tasks, want %d (%v)", len(seen), total, seen)
+			}
+			for id, n := range seen {
+				if n != 1 {
+					t.Fatalf("task %d seen %d times (lost or duplicated)", id, n)
+				}
+			}
+		})
+	}
+}
+
+// Coalesced AddTasks deltas under a concurrent steal storm: spawns
+// register before their tasks become stealable, completions happen
+// wherever tasks land, and the transport may batch the counter updates
+// arbitrarily — yet Done must fire exactly when the count reaches
+// zero: not one task earlier, and not hang after.
+func TestConformanceCoalescedDeltasUnderStealStorm(t *testing.T) {
+	for _, h := range harnesses() {
+		t.Run(h.name, func(t *testing.T) {
+			trs := h.make(t, 3)
+			hs := startAll(trs)
+			// A sentinel "root" task pins the count above zero for the
+			// whole storm, as the engine's in-flight root does.
+			trs[0].AddTasks(1)
+
+			const perRank = 50
+			var wg sync.WaitGroup
+			var completed atomic.Int64
+			for r := range trs {
+				wg.Add(1)
+				go func(r int) { // spawner: register, then publish
+					defer wg.Done()
+					for i := 0; i < perRank; i++ {
+						trs[r].AddTasks(1)
+						hs[r].push(WireTask{Payload: []byte("w"), Depth: i})
+					}
+				}(r)
+				wg.Add(1)
+				go func(r int) { // thief: steal anywhere, complete immediately
+					defer wg.Done()
+					for i := 0; i < 40; i++ {
+						v := (r + 1 + i%2) % len(trs)
+						if _, ok, _ := trs[r].Steal(v); ok {
+							trs[r].AddTasks(-1)
+							completed.Add(1)
+						}
+					}
+				}(r)
+			}
+			wg.Wait()
+			// Complete everything still queued or adopted, wherever it
+			// ended up.
+			for r := range trs {
+				held := hs[r].drain()
+				for range held {
+					trs[r].AddTasks(-1)
+					completed.Add(1)
+				}
+			}
+			if got := completed.Load(); got != 3*perRank {
+				t.Fatalf("completed %d tasks, spawned %d: conservation broken", got, 3*perRank)
+			}
+			// Every coalesced flush has had many quanta to land; only
+			// the sentinel keeps the search alive.
+			time.Sleep(150 * time.Millisecond)
+			select {
+			case <-trs[0].Done():
+				t.Fatal("Done fired with the sentinel task still live")
+			default:
+			}
+			trs[1].AddTasks(-1) // a worker's coalesced flush ends the search
+			for r, tr := range trs {
+				select {
+				case <-tr.Done():
+				case <-time.After(5 * time.Second):
+					t.Fatalf("rank %d never saw termination after final coalesced delta", r)
+				}
+			}
+		})
+	}
+}
+
+// Bound piggybacks arrive out of order with respect to the broadcast
+// stream (they ride on steal replies routed through the hub). The
+// receivers' monotonic merge must absorb the disorder: every rank
+// converges on the global maximum and never sees a value beyond it.
+func TestConformanceBoundPiggybackOutOfOrder(t *testing.T) {
+	for _, h := range harnesses() {
+		t.Run(h.name, func(t *testing.T) {
+			trs := h.make(t, 3)
+			hs := startAll(trs)
+			const maxBound = 300
+			var wg sync.WaitGroup
+			wg.Add(2)
+			go func() { // broadcaster: ascending bounds from rank 1
+				defer wg.Done()
+				for i := 1; i <= maxBound; i++ {
+					trs[1].BroadcastBound(int64(i))
+				}
+			}()
+			go func() { // steal traffic rank 2 → rank 1, interleaved
+				defer wg.Done()
+				for i := 0; i < 60; i++ {
+					hs[1].push(WireTask{Payload: []byte("t"), Depth: i, Bound: int64(i)})
+					trs[2].Steal(1)
+				}
+			}()
+			wg.Wait()
+			for r := range trs {
+				if r == 1 {
+					continue // the broadcaster does not hear itself
+				}
+				eventually(t, fmt.Sprintf("%s rank %d to converge on the max bound", h.name, r), func() bool {
+					return hs[r].boundMax.Load() >= maxBound
+				})
+			}
+			for r := range trs {
+				hs[r].mu.Lock()
+				for _, b := range hs[r].bounds {
+					if b > maxBound {
+						t.Errorf("rank %d delivered bound %d beyond the published max %d", r, b, maxBound)
+					}
+				}
+				hs[r].mu.Unlock()
+			}
+		})
+	}
+}

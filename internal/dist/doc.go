@@ -6,10 +6,10 @@
 // YewPar's distributed skeletons need exactly four interactions
 // between localities, and Transport captures precisely those:
 //
-//   - work distribution: an idle locality steals a task from a peer
-//     (Steal on the thief side, Handler.ServeSteal on the victim
-//     side), the request/reply discipline of the paper's Section 4.3
-//     workpools;
+//   - work distribution: an idle locality steals from a peer (Steal on
+//     the thief side, Handler.ServeSteal — or the batching
+//     MultiStealer extension — on the victim side), the request/reply
+//     discipline of the paper's Section 4.3 workpools;
 //   - knowledge propagation: an improved incumbent bound is broadcast
 //     to every locality (BroadcastBound/Handler.OnBound), with relaxed
 //     delivery — late or reordered bounds cost pruning opportunities,
@@ -27,12 +27,55 @@
 // skeleton runs (internal/core builds its simulated-cluster topology
 // on it) and serves as the reference for the conformance suite. The
 // TCP transport (NewListener/Dial) connects real OS processes in a
-// star around the coordinator with gob-encoded frames; it is what
-// `yewpar -dist` deploys.
+// star around the coordinator; it is what `yewpar -dist` deploys.
 //
-// The package is deliberately engine-agnostic: tasks cross it as
-// WireTask values carrying an opaque encoded node, so dist imports
-// nothing from internal/core and new transports (shared-memory IPC,
-// RDMA, a message-queue fabric) can be added without touching the
-// search engine.
+// # Wire protocol v2
+//
+// The TCP transport speaks a length-prefixed binary frame format (v1
+// was a gob stream per message): a little-endian uint32 body length,
+// then kind and flag bytes, then a varint header (from, to, seq) and a
+// kind-specific payload — see frame.go for the byte-level layout. The
+// protocol version is checked during registration, alongside the
+// deployment spec string.
+//
+// Three amortisations define v2, all tunable through WireOptions:
+//
+//   - Batched steals: a steal request names the number of tasks the
+//     thief will accept (StealBatch); the reply carries up to that
+//     many. The thief hands the first to the requesting worker and
+//     re-homes the rest via Handler.OnTask, so one round trip moves a
+//     batch. Victims that implement MultiStealer decide how much of
+//     their backlog one thief may take (the engine uses steal-half).
+//   - Coalesced live-task deltas: AddTasks accumulates into a
+//     per-locality counter that is drained onto the next outgoing
+//     frame of any kind, with a FlushQuantum ticker as the fallback —
+//     one counter flush per pool quantum instead of one frame per
+//     spawn. Ordering makes this safe for termination detection: the
+//     drain happens under the connection's write lock, so a steal
+//     reply always carries every delta issued before its tasks left
+//     the victim's pool, and the hub applies a frame's delta before
+//     routing the frame onward.
+//   - Piggybacked bounds: every outgoing frame (except kBound itself)
+//     is stamped with the sender's best known bound, so incumbent
+//     knowledge rides along with ordinary traffic and a thief never
+//     prunes a stolen subtree with knowledge older than the last frame
+//     it saw. Receivers deliver a bound to their handler only when it
+//     beats everything previously delivered, absorbing the repetition.
+//
+// Transports that implement Meter report frames, bytes, and steal
+// batch occupancy; the engine folds those into its Stats.
+//
+// # Codec registration contract
+//
+// Tasks cross the wire as WireTask values carrying an opaque encoded
+// node, so dist imports nothing from internal/core and new transports
+// (shared-memory IPC, RDMA, a message-queue fabric) can be added
+// without touching the search engine. The encoding is owned by the
+// application's core.Codec: every locality of a deployment must
+// construct the same problem with the same codec (the spec handshake
+// guards the former; codecs are not negotiated). Applications register
+// their compact codec by exposing a Codec() constructor that the CLI's
+// -dist app table picks up — see internal/cli/dist.go — with
+// core.GobCodec as the fallback for nodes without a hand-written
+// encoding.
 package dist

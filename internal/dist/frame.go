@@ -1,0 +1,231 @@
+package dist
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Wire protocol v2: every message is one length-prefixed binary frame,
+//
+//	uint32 little-endian body length | body
+//
+// with a hand-rolled body encoding instead of v1's self-describing gob
+// streams. The body starts with a fixed two-byte prologue (kind, flags)
+// followed by a varint header shared by all kinds and a kind-specific
+// payload:
+//
+//	kind    byte
+//	flags   byte            fDelta | fBound
+//	from    varint          sender rank
+//	to      varint          destination rank (0 when unrouted)
+//	seq     uvarint         steal request/reply correlation
+//	[delta  varint]         flags&fDelta: coalesced live-task delta
+//	[bound  varint]         flags&fBound: piggybacked bound snapshot
+//	payload ...             see appendFrame
+//
+// The two optional header fields are the batching heart of v2: any
+// frame — a steal reply, a gather, an explicit kDelta tick — can carry
+// the sender's accumulated live-task delta (one counter flush per pool
+// quantum instead of one frame per spawn) and its current best bound
+// (so a lost or still-in-flight broadcast is repaired by the next frame
+// of any kind, and a thief never prunes with knowledge older than the
+// last frame it saw).
+//
+// Steal replies carry a *batch* of tasks: count followed by
+// (payload-length, payload, depth, bound) per task. The thief hands the
+// first task to the requesting worker and re-homes the rest through
+// Handler.OnTask, exactly like a late reply.
+
+const (
+	fDelta = 1 << 0 // header carries a coalesced live-task delta
+	fBound = 1 << 1 // header carries a piggybacked bound snapshot
+)
+
+// maxFrameBody bounds a peer-supplied body length before allocation.
+const maxFrameBody = 64 << 20
+
+// maxStealBatch bounds a peer-supplied task count before allocation.
+const maxStealBatch = 1 << 16
+
+// frame is the single wire message; unused fields are zero.
+type frame struct {
+	Kind  kind
+	From  int
+	To    int
+	Seq   uint64
+	Delta int64 // coalesced live-task delta (sent iff non-zero)
+	PB    int64 // piggybacked bound snapshot
+	HasPB bool
+	Obj   int64      // kBound: the broadcast bound
+	Want  int        // kSteal: max tasks; kHello: protocol version; kWelcome: deployment size
+	Blob  []byte     // kHello/kWelcome/kReject/kGather payload
+	Tasks []WireTask // kStealR payload
+}
+
+// appendFrame appends f's body encoding (no length prefix) to dst.
+func appendFrame(dst []byte, f *frame) []byte {
+	var flags byte
+	if f.Delta != 0 {
+		flags |= fDelta
+	}
+	if f.HasPB {
+		flags |= fBound
+	}
+	dst = append(dst, byte(f.Kind), flags)
+	dst = binary.AppendVarint(dst, int64(f.From))
+	dst = binary.AppendVarint(dst, int64(f.To))
+	dst = binary.AppendUvarint(dst, f.Seq)
+	if flags&fDelta != 0 {
+		dst = binary.AppendVarint(dst, f.Delta)
+	}
+	if flags&fBound != 0 {
+		dst = binary.AppendVarint(dst, f.PB)
+	}
+	switch f.Kind {
+	case kSteal, kHello, kWelcome:
+		dst = binary.AppendUvarint(dst, uint64(f.Want))
+	case kBound:
+		dst = binary.AppendVarint(dst, f.Obj)
+	}
+	switch f.Kind {
+	case kHello, kWelcome, kReject, kGather:
+		dst = binary.AppendUvarint(dst, uint64(len(f.Blob)))
+		dst = append(dst, f.Blob...)
+	case kStealR:
+		dst = binary.AppendUvarint(dst, uint64(len(f.Tasks)))
+		for i := range f.Tasks {
+			t := &f.Tasks[i]
+			dst = binary.AppendUvarint(dst, uint64(len(t.Payload)))
+			dst = append(dst, t.Payload...)
+			dst = binary.AppendVarint(dst, int64(t.Depth))
+			dst = binary.AppendVarint(dst, t.Bound)
+		}
+	}
+	return dst
+}
+
+type frameReader struct {
+	b []byte
+}
+
+func (r *frameReader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.b)
+	if n <= 0 {
+		return 0, fmt.Errorf("dist: truncated uvarint in frame")
+	}
+	r.b = r.b[n:]
+	return v, nil
+}
+
+func (r *frameReader) varint() (int64, error) {
+	v, n := binary.Varint(r.b)
+	if n <= 0 {
+		return 0, fmt.Errorf("dist: truncated varint in frame")
+	}
+	r.b = r.b[n:]
+	return v, nil
+}
+
+// bytes slices out a counted byte string, never returning nil for an
+// empty (but present) string — receivers distinguish "no payload" from
+// "dead peer" by nilness.
+func (r *frameReader) bytes() ([]byte, error) {
+	ln, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if ln > uint64(len(r.b)) {
+		return nil, fmt.Errorf("dist: frame byte string of %d exceeds %d remaining", ln, len(r.b))
+	}
+	out := r.b[:ln:ln]
+	r.b = r.b[ln:]
+	if out == nil {
+		out = []byte{}
+	}
+	return out, nil
+}
+
+// parseFrame decodes one frame body. The body slice must be dedicated
+// to this frame: Blob and task payloads alias it.
+func parseFrame(b []byte, f *frame) error {
+	*f = frame{}
+	if len(b) < 2 {
+		return fmt.Errorf("dist: frame body of %d bytes", len(b))
+	}
+	f.Kind = kind(b[0])
+	if f.Kind > kGather {
+		return fmt.Errorf("dist: unknown frame kind %d", f.Kind)
+	}
+	flags := b[1]
+	r := &frameReader{b: b[2:]}
+	var err error
+	var v int64
+	if v, err = r.varint(); err != nil {
+		return err
+	}
+	f.From = int(v)
+	if v, err = r.varint(); err != nil {
+		return err
+	}
+	f.To = int(v)
+	if f.Seq, err = r.uvarint(); err != nil {
+		return err
+	}
+	if flags&fDelta != 0 {
+		if f.Delta, err = r.varint(); err != nil {
+			return err
+		}
+	}
+	if flags&fBound != 0 {
+		if f.PB, err = r.varint(); err != nil {
+			return err
+		}
+		f.HasPB = true
+	}
+	switch f.Kind {
+	case kSteal, kHello, kWelcome:
+		w, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		f.Want = int(w)
+	case kBound:
+		if f.Obj, err = r.varint(); err != nil {
+			return err
+		}
+	}
+	switch f.Kind {
+	case kHello, kWelcome, kReject, kGather:
+		if f.Blob, err = r.bytes(); err != nil {
+			return err
+		}
+	case kStealR:
+		n, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		if n > maxStealBatch {
+			return fmt.Errorf("dist: steal reply of %d tasks", n)
+		}
+		if n > 0 {
+			f.Tasks = make([]WireTask, n)
+			for i := range f.Tasks {
+				t := &f.Tasks[i]
+				if t.Payload, err = r.bytes(); err != nil {
+					return err
+				}
+				if v, err = r.varint(); err != nil {
+					return err
+				}
+				t.Depth = int(v)
+				if t.Bound, err = r.varint(); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if len(r.b) != 0 {
+		return fmt.Errorf("dist: %d trailing bytes in frame kind %d", len(r.b), f.Kind)
+	}
+	return nil
+}

@@ -1,0 +1,71 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	frames := []frame{
+		{Kind: kHello, Want: wireVersion, Blob: []byte("app=x n=10")},
+		{Kind: kWelcome, To: 3, Want: 5, Blob: []byte("app=x n=10")},
+		{Kind: kReject, Blob: []byte("spec mismatch")},
+		{Kind: kSteal, From: 2, To: 1, Seq: 77, Want: 4},
+		{Kind: kStealR, From: 1, To: 2, Seq: 77, Tasks: []WireTask{
+			{Payload: []byte("abc"), Depth: 3, Bound: -9},
+			{Payload: []byte{}, Depth: 0, Bound: math.MinInt64},
+			{Payload: []byte("zzzz"), Depth: 1 << 20, Bound: math.MaxInt64},
+		}},
+		{Kind: kStealR, From: 1, To: 2, Seq: 78}, // empty-handed
+		{Kind: kBound, From: 4, Obj: -123456789},
+		{Kind: kCancel, From: 1},
+		{Kind: kDelta, From: 2, Delta: -42},
+		{Kind: kTerminate},
+		{Kind: kGather, From: 3, Blob: []byte{1, 2, 3}},
+		{Kind: kGather, From: 3, Blob: []byte{}},
+		{Kind: kSteal, From: 1, To: 2, Seq: 1, Want: 8, Delta: 17, PB: -5, HasPB: true},
+		{Kind: kBound, From: 0, Obj: math.MinInt64 + 1, PB: math.MaxInt64, HasPB: true},
+	}
+	for i, f := range frames {
+		body := appendFrame(nil, &f)
+		var got frame
+		if err := parseFrame(body, &got); err != nil {
+			t.Fatalf("frame %d (%+v): parse: %v", i, f, err)
+		}
+		if !reflect.DeepEqual(got, f) {
+			t.Fatalf("frame %d round trip:\n got %+v\nwant %+v", i, got, f)
+		}
+	}
+}
+
+// Truncations and bit flips must error, never panic or over-allocate:
+// frame bodies come off the network.
+func TestFrameParseRobustness(t *testing.T) {
+	f := frame{Kind: kStealR, From: 1, To: 2, Seq: 9, Delta: 3, PB: 11, HasPB: true,
+		Tasks: []WireTask{{Payload: []byte("payload-bytes"), Depth: 5, Bound: 40}}}
+	body := appendFrame(nil, &f)
+	for cut := 0; cut < len(body); cut++ {
+		var g frame
+		if err := parseFrame(body[:cut], &g); err == nil {
+			t.Fatalf("parse of %d/%d-byte truncation succeeded", cut, len(body))
+		}
+	}
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 2000; trial++ {
+		mut := append([]byte(nil), body...)
+		for flips := 1 + rng.Intn(3); flips > 0; flips-- {
+			mut[rng.Intn(len(mut))] ^= byte(1 << rng.Intn(8))
+		}
+		var g frame
+		_ = parseFrame(mut, &g) // must not panic
+	}
+	var g frame
+	if err := parseFrame([]byte{byte(kGather + 1), 0}, &g); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	if err := parseFrame(append(append([]byte(nil), body...), 0xFF), &g); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}

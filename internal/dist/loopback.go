@@ -104,9 +104,19 @@ type loopback struct {
 	rank   int
 	h      atomic.Value // Handler
 	closed atomic.Bool
+	ctr    wireCounters
 }
 
 var _ Transport = (*loopback)(nil)
+var _ Meter = (*loopback)(nil)
+
+// Wire implements Meter with logical message counts: the frames a wire
+// transport would have sent for the same traffic, and payload bytes
+// only — engine runs hand nodes over by reference (no Payload), so
+// they report zero bytes, which is the truth of shared memory.
+// AddTasks counts no frames — in-process accounting needs none, which
+// is exactly the gap the TCP transport's delta coalescing narrows.
+func (t *loopback) Wire() WireStats { return t.ctr.snapshot() }
 
 func (t *loopback) Rank() int { return t.rank }
 
@@ -134,6 +144,16 @@ func (t *loopback) Steal(victim int) (WireTask, bool, error) {
 		return WireTask{}, false, nil
 	}
 	wt, ok := vh.ServeSteal(t.rank)
+	t.ctr.framesSent.Add(1) // the request
+	t.ctr.framesRecv.Add(1) // the reply
+	if ok {
+		t.ctr.stealReplies.Add(1)
+		t.ctr.stealTasks.Add(1)
+		// Logical bytes moved, credited to the sent side (the only
+		// side Stats aggregates). Real engine runs pass nodes by
+		// reference (nil Payload) and truthfully report zero.
+		t.ctr.bytesSent.Add(int64(len(wt.Payload)))
+	}
 	return wt, ok, nil
 }
 
@@ -142,6 +162,7 @@ func (t *loopback) BroadcastBound(obj int64) error {
 		if peer.rank == t.rank {
 			continue
 		}
+		t.ctr.framesSent.Add(1)
 		if lat := t.net.opts.BoundLatency; lat > 0 {
 			p := peer
 			time.AfterFunc(lat, func() {
@@ -163,6 +184,7 @@ func (t *loopback) Cancel() error {
 		if peer.rank == t.rank {
 			continue
 		}
+		t.ctr.framesSent.Add(1)
 		if h := peer.handler(); h != nil {
 			h.OnCancel(t.rank)
 		}
@@ -175,6 +197,10 @@ func (t *loopback) AddTasks(delta int64) { t.net.addTasks(delta) }
 func (t *loopback) Done() <-chan struct{} { return t.net.done }
 
 func (t *loopback) Gather(payload []byte) ([][]byte, error) {
+	if t.rank != 0 {
+		t.ctr.framesSent.Add(1)
+		t.ctr.bytesSent.Add(int64(len(payload)))
+	}
 	t.net.contribute(t.rank, payload)
 	if t.rank != 0 {
 		return nil, nil

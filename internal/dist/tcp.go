@@ -1,9 +1,12 @@
 package dist
 
 import (
-	"encoding/gob"
+	"bufio"
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"io"
+	"math"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -13,16 +16,29 @@ import (
 // The TCP transport realises a deployment of real OS processes: one
 // coordinator (rank 0) and n workers (ranks 1..n), in a star topology.
 // Workers hold a single TCP connection to the coordinator, which
-// routes worker↔worker traffic; all frames are gob-encoded. The star
-// keeps connection management linear in the cluster size and gives the
-// coordinator the global view it needs anyway for termination
-// detection and result aggregation.
+// routes worker↔worker traffic. The star keeps connection management
+// linear in the cluster size and gives the coordinator the global view
+// it needs anyway for termination detection and result aggregation.
+//
+// Frames are the v2 binary format of frame.go. Three amortisations
+// distinguish it from the v1 gob protocol:
+//
+//   - steal replies carry up to StealBatch tasks, so one round trip
+//     moves a batch instead of a single task;
+//   - live-task deltas are coalesced per locality and flushed at most
+//     once per FlushQuantum (or piggybacked on whatever frame leaves
+//     first), instead of one kDelta frame per spawn;
+//   - every outgoing frame piggybacks the sender's best known bound,
+//     so incumbent knowledge rides along with ordinary traffic.
 
 const (
 	// registration must complete within this window or Wait fails.
 	regTimeout = 120 * time.Second
 	// dial keeps retrying (the coordinator may not be listening yet).
 	dialTimeout = 30 * time.Second
+	// wireVersion is checked at registration: v1 (gob) and v2 (binary
+	// frames) peers must not silently garble each other.
+	wireVersion = 2
 )
 
 // stealTimeout bounds a steal request whose reply never arrives; a
@@ -30,45 +46,72 @@ const (
 // tests can exercise the late-reply path without the full wait.
 var stealTimeout = 10 * time.Second
 
+// WireOptions tunes the v2 framing layer.
+type WireOptions struct {
+	// StealBatch is the maximum number of tasks requested per steal
+	// (the victim may serve fewer — the engine's steal-half policy
+	// protects its own backlog). The thief keeps one task for the
+	// requesting worker and re-homes the extras via Handler.OnTask.
+	// Default DefaultStealBatch; 1 disables batching.
+	StealBatch int
+	// FlushQuantum is the pool quantum of delta coalescing: a
+	// locality's accumulated live-task delta is flushed at most this
+	// often when no other outgoing frame carries it first. Larger
+	// quanta mean fewer frames but slower termination detection.
+	// Default DefaultFlushQuantum.
+	FlushQuantum time.Duration
+}
+
+// Defaults for WireOptions.
+const (
+	DefaultStealBatch   = 4
+	DefaultFlushQuantum = time.Millisecond
+)
+
+func (o WireOptions) withDefaults() WireOptions {
+	if o.StealBatch <= 0 {
+		o.StealBatch = DefaultStealBatch
+	}
+	if o.FlushQuantum <= 0 {
+		o.FlushQuantum = DefaultFlushQuantum
+	}
+	return o
+}
+
 type kind uint8
 
 const (
-	kHello     kind = iota // worker→hub: registration (Blob = spec)
-	kWelcome               // hub→worker: To = rank, Delta = size
+	kHello     kind = iota // worker→hub: registration (Want = wireVersion, Blob = spec)
+	kWelcome               // hub→worker: To = rank, Want = size
 	kReject                // hub→worker: registration refused (Blob = reason)
-	kSteal                 // From = thief, To = victim
-	kStealR                // From = victim, To = thief
+	kSteal                 // From = thief, To = victim, Want = max tasks
+	kStealR                // From = victim, To = thief, Tasks = batch
 	kBound                 // From, Obj
 	kCancel                // From
-	kDelta                 // Delta
+	kDelta                 // carrier for a coalesced header delta
 	kTerminate             // global live-task count reached zero
 	kGather                // From, Blob
 )
 
-// frame is the single wire message; unused fields are zero.
-type frame struct {
-	Kind  kind
-	From  int
-	To    int
-	Seq   uint64
-	OK    bool
-	Obj   int64
-	Delta int64
-	Blob  []byte
-	Task  WireTask
-}
-
-// wconn is one gob-framed TCP connection with serialised writes.
+// wconn is one length-prefix-framed TCP connection with serialised
+// writes. The send path is where v2's per-frame batching happens: the
+// owning endpoint's coalesced live-task delta is drained into, and its
+// best bound stamped onto, every frame that leaves.
 type wconn struct {
 	c    net.Conn
-	enc  *gob.Encoder
-	dec  *gob.Decoder
+	br   *bufio.Reader
 	wmu  sync.Mutex
+	wbuf []byte
 	dead atomic.Bool
+
+	// endpoint hooks; either may be nil.
+	pending *atomic.Int64 // coalesced live-task delta, drained per send
+	pb      *atomic.Int64 // best known bound, stamped per send
+	ctr     *wireCounters
 }
 
-func newWconn(c net.Conn) *wconn {
-	return &wconn{c: c, enc: gob.NewEncoder(c), dec: gob.NewDecoder(c)}
+func newWconn(c net.Conn, ctr *wireCounters) *wconn {
+	return &wconn{c: c, br: bufio.NewReaderSize(c, 64<<10), ctr: ctr}
 }
 
 func (cn *wconn) send(f *frame) error {
@@ -77,17 +120,60 @@ func (cn *wconn) send(f *frame) error {
 	}
 	cn.wmu.Lock()
 	defer cn.wmu.Unlock()
-	if err := cn.enc.Encode(f); err != nil {
+	if cn.pending != nil && f.Delta == 0 {
+		// Drain under wmu: flushes reach the wire in issue order, so a
+		// steal reply always carries every delta issued before its
+		// tasks left the pool (the termination-safety invariant).
+		f.Delta = cn.pending.Swap(0)
+	}
+	// kBound frames carry their news in Obj; stamping the same value
+	// as a piggyback would make the receiver's header merge mark the
+	// broadcast itself stale and suppress its relay.
+	if cn.pb != nil && !f.HasPB && f.Kind != kBound {
+		if b := cn.pb.Load(); b != math.MinInt64 {
+			f.PB, f.HasPB = b, true
+		}
+	}
+	buf := append(cn.wbuf[:0], 0, 0, 0, 0)
+	buf = appendFrame(buf, f)
+	binary.LittleEndian.PutUint32(buf[:4], uint32(len(buf)-4))
+	cn.wbuf = buf
+	if _, err := cn.c.Write(buf); err != nil {
 		cn.dead.Store(true)
 		return err
+	}
+	if cn.ctr != nil {
+		cn.ctr.framesSent.Add(1)
+		cn.ctr.bytesSent.Add(int64(len(buf)))
 	}
 	return nil
 }
 
 func (cn *wconn) recv(f *frame) error {
-	if err := cn.dec.Decode(f); err != nil {
+	var hdr [4]byte
+	if _, err := io.ReadFull(cn.br, hdr[:]); err != nil {
 		cn.dead.Store(true)
 		return err
+	}
+	ln := binary.LittleEndian.Uint32(hdr[:])
+	if ln > maxFrameBody {
+		cn.dead.Store(true)
+		return fmt.Errorf("dist: frame body of %d bytes exceeds limit", ln)
+	}
+	// A dedicated allocation per frame: blob and task payloads alias
+	// the body and may be retained by the handler.
+	body := make([]byte, ln)
+	if _, err := io.ReadFull(cn.br, body); err != nil {
+		cn.dead.Store(true)
+		return err
+	}
+	if err := parseFrame(body, f); err != nil {
+		cn.dead.Store(true)
+		return err
+	}
+	if cn.ctr != nil {
+		cn.ctr.framesRecv.Add(1)
+		cn.ctr.bytesRecv.Add(int64(4 + ln))
 	}
 	return nil
 }
@@ -96,8 +182,7 @@ func (cn *wconn) close() { cn.dead.Store(true); cn.c.Close() }
 
 // stealRes is a pending steal's reply slot.
 type stealRes struct {
-	task WireTask
-	ok   bool
+	tasks []WireTask
 }
 
 // pendingSteals tracks in-flight steal requests by sequence number.
@@ -126,7 +211,7 @@ func (p *pendingSteals) register(victim int) (uint64, chan stealRes) {
 
 // resolve delivers a steal reply to its waiter, reporting false when
 // the request is no longer pending (it timed out): the caller then
-// owns the reply and must not drop a carried task.
+// owns the reply and must not drop carried tasks.
 func (p *pendingSteals) resolve(seq uint64, res stealRes) bool {
 	p.mu.Lock()
 	ps := p.m[seq]
@@ -183,19 +268,25 @@ func (p *pendingSteals) failAll() {
 type Listener struct {
 	ln   net.Listener
 	spec string
+	opts WireOptions
 }
 
-// NewListener binds the coordinator's address. spec is an arbitrary
-// deployment description (application, instance, parameters); workers
-// must present an identical spec, which catches the classic
-// distributed-search operator error of launching localities on
-// different problems.
+// NewListener binds the coordinator's address with default
+// WireOptions. spec is an arbitrary deployment description
+// (application, instance, parameters); workers must present an
+// identical spec, which catches the classic distributed-search
+// operator error of launching localities on different problems.
 func NewListener(addr, spec string) (*Listener, error) {
+	return NewListenerOpts(addr, spec, WireOptions{})
+}
+
+// NewListenerOpts is NewListener with explicit framing options.
+func NewListenerOpts(addr, spec string, opts WireOptions) (*Listener, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	return &Listener{ln: ln, spec: spec}, nil
+	return &Listener{ln: ln, spec: spec, opts: opts.withDefaults()}, nil
 }
 
 // Addr returns the bound address (useful with a ":0" listen address).
@@ -215,6 +306,7 @@ func (l *Listener) Wait(workers int) (Transport, error) {
 	h := &hub{
 		size:    workers + 1,
 		conns:   make([]*wconn, workers+1),
+		opts:    l.opts,
 		started: make(chan struct{}),
 		done:    make(chan struct{}),
 		blobs:   make([][]byte, workers+1),
@@ -222,6 +314,8 @@ func (l *Listener) Wait(workers int) (Transport, error) {
 		gotAll:  make(chan struct{}),
 		ln:      l.ln,
 	}
+	h.pbStamp.Store(math.MinInt64)
+	h.pbSeen.Store(math.MinInt64)
 	for rank := 1; rank <= workers; rank++ {
 		if d, ok := l.ln.(*net.TCPListener); ok {
 			d.SetDeadline(deadline)
@@ -230,7 +324,8 @@ func (l *Listener) Wait(workers int) (Transport, error) {
 		if err != nil {
 			return nil, fmt.Errorf("dist: registration failed waiting for worker %d/%d: %w", rank, workers, err)
 		}
-		cn := newWconn(c)
+		cn := newWconn(c, &h.ctr)
+		cn.pb = &h.pbStamp
 		// The registration deadline must also bound the hello read: a
 		// connection that never sends a frame (port scan, stalled
 		// peer) must not hang Wait past the window.
@@ -241,6 +336,11 @@ func (l *Listener) Wait(workers int) (Transport, error) {
 			return nil, fmt.Errorf("dist: bad registration from %v", c.RemoteAddr())
 		}
 		c.SetReadDeadline(time.Time{})
+		if hello.Want != wireVersion {
+			cn.send(&frame{Kind: kReject, Blob: []byte(fmt.Sprintf("wire protocol mismatch: coordinator speaks v%d, worker v%d", wireVersion, hello.Want))})
+			cn.close()
+			return nil, fmt.Errorf("dist: worker %v speaks wire protocol v%d, want v%d", c.RemoteAddr(), hello.Want, wireVersion)
+		}
 		if string(hello.Blob) != l.spec {
 			cn.send(&frame{Kind: kReject, Blob: []byte(fmt.Sprintf("spec mismatch: coordinator runs %q, worker runs %q", l.spec, string(hello.Blob)))})
 			cn.close()
@@ -252,7 +352,7 @@ func (l *Listener) Wait(workers int) (Transport, error) {
 		d.SetDeadline(time.Time{})
 	}
 	for rank := 1; rank <= workers; rank++ {
-		if err := h.conns[rank].send(&frame{Kind: kWelcome, To: rank, Delta: int64(h.size), Blob: []byte(l.spec)}); err != nil {
+		if err := h.conns[rank].send(&frame{Kind: kWelcome, To: rank, Want: h.size, Blob: []byte(l.spec)}); err != nil {
 			return nil, fmt.Errorf("dist: welcoming worker %d: %w", rank, err)
 		}
 	}
@@ -268,6 +368,7 @@ func (l *Listener) Wait(workers int) (Transport, error) {
 type hub struct {
 	size    int
 	conns   []*wconn // index by rank; conns[0] is nil
+	opts    WireOptions
 	h       atomic.Value
 	started chan struct{}
 	stOnce  sync.Once
@@ -277,6 +378,9 @@ type hub struct {
 	doneOnce sync.Once
 
 	pending pendingSteals
+	pbStamp atomic.Int64 // best bound known; stamped on outgoing frames
+	pbSeen  atomic.Int64 // best bound delivered to the handler
+	ctr     wireCounters
 
 	gatherMu sync.Mutex
 	blobs    [][]byte
@@ -289,9 +393,12 @@ type hub struct {
 }
 
 var _ Transport = (*hub)(nil)
+var _ Meter = (*hub)(nil)
 
 func (h *hub) Rank() int { return 0 }
 func (h *hub) Size() int { return h.size }
+
+func (h *hub) Wire() WireStats { return h.ctr.snapshot() }
 
 func (h *hub) Start(hd Handler) {
 	h.h.Store(hd)
@@ -306,6 +413,20 @@ func (h *hub) handler() Handler {
 	return hd
 }
 
+// meldBound merges a learned bound into the hub's piggyback snapshot
+// and, when the local engine has not yet been told anything at least
+// as strong, delivers it. The delivery gate absorbs the repetition
+// piggybacking creates (every frame restates the sender's best) while
+// never filtering a peer's genuine improvement.
+func (h *hub) meldBound(from int, obj int64) {
+	raiseMax(&h.pbStamp, obj)
+	if raiseMax(&h.pbSeen, obj) {
+		if hd := h.handler(); hd != nil {
+			hd.OnBound(from, obj)
+		}
+	}
+}
+
 // serve routes one worker connection until it dies.
 func (h *hub) serve(rank int) {
 	cn := h.conns[rank]
@@ -315,15 +436,26 @@ func (h *hub) serve(rank int) {
 			h.workerDied(rank)
 			return
 		}
+		// Header batching first: the coalesced delta must hit the live
+		// count before any task in this frame is forwarded onward, and
+		// the piggybacked bound is merged before serving steals so
+		// replies never carry staler knowledge than their request.
+		if f.Delta != 0 {
+			h.AddTasks(f.Delta)
+			f.Delta = 0
+		}
+		if f.HasPB {
+			h.meldBound(f.From, f.PB)
+			f.HasPB = false
+		}
 		switch f.Kind {
 		case kSteal:
 			if f.To == 0 {
-				var wt WireTask
-				var ok bool
+				var tasks []WireTask
 				if hd := h.handler(); hd != nil {
-					wt, ok = hd.ServeSteal(f.From)
+					tasks = collectSteal(hd, f.From, f.Want)
 				}
-				cn.send(&frame{Kind: kStealR, From: 0, To: f.From, Seq: f.Seq, Task: wt, OK: ok})
+				cn.send(&frame{Kind: kStealR, From: 0, To: f.From, Seq: f.Seq, Tasks: tasks})
 				break
 			}
 			if !h.forward(f.To, &f) {
@@ -331,20 +463,23 @@ func (h *hub) serve(rank int) {
 			}
 		case kStealR:
 			if f.To == 0 {
-				if !h.pending.resolve(f.Seq, stealRes{task: f.Task, ok: f.OK}) && f.OK {
+				if !h.pending.resolve(f.Seq, stealRes{tasks: f.Tasks}) && len(f.Tasks) > 0 {
 					// The request timed out before this reply landed;
-					// the task is ours now — keep it as local work.
+					// the tasks are ours now — keep them as local work.
 					if hd := h.handler(); hd != nil {
-						hd.OnTask(f.Task)
+						for _, t := range f.Tasks {
+							hd.OnTask(t)
+						}
 					}
 				}
 				break
 			}
 			h.forward(f.To, &f)
 		case kBound:
-			if hd := h.handler(); hd != nil {
-				hd.OnBound(f.From, f.Obj)
-			}
+			// Relay unconditionally: a bound stale to the hub can
+			// still be news to a worker that has not heard it (the
+			// fan-out of a stronger bound excludes its origin).
+			h.meldBound(f.From, f.Obj)
 			h.fanOut(&f, rank)
 		case kCancel:
 			if hd := h.handler(); hd != nil {
@@ -352,7 +487,7 @@ func (h *hub) serve(rank int) {
 			}
 			h.fanOut(&f, rank)
 		case kDelta:
-			h.AddTasks(f.Delta)
+			// Nothing beyond the header delta already applied.
 		case kGather:
 			h.contribute(f.From, f.Blob)
 		}
@@ -410,13 +545,23 @@ func (h *hub) Steal(victim int) (WireTask, bool, error) {
 		return WireTask{}, false, fmt.Errorf("dist: steal from invalid rank %d", victim)
 	}
 	seq, ch := h.pending.register(victim)
-	if !h.forward(victim, &frame{Kind: kSteal, From: 0, To: victim, Seq: seq}) {
+	if !h.forward(victim, &frame{Kind: kSteal, From: 0, To: victim, Seq: seq, Want: h.opts.StealBatch}) {
 		h.pending.drop(seq)
 		return WireTask{}, false, nil
 	}
 	select {
 	case res := <-ch:
-		return res.task, res.ok, nil
+		if len(res.tasks) == 0 {
+			return WireTask{}, false, nil
+		}
+		h.ctr.stealReplies.Add(1)
+		h.ctr.stealTasks.Add(int64(len(res.tasks)))
+		if hd := h.handler(); hd != nil {
+			for _, t := range res.tasks[1:] {
+				hd.OnTask(t)
+			}
+		}
+		return res.tasks[0], true, nil
 	case <-time.After(stealTimeout):
 		h.pending.drop(seq)
 		return WireTask{}, false, nil
@@ -424,6 +569,7 @@ func (h *hub) Steal(victim int) (WireTask, bool, error) {
 }
 
 func (h *hub) BroadcastBound(obj int64) error {
+	raiseMax(&h.pbStamp, obj)
 	h.fanOut(&frame{Kind: kBound, From: 0, Obj: obj}, 0)
 	return nil
 }
@@ -480,10 +626,20 @@ func (h *hub) Close() error {
 	return nil
 }
 
-// Dial connects a worker to the coordinator, retrying while the
-// coordinator is not yet listening, and completes registration. The
-// returned transport's rank is assigned by the coordinator.
+// Dial connects a worker to the coordinator with default WireOptions,
+// retrying while the coordinator is not yet listening, and completes
+// registration. The returned transport's rank is assigned by the
+// coordinator.
 func Dial(addr, spec string) (Transport, error) {
+	return DialOpts(addr, spec, WireOptions{})
+}
+
+// DialOpts is Dial with explicit framing options. StealBatch is a
+// thief-side knob (each endpoint requests its own batch size), while
+// FlushQuantum paces this worker's delta flushes; deployments normally
+// use the same options everywhere but are not required to.
+func DialOpts(addr, spec string, opts WireOptions) (Transport, error) {
+	opts = opts.withDefaults()
 	var c net.Conn
 	var err error
 	deadline := time.Now().Add(dialTimeout)
@@ -497,8 +653,16 @@ func Dial(addr, spec string) (Transport, error) {
 		}
 		time.Sleep(100 * time.Millisecond)
 	}
-	cn := newWconn(c)
-	if err := cn.send(&frame{Kind: kHello, Blob: []byte(spec)}); err != nil {
+	w := &worker{
+		opts:      opts,
+		started:   make(chan struct{}),
+		done:      make(chan struct{}),
+		flushStop: make(chan struct{}),
+	}
+	w.pbStamp.Store(math.MinInt64)
+	w.pbSeen.Store(math.MinInt64)
+	cn := newWconn(c, &w.ctr)
+	if err := cn.send(&frame{Kind: kHello, Want: wireVersion, Blob: []byte(spec)}); err != nil {
 		cn.close()
 		return nil, fmt.Errorf("dist: registering with %s: %w", addr, err)
 	}
@@ -516,13 +680,12 @@ func Dial(addr, spec string) (Transport, error) {
 		cn.close()
 		return nil, fmt.Errorf("dist: unexpected registration reply kind %d", welcome.Kind)
 	}
-	return &worker{
-		cn:      cn,
-		rank:    welcome.To,
-		size:    int(welcome.Delta),
-		started: make(chan struct{}),
-		done:    make(chan struct{}),
-	}, nil
+	w.cn = cn
+	w.rank = welcome.To
+	w.size = welcome.Want
+	cn.pending = &w.delta
+	cn.pb = &w.pbStamp
+	return w, nil
 }
 
 // worker is a non-coordinator locality's endpoint: one connection to
@@ -531,6 +694,7 @@ type worker struct {
 	cn      *wconn
 	rank    int
 	size    int
+	opts    WireOptions
 	h       atomic.Value
 	started chan struct{}
 	stOnce  sync.Once
@@ -539,23 +703,76 @@ type worker struct {
 	doneOnce sync.Once
 
 	pending pendingSteals
-	closed  atomic.Bool
+	delta   atomic.Int64 // coalesced live-task delta, drained by sends
+	pbStamp atomic.Int64 // best bound known; stamped on outgoing frames
+	pbSeen  atomic.Int64 // best bound delivered to the handler
+	ctr     wireCounters
+
+	flushStop chan struct{}
+	flushOnce sync.Once
+	closed    atomic.Bool
 }
 
 var _ Transport = (*worker)(nil)
+var _ Meter = (*worker)(nil)
 
 func (w *worker) Rank() int { return w.rank }
 func (w *worker) Size() int { return w.size }
+
+func (w *worker) Wire() WireStats { return w.ctr.snapshot() }
 
 func (w *worker) Start(h Handler) {
 	w.h.Store(h)
 	w.stOnce.Do(func() { close(w.started) })
 	go w.readLoop()
+	go w.flushLoop()
 }
 
 func (w *worker) handler() Handler {
 	hd, _ := w.h.Load().(Handler)
 	return hd
+}
+
+// meldBound merges a learned bound (broadcast or piggyback) and
+// delivers it unless something at least as strong has already been
+// delivered. Own broadcasts raise only pbStamp, so a peer's weaker
+// but never-heard bound still reaches the handler.
+func (w *worker) meldBound(from int, obj int64) {
+	raiseMax(&w.pbStamp, obj)
+	if raiseMax(&w.pbSeen, obj) {
+		w.handler().OnBound(from, obj)
+	}
+}
+
+// stopFlush ends the delta flusher (idempotent).
+func (w *worker) stopFlush() {
+	w.flushOnce.Do(func() { close(w.flushStop) })
+}
+
+// flushLoop is the pool-quantum tick: whatever live-task delta has
+// accumulated since the last outgoing frame is flushed in one kDelta
+// frame. This is what turns one-frame-per-spawn into one flush per
+// quantum; sends of any other kind drain the accumulator for free.
+func (w *worker) flushLoop() {
+	t := time.NewTicker(w.opts.FlushQuantum)
+	defer t.Stop()
+	for {
+		select {
+		case <-w.flushStop:
+			return
+		case <-t.C:
+			// Swap, don't Load-then-send: a concurrent outgoing frame
+			// may drain the accumulator between the two, which would
+			// put an empty kDelta frame on the wire.
+			if d := w.delta.Swap(0); d != 0 {
+				if w.cn.send(&frame{Kind: kDelta, From: w.rank, Delta: d}) != nil {
+					// The connection is dead (the hub force-terminates);
+					// keep the value for Close's best-effort flush.
+					w.delta.Add(d)
+				}
+			}
+		}
+	}
 }
 
 func (w *worker) readLoop() {
@@ -565,21 +782,27 @@ func (w *worker) readLoop() {
 			// The hub is gone: no more work or termination signal can
 			// ever arrive, so release anyone waiting.
 			w.pending.failAll()
+			w.stopFlush()
 			w.doneOnce.Do(func() { close(w.done) })
 			return
 		}
+		if f.HasPB {
+			w.meldBound(f.From, f.PB)
+		}
 		switch f.Kind {
 		case kSteal:
-			wt, ok := w.handler().ServeSteal(f.From)
-			w.cn.send(&frame{Kind: kStealR, From: w.rank, To: f.From, Seq: f.Seq, Task: wt, OK: ok})
+			tasks := collectSteal(w.handler(), f.From, f.Want)
+			w.cn.send(&frame{Kind: kStealR, From: w.rank, To: f.From, Seq: f.Seq, Tasks: tasks})
 		case kStealR:
-			if !w.pending.resolve(f.Seq, stealRes{task: f.Task, ok: f.OK}) && f.OK {
-				// Late reply to a timed-out steal: the task left its
-				// victim and must not be lost — enqueue it locally.
-				w.handler().OnTask(f.Task)
+			if !w.pending.resolve(f.Seq, stealRes{tasks: f.Tasks}) && len(f.Tasks) > 0 {
+				// Late reply to a timed-out steal: the tasks left their
+				// victim and must not be lost — enqueue them locally.
+				for _, t := range f.Tasks {
+					w.handler().OnTask(t)
+				}
 			}
 		case kBound:
-			w.handler().OnBound(f.From, f.Obj)
+			w.meldBound(f.From, f.Obj)
 		case kCancel:
 			w.handler().OnCancel(f.From)
 		case kTerminate:
@@ -593,13 +816,21 @@ func (w *worker) Steal(victim int) (WireTask, bool, error) {
 		return WireTask{}, false, fmt.Errorf("dist: steal from invalid rank %d", victim)
 	}
 	seq, ch := w.pending.register(victim)
-	if err := w.cn.send(&frame{Kind: kSteal, From: w.rank, To: victim, Seq: seq}); err != nil {
+	if err := w.cn.send(&frame{Kind: kSteal, From: w.rank, To: victim, Seq: seq, Want: w.opts.StealBatch}); err != nil {
 		w.pending.drop(seq)
 		return WireTask{}, false, err
 	}
 	select {
 	case res := <-ch:
-		return res.task, res.ok, nil
+		if len(res.tasks) == 0 {
+			return WireTask{}, false, nil
+		}
+		w.ctr.stealReplies.Add(1)
+		w.ctr.stealTasks.Add(int64(len(res.tasks)))
+		for _, t := range res.tasks[1:] {
+			w.handler().OnTask(t)
+		}
+		return res.tasks[0], true, nil
 	case <-time.After(stealTimeout):
 		w.pending.drop(seq)
 		return WireTask{}, false, nil
@@ -607,6 +838,7 @@ func (w *worker) Steal(victim int) (WireTask, bool, error) {
 }
 
 func (w *worker) BroadcastBound(obj int64) error {
+	raiseMax(&w.pbStamp, obj)
 	return w.cn.send(&frame{Kind: kBound, From: w.rank, Obj: obj})
 }
 
@@ -614,8 +846,10 @@ func (w *worker) Cancel() error {
 	return w.cn.send(&frame{Kind: kCancel, From: w.rank})
 }
 
+// AddTasks coalesces: the delta joins the accumulator and rides out on
+// the next frame of any kind, or on the flusher's next quantum tick.
 func (w *worker) AddTasks(delta int64) {
-	w.cn.send(&frame{Kind: kDelta, From: w.rank, Delta: delta})
+	w.delta.Add(delta)
 }
 
 func (w *worker) Done() <-chan struct{} { return w.done }
@@ -629,6 +863,12 @@ func (w *worker) Gather(payload []byte) ([][]byte, error) {
 
 func (w *worker) Close() error {
 	if w.closed.CompareAndSwap(false, true) {
+		// Best-effort final delta flush, so a deployment that closes a
+		// worker cleanly does not strand termination on lost counts.
+		if d := w.delta.Swap(0); d != 0 {
+			w.cn.send(&frame{Kind: kDelta, From: w.rank, Delta: d})
+		}
+		w.stopFlush()
 		w.cn.close()
 	}
 	return nil

@@ -1,5 +1,7 @@
 package dist
 
+import "sync/atomic"
+
 // WireTask is a unit of work as it crosses a locality boundary: an
 // application search-tree node, its absolute depth, and a snapshot of
 // the sender's best known bound at hand-over time. The thief merges
@@ -36,12 +38,100 @@ type Handler interface {
 	OnCancel(from int)
 	// OnTask delivers a task that was stolen on this locality's
 	// behalf but could not be handed to the requesting worker — e.g.
-	// the steal reply arrived after the request timed out. The
-	// locality must enqueue it as local work: the task left its
-	// victim's pool and is still registered in the global live count,
-	// so dropping it would lose part of the search tree and hang
-	// termination.
+	// the steal reply arrived after the request timed out, or the
+	// reply carried a batch and this task is one of the extras beyond
+	// the requesting worker's single slot. The locality must enqueue
+	// it as local work: the task left its victim's pool and is still
+	// registered in the global live count, so dropping it would lose
+	// part of the search tree and hang termination.
 	OnTask(t WireTask)
+}
+
+// MultiStealer is an optional Handler extension for transports whose
+// steal replies carry batches. A handler that implements it decides
+// how many tasks (up to max, at least zero) one thief may take in a
+// single exchange — the engine uses a steal-half policy so a batching
+// thief cannot starve its victim. Handlers without it still work:
+// transports fall back to calling ServeSteal up to max times.
+type MultiStealer interface {
+	ServeStealMulti(thief, max int) []WireTask
+}
+
+// collectSteal gathers up to want tasks from a handler for one steal
+// reply, via the MultiStealer fast path when available.
+func collectSteal(hd Handler, thief, want int) []WireTask {
+	if hd == nil {
+		return nil
+	}
+	if want < 1 {
+		want = 1
+	}
+	if ms, ok := hd.(MultiStealer); ok && want > 1 {
+		return ms.ServeStealMulti(thief, want)
+	}
+	var ts []WireTask
+	for len(ts) < want {
+		t, ok := hd.ServeSteal(thief)
+		if !ok {
+			break
+		}
+		ts = append(ts, t)
+	}
+	return ts
+}
+
+// WireStats is a transport endpoint's traffic counters. Wire
+// transports count real frames and bytes; the loopback transport
+// counts logical messages (what a wire transport would have sent) with
+// payload bytes only, so single-process experiments can still report
+// protocol pressure.
+type WireStats struct {
+	FramesSent   int64
+	FramesRecv   int64
+	BytesSent    int64
+	BytesRecv    int64
+	StealTasks   int64 // tasks received in steal replies (batch occupancy numerator)
+	StealReplies int64 // non-empty steal replies received (batch occupancy denominator)
+}
+
+// Meter is implemented by transports that count their traffic.
+type Meter interface {
+	Wire() WireStats
+}
+
+// wireCounters is the shared atomic backing of a WireStats snapshot.
+type wireCounters struct {
+	framesSent   atomic.Int64
+	framesRecv   atomic.Int64
+	bytesSent    atomic.Int64
+	bytesRecv    atomic.Int64
+	stealTasks   atomic.Int64
+	stealReplies atomic.Int64
+}
+
+func (c *wireCounters) snapshot() WireStats {
+	return WireStats{
+		FramesSent:   c.framesSent.Load(),
+		FramesRecv:   c.framesRecv.Load(),
+		BytesSent:    c.bytesSent.Load(),
+		BytesRecv:    c.bytesRecv.Load(),
+		StealTasks:   c.stealTasks.Load(),
+		StealReplies: c.stealReplies.Load(),
+	}
+}
+
+// raiseMax monotonically raises a to at least v, reporting whether the
+// value increased (false for stale or duplicate deliveries).
+func raiseMax(a *atomic.Int64, v int64) bool {
+	for {
+		cur := a.Load()
+		if v <= cur {
+			return false
+		}
+		if a.CompareAndSwap(cur, v) {
+			return true
+		}
+	}
 }
 
 // Transport connects one locality to its peers. It is the pluggable
