@@ -246,6 +246,120 @@ func BenchmarkAblationBoundLatency(b *testing.B) {
 }
 
 // ------------------------------------------------------------------
+// Skeleton tax (Table 1, revisited per-node): the generic skeletons
+// vs the hand-coded bitset solver, with the two engine levers of the
+// allocation/scheduling overhaul isolated — generator recycling
+// (Config.NoRecycle ablation) and per-worker pool shards
+// (Config.PoolShards=1 reproduces the pre-sharding single shared pool
+// per locality). ns/node and allocs/node are reported per search-tree
+// node so instances of different sizes are comparable; see
+// BENCH_engine.json for recorded numbers.
+
+// measurePerNode runs one search per iteration, accumulating visited
+// nodes, and reports ns/node and allocs/node (heap Mallocs across all
+// workers, read after every goroutine has joined).
+func measurePerNode(b *testing.B, run func() int64) {
+	b.ReportAllocs()
+	var ms0, ms1 runtime.MemStats
+	var nodes int64
+	b.ResetTimer()
+	runtime.ReadMemStats(&ms0)
+	for i := 0; i < b.N; i++ {
+		nodes += run()
+	}
+	runtime.ReadMemStats(&ms1)
+	if nodes == 0 {
+		b.Fatal("search visited no nodes")
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(nodes), "ns/node")
+	b.ReportMetric(float64(ms1.Mallocs-ms0.Mallocs)/float64(nodes), "allocs/node")
+}
+
+func BenchmarkSkeletonTax(b *testing.B) {
+	g := table1Graph("p_hat300-3")
+	b.Run("seq/handcoded", func(b *testing.B) {
+		measurePerNode(b, func() int64 {
+			_, nodes := maxclique.SeqHandcoded(g)
+			return nodes
+		})
+	})
+	solve := func(cfg core.Config) func() int64 {
+		return func() int64 {
+			_, st := maxclique.Solve(g, core.Sequential, cfg)
+			return st.Nodes
+		}
+	}
+	b.Run("seq/skeleton", func(b *testing.B) {
+		measurePerNode(b, solve(core.Config{}))
+	})
+	b.Run("seq/skeleton-norecycle", func(b *testing.B) {
+		measurePerNode(b, solve(core.Config{NoRecycle: true}))
+	})
+
+	w := benchWorkers()
+	if w > 15 {
+		w = 15 // the paper's 15-worker single-locality setting
+	}
+	b.Run(fmt.Sprintf("par-%dw/handcoded", w), func(b *testing.B) {
+		measurePerNode(b, func() int64 {
+			_, nodes := maxclique.ParHandcoded(g, w)
+			return nodes
+		})
+	})
+	par := func(cfg core.Config) func() int64 {
+		return func() int64 {
+			_, st := maxclique.Solve(g, core.DepthBounded, cfg)
+			return st.Nodes
+		}
+	}
+	b.Run(fmt.Sprintf("par-%dw/skeleton", w), func(b *testing.B) {
+		measurePerNode(b, par(core.Config{Workers: w, DCutoff: 1}))
+	})
+	b.Run(fmt.Sprintf("par-%dw/skeleton-norecycle-sharedpool", w), func(b *testing.B) {
+		measurePerNode(b, par(core.Config{Workers: w, DCutoff: 1, NoRecycle: true, PoolShards: 1}))
+	})
+}
+
+// BenchmarkNodeThroughput measures multi-worker node throughput of the
+// pool-based engine under the two pool layouts: per-worker shards
+// (default) vs the single mutex-shared pool per locality
+// (PoolShards=1). Two workloads: maxclique depthbounded (coarse tasks,
+// pruning) and UTS budget (spawn-heavy enumeration, the pool
+// stress case). Worker counts beyond GOMAXPROCS are still run — an
+// oversubscribed engine must not collapse — but real contention relief
+// needs real cores.
+func BenchmarkNodeThroughput(b *testing.B) {
+	g := table1Graph("p_hat300-3")
+	utsS := &uts.Space{Shape: uts.Binomial, B0: 2000, M: 6, Q: 0.166, Seed: 401}
+	layouts := []struct {
+		name   string
+		shards int
+	}{{"sharded", 0}, {"shared-pool", 1}}
+	for _, w := range []int{1, 2, 4, 8, 16} {
+		for _, layout := range layouts {
+			b.Run(fmt.Sprintf("maxclique-depthbounded/%dw/%s", w, layout.name), func(b *testing.B) {
+				measurePerNode(b, func() int64 {
+					_, st := maxclique.Solve(g, core.DepthBounded,
+						core.Config{Workers: w, DCutoff: 2, PoolShards: layout.shards})
+					return st.Nodes
+				})
+			})
+		}
+	}
+	for _, w := range []int{1, 4, 16} {
+		for _, layout := range layouts {
+			b.Run(fmt.Sprintf("uts-budget/%dw/%s", w, layout.name), func(b *testing.B) {
+				measurePerNode(b, func() int64 {
+					_, st := uts.Count(utsS, core.Budget,
+						core.Config{Workers: w, Budget: 500, PoolShards: layout.shards})
+					return st.Nodes
+				})
+			})
+		}
+	}
+}
+
+// ------------------------------------------------------------------
 // Wire protocol v2 throughput: how fast do stolen tasks cross a
 // locality boundary, and at what protocol cost? The matrix covers the
 // three v2 levers — transport (loopback hand-over vs real TCP), codec

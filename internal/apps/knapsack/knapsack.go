@@ -57,11 +57,21 @@ type gen struct {
 	i      int
 }
 
+var _ core.ResettableGenerator[*Space, Node] = (*gen)(nil)
+
 // Gen is the core.GenFactory for knapsack.
 func Gen(s *Space, parent Node) core.NodeGenerator[Node] {
-	g := &gen{s: s, parent: parent, i: parent.Pos}
-	g.skip()
+	g := &gen{}
+	g.Reset(s, parent)
 	return g
+}
+
+// Reset implements core.ResettableGenerator; the generator is three
+// words of cursor state, so recycling it makes expansion allocation-
+// free.
+func (g *gen) Reset(s *Space, parent Node) {
+	g.s, g.parent, g.i = s, parent, parent.Pos
+	g.skip()
 }
 
 // skip advances i to the next item that fits.

@@ -61,29 +61,90 @@ func Root(s *Space) Node {
 	}
 }
 
-// gen is the Lazy Node Generator of Listing 1: the constructor colours
-// the parent's candidate set, and Next yields children in reverse
-// colour order (heuristically best first), each with a fresh candidate
-// set intersected with the new vertex's neighbourhood.
+// gen is the Lazy Node Generator of Listing 1: Reset colours the
+// parent's candidate set, and Next yields children in reverse colour
+// order (heuristically best first), each with a fresh candidate set
+// intersected with the new vertex's neighbourhood. The generator
+// implements core.ResettableGenerator: its colouring scratch (order,
+// colour, uncol, class) and the shrinking remaining set are reused
+// across every node expanded at one stack level — the hcState-style
+// per-depth scratch of handcoded.go, made available to the skeletons.
+// Children never alias the scratch: each Next copies into freshly
+// allocated clique/candidate sets, because child nodes outlive the
+// generator (they travel as tasks).
 type gen struct {
-	s         *Space
-	parent    *Node
-	order     []int32 // candidates in colour-class order
-	colour    []int32 // colour[i] = #colours among order[0..i]
-	remaining bitset.Set
-	k         int
+	s            *Space
+	parent       Node
+	order        []int32 // candidates in colour-class order
+	colour       []int32 // colour[i] = #colours among order[0..i]
+	remaining    bitset.Set
+	uncol, class bitset.Set // colouring scratch
+	k            int
+
+	// Ephemeral mode (ResetEphemeral): children are built in this
+	// single owned slab instead of a fresh MakePair per child — the
+	// hand-coded solver's zero-copy node discipline. Only the pure DFS
+	// loop requests it; see core.EphemeralGenerator.
+	ephemeral              bool
+	childClique, childCand bitset.Set
 }
+
+var _ core.EphemeralGenerator[*Space, Node] = (*gen)(nil)
 
 // Gen is the core.GenFactory for maximum clique.
 func Gen(s *Space, parent Node) core.NodeGenerator[Node] {
 	if parent.Cands.Empty() {
 		return core.EmptyGen[Node]{}
 	}
-	g := &gen{s: s, parent: &parent}
-	g.order, g.colour = GreedyColour(s.G, parent.Cands)
-	g.remaining = parent.Cands.Clone()
-	g.k = len(g.order)
+	g := &gen{}
+	g.Reset(s, parent)
 	return g
+}
+
+// Reset implements core.ResettableGenerator: re-aim the generator at a
+// new parent, recolouring into the existing scratch. Scratch is sized
+// to the space's vertex count and lazily (re)allocated if the space
+// changes — within one search it never does.
+func (g *gen) Reset(s *Space, parent Node) {
+	if g.s != s {
+		n := s.G.N
+		*g = gen{
+			s:      s,
+			order:  make([]int32, 0, n),
+			colour: make([]int32, 0, n),
+		}
+		g.remaining, g.uncol = bitset.MakePair(n)
+		g.class = bitset.New(n)
+	}
+	g.parent = parent
+	g.ephemeral = false
+	if parent.Cands.Empty() {
+		g.k = 0
+		return
+	}
+	g.order, g.colour = greedyColourInto(s.G, parent.Cands, g.order[:0], g.colour[:0], g.uncol, g.class)
+	g.remaining.CopyFrom(parent.Cands)
+	g.k = len(g.order)
+}
+
+// ResetEphemeral implements core.EphemeralGenerator: like Reset, but
+// every subsequent Next writes the child into the generator's owned
+// slab, so expansion allocates nothing at all. The slab stays valid
+// exactly as long as the DFS contract requires: until this generator's
+// next Next or Reset.
+func (g *gen) ResetEphemeral(s *Space, parent Node) {
+	g.Reset(s, parent)
+	if g.childClique.Cap() != s.G.N {
+		g.childClique, g.childCand = bitset.MakePair(s.G.N)
+	}
+	g.ephemeral = true
+}
+
+// CopyNode returns a deeply independent copy of n. It is the Copy hook
+// of the maxclique problems, invoked by the engine before retaining an
+// ephemeral node as incumbent or witness.
+func CopyNode(_ *Space, n Node) Node {
+	return Node{Clique: n.Clique.Clone(), Size: n.Size, Cands: n.Cands.Clone(), Bound: n.Bound}
 }
 
 func (g *gen) HasNext() bool { return g.k > 0 }
@@ -92,7 +153,12 @@ func (g *gen) Next() Node {
 	g.k--
 	v := int(g.order[g.k])
 	g.remaining.Remove(v)
-	clique, cands := bitset.MakePair(g.s.G.N)
+	var clique, cands bitset.Set
+	if g.ephemeral {
+		clique, cands = g.childClique, g.childCand
+	} else {
+		clique, cands = bitset.MakePair(g.s.G.N)
+	}
 	clique.CopyFrom(g.parent.Clique)
 	clique.Add(v)
 	cands.CopyFrom(g.remaining)
@@ -115,6 +181,14 @@ func GreedyColour(g *graph.Graph, p bitset.Set) (order, colour []int32) {
 	order = backing[:0:n]
 	colour = backing[n : n : 2*n]
 	uncoloured, class := bitset.MakePair(g.N)
+	return greedyColourInto(g, p, order, colour, uncoloured, class)
+}
+
+// greedyColourInto is GreedyColour appending into caller-provided
+// slices and colouring through caller-provided scratch sets (both
+// capacity g.N). It does not modify p. Recycled generators call it
+// with their per-level scratch, making recolouring allocation-free.
+func greedyColourInto(g *graph.Graph, p bitset.Set, order, colour []int32, uncoloured, class bitset.Set) ([]int32, []int32) {
 	uncoloured.CopyFrom(p)
 	c := int32(0)
 	for !uncoloured.Empty() {
@@ -154,6 +228,7 @@ func OptProblem() core.OptProblem[*Space, Node] {
 		Objective:  Objective,
 		Bound:      UpperBound,
 		PruneLevel: true,
+		Copy:       CopyNode,
 	}
 }
 
@@ -166,6 +241,7 @@ func DecisionProblem(k int) core.DecisionProblem[*Space, Node] {
 		Target:     int64(k),
 		Bound:      UpperBound,
 		PruneLevel: true,
+		Copy:       CopyNode,
 	}
 }
 

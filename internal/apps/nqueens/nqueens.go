@@ -40,18 +40,33 @@ type gen struct {
 	free   uint64 // candidate columns for the next row
 }
 
+var _ core.ResettableGenerator[*Space, Node] = (*gen)(nil)
+
 // Gen is the core.GenFactory for n-queens: children place a queen on
 // each safe column of the next row, left to right.
 func Gen(s *Space, parent Node) core.NodeGenerator[Node] {
 	if parent.Row >= s.N {
 		return core.EmptyGen[Node]{}
 	}
-	mask := uint64(1)<<uint(s.N) - 1
-	free := mask &^ (parent.Cols | parent.Diag1 | parent.Diag2)
-	if free == 0 {
+	g := &gen{}
+	g.Reset(s, parent)
+	if g.free == 0 {
 		return core.EmptyGen[Node]{}
 	}
-	return &gen{s: s, parent: parent, free: free}
+	return g
+}
+
+// Reset implements core.ResettableGenerator: recompute the free-column
+// mask for the new parent (zero when the board is full or no column is
+// safe, in which case HasNext reports false immediately).
+func (g *gen) Reset(s *Space, parent Node) {
+	g.s, g.parent = s, parent
+	if parent.Row >= s.N {
+		g.free = 0
+		return
+	}
+	mask := uint64(1)<<uint(s.N) - 1
+	g.free = mask &^ (parent.Cols | parent.Diag1 | parent.Diag2)
 }
 
 func (g *gen) HasNext() bool { return g.free != 0 }

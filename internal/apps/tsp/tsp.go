@@ -76,6 +76,8 @@ type gen struct {
 	i      int
 }
 
+var _ core.ResettableGenerator[*Space, Node] = (*gen)(nil)
+
 // Gen is the core.GenFactory for TSP: children extend the tour by each
 // unvisited city, nearest first. Extending to the final city closes
 // the tour.
@@ -83,9 +85,22 @@ func Gen(s *Space, parent Node) core.NodeGenerator[Node] {
 	if parent.Count == s.N {
 		return core.EmptyGen[Node]{}
 	}
-	g := &gen{s: s, parent: parent, order: s.nearOrder[parent.Last]}
-	g.skip()
+	g := &gen{}
+	g.Reset(s, parent)
 	return g
+}
+
+// Reset implements core.ResettableGenerator. The child order is a
+// shared precomputed slice on the space, so re-aiming costs no
+// allocation at all.
+func (g *gen) Reset(s *Space, parent Node) {
+	g.s, g.parent, g.i = s, parent, 0
+	if parent.Count == s.N {
+		g.order = nil // complete tour: no children
+		return
+	}
+	g.order = s.nearOrder[parent.Last]
+	g.skip()
 }
 
 func (g *gen) skip() {

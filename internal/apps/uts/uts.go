@@ -93,13 +93,25 @@ type gen struct {
 	i      int
 }
 
+var _ core.ResettableGenerator[*Space, Node] = (*gen)(nil)
+
 // Gen is the core.GenFactory for UTS.
 func Gen(s *Space, parent Node) core.NodeGenerator[Node] {
 	m := NumChildren(s, parent)
 	if m == 0 {
 		return core.EmptyGen[Node]{}
 	}
-	return &gen{s: s, parent: parent, m: m}
+	g := &gen{}
+	g.Reset(s, parent)
+	return g
+}
+
+// Reset implements core.ResettableGenerator: rederive the branching
+// factor from the new parent's hash and rewind the child cursor.
+func (g *gen) Reset(s *Space, parent Node) {
+	g.s, g.parent = s, parent
+	g.m = NumChildren(s, parent)
+	g.i = 0
 }
 
 func (g *gen) HasNext() bool { return g.i < g.m }

@@ -264,9 +264,9 @@ func Run(args []string, w io.Writer) error {
 	if o.ShowStats {
 		fmt.Fprintf(w, "skeleton=%s workers=%d localities=%d elapsed=%v\n",
 			coord, stats.Workers, o.Locs, time.Since(start).Round(time.Millisecond))
-		fmt.Fprintf(w, "nodes=%d prunes=%d spawns=%d steals=%d/%d backtracks=%d broadcasts=%d\n",
+		fmt.Fprintf(w, "nodes=%d prunes=%d spawns=%d steals=%d/%d local-steals=%d backtracks=%d broadcasts=%d\n",
 			stats.Nodes, stats.Prunes, stats.Spawns, stats.StealsOK,
-			stats.StealsOK+stats.StealsFail, stats.Backtracks, stats.Broadcasts)
+			stats.StealsOK+stats.StealsFail, stats.LocalSteals, stats.Backtracks, stats.Broadcasts)
 		if stats.Frames > 0 {
 			fmt.Fprintf(w, "wire: frames=%d bytes=%d batch=%.2f prefetch-hits=%d (%.0f%%)\n",
 				stats.Frames, stats.WireBytes, stats.BatchOccupancy(),

@@ -56,6 +56,7 @@ func runBestFirst[S, N any](space S, gf GenFactory[S, N], prio func(N) int64, cf
 	tr := newTracker()
 	tr.add(1)
 	pool.PushPrio(Task[N]{Node: root, Depth: 0}, prio(root))
+	caches := newGenCaches(space, gf, cfg)
 
 	runTask := func(w int, v visitor[N], sh *WorkerStats, t Task[N]) {
 		if trc := cfg.Trace; trc != nil {
@@ -69,8 +70,9 @@ func runBestFirst[S, N any](space S, gf GenFactory[S, N], prio func(N) int64, cf
 		if v.visit(t.Node) != descend {
 			return
 		}
+		gc := caches[w]
 		stack := make([]NodeGenerator[N], 0, 32)
-		stack = append(stack, gf(space, t.Node))
+		stack = append(stack, gc.gen(0, t.Node))
 		backtracks := int64(0)
 		for len(stack) > 0 {
 			if cancel.cancelled() {
@@ -102,7 +104,7 @@ func runBestFirst[S, N any](space S, gf GenFactory[S, N], prio func(N) int64, cf
 			child := g.Next()
 			switch v.visit(child) {
 			case descend:
-				stack = append(stack, gf(space, child))
+				stack = append(stack, gc.gen(len(stack), child))
 			case pruneLevel:
 				stack[len(stack)-1] = nil
 				stack = stack[:len(stack)-1]

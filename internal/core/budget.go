@@ -6,7 +6,10 @@ package core
 // bottom-most non-exhausted generator — the unexplored nodes at lowest
 // depth, i.e. closest to the root — is drained into the workpool in
 // traversal order and the counter resets. Long-running tasks thereby
-// periodically shed their largest pending subtrees.
+// periodically shed their largest pending subtrees. Generators come
+// from the worker's recycling cache, one per stack level; draining a
+// generator into the pool copies out node values only, so the
+// generator itself never escapes the worker.
 func runBudget[S, N any](e *engine[S, N], visitors []visitor[N], root N) {
 	budget := e.cfg.Budget
 	e.runPoolWorkers(root, visitors, func(w int, v visitor[N], sh *WorkerStats, t Task[N]) {
@@ -17,8 +20,9 @@ func runBudget[S, N any](e *engine[S, N], visitors []visitor[N], root N) {
 		if v.visit(t.Node) != descend {
 			return
 		}
+		gc := e.caches[w]
 		stack := make([]NodeGenerator[N], 0, 32)
-		stack = append(stack, e.gf(e.space, t.Node))
+		stack = append(stack, gc.gen(0, t.Node))
 		backtracks := int64(0)
 		for len(stack) > 0 {
 			if e.cancel.cancelled() {
@@ -48,7 +52,7 @@ func runBudget[S, N any](e *engine[S, N], visitors []visitor[N], root N) {
 			child := g.Next()
 			switch v.visit(child) {
 			case descend:
-				stack = append(stack, e.gf(e.space, child))
+				stack = append(stack, gc.gen(len(stack), child))
 			case pruneLevel:
 				stack[len(stack)-1] = nil
 				stack = stack[:len(stack)-1]

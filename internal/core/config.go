@@ -63,6 +63,19 @@ type Config struct {
 	StealAhead int
 	// Pool selects the workpool implementation.
 	Pool PoolKind
+	// PoolShards is the number of pool shards per locality. Default 0
+	// shards one pool per local worker: owners push and pop on their
+	// own uncontended shard, and an idle worker robs sibling shards
+	// shallowest-first before paying a transport steal. 1 recreates the
+	// single mutex-shared pool per locality (the pre-sharding design,
+	// kept as an ablation and oracle reference).
+	PoolShards int
+	// NoRecycle disables generator recycling: every expansion calls the
+	// GenFactory even for applications whose generators implement
+	// ResettableGenerator. Kept as an ablation for measuring the
+	// allocation component of the skeleton tax; the result of a search
+	// is identical either way.
+	NoRecycle bool
 	// Seed seeds victim selection for work stealing. Default 1.
 	Seed int64
 	// Trace, if non-nil, records every task execution for workload

@@ -3,9 +3,11 @@ package core
 // runDepthBounded is the Depth-Bounded coordination, implementing the
 // (spawn-depth) rule: every node at depth < d_cutoff has all its
 // children spawned as tasks, queued in traversal order on the worker's
-// locality pool; nodes at or below the cutoff are searched in place.
+// pool shard; nodes at or below the cutoff are searched in place.
 // Spawns happen as tasks execute rather than upfront, matching
-// Section 4.2.
+// Section 4.2. Both the spawn loop and the in-place expansion draw
+// generators from the worker's recycling cache (the task root expands
+// at stack level 0, exactly like expandBelow's root).
 func runDepthBounded[S, N any](e *engine[S, N], visitors []visitor[N], root N) {
 	e.runPoolWorkers(root, visitors, func(w int, v visitor[N], sh *WorkerStats, t Task[N]) {
 		defer e.finishTask(w)
@@ -15,14 +17,15 @@ func runDepthBounded[S, N any](e *engine[S, N], visitors []visitor[N], root N) {
 		if v.visit(t.Node) != descend {
 			return
 		}
+		gc := e.caches[w]
 		if t.Depth < e.cfg.DCutoff {
-			g := e.gf(e.space, t.Node)
+			g := gc.gen(0, t.Node)
 			for g.HasNext() {
 				child := g.Next()
 				e.spawnTask(w, sh, Task[N]{Node: child, Depth: t.Depth + 1})
 			}
 			return
 		}
-		expandBelow(e.space, e.gf, v, e.cancel, sh, t.Node)
+		expandBelow(gc, v, e.cancel, sh, t.Node)
 	})
 }

@@ -33,4 +33,29 @@
 // objective over the tree with sound-but-possibly-stale pruning, and
 // the spawn behaviour of each coordination implements one of the
 // (spawn-depth), (spawn-budget) and (spawn-stack) rules of Figure 2.
+//
+// # Scheduling and allocation hot path
+//
+// Each locality's workpool is sharded per worker (ShardedPool): a
+// worker pushes and pops tasks on its own uncontended DepthPool shard,
+// keeping the paper's heuristic order (deepest-first for owners, FIFO
+// within a depth) without a shared mutex on the spawn/pop hot path. An
+// idle worker escalates cheapest-first: rob a sibling shard within the
+// locality — shallowest task across shards, so intra-locality stealing
+// hands over the heuristically-next large subtree exactly like the
+// single shared pool did — then drain the locality's steal-ahead
+// buffer, and only then pay a Transport round trip to a random peer
+// locality. Transport steal handlers serve from the same sharded
+// aggregate, and Config.PoolShards=1 restores the pre-sharding single
+// shared pool for ablation and oracle testing.
+//
+// Node expansion is allocation-free for applications that opt in:
+// generators implementing ResettableGenerator are cached per worker
+// and per expansion-stack level and re-aimed with Reset instead of
+// reallocated, and EphemeralGenerator additionally lets the pure
+// depth-first loop reuse one child buffer per generator (problems then
+// supply Copy so the engine can retain incumbents/witnesses safely).
+// This is what closes most of the paper's Table 1 "skeleton tax"
+// against the hand-coded solver; BenchmarkSkeletonTax measures it and
+// BENCH_engine.json records it.
 package core

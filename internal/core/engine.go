@@ -19,6 +19,7 @@ type engine[S, N any] struct {
 	cancel  *canceller
 	fab     *fabric[N]
 	topo    *topology[N]
+	caches  []*genCache[S, N] // per-worker generator recycling caches
 }
 
 func newEngine[S, N any](space S, gf GenFactory[S, N], cfg Config, metrics *Metrics, cancel *canceller, fab *fabric[N]) *engine[S, N] {
@@ -30,6 +31,7 @@ func newEngine[S, N any](space S, gf GenFactory[S, N], cfg Config, metrics *Metr
 		cancel:  cancel,
 		fab:     fab,
 		topo:    newTopology(fab, cfg),
+		caches:  newGenCaches(space, gf, cfg),
 	}
 }
 

@@ -22,6 +22,141 @@ type NodeGenerator[N any] interface {
 // shared between tasks when subtrees are spawned.
 type GenFactory[S, N any] func(space S, parent N) NodeGenerator[N]
 
+// ResettableGenerator is the opt-in recycling contract: a generator
+// that can be re-aimed at a new parent, reusing its internal scratch
+// (child orders, candidate sets, colouring buffers) instead of being
+// reallocated. When a factory returns generators implementing this
+// interface, the sequential expansion loops keep one generator per
+// stack level per worker and Reset it for every node expanded at that
+// level — the dominant allocation in the skeleton hot path for
+// applications with per-node scratch.
+//
+// Reset must fully reinitialise the generator for the new parent,
+// including the childless case (HasNext must then report false): the
+// recycling loops call Reset directly, bypassing any leaf special-case
+// the factory has. Like the factory, Reset must not retain or mutate
+// the parent's node data, and children it later yields must not alias
+// the generator's own scratch. Applications that do not implement the
+// interface run exactly as before.
+type ResettableGenerator[S, N any] interface {
+	NodeGenerator[N]
+	Reset(space S, parent N)
+}
+
+// EphemeralGenerator extends ResettableGenerator for node types that
+// carry heap references (bitsets, slices): after ResetEphemeral, the
+// generator may yield children that share ONE internal child buffer,
+// overwritten by the next Next or Reset call — the hand-coded solvers'
+// "nodes are never copied" discipline, made available to the
+// skeletons.
+//
+// The engine requests ephemeral mode only from the pure depth-first
+// expansion loop (expandBelow), where a yielded child is either dead
+// (pruned) or is the current path node whose own generator is fully
+// explored before this generator advances. Engine code that retains a
+// node beyond that window — the incumbent, a decision witness — copies
+// it first through the problem's Copy hook, which applications
+// implementing this interface must provide. Spawn loops, which push
+// children into workpools, never use ephemeral mode.
+//
+// Value-type nodes (no heap references) get nothing from this
+// interface: copying the node value is already a deep copy, so such
+// applications should implement only Reset.
+type EphemeralGenerator[S, N any] interface {
+	ResettableGenerator[S, N]
+	ResetEphemeral(space S, parent N)
+}
+
+// cachedGen is one recycling-cache slot: the resettable generator plus
+// its ephemeral face when it has one (probed once, at construction).
+type cachedGen[S, N any] struct {
+	rg ResettableGenerator[S, N]
+	eg EphemeralGenerator[S, N] // nil when rg is not ephemeral-capable
+}
+
+// genCache is one worker's generator recycling cache: at most one
+// reusable generator per expansion-stack level. It is safe because the
+// expansion loops request a generator for level L only when no
+// generator is live at L (the stack has exactly L entries), and a
+// worker runs one task at a time. Not safe for concurrent use; each
+// worker owns its own cache.
+type genCache[S, N any] struct {
+	space   S
+	gf      GenFactory[S, N]
+	levels  []cachedGen[S, N]
+	disable bool
+}
+
+func newGenCache[S, N any](space S, gf GenFactory[S, N], cfg Config) *genCache[S, N] {
+	return &genCache[S, N]{space: space, gf: gf, disable: cfg.NoRecycle}
+}
+
+// newGenCaches builds one recycling cache per worker.
+func newGenCaches[S, N any](space S, gf GenFactory[S, N], cfg Config) []*genCache[S, N] {
+	caches := make([]*genCache[S, N], cfg.Workers)
+	for w := range caches {
+		caches[w] = newGenCache(space, gf, cfg)
+	}
+	return caches
+}
+
+// install probes and caches a freshly constructed generator at level.
+func (c *genCache[S, N]) install(level int, g NodeGenerator[N]) {
+	rg, ok := g.(ResettableGenerator[S, N])
+	if !ok {
+		return
+	}
+	for len(c.levels) <= level {
+		c.levels = append(c.levels, cachedGen[S, N]{})
+	}
+	eg, _ := g.(EphemeralGenerator[S, N])
+	c.levels[level] = cachedGen[S, N]{rg: rg, eg: eg}
+}
+
+// gen returns a generator for parent at the given stack level,
+// recycling the level's cached generator when the application supports
+// it and falling back to the factory otherwise. Children are always
+// safe to retain (task spawning uses this path).
+func (c *genCache[S, N]) gen(level int, parent N) NodeGenerator[N] {
+	if c.disable {
+		return c.gf(c.space, parent)
+	}
+	if level < len(c.levels) {
+		if rg := c.levels[level].rg; rg != nil {
+			rg.Reset(c.space, parent)
+			return rg
+		}
+	}
+	g := c.gf(c.space, parent)
+	c.install(level, g)
+	return g
+}
+
+// genDFS is gen for the pure depth-first loop: where the application
+// supports it, the generator is reset in ephemeral mode, making child
+// construction allocation-free (see EphemeralGenerator for the aliasing
+// contract the caller takes on).
+func (c *genCache[S, N]) genDFS(level int, parent N) NodeGenerator[N] {
+	if c.disable {
+		return c.gf(c.space, parent)
+	}
+	if level < len(c.levels) {
+		if l := c.levels[level]; l.eg != nil {
+			l.eg.ResetEphemeral(c.space, parent)
+			return l.eg
+		} else if l.rg != nil {
+			l.rg.Reset(c.space, parent)
+			return l.rg
+		}
+	}
+	g := c.gf(c.space, parent)
+	c.install(level, g)
+	// The factory-built generator for this first visit yields
+	// heap-owned children; ephemeral reuse starts on the next visit to
+	// this level.
+	return g
+}
+
 // SliceGen is a NodeGenerator over a pre-computed child slice, in slice
 // order. It is convenient for applications whose child lists are cheap
 // to build eagerly, and for tests.

@@ -12,7 +12,7 @@ type WorkerStats struct {
 	StealsFail   int64
 	Backtracks   int64
 	PrefetchHits int64
-	_            [1]int64 // pad to 64 bytes
+	LocalSteals  int64 // tasks robbed from sibling shards in the locality
 }
 
 // Metrics is a set of per-worker counter shards.

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 )
 
@@ -10,6 +12,7 @@ import (
 // paths whose costs set the minimum useful task granularity.
 
 func benchmarkPool(b *testing.B, p Pool[int]) {
+	b.ReportAllocs()
 	b.RunParallel(func(pb *testing.PB) {
 		i := 0
 		for pb.Next() {
@@ -22,7 +25,33 @@ func benchmarkPool(b *testing.B, p Pool[int]) {
 
 func BenchmarkDepthPoolPushPop(b *testing.B) { benchmarkPool(b, NewDepthPool[int]()) }
 func BenchmarkDequePushPop(b *testing.B)     { benchmarkPool(b, NewDeque[int]()) }
+
+// BenchmarkShardedPoolOwnerPushPop measures the uncontended owner hot
+// path of the sharded pool: every parallel worker hammers its own
+// shard, the way the engine's spawn/pop loop does.
+func BenchmarkShardedPoolOwnerPushPop(b *testing.B) {
+	b.ReportAllocs()
+	p := NewShardedPool[int](DepthPoolKind, runtime.GOMAXPROCS(0))
+	var next atomic.Int32
+	b.RunParallel(func(pb *testing.PB) {
+		shard := p.Shard(int(next.Add(1)-1) % p.Shards())
+		i := 0
+		for pb.Next() {
+			shard.Push(Task[int]{Node: i, Depth: i % 8})
+			shard.Pop()
+			i++
+		}
+	})
+}
+
+// BenchmarkSharedPoolPushPop is the ablation baseline: all workers
+// contending on one DepthPool, the pre-sharding design.
+func BenchmarkSharedPoolPushPop(b *testing.B) {
+	benchmarkPool(b, NewShardedPool[int](DepthPoolKind, 1))
+}
+
 func BenchmarkPrioPoolPushPop(b *testing.B) {
+	b.ReportAllocs()
 	p := NewPrioPool[int]()
 	b.RunParallel(func(pb *testing.PB) {
 		i := int64(0)
@@ -35,6 +64,7 @@ func BenchmarkPrioPoolPushPop(b *testing.B) {
 }
 
 func BenchmarkIncumbentLocalBest(b *testing.B) {
+	b.ReportAllocs()
 	in := newTestIncumbent[int](4, 0)
 	in.strengthen(0, 100, 1)
 	b.RunParallel(func(pb *testing.PB) {
@@ -47,6 +77,7 @@ func BenchmarkIncumbentLocalBest(b *testing.B) {
 }
 
 func BenchmarkIncumbentStrengthenContention(b *testing.B) {
+	b.ReportAllocs()
 	in := newTestIncumbent[int](4, 0)
 	var mu sync.Mutex
 	next := int64(0)
@@ -64,6 +95,7 @@ func BenchmarkIncumbentStrengthenContention(b *testing.B) {
 func BenchmarkSequentialEngineOverhead(b *testing.B) {
 	// Cost per node of the generic engine on a featherweight problem:
 	// upper-bounds the skeleton tax measured in Table 1.
+	b.ReportAllocs()
 	tree := genTree(1, 4, 9)
 	p := tree.enumProblem()
 	b.ResetTimer()

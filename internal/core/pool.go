@@ -1,6 +1,9 @@
 package core
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // Task is a unit of spawned work: an unvisited search-tree node and its
 // absolute depth. Depth orders the pool so that tasks near the root —
@@ -58,6 +61,13 @@ func (p *DepthPool[N]) Push(t Task[N]) {
 	p.mu.Unlock()
 }
 
+// bucketRetainCap bounds the capacity an emptied bucket may keep. A
+// deep search can briefly hold thousands of tasks at one depth; without
+// a cap the bucket retains that peak-size backing array for the rest of
+// the run. Small arrays stay warm for reuse, large ones go back to the
+// collector.
+const bucketRetainCap = 64
+
 // takeAt removes the FIFO-front task of bucket d.
 func (p *DepthPool[N]) takeAt(d int) Task[N] {
 	t := p.buckets[d][p.heads[d]]
@@ -65,7 +75,11 @@ func (p *DepthPool[N]) takeAt(d int) Task[N] {
 	p.buckets[d][p.heads[d]] = zero // release node for GC
 	p.heads[d]++
 	if p.heads[d] == len(p.buckets[d]) {
-		p.buckets[d] = p.buckets[d][:0]
+		if cap(p.buckets[d]) > bucketRetainCap {
+			p.buckets[d] = nil // release the peak-size backing array
+		} else {
+			p.buckets[d] = p.buckets[d][:0]
+		}
 		p.heads[d] = 0
 	}
 	p.size--
@@ -108,6 +122,22 @@ func (p *DepthPool[N]) Size() int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.size
+}
+
+// MinDepth reports the depth of the task Steal would currently return,
+// or -1 if the pool is empty. Sharded pools use it to pick the
+// shallowest victim shard.
+func (p *DepthPool[N]) MinDepth() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for d := p.min; d < len(p.buckets); d++ {
+		if p.heads[d] < len(p.buckets[d]) {
+			p.min = d
+			return d
+		}
+	}
+	p.min = len(p.buckets)
+	return -1
 }
 
 // Deque is a conventional work-stealing double-ended queue: owners pop
@@ -180,6 +210,17 @@ func (q *Deque[N]) Size() int {
 	return len(q.items) - q.head
 }
 
+// MinDepth reports 0 when the deque has work and -1 when empty: a deque
+// ignores depth, so all its work ranks equally shallow to a thief.
+func (q *Deque[N]) MinDepth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.head >= len(q.items) {
+		return -1
+	}
+	return 0
+}
+
 func newPool[N any](kind PoolKind) Pool[N] {
 	switch kind {
 	case DequeKind:
@@ -187,4 +228,112 @@ func newPool[N any](kind PoolKind) Pool[N] {
 	default:
 		return NewDepthPool[N]()
 	}
+}
+
+// depthRanked is implemented by pools that can report the depth of
+// their next stealable task without removing it.
+type depthRanked interface{ MinDepth() int }
+
+// ShardedPool splits one locality's workpool into per-worker shards so
+// that owner pushes and pops never contend on a shared mutex. It
+// implements Pool as the locality's transport-facing aggregate: a
+// remote thief's Steal takes the shallowest task across all shards
+// (preserving the depth-first/FIFO heuristic order the DepthPool
+// guarantees within a shard), and tasks arriving without an owning
+// worker — the root seed, adopted late steal replies, prefetch spills —
+// are spread round-robin. Owner-side traffic goes straight to
+// Shard(i); an idle owner robs its siblings with StealExcept before
+// paying a transport round trip.
+type ShardedPool[N any] struct {
+	shards []Pool[N]
+	next   atomic.Uint32 // round-robin cursor for unowned pushes
+}
+
+// NewShardedPool returns a pool of n shards of the given kind. n < 1 is
+// treated as 1 (the single shared pool of the pre-sharding design).
+func NewShardedPool[N any](kind PoolKind, n int) *ShardedPool[N] {
+	if n < 1 {
+		n = 1
+	}
+	p := &ShardedPool[N]{shards: make([]Pool[N], n)}
+	for i := range p.shards {
+		p.shards[i] = newPool[N](kind)
+	}
+	return p
+}
+
+// Shards returns the shard count.
+func (p *ShardedPool[N]) Shards() int { return len(p.shards) }
+
+// Shard returns shard i for uncontended owner push/pop.
+func (p *ShardedPool[N]) Shard(i int) Pool[N] { return p.shards[i] }
+
+// Push implements Pool: unowned tasks are spread round-robin across
+// shards. Owners push on their own shard via Shard instead.
+func (p *ShardedPool[N]) Push(t Task[N]) {
+	i := int(p.next.Add(1)-1) % len(p.shards)
+	p.shards[i].Push(t)
+}
+
+// Pop implements Pool: the first task found scanning shards in order.
+// The engine's owner path uses Shard(i).Pop directly; this aggregate
+// form exists for Pool-interface completeness (tests, tooling).
+func (p *ShardedPool[N]) Pop() (Task[N], bool) {
+	for _, s := range p.shards {
+		if t, ok := s.Pop(); ok {
+			return t, true
+		}
+	}
+	var zero Task[N]
+	return zero, false
+}
+
+// Steal implements Pool: the shallowest available task across all
+// shards, FIFO within a depth — what the single DepthPool's Steal
+// guaranteed, now approximated across shards (two shards at the same
+// minimum depth tie-break by shard index, and a concurrent owner pop
+// can invalidate the snapshot between ranking and stealing, in which
+// case the scan retries).
+func (p *ShardedPool[N]) Steal() (Task[N], bool) {
+	return p.StealExcept(-1)
+}
+
+// StealExcept is Steal skipping one shard: an idle owner robbing its
+// siblings passes its own (already empty) shard index.
+func (p *ShardedPool[N]) StealExcept(except int) (Task[N], bool) {
+	for {
+		best, bestDepth := -1, int(^uint(0)>>1)
+		for i, s := range p.shards {
+			if i == except {
+				continue
+			}
+			d := -1
+			if dr, ok := s.(depthRanked); ok {
+				d = dr.MinDepth()
+			} else if s.Size() > 0 {
+				d = 0
+			}
+			if d >= 0 && d < bestDepth {
+				best, bestDepth = i, d
+			}
+		}
+		if best < 0 {
+			var zero Task[N]
+			return zero, false
+		}
+		if t, ok := p.shards[best].Steal(); ok {
+			return t, true
+		}
+		// Lost a race with the shard's owner; every retry means someone
+		// else made progress, so the loop terminates.
+	}
+}
+
+// Size implements Pool: total backlog across shards.
+func (p *ShardedPool[N]) Size() int {
+	n := 0
+	for _, s := range p.shards {
+		n += s.Size()
+	}
+	return n
 }

@@ -31,6 +31,14 @@ type OptProblem[S, N any] struct {
 	// children to-the-right" property of Section 4.1). Setting it
 	// when the order property does not hold loses solutions.
 	PruneLevel bool
+	// Copy, if non-nil, returns a deeply independent copy of a node.
+	// Required when the application's generators implement
+	// EphemeralGenerator: the engine calls it before retaining a node
+	// beyond the current visit (strengthening the incumbent), since an
+	// ephemeral child's storage may be overwritten by the generator's
+	// next step. Retention is rare — a handful of incumbent
+	// improvements per search — so the copy cost is negligible.
+	Copy func(space S, n N) N
 }
 
 // DecisionProblem describes a decision search: find any node whose
@@ -49,19 +57,23 @@ type DecisionProblem[S, N any] struct {
 	// one failed bound check prune all later siblings (see
 	// OptProblem.PruneLevel).
 	PruneLevel bool
+	// Copy, if non-nil, deep-copies a node before the engine retains
+	// it as the decision witness (see OptProblem.Copy).
+	Copy func(space S, n N) N
 }
 
 // Stats reports work performed by a search.
 type Stats struct {
-	Nodes      int64 // search-tree nodes visited (processed)
-	Prunes     int64 // subtrees pruned by a bound check
-	Spawns     int64 // tasks created by a spawn rule
-	StealsOK   int64 // successful steals (pool or stack), local or remote
-	StealsFail int64 // steal attempts that found no work
-	Backtracks int64 // generator-stack pops
-	Broadcasts int64 // incumbent-bound broadcasts sent to peer localities
-	Workers    int   // workers used
-	Elapsed    time.Duration
+	Nodes       int64 // search-tree nodes visited (processed)
+	Prunes      int64 // subtrees pruned by a bound check
+	Spawns      int64 // tasks created by a spawn rule
+	StealsOK    int64 // successful steals (pool or stack), local or remote
+	StealsFail  int64 // steal attempts that found no work
+	LocalSteals int64 // tasks robbed from sibling pool shards (no transport)
+	Backtracks  int64 // generator-stack pops
+	Broadcasts  int64 // incumbent-bound broadcasts sent to peer localities
+	Workers     int   // workers used
+	Elapsed     time.Duration
 
 	// Wire-level counters, filled from the transport's Meter. For the
 	// TCP transport these are real frames and bytes on the wire; for
@@ -104,6 +116,7 @@ func (s *Stats) merge(o Stats) {
 	s.Spawns += o.Spawns
 	s.StealsOK += o.StealsOK
 	s.StealsFail += o.StealsFail
+	s.LocalSteals += o.LocalSteals
 	s.Backtracks += o.Backtracks
 	s.Broadcasts += o.Broadcasts
 	s.Workers += o.Workers
@@ -120,6 +133,7 @@ func (s *Stats) add(w WorkerStats) {
 	s.Spawns += w.Spawns
 	s.StealsOK += w.StealsOK
 	s.StealsFail += w.StealsFail
+	s.LocalSteals += w.LocalSteals
 	s.Backtracks += w.Backtracks
 	s.PrefetchHits += w.PrefetchHits
 }

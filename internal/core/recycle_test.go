@@ -1,0 +1,289 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// rtGen is a resettable generator over testTree, mirroring what the
+// real applications implement: cursor state re-aimed by Reset, with
+// shared counters so tests can observe how often the factory allocated
+// versus recycled.
+type rtGen struct {
+	t     *testTree
+	kids  []string
+	depth int
+	i     int
+}
+
+func (g *rtGen) Reset(t *testTree, parent testNode) {
+	g.t = t
+	g.kids = t.children[parent.id]
+	g.depth = parent.depth + 1
+	g.i = 0
+}
+
+func (g *rtGen) HasNext() bool { return g.i < len(g.kids) }
+
+func (g *rtGen) Next() testNode {
+	n := testNode{id: g.kids[g.i], depth: g.depth}
+	g.i++
+	return n
+}
+
+var _ ResettableGenerator[*testTree, testNode] = (*rtGen)(nil)
+
+// countingResettableGen returns a resettable GenFactory plus counters
+// for constructions (factory calls that allocated) and total factory
+// calls made by the engine paths that bypass the cache.
+func countingResettableGen() (GenFactory[*testTree, testNode], *atomic.Int64) {
+	var constructions atomic.Int64
+	gf := func(t *testTree, parent testNode) NodeGenerator[testNode] {
+		constructions.Add(1)
+		g := &rtGen{}
+		g.Reset(t, parent)
+		return g
+	}
+	return gf, &constructions
+}
+
+func (t *testTree) resettableEnumProblem(gf GenFactory[*testTree, testNode]) EnumProblem[*testTree, testNode, int64] {
+	p := t.enumProblem()
+	p.Gen = gf
+	return p
+}
+
+// TestGenCacheRecycles checks the cache contract directly: one
+// generator per level, Reset on reuse, factory fallback for fresh
+// levels and for NoRecycle.
+func TestGenCacheRecycles(t *testing.T) {
+	tree := genTree(3, 3, 6)
+	gf, constructions := countingResettableGen()
+	gc := newGenCache(tree, gf, Config{})
+
+	root := testNode{}
+	g0 := gc.gen(0, root)
+	if constructions.Load() != 1 {
+		t.Fatalf("first level-0 gen: %d constructions, want 1", constructions.Load())
+	}
+	g0again := gc.gen(0, root)
+	if constructions.Load() != 1 {
+		t.Fatalf("recycled level-0 gen still constructed: %d", constructions.Load())
+	}
+	if g0again != g0 {
+		t.Fatal("level-0 generator was not recycled")
+	}
+	if gc.gen(1, root) == g0 {
+		t.Fatal("level 1 must get its own generator")
+	}
+	if constructions.Load() != 2 {
+		t.Fatalf("level-1 gen: %d constructions, want 2", constructions.Load())
+	}
+
+	// NoRecycle: every request goes to the factory.
+	gfOff, consOff := countingResettableGen()
+	gcOff := newGenCache(tree, gfOff, Config{NoRecycle: true})
+	gcOff.gen(0, root)
+	gcOff.gen(0, root)
+	if consOff.Load() != 2 {
+		t.Fatalf("NoRecycle cache constructed %d generators, want 2", consOff.Load())
+	}
+}
+
+// TestGenCacheResetMatchesFresh drains a recycled generator against a
+// fresh one for every node of a random tree: the child streams must be
+// identical.
+func TestGenCacheResetMatchesFresh(t *testing.T) {
+	tree := genTree(7, 4, 7)
+	// Collect every node with fresh generators, then replay the whole
+	// set through ONE recycled generator — successive Resets at a
+	// single level, exactly the cache's reuse pattern.
+	var nodes []testNode
+	var walk func(n testNode)
+	walk = func(n testNode) {
+		nodes = append(nodes, n)
+		g := testGen(tree, n)
+		for g.HasNext() {
+			walk(g.Next())
+		}
+	}
+	walk(testNode{})
+
+	shared := &rtGen{}
+	for _, n := range nodes {
+		shared.Reset(tree, n)
+		fresh := testGen(tree, n)
+		for fresh.HasNext() {
+			if !shared.HasNext() {
+				t.Fatalf("node %q: recycled generator ran dry early", n.id)
+			}
+			got, want := shared.Next(), fresh.Next()
+			if got != want {
+				t.Fatalf("node %q: recycled child %v, fresh child %v", n.id, got, want)
+			}
+		}
+		if shared.HasNext() {
+			t.Fatalf("node %q: recycled generator has extra children", n.id)
+		}
+	}
+}
+
+// TestRecyclingSequentialAllocatesPerLevel runs a sequential
+// enumeration with a resettable factory and checks the factory was
+// called only O(depth) times, not O(nodes) — the allocation-free
+// expansion property.
+func TestRecyclingSequentialAllocatesPerLevel(t *testing.T) {
+	tree := genTree(11, 4, 9)
+	gf, constructions := countingResettableGen()
+	res := Enum(Sequential, tree, testNode{}, tree.resettableEnumProblem(gf), Config{})
+	if res.Value != tree.sum() {
+		t.Fatalf("recycled enum sum = %d, want %d", res.Value, tree.sum())
+	}
+	if res.Stats.Nodes != int64(tree.size) {
+		t.Fatalf("visited %d nodes, want %d", res.Stats.Nodes, tree.size)
+	}
+	// One construction per stack level ever reached (≤ maxDepth+1);
+	// far below one per node.
+	if c := constructions.Load(); c > 10 {
+		t.Fatalf("factory called %d times for a %d-node tree; recycling broken", c, tree.size)
+	}
+
+	// And the ablation really disables it: constructions scale with
+	// expanded nodes.
+	gfOff, consOff := countingResettableGen()
+	resOff := Enum(Sequential, tree, testNode{}, tree.resettableEnumProblem(gfOff), Config{NoRecycle: true})
+	if resOff.Value != tree.sum() {
+		t.Fatalf("NoRecycle enum sum = %d, want %d", resOff.Value, tree.sum())
+	}
+	if c := consOff.Load(); c <= 10 {
+		t.Fatalf("NoRecycle factory called only %d times; ablation not effective", c)
+	}
+}
+
+// ephNode carries a heap-referenced payload, so an ephemeral generator
+// that reuses its child buffer corrupts any retained node unless the
+// engine deep-copies at retention points — the regression this type
+// exists to catch.
+type ephNode struct {
+	id    []byte
+	depth int
+}
+
+type ephGen struct {
+	t     *testTree
+	kids  []string
+	depth int
+	i     int
+	buf   ephNode // ephemeral child slab
+	eph   bool
+}
+
+func (g *ephGen) Reset(t *testTree, parent ephNode) {
+	g.t = t
+	g.kids = t.children[string(parent.id)]
+	g.depth = parent.depth + 1
+	g.i = 0
+	g.eph = false
+}
+
+func (g *ephGen) ResetEphemeral(t *testTree, parent ephNode) {
+	g.Reset(t, parent)
+	g.eph = true
+}
+
+func (g *ephGen) HasNext() bool { return g.i < len(g.kids) }
+
+func (g *ephGen) Next() ephNode {
+	id := g.kids[g.i]
+	g.i++
+	if g.eph {
+		g.buf.id = append(g.buf.id[:0], id...)
+		g.buf.depth = g.depth
+		return g.buf
+	}
+	return ephNode{id: []byte(id), depth: g.depth}
+}
+
+var _ EphemeralGenerator[*testTree, ephNode] = (*ephGen)(nil)
+
+func (t *testTree) ephOptProblem() OptProblem[*testTree, ephNode] {
+	return OptProblem[*testTree, ephNode]{
+		Gen: func(t *testTree, parent ephNode) NodeGenerator[ephNode] {
+			g := &ephGen{}
+			g.Reset(t, parent)
+			return g
+		},
+		Objective: func(tt *testTree, n ephNode) int64 { return tt.value[string(n.id)] },
+		Copy: func(_ *testTree, n ephNode) ephNode {
+			return ephNode{id: append([]byte(nil), n.id...), depth: n.depth}
+		},
+	}
+}
+
+// TestEphemeralIncumbentIsCopied pins the retention contract: the
+// returned Best node must be the node whose objective was recorded,
+// not a later overwrite of the generator's child buffer — across every
+// optimisation coordination that reaches expandBelow's ephemeral path,
+// including ReplicableOpt's hand-built phase-2 visitors.
+func TestEphemeralIncumbentIsCopied(t *testing.T) {
+	tree := genTree(13, 4, 8)
+	p := tree.ephOptProblem()
+	want := tree.max()
+	check := func(name string, res OptResult[ephNode]) {
+		t.Helper()
+		if res.Objective != want {
+			t.Fatalf("%s objective = %d, want %d", name, res.Objective, want)
+		}
+		if got := tree.value[string(res.Best.id)]; got != res.Objective {
+			t.Fatalf("%s Best node %q has value %d, recorded objective %d (aliased ephemeral buffer?)",
+				name, res.Best.id, got, res.Objective)
+		}
+	}
+	check("seq", Opt(Sequential, tree, ephNode{}, p, Config{}))
+	check("depthbounded", Opt(DepthBounded, tree, ephNode{}, p, Config{Workers: 4, DCutoff: 2}))
+	check("replicable", ReplicableOpt(tree, ephNode{}, p, Config{Workers: 4, DCutoff: 2}))
+}
+
+// TestRecyclingAllCoordinations runs every parallel coordination with
+// resettable generators and multiple workers — under `go test -race`
+// this is the regression net for worker-confined generator reuse.
+func TestRecyclingAllCoordinations(t *testing.T) {
+	tree := genTree(5, 4, 8)
+	want := tree.sum()
+	cases := []struct {
+		name  string
+		coord Coordination
+		cfg   Config
+	}{
+		{"depthbounded", DepthBounded, Config{Workers: 4, DCutoff: 3}},
+		{"budget", Budget, Config{Workers: 4, Budget: 20}},
+		{"stacksteal", StackStealing, Config{Workers: 4}},
+		{"depthbounded-2loc", DepthBounded, Config{Workers: 4, Localities: 2, DCutoff: 3}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			gf, _ := countingResettableGen()
+			res := Enum(c.coord, tree, testNode{}, tree.resettableEnumProblem(gf), c.cfg)
+			if res.Value != want {
+				t.Fatalf("%s enum sum = %d, want %d", c.name, res.Value, want)
+			}
+			if res.Stats.Nodes != int64(tree.size) {
+				t.Fatalf("%s visited %d nodes, want %d", c.name, res.Stats.Nodes, tree.size)
+			}
+		})
+	}
+
+	// Optimisation with pruning and recycling, against the sequential
+	// oracle.
+	tree.sortChildrenByBound()
+	p := tree.optProblem(true)
+	gfOpt, _ := countingResettableGen()
+	p.Gen = gfOpt
+	seq := Opt(Sequential, tree, testNode{}, p, Config{})
+	for _, c := range cases {
+		par := Opt(c.coord, tree, testNode{}, p, c.cfg)
+		if par.Objective != seq.Objective {
+			t.Fatalf("%s optimum %d, sequential %d", c.name, par.Objective, seq.Objective)
+		}
+	}
+}

@@ -39,11 +39,11 @@ func ReplicableOpt[S, N any](space S, root N, p OptProblem[S, N], cfg Config) Op
 	// single-threaded B&B, so this phase is deterministic too.
 	inc := newLocalIncumbent[N]()
 	prefixVisitor := &optVisitor[S, N]{
-		space: space, obj: p.Objective, bound: p.Bound, level: p.PruneLevel,
-		inc: inc, loc: 0, shard: m.shard(0),
+		space: space, obj: p.Objective, bound: p.Bound, copyN: p.Copy,
+		level: p.PruneLevel, inc: inc, loc: 0, shard: m.shard(0),
 	}
 	var tasks []Task[N]
-	collectPrefix(space, p.Gen, prefixVisitor, m.shard(0), root, 0, cfg.DCutoff, &tasks)
+	collectPrefix(newGenCache(space, p.Gen, cfg), prefixVisitor, m.shard(0), root, 0, cfg.DCutoff, &tasks)
 
 	// Phase 2: parallel round with a frozen bound.
 	_, frozen, has := inc.result()
@@ -63,6 +63,7 @@ func ReplicableOpt[S, N any](space S, root N, p OptProblem[S, N], cfg Config) Op
 		go func(w int) {
 			defer wg.Done()
 			sh := m.shard(w)
+			gc := newGenCache(space, p.Gen, cfg)
 			// A private incumbent seeded with the frozen bound: being
 			// worker-local it cannot leak knowledge across tasks owned
 			// by other workers… but it could leak between tasks run by
@@ -80,12 +81,12 @@ func ReplicableOpt[S, N any](space S, root N, p OptProblem[S, N], cfg Config) Op
 				var zero N
 				priv.strengthen(0, frozen, zero)
 				v := &optVisitor[S, N]{
-					space: space, obj: p.Objective, bound: p.Bound, level: p.PruneLevel,
-					inc: priv, loc: 0, shard: sh,
+					space: space, obj: p.Objective, bound: p.Bound, copyN: p.Copy,
+					level: p.PruneLevel, inc: priv, loc: 0, shard: sh,
 				}
 				// The task root was already visited in phase 1; only
 				// its subtree remains.
-				expandBelow(space, p.Gen, v, cancel, sh, t.Node)
+				expandBelow(gc, v, cancel, sh, t.Node)
 				if n, obj, found := priv.result(); found && obj > frozen {
 					if !locals[w].found || obj > locals[w].obj {
 						locals[w] = localBest{node: n, obj: obj, found: true}
@@ -110,8 +111,10 @@ func ReplicableOpt[S, N any](space S, root N, p OptProblem[S, N], cfg Config) Op
 
 // collectPrefix searches the tree above the cutoff sequentially
 // (visiting and possibly pruning as usual) and appends the unvisited
-// subtree roots at the cutoff depth to tasks, in traversal order.
-func collectPrefix[S, N any](space S, gf GenFactory[S, N], v visitor[N], sh *WorkerStats, node N, depth, cutoff int, tasks *[]Task[N]) {
+// subtree roots at the cutoff depth to tasks, in traversal order. The
+// recursion depth doubles as the cache level, so each level of the
+// prefix reuses one generator.
+func collectPrefix[S, N any](gc *genCache[S, N], v visitor[N], sh *WorkerStats, node N, depth, cutoff int, tasks *[]Task[N]) {
 	if v.visit(node) != descend {
 		return
 	}
@@ -120,8 +123,8 @@ func collectPrefix[S, N any](space S, gf GenFactory[S, N], v visitor[N], sh *Wor
 		sh.Spawns++
 		return
 	}
-	g := gf(space, node)
+	g := gc.gen(depth, node)
 	for g.HasNext() {
-		collectPrefix(space, gf, v, sh, g.Next(), depth+1, cutoff, tasks)
+		collectPrefix(gc, v, sh, g.Next(), depth+1, cutoff, tasks)
 	}
 }

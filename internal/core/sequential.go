@@ -5,10 +5,12 @@ package core
 // visited root already (and received prune == false). A stack of lazy
 // node generators drives the traversal: advancing the top generator is
 // the (expand) rule, popping an exhausted generator is (backtrack), and
-// an empty stack is (terminate).
-func expandBelow[S, N any](space S, gf GenFactory[S, N], v visitor[N], cancel *canceller, sh *WorkerStats, root N) {
+// an empty stack is (terminate). Generators come from the worker's
+// recycling cache, one per stack level, so applications implementing
+// ResettableGenerator expand without per-node generator allocations.
+func expandBelow[S, N any](gc *genCache[S, N], v visitor[N], cancel *canceller, sh *WorkerStats, root N) {
 	stack := make([]NodeGenerator[N], 0, 32)
-	stack = append(stack, gf(space, root))
+	stack = append(stack, gc.genDFS(0, root))
 	for len(stack) > 0 {
 		if cancel.cancelled() {
 			return
@@ -23,7 +25,7 @@ func expandBelow[S, N any](space S, gf GenFactory[S, N], v visitor[N], cancel *c
 		child := g.Next()
 		switch v.visit(child) {
 		case descend:
-			stack = append(stack, gf(space, child))
+			stack = append(stack, gc.genDFS(len(stack), child))
 		case pruneLevel:
 			// Later siblings have no better bound: abandon the level.
 			stack[len(stack)-1] = nil
@@ -35,9 +37,9 @@ func expandBelow[S, N any](space S, gf GenFactory[S, N], v visitor[N], cancel *c
 
 // runSequential is the Sequential coordination: one worker, no spawn
 // rules.
-func runSequential[S, N any](space S, gf GenFactory[S, N], v visitor[N], cancel *canceller, sh *WorkerStats, root N) {
+func runSequential[S, N any](space S, gf GenFactory[S, N], cfg Config, v visitor[N], cancel *canceller, sh *WorkerStats, root N) {
 	if v.visit(root) != descend {
 		return
 	}
-	expandBelow(space, gf, v, cancel, sh, root)
+	expandBelow(newGenCache(space, gf, cfg), v, cancel, sh, root)
 }

@@ -1,0 +1,220 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestShardedPoolOwnerShardsAreIndependent(t *testing.T) {
+	p := NewShardedPool[int](DepthPoolKind, 2)
+	p.Shard(0).Push(Task[int]{Node: 10, Depth: 1})
+	p.Shard(1).Push(Task[int]{Node: 20, Depth: 5})
+	if task, ok := p.Shard(0).Pop(); !ok || task.Node != 10 {
+		t.Fatalf("shard 0 pop = %v/%v, want 10", task.Node, ok)
+	}
+	if task, ok := p.Shard(0).Pop(); ok {
+		t.Fatalf("shard 0 should be empty, got %v", task.Node)
+	}
+	if task, ok := p.Shard(1).Pop(); !ok || task.Node != 20 {
+		t.Fatalf("shard 1 pop = %v/%v, want 20", task.Node, ok)
+	}
+}
+
+func TestShardedPoolStealShallowestAcrossShards(t *testing.T) {
+	p := NewShardedPool[string](DepthPoolKind, 3)
+	p.Shard(0).Push(Task[string]{Node: "d4", Depth: 4})
+	p.Shard(1).Push(Task[string]{Node: "d1", Depth: 1})
+	p.Shard(1).Push(Task[string]{Node: "d7", Depth: 7})
+	p.Shard(2).Push(Task[string]{Node: "d2", Depth: 2})
+	// A transport thief must drain the locality shallowest-first
+	// regardless of which shard holds each depth.
+	want := []string{"d1", "d2", "d4", "d7"}
+	for i, w := range want {
+		task, ok := p.Steal()
+		if !ok || task.Node != w {
+			t.Fatalf("steal %d = %q/%v, want %q", i, task.Node, ok, w)
+		}
+	}
+	if _, ok := p.Steal(); ok {
+		t.Fatal("pool should be empty")
+	}
+}
+
+func TestShardedPoolStealExceptSkipsOwnShard(t *testing.T) {
+	p := NewShardedPool[string](DepthPoolKind, 2)
+	p.Shard(0).Push(Task[string]{Node: "mine", Depth: 0})
+	p.Shard(1).Push(Task[string]{Node: "sibling", Depth: 9})
+	task, ok := p.StealExcept(0)
+	if !ok || task.Node != "sibling" {
+		t.Fatalf("StealExcept(0) = %q/%v, want sibling (own shard skipped)", task.Node, ok)
+	}
+	if _, ok := p.StealExcept(0); ok {
+		t.Fatal("own shard must stay invisible to StealExcept")
+	}
+	if task, ok := p.Shard(0).Pop(); !ok || task.Node != "mine" {
+		t.Fatalf("own shard lost its task: %v/%v", task.Node, ok)
+	}
+}
+
+func TestShardedPoolRoundRobinPushAndSize(t *testing.T) {
+	p := NewShardedPool[int](DepthPoolKind, 3)
+	for i := 0; i < 9; i++ {
+		p.Push(Task[int]{Node: i, Depth: 0})
+	}
+	if p.Size() != 9 {
+		t.Fatalf("Size = %d, want 9", p.Size())
+	}
+	for i := 0; i < 3; i++ {
+		if n := p.Shard(i).Size(); n != 3 {
+			t.Fatalf("shard %d holds %d tasks, want 3 (round-robin)", i, n)
+		}
+	}
+}
+
+func TestShardedPoolSingleShardIsSharedPool(t *testing.T) {
+	// PoolShards=1 is the pre-sharding oracle: everything behaves like
+	// one DepthPool.
+	p := NewShardedPool[string](DepthPoolKind, 1)
+	p.Push(Task[string]{Node: "a", Depth: 2})
+	p.Push(Task[string]{Node: "b", Depth: 1})
+	if task, _ := p.Pop(); task.Node != "a" {
+		t.Fatalf("Pop = %q, want deepest-first a", task.Node)
+	}
+	if task, _ := p.Steal(); task.Node != "b" {
+		t.Fatalf("Steal = %q, want b", task.Node)
+	}
+}
+
+func TestShardedPoolConcurrent(t *testing.T) {
+	poolConcurrencyCheck(t, NewShardedPool[int](DepthPoolKind, 4))
+	poolConcurrencyCheck(t, NewShardedPool[int](DequeKind, 4))
+}
+
+func TestDepthPoolMinDepth(t *testing.T) {
+	p := NewDepthPool[int]()
+	if d := p.MinDepth(); d != -1 {
+		t.Fatalf("empty MinDepth = %d, want -1", d)
+	}
+	p.Push(Task[int]{Node: 1, Depth: 5})
+	p.Push(Task[int]{Node: 2, Depth: 3})
+	if d := p.MinDepth(); d != 3 {
+		t.Fatalf("MinDepth = %d, want 3", d)
+	}
+	p.Steal()
+	if d := p.MinDepth(); d != 5 {
+		t.Fatalf("MinDepth after steal = %d, want 5", d)
+	}
+	p.Pop()
+	if d := p.MinDepth(); d != -1 {
+		t.Fatalf("drained MinDepth = %d, want -1", d)
+	}
+}
+
+func TestDepthPoolReleasesLargeBuckets(t *testing.T) {
+	p := NewDepthPool[int]()
+	const n = 4 * bucketRetainCap
+	for i := 0; i < n; i++ {
+		p.Push(Task[int]{Node: i, Depth: 2})
+	}
+	for i := 0; i < n; i++ {
+		if _, ok := p.Pop(); !ok {
+			t.Fatalf("pop %d: pool ran dry", i)
+		}
+	}
+	if c := cap(p.buckets[2]); c != 0 {
+		t.Fatalf("emptied large bucket retains capacity %d, want released (0)", c)
+	}
+	// Small buckets stay warm for reuse.
+	for i := 0; i < 4; i++ {
+		p.Push(Task[int]{Node: i, Depth: 1})
+	}
+	for i := 0; i < 4; i++ {
+		p.Pop()
+	}
+	if c := cap(p.buckets[1]); c == 0 {
+		t.Fatal("small emptied bucket should keep its backing array")
+	}
+	// And a released bucket still works afterwards.
+	p.Push(Task[int]{Node: 99, Depth: 2})
+	if task, ok := p.Pop(); !ok || task.Node != 99 {
+		t.Fatalf("bucket unusable after release: %v/%v", task.Node, ok)
+	}
+}
+
+// TestIntraLocalityStealDeterministic drives the topology directly:
+// a worker with an empty shard must rob its sibling's shard
+// (shallowest-first) without touching the transport.
+func TestIntraLocalityStealDeterministic(t *testing.T) {
+	cfg := Config{Workers: 3, Localities: 1}.withDefaults()
+	fab := newLoopbackFabric[string](cfg)
+	defer fab.close()
+	tp := newTopology(fab, cfg)
+
+	tp.push(0, Task[string]{Node: "deep", Depth: 6})
+	tp.push(0, Task[string]{Node: "shallow", Depth: 1})
+	tp.push(1, Task[string]{Node: "mid", Depth: 3})
+
+	var sh WorkerStats
+	// Worker 2 owns an empty shard: it must steal the shallowest task
+	// across its siblings.
+	task, ok := tp.popOrSteal(2, &sh)
+	if !ok || task.Node != "shallow" {
+		t.Fatalf("worker 2 got %q/%v, want shallow", task.Node, ok)
+	}
+	if sh.LocalSteals != 1 {
+		t.Fatalf("LocalSteals = %d, want 1", sh.LocalSteals)
+	}
+	// Worker 0 still pops its own shard deepest-first, no steal
+	// recorded.
+	task, ok = tp.popOrSteal(0, &sh)
+	if !ok || task.Node != "deep" {
+		t.Fatalf("worker 0 got %q/%v, want deep", task.Node, ok)
+	}
+	if sh.LocalSteals != 1 {
+		t.Fatalf("own-shard pop counted as steal: %d", sh.LocalSteals)
+	}
+	// Worker 0, now empty, robs worker 1.
+	task, ok = tp.popOrSteal(0, &sh)
+	if !ok || task.Node != "mid" || sh.LocalSteals != 2 {
+		t.Fatalf("worker 0 sibling steal got %q/%v (LocalSteals=%d)", task.Node, ok, sh.LocalSteals)
+	}
+	// Everything drained: no transport peers, so popOrSteal reports
+	// empty.
+	if _, ok := tp.popOrSteal(1, &sh); ok {
+		t.Fatal("empty locality yielded a task")
+	}
+}
+
+// TestWorkerShardAssignment pins the worker → (locality, shard)
+// mapping: workers spread round-robin over localities, then over the
+// shards within each locality.
+func TestWorkerShardAssignment(t *testing.T) {
+	cfg := Config{Workers: 6, Localities: 2}.withDefaults()
+	fab := newLoopbackFabric[int](cfg)
+	defer fab.close()
+	tp := newTopology(fab, cfg)
+	if got := tp.pools[0].Shards(); got != 3 {
+		t.Fatalf("locality 0 has %d shards, want 3", got)
+	}
+	wantLoc := []int{0, 1, 0, 1, 0, 1}
+	wantShard := []int{0, 0, 1, 1, 2, 2}
+	for w := 0; w < cfg.Workers; w++ {
+		if tp.workerLoc[w] != wantLoc[w] || tp.workerShard[w] != wantShard[w] {
+			t.Fatalf("worker %d → (%d,%d), want (%d,%d)",
+				w, tp.workerLoc[w], tp.workerShard[w], wantLoc[w], wantShard[w])
+		}
+	}
+
+	// The ablation pins everyone to the single shared shard.
+	cfg1 := Config{Workers: 4, Localities: 1, PoolShards: 1}.withDefaults()
+	fab1 := newLoopbackFabric[int](cfg1)
+	defer fab1.close()
+	tp1 := newTopology(fab1, cfg1)
+	if tp1.pools[0].Shards() != 1 {
+		t.Fatalf("PoolShards=1 built %d shards", tp1.pools[0].Shards())
+	}
+	for w := 0; w < cfg1.Workers; w++ {
+		if tp1.workerShard[w] != 0 {
+			t.Fatalf("worker %d shard %d, want 0", w, tp1.workerShard[w])
+		}
+	}
+}

@@ -43,7 +43,7 @@ func dispatch[S, N any](coord Coordination, space S, gf GenFactory[S, N], cfg Co
 	switch coord {
 	case Sequential:
 		fab.start(cancel)
-		runSequential(space, gf, vs[0], cancel, m.shard(0), root)
+		runSequential(space, gf, cfg, vs[0], cancel, m.shard(0), root)
 	case DepthBounded:
 		e := newEngine(space, gf, cfg, m, cancel, fab)
 		fab.start(cancel)

@@ -32,6 +32,7 @@ type ssState[S, N any] struct {
 	ws       []*ssWorker[N]
 	visitors []visitor[N]
 	locOf    []int
+	caches   []*genCache[S, N] // per-worker generator recycling caches
 }
 
 // runStackStealing is the Stack-Stealing coordination of Listing 3,
@@ -53,6 +54,7 @@ func runStackStealing[S, N any](space S, gf GenFactory[S, N], cfg Config, metric
 		ws:       make([]*ssWorker[N], cfg.Workers),
 		visitors: visitors,
 		locOf:    make([]int, cfg.Workers),
+		caches:   newGenCaches(space, gf, cfg),
 	}
 	for i := range st.ws {
 		st.ws[i] = &ssWorker[N]{reqs: make(chan stealReq[N], cfg.Workers)}
@@ -207,8 +209,11 @@ func (st *ssState[S, N]) search(w int, me *ssWorker[N], v visitor[N], sh *Worker
 	if v.visit(t.Node) != descend {
 		return
 	}
+	// Generators are recycled per stack level; split() drains node
+	// values out of them, so handed-over work never aliases the cache.
+	gc := st.caches[w]
 	stack := make([]NodeGenerator[N], 0, 32)
-	stack = append(stack, st.gf(st.space, t.Node))
+	stack = append(stack, gc.gen(0, t.Node))
 	for len(stack) > 0 {
 		if st.cancel.cancelled() {
 			return
@@ -228,7 +233,7 @@ func (st *ssState[S, N]) search(w int, me *ssWorker[N], v visitor[N], sh *Worker
 		child := g.Next()
 		switch v.visit(child) {
 		case descend:
-			stack = append(stack, st.gf(st.space, child))
+			stack = append(stack, gc.gen(len(stack), child))
 		case pruneLevel:
 			stack[len(stack)-1] = nil
 			stack = stack[:len(stack)-1]

@@ -9,13 +9,18 @@ import (
 )
 
 // topology is the engine's view of the distributed machine: the
-// workpools of the localities hosted in this process, the worker →
-// locality assignment, and the steal plan over the global rank space.
-// Local work is popped straight off the locality's pool; only when it
-// is empty is a random peer tried through the locality's Transport —
-// mirroring the locality-aware victim selection of Section 4.3. In a
-// single-process run the peers are loopback localities (with optional
-// injected latency); in a distributed run they are other OS processes.
+// sharded workpools of the localities hosted in this process, the
+// worker → locality/shard assignment, and the steal plan over the
+// global rank space. Each worker owns one shard of its locality's
+// pool: pushes and pops touch only that uncontended shard. An idle
+// worker escalates through three rings, cheapest first — rob a sibling
+// shard within the locality (shallowest-first, preserving the
+// heuristic order a single shared pool gave), drain the locality's
+// steal-ahead buffer, and only then try a random peer locality through
+// the Transport — mirroring the locality-aware victim selection of
+// Section 4.3. In a single-process run the peers are loopback
+// localities (with optional injected latency); in a distributed run
+// they are other OS processes.
 //
 // When steals are expensive (a wire transport, or loopback with
 // injected latency), each locality additionally runs a steal-ahead
@@ -27,12 +32,13 @@ import (
 // out is re-homed by the transport via Handler.OnTask exactly like any
 // late steal reply, so prefetched work is never lost.
 type topology[N any] struct {
-	fab       *fabric[N]
-	pools     []Pool[N]
-	workerLoc []int
-	rngs      []*rand.Rand
-	victims   [][]int        // per in-process locality: global ranks to rob
-	ahead     []*aheadBuf[N] // per in-process locality; nil when disabled
+	fab         *fabric[N]
+	pools       []*ShardedPool[N]
+	workerLoc   []int
+	workerShard []int
+	rngs        []*rand.Rand
+	victims     [][]int        // per in-process locality: global ranks to rob
+	ahead       []*aheadBuf[N] // per in-process locality; nil when disabled
 }
 
 // aheadBuf is one locality's steal-ahead state. The single-inflight
@@ -46,11 +52,12 @@ type aheadBuf[N any] struct {
 func newTopology[N any](fab *fabric[N], cfg Config) *topology[N] {
 	nloc := len(fab.locs)
 	tp := &topology[N]{
-		fab:       fab,
-		pools:     make([]Pool[N], nloc),
-		workerLoc: make([]int, cfg.Workers),
-		rngs:      make([]*rand.Rand, cfg.Workers),
-		victims:   make([][]int, nloc),
+		fab:         fab,
+		pools:       make([]*ShardedPool[N], nloc),
+		workerLoc:   make([]int, cfg.Workers),
+		workerShard: make([]int, cfg.Workers),
+		rngs:        make([]*rand.Rand, cfg.Workers),
+		victims:     make([][]int, nloc),
 	}
 	depth := cfg.StealAhead
 	if depth == 0 && (fab.wire || cfg.StealLatency > 0) {
@@ -59,8 +66,18 @@ func newTopology[N any](fab *fabric[N], cfg Config) *topology[N] {
 	if depth > 0 && fab.size > 1 {
 		tp.ahead = make([]*aheadBuf[N], nloc)
 	}
+	// localWorkers[i] = workers hosted on in-process locality i (worker
+	// w lives on locality w % nloc); by default each gets its own shard.
+	localWorkers := make([]int, nloc)
+	for w := 0; w < cfg.Workers; w++ {
+		localWorkers[w%nloc]++
+	}
 	for i := range tp.pools {
-		tp.pools[i] = newPool[N](cfg.Pool)
+		shards := cfg.PoolShards
+		if shards <= 0 {
+			shards = localWorkers[i]
+		}
+		tp.pools[i] = NewShardedPool[N](cfg.Pool, shards)
 		fab.locs[i].pool = tp.pools[i]
 		for rank := 0; rank < fab.size; rank++ {
 			if rank != fab.locs[i].rank {
@@ -76,7 +93,9 @@ func newTopology[N any](fab *fabric[N], cfg Config) *topology[N] {
 		}
 	}
 	for w := 0; w < cfg.Workers; w++ {
-		tp.workerLoc[w] = w % nloc
+		loc := w % nloc
+		tp.workerLoc[w] = loc
+		tp.workerShard[w] = (w / nloc) % tp.pools[loc].Shards()
 		tp.rngs[w] = rand.New(rand.NewSource(cfg.Seed + int64(w)*7919))
 	}
 	return tp
@@ -85,16 +104,23 @@ func newTopology[N any](fab *fabric[N], cfg Config) *topology[N] {
 // locality returns the in-process locality a worker belongs to.
 func (tp *topology[N]) locality(w int) int { return tp.workerLoc[w] }
 
-// push enqueues a task on the worker's local pool.
-func (tp *topology[N]) push(w int, t Task[N]) { tp.pools[tp.workerLoc[w]].Push(t) }
+// push enqueues a task on the worker's own pool shard.
+func (tp *topology[N]) push(w int, t Task[N]) {
+	tp.pools[tp.workerLoc[w]].Shard(tp.workerShard[w]).Push(t)
+}
 
-// popOrSteal takes the next task for worker w: local pool first, then
-// the locality's steal-ahead buffer, then peer localities in random
-// order through the transport. Steal accounting is recorded in the
-// worker's shard.
+// popOrSteal takes the next task for worker w, cheapest source first:
+// the worker's own shard, then sibling shards within the locality
+// (shallowest-first, no transport involved), then the locality's
+// steal-ahead buffer, then peer localities in random order through the
+// transport. Steal accounting is recorded in the worker's stats shard.
 func (tp *topology[N]) popOrSteal(w int, sh *WorkerStats) (Task[N], bool) {
-	loc := tp.workerLoc[w]
-	if t, ok := tp.pools[loc].Pop(); ok {
+	loc, shard := tp.workerLoc[w], tp.workerShard[w]
+	if t, ok := tp.pools[loc].Shard(shard).Pop(); ok {
+		return t, true
+	}
+	if t, ok := tp.pools[loc].StealExcept(shard); ok {
+		sh.LocalSteals++
 		return t, true
 	}
 	if tp.ahead != nil {

@@ -70,6 +70,7 @@ type optVisitor[S, N any] struct {
 	space S
 	obj   func(S, N) int64
 	bound func(S, N) int64
+	copyN func(S, N) N // deep copy before retention (ephemeral nodes)
 	level bool
 	inc   *incumbent[N]
 	loc   int
@@ -78,11 +79,24 @@ type optVisitor[S, N any] struct {
 
 func (v *optVisitor[S, N]) visit(n N) pruneAction {
 	v.shard.Nodes++
+	// One atomic load of the locality bound per visit: after a
+	// strengthen the bound is at least o, so pruning against
+	// max(best, o) matches what a re-read would see in a sequential
+	// run, and in a parallel run is merely (soundly) at most one
+	// concurrent update staler.
+	best := v.inc.localBest(v.loc)
 	o := v.obj(v.space, n)
-	if o > v.inc.localBest(v.loc) {
-		v.inc.strengthen(v.loc, o, n)
+	if o > best {
+		// The incumbent outlives this visit: ephemeral nodes must be
+		// deep-copied before they are stored.
+		nn := n
+		if v.copyN != nil {
+			nn = v.copyN(v.space, n)
+		}
+		v.inc.strengthen(v.loc, o, nn)
+		best = o
 	}
-	if v.bound != nil && v.bound(v.space, n) <= v.inc.localBest(v.loc) {
+	if v.bound != nil && v.bound(v.space, n) <= best {
 		v.shard.Prunes++
 		if v.level {
 			return pruneLevel
@@ -96,8 +110,8 @@ func newOptVisitors[S, N any](space S, p OptProblem[S, N], inc *incumbent[N], m 
 	vs := make([]visitor[N], len(locOf))
 	for w := range vs {
 		vs[w] = &optVisitor[S, N]{
-			space: space, obj: p.Objective, bound: p.Bound, level: p.PruneLevel,
-			inc: inc, loc: locOf[w], shard: m.shard(w),
+			space: space, obj: p.Objective, bound: p.Bound, copyN: p.Copy,
+			level: p.PruneLevel, inc: inc, loc: locOf[w], shard: m.shard(w),
 		}
 	}
 	return vs
@@ -110,6 +124,7 @@ type decisionVisitor[S, N any] struct {
 	space  S
 	obj    func(S, N) int64
 	bound  func(S, N) int64
+	copyN  func(S, N) N // deep copy before retention (ephemeral nodes)
 	level  bool
 	target int64
 	wit    *witness[N]
@@ -143,7 +158,11 @@ func (v *decisionVisitor[S, N]) visit(n N) pruneAction {
 	v.shard.Nodes++
 	o := v.obj(v.space, n)
 	if o >= v.target {
-		v.wit.record(n, o)
+		nn := n
+		if v.copyN != nil {
+			nn = v.copyN(v.space, n)
+		}
+		v.wit.record(nn, o)
 		v.cancel.cancel()
 		return pruneChild
 	}
@@ -161,8 +180,9 @@ func newDecisionVisitors[S, N any](space S, p DecisionProblem[S, N], wit *witnes
 	vs := make([]visitor[N], workers)
 	for w := 0; w < workers; w++ {
 		vs[w] = &decisionVisitor[S, N]{
-			space: space, obj: p.Objective, bound: p.Bound, level: p.PruneLevel,
-			target: p.Target, wit: wit, cancel: cancel, shard: m.shard(w),
+			space: space, obj: p.Objective, bound: p.Bound, copyN: p.Copy,
+			level: p.PruneLevel, target: p.Target, wit: wit, cancel: cancel,
+			shard: m.shard(w),
 		}
 	}
 	return vs
