@@ -1,0 +1,187 @@
+// Command benchguard is the CI regression gate for the engine's
+// microbenchmarks: it reads `go test -bench` output on stdin, compares
+// every benchmark that has a recorded ns/op baseline in the checked-in
+// BENCH_*.json files, and exits non-zero when a benchmark regressed
+// beyond the slack factor (default 1.2: fail on >20% slower than the
+// recorded number, the benchstat-style gate for the pool push/pop hot
+// paths).
+//
+// Two kinds of baseline rows are honoured. Both are harvested only
+// from JSON arrays whose key contains "guard" ("guard_rows",
+// "guard_ratios"): the BENCH_*.json files also record contended-path
+// measurements that swing ±40% with host load, and a gate built on
+// those would cry wolf — the guard arrays are the curated, stable
+// subset.
+//
+//   - absolute rows: objects with "bench" and "ns_op" — the measured
+//     ns/op must stay within slack × the recorded value. Host-dependent,
+//     which the slack absorbs for same-class runners.
+//   - ratio rows: objects with "bench", "vs" and "max_ratio" — the
+//     measured ns/op of bench divided by that of vs must stay at or
+//     under max_ratio. Host-independent, so acceptance-criteria ratios
+//     (e.g. "sharded priority pool ≥3× faster than the retired heap")
+//     stay guarded on any machine.
+//
+// Usage:
+//
+//	go test -run xxx -bench PushPop -benchtime 200000x ./internal/core/ |
+//	    go run ./cmd/benchguard -baseline BENCH_engine.json,BENCH_ordered.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+var (
+	flagBaseline = flag.String("baseline", "BENCH_ordered.json", "comma-separated baseline JSON files")
+	flagSlack    = flag.Float64("slack", 1.2, "allowed factor over an absolute ns/op baseline")
+)
+
+// ratioRule guards bench/vs <= max.
+type ratioRule struct {
+	bench, vs string
+	max       float64
+}
+
+// harvest walks a decoded JSON value collecting absolute baselines and
+// ratio rules. Rows are enforced only when they sit under a key whose
+// name contains "guard" (the guarded flag), so recorded-but-volatile
+// measurements elsewhere in the documents stay informational.
+func harvest(v any, guarded bool, abs map[string]float64, ratios *[]ratioRule) {
+	switch x := v.(type) {
+	case map[string]any:
+		if name, ok := x["bench"].(string); ok && guarded {
+			if vs, ok := x["vs"].(string); ok {
+				if mr, ok := x["max_ratio"].(float64); ok {
+					*ratios = append(*ratios, ratioRule{bench: name, vs: vs, max: mr})
+				}
+			} else if ns, ok := x["ns_op"].(float64); ok {
+				abs[name] = ns
+			}
+		}
+		for key, val := range x {
+			harvest(val, guarded || strings.Contains(key, "guard"), abs, ratios)
+		}
+	case []any:
+		for _, val := range x {
+			harvest(val, guarded, abs, ratios)
+		}
+	}
+}
+
+// parseBench extracts (name, ns/op) from one `go test -bench` output
+// line, reporting ok=false for non-benchmark lines. The -N GOMAXPROCS
+// suffix is stripped so names match the recorded baselines.
+func parseBench(line string) (string, float64, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", 0, false
+	}
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	for i := 2; i+1 < len(fields); i++ {
+		if fields[i+1] == "ns/op" {
+			ns, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return "", 0, false
+			}
+			return name, ns, true
+		}
+	}
+	return "", 0, false
+}
+
+func main() {
+	flag.Parse()
+	abs := map[string]float64{}
+	var ratios []ratioRule
+	for _, path := range strings.Split(*flagBaseline, ",") {
+		path = strings.TrimSpace(path)
+		if path == "" {
+			continue
+		}
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+			os.Exit(2)
+		}
+		var doc any
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			fmt.Fprintf(os.Stderr, "benchguard: parsing %s: %v\n", path, err)
+			os.Exit(2)
+		}
+		harvest(doc, false, abs, &ratios)
+	}
+
+	measured := map[string]float64{}
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // pass the bench output through for the log
+		if name, ns, ok := parseBench(line); ok {
+			measured[name] = ns
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: reading stdin: %v\n", err)
+		os.Exit(2)
+	}
+	if len(measured) == 0 {
+		fmt.Fprintln(os.Stderr, "benchguard: no benchmark results on stdin")
+		os.Exit(2)
+	}
+
+	failures := 0
+	checked := 0
+	for name, ns := range measured {
+		base, ok := abs[name]
+		if !ok {
+			continue
+		}
+		checked++
+		limit := base * *flagSlack
+		verdict := "ok"
+		if ns > limit {
+			verdict = "REGRESSION"
+			failures++
+		}
+		fmt.Printf("benchguard: %-44s %10.2f ns/op  baseline %10.2f  limit %10.2f  %s\n",
+			name, ns, base, limit, verdict)
+	}
+	for _, r := range ratios {
+		b, okB := measured[r.bench]
+		v, okV := measured[r.vs]
+		if !okB || !okV {
+			fmt.Printf("benchguard: ratio %s / %s skipped (not both measured)\n", r.bench, r.vs)
+			continue
+		}
+		checked++
+		got := b / v
+		verdict := "ok"
+		if got > r.max {
+			verdict = "REGRESSION"
+			failures++
+		}
+		fmt.Printf("benchguard: %-44s ratio %6.3f  max %6.3f  %s\n",
+			r.bench+"/"+r.vs, got, r.max, verdict)
+	}
+	if checked == 0 {
+		fmt.Fprintln(os.Stderr, "benchguard: nothing to check (no measured benchmark has a baseline)")
+		os.Exit(2)
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "benchguard: %d regression(s)\n", failures)
+		os.Exit(1)
+	}
+	fmt.Printf("benchguard: %d check(s) passed\n", checked)
+}

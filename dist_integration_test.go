@@ -154,3 +154,17 @@ func TestDistributedMaxCliqueMatchesSingleProcess(t *testing.T) {
 func TestDistributedBudgetKnapsack(t *testing.T) {
 	testDistMatchesSingle(t, []string{"-app", "knapsack", "-items", "20", "-skeleton", "budget", "-b", "5000", "-workers", "2"})
 }
+
+// A -dist -order deployment is ordered end-to-end: the answer matches
+// the single-process one, and the coordinator's aggregated stats carry
+// the ordered-scheduling counters (priorities crossed the wire — a
+// deployment that dropped them would report an empty histogram).
+func TestDistributedOrderedMaxClique(t *testing.T) {
+	flags := []string{"-app", "maxclique", "-n", "80", "-p", "0.7", "-skeleton", "depthbounded",
+		"-d", "2", "-workers", "2", "-order", "bound"}
+	testDistMatchesSingle(t, flags)
+	out := runDeployment(t, yewparBinary(t), flags)
+	if !strings.Contains(out, "order=bound") || !strings.Contains(out, "prio-hist=") {
+		t.Fatalf("ordered stats missing from coordinator output:\n%s", out)
+	}
+}

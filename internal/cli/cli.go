@@ -37,6 +37,12 @@ type Options struct {
 	StealLat time.Duration
 	BoundLat time.Duration
 	Pool     string
+	Order    string
+	// order is Order parsed and validated by ParseArgs; everything
+	// downstream (Config, the stats printers) reads this, so a typo'd
+	// -order fails at parse time instead of silently degrading to an
+	// unordered run.
+	order core.Order
 
 	File string
 	Gen  string
@@ -78,6 +84,7 @@ func ParseArgs(args []string) (*Options, error) {
 	fs.DurationVar(&o.StealLat, "steal-latency", 0, "simulated remote-steal latency")
 	fs.DurationVar(&o.BoundLat, "bound-latency", 0, "simulated bound-broadcast latency")
 	fs.StringVar(&o.Pool, "pool", "depthpool", "workpool: depthpool|deque")
+	fs.StringVar(&o.Order, "order", "none", "task scheduling order: none|discrepancy|bound")
 	fs.StringVar(&o.File, "f", "", "DIMACS .clq input (clique apps; SIP target)")
 	fs.StringVar(&o.Gen, "gen", "", "named generated instance (clique apps)")
 	fs.IntVar(&o.N, "n", 120, "generator: size")
@@ -101,7 +108,25 @@ func ParseArgs(args []string) (*Options, error) {
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
+	ord, err := ParseOrder(o.Order)
+	if err != nil {
+		return nil, err
+	}
+	o.order = ord
 	return o, nil
+}
+
+// ParseOrder maps an -order flag value to a core.Order.
+func ParseOrder(s string) (core.Order, error) {
+	switch s {
+	case "", "none":
+		return core.OrderNone, nil
+	case "discrepancy", "disc":
+		return core.OrderDiscrepancy, nil
+	case "bound":
+		return core.OrderBound, nil
+	}
+	return 0, fmt.Errorf("unknown order %q (want none, discrepancy or bound)", s)
 }
 
 // ParseSkeleton maps a skeleton name to a Coordination.
@@ -133,6 +158,7 @@ func (o *Options) Config() core.Config {
 	if o.Pool == "deque" {
 		cfg.Pool = core.DequeKind
 	}
+	cfg.Order = o.order
 	return cfg
 }
 
@@ -267,6 +293,10 @@ func Run(args []string, w io.Writer) error {
 		fmt.Fprintf(w, "nodes=%d prunes=%d spawns=%d steals=%d/%d local-steals=%d backtracks=%d broadcasts=%d\n",
 			stats.Nodes, stats.Prunes, stats.Spawns, stats.StealsOK,
 			stats.StealsOK+stats.StealsFail, stats.LocalSteals, stats.Backtracks, stats.Broadcasts)
+		if o.order != core.OrderNone {
+			fmt.Fprintf(w, "order=%s ordered-steals=%d prio-hist=%v\n",
+				o.order, stats.OrderedSteals, stats.PrioHist)
+		}
 		if stats.Frames > 0 {
 			fmt.Fprintf(w, "wire: frames=%d bytes=%d batch=%.2f prefetch-hits=%d (%.0f%%)\n",
 				stats.Frames, stats.WireBytes, stats.BatchOccupancy(),

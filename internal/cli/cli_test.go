@@ -1,6 +1,7 @@
 package cli
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
 	"strings"
@@ -34,6 +35,46 @@ func TestParseSkeletonNames(t *testing.T) {
 	}
 	if _, err := ParseSkeleton("nonsense"); err == nil {
 		t.Error("bad skeleton accepted")
+	}
+}
+
+func TestParseOrderNames(t *testing.T) {
+	cases := map[string]core.Order{
+		"": core.OrderNone, "none": core.OrderNone,
+		"discrepancy": core.OrderDiscrepancy, "disc": core.OrderDiscrepancy,
+		"bound": core.OrderBound,
+	}
+	for name, want := range cases {
+		got, err := ParseOrder(name)
+		if err != nil || got != want {
+			t.Errorf("ParseOrder(%q) = %v/%v", name, got, err)
+		}
+	}
+	if _, err := ParseOrder("nonsense"); err == nil {
+		t.Error("bad order accepted")
+	}
+}
+
+// -order flows into the Config and an ordered run reports its stats.
+func TestRunOrderedMaxClique(t *testing.T) {
+	for _, ord := range []string{"discrepancy", "bound"} {
+		var buf bytes.Buffer
+		err := Run([]string{"-app", "maxclique", "-skeleton", "depthbounded",
+			"-workers", "2", "-localities", "2", "-n", "40", "-order", ord}, &buf)
+		if err != nil {
+			t.Fatalf("order %s: %v", ord, err)
+		}
+		out := buf.String()
+		if !strings.Contains(out, "maximum clique size:") {
+			t.Fatalf("order %s: no result in output:\n%s", ord, out)
+		}
+		if !strings.Contains(out, "order="+ord) || !strings.Contains(out, "prio-hist=") {
+			t.Fatalf("order %s: ordered stats missing from output:\n%s", ord, out)
+		}
+	}
+	var buf bytes.Buffer
+	if err := Run([]string{"-app", "maxclique", "-n", "30", "-order", "bogus"}, &buf); err == nil {
+		t.Fatal("bad -order accepted")
 	}
 }
 

@@ -29,8 +29,10 @@ import (
 // distSpec canonicalises the options that must agree across all
 // processes of a deployment.
 func (o *Options) distSpec() string {
-	return fmt.Sprintf("app=%s skel=%s d=%d b=%d f=%s gen=%s n=%d p=%g seed=%d kbound=%d items=%d cities=%d patn=%d uts=%d/%d/%g/%d/%s",
-		o.App, o.Skeleton, o.DCutoff, o.Budget, o.File, o.Gen, o.N, o.P, o.Seed,
+	// o.order, not the raw flag string: "disc" and "discrepancy" are the
+	// same configuration and must not fail the spec handshake.
+	return fmt.Sprintf("app=%s skel=%s order=%s d=%d b=%d f=%s gen=%s n=%d p=%g seed=%d kbound=%d items=%d cities=%d patn=%d uts=%d/%d/%g/%d/%s",
+		o.App, o.Skeleton, o.order, o.DCutoff, o.Budget, o.File, o.Gen, o.N, o.P, o.Seed,
 		o.KBound, o.Items, o.Cities, o.PatN, o.UTSB0, o.UTSM, o.UTSQ, o.UTSDepth, o.UTSShape)
 }
 
@@ -175,6 +177,10 @@ func RunDist(o *Options, w io.Writer) error {
 		fmt.Fprintf(w, "nodes=%d prunes=%d spawns=%d steals=%d/%d backtracks=%d broadcasts=%d\n",
 			stats.Nodes, stats.Prunes, stats.Spawns, stats.StealsOK,
 			stats.StealsOK+stats.StealsFail, stats.Backtracks, stats.Broadcasts)
+		if o.order != core.OrderNone {
+			fmt.Fprintf(w, "order=%s ordered-steals=%d prio-hist=%v\n",
+				o.order, stats.OrderedSteals, stats.PrioHist)
+		}
 		fmt.Fprintf(w, "wire: frames=%d bytes=%d batch=%.2f prefetch-hits=%d (%.0f%%)\n",
 			stats.Frames, stats.WireBytes, stats.BatchOccupancy(),
 			stats.PrefetchHits, 100*stats.PrefetchHitRate())

@@ -9,13 +9,20 @@ import (
 // This file implements the BestFirst extension coordination — not one
 // of the paper's four, but the worked instance of its extensibility
 // claim (Section 4: "new coordination methods may provide best-first
-// search or random task creation"). The coordination keeps a global
-// priority workpool ordered by a user-supplied task priority
-// (typically the optimisation bound). Workers repeatedly take the most
+// search or random task creation"). Workers repeatedly take the most
 // promising subtree and explore it depth-first for a backtrack budget,
 // shedding the lowest-depth leftovers back into the pool with fresh
 // priorities — a budget-style splitter married to best-first global
 // ordering.
+//
+// The pool is a per-worker-sharded PrioBucketPool: the user-supplied
+// priority (typically the optimisation bound) is mapped onto small
+// bucket indices as its distance from the root's bound, owners push
+// and pop their own shard without contention, and an idle worker robs
+// its siblings best-priority-first — the same layout the ordered
+// pool-based coordinations use, replacing the single global mutex+heap
+// this coordination was originally built on (5× slower per push/pop
+// and a scaling bottleneck with every worker on one lock).
 
 // BestFirstOpt runs an optimisation search with best-bound-first task
 // scheduling. The priority of a spawned subtree is p.Bound of its
@@ -47,16 +54,21 @@ func BestFirstOpt[S, N any](space S, root N, p OptProblem[S, N], cfg Config) Opt
 	return OptResult[N]{Best: node, Objective: obj, Found: has, Stats: stats}
 }
 
-// runBestFirst drives workers over a single global priority pool.
+// runBestFirst drives workers over a per-worker-sharded priority pool.
 // Tasks run depth-first for cfg.Budget backtracks; on exhaustion the
-// bottom-most generator is drained back into the pool, prioritised by
-// each subtree root's own bound.
+// bottom-most generator is drained back into the worker's shard,
+// prioritised by each subtree root's own bound (bucketed as distance
+// from the root bound: lower bucket = stronger bound = runs earlier).
 func runBestFirst[S, N any](space S, gf GenFactory[S, N], prio func(N) int64, cfg Config, m *Metrics, cancel *canceller, visitors []visitor[N], root N) {
-	pool := NewPrioPool[N]()
+	ref := prio(root)
+	taskPrio := func(n N) int32 { return clampPrio(ref - prio(n)) }
+	pool := NewShardedPool[N](PrioBucketKind, cfg.Workers)
+	pk := newParker(cfg.Workers)
 	tr := newTracker()
 	tr.add(1)
-	pool.PushPrio(Task[N]{Node: root, Depth: 0}, prio(root))
+	pool.Shard(0).Push(Task[N]{Node: root, Depth: 0, Prio: taskPrio(root)})
 	caches := newGenCaches(space, gf, cfg)
+	scratch := newWorkerScratch[N](cfg.Workers)
 
 	runTask := func(w int, v visitor[N], sh *WorkerStats, t Task[N]) {
 		if trc := cfg.Trace; trc != nil {
@@ -71,7 +83,9 @@ func runBestFirst[S, N any](space S, gf GenFactory[S, N], prio func(N) int64, cf
 			return
 		}
 		gc := caches[w]
-		stack := make([]NodeGenerator[N], 0, 32)
+		sc := scratch[w]
+		stack := sc.stack[:0]
+		defer func() { sc.stack = stack[:0] }()
 		stack = append(stack, gc.gen(0, t.Node))
 		backtracks := int64(0)
 		for len(stack) > 0 {
@@ -85,7 +99,10 @@ func runBestFirst[S, N any](space S, gf GenFactory[S, N], prio func(N) int64, cf
 							child := stack[i].Next()
 							tr.add(1)
 							sh.Spawns++
-							pool.PushPrio(Task[N]{Node: child, Depth: t.Depth + i + 1}, prio(child))
+							cp := taskPrio(child)
+							sh.notePrio(cp)
+							pool.Shard(w).Push(Task[N]{Node: child, Depth: t.Depth + i + 1, Prio: cp})
+							pk.wake()
 						}
 						break
 					}
@@ -121,12 +138,19 @@ func runBestFirst[S, N any](space S, gf GenFactory[S, N], prio func(N) int64, cf
 			defer wg.Done()
 			v := visitors[w]
 			sh := m.shard(w)
+			timer := newParkTimer()
+			defer timer.Stop()
 			idle := 0
 			for {
 				if cancel.cancelled() {
 					return
 				}
-				t, ok := pool.PopPrio()
+				t, ok := pool.Shard(w).Pop()
+				if !ok {
+					if t, ok = pool.StealExcept(w); ok {
+						sh.LocalSteals++
+					}
+				}
 				if ok {
 					idle = 0
 					runTask(w, v, sh, t)
@@ -140,11 +164,16 @@ func runBestFirst[S, N any](space S, gf GenFactory[S, N], prio func(N) int64, cf
 				default:
 				}
 				idle++
-				if idle > 64 {
-					time.Sleep(20 * time.Microsecond)
-				} else {
+				if idle <= 8 {
 					runtime.Gosched()
+					continue
 				}
+				backoff := idle - 9
+				if backoff > 5 {
+					backoff = 5
+				}
+				pk.park(timer, 20*time.Microsecond<<uint(backoff), tr.done, cancel.ch,
+					func() bool { return pool.Size() == 0 })
 			}
 		}(w)
 	}

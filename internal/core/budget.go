@@ -9,7 +9,10 @@ package core
 // periodically shed their largest pending subtrees. Generators come
 // from the worker's recycling cache, one per stack level; draining a
 // generator into the pool copies out node values only, so the
-// generator itself never escapes the worker.
+// generator itself never escapes the worker. The expansion stack (and
+// the per-level discrepancy/yield counters ordered scheduling needs to
+// stamp shed tasks with priorities) lives in the worker's reusable
+// scratch, so running a task allocates nothing.
 func runBudget[S, N any](e *engine[S, N], visitors []visitor[N], root N) {
 	budget := e.cfg.Budget
 	e.runPoolWorkers(root, visitors, func(w int, v visitor[N], sh *WorkerStats, t Task[N]) {
@@ -21,8 +24,16 @@ func runBudget[S, N any](e *engine[S, N], visitors []visitor[N], root N) {
 			return
 		}
 		gc := e.caches[w]
-		stack := make([]NodeGenerator[N], 0, 32)
+		sc := e.scratch[w]
+		stack := sc.stack[:0]
+		disc := sc.disc[:0]
+		yields := sc.yields[:0]
+		defer func() {
+			sc.stack, sc.disc, sc.yields = stack[:0], disc, yields
+		}()
 		stack = append(stack, gc.gen(0, t.Node))
+		disc = append(disc, t.Prio)
+		yields = append(yields, 0)
 		backtracks := int64(0)
 		for len(stack) > 0 {
 			if e.cancel.cancelled() {
@@ -33,7 +44,12 @@ func runBudget[S, N any](e *engine[S, N], visitors []visitor[N], root N) {
 					if stack[i].HasNext() {
 						for stack[i].HasNext() {
 							child := stack[i].Next()
-							e.spawnTask(w, sh, Task[N]{Node: child, Depth: t.Depth + i + 1})
+							e.spawnTask(w, sh, Task[N]{
+								Node:  child,
+								Depth: t.Depth + i + 1,
+								Prio:  e.prio.childPrio(disc[i], int(yields[i]), child),
+							})
+							yields[i]++
 						}
 						break
 					}
@@ -41,21 +57,30 @@ func runBudget[S, N any](e *engine[S, N], visitors []visitor[N], root N) {
 				backtracks = 0
 				continue
 			}
-			g := stack[len(stack)-1]
+			top := len(stack) - 1
+			g := stack[top]
 			if !g.HasNext() {
-				stack[len(stack)-1] = nil
-				stack = stack[:len(stack)-1]
+				stack[top] = nil
+				stack = stack[:top]
+				disc = disc[:top]
+				yields = yields[:top]
 				sh.Backtracks++
 				backtracks++
 				continue
 			}
 			child := g.Next()
+			childIdx := yields[top]
+			yields[top]++
 			switch v.visit(child) {
 			case descend:
 				stack = append(stack, gc.gen(len(stack), child))
+				disc = append(disc, discChild(disc[top], int(childIdx)))
+				yields = append(yields, 0)
 			case pruneLevel:
-				stack[len(stack)-1] = nil
-				stack = stack[:len(stack)-1]
+				stack[top] = nil
+				stack = stack[:top]
+				disc = disc[:top]
+				yields = yields[:top]
 				sh.Backtracks++
 				backtracks++
 			}

@@ -18,6 +18,11 @@ const (
 	// FIFO thief). It breaks heuristic order and exists as the
 	// ablation the paper argues against in Section 2.3.
 	DequeKind
+	// PrioBucketKind buckets tasks on Task.Prio (lower = better) and
+	// serves owners and thieves best-priority-first. Selected
+	// automatically when Config.Order is not OrderNone; pointless
+	// without an ordering mode (every priority would be zero).
+	PrioBucketKind
 )
 
 // Config tunes the parallel skeletons. The zero value selects sensible
@@ -61,8 +66,19 @@ type Config struct {
 	// zero-latency loopback, where a steal is a direct call). Negative
 	// disables prefetching entirely.
 	StealAhead int
-	// Pool selects the workpool implementation.
+	// Pool selects the workpool implementation. Ignored when Order is
+	// set: ordered scheduling requires the priority-bucketed pool.
 	Pool PoolKind
+	// Order selects the global task-scheduling order (see Order). The
+	// default, OrderNone, is the paper's depth-ordered scheduling with
+	// random-victim stealing. OrderDiscrepancy and OrderBound switch
+	// every pool-based coordination — including the distributed entry
+	// points — to priority-bucketed pools, best-priority-first steal
+	// service, and priority-aware victim selection, so globally
+	// promising subtrees are searched first everywhere. The search
+	// result is identical under any order; only which parts of the
+	// tree are visited (and therefore pruned) early changes.
+	Order Order
 	// PoolShards is the number of pool shards per locality. Default 0
 	// shards one pool per local worker: owners push and pop on their
 	// own uncontended shard, and an idle worker robs sibling shards
@@ -102,6 +118,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Seed == 0 {
 		c.Seed = 1
+	}
+	if c.Order != OrderNone {
+		c.Pool = PrioBucketKind
 	}
 	return c
 }

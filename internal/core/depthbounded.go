@@ -7,7 +7,10 @@ package core
 // Spawns happen as tasks execute rather than upfront, matching
 // Section 4.2. Both the spawn loop and the in-place expansion draw
 // generators from the worker's recycling cache (the task root expands
-// at stack level 0, exactly like expandBelow's root).
+// at stack level 0, exactly like expandBelow's root). Under an ordered
+// scheduling mode each spawned child carries its priority: its path
+// discrepancy (the parent task's, plus one for every non-leftmost
+// branch) or its bound distance, assigned by the engine's prioAssigner.
 func runDepthBounded[S, N any](e *engine[S, N], visitors []visitor[N], root N) {
 	e.runPoolWorkers(root, visitors, func(w int, v visitor[N], sh *WorkerStats, t Task[N]) {
 		defer e.finishTask(w)
@@ -20,9 +23,13 @@ func runDepthBounded[S, N any](e *engine[S, N], visitors []visitor[N], root N) {
 		gc := e.caches[w]
 		if t.Depth < e.cfg.DCutoff {
 			g := gc.gen(0, t.Node)
-			for g.HasNext() {
+			for i := 0; g.HasNext(); i++ {
 				child := g.Next()
-				e.spawnTask(w, sh, Task[N]{Node: child, Depth: t.Depth + 1})
+				e.spawnTask(w, sh, Task[N]{
+					Node:  child,
+					Depth: t.Depth + 1,
+					Prio:  e.prio.childPrio(t.Prio, i, child),
+				})
 			}
 			return
 		}

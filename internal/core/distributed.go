@@ -81,9 +81,13 @@ func distCoordination(coord Coordination) error {
 
 // runDistEngine runs the local share of a distributed pool-based
 // search: build the engine (installing the pool), start the transport,
-// and drive the workers to global termination or cancellation.
-func runDistEngine[S, N any](coord Coordination, space S, gf GenFactory[S, N], cfg Config, m *Metrics, cancel *canceller, vs []visitor[N], root N, fab *fabric[N]) {
-	e := newEngine(space, gf, cfg, m, cancel, fab)
+// and drive the workers to global termination or cancellation. prio
+// assigns task priorities for the ordered scheduling modes; because
+// every process constructs the problem identically, each computes the
+// same root-bound reference and the priorities agree across the
+// deployment without negotiation.
+func runDistEngine[S, N any](coord Coordination, space S, gf GenFactory[S, N], cfg Config, m *Metrics, cancel *canceller, vs []visitor[N], root N, fab *fabric[N], prio *prioAssigner[S, N]) {
+	e := newEngine(space, gf, cfg, m, cancel, fab, prio)
 	fab.start(cancel)
 	switch coord {
 	case DepthBounded:
@@ -120,8 +124,9 @@ func DistOpt[S, N any](tr dist.Transport, codec Codec[N], coord Coordination, sp
 	inc := newIncumbent[N](fab.trs)
 	fab.bounds = inc
 	vs := newOptVisitors(space, p, inc, m, make([]int, cfg.Workers))
+	prio := newPrioAssigner(cfg.Order, space, root, p.Bound)
 	start := time.Now()
-	runDistEngine(coord, space, p.Gen, cfg, m, cancel, vs, root, fab)
+	runDistEngine(coord, space, p.Gen, cfg, m, cancel, vs, root, fab, prio)
 	stats := m.total()
 	stats.Elapsed = time.Since(start)
 	stats.Broadcasts = inc.broadcasts()
@@ -169,8 +174,9 @@ func DistEnum[S, N, M any](tr dist.Transport, codec Codec[N], coord Coordination
 	m := newMetrics(cfg.Workers)
 	cancel := newCanceller()
 	vs := newEnumVisitors(space, p, m, cfg.Workers)
+	prio := newPrioAssigner[S, N](cfg.Order, space, root, nil)
 	start := time.Now()
-	runDistEngine(coord, space, p.Gen, cfg, m, cancel, vs, root, fab)
+	runDistEngine(coord, space, p.Gen, cfg, m, cancel, vs, root, fab, prio)
 	stats := m.total()
 	stats.Elapsed = time.Since(start)
 	fab.wireStats(&stats)
@@ -213,8 +219,9 @@ func DistDecide[S, N any](tr dist.Transport, codec Codec[N], coord Coordination,
 	cancel := newCanceller()
 	wit := &witness[N]{}
 	vs := newDecisionVisitors(space, p, wit, cancel, m, cfg.Workers)
+	prio := newPrioAssigner(cfg.Order, space, root, p.Bound)
 	start := time.Now()
-	runDistEngine(coord, space, p.Gen, cfg, m, cancel, vs, root, fab)
+	runDistEngine(coord, space, p.Gen, cfg, m, cancel, vs, root, fab, prio)
 	stats := m.total()
 	stats.Elapsed = time.Since(start)
 	fab.wireStats(&stats)

@@ -152,6 +152,64 @@ func TestDistDecideFindsWitness(t *testing.T) {
 	}
 }
 
+// Ordered distributed searches: every order returns the same optimum
+// through the full wire path (tasks serialise through the codec even
+// on the loopback network, so Task.Prio rides WireTask.Prio), and the
+// spawned-priority histogram accounts for every spawn across ranks.
+func TestDistOptOrderedMatchesUnordered(t *testing.T) {
+	p := toyOptProblem()
+	// Admissible bound: current sum plus every positive value still
+	// choosable. Needed for OrderBound to have a priority source.
+	p.Bound = func(s toySpace, n toyNode) int64 {
+		b := n.Sum
+		for _, v := range s.Vals[min(n.Pos, len(s.Vals)):] {
+			if v > 0 {
+				b += v
+			}
+		}
+		return b
+	}
+	want := SequentialOpt(toySpace12(), toyNode{}, p)
+	for _, coord := range []Coordination{DepthBounded, Budget} {
+		for _, ord := range []Order{OrderNone, OrderDiscrepancy, OrderBound} {
+			cfg := Config{Workers: 2, DCutoff: 2, Budget: 8, Order: ord}
+			net := dist.NewLoopback(3, dist.LoopbackOptions{})
+			trs := net.Transports()
+			space := toySpace12()
+			results := make([]OptResult[toyNode], 3)
+			errs := make([]error, 3)
+			var wg sync.WaitGroup
+			for r := 0; r < 3; r++ {
+				wg.Add(1)
+				go func(r int) {
+					defer wg.Done()
+					results[r], errs[r] = DistOpt(trs[r], GobCodec[toyNode]{}, coord, space, toyNode{}, p, cfg)
+				}(r)
+			}
+			wg.Wait()
+			net.Close()
+			for r, err := range errs {
+				if err != nil {
+					t.Fatalf("%v/%v rank %d: %v", coord, ord, r, err)
+				}
+			}
+			got := results[0]
+			if !got.Found || got.Objective != want.Objective {
+				t.Errorf("%v/%v: objective %d (found=%v), want %d", coord, ord, got.Objective, got.Found, want.Objective)
+			}
+			if ord != OrderNone && got.Stats.Spawns > 0 {
+				hist := int64(0)
+				for _, v := range got.Stats.PrioHist {
+					hist += v
+				}
+				if hist != got.Stats.Spawns {
+					t.Errorf("%v/%v: histogram covers %d of %d spawns", coord, ord, hist, got.Stats.Spawns)
+				}
+			}
+		}
+	}
+}
+
 func TestDistOptRejectsUnsupportedCoordination(t *testing.T) {
 	net := dist.NewLoopback(2, dist.LoopbackOptions{})
 	defer net.Close()

@@ -49,6 +49,38 @@
 // aggregate, and Config.PoolShards=1 restores the pre-sharding single
 // shared pool for ablation and oracle testing.
 //
+// # Search ordering
+//
+// Config.Order turns the pool-based coordinations into globally
+// ordered searches (the "Parallel Flowshop in YewPar" follow-up
+// direction): every task carries a small-int priority (Task.Prio,
+// lower = better) — its path discrepancy (one per non-leftmost branch
+// between the search root and the task, OrderDiscrepancy) or its
+// distance from the root's admissible bound (OrderBound) — and every
+// scheduling decision prefers the best priority available. Pools
+// switch to PrioBucketPool (a bucket array, not a heap: priorities are
+// small ints, so push/pop is O(1) and the sharded owner path is
+// uncontended), sibling robs and transport steal service go
+// best-priority-first, priorities ride stolen tasks across the wire
+// (dist.WireTask.Prio), and idle localities pick the steal victim
+// whose advertised best priority is strongest (dist.PrioAware
+// summaries) instead of a random peer. Strong incumbents arrive early,
+// pruning amplifies, and the parallel search visits measurably fewer
+// nodes — results are bit-identical under any order (the oracle tests
+// pin this), so -order is a pure performance knob. The BestFirst
+// coordination is the same machinery with the bound as its fixed
+// priority source, now on sharded bucket pools instead of its original
+// single global mutex+heap. Stats report OrderedSteals and a spawned
+// priority histogram; BENCH_ordered.json records the node-count and
+// pool-throughput wins.
+//
+// Idle workers do not spin: after a few failed probe rounds a worker
+// parks on its locality's parker and is woken by the next local push,
+// adopted steal reply, or prefetched task (with a growing timeout to
+// re-probe peers that cannot notify it), and a locality whose full
+// steal sweep finds every peer empty backs off exponentially before
+// sweeping again, so drain-down does not become a steal storm.
+//
 // Node expansion is allocation-free for applications that opt in:
 // generators implementing ResettableGenerator are cached per worker
 // and per expansion-stack level and re-aimed with Reset instead of

@@ -9,8 +9,9 @@ import (
 // engine bundles the runtime substrate shared by the pool-based
 // parallel coordinations (Depth-Bounded and Budget): the locality
 // fabric and its workpool topology, global task accounting for
-// termination detection, canceller for decision short-circuits, and
-// per-worker metrics.
+// termination detection, canceller for decision short-circuits,
+// per-worker metrics, and the priority assigner of the ordered
+// scheduling modes.
 type engine[S, N any] struct {
 	space   S
 	gf      GenFactory[S, N]
@@ -19,19 +20,45 @@ type engine[S, N any] struct {
 	cancel  *canceller
 	fab     *fabric[N]
 	topo    *topology[N]
-	caches  []*genCache[S, N] // per-worker generator recycling caches
+	caches  []*genCache[S, N]   // per-worker generator recycling caches
+	scratch []*workerScratch[N] // per-worker expansion-stack scratch
+	prio    *prioAssigner[S, N] // task priorities (Config.Order)
+	ordered bool
 }
 
-func newEngine[S, N any](space S, gf GenFactory[S, N], cfg Config, metrics *Metrics, cancel *canceller, fab *fabric[N]) *engine[S, N] {
+// workerScratch is one worker's reusable expansion state for the
+// stack-driven coordinations (Budget, BestFirst): the generator stack
+// plus the per-level discrepancy and yield counters that ordered
+// scheduling tracks. Reusing it removes the per-task stack allocation
+// the coordinations previously paid.
+type workerScratch[N any] struct {
+	stack  []NodeGenerator[N]
+	disc   []int32 // discrepancy of the node whose generator is stack[i]
+	yields []int32 // children yielded so far by stack[i]
+}
+
+// newWorkerScratch builds one scratch per worker.
+func newWorkerScratch[N any](workers int) []*workerScratch[N] {
+	sc := make([]*workerScratch[N], workers)
+	for i := range sc {
+		sc[i] = &workerScratch[N]{}
+	}
+	return sc
+}
+
+func newEngine[S, N any](space S, gf GenFactory[S, N], cfg Config, m *Metrics, cancel *canceller, fab *fabric[N], prio *prioAssigner[S, N]) *engine[S, N] {
 	return &engine[S, N]{
 		space:   space,
 		gf:      gf,
 		cfg:     cfg,
-		metrics: metrics,
+		metrics: m,
 		cancel:  cancel,
 		fab:     fab,
 		topo:    newTopology(fab, cfg),
 		caches:  newGenCaches(space, gf, cfg),
+		scratch: newWorkerScratch[N](cfg.Workers),
+		prio:    prio,
+		ordered: prio.enabled(),
 	}
 }
 
@@ -40,6 +67,9 @@ func newEngine[S, N any](space S, gf GenFactory[S, N], cfg Config, metrics *Metr
 func (e *engine[S, N]) spawnTask(w int, sh *WorkerStats, t Task[N]) {
 	e.fab.trs[e.topo.locality(w)].AddTasks(1)
 	sh.Spawns++
+	if e.ordered {
+		sh.notePrio(t.Prio)
+	}
 	e.topo.push(w, t)
 }
 
@@ -70,13 +100,17 @@ func (e *engine[S, N]) runPoolWorkers(root N, visitors []visitor[N], runTask fun
 	}
 	done := e.fab.trs[0].Done()
 
-	// Idle backoff: bound busy-wait cost while keeping steal response
-	// far below task granularity. Over a wire transport each failed
-	// steal round already costs network round trips, so idle probing
-	// backs off harder to spare the coordinator.
-	idleSleep := 20 * time.Microsecond
+	// Idle pacing: a worker that finds nothing yields a few rounds
+	// (steal response stays far below task granularity while work is
+	// flowing), then parks on its locality's parker with an
+	// exponentially growing timeout. Parked workers cost nothing; the
+	// next local push, adopted task, or prefetched steal wakes one, and
+	// the timeout re-probes remote peers that cannot notify us. Over a
+	// wire transport each failed steal round already costs network
+	// round trips, so parking starts longer to spare the coordinator.
+	parkBase := 20 * time.Microsecond
 	if e.fab.wire {
-		idleSleep = 500 * time.Microsecond
+		parkBase = 500 * time.Microsecond
 	}
 
 	var wg sync.WaitGroup
@@ -86,6 +120,11 @@ func (e *engine[S, N]) runPoolWorkers(root N, visitors []visitor[N], runTask fun
 			defer wg.Done()
 			v := visitors[w]
 			sh := e.metrics.shard(w)
+			loc := e.topo.locality(w)
+			pk := e.topo.parkers[loc]
+			stillIdle := func() bool { return e.topo.localBacklog(loc) == 0 }
+			timer := newParkTimer()
+			defer timer.Stop()
 			idle := 0
 			for {
 				if e.cancel.cancelled() {
@@ -105,11 +144,15 @@ func (e *engine[S, N]) runPoolWorkers(root N, visitors []visitor[N], runTask fun
 				default:
 				}
 				idle++
-				if idle > 64 {
-					time.Sleep(idleSleep)
-				} else {
+				if idle <= 8 {
 					runtime.Gosched()
+					continue
 				}
+				backoff := idle - 9
+				if backoff > 5 {
+					backoff = 5
+				}
+				pk.park(timer, parkBase<<uint(backoff), done, e.cancel.ch, stillIdle)
 			}
 		}(w)
 	}

@@ -19,7 +19,7 @@ func (v *trivialVisitor) visit(int) pruneAction {
 func newTestEngine(cfg Config, m *Metrics, cancel *canceller) (*engine[struct{}, int], *fabric[int]) {
 	gf := func(struct{}, int) NodeGenerator[int] { return EmptyGen[int]{} }
 	fab := newLoopbackFabric[int](cfg)
-	e := newEngine(struct{}{}, gf, cfg, m, cancel, fab)
+	e := newEngine(struct{}{}, gf, cfg, m, cancel, fab, newPrioAssigner[struct{}, int](cfg.Order, struct{}{}, 0, nil))
 	fab.start(cancel)
 	return e, fab
 }

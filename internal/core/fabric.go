@@ -113,10 +113,15 @@ type locState[N any] struct {
 	rank int // global rank
 	pool Pool[N]
 	fab  *fabric[N]
+	// wake, when set (by the engine's topology), releases a parked
+	// worker of this locality after work arrives from outside the
+	// worker loops — an adopted late steal reply or batch extra.
+	wake func()
 }
 
 var _ dist.Handler = (*locState[string])(nil)
 var _ dist.MultiStealer = (*locState[string])(nil)
+var _ dist.StealRanker = (*locState[string])(nil)
 
 // ServeSteal implements dist.Handler: hand the thief the shallowest
 // spare task, stamped with this locality's current bound so the thief
@@ -129,7 +134,7 @@ func (h *locState[N]) ServeSteal(thief int) (dist.WireTask, bool) {
 	if !ok {
 		return dist.WireTask{}, false
 	}
-	wt := dist.WireTask{Depth: t.Depth, Bound: math.MinInt64}
+	wt := dist.WireTask{Depth: t.Depth, Prio: int(t.Prio), Bound: math.MinInt64}
 	if b := h.fab.bounds; b != nil {
 		wt.Bound = b.localBest(h.idx)
 	}
@@ -182,7 +187,7 @@ func (h *locState[N]) ServeStealMulti(thief, max int) []dist.WireTask {
 	}
 	// Offsets, not subslices, while encoding: append growth may move
 	// the backing array, and payloads are sliced out only at the end.
-	type span struct{ start, end, depth int }
+	type span struct{ start, end, depth, prio int }
 	var backing []byte
 	var spans []span
 	for len(spans) < max {
@@ -195,7 +200,7 @@ func (h *locState[N]) ServeStealMulti(thief, max int) []dist.WireTask {
 			h.pool.Push(t)
 			break
 		}
-		spans = append(spans, span{start: len(backing), end: len(nb), depth: t.Depth})
+		spans = append(spans, span{start: len(backing), end: len(nb), depth: t.Depth, prio: int(t.Prio)})
 		backing = nb
 	}
 	out := make([]dist.WireTask, len(spans))
@@ -203,10 +208,32 @@ func (h *locState[N]) ServeStealMulti(thief, max int) []dist.WireTask {
 		out[i] = dist.WireTask{
 			Payload: backing[sp.start:sp.end:sp.end],
 			Depth:   sp.depth,
+			Prio:    sp.prio,
 			Bound:   bound,
 		}
 	}
 	return out
+}
+
+// BestStealPrio implements dist.StealRanker: the rank (priority under
+// ordered scheduling, depth otherwise) of the best task a thief would
+// get from this locality's pool. Transports piggyback it on outgoing
+// frames so peers can pick the most promising victim.
+func (h *locState[N]) BestStealPrio() (int, bool) {
+	if h.pool == nil {
+		return 0, false
+	}
+	if sr, ok := h.pool.(stealRanked); ok {
+		r := sr.StealRank()
+		if r < 0 {
+			return 0, false
+		}
+		return r, true
+	}
+	if h.pool.Size() > 0 {
+		return 0, true
+	}
+	return 0, false
 }
 
 // OnBound implements dist.Handler: merge a peer's bound into the local
@@ -238,11 +265,14 @@ func (h *locState[N]) OnTask(wt dist.WireTask) {
 	}
 	if wt.Local != nil {
 		h.pool.Push(wt.Local.(Task[N]))
-		return
+	} else {
+		n, err := h.fab.codec.Decode(wt.Payload)
+		if err != nil {
+			panic(fmt.Sprintf("core: decoding adopted task: %v", err))
+		}
+		h.pool.Push(Task[N]{Node: n, Depth: wt.Depth, Prio: int32(wt.Prio)})
 	}
-	n, err := h.fab.codec.Decode(wt.Payload)
-	if err != nil {
-		panic(fmt.Sprintf("core: decoding adopted task: %v", err))
+	if h.wake != nil {
+		h.wake()
 	}
-	h.pool.Push(Task[N]{Node: n, Depth: wt.Depth})
 }

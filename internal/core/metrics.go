@@ -5,14 +5,38 @@ package core
 // cache line to avoid false sharing, and are only read after all
 // workers have joined.
 type WorkerStats struct {
-	Nodes        int64
-	Prunes       int64
-	Spawns       int64
-	StealsOK     int64
-	StealsFail   int64
-	Backtracks   int64
-	PrefetchHits int64
-	LocalSteals  int64 // tasks robbed from sibling shards in the locality
+	Nodes         int64
+	Prunes        int64
+	Spawns        int64
+	StealsOK      int64
+	StealsFail    int64
+	Backtracks    int64
+	PrefetchHits  int64
+	LocalSteals   int64 // tasks robbed from sibling shards in the locality
+	OrderedSteals int64 // transport steals whose victim was picked by priority summary
+	// PrioHist counts spawned tasks by priority (ordered scheduling
+	// only): bucket i holds priority i, the last bucket everything at
+	// or beyond it.
+	PrioHist [prioHistBuckets]int64
+	// The counters above total 136 bytes; pad to the next 64-byte
+	// multiple so adjacent workers' shards never share a cache line
+	// (Nodes/Prunes are bumped once per visited node).
+	_ [56]byte
+}
+
+// prioHistBuckets is the spawned-priority histogram width.
+const prioHistBuckets = 8
+
+// notePrio records one spawned task's priority in the histogram.
+func (w *WorkerStats) notePrio(prio int32) {
+	i := int(prio)
+	if i >= prioHistBuckets {
+		i = prioHistBuckets - 1
+	}
+	if i < 0 {
+		i = 0
+	}
+	w.PrioHist[i]++
 }
 
 // Metrics is a set of per-worker counter shards.

@@ -50,9 +50,49 @@ func BenchmarkSharedPoolPushPop(b *testing.B) {
 	benchmarkPool(b, NewShardedPool[int](DepthPoolKind, 1))
 }
 
+// BenchmarkPrioPoolPushPop measures the ordered-scheduling hot path:
+// every parallel worker hammers its own PrioBucketPool shard, the way
+// the ordered engine's spawn/pop loop does. Compare against
+// BenchmarkPrioHeapPushPop (the retired global mutex+heap) and
+// BenchmarkSharedPrioPoolPushPop (one shared bucket pool) for the
+// sharding and bucketing components.
 func BenchmarkPrioPoolPushPop(b *testing.B) {
 	b.ReportAllocs()
-	p := NewPrioPool[int]()
+	p := NewShardedPool[int](PrioBucketKind, runtime.GOMAXPROCS(0))
+	var next atomic.Int32
+	b.RunParallel(func(pb *testing.PB) {
+		shard := p.Shard(int(next.Add(1)-1) % p.Shards())
+		i := int32(0)
+		for pb.Next() {
+			shard.Push(Task[int]{Node: int(i), Prio: i % 16})
+			shard.Pop()
+			i++
+		}
+	})
+}
+
+// BenchmarkSharedPrioPoolPushPop is the unsharded ablation: all
+// workers contending on one PrioBucketPool.
+func BenchmarkSharedPrioPoolPushPop(b *testing.B) {
+	b.ReportAllocs()
+	p := NewPrioBucketPool[int]()
+	b.RunParallel(func(pb *testing.PB) {
+		i := int32(0)
+		for pb.Next() {
+			p.Push(Task[int]{Node: int(i), Prio: i % 16})
+			p.Pop()
+			i++
+		}
+	})
+}
+
+// BenchmarkPrioHeapPushPop is the retired design: the single global
+// mutex+heap PrioPool that backed BestFirst before the bucketed
+// sharded pool replaced it (the 252 ns/op baseline in
+// BENCH_engine.json).
+func BenchmarkPrioHeapPushPop(b *testing.B) {
+	b.ReportAllocs()
+	p := &heapPrioPool[int]{}
 	b.RunParallel(func(pb *testing.PB) {
 		i := int64(0)
 		for pb.Next() {

@@ -5,12 +5,18 @@ import (
 	"sync/atomic"
 )
 
-// Task is a unit of spawned work: an unvisited search-tree node and its
-// absolute depth. Depth orders the pool so that tasks near the root —
-// heuristically the largest subtrees — are scheduled first.
+// Task is a unit of spawned work: an unvisited search-tree node, its
+// absolute depth, and its scheduling priority. Depth orders the default
+// pool so that tasks near the root — heuristically the largest
+// subtrees — are scheduled first. Prio (lower = better; see Order) is
+// assigned under an ordered scheduling mode — the task's path
+// discrepancy, or its distance from the root bound — and is what the
+// priority pools bucket on; it is zero, and ignored, when ordering is
+// off.
 type Task[N any] struct {
 	Node  N
 	Depth int
+	Prio  int32
 }
 
 // Pool is a locality's workpool. Pop is used by local workers, Steal by
@@ -140,6 +146,10 @@ func (p *DepthPool[N]) MinDepth() int {
 	return -1
 }
 
+// StealRank implements stealRanked: a DepthPool ranks its stealable
+// work by depth (shallower = more promising to a thief).
+func (p *DepthPool[N]) StealRank() int { return p.MinDepth() }
+
 // Deque is a conventional work-stealing double-ended queue: owners pop
 // newest-first (LIFO), thieves steal oldest-first (FIFO). It ignores
 // depth and therefore does not preserve heuristic search order; it is
@@ -221,18 +231,26 @@ func (q *Deque[N]) MinDepth() int {
 	return 0
 }
 
+// StealRank implements stealRanked.
+func (q *Deque[N]) StealRank() int { return q.MinDepth() }
+
 func newPool[N any](kind PoolKind) Pool[N] {
 	switch kind {
 	case DequeKind:
 		return NewDeque[N]()
+	case PrioBucketKind:
+		return NewPrioBucketPool[N]()
 	default:
 		return NewDepthPool[N]()
 	}
 }
 
-// depthRanked is implemented by pools that can report the depth of
-// their next stealable task without removing it.
-type depthRanked interface{ MinDepth() int }
+// stealRanked is implemented by pools that can report the rank of their
+// next stealable task without removing it — the DepthPool's depth, or
+// the PrioBucketPool's priority. Lower ranks are stolen first; -1 means
+// empty. The same rank is what localities advertise to peers for
+// priority-aware victim selection.
+type stealRanked interface{ StealRank() int }
 
 // ShardedPool splits one locality's workpool into per-worker shards so
 // that owner pushes and pops never contend on a shared mutex. It
@@ -302,19 +320,19 @@ func (p *ShardedPool[N]) Steal() (Task[N], bool) {
 // siblings passes its own (already empty) shard index.
 func (p *ShardedPool[N]) StealExcept(except int) (Task[N], bool) {
 	for {
-		best, bestDepth := -1, int(^uint(0)>>1)
+		best, bestRank := -1, int(^uint(0)>>1)
 		for i, s := range p.shards {
 			if i == except {
 				continue
 			}
 			d := -1
-			if dr, ok := s.(depthRanked); ok {
-				d = dr.MinDepth()
+			if sr, ok := s.(stealRanked); ok {
+				d = sr.StealRank()
 			} else if s.Size() > 0 {
 				d = 0
 			}
-			if d >= 0 && d < bestDepth {
-				best, bestDepth = i, d
+			if d >= 0 && d < bestRank {
+				best, bestRank = i, d
 			}
 		}
 		if best < 0 {
@@ -327,6 +345,25 @@ func (p *ShardedPool[N]) StealExcept(except int) (Task[N], bool) {
 		// Lost a race with the shard's owner; every retry means someone
 		// else made progress, so the loop terminates.
 	}
+}
+
+// StealRank implements stealRanked: the best (lowest) rank across all
+// shards, -1 when the whole pool is empty. This is the value a locality
+// advertises to peers for priority-aware victim selection.
+func (p *ShardedPool[N]) StealRank() int {
+	best := -1
+	for _, s := range p.shards {
+		d := -1
+		if sr, ok := s.(stealRanked); ok {
+			d = sr.StealRank()
+		} else if s.Size() > 0 {
+			d = 0
+		}
+		if d >= 0 && (best < 0 || d < best) {
+			best = d
+		}
+	}
+	return best
 }
 
 // Size implements Pool: total backlog across shards.

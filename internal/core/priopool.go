@@ -1,75 +1,117 @@
 package core
 
-import (
-	"container/heap"
-	"sync"
-)
+import "sync"
 
-// PrioTask is a task with an explicit priority (larger = scheduled
-// earlier). Ties break by insertion order, preserving the heuristic
-// spawn order among equally promising tasks.
-type PrioTask[N any] struct {
-	Task[N]
-	Priority int64
-	seq      int64
+// PrioBucketPool is the ordered-scheduling workpool: one FIFO bucket
+// per priority (Task.Prio, lower = better), with Pop and Steal both
+// returning the best-priority task, FIFO within a priority. It replaces
+// the mutex+heap PrioPool that previously backed the BestFirst
+// coordination: priorities assigned by the ordering modes are small
+// ints (a discrepancy count, or a clamped distance from the root
+// bound), so a bucket array gives O(1) push and pop where the heap paid
+// O(log n) plus far worse constants — and, sharded per worker inside a
+// ShardedPool exactly like the DepthPool, the owner path runs with no
+// contention at all while siblings and transport thieves rob
+// best-priority-first through StealRank.
+type PrioBucketPool[N any] struct {
+	mu      sync.Mutex
+	buckets [][]Task[N]
+	heads   []int
+	size    int
+	min     int // lowest possibly-non-empty priority
 }
 
-type prioHeap[N any] []PrioTask[N]
+// NewPrioBucketPool returns an empty priority pool.
+func NewPrioBucketPool[N any]() *PrioBucketPool[N] { return &PrioBucketPool[N]{} }
 
-func (h prioHeap[N]) Len() int { return len(h) }
-func (h prioHeap[N]) Less(i, j int) bool {
-	if h[i].Priority != h[j].Priority {
-		return h[i].Priority > h[j].Priority
-	}
-	return h[i].seq < h[j].seq
-}
-func (h prioHeap[N]) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *prioHeap[N]) Push(x any)   { *h = append(*h, x.(PrioTask[N])) }
-func (h *prioHeap[N]) Pop() any {
-	old := *h
-	n := len(old)
-	t := old[n-1]
-	var zero PrioTask[N]
-	old[n-1] = zero
-	*h = old[:n-1]
-	return t
-}
-
-// PrioPool is a concurrent max-priority workpool used by the BestFirst
-// extension coordination: Pop and Steal both return the highest
-// priority (most promising) task.
-type PrioPool[N any] struct {
-	mu   sync.Mutex
-	h    prioHeap[N]
-	next int64
-}
-
-// NewPrioPool returns an empty priority pool.
-func NewPrioPool[N any]() *PrioPool[N] { return &PrioPool[N]{} }
-
-// PushPrio enqueues a task with a priority.
-func (p *PrioPool[N]) PushPrio(t Task[N], prio int64) {
+// Push implements Pool, bucketing on the task's priority. Priorities
+// outside [0, maxTaskPrio] are clamped, so a hostile or buggy value
+// cannot grow the bucket array without bound.
+func (p *PrioBucketPool[N]) Push(t Task[N]) {
+	pr := int(clampPrio(int64(t.Prio)))
 	p.mu.Lock()
-	heap.Push(&p.h, PrioTask[N]{Task: t, Priority: prio, seq: p.next})
-	p.next++
+	for len(p.buckets) <= pr {
+		p.buckets = append(p.buckets, nil)
+		p.heads = append(p.heads, 0)
+	}
+	p.buckets[pr] = append(p.buckets[pr], t)
+	if pr < p.min {
+		p.min = pr
+	}
+	p.size++
 	p.mu.Unlock()
 }
 
-// PopPrio removes and returns the highest-priority task.
-func (p *PrioPool[N]) PopPrio() (Task[N], bool) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if len(p.h) == 0 {
-		var zero Task[N]
-		return zero, false
+// takeAt removes the FIFO-front task of bucket pr (see
+// DepthPool.takeAt for the retained-capacity policy).
+func (p *PrioBucketPool[N]) takeAt(pr int) Task[N] {
+	t := p.buckets[pr][p.heads[pr]]
+	var zero Task[N]
+	p.buckets[pr][p.heads[pr]] = zero // release node for GC
+	p.heads[pr]++
+	if p.heads[pr] == len(p.buckets[pr]) {
+		if cap(p.buckets[pr]) > bucketRetainCap {
+			p.buckets[pr] = nil
+		} else {
+			p.buckets[pr] = p.buckets[pr][:0]
+		}
+		p.heads[pr] = 0
 	}
-	t := heap.Pop(&p.h).(PrioTask[N])
-	return t.Task, true
+	p.size--
+	return t
 }
 
-// Size returns the number of queued tasks.
-func (p *PrioPool[N]) Size() int {
+// take returns the best-priority task, advancing the min cursor.
+func (p *PrioBucketPool[N]) take() (Task[N], bool) {
+	for pr := p.min; pr < len(p.buckets); pr++ {
+		if p.heads[pr] < len(p.buckets[pr]) {
+			p.min = pr
+			return p.takeAt(pr), true
+		}
+	}
+	p.min = len(p.buckets)
+	var zero Task[N]
+	return zero, false
+}
+
+// Pop implements Pool: the best-priority (lowest-Prio) task, FIFO
+// within a priority. Unlike the DepthPool, owners and thieves agree on
+// the order — best-first has one global notion of "next".
+func (p *PrioBucketPool[N]) Pop() (Task[N], bool) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return len(p.h)
+	return p.take()
 }
+
+// Steal implements Pool; identical to Pop.
+func (p *PrioBucketPool[N]) Steal() (Task[N], bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.take()
+}
+
+// Size implements Pool.
+func (p *PrioBucketPool[N]) Size() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.size
+}
+
+// BestPrio reports the priority of the task Pop or Steal would return,
+// or -1 if the pool is empty.
+func (p *PrioBucketPool[N]) BestPrio() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for pr := p.min; pr < len(p.buckets); pr++ {
+		if p.heads[pr] < len(p.buckets[pr]) {
+			p.min = pr
+			return pr
+		}
+	}
+	p.min = len(p.buckets)
+	return -1
+}
+
+// StealRank implements stealRanked: the pool ranks its work by
+// priority.
+func (p *PrioBucketPool[N]) StealRank() int { return p.BestPrio() }

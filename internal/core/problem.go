@@ -75,6 +75,13 @@ type Stats struct {
 	Workers     int   // workers used
 	Elapsed     time.Duration
 
+	// Ordered-scheduling counters (Config.Order). OrderedSteals counts
+	// transport steals whose victim was chosen by a priority summary
+	// rather than at random; PrioHist is the histogram of spawned task
+	// priorities (bucket i = priority i, last bucket saturating).
+	OrderedSteals int64
+	PrioHist      [prioHistBuckets]int64
+
 	// Wire-level counters, filled from the transport's Meter. For the
 	// TCP transport these are real frames and bytes on the wire; for
 	// the loopback transport they are the logical messages a wire
@@ -120,6 +127,10 @@ func (s *Stats) merge(o Stats) {
 	s.Backtracks += o.Backtracks
 	s.Broadcasts += o.Broadcasts
 	s.Workers += o.Workers
+	s.OrderedSteals += o.OrderedSteals
+	for i := range s.PrioHist {
+		s.PrioHist[i] += o.PrioHist[i]
+	}
 	s.Frames += o.Frames
 	s.WireBytes += o.WireBytes
 	s.BatchTasks += o.BatchTasks
@@ -136,6 +147,10 @@ func (s *Stats) add(w WorkerStats) {
 	s.LocalSteals += w.LocalSteals
 	s.Backtracks += w.Backtracks
 	s.PrefetchHits += w.PrefetchHits
+	s.OrderedSteals += w.OrderedSteals
+	for i := range s.PrioHist {
+		s.PrioHist[i] += w.PrioHist[i]
+	}
 }
 
 // EnumResult is the outcome of an enumeration skeleton.

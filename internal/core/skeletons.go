@@ -38,18 +38,20 @@ func (c Coordination) String() string {
 
 // dispatch starts the fabric and runs the chosen coordination. Engines
 // are built before the fabric starts so that every locality's pool is
-// installed by the time peers can request steals.
-func dispatch[S, N any](coord Coordination, space S, gf GenFactory[S, N], cfg Config, m *Metrics, cancel *canceller, vs []visitor[N], root N, fab *fabric[N]) {
+// installed by the time peers can request steals. prio assigns task
+// priorities for the ordered scheduling modes; the pool-based
+// coordinations consume it, the others ignore it.
+func dispatch[S, N any](coord Coordination, space S, gf GenFactory[S, N], cfg Config, m *Metrics, cancel *canceller, vs []visitor[N], root N, fab *fabric[N], prio *prioAssigner[S, N]) {
 	switch coord {
 	case Sequential:
 		fab.start(cancel)
 		runSequential(space, gf, cfg, vs[0], cancel, m.shard(0), root)
 	case DepthBounded:
-		e := newEngine(space, gf, cfg, m, cancel, fab)
+		e := newEngine(space, gf, cfg, m, cancel, fab, prio)
 		fab.start(cancel)
 		runDepthBounded(e, vs, root)
 	case Budget:
-		e := newEngine(space, gf, cfg, m, cancel, fab)
+		e := newEngine(space, gf, cfg, m, cancel, fab, prio)
 		fab.start(cancel)
 		runBudget(e, vs, root)
 	case StackStealing:
@@ -72,8 +74,9 @@ func Enum[S, N, M any](coord Coordination, space S, root N, p EnumProblem[S, N, 
 	m := newMetrics(cfg.Workers)
 	cancel := newCanceller()
 	vs := newEnumVisitors(space, p, m, cfg.Workers)
+	prio := newPrioAssigner[S, N](cfg.Order, space, root, nil)
 	start := time.Now()
-	dispatch(coord, space, p.Gen, cfg, m, cancel, vs, root, fab)
+	dispatch(coord, space, p.Gen, cfg, m, cancel, vs, root, fab, prio)
 	stats := m.total()
 	stats.Elapsed = time.Since(start)
 	fab.wireStats(&stats)
@@ -98,8 +101,9 @@ func Opt[S, N any](coord Coordination, space S, root N, p OptProblem[S, N], cfg 
 		locOf[w] = w % cfg.Localities
 	}
 	vs := newOptVisitors(space, p, inc, m, locOf)
+	prio := newPrioAssigner(cfg.Order, space, root, p.Bound)
 	start := time.Now()
-	dispatch(coord, space, p.Gen, cfg, m, cancel, vs, root, fab)
+	dispatch(coord, space, p.Gen, cfg, m, cancel, vs, root, fab, prio)
 	stats := m.total()
 	stats.Elapsed = time.Since(start)
 	stats.Broadcasts = inc.broadcasts()
@@ -121,8 +125,9 @@ func Decide[S, N any](coord Coordination, space S, root N, p DecisionProblem[S, 
 	cancel := newCanceller()
 	wit := &witness[N]{}
 	vs := newDecisionVisitors(space, p, wit, cancel, m, cfg.Workers)
+	prio := newPrioAssigner(cfg.Order, space, root, p.Bound)
 	start := time.Now()
-	dispatch(coord, space, p.Gen, cfg, m, cancel, vs, root, fab)
+	dispatch(coord, space, p.Gen, cfg, m, cancel, vs, root, fab, prio)
 	stats := m.total()
 	stats.Elapsed = time.Since(start)
 	fab.wireStats(&stats)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"time"
 
 	"yewpar/internal/dist"
 )
@@ -14,13 +15,26 @@ import (
 // global rank space. Each worker owns one shard of its locality's
 // pool: pushes and pops touch only that uncontended shard. An idle
 // worker escalates through three rings, cheapest first — rob a sibling
-// shard within the locality (shallowest-first, preserving the
-// heuristic order a single shared pool gave), drain the locality's
-// steal-ahead buffer, and only then try a random peer locality through
-// the Transport — mirroring the locality-aware victim selection of
-// Section 4.3. In a single-process run the peers are loopback
-// localities (with optional injected latency); in a distributed run
-// they are other OS processes.
+// shard within the locality (best-rank-first, preserving the order a
+// single shared pool gave), drain the locality's steal-ahead buffer,
+// and only then try a peer locality through the Transport — mirroring
+// the locality-aware victim selection of Section 4.3. In a
+// single-process run the peers are loopback localities (with optional
+// injected latency); in a distributed run they are other OS processes.
+//
+// Victim selection over the transport ring depends on the scheduling
+// mode. Unordered searches probe peers in random order, as the paper
+// does. Ordered searches (Config.Order) consult the transport's
+// per-peer best-available-priority summaries (dist.PrioAware — exact
+// on the loopback network, piggybacked on frames over a wire) and
+// probe the most promising victim first, so a steal is not merely
+// "some work" but the best work any peer admits to having; peers that
+// advertised empty pools are probed last rather than skipped, because
+// summaries are hints that may be stale. After a full sweep of every
+// peer fails, the locality backs off exponentially before sweeping
+// again (stealBackoff), stopping the steal storms that otherwise
+// accompany drain-down; idle workers meanwhile park on the locality's
+// parker, to be woken by the next local push or adopted task.
 //
 // When steals are expensive (a wire transport, or loopback with
 // injected latency), each locality additionally runs a steal-ahead
@@ -37,8 +51,19 @@ type topology[N any] struct {
 	workerLoc   []int
 	workerShard []int
 	rngs        []*rand.Rand
-	victims     [][]int        // per in-process locality: global ranks to rob
-	ahead       []*aheadBuf[N] // per in-process locality; nil when disabled
+	victims     [][]int          // per in-process locality: global ranks to rob
+	ahead       []*aheadBuf[N]   // per in-process locality; nil when disabled
+	parkers     []*parker        // per in-process locality
+	backoff     []*stealBackoff  // per in-process locality; nil when no peers
+	prioAware   []dist.PrioAware // per in-process locality; nil entries when unsupported
+	ordered     bool             // rank victims by priority summaries
+	vscratch    []*victimScratch // per worker: victim-order scratch
+}
+
+// victimScratch is one thief's reusable victim-ranking buffers.
+type victimScratch struct {
+	order []int
+	keys  []int
 }
 
 // aheadBuf is one locality's steal-ahead state. The single-inflight
@@ -58,6 +83,13 @@ func newTopology[N any](fab *fabric[N], cfg Config) *topology[N] {
 		workerShard: make([]int, cfg.Workers),
 		rngs:        make([]*rand.Rand, cfg.Workers),
 		victims:     make([][]int, nloc),
+		parkers:     make([]*parker, nloc),
+		prioAware:   make([]dist.PrioAware, nloc),
+		ordered:     cfg.Order != OrderNone,
+		vscratch:    make([]*victimScratch, cfg.Workers),
+	}
+	for w := range tp.vscratch {
+		tp.vscratch[w] = &victimScratch{}
 	}
 	depth := cfg.StealAhead
 	if depth == 0 && (fab.wire || cfg.StealLatency > 0) {
@@ -65,6 +97,20 @@ func newTopology[N any](fab *fabric[N], cfg Config) *topology[N] {
 	}
 	if depth > 0 && fab.size > 1 {
 		tp.ahead = make([]*aheadBuf[N], nloc)
+	}
+	if fab.size > 1 {
+		tp.backoff = make([]*stealBackoff, nloc)
+	}
+	// Backoff scale: over a wire every empty sweep costs frames at the
+	// coordinator, so idle probing starts its backoff higher. The caps
+	// stay within a few round trips: an empty sweep usually means work
+	// is mid-flight, not gone, and a cap beyond ~10 RTTs turns every
+	// task migration into dead time — ordered searches, which migrate
+	// aggressively (every steal takes the global best), are the first
+	// to feel it.
+	boBase, boMax := 50*time.Microsecond, time.Millisecond
+	if fab.wire {
+		boBase, boMax = 500*time.Microsecond, 5*time.Millisecond
 	}
 	// localWorkers[i] = workers hosted on in-process locality i (worker
 	// w lives on locality w % nloc); by default each gets its own shard.
@@ -79,10 +125,18 @@ func newTopology[N any](fab *fabric[N], cfg Config) *topology[N] {
 		}
 		tp.pools[i] = NewShardedPool[N](cfg.Pool, shards)
 		fab.locs[i].pool = tp.pools[i]
+		tp.parkers[i] = newParker(localWorkers[i])
+		fab.locs[i].wake = tp.parkers[i].wake
+		if pa, ok := fab.trs[i].(dist.PrioAware); ok {
+			tp.prioAware[i] = pa
+		}
 		for rank := 0; rank < fab.size; rank++ {
 			if rank != fab.locs[i].rank {
 				tp.victims[i] = append(tp.victims[i], rank)
 			}
+		}
+		if tp.backoff != nil {
+			tp.backoff[i] = newStealBackoff(boBase, boMax)
 		}
 		if tp.ahead != nil {
 			tp.ahead[i] = &aheadBuf[N]{
@@ -104,16 +158,66 @@ func newTopology[N any](fab *fabric[N], cfg Config) *topology[N] {
 // locality returns the in-process locality a worker belongs to.
 func (tp *topology[N]) locality(w int) int { return tp.workerLoc[w] }
 
-// push enqueues a task on the worker's own pool shard.
+// push enqueues a task on the worker's own pool shard and releases a
+// parked sibling, if any, to come rob it.
 func (tp *topology[N]) push(w int, t Task[N]) {
-	tp.pools[tp.workerLoc[w]].Shard(tp.workerShard[w]).Push(t)
+	loc := tp.workerLoc[w]
+	tp.pools[loc].Shard(tp.workerShard[w]).Push(t)
+	tp.parkers[loc].wake()
+}
+
+// victimOrder writes the sequence of peer ranks a thief of loc should
+// probe into sc.order. Unordered searches rotate the ring at a random
+// start (the paper's random-victim policy, with every peer covered
+// exactly once). Ordered searches additionally sort by the transport's
+// summary knowledge: peers with known stealable work by ascending
+// priority, then peers of unknown state, then peers that last
+// advertised empty — stale hints demote a victim, never hide it. Each
+// peer's summary is read exactly once, before sorting: on the loopback
+// transport a lookup inspects the victim's live pool (locking its
+// shards), so re-reading inside the sort would both contend with the
+// victim's owner hot path and let the comparator shift mid-sort. The
+// returned slice aliases sc.order.
+func (tp *topology[N]) victimOrder(loc int, rng *rand.Rand, sc *victimScratch) []int {
+	vs := tp.victims[loc]
+	buf := sc.order[:0]
+	start := rng.Intn(len(vs))
+	for i := 0; i < len(vs); i++ {
+		buf = append(buf, vs[(start+i)%len(vs)])
+	}
+	sc.order = buf
+	pa := tp.prioAware[loc]
+	if !tp.ordered || pa == nil {
+		return buf
+	}
+	keys := sc.keys[:0]
+	for _, v := range buf {
+		p, known := pa.PeerBestPrio(v)
+		switch {
+		case !known:
+			p = maxTaskPrio + 1 // unknown: after every known priority
+		case p < 0:
+			p = maxTaskPrio + 2 // advertised empty: last resort
+		}
+		keys = append(keys, p)
+	}
+	sc.keys = keys
+	// Insertion sort: the ring is small (peer count), and stability
+	// preserves the random rotation as the tiebreak among equals.
+	for i := 1; i < len(buf); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			buf[j], buf[j-1] = buf[j-1], buf[j]
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return buf
 }
 
 // popOrSteal takes the next task for worker w, cheapest source first:
 // the worker's own shard, then sibling shards within the locality
-// (shallowest-first, no transport involved), then the locality's
-// steal-ahead buffer, then peer localities in random order through the
-// transport. Steal accounting is recorded in the worker's stats shard.
+// (best-rank-first, no transport involved), then the locality's
+// steal-ahead buffer, then peer localities through the transport.
+// Steal accounting is recorded in the worker's stats shard.
 func (tp *topology[N]) popOrSteal(w int, sh *WorkerStats) (Task[N], bool) {
 	loc, shard := tp.workerLoc[w], tp.workerShard[w]
 	if t, ok := tp.pools[loc].Shard(shard).Pop(); ok {
@@ -128,6 +232,9 @@ func (tp *topology[N]) popOrSteal(w int, sh *WorkerStats) (Task[N], bool) {
 		case t := <-tp.ahead[loc].buf:
 			sh.StealsOK++
 			sh.PrefetchHits++
+			if bo := tp.backoffAt(loc); bo != nil {
+				bo.reset()
+			}
 			tp.prefetch(loc)
 			return t, true
 		default:
@@ -138,21 +245,62 @@ func (tp *topology[N]) popOrSteal(w int, sh *WorkerStats) (Task[N], bool) {
 		var zero Task[N]
 		return zero, false
 	}
-	r := tp.rngs[w]
-	start := r.Intn(len(vs))
-	for i := 0; i < len(vs); i++ {
-		v := vs[(start+i)%len(vs)]
+	bo := tp.backoffAt(loc)
+	if bo != nil && !bo.ready() {
+		// A recent sweep of every peer came back empty: don't storm
+		// them again yet. The caller's idle loop parks; remote work is
+		// re-probed when the backoff window closes.
+		var zero Task[N]
+		return zero, false
+	}
+	sc := tp.vscratch[w]
+	order := tp.victimOrder(loc, tp.rngs[w], sc)
+	guided := tp.ordered && tp.prioAware[loc] != nil
+	for i, v := range order {
 		wt, ok, err := tp.fab.trs[loc].Steal(v)
 		if err != nil || !ok {
 			sh.StealsFail++
 			continue
 		}
 		sh.StealsOK++
+		// An ordered steal is one whose victim ranking was informed by
+		// a summary: the key recorded while sorting (not a fresh — and
+		// pool-locking — lookup) is the ground truth of what guided it.
+		if guided && sc.keys[i] <= maxTaskPrio {
+			sh.OrderedSteals++
+		}
+		if bo != nil {
+			bo.reset()
+		}
 		tp.prefetch(loc)
 		return tp.fromWire(loc, wt), true
 	}
+	if bo != nil {
+		bo.fail()
+	}
 	var zero Task[N]
 	return zero, false
+}
+
+// localBacklog reports the work immediately available at a locality
+// (pool backlog plus buffered prefetched tasks) without touching the
+// transport. Parking workers re-check it after registering as waiters,
+// closing the lost-wakeup window.
+func (tp *topology[N]) localBacklog(loc int) int {
+	n := tp.pools[loc].Size()
+	if tp.ahead != nil {
+		n += len(tp.ahead[loc].buf)
+	}
+	return n
+}
+
+// backoffAt returns loc's steal backoff, or nil when there are no
+// peers to back off from.
+func (tp *topology[N]) backoffAt(loc int) *stealBackoff {
+	if tp.backoff == nil {
+		return nil
+	}
+	return tp.backoff[loc]
 }
 
 // prefetch issues one background steal round for a locality, if
@@ -177,10 +325,8 @@ func (tp *topology[N]) prefetch(loc int) {
 	}
 	go func() {
 		defer func() { <-sa.inflight }()
-		vs := tp.victims[loc]
-		start := sa.rng.Intn(len(vs))
-		for i := 0; i < len(vs); i++ {
-			v := vs[(start+i)%len(vs)]
+		order := tp.victimOrder(loc, sa.rng, &victimScratch{})
+		for _, v := range order {
 			wt, ok, err := tp.fab.trs[loc].Steal(v)
 			if err != nil || !ok {
 				continue
@@ -191,6 +337,9 @@ func (tp *topology[N]) prefetch(loc int) {
 			default:
 				tp.pools[loc].Push(t)
 			}
+			// Either way the task is now locally available: release a
+			// parked worker to claim it.
+			tp.parkers[loc].wake()
 			return
 		}
 	}()
@@ -212,5 +361,5 @@ func (tp *topology[N]) fromWire(loc int, wt dist.WireTask) Task[N] {
 		// the task cannot be run here and returning it is impossible.
 		panic(fmt.Sprintf("core: decoding stolen task: %v", err))
 	}
-	return Task[N]{Node: n, Depth: wt.Depth}
+	return Task[N]{Node: n, Depth: wt.Depth, Prio: int32(wt.Prio)}
 }

@@ -29,7 +29,7 @@
 // TCP transport (NewListener/Dial) connects real OS processes in a
 // star around the coordinator; it is what `yewpar -dist` deploys.
 //
-// # Wire protocol v2
+// # Wire protocol v3
 //
 // The TCP transport speaks a length-prefixed binary frame format (v1
 // was a gob stream per message): a little-endian uint32 body length,
@@ -38,7 +38,8 @@
 // protocol version is checked during registration, alongside the
 // deployment spec string.
 //
-// Three amortisations define v2, all tunable through WireOptions:
+// Three amortisations define the v2 layer, all tunable through
+// WireOptions:
 //
 //   - Batched steals: a steal request names the number of tasks the
 //     thief will accept (StealBatch); the reply carries up to that
@@ -61,6 +62,24 @@
 //     prunes a stolen subtree with knowledge older than the last frame
 //     it saw. Receivers deliver a bound to their handler only when it
 //     beats everything previously delivered, absorbing the repetition.
+//
+// v3 adds the ordered-scheduling fields. Each task in a steal reply
+// carries its scheduling priority (WireTask.Prio, a varint after the
+// depth), so a distributed search stays globally ordered: a stolen
+// task re-enters the thief's priority pool exactly where it left the
+// victim's. And every frame a locality originates is stamped with a
+// best-available-priority summary — the priority of the best task its
+// pool could currently serve to a thief (PrioNone when empty),
+// supplied by the engine through the StealRanker handler extension.
+// The summary survives routing (the hub forwards it unchanged, so a
+// steal reply tells the thief how much more the victim holds), and
+// receivers record it per origin rank; transports expose the table
+// through the PrioAware extension, which the engine's topology uses to
+// probe the most promising victim first instead of a random one.
+// Summaries are hints — stale the moment they are read — so they order
+// victim probing but never hide a victim. The loopback transport
+// implements PrioAware by asking the victim's handler directly, which
+// is exact.
 //
 // Transports that implement Meter report frames, bytes, and steal
 // batch occupancy; the engine folds those into its Stats.

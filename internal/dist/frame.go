@@ -5,7 +5,7 @@ import (
 	"fmt"
 )
 
-// Wire protocol v2: every message is one length-prefixed binary frame,
+// Wire protocol v3: every message is one length-prefixed binary frame,
 //
 //	uint32 little-endian body length | body
 //
@@ -15,30 +15,38 @@ import (
 // payload:
 //
 //	kind    byte
-//	flags   byte            fDelta | fBound
+//	flags   byte            fDelta | fBound | fPrio
 //	from    varint          sender rank
 //	to      varint          destination rank (0 when unrouted)
 //	seq     uvarint         steal request/reply correlation
 //	[delta  varint]         flags&fDelta: coalesced live-task delta
 //	[bound  varint]         flags&fBound: piggybacked bound snapshot
+//	[prio   varint]         flags&fPrio: best-available-priority summary
 //	payload ...             see appendFrame
 //
-// The two optional header fields are the batching heart of v2: any
-// frame — a steal reply, a gather, an explicit kDelta tick — can carry
-// the sender's accumulated live-task delta (one counter flush per pool
-// quantum instead of one frame per spawn) and its current best bound
+// The optional header fields are the batching heart of the protocol:
+// any frame — a steal reply, a gather, an explicit kDelta tick — can
+// carry the sender's accumulated live-task delta (one counter flush per
+// pool quantum instead of one frame per spawn), its current best bound
 // (so a lost or still-in-flight broadcast is repaired by the next frame
 // of any kind, and a thief never prunes with knowledge older than the
-// last frame it saw).
+// last frame it saw), and — new in v3 — the best priority among the
+// tasks the origin locality could currently serve to a thief (PrioNone
+// when it has none). The summary is stamped only by the frame's
+// originator and survives routing intact, so every frame doubles as a
+// load/promise advertisement that peers feed into priority-aware
+// victim selection.
 //
 // Steal replies carry a *batch* of tasks: count followed by
-// (payload-length, payload, depth, bound) per task. The thief hands the
-// first task to the requesting worker and re-homes the rest through
-// Handler.OnTask, exactly like a late reply.
+// (payload-length, payload, depth, prio, bound) per task — the task
+// priority is the other v3 addition, letting ordered searches span the
+// wire. The thief hands the first task to the requesting worker and
+// re-homes the rest through Handler.OnTask, exactly like a late reply.
 
 const (
 	fDelta = 1 << 0 // header carries a coalesced live-task delta
 	fBound = 1 << 1 // header carries a piggybacked bound snapshot
+	fPrio  = 1 << 2 // header carries a best-available-priority summary
 )
 
 // maxFrameBody bounds a peer-supplied body length before allocation.
@@ -56,6 +64,8 @@ type frame struct {
 	Delta int64 // coalesced live-task delta (sent iff non-zero)
 	PB    int64 // piggybacked bound snapshot
 	HasPB bool
+	PS    int64 // piggybacked best-available-priority summary (PrioNone = no work)
+	HasPS bool
 	Obj   int64      // kBound: the broadcast bound
 	Want  int        // kSteal: max tasks; kHello: protocol version; kWelcome: deployment size
 	Blob  []byte     // kHello/kWelcome/kReject/kGather payload
@@ -71,6 +81,9 @@ func appendFrame(dst []byte, f *frame) []byte {
 	if f.HasPB {
 		flags |= fBound
 	}
+	if f.HasPS {
+		flags |= fPrio
+	}
 	dst = append(dst, byte(f.Kind), flags)
 	dst = binary.AppendVarint(dst, int64(f.From))
 	dst = binary.AppendVarint(dst, int64(f.To))
@@ -80,6 +93,9 @@ func appendFrame(dst []byte, f *frame) []byte {
 	}
 	if flags&fBound != 0 {
 		dst = binary.AppendVarint(dst, f.PB)
+	}
+	if flags&fPrio != 0 {
+		dst = binary.AppendVarint(dst, f.PS)
 	}
 	switch f.Kind {
 	case kSteal, kHello, kWelcome:
@@ -98,6 +114,7 @@ func appendFrame(dst []byte, f *frame) []byte {
 			dst = binary.AppendUvarint(dst, uint64(len(t.Payload)))
 			dst = append(dst, t.Payload...)
 			dst = binary.AppendVarint(dst, int64(t.Depth))
+			dst = binary.AppendVarint(dst, int64(t.Prio))
 			dst = binary.AppendVarint(dst, t.Bound)
 		}
 	}
@@ -182,6 +199,12 @@ func parseFrame(b []byte, f *frame) error {
 		}
 		f.HasPB = true
 	}
+	if flags&fPrio != 0 {
+		if f.PS, err = r.varint(); err != nil {
+			return err
+		}
+		f.HasPS = true
+	}
 	switch f.Kind {
 	case kSteal, kHello, kWelcome:
 		w, err := r.uvarint()
@@ -218,6 +241,10 @@ func parseFrame(b []byte, f *frame) error {
 					return err
 				}
 				t.Depth = int(v)
+				if v, err = r.varint(); err != nil {
+					return err
+				}
+				t.Prio = int(v)
 				if t.Bound, err = r.varint(); err != nil {
 					return err
 				}

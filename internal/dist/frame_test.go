@@ -14,9 +14,9 @@ func TestFrameRoundTrip(t *testing.T) {
 		{Kind: kReject, Blob: []byte("spec mismatch")},
 		{Kind: kSteal, From: 2, To: 1, Seq: 77, Want: 4},
 		{Kind: kStealR, From: 1, To: 2, Seq: 77, Tasks: []WireTask{
-			{Payload: []byte("abc"), Depth: 3, Bound: -9},
+			{Payload: []byte("abc"), Depth: 3, Prio: 12, Bound: -9},
 			{Payload: []byte{}, Depth: 0, Bound: math.MinInt64},
-			{Payload: []byte("zzzz"), Depth: 1 << 20, Bound: math.MaxInt64},
+			{Payload: []byte("zzzz"), Depth: 1 << 20, Prio: 1023, Bound: math.MaxInt64},
 		}},
 		{Kind: kStealR, From: 1, To: 2, Seq: 78}, // empty-handed
 		{Kind: kBound, From: 4, Obj: -123456789},
@@ -27,6 +27,12 @@ func TestFrameRoundTrip(t *testing.T) {
 		{Kind: kGather, From: 3, Blob: []byte{}},
 		{Kind: kSteal, From: 1, To: 2, Seq: 1, Want: 8, Delta: 17, PB: -5, HasPB: true},
 		{Kind: kBound, From: 0, Obj: math.MinInt64 + 1, PB: math.MaxInt64, HasPB: true},
+		// v3: best-available-priority summaries, alone and with the
+		// other optional header fields; PrioNone advertises empty.
+		{Kind: kDelta, From: 2, Delta: 3, PS: 5, HasPS: true},
+		{Kind: kSteal, From: 1, To: 2, Seq: 2, Want: 4, PS: PrioNone, HasPS: true},
+		{Kind: kStealR, From: 2, To: 1, Seq: 2, Delta: -1, PB: 9, HasPB: true, PS: 0, HasPS: true,
+			Tasks: []WireTask{{Payload: []byte("p"), Depth: 1, Prio: 2, Bound: 4}}},
 	}
 	for i, f := range frames {
 		body := appendFrame(nil, &f)
@@ -43,8 +49,8 @@ func TestFrameRoundTrip(t *testing.T) {
 // Truncations and bit flips must error, never panic or over-allocate:
 // frame bodies come off the network.
 func TestFrameParseRobustness(t *testing.T) {
-	f := frame{Kind: kStealR, From: 1, To: 2, Seq: 9, Delta: 3, PB: 11, HasPB: true,
-		Tasks: []WireTask{{Payload: []byte("payload-bytes"), Depth: 5, Bound: 40}}}
+	f := frame{Kind: kStealR, From: 1, To: 2, Seq: 9, Delta: 3, PB: 11, HasPB: true, PS: 2, HasPS: true,
+		Tasks: []WireTask{{Payload: []byte("payload-bytes"), Depth: 5, Prio: 7, Bound: 40}}}
 	body := appendFrame(nil, &f)
 	for cut := 0; cut < len(body); cut++ {
 		var g frame

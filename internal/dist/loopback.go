@@ -109,6 +109,7 @@ type loopback struct {
 
 var _ Transport = (*loopback)(nil)
 var _ Meter = (*loopback)(nil)
+var _ PrioAware = (*loopback)(nil)
 
 // Wire implements Meter with logical message counts: the frames a wire
 // transport would have sent for the same traffic, and payload bytes
@@ -130,6 +131,27 @@ func (t *loopback) handler() Handler {
 	}
 	h, _ := t.h.Load().(Handler)
 	return h
+}
+
+// PeerBestPrio implements PrioAware by asking the victim's handler
+// directly: shared memory needs no piggybacked summary, so the loopback
+// network's answer is exact where a wire transport's is a hint.
+func (t *loopback) PeerBestPrio(rank int) (int, bool) {
+	if rank < 0 || rank >= len(t.net.trs) || rank == t.rank {
+		return 0, false
+	}
+	sr, ok := t.net.trs[rank].handler().(StealRanker)
+	if !ok {
+		return 0, false
+	}
+	p, has := sr.BestStealPrio()
+	if !has {
+		return PrioNone, true
+	}
+	if p < 0 {
+		p = 0
+	}
+	return p, true
 }
 
 func (t *loopback) Steal(victim int) (WireTask, bool, error) {

@@ -36,9 +36,10 @@ const (
 	regTimeout = 120 * time.Second
 	// dial keeps retrying (the coordinator may not be listening yet).
 	dialTimeout = 30 * time.Second
-	// wireVersion is checked at registration: v1 (gob) and v2 (binary
-	// frames) peers must not silently garble each other.
-	wireVersion = 2
+	// wireVersion is checked at registration: v1 (gob), v2 (binary
+	// frames) and v3 (per-task priorities + priority summaries) peers
+	// must not silently garble each other.
+	wireVersion = 3
 )
 
 // stealTimeout bounds a steal request whose reply never arrives; a
@@ -104,11 +105,21 @@ type wconn struct {
 	wbuf []byte
 	dead atomic.Bool
 
-	// endpoint hooks; either may be nil.
+	// endpoint hooks; any may be nil.
 	pending *atomic.Int64 // coalesced live-task delta, drained per send
 	pb      *atomic.Int64 // best known bound, stamped per send
-	ctr     *wireCounters
+	// ps reports the owning endpoint's best stealable priority for the
+	// v3 summary piggyback (psNothing = don't stamp). Only frames the
+	// endpoint originates (From == psFrom) are stamped: forwarded
+	// frames keep their origin's summary, which is what the receiver
+	// attributes it to.
+	ps     func() int64
+	psFrom int
+	ctr    *wireCounters
 }
+
+// psNothing tells send to skip the summary stamp (no handler yet).
+const psNothing = math.MinInt64
 
 func newWconn(c net.Conn, ctr *wireCounters) *wconn {
 	return &wconn{c: c, br: bufio.NewReaderSize(c, 64<<10), ctr: ctr}
@@ -132,6 +143,11 @@ func (cn *wconn) send(f *frame) error {
 	if cn.pb != nil && !f.HasPB && f.Kind != kBound {
 		if b := cn.pb.Load(); b != math.MinInt64 {
 			f.PB, f.HasPB = b, true
+		}
+	}
+	if cn.ps != nil && !f.HasPS && f.From == cn.psFrom {
+		if p := cn.ps(); p != psNothing {
+			f.PS, f.HasPS = p, true
 		}
 	}
 	buf := append(cn.wbuf[:0], 0, 0, 0, 0)
@@ -179,6 +195,58 @@ func (cn *wconn) recv(f *frame) error {
 }
 
 func (cn *wconn) close() { cn.dead.Store(true); cn.c.Close() }
+
+// prioUnknown marks a peerPrio slot nothing has been heard from.
+const prioUnknown = -2
+
+// newPeerPrios builds an all-unknown summary table of the given size.
+func newPeerPrios(n int) []atomic.Int64 {
+	ps := make([]atomic.Int64, n)
+	for i := range ps {
+		ps[i].Store(prioUnknown)
+	}
+	return ps
+}
+
+// selfPrioFn adapts an endpoint's (possibly not yet attached) handler
+// to the wconn summary hook: psNothing before Start or for handlers
+// without StealRanker, PrioNone for an empty pool, the best priority
+// otherwise.
+func selfPrioFn(h *atomic.Value) func() int64 {
+	return func() int64 {
+		sr, ok := h.Load().(StealRanker)
+		if !ok {
+			return psNothing
+		}
+		p, has := sr.BestStealPrio()
+		if !has {
+			return PrioNone
+		}
+		if p < 0 {
+			p = 0
+		}
+		return int64(p)
+	}
+}
+
+// notePeerPrio records a frame's summary against its origin rank.
+func notePeerPrio(ps []atomic.Int64, from int, prio int64) {
+	if from >= 0 && from < len(ps) {
+		ps[from].Store(prio)
+	}
+}
+
+// peerBestPrio reads a summary table slot into the PrioAware shape.
+func peerBestPrio(ps []atomic.Int64, rank int) (int, bool) {
+	if rank < 0 || rank >= len(ps) {
+		return 0, false
+	}
+	v := ps[rank].Load()
+	if v <= prioUnknown {
+		return 0, false
+	}
+	return int(v), true
+}
 
 // stealRes is a pending steal's reply slot.
 type stealRes struct {
@@ -304,15 +372,16 @@ func (l *Listener) Wait(workers int) (Transport, error) {
 	}
 	deadline := time.Now().Add(regTimeout)
 	h := &hub{
-		size:    workers + 1,
-		conns:   make([]*wconn, workers+1),
-		opts:    l.opts,
-		started: make(chan struct{}),
-		done:    make(chan struct{}),
-		blobs:   make([][]byte, workers+1),
-		contrib: make([]bool, workers+1),
-		gotAll:  make(chan struct{}),
-		ln:      l.ln,
+		size:     workers + 1,
+		conns:    make([]*wconn, workers+1),
+		opts:     l.opts,
+		started:  make(chan struct{}),
+		done:     make(chan struct{}),
+		blobs:    make([][]byte, workers+1),
+		contrib:  make([]bool, workers+1),
+		gotAll:   make(chan struct{}),
+		peerPrio: newPeerPrios(workers + 1),
+		ln:       l.ln,
 	}
 	h.pbStamp.Store(math.MinInt64)
 	h.pbSeen.Store(math.MinInt64)
@@ -326,6 +395,8 @@ func (l *Listener) Wait(workers int) (Transport, error) {
 		}
 		cn := newWconn(c, &h.ctr)
 		cn.pb = &h.pbStamp
+		cn.ps = selfPrioFn(&h.h)
+		cn.psFrom = 0
 		// The registration deadline must also bound the hello read: a
 		// connection that never sends a frame (port scan, stalled
 		// peer) must not hang Wait past the window.
@@ -380,7 +451,11 @@ type hub struct {
 	pending pendingSteals
 	pbStamp atomic.Int64 // best bound known; stamped on outgoing frames
 	pbSeen  atomic.Int64 // best bound delivered to the handler
-	ctr     wireCounters
+	// peerPrio[rank] is the rank's last advertised best stealable
+	// priority: >= 0 a priority, PrioNone an empty pool, prioUnknown
+	// nothing heard yet.
+	peerPrio []atomic.Int64
+	ctr      wireCounters
 
 	gatherMu sync.Mutex
 	blobs    [][]byte
@@ -394,11 +469,16 @@ type hub struct {
 
 var _ Transport = (*hub)(nil)
 var _ Meter = (*hub)(nil)
+var _ PrioAware = (*hub)(nil)
 
 func (h *hub) Rank() int { return 0 }
 func (h *hub) Size() int { return h.size }
 
 func (h *hub) Wire() WireStats { return h.ctr.snapshot() }
+
+// PeerBestPrio implements PrioAware from the piggybacked summaries the
+// hub has seen on each worker's frames.
+func (h *hub) PeerBestPrio(rank int) (int, bool) { return peerBestPrio(h.peerPrio, rank) }
 
 func (h *hub) Start(hd Handler) {
 	h.h.Store(hd)
@@ -447,6 +527,12 @@ func (h *hub) serve(rank int) {
 		if f.HasPB {
 			h.meldBound(f.From, f.PB)
 			f.HasPB = false
+		}
+		// A priority summary is recorded here but, unlike the delta and
+		// bound, NOT cleared: it describes the origin locality, so a
+		// forwarded frame must deliver it unchanged to its destination.
+		if f.HasPS {
+			notePeerPrio(h.peerPrio, f.From, f.PS)
 		}
 		switch f.Kind {
 		case kSteal:
@@ -683,8 +769,11 @@ func DialOpts(addr, spec string, opts WireOptions) (Transport, error) {
 	w.cn = cn
 	w.rank = welcome.To
 	w.size = welcome.Want
+	w.peerPrio = newPeerPrios(w.size)
 	cn.pending = &w.delta
 	cn.pb = &w.pbStamp
+	cn.ps = selfPrioFn(&w.h)
+	cn.psFrom = w.rank
 	return w, nil
 }
 
@@ -702,11 +791,12 @@ type worker struct {
 	done     chan struct{}
 	doneOnce sync.Once
 
-	pending pendingSteals
-	delta   atomic.Int64 // coalesced live-task delta, drained by sends
-	pbStamp atomic.Int64 // best bound known; stamped on outgoing frames
-	pbSeen  atomic.Int64 // best bound delivered to the handler
-	ctr     wireCounters
+	pending  pendingSteals
+	delta    atomic.Int64 // coalesced live-task delta, drained by sends
+	pbStamp  atomic.Int64 // best bound known; stamped on outgoing frames
+	pbSeen   atomic.Int64 // best bound delivered to the handler
+	peerPrio []atomic.Int64
+	ctr      wireCounters
 
 	flushStop chan struct{}
 	flushOnce sync.Once
@@ -715,11 +805,18 @@ type worker struct {
 
 var _ Transport = (*worker)(nil)
 var _ Meter = (*worker)(nil)
+var _ PrioAware = (*worker)(nil)
 
 func (w *worker) Rank() int { return w.rank }
 func (w *worker) Size() int { return w.size }
 
 func (w *worker) Wire() WireStats { return w.ctr.snapshot() }
+
+// PeerBestPrio implements PrioAware. A worker hears summaries on the
+// frames routed to it — the hub's own traffic, and forwarded frames
+// (steal replies, bound relays) stamped by their origin — so its view
+// of a peer refreshes whenever they exchange work.
+func (w *worker) PeerBestPrio(rank int) (int, bool) { return peerBestPrio(w.peerPrio, rank) }
 
 func (w *worker) Start(h Handler) {
 	w.h.Store(h)
@@ -788,6 +885,9 @@ func (w *worker) readLoop() {
 		}
 		if f.HasPB {
 			w.meldBound(f.From, f.PB)
+		}
+		if f.HasPS && f.From != w.rank {
+			notePeerPrio(w.peerPrio, f.From, f.PS)
 		}
 		switch f.Kind {
 		case kSteal:

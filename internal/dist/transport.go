@@ -3,10 +3,14 @@ package dist
 import "sync/atomic"
 
 // WireTask is a unit of work as it crosses a locality boundary: an
-// application search-tree node, its absolute depth, and a snapshot of
-// the sender's best known bound at hand-over time. The thief merges
-// Bound into its own cache before running the task, so stolen work
-// never prunes against knowledge older than its victim's.
+// application search-tree node, its absolute depth, its scheduling
+// priority, and a snapshot of the sender's best known bound at
+// hand-over time. The thief merges Bound into its own cache before
+// running the task, so stolen work never prunes against knowledge
+// older than its victim's. Prio (lower = better, zero when the engine
+// runs unordered) survives the hand-over so that a distributed search
+// stays globally ordered: a stolen task re-enters the thief's priority
+// pool exactly where it left the victim's.
 //
 // Exactly one of Payload and Local is set. Wire transports carry the
 // node encoded by the engine's Codec in Payload; the in-process
@@ -17,6 +21,7 @@ type WireTask struct {
 	Payload []byte
 	Local   any
 	Depth   int
+	Prio    int
 	Bound   int64
 }
 
@@ -46,6 +51,32 @@ type Handler interface {
 	// part of the search tree and hang termination.
 	OnTask(t WireTask)
 }
+
+// StealRanker is an optional Handler extension for localities that can
+// rank the work a thief would get: BestStealPrio reports the priority
+// (lower = better) of the best task ServeSteal would currently hand
+// over, and whether any stealable work exists at all. Transports use it
+// to piggyback a best-available-priority summary on outgoing frames,
+// which peers feed into priority-aware victim selection.
+type StealRanker interface {
+	BestStealPrio() (int, bool)
+}
+
+// PrioAware is an optional Transport extension: transports that track
+// peers' advertised best-available priorities (from piggybacked frame
+// summaries, or by direct inspection on the loopback network) report
+// them through PeerBestPrio. known is false when nothing has been heard
+// from the rank; prio == PrioNone with known == true means the peer
+// last advertised an empty pool. Summaries are hints — they may be
+// stale the moment they are read — so callers use them to order victim
+// probing, never to skip a victim outright.
+type PrioAware interface {
+	PeerBestPrio(rank int) (prio int, known bool)
+}
+
+// PrioNone is the advertised priority of a locality with no stealable
+// work.
+const PrioNone = -1
 
 // MultiStealer is an optional Handler extension for transports whose
 // steal replies carry batches. A handler that implements it decides
