@@ -441,10 +441,17 @@ func BenchmarkOrderedScheduling(b *testing.B) {
 // BENCH_transport.json for recorded numbers.
 
 // benchVictim serves pre-stocked encoded tasks, like a locality with a
-// deep backlog.
+// deep backlog — including the v4 supervision work a real locality
+// does per hand-over: minting an id, retaining the task in a ledger
+// map, and retiring it when the thief's completion ack arrives. The
+// no-failure cost of the supervised-task protocol is therefore inside
+// the measured loop.
 type benchVictim struct {
-	mu    sync.Mutex
-	tasks []dist.WireTask
+	mu        sync.Mutex
+	supervise bool
+	tasks     []dist.WireTask
+	seq       uint64
+	led       map[uint64]dist.WireTask
 }
 
 func (h *benchVictim) ServeSteal(thief int) (dist.WireTask, bool) {
@@ -455,10 +462,23 @@ func (h *benchVictim) ServeSteal(thief int) (dist.WireTask, bool) {
 	}
 	t := h.tasks[len(h.tasks)-1]
 	h.tasks = h.tasks[:len(h.tasks)-1]
+	if h.supervise {
+		h.seq++
+		t.ID = dist.TaskID(1, h.seq)
+		if h.led == nil {
+			h.led = make(map[uint64]dist.WireTask)
+		}
+		h.led[t.ID] = t
+	}
 	return t, true
 }
 func (h *benchVictim) OnBound(int, int64) {}
 func (h *benchVictim) OnCancel(int)       {}
+func (h *benchVictim) OnAck(_ int, id uint64) {
+	h.mu.Lock()
+	delete(h.led, id)
+	h.mu.Unlock()
+}
 func (h *benchVictim) OnTask(t dist.WireTask) {
 	h.mu.Lock()
 	h.tasks = append(h.tasks, t)
@@ -474,6 +494,7 @@ type benchThief struct {
 func (h *benchThief) ServeSteal(int) (dist.WireTask, bool) { return dist.WireTask{}, false }
 func (h *benchThief) OnBound(int, int64)                   {}
 func (h *benchThief) OnCancel(int)                         {}
+func (h *benchThief) OnAck(int, uint64)                    {}
 func (h *benchThief) OnTask(t dist.WireTask) {
 	h.mu.Lock()
 	h.extra = append(h.extra, t)
@@ -538,10 +559,10 @@ func benchTransportPair(b *testing.B, transport string, batch int) (thiefTr, vic
 	panic("unknown transport")
 }
 
-func runTransportThroughput[N any](b *testing.B, transport string, batch int, codec core.Codec[N], nodes []N) {
+func runTransportThroughput[N any](b *testing.B, transport string, batch int, codec core.Codec[N], nodes []N, supervise bool) {
 	thiefTr, victimTr, cleanup := benchTransportPair(b, transport, batch)
 	defer cleanup()
-	victim := &benchVictim{}
+	victim := &benchVictim{supervise: supervise}
 	thief := &benchThief{}
 	thiefTr.Start(thief)
 	victimTr.Start(victim)
@@ -580,6 +601,12 @@ func runTransportThroughput[N any](b *testing.B, transport string, batch int, co
 			for _, wt := range ts {
 				if _, err := codec.Decode(wt.Payload); err != nil {
 					b.Fatal(err)
+				}
+				// Certify the subtree complete, as the engine does for
+				// every received hand-over; the victim retires its
+				// ledger copy when the (coalesced) ack lands.
+				if wt.ID != 0 {
+					thiefTr.Ack(1, wt.ID)
 				}
 				got++
 			}
@@ -631,14 +658,25 @@ func BenchmarkTransportThroughput(b *testing.B) {
 		for _, batch := range batches {
 			for _, cc := range cliqueCodecs {
 				b.Run(fmt.Sprintf("%s/maxclique/%s/batch=%d", transport, cc.name, batch), func(b *testing.B) {
-					runTransportThroughput(b, transport, batch, cc.codec, cliqueNodes)
+					runTransportThroughput(b, transport, batch, cc.codec, cliqueNodes, true)
 				})
 			}
 			for _, cc := range knapCodecs {
 				b.Run(fmt.Sprintf("%s/knapsack/%s/batch=%d", transport, cc.name, batch), func(b *testing.B) {
-					runTransportThroughput(b, transport, batch, cc.codec, knapNodes)
+					runTransportThroughput(b, transport, batch, cc.codec, knapNodes, true)
 				})
 			}
 		}
 	}
+	// The no-ledger ablation: the identical exchange with supervision
+	// off (no id minting, no ledger retention, no completion acks).
+	// The supervised/noledger ratio is the host-independent bound on
+	// the fault-tolerance tax of the no-failure path, gated by
+	// cmd/benchguard.
+	b.Run("tcp/maxclique/compact/batch=4/noledger", func(b *testing.B) {
+		runTransportThroughput(b, "tcp", dist.DefaultStealBatch, maxclique.Codec(), cliqueNodes, false)
+	})
+	b.Run("tcp/knapsack/compact/batch=4/noledger", func(b *testing.B) {
+		runTransportThroughput(b, "tcp", dist.DefaultStealBatch, knapsack.Codec(), knapNodes, false)
+	})
 }

@@ -155,6 +155,139 @@ func TestDistributedBudgetKnapsack(t *testing.T) {
 	testDistMatchesSingle(t, []string{"-app", "knapsack", "-items", "20", "-skeleton", "budget", "-b", "5000", "-workers", "2"})
 }
 
+// The fault-tolerance acceptance test: a real 4-process TCP deployment
+// (1 coordinator + 3 workers) in which one worker is SIGKILLed
+// mid-maxclique must still terminate, exit cleanly, and report the
+// exact optimum of the failure-free run — the supervised-task ledger
+// replaying the dead worker's subtree roots from the survivors.
+func TestDistributedMaxCliqueSurvivesWorkerSIGKILL(t *testing.T) {
+	bin := yewparBinary(t)
+	// n=160 p=0.8 runs well over a second in this deployment, so a
+	// kill shortly after registration lands mid-search.
+	appFlags := []string{"-app", "maxclique", "-n", "160", "-p", "0.8", "-skeleton", "depthbounded", "-d", "2", "-workers", "2"}
+
+	single, err := exec.Command(bin, appFlags...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("single-process run failed: %v\n%s", err, single)
+	}
+	wantAnswer := resultLine(t, string(single))
+
+	addr := freeAddr(t)
+	var workers []*exec.Cmd
+	for i := 0; i < 3; i++ {
+		w := exec.Command(bin, append(appFlags, "-dist", "worker", "-dist-addr", addr)...)
+		if err := w.Start(); err != nil {
+			t.Fatalf("starting worker: %v", err)
+		}
+		workers = append(workers, w)
+	}
+	defer func() {
+		for _, w := range workers {
+			w.Process.Kill()
+			w.Wait()
+		}
+	}()
+
+	coord := exec.Command(bin, append(appFlags, "-dist", "coordinator", "-dist-workers", "3", "-dist-addr", addr)...)
+	stdout, err := coord.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord.Stderr = coord.Stdout
+	if err := coord.Start(); err != nil {
+		t.Fatalf("starting coordinator: %v", err)
+	}
+
+	// Stream the coordinator's output; once every worker has
+	// registered and the search is underway, SIGKILL one worker.
+	outCh := make(chan string, 1)
+	killed := make(chan struct{})
+	go func() {
+		var sb strings.Builder
+		buf := make([]byte, 4096)
+		for {
+			n, err := stdout.Read(buf)
+			sb.Write(buf[:n])
+			if strings.Contains(sb.String(), "all 3 workers registered") {
+				select {
+				case <-killed:
+				default:
+					go func() {
+						time.Sleep(250 * time.Millisecond)
+						workers[1].Process.Kill() // SIGKILL, mid-search
+						close(killed)
+					}()
+				}
+			}
+			if err != nil {
+				outCh <- sb.String()
+				return
+			}
+		}
+	}()
+
+	done := make(chan error, 1)
+	go func() { done <- coord.Wait() }()
+	var out string
+	select {
+	case err := <-done:
+		out = <-outCh
+		if err != nil {
+			t.Fatalf("coordinator failed after worker SIGKILL: %v\n%s", err, out)
+		}
+	case <-time.After(120 * time.Second):
+		coord.Process.Kill()
+		t.Fatalf("deployment hung after worker SIGKILL\npartial output:\n%s", <-outCh)
+	}
+	select {
+	case <-killed:
+	default:
+		t.Fatalf("search finished before the kill fired; output:\n%s", out)
+	}
+
+	if got := resultLine(t, out); got != wantAnswer {
+		t.Fatalf("answer after SIGKILL %q != failure-free answer %q\nfull output:\n%s", got, wantAnswer, out)
+	}
+	if !strings.Contains(out, "deaths=1") {
+		t.Errorf("coordinator stats do not report the death:\n%s", out)
+	}
+	// The surviving workers exit cleanly.
+	for i, w := range workers {
+		if i == 1 {
+			w.Wait() // the corpse
+			continue
+		}
+		if werr := w.Wait(); werr != nil {
+			t.Errorf("surviving worker %d failed: %v", i, werr)
+		}
+	}
+}
+
+// A worker that never dials (dead host, typo'd address) must not leave
+// the coordinator waiting forever: registration times out and the
+// error names the missing ranks.
+func TestDistributedRegistrationTimeoutReportsMissingRank(t *testing.T) {
+	bin := yewparBinary(t)
+	addr := freeAddr(t)
+	appFlags := []string{"-app", "knapsack", "-items", "18", "-skeleton", "depthbounded", "-d", "2", "-workers", "1"}
+
+	// One worker dials; the second never exists.
+	w := exec.Command(bin, append(appFlags, "-dist", "worker", "-dist-addr", addr)...)
+	if err := w.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() { w.Process.Kill(); w.Wait() }()
+
+	coord := exec.Command(bin, append(appFlags, "-dist", "coordinator", "-dist-workers", "2", "-dist-addr", addr, "-reg-timeout", "2s")...)
+	out, err := coord.CombinedOutput()
+	if err == nil {
+		t.Fatalf("coordinator succeeded with a missing worker:\n%s", out)
+	}
+	if !strings.Contains(string(out), "missing rank 2") {
+		t.Fatalf("timeout error does not name the missing rank:\n%s", out)
+	}
+}
+
 // A -dist -order deployment is ordered end-to-end: the answer matches
 // the single-process one, and the coordinator's aggregated stats carry
 // the ordered-scheduling counters (priorities crossed the wire — a

@@ -12,6 +12,13 @@
 // and search one knapsack instance cooperatively — remote steals,
 // bound broadcasts, distributed termination and result aggregation
 // all crossing actual process boundaries.
+//
+// Part 3 is fault injection: the same deployment with three workers,
+// one of which is SIGKILLed mid-search. The supervised task ledger
+// replays the subtree roots the dead worker was holding from the
+// survivors' retained copies, the coordinator reconciles the dead
+// rank's live-task contribution, and the search still terminates with
+// the exact optimum of the failure-free run.
 package main
 
 import (
@@ -41,6 +48,7 @@ func main() {
 	}
 	loopbackDemo()
 	multiProcessDemo()
+	faultInjectionDemo()
 }
 
 func loopbackDemo() {
@@ -121,6 +129,68 @@ func multiProcessDemo() {
 		res.Objective, res.Stats.Nodes, res.Stats.Workers, res.Stats.StealsOK, res.Stats.Broadcasts)
 	if res.Objective == single.Objective {
 		fmt.Println("  optima agree: distribution changed the schedule, not the answer")
+	} else {
+		fmt.Println("  OPTIMA DISAGREE — this is a bug")
+	}
+}
+
+// faultInjectionDemo runs the TCP deployment again with three workers
+// and SIGKILLs one mid-search: the supervised task ledger replays the
+// dead worker's subtree roots from the survivors, and the optimum is
+// unchanged.
+func faultInjectionDemo() {
+	fmt.Println("\nFault injection: SIGKILL a worker mid-search")
+	s := knapsackInstance()
+	single := core.Opt(core.DepthBounded, s, knapsack.Root(s), knapsack.OptProblem(), core.Config{Workers: 2, DCutoff: 4})
+
+	l, err := dist.NewListener("127.0.0.1:0", "example-knapsack")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "listen:", err)
+		os.Exit(1)
+	}
+	self, err := os.Executable()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "locating executable:", err)
+		os.Exit(1)
+	}
+	var workers []*exec.Cmd
+	for i := 0; i < 3; i++ {
+		cmd := exec.Command(self)
+		cmd.Env = append(os.Environ(), workerEnv+"="+l.Addr())
+		if err := cmd.Start(); err != nil {
+			fmt.Fprintln(os.Stderr, "spawning worker:", err)
+			os.Exit(1)
+		}
+		workers = append(workers, cmd)
+	}
+	tr, err := l.Wait(3)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "registration:", err)
+		os.Exit(1)
+	}
+	defer tr.Close()
+
+	// The assassin: give the search a moment to spread work, then
+	// SIGKILL one worker process outright.
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		workers[1].Process.Kill()
+		fmt.Println("  SIGKILLed worker process", workers[1].Process.Pid)
+	}()
+
+	res, err := core.DistOpt(tr, core.GobCodec[knapsack.Node]{}, core.DepthBounded,
+		s, knapsack.Root(s), knapsack.OptProblem(), core.Config{Workers: 2, DCutoff: 4, MaxFailures: -1})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "distributed search:", err)
+		os.Exit(1)
+	}
+	for _, cmd := range workers {
+		cmd.Wait()
+	}
+	fmt.Printf("  survivors' result: profit %d (deaths=%d, replayed %d subtree roots, ledger peak %d)\n",
+		res.Objective, res.Stats.Deaths, res.Stats.ReplayedTasks, res.Stats.LedgerPeak)
+	if res.Objective == single.Objective {
+		fmt.Println("  optimum survived the kill: the ledger replayed the lost subtrees")
 	} else {
 		fmt.Println("  OPTIMA DISAGREE — this is a bug")
 	}

@@ -67,6 +67,8 @@ type Options struct {
 	Dist        string
 	DistAddr    string
 	DistWorkers int
+	MaxFailures int
+	RegTimeout  time.Duration
 }
 
 // ParseArgs parses command-line arguments into Options.
@@ -105,6 +107,8 @@ func ParseArgs(args []string) (*Options, error) {
 	fs.StringVar(&o.Dist, "dist", "", "multi-process role: coordinator|worker (empty = single process)")
 	fs.StringVar(&o.DistAddr, "dist-addr", "127.0.0.1:9967", "coordinator address for -dist")
 	fs.IntVar(&o.DistWorkers, "dist-workers", 2, "coordinator: worker processes to wait for")
+	fs.IntVar(&o.MaxFailures, "max-failures", -1, "dist: worker deaths tolerated before the run reports an error (-1 = unlimited; deaths are always repaired by subtree replay)")
+	fs.DurationVar(&o.RegTimeout, "reg-timeout", 0, "dist coordinator: registration window before missing workers fail the deployment (0 = default)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -159,6 +163,7 @@ func (o *Options) Config() core.Config {
 		cfg.Pool = core.DequeKind
 	}
 	cfg.Order = o.order
+	cfg.MaxFailures = o.MaxFailures
 	return cfg
 }
 

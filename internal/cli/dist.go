@@ -60,7 +60,7 @@ func RunDist(o *Options, w io.Writer) error {
 	var tr dist.Transport
 	switch o.Dist {
 	case "coordinator":
-		l, err := dist.NewListener(o.DistAddr, o.distSpec())
+		l, err := dist.NewListenerOpts(o.DistAddr, o.distSpec(), dist.WireOptions{RegTimeout: o.RegTimeout})
 		if err != nil {
 			return fmt.Errorf("dist: listening on %s: %w", o.DistAddr, err)
 		}
@@ -70,6 +70,7 @@ func RunDist(o *Options, w io.Writer) error {
 			l.Close()
 			return err
 		}
+		fmt.Fprintf(w, "dist: all %d workers registered\n", o.DistWorkers)
 	case "worker":
 		var err error
 		tr, err = dist.Dial(o.DistAddr, o.distSpec())
@@ -184,6 +185,8 @@ func RunDist(o *Options, w io.Writer) error {
 		fmt.Fprintf(w, "wire: frames=%d bytes=%d batch=%.2f prefetch-hits=%d (%.0f%%)\n",
 			stats.Frames, stats.WireBytes, stats.BatchOccupancy(),
 			stats.PrefetchHits, 100*stats.PrefetchHitRate())
+		fmt.Fprintf(w, "fault: deaths=%d replayed=%d ledger-peak=%d\n",
+			stats.Deaths, stats.ReplayedTasks, stats.LedgerPeak)
 	}
 	return nil
 }

@@ -16,7 +16,7 @@ package core
 func runBudget[S, N any](e *engine[S, N], visitors []visitor[N], root N) {
 	budget := e.cfg.Budget
 	e.runPoolWorkers(root, visitors, func(w int, v visitor[N], sh *WorkerStats, t Task[N]) {
-		defer e.finishTask(w)
+		defer e.finishTask(w, t)
 		if e.cancel.cancelled() {
 			return
 		}
@@ -48,6 +48,7 @@ func runBudget[S, N any](e *engine[S, N], visitors []visitor[N], root N) {
 								Node:  child,
 								Depth: t.Depth + i + 1,
 								Prio:  e.prio.childPrio(disc[i], int(yields[i]), child),
+								fam:   t.fam,
 							})
 							yields[i]++
 						}

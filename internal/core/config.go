@@ -92,6 +92,22 @@ type Config struct {
 	// allocation component of the skeleton tax; the result of a search
 	// is identical either way.
 	NoRecycle bool
+	// LedgerCap bounds the supervised-task ledger: the number of
+	// handed-over tasks a locality retains (for replay, should the
+	// thief die) while awaiting completion acks. At capacity further
+	// hand-overs are refused, backpressuring steal traffic. Default
+	// 16384.
+	LedgerCap int
+	// MaxFailures is the locality-death budget of a distributed run
+	// (the Dist entry points; single-process searches cannot lose a
+	// locality). Deaths within the budget are absorbed: the dead
+	// rank's subtree roots are replayed from the survivors' ledgers
+	// and the search completes normally. Deaths beyond it make the
+	// Dist call return an error alongside its best-effort result.
+	// Negative means unlimited tolerance; the zero default tolerates
+	// none (any death is reported as an error, though the result is
+	// still repaired as far as replay allows).
+	MaxFailures int
 	// Seed seeds victim selection for work stealing. Default 1.
 	Seed int64
 	// Trace, if non-nil, records every task execution for workload
@@ -115,6 +131,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Budget <= 0 {
 		c.Budget = 10_000
+	}
+	if c.LedgerCap <= 0 {
+		c.LedgerCap = 16384
 	}
 	if c.Seed == 0 {
 		c.Seed = 1

@@ -13,7 +13,7 @@ package core
 // branch) or its bound distance, assigned by the engine's prioAssigner.
 func runDepthBounded[S, N any](e *engine[S, N], visitors []visitor[N], root N) {
 	e.runPoolWorkers(root, visitors, func(w int, v visitor[N], sh *WorkerStats, t Task[N]) {
-		defer e.finishTask(w)
+		defer e.finishTask(w, t)
 		if e.cancel.cancelled() {
 			return
 		}
@@ -29,6 +29,7 @@ func runDepthBounded[S, N any](e *engine[S, N], visitors []visitor[N], root N) {
 					Node:  child,
 					Depth: t.Depth + 1,
 					Prio:  e.prio.childPrio(t.Prio, i, child),
+					fam:   t.fam,
 				})
 			}
 			return

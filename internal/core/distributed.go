@@ -44,8 +44,12 @@ func decodeShare(b []byte) (distShare, error) {
 
 // gatherShares runs the terminal collective: every locality
 // contributes its share, and rank 0 gets everyone's back, decoded,
-// with all Stats merged into agg. Non-root callers get (nil, nil).
-func gatherShares(tr dist.Transport, share distShare, agg *Stats) ([]distShare, error) {
+// with the surviving localities' Stats merged into agg. Non-root
+// callers get (nil, nil). A dead locality's slot is nil — its live
+// subtrees were replayed by the survivors, so its missing share costs
+// only its metrics (and, for enumeration, its partial value, which is
+// why DistEnum refuses deaths).
+func gatherShares(tr dist.Transport, share distShare, agg *Stats) ([]*distShare, error) {
 	blobs, err := tr.Gather(encodeShare(share))
 	if err != nil {
 		return nil, fmt.Errorf("core: gathering results: %w", err)
@@ -53,19 +57,48 @@ func gatherShares(tr dist.Transport, share distShare, agg *Stats) ([]distShare, 
 	if tr.Rank() != 0 {
 		return nil, nil
 	}
-	shares := make([]distShare, len(blobs))
+	shares := make([]*distShare, len(blobs))
 	for rank, blob := range blobs {
 		if blob == nil {
-			return nil, fmt.Errorf("core: locality %d died before contributing its result", rank)
+			continue // died before contributing; replay already covered its work
 		}
 		s, err := decodeShare(blob)
 		if err != nil {
 			return nil, fmt.Errorf("core: decoding locality %d share: %w", rank, err)
 		}
 		agg.merge(s.Stats)
-		shares[rank] = s
+		shares[rank] = &s
 	}
 	return shares, nil
+}
+
+// failurePolicy turns the observed death count into the Dist call's
+// error, honouring Config.MaxFailures (negative = unlimited).
+func failurePolicy(cfg Config, deaths int64) error {
+	if deaths == 0 || cfg.MaxFailures < 0 || deaths <= int64(cfg.MaxFailures) {
+		return nil
+	}
+	return fmt.Errorf("core: %d localities died mid-search, exceeding the failure budget of %d (result repaired by replay as far as the survivors' ledgers reach)", deaths, cfg.MaxFailures)
+}
+
+// bestRetained consults the transport's incumbent retention (rank 0
+// only): the best (obj, node) pair any locality published before
+// dying, decoded through the deployment codec.
+func bestRetained[N any](tr dist.Transport, codec Codec[N]) (N, int64, bool) {
+	var zero N
+	store, ok := tr.(dist.IncumbentStore)
+	if !ok {
+		return zero, 0, false
+	}
+	obj, blob, ok := store.BestKnown()
+	if !ok {
+		return zero, 0, false
+	}
+	n, err := codec.Decode(blob)
+	if err != nil {
+		return zero, 0, false
+	}
+	return n, obj, true
 }
 
 // distCoordination validates that a coordination is available across
@@ -122,6 +155,7 @@ func DistOpt[S, N any](tr dist.Transport, codec Codec[N], coord Coordination, sp
 	m := newMetrics(cfg.Workers)
 	cancel := newCanceller()
 	inc := newIncumbent[N](fab.trs)
+	inc.encode = codec.Encode
 	fab.bounds = inc
 	vs := newOptVisitors(space, p, inc, m, make([]int, cfg.Workers))
 	prio := newPrioAssigner(cfg.Order, space, root, p.Bound)
@@ -131,6 +165,7 @@ func DistOpt[S, N any](tr dist.Transport, codec Codec[N], coord Coordination, sp
 	stats.Elapsed = time.Since(start)
 	stats.Broadcasts = inc.broadcasts()
 	fab.wireStats(&stats)
+	fab.faultStats(&stats)
 	node, obj, has := inc.result()
 
 	share := distShare{Obj: obj, Has: has, Stats: stats}
@@ -151,7 +186,7 @@ func DistOpt[S, N any](tr dist.Transport, codec Codec[N], coord Coordination, sp
 		return local, nil
 	}
 	for rank, s := range shares {
-		if s.Has && (!agg.Found || s.Obj > agg.Objective) {
+		if s != nil && s.Has && (!agg.Found || s.Obj > agg.Objective) {
 			n, err := codec.Decode(s.Node)
 			if err != nil {
 				return agg, fmt.Errorf("core: decoding locality %d best node: %w", rank, err)
@@ -159,7 +194,13 @@ func DistOpt[S, N any](tr dist.Transport, codec Codec[N], coord Coordination, sp
 			agg.Best, agg.Objective, agg.Found = n, s.Obj, true
 		}
 	}
-	return agg, nil
+	// The transport retains every node-carrying bound broadcast, so
+	// an optimum found by a locality that died before the gather is
+	// still recovered here.
+	if n, robj, ok := bestRetained(tr, codec); ok && (!agg.Found || robj > agg.Objective) {
+		agg.Best, agg.Objective, agg.Found = n, robj, true
+	}
+	return agg, failurePolicy(cfg, agg.Stats.Deaths)
 }
 
 // DistEnum runs this process's locality of a distributed enumeration
@@ -180,6 +221,7 @@ func DistEnum[S, N, M any](tr dist.Transport, codec Codec[N], coord Coordination
 	stats := m.total()
 	stats.Elapsed = time.Since(start)
 	fab.wireStats(&stats)
+	fab.faultStats(&stats)
 	value := combineEnum[S, N, M](p.Monoid, vs)
 
 	var vbuf bytes.Buffer
@@ -196,13 +238,20 @@ func DistEnum[S, N, M any](tr dist.Transport, codec Codec[N], coord Coordination
 		return local, nil
 	}
 	for rank, s := range shares {
+		if s == nil {
+			// Enumeration is the one skeleton replay cannot repair: a
+			// dead rank's partial monoid value is gone, and replaying
+			// its subtrees would double-count whatever it had already
+			// folded in. Report the loss instead of a wrong total.
+			return agg, fmt.Errorf("core: locality %d died mid-enumeration; its partial value is unrecoverable (enumeration cannot survive locality death — see the fault-tolerance notes)", rank)
+		}
 		var v M
 		if err := gob.NewDecoder(bytes.NewReader(s.Value)).Decode(&v); err != nil {
 			return agg, fmt.Errorf("core: decoding locality %d monoid value: %w", rank, err)
 		}
 		agg.Value = p.Monoid.Plus(agg.Value, v)
 	}
-	return agg, nil
+	return agg, failurePolicy(cfg, agg.Stats.Deaths)
 }
 
 // DistDecide runs this process's locality of a distributed decision
@@ -219,12 +268,26 @@ func DistDecide[S, N any](tr dist.Transport, codec Codec[N], coord Coordination,
 	cancel := newCanceller()
 	wit := &witness[N]{}
 	vs := newDecisionVisitors(space, p, wit, cancel, m, cfg.Workers)
+	// A locally found witness rides the cancel broadcast, so it
+	// reaches rank 0's retention before this process can die with it.
+	fab.cancelInfo = func() (int64, []byte) {
+		n, obj, found := wit.get()
+		if !found {
+			return 0, nil
+		}
+		blob, err := codec.Encode(n)
+		if err != nil {
+			return obj, nil
+		}
+		return obj, blob
+	}
 	prio := newPrioAssigner(cfg.Order, space, root, p.Bound)
 	start := time.Now()
 	runDistEngine(coord, space, p.Gen, cfg, m, cancel, vs, root, fab, prio)
 	stats := m.total()
 	stats.Elapsed = time.Since(start)
 	fab.wireStats(&stats)
+	fab.faultStats(&stats)
 	node, obj, found := wit.get()
 
 	share := distShare{Obj: obj, Has: found, Stats: stats}
@@ -245,7 +308,7 @@ func DistDecide[S, N any](tr dist.Transport, codec Codec[N], coord Coordination,
 		return local, nil
 	}
 	for rank, s := range shares {
-		if s.Has && !agg.Found {
+		if s != nil && s.Has && !agg.Found {
 			n, err := codec.Decode(s.Node)
 			if err != nil {
 				return agg, fmt.Errorf("core: decoding locality %d witness: %w", rank, err)
@@ -253,5 +316,12 @@ func DistDecide[S, N any](tr dist.Transport, codec Codec[N], coord Coordination,
 			agg.Witness, agg.Objective, agg.Found = n, s.Obj, true
 		}
 	}
-	return agg, nil
+	// A witness found by a rank that died after cancelling survives in
+	// the transport's retention.
+	if !agg.Found {
+		if n, robj, ok := bestRetained(tr, codec); ok {
+			agg.Witness, agg.Objective, agg.Found = n, robj, true
+		}
+	}
+	return agg, failurePolicy(cfg, agg.Stats.Deaths)
 }

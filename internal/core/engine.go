@@ -64,8 +64,14 @@ func newEngine[S, N any](space S, gf GenFactory[S, N], cfg Config, m *Metrics, c
 
 // spawnTask registers a new task with the global live count (before it
 // becomes visible to any worker) and pushes it on w's locality pool.
+// The spawner passes its own task's supervision family through (Task
+// literal field fam), so a received subtree's descendants keep the
+// origin's ledger entry alive until the whole subtree completes.
 func (e *engine[S, N]) spawnTask(w int, sh *WorkerStats, t Task[N]) {
 	e.fab.trs[e.topo.locality(w)].AddTasks(1)
+	if t.fam != nil {
+		t.fam.pending.Add(1)
+	}
 	sh.Spawns++
 	if e.ordered {
 		sh.notePrio(t.Prio)
@@ -75,9 +81,14 @@ func (e *engine[S, N]) spawnTask(w int, sh *WorkerStats, t Task[N]) {
 
 // finishTask deregisters one completed task. Every task obtained by a
 // worker must be finished exactly once, after any children it spawns
-// are registered.
-func (e *engine[S, N]) finishTask(w int) {
-	e.fab.trs[e.topo.locality(w)].AddTasks(-1)
+// are registered. A received task's completion also drains its
+// supervision family — the last drain acks the hand-over's origin.
+func (e *engine[S, N]) finishTask(w int, t Task[N]) {
+	loc := e.topo.locality(w)
+	e.fab.trs[loc].AddTasks(-1)
+	if t.fam != nil {
+		e.fab.locs[loc].famDone(t.fam)
+	}
 }
 
 // runPoolWorkers seeds the root task (on the locality that owns the
@@ -99,6 +110,31 @@ func (e *engine[S, N]) runPoolWorkers(root N, visitors []visitor[N], runTask fun
 		e.topo.pools[0].Push(Task[N]{Node: root, Depth: 0})
 	}
 	done := e.fab.trs[0].Done()
+
+	// Death watchers: one goroutine per in-process locality consumes
+	// the transport's death notifications and replays the ledger.
+	// They stop with the workers — a death after global termination
+	// has nothing left to replay (Done fires only once every ledger is
+	// empty: an unacked entry is an outstanding registration).
+	watchStop := make(chan struct{})
+	defer close(watchStop)
+	if e.fab.size > 1 {
+		for i := range e.fab.locs {
+			go func(i int) {
+				deaths := e.fab.trs[i].Deaths()
+				for {
+					select {
+					case <-watchStop:
+						return
+					case rank := <-deaths:
+						if e.topo.onDeath(i, rank) {
+							e.fab.deaths.Add(1)
+						}
+					}
+				}
+			}(i)
+		}
+	}
 
 	// Idle pacing: a worker that finds nothing yields a few rounds
 	// (steal response stays far below task granularity while work is

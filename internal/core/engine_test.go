@@ -36,7 +36,7 @@ func TestRunPoolWorkersExecutesAllSpawns(t *testing.T) {
 	}
 	var executed atomic.Int64
 	e.runPoolWorkers(0, vs, func(w int, _ visitor[int], sh *WorkerStats, task Task[int]) {
-		defer e.finishTask(w)
+		defer e.finishTask(w, task)
 		executed.Add(1)
 		// fan out a small two-level tree of tasks
 		if task.Depth < 2 {
@@ -71,7 +71,7 @@ func TestRunPoolWorkersCancelStopsEarly(t *testing.T) {
 	go func() {
 		defer close(done)
 		e.runPoolWorkers(0, vs, func(w int, _ visitor[int], sh *WorkerStats, task Task[int]) {
-			defer e.finishTask(w)
+			defer e.finishTask(w, task)
 			if executed.Add(1) == 5 {
 				cancel.cancel() // simulate a decision witness
 				return

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"yewpar/internal/dist"
 )
@@ -33,6 +34,14 @@ type fabric[N any] struct {
 	bounds boundSink  // set for optimisation searches
 	cancel *canceller // set at start
 	net    *dist.LoopbackNetwork
+
+	// cancelInfo, when set (decision searches), supplies the objective
+	// and encoded witness a Cancel broadcast carries, so the witness
+	// survives its finder's death.
+	cancelInfo func() (int64, []byte)
+	// deaths counts distinct peer deaths observed by this process's
+	// localities (each dead rank once, however many localities see it).
+	deaths atomic.Int64
 }
 
 // newLoopbackFabric builds the single-process fabric: cfg.Localities
@@ -76,7 +85,14 @@ func newDistFabric[N any](tr dist.Transport, codec Codec[N]) *fabric[N] {
 // construction) and before any search worker starts.
 func (f *fabric[N]) start(cancel *canceller) {
 	f.cancel = cancel
-	cancel.bcast = func() { f.trs[0].Cancel() }
+	cancel.bcast = func() {
+		var obj int64
+		var witness []byte
+		if f.cancelInfo != nil {
+			obj, witness = f.cancelInfo()
+		}
+		f.trs[0].Cancel(obj, witness)
+	}
 	for i, tr := range f.trs {
 		tr.Start(f.locs[i])
 	}
@@ -104,6 +120,23 @@ func (f *fabric[N]) wireStats(s *Stats) {
 	}
 }
 
+// faultStats folds the fault-tolerance counters — deaths observed,
+// ledger retention peak, subtree roots replayed — into s. Call after
+// all workers have joined.
+func (f *fabric[N]) faultStats(s *Stats) {
+	s.Deaths += f.deaths.Load()
+	for _, loc := range f.locs {
+		if loc.led == nil {
+			continue
+		}
+		peak, replayed := loc.led.stats()
+		if int64(peak) > s.LedgerPeak {
+			s.LedgerPeak = int64(peak)
+		}
+		s.ReplayedTasks += replayed
+	}
+}
+
 // locState is one in-process locality's engine endpoint: the
 // dist.Handler serving its peers. The pool is installed by the engine
 // before the fabric starts; coordinations without pools (sequential,
@@ -112,6 +145,7 @@ type locState[N any] struct {
 	idx  int // index among in-process localities
 	rank int // global rank
 	pool Pool[N]
+	led  *ledger[N] // supervision ledger; nil for pool-less coordinations
 	fab  *fabric[N]
 	// wake, when set (by the engine's topology), releases a parked
 	// worker of this locality after work arrives from outside the
@@ -123,9 +157,25 @@ var _ dist.Handler = (*locState[string])(nil)
 var _ dist.MultiStealer = (*locState[string])(nil)
 var _ dist.StealRanker = (*locState[string])(nil)
 
+// famDone records one drain of a family's supervision counter; the
+// last drain acks the origin, retiring the ledger entry whose replay
+// would otherwise cover this subtree. On the loopback network the ack
+// is delivered synchronously, so the drain can cascade up a hand-over
+// chain within this call.
+func (h *locState[N]) famDone(f *family) {
+	if f == nil {
+		return
+	}
+	if f.pending.Add(-1) == 0 {
+		h.fab.trs[h.idx].Ack(dist.TaskOrigin(f.id), f.id)
+	}
+}
+
 // ServeSteal implements dist.Handler: hand the thief the shallowest
 // spare task, stamped with this locality's current bound so the thief
-// prunes with knowledge at least as fresh as the victim's.
+// prunes with knowledge at least as fresh as the victim's, and
+// retained in the ledger under a freshly minted hand-over id until the
+// thief acks the subtree's completion.
 func (h *locState[N]) ServeSteal(thief int) (dist.WireTask, bool) {
 	if h.pool == nil {
 		return dist.WireTask{}, false
@@ -134,7 +184,13 @@ func (h *locState[N]) ServeSteal(thief int) (dist.WireTask, bool) {
 	if !ok {
 		return dist.WireTask{}, false
 	}
-	wt := dist.WireTask{Depth: t.Depth, Prio: int(t.Prio), Bound: math.MinInt64}
+	id, ok := h.handOver(thief, t)
+	if !ok {
+		// Dead thief or full ledger: keep the task, serve nothing.
+		h.pool.Push(t)
+		return dist.WireTask{}, false
+	}
+	wt := dist.WireTask{ID: id, Depth: t.Depth, Prio: int(t.Prio), Bound: math.MinInt64}
 	if b := h.fab.bounds; b != nil {
 		wt.Bound = b.localBest(h.idx)
 	}
@@ -143,7 +199,7 @@ func (h *locState[N]) ServeSteal(thief int) (dist.WireTask, bool) {
 		if err != nil {
 			// An unencodable node is a deployment bug; keep the task
 			// rather than lose it, and let the thief look elsewhere.
-			h.pool.Push(t)
+			h.unwind(id, t)
 			return dist.WireTask{}, false
 		}
 		wt.Payload = bs
@@ -151,6 +207,27 @@ func (h *locState[N]) ServeSteal(thief int) (dist.WireTask, bool) {
 		wt.Local = t
 	}
 	return wt, true
+}
+
+// handOver retains t in the ledger for the thief. Coordinations
+// without a ledger (none today: every pool-based coordination gets
+// one) hand over unsupervised with id 0.
+func (h *locState[N]) handOver(thief int, t Task[N]) (uint64, bool) {
+	if h.led == nil {
+		return 0, true
+	}
+	return h.led.handOver(thief, t)
+}
+
+// unwind takes back a hand-over that failed after its ledger entry was
+// minted (encode error): the entry is retired without continuing any
+// family drain — the task never left — and the task goes back to the
+// pool.
+func (h *locState[N]) unwind(id uint64, t Task[N]) {
+	if h.led != nil && id != 0 {
+		h.led.retire(id)
+	}
+	h.pool.Push(t)
 }
 
 // ServeStealMulti implements dist.MultiStealer for transports whose
@@ -187,7 +264,10 @@ func (h *locState[N]) ServeStealMulti(thief, max int) []dist.WireTask {
 	}
 	// Offsets, not subslices, while encoding: append growth may move
 	// the backing array, and payloads are sliced out only at the end.
-	type span struct{ start, end, depth, prio int }
+	type span struct {
+		start, end, depth, prio int
+		id                      uint64
+	}
 	var backing []byte
 	var spans []span
 	for len(spans) < max {
@@ -195,18 +275,24 @@ func (h *locState[N]) ServeStealMulti(thief, max int) []dist.WireTask {
 		if !ok {
 			break
 		}
-		nb, err := h.fab.codec.EncodeTo(backing, t.Node)
-		if err != nil {
+		id, ok := h.handOver(thief, t)
+		if !ok {
 			h.pool.Push(t)
 			break
 		}
-		spans = append(spans, span{start: len(backing), end: len(nb), depth: t.Depth, prio: int(t.Prio)})
+		nb, err := h.fab.codec.EncodeTo(backing, t.Node)
+		if err != nil {
+			h.unwind(id, t)
+			break
+		}
+		spans = append(spans, span{start: len(backing), end: len(nb), depth: t.Depth, prio: int(t.Prio), id: id})
 		backing = nb
 	}
 	out := make([]dist.WireTask, len(spans))
 	for i, sp := range spans {
 		out[i] = dist.WireTask{
 			Payload: backing[sp.start:sp.end:sp.end],
+			ID:      sp.id,
 			Depth:   sp.depth,
 			Prio:    sp.prio,
 			Bound:   bound,
@@ -252,27 +338,64 @@ func (h *locState[N]) OnCancel(from int) {
 	}
 }
 
+// adopt turns a received WireTask into a locally registered engine
+// task: the bound snapshot is merged, the receipt is registered with
+// the global live count (the victim's ledger copy keeps its own
+// registration until our ack, so the task is never uncovered), and a
+// fresh supervision family is opened under the hand-over id.
+func (h *locState[N]) adopt(wt dist.WireTask) Task[N] {
+	if b := h.fab.bounds; b != nil && wt.Bound > math.MinInt64 {
+		b.applyRemote(h.idx, wt.Bound)
+	}
+	var t Task[N]
+	if wt.Local != nil {
+		t = wt.Local.(Task[N])
+	} else {
+		n, err := h.fab.codec.Decode(wt.Payload)
+		if err != nil {
+			// Mismatched codecs across a deployment are unrecoverable:
+			// the task cannot be run here and returning it is
+			// impossible.
+			panic(fmt.Sprintf("core: decoding stolen task: %v", err))
+		}
+		t = Task[N]{Node: n, Depth: wt.Depth, Prio: int32(wt.Prio)}
+	}
+	t.fam = nil
+	if wt.ID != 0 {
+		t.fam = newFamily(wt.ID)
+	}
+	h.fab.trs[h.idx].AddTasks(1)
+	return t
+}
+
 // OnTask implements dist.Handler: adopt a stolen task whose steal
-// request had already timed out when the reply arrived. It is still
-// registered in the global live count, so it must run here or the
+// request had already timed out when the reply arrived, or a batch
+// extra beyond the requesting worker's slot. Its victim retains it
+// until we ack, so it must run here (or be replayed there) or the
 // search never terminates.
 func (h *locState[N]) OnTask(wt dist.WireTask) {
 	if h.pool == nil {
 		return
 	}
-	if b := h.fab.bounds; b != nil && wt.Bound > math.MinInt64 {
-		b.applyRemote(h.idx, wt.Bound)
-	}
-	if wt.Local != nil {
-		h.pool.Push(wt.Local.(Task[N]))
-	} else {
-		n, err := h.fab.codec.Decode(wt.Payload)
-		if err != nil {
-			panic(fmt.Sprintf("core: decoding adopted task: %v", err))
-		}
-		h.pool.Push(Task[N]{Node: n, Depth: wt.Depth, Prio: int32(wt.Prio)})
-	}
+	h.pool.Push(h.adopt(wt))
 	if h.wake != nil {
 		h.wake()
 	}
+}
+
+// OnAck implements dist.Handler: a thief certifies that the subtree
+// handed over under id has fully completed. The retained copy is
+// retired, its registration released, and — if the handed-over task
+// was itself part of a received family — the family drain continues,
+// cascading the certificate towards the hand-over chain's origin.
+func (h *locState[N]) OnAck(from int, id uint64) {
+	if h.led == nil {
+		return
+	}
+	fam, ok := h.led.retire(id)
+	if !ok {
+		return // already replayed by a death race; the replay owns the task now
+	}
+	h.fab.trs[h.idx].AddTasks(-1)
+	h.famDone(fam)
 }

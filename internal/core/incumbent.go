@@ -35,6 +35,13 @@ type incumbent[N any] struct {
 	caches []paddedInt64
 	trs    []dist.Transport // parallel to caches; broadcast targets
 	bcasts atomic.Int64     // bound broadcasts sent (metrics)
+
+	// encode, when set (wire deployments), serialises the incumbent
+	// node onto its bound broadcasts, so the transport can retain the
+	// best (obj, node) pair at rank 0 and the optimum survives the
+	// death of the locality that found it. In-process deployments
+	// leave it nil: all localities share this incumbent anyway.
+	encode func(N) ([]byte, error)
 }
 
 // newIncumbent creates the incumbent for the given in-process locality
@@ -90,7 +97,14 @@ func (in *incumbent[N]) strengthen(loc int, obj int64, n N) bool {
 	// Broadcast (and count) only when there is a peer to tell: a
 	// single-locality deployment must report broadcasts=0.
 	if in.trs != nil && in.trs[loc].Size() > 1 {
-		in.trs[loc].BroadcastBound(obj)
+		var blob []byte
+		if in.encode != nil {
+			// A failed encoding degrades the broadcast to bound-only
+			// (the node then survives only in this locality's gather
+			// share); it cannot be allowed to suppress the bound.
+			blob, _ = in.encode(n)
+		}
+		in.trs[loc].BroadcastBound(obj, blob)
 		in.bcasts.Add(1)
 	}
 	return true

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"yewpar/internal/dist"
+)
+
+// The supervised-task ledger is the engine half of the fault-tolerance
+// protocol (the transport half is death detection and the kAck/kDeath
+// vocabulary of wire protocol v4). Branch-and-bound task execution is
+// idempotent and replay-safe — re-running a subtree can change which
+// nodes are visited, never the answer — so a locality that hands a
+// task over the wire retains a copy keyed by a freshly minted
+// hand-over id. The copy is retired when the thief acks the id, which
+// it does only once the entire subtree rooted at the task has
+// completed (tracked by the family counters below). When a peer dies,
+// the unacked entries handed to it are exactly the subtree roots the
+// dead rank was holding, and re-enqueueing them locally loses nothing:
+// the stronger incumbent accumulated since the original hand-over
+// usually makes the replay far cheaper than the first attempt.
+//
+// Accounting is what makes this safe for termination detection. A
+// handed-over task's registration (+1 by whoever spawned it here)
+// stays outstanding until the ack arrives — the ledger entry *is* the
+// registration's continuation — so replaying an entry is
+// accounting-neutral, and the coordinator can reconcile a death by
+// dropping only the dead rank's own contribution.
+
+// family supervises one received hand-over: the counter covers the
+// received task itself, every locally spawned descendant task, and
+// every descendant re-handed to another peer (whose own ledger entry
+// defers the decrement until its ack). When the counter drains, the
+// whole subtree has provably completed — here or downstream — and the
+// origin is acked. Chaining entries to families makes supervision
+// transitive: an origin's entry survives until its subtree is done
+// everywhere, so even a chain of deaths can be replayed from the
+// earliest survivor.
+type family struct {
+	id      uint64
+	pending atomic.Int64
+}
+
+func newFamily(id uint64) *family {
+	f := &family{id: id}
+	f.pending.Store(1)
+	return f
+}
+
+// ledgerEntry is one retained hand-over: who holds the task, the task
+// itself (ready to re-enqueue), and the family whose drain the ack
+// will continue.
+type ledgerEntry[N any] struct {
+	thief int
+	task  Task[N]
+	fam   *family
+}
+
+// ledger is one locality's supervision table. Bounded: when cap
+// entries are outstanding, further hand-overs are refused (the victim
+// keeps its task and the thief looks elsewhere), which backpressures
+// steal traffic rather than growing retention without limit.
+type ledger[N any] struct {
+	mu      sync.Mutex
+	rank    int
+	cap     int
+	seq     uint64
+	entries map[uint64]ledgerEntry[N]
+	dead    map[int]bool
+
+	peak     int
+	replayed int64
+}
+
+func newLedger[N any](rank, capacity int) *ledger[N] {
+	return &ledger[N]{
+		rank:    rank,
+		cap:     capacity,
+		entries: make(map[uint64]ledgerEntry[N]),
+		dead:    make(map[int]bool),
+	}
+}
+
+// handOver mints an id and retains t under it. It refuses (id 0, false)
+// when the thief is already known dead — the hand-over would be lost
+// the moment it left — or when the ledger is at capacity.
+func (l *ledger[N]) handOver(thief int, t Task[N]) (uint64, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.dead[thief] || len(l.entries) >= l.cap {
+		return 0, false
+	}
+	l.seq++
+	id := dist.TaskID(l.rank, l.seq)
+	l.entries[id] = ledgerEntry[N]{thief: thief, task: t, fam: t.fam}
+	if len(l.entries) > l.peak {
+		l.peak = len(l.entries)
+	}
+	return id, true
+}
+
+// retire removes an acked entry, returning the family its drain
+// continues (nil when none) and whether the entry was still present.
+// Acks for entries already replayed by a death race are ignored —
+// retire is idempotent, which is what keeps a late ack from a
+// half-dead peer from corrupting the count.
+func (l *ledger[N]) retire(id uint64) (*family, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e, ok := l.entries[id]
+	if !ok {
+		return nil, false
+	}
+	delete(l.entries, id)
+	return e.fam, true
+}
+
+// reap marks a rank dead (permanently refusing future hand-overs to
+// it) and removes every entry it was holding, returning the retained
+// tasks for local re-enqueueing.
+func (l *ledger[N]) reap(rank int) []Task[N] {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.dead[rank] {
+		// Already reaped; entries handed over before the death was
+		// known are impossible (handOver checks dead), so there is
+		// nothing new to collect.
+		return nil
+	}
+	l.dead[rank] = true
+	var tasks []Task[N]
+	for id, e := range l.entries {
+		if e.thief == rank {
+			tasks = append(tasks, e.task)
+			delete(l.entries, id)
+		}
+	}
+	l.replayed += int64(len(tasks))
+	return tasks
+}
+
+// stats reports the retention peak and replayed-task count.
+func (l *ledger[N]) stats() (peak int, replayed int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.peak, l.replayed
+}
+
+// outstanding reports the current number of retained entries.
+func (l *ledger[N]) outstanding() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.entries)
+}

@@ -17,6 +17,13 @@ type Task[N any] struct {
 	Node  N
 	Depth int
 	Prio  int32
+	// fam is the supervision family of the hand-over this task
+	// descends from (nil for tasks with only local ancestry): the
+	// counter that, fully drained, acks the hand-over's origin and
+	// retires the ledger copy covering this subtree. Spawns propagate
+	// it parent → child; it never crosses the wire (a receiver opens
+	// its own family).
+	fam *family
 }
 
 // Pool is a locality's workpool. Pop is used by local workers, Steal by

@@ -93,6 +93,16 @@ type Stats struct {
 	BatchTasks   int64 // tasks received in steal replies (occupancy numerator)
 	BatchReplies int64 // non-empty steal replies received (occupancy denominator)
 	PrefetchHits int64 // steals satisfied from the steal-ahead buffer
+
+	// Fault-tolerance counters (distributed runs). Deaths is the
+	// number of localities that died mid-search (every survivor
+	// observes the same global number, so merges take the max);
+	// ReplayedTasks counts ledger entries re-enqueued by survivors —
+	// the subtree roots the dead ranks were holding; LedgerPeak is the
+	// largest supervised-task retention any locality reached.
+	Deaths        int64
+	ReplayedTasks int64
+	LedgerPeak    int64
 }
 
 // BatchOccupancy is the mean number of tasks per non-empty steal
@@ -136,6 +146,13 @@ func (s *Stats) merge(o Stats) {
 	s.BatchTasks += o.BatchTasks
 	s.BatchReplies += o.BatchReplies
 	s.PrefetchHits += o.PrefetchHits
+	if o.Deaths > s.Deaths {
+		s.Deaths = o.Deaths
+	}
+	s.ReplayedTasks += o.ReplayedTasks
+	if o.LedgerPeak > s.LedgerPeak {
+		s.LedgerPeak = o.LedgerPeak
+	}
 }
 
 func (s *Stats) add(w WorkerStats) {

@@ -1,9 +1,8 @@
 package core
 
 import (
-	"fmt"
-	"math"
 	"math/rand"
+	"sync/atomic"
 	"time"
 
 	"yewpar/internal/dist"
@@ -58,6 +57,10 @@ type topology[N any] struct {
 	prioAware   []dist.PrioAware // per in-process locality; nil entries when unsupported
 	ordered     bool             // rank victims by priority summaries
 	vscratch    []*victimScratch // per worker: victim-order scratch
+	// dead[rank] marks globally dead localities: skipped permanently
+	// by victim selection (their transports would only fail the steal,
+	// but probing a corpse still costs a round trip or a timeout).
+	dead []atomic.Bool
 }
 
 // victimScratch is one thief's reusable victim-ranking buffers.
@@ -87,6 +90,7 @@ func newTopology[N any](fab *fabric[N], cfg Config) *topology[N] {
 		prioAware:   make([]dist.PrioAware, nloc),
 		ordered:     cfg.Order != OrderNone,
 		vscratch:    make([]*victimScratch, cfg.Workers),
+		dead:        make([]atomic.Bool, fab.size),
 	}
 	for w := range tp.vscratch {
 		tp.vscratch[w] = &victimScratch{}
@@ -125,6 +129,9 @@ func newTopology[N any](fab *fabric[N], cfg Config) *topology[N] {
 		}
 		tp.pools[i] = NewShardedPool[N](cfg.Pool, shards)
 		fab.locs[i].pool = tp.pools[i]
+		if fab.size > 1 {
+			fab.locs[i].led = newLedger[N](fab.locs[i].rank, cfg.LedgerCap)
+		}
 		tp.parkers[i] = newParker(localWorkers[i])
 		fab.locs[i].wake = tp.parkers[i].wake
 		if pa, ok := fab.trs[i].(dist.PrioAware); ok {
@@ -167,25 +174,33 @@ func (tp *topology[N]) push(w int, t Task[N]) {
 }
 
 // victimOrder writes the sequence of peer ranks a thief of loc should
-// probe into sc.order. Unordered searches rotate the ring at a random
-// start (the paper's random-victim policy, with every peer covered
-// exactly once). Ordered searches additionally sort by the transport's
-// summary knowledge: peers with known stealable work by ascending
-// priority, then peers of unknown state, then peers that last
-// advertised empty — stale hints demote a victim, never hide it. Each
-// peer's summary is read exactly once, before sorting: on the loopback
-// transport a lookup inspects the victim's live pool (locking its
-// shards), so re-reading inside the sort would both contend with the
-// victim's owner hot path and let the comparator shift mid-sort. The
-// returned slice aliases sc.order.
+// probe into sc.order. Dead peers are excluded permanently — a steal
+// aimed at a corpse can only fail, after a round trip or a timeout.
+// Unordered searches rotate the ring at a random start (the paper's
+// random-victim policy, with every peer covered exactly once). Ordered
+// searches additionally sort by the transport's summary knowledge:
+// peers with known stealable work by ascending priority, then peers of
+// unknown state, then peers that last advertised empty — stale hints
+// demote a victim, never hide it. Each peer's summary is read exactly
+// once, before sorting: on the loopback transport a lookup inspects
+// the victim's live pool (locking its shards), so re-reading inside
+// the sort would both contend with the victim's owner hot path and let
+// the comparator shift mid-sort. The returned slice aliases sc.order.
 func (tp *topology[N]) victimOrder(loc int, rng *rand.Rand, sc *victimScratch) []int {
 	vs := tp.victims[loc]
 	buf := sc.order[:0]
 	start := rng.Intn(len(vs))
 	for i := 0; i < len(vs); i++ {
-		buf = append(buf, vs[(start+i)%len(vs)])
+		v := vs[(start+i)%len(vs)]
+		if tp.dead[v].Load() {
+			continue
+		}
+		buf = append(buf, v)
 	}
 	sc.order = buf
+	if len(buf) == 0 {
+		return buf
+	}
 	pa := tp.prioAware[loc]
 	if !tp.ordered || pa == nil {
 		return buf
@@ -255,6 +270,11 @@ func (tp *topology[N]) popOrSteal(w int, sh *WorkerStats) (Task[N], bool) {
 	}
 	sc := tp.vscratch[w]
 	order := tp.victimOrder(loc, tp.rngs[w], sc)
+	if len(order) == 0 {
+		// Every peer is dead: this locality is on its own for good.
+		var zero Task[N]
+		return zero, false
+	}
 	guided := tp.ordered && tp.prioAware[loc] != nil
 	for i, v := range order {
 		wt, ok, err := tp.fab.trs[loc].Steal(v)
@@ -345,21 +365,34 @@ func (tp *topology[N]) prefetch(loc int) {
 	}()
 }
 
-// fromWire turns a transport task back into an engine task, merging
-// the victim's bound snapshot into the locality's cache so the stolen
-// subtree is pruned with knowledge at least as fresh as its victim's.
+// fromWire turns a transport task back into an engine task via the
+// locality's adopt path: bound snapshot merged, receipt registered
+// with the live count, supervision family opened under the hand-over
+// id so the victim's ledger copy can eventually be acked away.
 func (tp *topology[N]) fromWire(loc int, wt dist.WireTask) Task[N] {
-	if b := tp.fab.bounds; b != nil && wt.Bound > math.MinInt64 {
-		b.applyRemote(loc, wt.Bound)
+	return tp.fab.locs[loc].adopt(wt)
+}
+
+// onDeath reacts to a peer locality's death as seen from in-process
+// locality loc: the rank is struck from the victim ring, the ledger
+// entries it was holding are re-enqueued locally (the replayed subtree
+// roots stay covered by their original registrations, so no accounting
+// changes hands), the steal backoff is reset — the victim set just
+// changed shape, so survivors should re-probe immediately instead of
+// sleeping through the recovery window — and parked workers are woken
+// to claim the replayed work. Reports whether this call was the first
+// to observe the rank's death in this process (for death counting).
+func (tp *topology[N]) onDeath(loc, rank int) bool {
+	first := tp.dead[rank].CompareAndSwap(false, true)
+	if led := tp.fab.locs[loc].led; led != nil {
+		for _, t := range led.reap(rank) {
+			tp.pools[loc].Push(t)
+			tp.parkers[loc].wake()
+		}
 	}
-	if wt.Local != nil {
-		return wt.Local.(Task[N])
+	if bo := tp.backoffAt(loc); bo != nil {
+		bo.reset()
 	}
-	n, err := tp.fab.codec.Decode(wt.Payload)
-	if err != nil {
-		// Mismatched codecs across a deployment are unrecoverable:
-		// the task cannot be run here and returning it is impossible.
-		panic(fmt.Sprintf("core: decoding stolen task: %v", err))
-	}
-	return Task[N]{Node: n, Depth: wt.Depth, Prio: int32(wt.Prio)}
+	tp.parkers[loc].wake()
+	return first
 }

@@ -77,6 +77,7 @@ type recHandler struct {
 	mu         sync.Mutex
 	tasks      []WireTask
 	adopted    []WireTask // late steal replies re-homed via OnTask
+	acks       []uint64   // hand-over ids acked back to this locality
 	boundMax   atomic.Int64
 	bounds     []int64 // delivery order, for monotonicity of the merge
 	cancelled  atomic.Int64
@@ -116,6 +117,18 @@ func (h *recHandler) OnBound(from int, obj int64) {
 }
 
 func (h *recHandler) OnCancel(from int) { h.cancelled.Add(1) }
+
+func (h *recHandler) OnAck(from int, id uint64) {
+	h.mu.Lock()
+	h.acks = append(h.acks, id)
+	h.mu.Unlock()
+}
+
+func (h *recHandler) ackedIDs() []uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]uint64{}, h.acks...)
+}
 
 // BestStealPrio implements StealRanker the way a real locality does:
 // the best (lowest) priority among the tasks a thief could take.
@@ -229,7 +242,7 @@ func TestConformanceBoundBroadcastMonotonic(t *testing.T) {
 				go func(r int, tr Transport) {
 					defer wg.Done()
 					for i := 1; i <= 50; i++ {
-						tr.BroadcastBound(int64(100*i + r))
+						tr.BroadcastBound(int64(100*i+r), nil)
 					}
 				}(r, tr)
 			}
@@ -301,7 +314,7 @@ func TestConformanceCancelPropagates(t *testing.T) {
 		t.Run(h.name, func(t *testing.T) {
 			trs := h.make(t, 3)
 			hs := startAll(trs)
-			trs[1].Cancel()
+			trs[1].Cancel(0, nil)
 			eventually(t, "cancel to reach rank 0", func() bool { return hs[0].cancelled.Load() > 0 })
 			eventually(t, "cancel to reach rank 2", func() bool { return hs[2].cancelled.Load() > 0 })
 		})
@@ -421,7 +434,7 @@ func TestConformancePrioSummaries(t *testing.T) {
 			hs[1].push(WireTask{Payload: []byte("x"), Depth: 1, Prio: 4})
 
 			// Any frame from rank 1 carries its summary; provoke one.
-			trs[1].BroadcastBound(1)
+			trs[1].BroadcastBound(1, nil)
 			eventually(t, "coordinator to learn rank 1's summary", func() bool {
 				p, known := pa0.PeerBestPrio(1)
 				return known && p == 4
@@ -445,7 +458,7 @@ func TestConformancePrioSummaries(t *testing.T) {
 					break
 				}
 			}
-			trs[1].BroadcastBound(2)
+			trs[1].BroadcastBound(2, nil)
 			eventually(t, "rank 1 to advertise empty", func() bool {
 				p, known := pa0.PeerBestPrio(1)
 				return known && p == PrioNone
@@ -488,17 +501,55 @@ func TestTCPLateStealReplyAdopted(t *testing.T) {
 	}
 }
 
-func TestConformanceWorkerDisconnectMidSearch(t *testing.T) {
+// kill ends a rank's life mid-search: closing an endpoint before
+// termination is a death on both transports (the loopback endpoint
+// takes the network's Kill path; the hub sees the worker's broken
+// connection).
+func kill(t *testing.T, h harness, trs []Transport, rank int) {
+	t.Helper()
+	trs[rank].Close()
+}
+
+// awaitDeath waits until a survivor has been notified of rank's death.
+func awaitDeath(t *testing.T, tr Transport, rank int) {
+	t.Helper()
+	select {
+	case r := <-tr.Deaths():
+		if r != rank {
+			t.Fatalf("death notification for rank %d, want %d", r, rank)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatalf("no death notification for rank %d", rank)
+	}
+}
+
+// The core fault-tolerance contract: a locality death mid-search must
+// not force termination (the old v3 behaviour) — instead the dead
+// rank's outstanding live-task contribution is reconciled away, the
+// survivors are notified so their ledgers can replay, steals aimed at
+// the corpse fail fast, and the search ends exactly when the
+// survivors' work (replays included) is done.
+func TestConformanceWorkerDeathMidSearch(t *testing.T) {
 	for _, h := range harnesses() {
 		t.Run(h.name, func(t *testing.T) {
 			trs := h.make(t, 4)
 			hs := startAll(trs)
+
+			// Rank 0 holds a sentinel task (the survivors' live work);
+			// rank 2 registers work of its own, then dies with it.
+			trs[0].AddTasks(1)
+			trs[2].AddTasks(2)
 			hs[2].push(WireTask{Payload: []byte("doomed"), Depth: 1})
-			trs[2].Close()
-			// Give a wire transport a moment to observe the broken
-			// connection, so the steals below fail via the dead-victim
-			// path rather than a full request timeout.
-			time.Sleep(100 * time.Millisecond)
+			// Let a wire transport flush the coalesced +2 first: a
+			// delta lost with the process is fine (it was never
+			// counted), but this test wants the reconciliation path.
+			time.Sleep(50 * time.Millisecond)
+			kill(t, h, trs, 2)
+
+			// Every survivor hears about the death exactly once.
+			for _, r := range []int{0, 1, 3} {
+				awaitDeath(t, trs[r], 2)
+			}
 
 			// Steals aimed at the dead locality fail fast instead of
 			// hanging the thief (coordinator and worker thieves both).
@@ -523,17 +574,26 @@ func TestConformanceWorkerDisconnectMidSearch(t *testing.T) {
 			if _, ok, err := trs[1].Steal(3); !ok || err != nil {
 				t.Fatalf("steal between survivors: ok=%v err=%v", ok, err)
 			}
-			trs[1].BroadcastBound(77)
+			trs[1].BroadcastBound(77, nil)
 			eventually(t, "bound to reach surviving rank 3", func() bool { return hs[3].boundMax.Load() == 77 })
 
-			// The dead locality's tasks can never complete, so the
-			// transport must force termination rather than leave the
-			// survivors spinning for a count that cannot reach zero.
+			// The dead rank's +2 was reconciled away, but the
+			// sentinel still holds the search open: death must NOT
+			// force termination while survivors hold live work.
+			time.Sleep(100 * time.Millisecond)
+			select {
+			case <-trs[0].Done():
+				t.Fatal("death force-terminated a search with live survivor work")
+			default:
+			}
+
+			// Completing the sentinel ends the search everywhere.
+			trs[0].AddTasks(-1)
 			for _, r := range []int{0, 1, 3} {
 				select {
 				case <-trs[r].Done():
 				case <-time.After(5 * time.Second):
-					t.Fatalf("rank %d not released after locality death", r)
+					t.Fatalf("rank %d not released after survivor work drained", r)
 				}
 			}
 
@@ -556,6 +616,235 @@ func TestConformanceWorkerDisconnectMidSearch(t *testing.T) {
 			wg.Wait()
 			if len(got) != 4 || got[2] != nil {
 				t.Fatalf("gather after death = %v, want nil slot for rank 2", got)
+			}
+		})
+	}
+}
+
+// Completion acks round-trip: the thief's Ack reaches the handler of
+// the rank that minted the id — directly at the hub, and routed for
+// worker→worker supervision.
+func TestConformanceAckRoundTrip(t *testing.T) {
+	for _, h := range harnesses() {
+		t.Run(h.name, func(t *testing.T) {
+			trs := h.make(t, 3)
+			hs := startAll(trs)
+
+			id01 := TaskID(0, 1)
+			if err := trs[1].Ack(0, id01); err != nil {
+				t.Fatalf("worker ack to hub: %v", err)
+			}
+			eventually(t, "hub to receive the ack", func() bool {
+				ids := hs[0].ackedIDs()
+				return len(ids) == 1 && ids[0] == id01
+			})
+
+			id12 := TaskID(1, 7)
+			if err := trs[2].Ack(1, id12); err != nil {
+				t.Fatalf("worker ack to worker: %v", err)
+			}
+			eventually(t, "worker 1 to receive the routed ack", func() bool {
+				ids := hs[1].ackedIDs()
+				return len(ids) == 1 && ids[0] == id12
+			})
+
+			id20 := TaskID(2, 3)
+			if err := trs[0].Ack(2, id20); err != nil {
+				t.Fatalf("hub ack to worker: %v", err)
+			}
+			eventually(t, "worker 2 to receive the hub's ack", func() bool {
+				ids := hs[2].ackedIDs()
+				return len(ids) == 1 && ids[0] == id20
+			})
+
+			if TaskOrigin(id12) != 1 || TaskOrigin(0) != -1 {
+				t.Fatalf("TaskOrigin broken: %d %d", TaskOrigin(id12), TaskOrigin(0))
+			}
+		})
+	}
+}
+
+// Death during a pending steal: the thief must be released empty-handed
+// promptly (the reply can never come), not after the full steal
+// timeout, and certainly not hang.
+func TestConformanceDeathDuringSteal(t *testing.T) {
+	old := stealTimeout
+	stealTimeout = 20 * time.Second
+	defer func() { stealTimeout = old }()
+	for _, h := range harnesses() {
+		t.Run(h.name, func(t *testing.T) {
+			if h.name == "loopback" {
+				t.Skip("loopback steals are synchronous direct calls; nothing is ever pending")
+			}
+			trs := h.make(t, 3)
+			hs := startAll(trs)
+			hs[2].serveDelay = 30 * time.Second // the victim will never answer in time
+			hs[2].push(WireTask{Payload: []byte("x"), Depth: 1})
+
+			res := make(chan bool, 1)
+			go func() {
+				_, ok, _ := trs[1].Steal(2)
+				res <- ok
+			}()
+			time.Sleep(100 * time.Millisecond) // let the request reach the victim
+			kill(t, h, trs, 2)
+			select {
+			case ok := <-res:
+				if ok {
+					t.Fatal("steal from a dying victim succeeded after its death")
+				}
+			case <-time.After(5 * time.Second):
+				t.Fatal("thief not released when its victim died")
+			}
+		})
+	}
+}
+
+// Death with outstanding acks: a victim handed work to a rank that
+// dies before acking. The victim's own registration for the task must
+// still be outstanding (its -1 only ever arrives with the ack), so the
+// global count cannot reach zero until the victim completes the
+// replayed task itself — the accounting half of subtree replay.
+func TestConformanceDeathWithOutstandingAcks(t *testing.T) {
+	for _, h := range harnesses() {
+		t.Run(h.name, func(t *testing.T) {
+			trs := h.make(t, 3)
+			hs := startAll(trs)
+
+			// Rank 1 spawns a task (+1) and serves it to rank 2 with a
+			// hand-over id; the ledger copy keeps the +1 outstanding.
+			trs[1].AddTasks(1)
+			hs[1].push(WireTask{Payload: []byte("handed"), ID: TaskID(1, 1), Depth: 1})
+			if _, ok, err := trs[2].Steal(1); !ok || err != nil {
+				t.Fatalf("hand-over steal: ok=%v err=%v", ok, err)
+			}
+			// Rank 2 registers its receipt, then dies before completing
+			// (no Ack ever sent).
+			trs[2].AddTasks(1)
+			time.Sleep(50 * time.Millisecond) // flush the receipt delta
+			kill(t, h, trs, 2)
+			awaitDeath(t, trs[1], 2)
+
+			// Rank 2's receipt was reconciled away, but rank 1's
+			// registration survives: no termination yet.
+			time.Sleep(100 * time.Millisecond)
+			select {
+			case <-trs[0].Done():
+				t.Fatal("count reached zero while the victim's hand-over was unacked")
+			default:
+			}
+
+			// The victim replays and completes the subtree itself.
+			trs[1].AddTasks(-1)
+			for _, r := range []int{0, 1} {
+				select {
+				case <-trs[r].Done():
+				case <-time.After(5 * time.Second):
+					t.Fatalf("rank %d not released after replay completed", r)
+				}
+			}
+		})
+	}
+}
+
+// Double death: two localities die, the survivors hear about both,
+// both contributions are reconciled, and the deployment still
+// terminates and gathers (with two nil slots).
+func TestConformanceDoubleDeath(t *testing.T) {
+	for _, h := range harnesses() {
+		t.Run(h.name, func(t *testing.T) {
+			trs := h.make(t, 4)
+			startAll(trs)
+			trs[0].AddTasks(1) // survivor sentinel
+			trs[1].AddTasks(3)
+			trs[2].AddTasks(5)
+			time.Sleep(50 * time.Millisecond)
+			kill(t, h, trs, 1)
+			kill(t, h, trs, 2)
+
+			// The survivors hear about both deaths, in either order.
+			for _, r := range []int{0, 3} {
+				got := map[int]bool{}
+				for i := 0; i < 2; i++ {
+					select {
+					case d := <-trs[r].Deaths():
+						got[d] = true
+					case <-time.After(5 * time.Second):
+						t.Fatalf("rank %d heard %d/2 deaths", r, len(got))
+					}
+				}
+				if !got[1] || !got[2] {
+					t.Fatalf("rank %d death set = %v, want {1,2}", r, got)
+				}
+			}
+
+			// Both dead contributions reconciled; only the sentinel holds.
+			time.Sleep(100 * time.Millisecond)
+			select {
+			case <-trs[0].Done():
+				t.Fatal("terminated early with the sentinel live")
+			default:
+			}
+			trs[0].AddTasks(-1)
+			for _, r := range []int{0, 3} {
+				select {
+				case <-trs[r].Done():
+				case <-time.After(5 * time.Second):
+					t.Fatalf("rank %d not released after double death", r)
+				}
+			}
+
+			var got [][]byte
+			var wg sync.WaitGroup
+			for _, r := range []int{0, 3} {
+				wg.Add(1)
+				go func(r int) {
+					defer wg.Done()
+					blobs, err := trs[r].Gather([]byte{byte(r)})
+					if err != nil {
+						t.Errorf("rank %d gather: %v", r, err)
+					}
+					if r == 0 {
+						got = blobs
+					}
+				}(r)
+			}
+			wg.Wait()
+			if len(got) != 4 || got[1] != nil || got[2] != nil || got[0] == nil || got[3] == nil {
+				t.Fatalf("gather after double death = %v, want nil slots for ranks 1 and 2", got)
+			}
+		})
+	}
+}
+
+// The incumbent retention: a node-carrying bound broadcast (or a
+// decision cancel's witness) survives at rank 0 even after its finder
+// dies — the mechanism that keeps a SIGKILLed worker's optimum in the
+// final answer.
+func TestConformanceIncumbentRetention(t *testing.T) {
+	for _, h := range harnesses() {
+		t.Run(h.name, func(t *testing.T) {
+			trs := h.make(t, 3)
+			startAll(trs)
+			store, ok := trs[0].(IncumbentStore)
+			if !ok {
+				t.Fatalf("%s rank 0 does not implement IncumbentStore", h.name)
+			}
+			if _, _, ok := store.BestKnown(); ok {
+				t.Fatal("retention non-empty before any broadcast")
+			}
+			trs[1].BroadcastBound(10, []byte("node-10"))
+			trs[2].BroadcastBound(30, []byte("node-30"))
+			trs[1].BroadcastBound(20, []byte("node-20")) // weaker: must not displace
+			trs[1].BroadcastBound(40, nil)               // bound-only: nothing to retain
+			eventually(t, "rank 0 to retain the best node-carrying pair", func() bool {
+				obj, node, ok := store.BestKnown()
+				return ok && obj == 30 && string(node) == "node-30"
+			})
+			kill(t, h, trs, 2) // the finder dies; its node must survive
+			obj, node, ok := store.BestKnown()
+			if !ok || obj != 30 || string(node) != "node-30" {
+				t.Fatalf("retention lost after finder death: %d %q %v", obj, node, ok)
 			}
 		})
 	}
@@ -718,7 +1007,7 @@ func TestConformanceBoundPiggybackOutOfOrder(t *testing.T) {
 			go func() { // broadcaster: ascending bounds from rank 1
 				defer wg.Done()
 				for i := 1; i <= maxBound; i++ {
-					trs[1].BroadcastBound(int64(i))
+					trs[1].BroadcastBound(int64(i), nil)
 				}
 			}()
 			go func() { // steal traffic rank 2 → rank 1, interleaved

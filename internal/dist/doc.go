@@ -3,8 +3,8 @@
 // paper's physical cluster nodes — exchange work and incumbent
 // knowledge.
 //
-// YewPar's distributed skeletons need exactly four interactions
-// between localities, and Transport captures precisely those:
+// YewPar's distributed skeletons need five interactions between
+// localities, and Transport captures precisely those:
 //
 //   - work distribution: an idle locality steals from a peer (Steal on
 //     the thief side, Handler.ServeSteal — or the batching
@@ -19,7 +19,11 @@
 //     receive work;
 //   - short-circuit and aggregation: decision-search cancellation
 //     (Cancel/Handler.OnCancel) and the terminal collective Gather
-//     that brings every locality's result and metrics to rank 0.
+//     that brings every locality's result and metrics to rank 0;
+//   - fault tolerance: hand-over supervision (WireTask.ID,
+//     Ack/Handler.OnAck) and death notification (Deaths), the v4
+//     vocabulary that lets the engine's supervised-task ledger replay
+//     a dead locality's subtrees — see "Fault tolerance" below.
 //
 // Two implementations are provided. The Loopback transport connects
 // localities within one process by direct calls, with optional
@@ -29,7 +33,7 @@
 // TCP transport (NewListener/Dial) connects real OS processes in a
 // star around the coordinator; it is what `yewpar -dist` deploys.
 //
-// # Wire protocol v3
+// # Wire protocol v4
 //
 // The TCP transport speaks a length-prefixed binary frame format (v1
 // was a gob stream per message): a little-endian uint32 body length,
@@ -80,6 +84,61 @@
 // victim probing but never hide a victim. The loopback transport
 // implements PrioAware by asking the victim's handler directly, which
 // is exact.
+//
+// # Fault tolerance (v4)
+//
+// v4 makes worker death survivable. Because branch-and-bound task
+// execution is idempotent and replay-safe — re-running a subtree can
+// change which nodes are visited, never the answer — a lost subtree
+// can simply be re-executed from its root by a surviving locality.
+// The transport's share of that protocol:
+//
+//   - Hand-over ids and completion acks. Every task in a steal reply
+//     carries an id minted by its victim (WireTask.ID; TaskID packs
+//     the victim's rank with a sequence number). The victim retains a
+//     copy in the engine's ledger until the thief acks the id —
+//     which it does only once the task's entire subtree has completed,
+//     here or downstream, so supervision chains transitively back
+//     toward the coordinator. Acks coalesce: both endpoints buffer
+//     them and flush one kAck batch per quantum, so the no-failure
+//     cost is one small frame per quantum, not one per stolen task.
+//   - Death detection. The hub reads a broken worker connection — or
+//     one silent past WireOptions.LivenessTimeout, with workers
+//     sending kPing heartbeats whenever they have been quiet for a
+//     Heartbeat — as a death: pending steals aimed at the corpse fail
+//     fast, a kDeath notice fans out to every survivor (and surfaces
+//     locally) through Deaths(), the rank's gather slot is filled with
+//     nil so the terminal collective cannot block, and dead ranks are
+//     skipped by victim selection forever after. The loopback network
+//     implements the same contract with an injectable Kill(rank), so
+//     engine-level death tests run deterministically in-process.
+//   - Live-count reconciliation. The hub attributes every coalesced
+//     delta to its sender (liveAt per rank). A death subtracts exactly
+//     the dead rank's outstanding contribution; everything a survivor
+//     registered — including the ledger copies covering tasks the
+//     dead rank was holding — stays counted, so Done still fires
+//     exactly when the surviving search, replays included, is done.
+//     Blocking steals also abort on Done: a victim that finished may
+//     shut down with requests still in flight, and those must not
+//     serve out the full steal timeout.
+//   - Incumbent retention. Bound broadcasts (and decision cancels)
+//     may carry the encoded incumbent node; the hub retains the best
+//     (obj, node) pair and exposes it through IncumbentStore, so an
+//     optimum found by a locality that later died still reaches the
+//     final result. The loopback network retains at network level.
+//
+// What is and is not survivable: any number of worker deaths are
+// absorbed as long as the coordinator lives — supervision chains root
+// at rank 0, and an entry is acked only when its whole subtree has
+// completed, so even staggered multi-rank deaths replay from the
+// earliest surviving supervisor. Coordinator (rank 0) death is out of
+// scope: it owns registration, routing, termination detection, and
+// result aggregation, and its loss ends the deployment (workers
+// observe the broken connection and unblock). Enumeration searches
+// cannot be repaired by replay — a dead rank's partial monoid value is
+// unrecoverable and replaying its subtrees would double-count — so
+// DistEnum reports a death as an error rather than return a silently
+// wrong total.
 //
 // Transports that implement Meter report frames, bytes, and steal
 // batch occupancy; the engine folds those into its Stats.

@@ -34,6 +34,8 @@ func (h *queueHandler) OnBound(from int, obj int64) {
 
 func (h *queueHandler) OnCancel(from int) {}
 
+func (h *queueHandler) OnAck(from int, id uint64) {}
+
 func (h *queueHandler) OnTask(t dist.WireTask) {
 	h.mu.Lock()
 	h.tasks = append(h.tasks, t)
@@ -57,7 +59,7 @@ func ExampleNewLoopback() {
 	fmt.Printf("stole: %q at depth %d (victim bound %d) ok=%v\n",
 		task.Payload, task.Depth, task.Bound, ok)
 
-	trs[0].BroadcastBound(15)
+	trs[0].BroadcastBound(15, nil)
 	fmt.Printf("locality 1 learned bounds: %v\n", h1.bounds)
 
 	// A second steal finds locality 1 empty-handed.

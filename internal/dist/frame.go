@@ -5,7 +5,7 @@ import (
 	"fmt"
 )
 
-// Wire protocol v3: every message is one length-prefixed binary frame,
+// Wire protocol v4: every message is one length-prefixed binary frame,
 //
 //	uint32 little-endian body length | body
 //
@@ -38,10 +38,23 @@ import (
 // victim selection.
 //
 // Steal replies carry a *batch* of tasks: count followed by
-// (payload-length, payload, depth, prio, bound) per task — the task
-// priority is the other v3 addition, letting ordered searches span the
-// wire. The thief hands the first task to the requesting worker and
-// re-homes the rest through Handler.OnTask, exactly like a late reply.
+// (payload-length, payload, id, depth, prio, bound) per task — the
+// priority is a v3 addition (letting ordered searches span the wire),
+// the hand-over id a v4 one (the supervision ticket of the victim's
+// ledger entry). The thief hands the first task to the requesting
+// worker and re-homes the rest through Handler.OnTask, exactly like a
+// late reply.
+//
+// v4 adds the fault-tolerance vocabulary: kAck (a *batch* of hand-over
+// ids being acked — each id names its own origin via TaskID packing,
+// so one coalesced frame per flush quantum certifies every subtree the
+// sender completed since the last, and the hub splits the batch per
+// origin when routing), kDeath (Want names the dead rank, fanned out
+// by the hub), kPing (an empty liveness heartbeat — its value is the
+// act of arriving, plus whatever coalesced header fields ride along),
+// an optional incumbent-node blob on kBound, and an objective +
+// witness blob on kCancel, so the best node and decision witness
+// survive the death of the locality that found them.
 
 const (
 	fDelta = 1 << 0 // header carries a coalesced live-task delta
@@ -66,10 +79,11 @@ type frame struct {
 	HasPB bool
 	PS    int64 // piggybacked best-available-priority summary (PrioNone = no work)
 	HasPS bool
-	Obj   int64      // kBound: the broadcast bound
-	Want  int        // kSteal: max tasks; kHello: protocol version; kWelcome: deployment size
-	Blob  []byte     // kHello/kWelcome/kReject/kGather payload
+	Obj   int64      // kBound: the broadcast bound; kCancel: witness objective
+	Want  int        // kSteal: max tasks; kHello: protocol version; kWelcome: deployment size; kDeath: dead rank
+	Blob  []byte     // kHello/kWelcome/kReject/kGather payload; kBound/kCancel retained node
 	Tasks []WireTask // kStealR payload
+	Acks  []uint64   // kAck payload: completed hand-over ids
 }
 
 // appendFrame appends f's body encoding (no length prefix) to dst.
@@ -98,13 +112,13 @@ func appendFrame(dst []byte, f *frame) []byte {
 		dst = binary.AppendVarint(dst, f.PS)
 	}
 	switch f.Kind {
-	case kSteal, kHello, kWelcome:
+	case kSteal, kHello, kWelcome, kDeath:
 		dst = binary.AppendUvarint(dst, uint64(f.Want))
-	case kBound:
+	case kBound, kCancel:
 		dst = binary.AppendVarint(dst, f.Obj)
 	}
 	switch f.Kind {
-	case kHello, kWelcome, kReject, kGather:
+	case kHello, kWelcome, kReject, kGather, kBound, kCancel:
 		dst = binary.AppendUvarint(dst, uint64(len(f.Blob)))
 		dst = append(dst, f.Blob...)
 	case kStealR:
@@ -113,9 +127,15 @@ func appendFrame(dst []byte, f *frame) []byte {
 			t := &f.Tasks[i]
 			dst = binary.AppendUvarint(dst, uint64(len(t.Payload)))
 			dst = append(dst, t.Payload...)
+			dst = binary.AppendUvarint(dst, t.ID)
 			dst = binary.AppendVarint(dst, int64(t.Depth))
 			dst = binary.AppendVarint(dst, int64(t.Prio))
 			dst = binary.AppendVarint(dst, t.Bound)
+		}
+	case kAck:
+		dst = binary.AppendUvarint(dst, uint64(len(f.Acks)))
+		for _, id := range f.Acks {
+			dst = binary.AppendUvarint(dst, id)
 		}
 	}
 	return dst
@@ -170,7 +190,7 @@ func parseFrame(b []byte, f *frame) error {
 		return fmt.Errorf("dist: frame body of %d bytes", len(b))
 	}
 	f.Kind = kind(b[0])
-	if f.Kind > kGather {
+	if f.Kind > kPing {
 		return fmt.Errorf("dist: unknown frame kind %d", f.Kind)
 	}
 	flags := b[1]
@@ -206,19 +226,19 @@ func parseFrame(b []byte, f *frame) error {
 		f.HasPS = true
 	}
 	switch f.Kind {
-	case kSteal, kHello, kWelcome:
+	case kSteal, kHello, kWelcome, kDeath:
 		w, err := r.uvarint()
 		if err != nil {
 			return err
 		}
 		f.Want = int(w)
-	case kBound:
+	case kBound, kCancel:
 		if f.Obj, err = r.varint(); err != nil {
 			return err
 		}
 	}
 	switch f.Kind {
-	case kHello, kWelcome, kReject, kGather:
+	case kHello, kWelcome, kReject, kGather, kBound, kCancel:
 		if f.Blob, err = r.bytes(); err != nil {
 			return err
 		}
@@ -237,6 +257,9 @@ func parseFrame(b []byte, f *frame) error {
 				if t.Payload, err = r.bytes(); err != nil {
 					return err
 				}
+				if t.ID, err = r.uvarint(); err != nil {
+					return err
+				}
 				if v, err = r.varint(); err != nil {
 					return err
 				}
@@ -246,6 +269,22 @@ func parseFrame(b []byte, f *frame) error {
 				}
 				t.Prio = int(v)
 				if t.Bound, err = r.varint(); err != nil {
+					return err
+				}
+			}
+		}
+	case kAck:
+		n, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		if n > maxStealBatch {
+			return fmt.Errorf("dist: ack batch of %d ids", n)
+		}
+		if n > 0 {
+			f.Acks = make([]uint64, n)
+			for i := range f.Acks {
+				if f.Acks[i], err = r.uvarint(); err != nil {
 					return err
 				}
 			}

@@ -14,25 +14,36 @@ func TestFrameRoundTrip(t *testing.T) {
 		{Kind: kReject, Blob: []byte("spec mismatch")},
 		{Kind: kSteal, From: 2, To: 1, Seq: 77, Want: 4},
 		{Kind: kStealR, From: 1, To: 2, Seq: 77, Tasks: []WireTask{
-			{Payload: []byte("abc"), Depth: 3, Prio: 12, Bound: -9},
+			{Payload: []byte("abc"), ID: TaskID(1, 9), Depth: 3, Prio: 12, Bound: -9},
 			{Payload: []byte{}, Depth: 0, Bound: math.MinInt64},
-			{Payload: []byte("zzzz"), Depth: 1 << 20, Prio: 1023, Bound: math.MaxInt64},
+			{Payload: []byte("zzzz"), ID: TaskID(2, 1<<40), Depth: 1 << 20, Prio: 1023, Bound: math.MaxInt64},
 		}},
 		{Kind: kStealR, From: 1, To: 2, Seq: 78}, // empty-handed
-		{Kind: kBound, From: 4, Obj: -123456789},
-		{Kind: kCancel, From: 1},
+		{Kind: kBound, From: 4, Obj: -123456789, Blob: []byte{}},
+		{Kind: kCancel, From: 1, Blob: []byte{}},
 		{Kind: kDelta, From: 2, Delta: -42},
 		{Kind: kTerminate},
 		{Kind: kGather, From: 3, Blob: []byte{1, 2, 3}},
 		{Kind: kGather, From: 3, Blob: []byte{}},
 		{Kind: kSteal, From: 1, To: 2, Seq: 1, Want: 8, Delta: 17, PB: -5, HasPB: true},
-		{Kind: kBound, From: 0, Obj: math.MinInt64 + 1, PB: math.MaxInt64, HasPB: true},
+		{Kind: kBound, From: 0, Obj: math.MinInt64 + 1, PB: math.MaxInt64, HasPB: true, Blob: []byte{}},
 		// v3: best-available-priority summaries, alone and with the
 		// other optional header fields; PrioNone advertises empty.
 		{Kind: kDelta, From: 2, Delta: 3, PS: 5, HasPS: true},
 		{Kind: kSteal, From: 1, To: 2, Seq: 2, Want: 4, PS: PrioNone, HasPS: true},
 		{Kind: kStealR, From: 2, To: 1, Seq: 2, Delta: -1, PB: 9, HasPB: true, PS: 0, HasPS: true,
-			Tasks: []WireTask{{Payload: []byte("p"), Depth: 1, Prio: 2, Bound: 4}}},
+			Tasks: []WireTask{{Payload: []byte("p"), ID: TaskID(0, 3), Depth: 1, Prio: 2, Bound: 4}}},
+		// v4: node-carrying bounds and cancels, acks, death notices,
+		// heartbeats.
+		{Kind: kBound, From: 2, Obj: 40, Blob: []byte("encoded-incumbent")},
+		{Kind: kCancel, From: 3, Obj: 17, Blob: []byte("encoded-witness")},
+		{Kind: kAck, From: 2, To: 1, Acks: []uint64{TaskID(1, 44)}},
+		{Kind: kAck, From: 1, Acks: []uint64{TaskID(0, math.MaxUint32), TaskID(2, 1), TaskID(0, 7)},
+			Delta: -3, PB: 8, HasPB: true},
+		{Kind: kAck, From: 1}, // empty batch (drained elsewhere)
+		{Kind: kDeath, From: 0, Want: 3},
+		{Kind: kPing, From: 2},
+		{Kind: kPing, From: 1, Delta: 5, PB: -2, HasPB: true, PS: 1, HasPS: true},
 	}
 	for i, f := range frames {
 		body := appendFrame(nil, &f)
@@ -50,7 +61,7 @@ func TestFrameRoundTrip(t *testing.T) {
 // frame bodies come off the network.
 func TestFrameParseRobustness(t *testing.T) {
 	f := frame{Kind: kStealR, From: 1, To: 2, Seq: 9, Delta: 3, PB: 11, HasPB: true, PS: 2, HasPS: true,
-		Tasks: []WireTask{{Payload: []byte("payload-bytes"), Depth: 5, Prio: 7, Bound: 40}}}
+		Tasks: []WireTask{{Payload: []byte("payload-bytes"), ID: TaskID(1, 77), Depth: 5, Prio: 7, Bound: 40}}}
 	body := appendFrame(nil, &f)
 	for cut := 0; cut < len(body); cut++ {
 		var g frame
@@ -68,7 +79,7 @@ func TestFrameParseRobustness(t *testing.T) {
 		_ = parseFrame(mut, &g) // must not panic
 	}
 	var g frame
-	if err := parseFrame([]byte{byte(kGather + 1), 0}, &g); err == nil {
+	if err := parseFrame([]byte{byte(kPing + 1), 0}, &g); err == nil {
 		t.Fatal("unknown kind accepted")
 	}
 	if err := parseFrame(append(append([]byte(nil), body...), 0xFF), &g); err == nil {

@@ -24,14 +24,18 @@ type LoopbackOptions struct {
 // runs, where "localities" are groups of goroutines sharing an address
 // space. Latency injection makes it a faithful stand-in for a real
 // network in experiments, and its simplicity makes it the reference
-// implementation for the Transport conformance suite.
+// implementation for the Transport conformance suite — including the
+// fault-tolerance contract, via the injectable Kill.
 type LoopbackNetwork struct {
 	opts LoopbackOptions
 	trs  []*loopback
 
 	live     atomic.Int64
+	liveAt   []atomic.Int64 // per-rank contribution to live (reconciled on death)
 	done     chan struct{}
 	doneOnce sync.Once
+
+	inc incumbentBox
 
 	gatherMu    sync.Mutex
 	blobs       [][]byte
@@ -48,13 +52,14 @@ func NewLoopback(n int, opts LoopbackOptions) *LoopbackNetwork {
 	net := &LoopbackNetwork{
 		opts:        opts,
 		trs:         make([]*loopback, n),
+		liveAt:      make([]atomic.Int64, n),
 		done:        make(chan struct{}),
 		blobs:       make([][]byte, n),
 		contributed: make([]bool, n),
 		gathered:    make(chan struct{}),
 	}
 	for i := range net.trs {
-		net.trs[i] = &loopback{net: net, rank: i}
+		net.trs[i] = &loopback{net: net, rank: i, deaths: newDeathBox(n)}
 	}
 	return net
 }
@@ -76,7 +81,63 @@ func (ln *LoopbackNetwork) Close() error {
 	return nil
 }
 
-func (ln *LoopbackNetwork) addTasks(delta int64) {
+// Kill simulates the death of a locality mid-search, the loopback
+// stand-in for a SIGKILLed worker process: the rank's handler is
+// detached (steals against it fail, deliveries to it are dropped), its
+// own outgoing operations become no-ops (a zombie caller can no longer
+// touch the shared search state), its outstanding live-task
+// contribution is reconciled away, its gather slot is filled with nil,
+// and every survivor is notified through Deaths. Idempotent.
+func (ln *LoopbackNetwork) Kill(rank int) {
+	if rank < 0 || rank >= len(ln.trs) {
+		return
+	}
+	t := ln.trs[rank]
+	// The gate write-lock excludes every in-flight AddTasks of the
+	// dying endpoint: once closed is set under it, no zombie delta can
+	// land after the reconciliation below, which would wedge (a late
+	// +1) or prematurely zero (a late -1) the live count.
+	t.gateMu.Lock()
+	if !t.closed.CompareAndSwap(false, true) {
+		t.gateMu.Unlock()
+		return
+	}
+	t.gateMu.Unlock()
+	ln.contribute(rank, nil)
+	for _, peer := range ln.trs {
+		if peer.rank != rank && !peer.closed.Load() {
+			peer.deaths.announce(rank)
+		}
+	}
+	ln.reconcile(rank)
+}
+
+// LiveAt reports a rank's current contribution to the global live-task
+// count. Tests use it to kill a rank at a moment it provably holds
+// registered work.
+func (ln *LoopbackNetwork) LiveAt(rank int) int64 {
+	if rank < 0 || rank >= len(ln.liveAt) {
+		return 0
+	}
+	return ln.liveAt[rank].Load()
+}
+
+// reconcile removes a dead rank's outstanding live-task contribution:
+// the tasks it was holding can never complete here. Tasks it received
+// from survivors stay covered by their victims' ledger registrations,
+// which is what makes the survivors' replay accounting-neutral.
+func (ln *LoopbackNetwork) reconcile(rank int) {
+	removed := ln.liveAt[rank].Swap(0)
+	if removed == 0 {
+		return
+	}
+	if ln.live.Add(-removed) == 0 && removed > 0 {
+		ln.doneOnce.Do(func() { close(ln.done) })
+	}
+}
+
+func (ln *LoopbackNetwork) addTasks(rank int, delta int64) {
+	ln.liveAt[rank].Add(delta)
 	if ln.live.Add(delta) == 0 && delta < 0 {
 		ln.doneOnce.Do(func() { close(ln.done) })
 	}
@@ -100,16 +161,22 @@ func (ln *LoopbackNetwork) contribute(rank int, blob []byte) {
 
 // loopback is one locality's endpoint in a LoopbackNetwork.
 type loopback struct {
-	net    *LoopbackNetwork
-	rank   int
-	h      atomic.Value // Handler
+	net  *LoopbackNetwork
+	rank int
+	h    atomic.Value // Handler
+	// gateMu orders AddTasks against Kill: accounting holds the read
+	// side, Kill sets closed under the write side, so no delta from a
+	// dying endpoint can slip past the death reconciliation.
+	gateMu sync.RWMutex
 	closed atomic.Bool
+	deaths *deathBox
 	ctr    wireCounters
 }
 
 var _ Transport = (*loopback)(nil)
 var _ Meter = (*loopback)(nil)
 var _ PrioAware = (*loopback)(nil)
+var _ IncumbentStore = (*loopback)(nil)
 
 // Wire implements Meter with logical message counts: the frames a wire
 // transport would have sent for the same traffic, and payload bytes
@@ -132,6 +199,10 @@ func (t *loopback) handler() Handler {
 	h, _ := t.h.Load().(Handler)
 	return h
 }
+
+// BestKnown implements IncumbentStore from the network-level retention
+// cell (shared: any endpoint answers, rank 0 is the one that asks).
+func (t *loopback) BestKnown() (int64, []byte, bool) { return t.net.inc.best() }
 
 // PeerBestPrio implements PrioAware by asking the victim's handler
 // directly: shared memory needs no piggybacked summary, so the loopback
@@ -158,6 +229,9 @@ func (t *loopback) Steal(victim int) (WireTask, bool, error) {
 	if victim < 0 || victim >= len(t.net.trs) || victim == t.rank {
 		return WireTask{}, false, fmt.Errorf("dist: steal from invalid rank %d", victim)
 	}
+	if t.closed.Load() {
+		return WireTask{}, false, nil
+	}
 	if lat := t.net.opts.StealLatency; lat > 0 {
 		time.Sleep(lat)
 	}
@@ -179,7 +253,11 @@ func (t *loopback) Steal(victim int) (WireTask, bool, error) {
 	return wt, ok, nil
 }
 
-func (t *loopback) BroadcastBound(obj int64) error {
+func (t *loopback) BroadcastBound(obj int64, node []byte) error {
+	if t.closed.Load() {
+		return nil
+	}
+	t.net.inc.keep(obj, node)
 	for _, peer := range t.net.trs {
 		if peer.rank == t.rank {
 			continue
@@ -201,7 +279,11 @@ func (t *loopback) BroadcastBound(obj int64) error {
 	return nil
 }
 
-func (t *loopback) Cancel() error {
+func (t *loopback) Cancel(obj int64, witness []byte) error {
+	if t.closed.Load() {
+		return nil
+	}
+	t.net.inc.keep(obj, witness)
 	for _, peer := range t.net.trs {
 		if peer.rank == t.rank {
 			continue
@@ -214,9 +296,40 @@ func (t *loopback) Cancel() error {
 	return nil
 }
 
-func (t *loopback) AddTasks(delta int64) { t.net.addTasks(delta) }
+// Ack delivers a hand-over completion ack straight to the origin's
+// handler. Acks from or to a dead rank are dropped: a zombie must not
+// retire a survivor's ledger entry (the entry is what replays the
+// subtree it was holding), and a dead origin has no ledger left.
+func (t *loopback) Ack(origin int, id uint64) error {
+	if origin < 0 || origin >= len(t.net.trs) || origin == t.rank {
+		return fmt.Errorf("dist: ack to invalid rank %d", origin)
+	}
+	if t.closed.Load() {
+		return nil
+	}
+	t.ctr.framesSent.Add(1)
+	if h := t.net.trs[origin].handler(); h != nil {
+		h.OnAck(t.rank, id)
+	}
+	return nil
+}
+
+// AddTasks attributes the delta to this rank; a killed endpoint's
+// late accounting is discarded (its contribution was reconciled away).
+// The gate read-lock makes discarding exact: Kill cannot reconcile
+// between the closed check and the count update.
+func (t *loopback) AddTasks(delta int64) {
+	t.gateMu.RLock()
+	defer t.gateMu.RUnlock()
+	if t.closed.Load() {
+		return
+	}
+	t.net.addTasks(t.rank, delta)
+}
 
 func (t *loopback) Done() <-chan struct{} { return t.net.done }
+
+func (t *loopback) Deaths() <-chan int { return t.deaths.ch }
 
 func (t *loopback) Gather(payload []byte) ([][]byte, error) {
 	if t.rank != 0 {
@@ -233,16 +346,20 @@ func (t *loopback) Gather(payload []byte) ([][]byte, error) {
 	return t.net.blobs, nil
 }
 
-// Close detaches the locality: subsequent steals from it fail, bound
-// deliveries to it are dropped, a pending Gather sees a nil payload in
-// its slot, and — since a dead locality's live tasks can never
-// complete — the search is force-terminated so survivors unblock
-// (matching the TCP transport's worker-death behaviour; a no-op after
-// normal termination).
+// Close detaches the locality. After normal termination it only
+// releases the endpoint; before termination it is a death — the
+// locality is abandoning live work — and takes the same path as Kill:
+// survivors are notified, the rank's outstanding live contribution is
+// reconciled away, and a pending Gather sees a nil payload in its
+// slot.
 func (t *loopback) Close() error {
-	if t.closed.CompareAndSwap(false, true) {
-		t.net.contribute(t.rank, nil)
-		t.net.doneOnce.Do(func() { close(t.net.done) })
+	select {
+	case <-t.net.done:
+		if t.closed.CompareAndSwap(false, true) {
+			t.net.contribute(t.rank, nil)
+		}
+	default:
+		t.net.Kill(t.rank)
 	}
 	return nil
 }

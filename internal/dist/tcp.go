@@ -32,14 +32,13 @@ import (
 //     so incumbent knowledge rides along with ordinary traffic.
 
 const (
-	// registration must complete within this window or Wait fails.
-	regTimeout = 120 * time.Second
 	// dial keeps retrying (the coordinator may not be listening yet).
 	dialTimeout = 30 * time.Second
 	// wireVersion is checked at registration: v1 (gob), v2 (binary
-	// frames) and v3 (per-task priorities + priority summaries) peers
-	// must not silently garble each other.
-	wireVersion = 3
+	// frames), v3 (per-task priorities + priority summaries) and v4
+	// (hand-over ids, completion acks, death notification, heartbeats)
+	// peers must not silently garble each other.
+	wireVersion = 4
 )
 
 // stealTimeout bounds a steal request whose reply never arrives; a
@@ -61,12 +60,32 @@ type WireOptions struct {
 	// quanta mean fewer frames but slower termination detection.
 	// Default DefaultFlushQuantum.
 	FlushQuantum time.Duration
+	// RegTimeout bounds the coordinator's registration window: Wait
+	// fails, reporting the missing ranks, if the expected workers have
+	// not all registered within it. Default DefaultRegTimeout.
+	RegTimeout time.Duration
+	// Heartbeat is the liveness cadence: a worker that has sent
+	// nothing for a Heartbeat pings the coordinator, and the
+	// coordinator checks every connection's last-received stamp at the
+	// same cadence. Default DefaultHeartbeat.
+	Heartbeat time.Duration
+	// LivenessTimeout is how long the coordinator tolerates silence on
+	// a worker connection before declaring the worker dead (a SIGKILL
+	// is usually noticed much sooner, through the broken connection;
+	// the timeout catches wedged processes and silent network drops).
+	// It must cover the worker's slowest gap between registration and
+	// its first frame — typically instance loading. Default
+	// DefaultLivenessTimeout.
+	LivenessTimeout time.Duration
 }
 
 // Defaults for WireOptions.
 const (
-	DefaultStealBatch   = 4
-	DefaultFlushQuantum = time.Millisecond
+	DefaultStealBatch      = 4
+	DefaultFlushQuantum    = time.Millisecond
+	DefaultRegTimeout      = 120 * time.Second
+	DefaultHeartbeat       = time.Second
+	DefaultLivenessTimeout = 30 * time.Second
 )
 
 func (o WireOptions) withDefaults() WireOptions {
@@ -75,6 +94,15 @@ func (o WireOptions) withDefaults() WireOptions {
 	}
 	if o.FlushQuantum <= 0 {
 		o.FlushQuantum = DefaultFlushQuantum
+	}
+	if o.RegTimeout <= 0 {
+		o.RegTimeout = DefaultRegTimeout
+	}
+	if o.Heartbeat <= 0 {
+		o.Heartbeat = DefaultHeartbeat
+	}
+	if o.LivenessTimeout <= 0 {
+		o.LivenessTimeout = DefaultLivenessTimeout
 	}
 	return o
 }
@@ -92,6 +120,9 @@ const (
 	kDelta                 // carrier for a coalesced header delta
 	kTerminate             // global live-task count reached zero
 	kGather                // From, Blob
+	kAck                   // From = thief, To = origin, Seq = hand-over id
+	kDeath                 // hub→workers: Want = dead rank
+	kPing                  // liveness heartbeat; header fields only
 )
 
 // wconn is one length-prefix-framed TCP connection with serialised
@@ -104,6 +135,16 @@ type wconn struct {
 	wmu  sync.Mutex
 	wbuf []byte
 	dead atomic.Bool
+	// mourned latches the one-time death processing for the peer
+	// behind this connection (hub side).
+	mourned atomic.Bool
+	// nSent/nRecvd count frames in each direction: the heartbeat
+	// layer's raw material. Counters, not timestamps, keep the per-
+	// frame cost to one relaxed increment — the watchdogs (pingLoop,
+	// livenessLoop) sample them on their own ticks and supply the
+	// clock themselves.
+	nSent  atomic.Uint64
+	nRecvd atomic.Uint64
 
 	// endpoint hooks; any may be nil.
 	pending *atomic.Int64 // coalesced live-task delta, drained per send
@@ -158,6 +199,7 @@ func (cn *wconn) send(f *frame) error {
 		cn.dead.Store(true)
 		return err
 	}
+	cn.nSent.Add(1)
 	if cn.ctr != nil {
 		cn.ctr.framesSent.Add(1)
 		cn.ctr.bytesSent.Add(int64(len(buf)))
@@ -187,6 +229,7 @@ func (cn *wconn) recv(f *frame) error {
 		cn.dead.Store(true)
 		return err
 	}
+	cn.nRecvd.Add(1)
 	if cn.ctr != nil {
 		cn.ctr.framesRecv.Add(1)
 		cn.ctr.bytesRecv.Add(int64(4 + ln))
@@ -366,17 +409,29 @@ func (l *Listener) Close() error { return l.ln.Close() }
 // Wait accepts registrations until `workers` workers are connected,
 // then welcomes each with its rank and returns the coordinator
 // transport (rank 0 of a size workers+1 deployment).
+//
+// Registration is failure-aware: a connection that presents a bad
+// hello, a mismatched wire version, or a mismatched spec is rejected
+// (the peer is told why) without aborting the deployment — the rank it
+// would have taken stays open for a corrected relaunch. Only the
+// registration window itself is fatal: when WireOptions.RegTimeout
+// expires, Wait fails and reports exactly which ranks never arrived
+// and why the last rejected candidate was turned away, instead of
+// leaving the coordinator waiting forever for a worker that already
+// failed.
 func (l *Listener) Wait(workers int) (Transport, error) {
 	if workers < 1 {
 		return nil, fmt.Errorf("dist: coordinator needs at least 1 worker, got %d", workers)
 	}
-	deadline := time.Now().Add(regTimeout)
+	deadline := time.Now().Add(l.opts.RegTimeout)
 	h := &hub{
 		size:     workers + 1,
 		conns:    make([]*wconn, workers+1),
+		liveAt:   make([]atomic.Int64, workers+1),
 		opts:     l.opts,
 		started:  make(chan struct{}),
 		done:     make(chan struct{}),
+		deaths:   newDeathBox(workers + 1),
 		blobs:    make([][]byte, workers+1),
 		contrib:  make([]bool, workers+1),
 		gotAll:   make(chan struct{}),
@@ -385,13 +440,31 @@ func (l *Listener) Wait(workers int) (Transport, error) {
 	}
 	h.pbStamp.Store(math.MinInt64)
 	h.pbSeen.Store(math.MinInt64)
-	for rank := 1; rank <= workers; rank++ {
+	var lastReject error
+	regFailed := func(err error) (Transport, error) {
+		registered := 0
+		for _, cn := range h.conns {
+			if cn != nil {
+				cn.close()
+				registered++
+			}
+		}
+		missing := fmt.Sprintf("ranks %d..%d", registered+1, workers)
+		if registered+1 == workers {
+			missing = fmt.Sprintf("rank %d", workers)
+		}
+		if lastReject != nil {
+			return nil, fmt.Errorf("dist: registration timed out with %d/%d workers (missing %s): %v (last rejected candidate: %v)", registered, workers, missing, err, lastReject)
+		}
+		return nil, fmt.Errorf("dist: registration timed out with %d/%d workers (missing %s): %w", registered, workers, missing, err)
+	}
+	for rank := 1; rank <= workers; {
 		if d, ok := l.ln.(*net.TCPListener); ok {
 			d.SetDeadline(deadline)
 		}
 		c, err := l.ln.Accept()
 		if err != nil {
-			return nil, fmt.Errorf("dist: registration failed waiting for worker %d/%d: %w", rank, workers, err)
+			return regFailed(err)
 		}
 		cn := newWconn(c, &h.ctr)
 		cn.pb = &h.pbStamp
@@ -404,20 +477,24 @@ func (l *Listener) Wait(workers int) (Transport, error) {
 		var hello frame
 		if err := cn.recv(&hello); err != nil || hello.Kind != kHello {
 			cn.close()
-			return nil, fmt.Errorf("dist: bad registration from %v", c.RemoteAddr())
+			lastReject = fmt.Errorf("bad registration from %v", c.RemoteAddr())
+			continue
 		}
 		c.SetReadDeadline(time.Time{})
 		if hello.Want != wireVersion {
 			cn.send(&frame{Kind: kReject, Blob: []byte(fmt.Sprintf("wire protocol mismatch: coordinator speaks v%d, worker v%d", wireVersion, hello.Want))})
 			cn.close()
-			return nil, fmt.Errorf("dist: worker %v speaks wire protocol v%d, want v%d", c.RemoteAddr(), hello.Want, wireVersion)
+			lastReject = fmt.Errorf("worker %v speaks wire protocol v%d, want v%d", c.RemoteAddr(), hello.Want, wireVersion)
+			continue
 		}
 		if string(hello.Blob) != l.spec {
 			cn.send(&frame{Kind: kReject, Blob: []byte(fmt.Sprintf("spec mismatch: coordinator runs %q, worker runs %q", l.spec, string(hello.Blob)))})
 			cn.close()
-			return nil, fmt.Errorf("dist: worker %v registered with mismatched spec %q (coordinator: %q)", c.RemoteAddr(), string(hello.Blob), l.spec)
+			lastReject = fmt.Errorf("worker %v registered with mismatched spec %q (coordinator: %q)", c.RemoteAddr(), string(hello.Blob), l.spec)
+			continue
 		}
 		h.conns[rank] = cn
+		rank++
 	}
 	if d, ok := l.ln.(*net.TCPListener); ok {
 		d.SetDeadline(time.Time{})
@@ -430,6 +507,8 @@ func (l *Listener) Wait(workers int) (Transport, error) {
 	for rank := 1; rank <= workers; rank++ {
 		go h.serve(rank)
 	}
+	go h.livenessLoop()
+	go h.ackFlushLoop()
 	return h, nil
 }
 
@@ -444,11 +523,24 @@ type hub struct {
 	started chan struct{}
 	stOnce  sync.Once
 
+	// live is the global live-task count; liveAt[rank] is each rank's
+	// contribution to it (the deltas it has flushed). The split is the
+	// heart of death reconciliation: a dead rank's outstanding
+	// contribution — the tasks it registered and can never complete —
+	// is subtracted in one move, while tasks survivors registered
+	// (including the ledger copies covering everything handed to the
+	// dead rank) stay counted until the survivors themselves finish
+	// or replay them.
 	live     atomic.Int64
+	liveAt   []atomic.Int64
 	done     chan struct{}
 	doneOnce sync.Once
+	deaths   *deathBox
+	inc      incumbentBox
 
 	pending pendingSteals
+	ackMu   sync.Mutex
+	ackBuf  []uint64     // coalesced completion acks, drained by the ack flusher
 	pbStamp atomic.Int64 // best bound known; stamped on outgoing frames
 	pbSeen  atomic.Int64 // best bound delivered to the handler
 	// peerPrio[rank] is the rank's last advertised best stealable
@@ -470,11 +562,60 @@ type hub struct {
 var _ Transport = (*hub)(nil)
 var _ Meter = (*hub)(nil)
 var _ PrioAware = (*hub)(nil)
+var _ IncumbentStore = (*hub)(nil)
 
 func (h *hub) Rank() int { return 0 }
 func (h *hub) Size() int { return h.size }
 
 func (h *hub) Wire() WireStats { return h.ctr.snapshot() }
+
+// BestKnown implements IncumbentStore: the best (obj, node) pair any
+// locality has published through a node-carrying bound broadcast or a
+// decision cancel. It is how the optimum survives its finder's death.
+func (h *hub) BestKnown() (int64, []byte, bool) { return h.inc.best() }
+
+// livenessLoop is the heartbeat layer's detector: a worker connection
+// silent past LivenessTimeout is declared dead by closing it, which
+// fails its serve loop into workerDied — the same path a broken
+// connection takes, so wedged-but-connected workers and SIGKILLed ones
+// converge. It runs until the hub closes, NOT until termination: the
+// gather phase after Done must also be able to give up on a worker
+// that wedges before contributing, or the terminal collective would
+// block forever (worker pings keep flowing until the worker itself
+// closes).
+func (h *hub) livenessLoop() {
+	t := time.NewTicker(h.opts.Heartbeat)
+	defer t.Stop()
+	// Per-rank watchdog state: the recv-counter value last seen and
+	// when it last changed. The clock lives here, on the watchdog's
+	// tick, so the frame hot path pays one counter increment and no
+	// time.Now().
+	seen := make([]uint64, h.size)
+	changed := make([]time.Time, h.size)
+	now := time.Now()
+	for i := range changed {
+		changed[i] = now
+	}
+	for range t.C {
+		if h.closed.Load() {
+			return
+		}
+		now := time.Now()
+		for rank := 1; rank < h.size; rank++ {
+			cn := h.conns[rank]
+			if cn == nil || cn.dead.Load() {
+				continue
+			}
+			if n := cn.nRecvd.Load(); n != seen[rank] {
+				seen[rank], changed[rank] = n, now
+				continue
+			}
+			if now.Sub(changed[rank]) > h.opts.LivenessTimeout {
+				cn.close()
+			}
+		}
+	}
+}
 
 // PeerBestPrio implements PrioAware from the piggybacked summaries the
 // hub has seen on each worker's frames.
@@ -517,11 +658,12 @@ func (h *hub) serve(rank int) {
 			return
 		}
 		// Header batching first: the coalesced delta must hit the live
-		// count before any task in this frame is forwarded onward, and
+		// count — attributed to its sender, so a death can reconcile
+		// it — before any task in this frame is forwarded onward, and
 		// the piggybacked bound is merged before serving steals so
 		// replies never carry staler knowledge than their request.
 		if f.Delta != 0 {
-			h.AddTasks(f.Delta)
+			h.addAt(f.From, f.Delta)
 			f.Delta = 0
 		}
 		if f.HasPB {
@@ -564,16 +706,52 @@ func (h *hub) serve(rank int) {
 		case kBound:
 			// Relay unconditionally: a bound stale to the hub can
 			// still be news to a worker that has not heard it (the
-			// fan-out of a stronger bound excludes its origin).
+			// fan-out of a stronger bound excludes its origin). A
+			// node-carrying broadcast is additionally retained, so the
+			// optimum outlives its finder — but only the hub's
+			// retention wants the blob, so the relay is stripped to
+			// the bound itself (workers read only Obj).
+			if len(f.Blob) > 0 {
+				h.inc.keep(f.Obj, f.Blob)
+				f.Blob = nil
+			}
 			h.meldBound(f.From, f.Obj)
 			h.fanOut(&f, rank)
 		case kCancel:
+			if len(f.Blob) > 0 {
+				h.inc.keep(f.Obj, f.Blob)
+				f.Blob = nil
+			}
 			if hd := h.handler(); hd != nil {
 				hd.OnCancel(f.From)
 			}
 			h.fanOut(&f, rank)
-		case kDelta:
-			// Nothing beyond the header delta already applied.
+		case kAck:
+			// A coalesced batch: each id names its origin. The hub's
+			// own are delivered here; the rest join the ack buffer and
+			// ride the flusher's next per-origin batches — one split
+			// implementation (drainAcks) for relayed and self-minted
+			// acks alike. Acks to a dead origin drop silently at
+			// forward time: its ledger died with it, and the subtree
+			// the ack certifies was completed by the sender anyway.
+			var relay []uint64
+			for _, id := range f.Acks {
+				if TaskOrigin(id) == 0 {
+					if hd := h.handler(); hd != nil {
+						hd.OnAck(f.From, id)
+					}
+					continue
+				}
+				relay = append(relay, id)
+			}
+			if relay != nil {
+				h.ackMu.Lock()
+				h.ackBuf = append(h.ackBuf, relay...)
+				h.ackMu.Unlock()
+			}
+		case kDelta, kPing:
+			// Nothing beyond the header fields already applied; a
+			// ping's whole purpose was refreshing lastRecv.
 		case kGather:
 			h.contribute(f.From, f.Blob)
 		}
@@ -602,20 +780,42 @@ func (h *hub) fanOut(f *frame, except int) {
 	}
 }
 
-// workerDied handles a lost connection: pending steals aimed at the
-// worker fail fast, its gather slot is filled with nil, and the
-// deployment is force-terminated — the dead locality's live tasks can
-// never complete, so the global count would stay positive forever.
-// The survivors unblock, gather, and the coordinator reports the dead
-// locality's nil slot as an error. Fault tolerance (re-executing a
-// dead locality's work) is an explicit non-goal here. A worker that
-// disconnected after contributing its result (normal shutdown) has
-// already seen termination, making all of this a no-op.
+// workerDied handles a lost connection. After normal termination it
+// only records the (expected) disconnect. Before termination it is a
+// real death, and the supervised-task protocol takes over instead of
+// the old force-termination: pending steals aimed at the worker fail
+// fast, every survivor is notified (kDeath fan-out plus the hub's own
+// Deaths channel) so their ledgers replay the subtree roots the dead
+// rank was holding, the gather slot is filled with nil so the terminal
+// collective cannot block on a rank that will never contribute, and
+// the dead rank's outstanding live-task contribution is reconciled
+// away — the survivors' ledger registrations keep everything that can
+// still be replayed counted, so the count reaches zero exactly when
+// the surviving search (replays included) is done.
 func (h *hub) workerDied(rank int) {
-	h.conns[rank].dead.Store(true)
+	cn := h.conns[rank]
+	if !cn.mourned.CompareAndSwap(false, true) {
+		return
+	}
+	cn.dead.Store(true)
 	h.pending.failVictim(rank)
+	select {
+	case <-h.done:
+		// Post-termination disconnect: the worker shut down normally
+		// (it has already contributed its gather payload, or never
+		// will — fill the slot either way so Gather cannot block).
+		h.contribute(rank, nil)
+		return
+	default:
+	}
+	h.deaths.announce(rank)
+	h.fanOut(&frame{Kind: kDeath, From: 0, Want: rank}, rank)
 	h.contribute(rank, nil)
-	h.terminate()
+	if removed := h.liveAt[rank].Swap(0); removed != 0 {
+		if h.live.Add(-removed) == 0 && removed > 0 {
+			h.terminate()
+		}
+	}
 }
 
 // terminate ends the search everywhere, once.
@@ -648,30 +848,104 @@ func (h *hub) Steal(victim int) (WireTask, bool, error) {
 			}
 		}
 		return res.tasks[0], true, nil
+	case <-h.done:
+		// Global termination: no reply can matter (and none may come —
+		// a victim that finished may already have shut down without a
+		// post-termination death fan-out to fail this request).
+		h.pending.drop(seq)
+		return WireTask{}, false, nil
 	case <-time.After(stealTimeout):
 		h.pending.drop(seq)
 		return WireTask{}, false, nil
 	}
 }
 
-func (h *hub) BroadcastBound(obj int64) error {
+// BroadcastBound retains the node locally (the hub IS rank 0's
+// retention) and fans out the bound alone: workers have no use for
+// the encoded node, so it never costs fan-out bandwidth.
+func (h *hub) BroadcastBound(obj int64, node []byte) error {
+	h.inc.keep(obj, node)
 	raiseMax(&h.pbStamp, obj)
 	h.fanOut(&frame{Kind: kBound, From: 0, Obj: obj}, 0)
 	return nil
 }
 
-func (h *hub) Cancel() error {
-	h.fanOut(&frame{Kind: kCancel, From: 0}, 0)
+func (h *hub) Cancel(obj int64, witness []byte) error {
+	h.inc.keep(obj, witness)
+	h.fanOut(&frame{Kind: kCancel, From: 0, Obj: obj}, 0)
 	return nil
 }
 
-func (h *hub) AddTasks(delta int64) {
+// Ack queues a hand-over completion ack towards the origin's ledger;
+// the hub's ack flusher drains the buffer once per quantum, one frame
+// per origin, exactly like a worker's coalescing.
+func (h *hub) Ack(origin int, id uint64) error {
+	if origin <= 0 || origin >= h.size {
+		return fmt.Errorf("dist: ack to invalid rank %d", origin)
+	}
+	h.ackMu.Lock()
+	h.ackBuf = append(h.ackBuf, id)
+	h.ackMu.Unlock()
+	return nil
+}
+
+// drainAcks forwards the hub's coalesced acks, grouped per origin.
+func (h *hub) drainAcks() {
+	h.ackMu.Lock()
+	ids := h.ackBuf
+	h.ackBuf = nil
+	h.ackMu.Unlock()
+	if len(ids) == 0 {
+		return
+	}
+	byOrigin := make(map[int][]uint64)
+	for _, id := range ids {
+		if origin := TaskOrigin(id); origin > 0 && origin < h.size {
+			byOrigin[origin] = append(byOrigin[origin], id)
+		}
+	}
+	for origin, ids := range byOrigin {
+		for len(ids) > 0 {
+			n := len(ids)
+			if n > maxStealBatch {
+				n = maxStealBatch
+			}
+			h.forward(origin, &frame{Kind: kAck, From: 0, To: origin, Acks: ids[:n]})
+			ids = ids[n:]
+		}
+	}
+}
+
+// ackFlushLoop drains the hub's coalesced acks once per quantum. It
+// must outlive termination detection (termination *requires* the final
+// acks to land), so it stops only when the hub closes.
+func (h *hub) ackFlushLoop() {
+	t := time.NewTicker(h.opts.FlushQuantum)
+	defer t.Stop()
+	for range t.C {
+		if h.closed.Load() {
+			return
+		}
+		h.drainAcks()
+	}
+}
+
+// addAt folds a delta into the global count, attributed to rank.
+func (h *hub) addAt(rank int, delta int64) {
+	if rank < 0 || rank >= h.size {
+		rank = 0
+	}
+	h.liveAt[rank].Add(delta)
 	if h.live.Add(delta) == 0 && delta < 0 {
 		h.terminate()
 	}
 }
 
+func (h *hub) AddTasks(delta int64) { h.addAt(0, delta) }
+
 func (h *hub) Done() <-chan struct{} { return h.done }
+
+func (h *hub) Deaths() <-chan int { return h.deaths.ch }
 
 func (h *hub) contribute(rank int, blob []byte) {
 	h.gatherMu.Lock()
@@ -770,10 +1044,15 @@ func DialOpts(addr, spec string, opts WireOptions) (Transport, error) {
 	w.rank = welcome.To
 	w.size = welcome.Want
 	w.peerPrio = newPeerPrios(w.size)
+	w.deaths = newDeathBox(w.size)
 	cn.pending = &w.delta
 	cn.pb = &w.pbStamp
 	cn.ps = selfPrioFn(&w.h)
 	cn.psFrom = w.rank
+	// The heartbeat starts at registration, not at Start: the gap
+	// between the two is where the worker loads its problem instance,
+	// and a silent connection there must not read as a death.
+	go w.pingLoop()
 	return w, nil
 }
 
@@ -790,9 +1069,12 @@ type worker struct {
 
 	done     chan struct{}
 	doneOnce sync.Once
+	deaths   *deathBox
 
 	pending  pendingSteals
 	delta    atomic.Int64 // coalesced live-task delta, drained by sends
+	ackMu    sync.Mutex
+	ackBuf   []uint64     // coalesced completion acks, drained by the flusher
 	pbStamp  atomic.Int64 // best bound known; stamped on outgoing frames
 	pbSeen   atomic.Int64 // best bound delivered to the handler
 	peerPrio []atomic.Int64
@@ -806,6 +1088,38 @@ type worker struct {
 var _ Transport = (*worker)(nil)
 var _ Meter = (*worker)(nil)
 var _ PrioAware = (*worker)(nil)
+var _ IncumbentStore = (*worker)(nil)
+
+// BestKnown implements IncumbentStore vacuously: retention lives at
+// the hub, and only rank 0's answer is ever consulted.
+func (w *worker) BestKnown() (int64, []byte, bool) { return 0, nil, false }
+
+// pingLoop keeps the connection audibly alive: whenever nothing has
+// been sent for a heartbeat, an empty kPing goes out (carrying, as
+// every frame does, any coalesced delta and bound snapshot). The hub's
+// livenessLoop reads silence beyond LivenessTimeout as death.
+func (w *worker) pingLoop() {
+	t := time.NewTicker(w.opts.Heartbeat)
+	defer t.Stop()
+	var lastSent uint64
+	for {
+		select {
+		case <-w.flushStop:
+			return
+		case <-t.C:
+			if w.cn.dead.Load() {
+				return
+			}
+			// Anything sent since the last tick is heartbeat enough.
+			if n := w.cn.nSent.Load(); n != lastSent {
+				lastSent = n
+				continue
+			}
+			w.cn.send(&frame{Kind: kPing, From: w.rank})
+			lastSent = w.cn.nSent.Load()
+		}
+	}
+}
 
 func (w *worker) Rank() int { return w.rank }
 func (w *worker) Size() int { return w.size }
@@ -858,12 +1172,13 @@ func (w *worker) flushLoop() {
 		case <-w.flushStop:
 			return
 		case <-t.C:
+			w.drainAcks()
 			// Swap, don't Load-then-send: a concurrent outgoing frame
 			// may drain the accumulator between the two, which would
 			// put an empty kDelta frame on the wire.
 			if d := w.delta.Swap(0); d != 0 {
 				if w.cn.send(&frame{Kind: kDelta, From: w.rank, Delta: d}) != nil {
-					// The connection is dead (the hub force-terminates);
+					// The connection is dead (the hub declares us so);
 					// keep the value for Close's best-effort flush.
 					w.delta.Add(d)
 				}
@@ -905,6 +1220,15 @@ func (w *worker) readLoop() {
 			w.meldBound(f.From, f.Obj)
 		case kCancel:
 			w.handler().OnCancel(f.From)
+		case kAck:
+			for _, id := range f.Acks {
+				w.handler().OnAck(f.From, id)
+			}
+		case kDeath:
+			// A peer died: fail steals aimed at it fast (a reply can
+			// never come) and let the engine replay its ledger.
+			w.pending.failVictim(f.Want)
+			w.deaths.announce(f.Want)
 		case kTerminate:
 			w.doneOnce.Do(func() { close(w.done) })
 		}
@@ -931,19 +1255,61 @@ func (w *worker) Steal(victim int) (WireTask, bool, error) {
 			w.handler().OnTask(t)
 		}
 		return res.tasks[0], true, nil
+	case <-w.done:
+		// Global termination: see hub.Steal — a finished victim may
+		// have shut down without anything left to fail this request.
+		w.pending.drop(seq)
+		return WireTask{}, false, nil
 	case <-time.After(stealTimeout):
 		w.pending.drop(seq)
 		return WireTask{}, false, nil
 	}
 }
 
-func (w *worker) BroadcastBound(obj int64) error {
+func (w *worker) BroadcastBound(obj int64, node []byte) error {
 	raiseMax(&w.pbStamp, obj)
-	return w.cn.send(&frame{Kind: kBound, From: w.rank, Obj: obj})
+	return w.cn.send(&frame{Kind: kBound, From: w.rank, Obj: obj, Blob: node})
 }
 
-func (w *worker) Cancel() error {
-	return w.cn.send(&frame{Kind: kCancel, From: w.rank})
+func (w *worker) Cancel(obj int64, witness []byte) error {
+	return w.cn.send(&frame{Kind: kCancel, From: w.rank, Obj: obj, Blob: witness})
+}
+
+// Ack queues a hand-over completion ack towards the origin's ledger.
+// Acks coalesce like live-task deltas: the flusher drains the buffer
+// into one kAck batch per quantum (ids name their own origins; the hub
+// splits the batch while routing), so the no-failure cost of
+// supervision is one small frame per quantum instead of one per stolen
+// task. Retirement latency only delays ledger turnover, never
+// correctness.
+func (w *worker) Ack(origin int, id uint64) error {
+	if origin < 0 || origin >= w.size || origin == w.rank {
+		return fmt.Errorf("dist: ack to invalid rank %d", origin)
+	}
+	w.ackMu.Lock()
+	w.ackBuf = append(w.ackBuf, id)
+	w.ackMu.Unlock()
+	return nil
+}
+
+// drainAcks sends the coalesced ack buffer, chunked under the frame
+// limit. Undeliverable acks are dropped — the connection is dead, and
+// with it any chance of (or need for) retiring remote ledger entries.
+func (w *worker) drainAcks() {
+	w.ackMu.Lock()
+	ids := w.ackBuf
+	w.ackBuf = nil
+	w.ackMu.Unlock()
+	for len(ids) > 0 {
+		n := len(ids)
+		if n > maxStealBatch {
+			n = maxStealBatch
+		}
+		if w.cn.send(&frame{Kind: kAck, From: w.rank, Acks: ids[:n]}) != nil {
+			return
+		}
+		ids = ids[n:]
+	}
 }
 
 // AddTasks coalesces: the delta joins the accumulator and rides out on
@@ -954,6 +1320,8 @@ func (w *worker) AddTasks(delta int64) {
 
 func (w *worker) Done() <-chan struct{} { return w.done }
 
+func (w *worker) Deaths() <-chan int { return w.deaths.ch }
+
 func (w *worker) Gather(payload []byte) ([][]byte, error) {
 	if err := w.cn.send(&frame{Kind: kGather, From: w.rank, Blob: payload}); err != nil {
 		return nil, fmt.Errorf("dist: sending gather payload: %w", err)
@@ -963,8 +1331,10 @@ func (w *worker) Gather(payload []byte) ([][]byte, error) {
 
 func (w *worker) Close() error {
 	if w.closed.CompareAndSwap(false, true) {
-		// Best-effort final delta flush, so a deployment that closes a
-		// worker cleanly does not strand termination on lost counts.
+		// Best-effort final ack and delta flush, so a deployment that
+		// closes a worker cleanly does not strand termination on lost
+		// counts or unretired ledger entries.
+		w.drainAcks()
 		if d := w.delta.Swap(0); d != 0 {
 			w.cn.send(&frame{Kind: kDelta, From: w.rank, Delta: d})
 		}

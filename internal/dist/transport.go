@@ -1,6 +1,9 @@
 package dist
 
-import "sync/atomic"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // WireTask is a unit of work as it crosses a locality boundary: an
 // application search-tree node, its absolute depth, its scheduling
@@ -12,6 +15,16 @@ import "sync/atomic"
 // stays globally ordered: a stolen task re-enters the thief's priority
 // pool exactly where it left the victim's.
 //
+// ID is the hand-over's supervision ticket (v4): the victim mints it
+// when the task leaves (TaskID packs the victim's rank and a local
+// sequence number), retains a copy of the task in its ledger under the
+// id, and retires the copy when the thief acks the id after the
+// task's whole subtree has completed (Transport.Ack → Handler.OnAck at
+// the victim). If the thief dies first, the unacked entries are
+// exactly the subtree roots the dead rank was holding, and the victim
+// re-enqueues them. ID zero means the hand-over is unsupervised (no
+// ack owed).
+//
 // Exactly one of Payload and Local is set. Wire transports carry the
 // node encoded by the engine's Codec in Payload; the in-process
 // loopback transport passes the engine's task value by reference in
@@ -20,10 +33,26 @@ import "sync/atomic"
 type WireTask struct {
 	Payload []byte
 	Local   any
+	ID      uint64
 	Depth   int
 	Prio    int
 	Bound   int64
 }
+
+// TaskID mints a hand-over id: a per-victim sequence number in the
+// high bits, the victim's rank+1 in the low 16 (so zero — "no ack
+// owed" — is never minted, and TaskOrigin can route a completion ack
+// without carrying the origin separately). Rank in the LOW bits is a
+// wire-size decision: ids appear in every steal reply and ack batch as
+// uvarints, and a fresh deployment's ids should cost 2-4 bytes, not
+// the 8-9 a high-bits rank would force from the first hand-over.
+func TaskID(rank int, seq uint64) uint64 {
+	return seq<<16 | (uint64(rank+1) & 0xFFFF)
+}
+
+// TaskOrigin recovers the rank that minted an id (the ack's
+// destination). -1 for the zero (unsupervised) id.
+func TaskOrigin(id uint64) int { return int(id&0xFFFF) - 1 }
 
 // Handler is the locality engine's side of a Transport: the transport
 // calls it to serve incoming traffic. Implementations must be safe for
@@ -50,6 +79,13 @@ type Handler interface {
 	// registered in the global live count, so dropping it would lose
 	// part of the search tree and hang termination.
 	OnTask(t WireTask)
+	// OnAck delivers a completion ack for a task this locality handed
+	// over (Transport.Ack on the thief side): the subtree rooted at
+	// the task with the given hand-over id has fully completed, so the
+	// retained ledger copy can be retired. Acks may arrive for ids
+	// already retired by a death replay; receivers must treat retire
+	// as idempotent.
+	OnAck(from int, id uint64)
 }
 
 // StealRanker is an optional Handler extension for localities that can
@@ -77,6 +113,74 @@ type PrioAware interface {
 // PrioNone is the advertised priority of a locality with no stealable
 // work.
 const PrioNone = -1
+
+// IncumbentStore is an optional Transport extension: transports that
+// retain the best (obj, node) pair published through BroadcastBound or
+// Cancel expose it at rank 0, so the global optimum (or decision
+// witness) survives the death of the locality that found it. Both
+// bundled transports implement it; only the rank-0 endpoint's answer
+// is meaningful.
+type IncumbentStore interface {
+	BestKnown() (obj int64, node []byte, ok bool)
+}
+
+// incumbentBox is the shared retention cell behind IncumbentStore.
+type incumbentBox struct {
+	mu   sync.Mutex
+	obj  int64
+	node []byte
+	ok   bool
+}
+
+// keep retains (obj, node) when it beats the current retained pair.
+// nil nodes are never retained: a bound without its node cannot
+// reconstruct a result.
+func (b *incumbentBox) keep(obj int64, node []byte) {
+	if node == nil {
+		return
+	}
+	b.mu.Lock()
+	if !b.ok || obj > b.obj {
+		b.obj, b.node, b.ok = obj, node, true
+	}
+	b.mu.Unlock()
+}
+
+func (b *incumbentBox) best() (int64, []byte, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.obj, b.node, b.ok
+}
+
+// deathBox is the per-endpoint death-notification buffer behind
+// Deaths(): each rank is announced at most once, and announcements
+// never block the transport.
+type deathBox struct {
+	mu   sync.Mutex
+	seen map[int]bool
+	ch   chan int
+}
+
+func newDeathBox(size int) *deathBox {
+	return &deathBox{seen: make(map[int]bool), ch: make(chan int, size)}
+}
+
+// announce queues rank on the notification channel, once per rank.
+// It reports whether this was the first announcement.
+func (d *deathBox) announce(rank int) bool {
+	d.mu.Lock()
+	if d.seen[rank] {
+		d.mu.Unlock()
+		return false
+	}
+	d.seen[rank] = true
+	d.mu.Unlock()
+	select {
+	case d.ch <- rank:
+	default: // buffer sized to the deployment; can only overflow on duplicates
+	}
+	return true
+}
 
 // MultiStealer is an optional Handler extension for transports whose
 // steal replies carry batches. A handler that implements it decides
@@ -190,20 +294,42 @@ type Transport interface {
 	// BroadcastBound publishes an improved incumbent bound to every
 	// other locality, asynchronously: peers learn it after the
 	// transport's delivery latency, pruning against stale knowledge in
-	// the meantime.
-	BroadcastBound(obj int64) error
+	// the meantime. node, when non-nil, is the codec-encoded incumbent
+	// node itself: the transport retains the best (obj, node) pair
+	// where rank 0 can reach it (IncumbentStore), so the optimum
+	// survives the death of the locality that found it. nil skips the
+	// retention (in-process deployments share the incumbent anyway).
+	BroadcastBound(obj int64, node []byte) error
 	// Cancel propagates a global short-circuit to every other
-	// locality.
-	Cancel() error
+	// locality. witness, when non-nil, is the codec-encoded node that
+	// satisfied the decision target, retained like a broadcast node so
+	// the witness survives its finder's death.
+	Cancel(obj int64, witness []byte) error
+	// Ack reports to the locality that minted id (origin ==
+	// TaskOrigin(id)) that the subtree handed over under the id has
+	// fully completed; the origin's Handler.OnAck retires the retained
+	// copy. Acks to a dead origin are silently dropped — its ledger
+	// died with it.
+	Ack(origin int, id uint64) error
 	// AddTasks adjusts the global live-task count by delta: +k when
 	// spawning k tasks (before they become visible to any worker), -1
 	// when a task completes. The count underpins distributed
-	// termination detection.
+	// termination detection. Contributions are attributed to this
+	// rank, so that a dead rank's outstanding contribution can be
+	// reconciled away instead of wedging the count above zero forever.
 	AddTasks(delta int64)
 	// Done is closed when the global live-task count returns to zero —
 	// every spawned task has completed, so no locality can ever
-	// receive work again.
+	// receive work again. A locality death does not force it: the
+	// dead rank's contribution is subtracted and the survivors run on.
 	Done() <-chan struct{}
+	// Deaths notifies this locality of peer deaths, one rank per
+	// receive, each dead rank delivered at most once. The engine
+	// replays its ledger entries for the rank and stops picking it as
+	// a steal victim. The channel is buffered (never blocks the
+	// transport) and is not closed; consumers select against their own
+	// shutdown signal.
+	Deaths() <-chan int
 	// Gather is a terminal collective: every locality contributes one
 	// payload, and rank 0 receives all of them indexed by rank (its
 	// own included). Non-root callers return (nil, nil) as soon as
