@@ -431,6 +431,123 @@ func BenchmarkOrderedScheduling(b *testing.B) {
 }
 
 // ------------------------------------------------------------------
+// Scale-out topology (Figure 4, revisited over real TCP): the same
+// 4-locality maxclique deployment under the star topology (every steal
+// crosses the hub) and the mesh topology (steals flow worker-to-worker,
+// the hub keeps only registration, incumbents and aggregation), with
+// and without an injected worker death. coordframes/op counts the
+// frames the coordinator endpoint sent+received per solve — the star's
+// scaling bottleneck, and the number the mesh exists to shrink; the
+// mesh/star nofail ratio is gated by cmd/benchguard via
+// BENCH_scaleout.json.
+
+// scaleoutTransports brings up a real-TCP 1-coordinator + 3-worker
+// deployment in process and returns the transports indexed by rank.
+func scaleoutTransports(b *testing.B, topo string) []dist.Transport {
+	b.Helper()
+	opts := dist.WireOptions{Topology: topo}
+	l, err := dist.NewListenerOpts("127.0.0.1:0", "scaleout", opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	trs := make([]dist.Transport, 4)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var derr error
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tr, err := dist.DialOpts(l.Addr(), "scaleout", opts)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				derr = err
+				return
+			}
+			trs[tr.Rank()] = tr
+		}()
+	}
+	coord, err := l.Wait(3)
+	wg.Wait()
+	if err != nil || derr != nil {
+		b.Fatalf("scaleout deployment: %v / %v", err, derr)
+	}
+	trs[0] = coord
+	return trs
+}
+
+// runScaleout executes one distributed maxclique solve and returns the
+// coordinator endpoint's frame total (sent+received). With kill set, a
+// worker's transport is severed mid-search; replay must still deliver
+// the exact optimum at rank 0.
+func runScaleout(b *testing.B, g *graph.Graph, topo string, kill bool, want int64) float64 {
+	b.Helper()
+	trs := scaleoutTransports(b, topo)
+	defer func() {
+		for _, tr := range trs {
+			tr.Close()
+		}
+	}()
+	s := maxclique.NewSpace(g)
+	cfg := core.Config{Workers: 2, DCutoff: 2, MaxFailures: -1}
+	results := make([]core.OptResult[maxclique.Node], 4)
+	errs := make([]error, 4)
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			results[r], errs[r] = core.DistOpt(trs[r], maxclique.Codec(), core.DepthBounded,
+				s, maxclique.Root(s), maxclique.OptProblem(), cfg)
+		}(r)
+	}
+	if kill {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			time.Sleep(60 * time.Millisecond)
+			trs[2].Close() // severed mid-search; rank 2's engine errors out
+		}()
+	}
+	wg.Wait()
+	if errs[0] != nil {
+		b.Fatalf("rank 0: %v", errs[0])
+	}
+	if !results[0].Found || results[0].Best.Clique.Count() != int(want) {
+		b.Fatalf("clique size = %d (found=%v), want %d", results[0].Best.Clique.Count(), results[0].Found, want)
+	}
+	ws := trs[0].(dist.Meter).Wire()
+	return float64(ws.FramesSent + ws.FramesRecv)
+}
+
+func BenchmarkScaleoutTopology(b *testing.B) {
+	// Big enough that a 60ms-delayed kill lands mid-search, small
+	// enough that a full star+mesh × nofail+death pass stays in seconds.
+	g := graph.Random(130, 0.8, 42)
+	best, _ := maxclique.SeqHandcoded(g)
+	want := int64(best.Count())
+	for _, tc := range []struct {
+		name string
+		topo string
+	}{{"star", dist.TopologyStar}, {"mesh", dist.TopologyMesh}} {
+		for _, kill := range []bool{false, true} {
+			mode := "nofail"
+			if kill {
+				mode = "death"
+			}
+			b.Run(tc.name+"/"+mode, func(b *testing.B) {
+				var frames float64
+				for i := 0; i < b.N; i++ {
+					frames += runScaleout(b, g, tc.topo, kill, want)
+				}
+				b.ReportMetric(frames/float64(b.N), "coordframes/op")
+			})
+		}
+	}
+}
+
+// ------------------------------------------------------------------
 // Wire protocol v2 throughput: how fast do stolen tasks cross a
 // locality boundary, and at what protocol cost? The matrix covers the
 // three v2 levers — transport (loopback hand-over vs real TCP), codec

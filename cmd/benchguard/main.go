@@ -17,10 +17,14 @@
 //     ns/op must stay within slack × the recorded value. Host-dependent,
 //     which the slack absorbs for same-class runners.
 //   - ratio rows: objects with "bench", "vs" and "max_ratio" — the
-//     measured ns/op of bench divided by that of vs must stay at or
-//     under max_ratio. Host-independent, so acceptance-criteria ratios
-//     (e.g. "sharded priority pool ≥3× faster than the retired heap")
-//     stay guarded on any machine.
+//     measured metric of bench divided by that of vs must stay at or
+//     under max_ratio. The metric defaults to ns/op; a row may name any
+//     unit `go test -bench` reported (including b.ReportMetric custom
+//     units such as "coordframes/op") via an optional "metric" key.
+//     Host-independent, so acceptance-criteria ratios (e.g. "sharded
+//     priority pool ≥3× faster than the retired heap", "mesh moves
+//     ≥25% fewer coordinator frames than star") stay guarded on any
+//     machine.
 //
 // Usage:
 //
@@ -43,9 +47,10 @@ var (
 	flagSlack    = flag.Float64("slack", 1.2, "allowed factor over an absolute ns/op baseline")
 )
 
-// ratioRule guards bench/vs <= max.
+// ratioRule guards bench/vs <= max on one reported metric.
 type ratioRule struct {
 	bench, vs string
+	metric    string
 	max       float64
 }
 
@@ -59,7 +64,11 @@ func harvest(v any, guarded bool, abs map[string]float64, ratios *[]ratioRule) {
 		if name, ok := x["bench"].(string); ok && guarded {
 			if vs, ok := x["vs"].(string); ok {
 				if mr, ok := x["max_ratio"].(float64); ok {
-					*ratios = append(*ratios, ratioRule{bench: name, vs: vs, max: mr})
+					metric, _ := x["metric"].(string)
+					if metric == "" {
+						metric = "ns/op"
+					}
+					*ratios = append(*ratios, ratioRule{bench: name, vs: vs, metric: metric, max: mr})
 				}
 			} else if ns, ok := x["ns_op"].(float64); ok {
 				abs[name] = ns
@@ -75,13 +84,15 @@ func harvest(v any, guarded bool, abs map[string]float64, ratios *[]ratioRule) {
 	}
 }
 
-// parseBench extracts (name, ns/op) from one `go test -bench` output
-// line, reporting ok=false for non-benchmark lines. The -N GOMAXPROCS
-// suffix is stripped so names match the recorded baselines.
-func parseBench(line string) (string, float64, bool) {
+// parseBench extracts the benchmark name and every reported
+// (value, unit) pair — ns/op, B/op, and b.ReportMetric custom units
+// alike — from one `go test -bench` output line, reporting ok=false
+// for non-benchmark lines. The -N GOMAXPROCS suffix is stripped so
+// names match the recorded baselines.
+func parseBench(line string) (string, map[string]float64, bool) {
 	fields := strings.Fields(line)
 	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
-		return "", 0, false
+		return "", nil, false
 	}
 	name := fields[0]
 	if i := strings.LastIndex(name, "-"); i > 0 {
@@ -89,16 +100,18 @@ func parseBench(line string) (string, float64, bool) {
 			name = name[:i]
 		}
 	}
-	for i := 2; i+1 < len(fields); i++ {
-		if fields[i+1] == "ns/op" {
-			ns, err := strconv.ParseFloat(fields[i], 64)
-			if err != nil {
-				return "", 0, false
-			}
-			return name, ns, true
+	metrics := map[string]float64{}
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", nil, false
 		}
+		metrics[fields[i+1]] = val
 	}
-	return "", 0, false
+	if len(metrics) == 0 {
+		return "", nil, false
+	}
+	return name, metrics, true
 }
 
 func main() {
@@ -123,13 +136,13 @@ func main() {
 		harvest(doc, false, abs, &ratios)
 	}
 
-	measured := map[string]float64{}
+	measured := map[string]map[string]float64{}
 	sc := bufio.NewScanner(os.Stdin)
 	for sc.Scan() {
 		line := sc.Text()
 		fmt.Println(line) // pass the bench output through for the log
-		if name, ns, ok := parseBench(line); ok {
-			measured[name] = ns
+		if name, metrics, ok := parseBench(line); ok {
+			measured[name] = metrics
 		}
 	}
 	if err := sc.Err(); err != nil {
@@ -143,8 +156,12 @@ func main() {
 
 	failures := 0
 	checked := 0
-	for name, ns := range measured {
+	for name, metrics := range measured {
 		base, ok := abs[name]
+		if !ok {
+			continue
+		}
+		ns, ok := metrics["ns/op"]
 		if !ok {
 			continue
 		}
@@ -159,10 +176,10 @@ func main() {
 			name, ns, base, limit, verdict)
 	}
 	for _, r := range ratios {
-		b, okB := measured[r.bench]
-		v, okV := measured[r.vs]
-		if !okB || !okV {
-			fmt.Printf("benchguard: ratio %s / %s skipped (not both measured)\n", r.bench, r.vs)
+		b, okB := measured[r.bench][r.metric]
+		v, okV := measured[r.vs][r.metric]
+		if !okB || !okV || v == 0 {
+			fmt.Printf("benchguard: ratio %s / %s (%s) skipped (not both measured)\n", r.bench, r.vs, r.metric)
 			continue
 		}
 		checked++
@@ -172,8 +189,8 @@ func main() {
 			verdict = "REGRESSION"
 			failures++
 		}
-		fmt.Printf("benchguard: %-44s ratio %6.3f  max %6.3f  %s\n",
-			r.bench+"/"+r.vs, got, r.max, verdict)
+		fmt.Printf("benchguard: %-44s %s ratio %6.3f  max %6.3f  %s\n",
+			r.bench+"/"+r.vs, r.metric, got, r.max, verdict)
 	}
 	if checked == 0 {
 		fmt.Fprintln(os.Stderr, "benchguard: nothing to check (no measured benchmark has a baseline)")

@@ -151,6 +151,14 @@ func TestDistributedMaxCliqueMatchesSingleProcess(t *testing.T) {
 	testDistMatchesSingle(t, []string{"-app", "maxclique", "-n", "90", "-p", "0.7", "-skeleton", "depthbounded", "-d", "2", "-workers", "2"})
 }
 
+// The same acceptance workload over the mesh topology: steal traffic
+// flows worker-to-worker and termination is detected by the wave, yet
+// the answer and the aggregated stats must be indistinguishable from
+// the star deployment's.
+func TestDistributedMeshMaxCliqueMatchesSingleProcess(t *testing.T) {
+	testDistMatchesSingle(t, []string{"-app", "maxclique", "-n", "90", "-p", "0.7", "-skeleton", "depthbounded", "-d", "2", "-workers", "2", "-topology", "mesh"})
+}
+
 func TestDistributedBudgetKnapsack(t *testing.T) {
 	testDistMatchesSingle(t, []string{"-app", "knapsack", "-items", "20", "-skeleton", "budget", "-b", "5000", "-workers", "2"})
 }
@@ -159,12 +167,24 @@ func TestDistributedBudgetKnapsack(t *testing.T) {
 // (1 coordinator + 3 workers) in which one worker is SIGKILLed
 // mid-maxclique must still terminate, exit cleanly, and report the
 // exact optimum of the failure-free run — the supervised-task ledger
-// replaying the dead worker's subtree roots from the survivors.
+// replaying the dead worker's subtree roots from the survivors. Runs
+// once per topology: on star the steal in flight crosses the hub, on
+// mesh it is on a direct worker-to-worker connection and termination
+// is detected by the wave, not the hub's live count.
 func TestDistributedMaxCliqueSurvivesWorkerSIGKILL(t *testing.T) {
+	testMaxCliqueSurvivesWorkerSIGKILL(t, nil)
+}
+
+func TestDistributedMeshMaxCliqueSurvivesWorkerSIGKILL(t *testing.T) {
+	testMaxCliqueSurvivesWorkerSIGKILL(t, []string{"-topology", "mesh"})
+}
+
+func testMaxCliqueSurvivesWorkerSIGKILL(t *testing.T, extraFlags []string) {
 	bin := yewparBinary(t)
 	// n=160 p=0.8 runs well over a second in this deployment, so a
 	// kill shortly after registration lands mid-search.
 	appFlags := []string{"-app", "maxclique", "-n", "160", "-p", "0.8", "-skeleton", "depthbounded", "-d", "2", "-workers", "2"}
+	appFlags = append(appFlags, extraFlags...)
 
 	single, err := exec.Command(bin, appFlags...).CombinedOutput()
 	if err != nil {

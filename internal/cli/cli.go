@@ -21,6 +21,7 @@ import (
 	"yewpar/internal/apps/tsp"
 	"yewpar/internal/apps/uts"
 	"yewpar/internal/core"
+	"yewpar/internal/dist"
 	"yewpar/internal/graph"
 	"yewpar/internal/instances"
 )
@@ -69,6 +70,7 @@ type Options struct {
 	DistWorkers int
 	MaxFailures int
 	RegTimeout  time.Duration
+	Topology    string
 }
 
 // ParseArgs parses command-line arguments into Options.
@@ -109,8 +111,14 @@ func ParseArgs(args []string) (*Options, error) {
 	fs.IntVar(&o.DistWorkers, "dist-workers", 2, "coordinator: worker processes to wait for")
 	fs.IntVar(&o.MaxFailures, "max-failures", -1, "dist: worker deaths tolerated before the run reports an error (-1 = unlimited; deaths are always repaired by subtree replay)")
 	fs.DurationVar(&o.RegTimeout, "reg-timeout", 0, "dist coordinator: registration window before missing workers fail the deployment (0 = default)")
+	fs.StringVar(&o.Topology, "topology", "star", "steal/termination topology: star (hub-routed, coordinator live count) or mesh (direct peer steals, gossip bounds, termination wave)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
+	}
+	switch o.Topology {
+	case "", dist.TopologyStar, dist.TopologyMesh:
+	default:
+		return nil, fmt.Errorf("unknown topology %q (want star or mesh)", o.Topology)
 	}
 	ord, err := ParseOrder(o.Order)
 	if err != nil {
@@ -164,6 +172,7 @@ func (o *Options) Config() core.Config {
 	}
 	cfg.Order = o.order
 	cfg.MaxFailures = o.MaxFailures
+	cfg.Topology = o.Topology
 	return cfg
 }
 

@@ -60,7 +60,7 @@ func RunDist(o *Options, w io.Writer) error {
 	var tr dist.Transport
 	switch o.Dist {
 	case "coordinator":
-		l, err := dist.NewListenerOpts(o.DistAddr, o.distSpec(), dist.WireOptions{RegTimeout: o.RegTimeout})
+		l, err := dist.NewListenerOpts(o.DistAddr, o.distSpec(), dist.WireOptions{RegTimeout: o.RegTimeout, Topology: o.Topology})
 		if err != nil {
 			return fmt.Errorf("dist: listening on %s: %w", o.DistAddr, err)
 		}
@@ -73,7 +73,7 @@ func RunDist(o *Options, w io.Writer) error {
 		fmt.Fprintf(w, "dist: all %d workers registered\n", o.DistWorkers)
 	case "worker":
 		var err error
-		tr, err = dist.Dial(o.DistAddr, o.distSpec())
+		tr, err = dist.DialOpts(o.DistAddr, o.distSpec(), dist.WireOptions{Topology: o.Topology})
 		if err != nil {
 			return err
 		}

@@ -108,6 +108,16 @@ type Config struct {
 	// none (any death is reported as an error, though the result is
 	// still repaired as far as replay allows).
 	MaxFailures int
+	// Topology selects how localities exchange steal traffic and detect
+	// termination. "" or dist.TopologyStar is the hub-routed star with
+	// the coordinator's global live-task count; dist.TopologyMesh has
+	// localities steal from each other directly, bounds spread by
+	// gossip, and termination detected by a decentralised Safra-style
+	// wave. Single-process (loopback) runs honour it too: mesh selects
+	// the wave accounting, exercising the same termination machinery a
+	// cluster mesh uses. Multi-process runs must configure the same
+	// topology on every rank (enforced at registration).
+	Topology string
 	// Seed seeds victim selection for work stealing. Default 1.
 	Seed int64
 	// Trace, if non-nil, records every task execution for workload

@@ -52,6 +52,7 @@ func newLoopbackFabric[N any](cfg Config) *fabric[N] {
 	net := dist.NewLoopback(cfg.Localities, dist.LoopbackOptions{
 		StealLatency: cfg.StealLatency,
 		BoundLatency: cfg.BoundLatency,
+		Wave:         cfg.Topology == dist.TopologyMesh,
 	})
 	f := &fabric[N]{
 		trs:     net.Transports(),

@@ -34,8 +34,12 @@ func faultSpace() toySpace {
 // and kills each rank in `victims` as soon as it holds live work.
 // Returns rank 0's result and error.
 func runDistOptWithKills(t *testing.T, ranks int, cfg Config, victims []int) (OptResult[toyNode], error) {
+	return runDistOptWithKillsOpts(t, ranks, cfg, victims, dist.LoopbackOptions{})
+}
+
+func runDistOptWithKillsOpts(t *testing.T, ranks int, cfg Config, victims []int, opts dist.LoopbackOptions) (OptResult[toyNode], error) {
 	t.Helper()
-	net := dist.NewLoopback(ranks, dist.LoopbackOptions{})
+	net := dist.NewLoopback(ranks, opts)
 	trs := net.Transports()
 	defer net.Close()
 
@@ -71,6 +75,25 @@ func TestDistOptSurvivesWorkerDeath(t *testing.T) {
 	want := SequentialOpt(faultSpace(), toyNode{}, toyOptProblem())
 	cfg := Config{Workers: 2, DCutoff: 3, MaxFailures: -1}
 	got, err := runDistOptWithKills(t, 4, cfg, []int{2})
+	if err != nil {
+		t.Fatalf("rank 0: %v", err)
+	}
+	if !got.Found || got.Objective != want.Objective {
+		t.Fatalf("objective after death = %d (found=%v), want %d", got.Objective, got.Found, want.Objective)
+	}
+	if got.Stats.Deaths != 1 {
+		t.Fatalf("Deaths = %d, want 1", got.Stats.Deaths)
+	}
+}
+
+// The same death, with the loopback network in wave mode (the mesh
+// topology's termination discipline): no global live count exists, so
+// quiescence after the replay must be observed by the circulating
+// token. The exact optimum and the death report must be unchanged.
+func TestDistOptMeshSurvivesWorkerDeath(t *testing.T) {
+	want := SequentialOpt(faultSpace(), toyNode{}, toyOptProblem())
+	cfg := Config{Workers: 2, DCutoff: 3, MaxFailures: -1}
+	got, err := runDistOptWithKillsOpts(t, 4, cfg, []int{2}, dist.LoopbackOptions{Wave: true})
 	if err != nil {
 		t.Fatalf("rank 0: %v", err)
 	}

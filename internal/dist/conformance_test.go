@@ -3,6 +3,7 @@ package dist
 import (
 	"bytes"
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -10,13 +11,64 @@ import (
 )
 
 // Transport conformance suite: every behaviour the engine relies on,
-// asserted against both implementations. A new transport only has to
+// asserted against every implementation. A new transport only has to
 // pass this suite to be a valid substrate for the distributed engine.
+// Four harnesses run today: the loopback network and the TCP star
+// (hub-counted termination), and their mesh twins (per-rank counters,
+// termination by the wave) — the cases below express task accounting
+// through completeStolen precisely so that one suite pins both
+// termination protocols.
 
 // harness builds a connected deployment of n localities.
 type harness struct {
 	name string
 	make func(t *testing.T, n int) []Transport
+}
+
+// makeTCP builds a TCP deployment with the given wire options; the
+// harness list instantiates it for both topologies.
+func makeTCP(t *testing.T, n int, opts WireOptions) []Transport {
+	l, err := NewListenerOpts("127.0.0.1:0", "conformance", opts)
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	trs := make([]Transport, n)
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 1; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tr, err := DialOpts(l.Addr(), "conformance", opts)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			// Ranks are assigned in registration order, which
+			// is racy across concurrent dials: index by the
+			// assigned rank, not the goroutine.
+			trs[tr.Rank()] = tr
+		}(i)
+	}
+	coord, err := l.Wait(n - 1)
+	wg.Wait()
+	if err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+	for _, e := range errs {
+		if e != nil {
+			t.Fatalf("dial: %v", e)
+		}
+	}
+	trs[0] = coord
+	t.Cleanup(func() {
+		for _, tr := range trs {
+			if tr != nil {
+				tr.Close()
+			}
+		}
+	})
+	return trs
 }
 
 func harnesses() []harness {
@@ -26,50 +78,40 @@ func harnesses() []harness {
 			t.Cleanup(func() { net.Close() })
 			return net.Transports()
 		}},
+		// TestTCPLateStealReplyAdopted indexes harnesses()[1]: the star
+		// TCP harness must stay in this slot.
 		{name: "tcp", make: func(t *testing.T, n int) []Transport {
-			l, err := NewListener("127.0.0.1:0", "conformance")
-			if err != nil {
-				t.Fatalf("listen: %v", err)
-			}
-			trs := make([]Transport, n)
-			var wg sync.WaitGroup
-			errs := make([]error, n)
-			for i := 1; i < n; i++ {
-				wg.Add(1)
-				go func(i int) {
-					defer wg.Done()
-					tr, err := Dial(l.Addr(), "conformance")
-					if err != nil {
-						errs[i] = err
-						return
-					}
-					// Ranks are assigned in registration order, which
-					// is racy across concurrent dials: index by the
-					// assigned rank, not the goroutine.
-					trs[tr.Rank()] = tr
-				}(i)
-			}
-			coord, err := l.Wait(n - 1)
-			wg.Wait()
-			if err != nil {
-				t.Fatalf("wait: %v", err)
-			}
-			for _, e := range errs {
-				if e != nil {
-					t.Fatalf("dial: %v", e)
-				}
-			}
-			trs[0] = coord
-			t.Cleanup(func() {
-				for _, tr := range trs {
-					if tr != nil {
-						tr.Close()
-					}
-				}
-			})
-			return trs
+			return makeTCP(t, n, WireOptions{})
+		}},
+		{name: "loopback-mesh", make: func(t *testing.T, n int) []Transport {
+			net := NewLoopback(n, LoopbackOptions{Wave: true})
+			t.Cleanup(func() { net.Close() })
+			return net.Transports()
+		}},
+		{name: "tcp-mesh", make: func(t *testing.T, n int) []Transport {
+			return makeTCP(t, n, WireOptions{Topology: TopologyMesh})
 		}},
 	}
+}
+
+// completeStolen expresses "rank holder completes a task spawned at
+// rank spawner" in the engine's own accounting discipline: the holder
+// registers its adoption (+1), completes it (-1), and the spawner
+// retires its ledger registration (-1, the spawn-time +1 that covered
+// the task in flight). On the star every delta folds into the hub's
+// single live count, so the net effect is the old bare -1; on a mesh
+// each delta lands on its own rank's wave counter, where the split is
+// what keeps the termination wave from observing a negative rank or an
+// uncovered in-flight task. Conformance cases MUST complete cross-rank
+// work through this helper rather than decrementing an arbitrary rank.
+func completeStolen(holder, spawner Transport) {
+	if holder == spawner {
+		spawner.AddTasks(-1)
+		return
+	}
+	holder.AddTasks(1)
+	holder.AddTasks(-1)
+	spawner.AddTasks(-1)
 }
 
 // recHandler records everything the transport delivers.
@@ -290,14 +332,14 @@ func TestConformanceTaskAccountingTermination(t *testing.T) {
 			// rank: Done must fire on every rank, and not before the
 			// last completion.
 			trs[0].AddTasks(3)
-			trs[1].AddTasks(-1)
-			trs[2].AddTasks(-1)
+			completeStolen(trs[1], trs[0])
+			completeStolen(trs[2], trs[0])
 			select {
 			case <-trs[0].Done():
 				t.Fatal("Done fired with a task still live")
 			case <-time.After(50 * time.Millisecond):
 			}
-			trs[0].AddTasks(-1)
+			completeStolen(trs[0], trs[0])
 			for r, tr := range trs {
 				select {
 				case <-tr.Done():
@@ -673,7 +715,7 @@ func TestConformanceDeathDuringSteal(t *testing.T) {
 	defer func() { stealTimeout = old }()
 	for _, h := range harnesses() {
 		t.Run(h.name, func(t *testing.T) {
-			if h.name == "loopback" {
+			if strings.HasPrefix(h.name, "loopback") {
 				t.Skip("loopback steals are synchronous direct calls; nothing is ever pending")
 			}
 			trs := h.make(t, 3)
@@ -944,7 +986,9 @@ func TestConformanceCoalescedDeltasUnderStealStorm(t *testing.T) {
 					defer wg.Done()
 					for i := 0; i < perRank; i++ {
 						trs[r].AddTasks(1)
-						hs[r].push(WireTask{Payload: []byte("w"), Depth: i})
+						// The payload names the spawner, so whoever
+						// completes the task can retire the right ledger.
+						hs[r].push(WireTask{Payload: []byte{byte(r)}, Depth: i})
 					}
 				}(r)
 				wg.Add(1)
@@ -952,8 +996,8 @@ func TestConformanceCoalescedDeltasUnderStealStorm(t *testing.T) {
 					defer wg.Done()
 					for i := 0; i < 40; i++ {
 						v := (r + 1 + i%2) % len(trs)
-						if _, ok, _ := trs[r].Steal(v); ok {
-							trs[r].AddTasks(-1)
+						if wt, ok, _ := trs[r].Steal(v); ok {
+							completeStolen(trs[r], trs[wt.Payload[0]])
 							completed.Add(1)
 						}
 					}
@@ -963,9 +1007,8 @@ func TestConformanceCoalescedDeltasUnderStealStorm(t *testing.T) {
 			// Complete everything still queued or adopted, wherever it
 			// ended up.
 			for r := range trs {
-				held := hs[r].drain()
-				for range held {
-					trs[r].AddTasks(-1)
+				for _, wt := range hs[r].drain() {
+					completeStolen(trs[r], trs[wt.Payload[0]])
 					completed.Add(1)
 				}
 			}
@@ -980,7 +1023,7 @@ func TestConformanceCoalescedDeltasUnderStealStorm(t *testing.T) {
 				t.Fatal("Done fired with the sentinel task still live")
 			default:
 			}
-			trs[1].AddTasks(-1) // a worker's coalesced flush ends the search
+			completeStolen(trs[1], trs[0]) // a worker completes the sentinel
 			for r, tr := range trs {
 				select {
 				case <-tr.Done():

@@ -25,15 +25,21 @@
 //     vocabulary that lets the engine's supervised-task ledger replay
 //     a dead locality's subtrees — see "Fault tolerance" below.
 //
-// Two implementations are provided. The Loopback transport connects
-// localities within one process by direct calls, with optional
-// injected steal and bound latencies; it backs all single-process
-// skeleton runs (internal/core builds its simulated-cluster topology
-// on it) and serves as the reference for the conformance suite. The
-// TCP transport (NewListener/Dial) connects real OS processes in a
-// star around the coordinator; it is what `yewpar -dist` deploys.
+// Two implementations are provided, each in two topologies. The
+// Loopback transport connects localities within one process by direct
+// calls, with optional injected steal and bound latencies; it backs
+// all single-process skeleton runs (internal/core builds its
+// simulated-cluster topology on it) and serves as the reference for
+// the conformance suite — LoopbackOptions.Wave switches its
+// termination discipline from the counted mode to the token wave. The
+// TCP transport (NewListener/Dial) connects real OS processes and is
+// what `yewpar -dist` deploys: in the star topology every frame is
+// relayed through the coordinator's hub; in the mesh topology
+// (WireOptions.Topology, `-topology mesh`) workers connect directly
+// to each other and the coordinator drops out of the steal and bound
+// planes — see "Mesh topology and the termination wave" below.
 //
-// # Wire protocol v4
+// # Wire protocol (v5)
 //
 // The TCP transport speaks a length-prefixed binary frame format (v1
 // was a gob stream per message): a little-endian uint32 body length,
@@ -132,13 +138,60 @@
 // at rank 0, and an entry is acked only when its whole subtree has
 // completed, so even staggered multi-rank deaths replay from the
 // earliest surviving supervisor. Coordinator (rank 0) death is out of
-// scope: it owns registration, routing, termination detection, and
-// result aggregation, and its loss ends the deployment (workers
-// observe the broken connection and unblock). Enumeration searches
-// cannot be repaired by replay — a dead rank's partial monoid value is
+// scope in both topologies: even in the mesh, where routing,
+// termination detection, and bound spread are decentralised, rank 0
+// still owns registration, the incumbent store, and result
+// aggregation, and its loss ends the deployment (workers observe the
+// broken connection and unblock). Enumeration searches cannot be
+// repaired by replay — a dead rank's partial monoid value is
 // unrecoverable and replaying its subtrees would double-count — so
 // DistEnum reports a death as an error rather than return a silently
 // wrong total.
+//
+// # Mesh topology and the termination wave (v5)
+//
+// The star concentrates every frame of a deployment on the
+// coordinator: each worker-to-worker steal costs the hub four frames
+// of relay, and each incumbent improvement is re-broadcast to every
+// worker. v5 flattens it. During registration the hub collects each
+// worker's peer listen address (kPeerAddr) and, once the deployment is
+// complete, sends every worker the full address table (kPeers);
+// workers then dial each other directly (kPeerHello, deduplicated by
+// rank order) and the data plane — steal requests, batched replies,
+// completion acks, per-peer priority summaries — flows point to point.
+// The coordinator keeps only the control plane: registration, the
+// incumbent store, death fan-out, and the terminal Gather.
+//
+// With no hub seeing every frame, two star-era mechanisms are
+// replaced:
+//
+//   - Bounds spread epidemically instead of by hub re-broadcast. An
+//     improving locality pushes kGossip to a small random fan of peers
+//     (plus one kBound to the hub, which folds it into the incumbent
+//     store but never eagerly re-broadcasts), receivers re-gossip
+//     genuine news, and a slow anti-entropy tick catches any peer the
+//     pushes missed. Every connection tracks the best bound it has
+//     carried in either direction — piggybacked stamps on ordinary
+//     traffic count — and a push is suppressed on connections that
+//     already carried that bound, so convergent traffic decays to
+//     zero: once everyone knows, nobody sends.
+//   - Termination is detected by a circulating token (kToken), a
+//     Safra-style wave, instead of the hub's global live count. Rank 0
+//     initiates; each locality holds the token until it is locally
+//     quiet, folds in its task-counter contribution, and blackens the
+//     token if it was active since the last visit. A wave that returns
+//     clean — no one active, counters summing to zero — is
+//     re-confirmed once before anyone stops, which closes the classic
+//     in-flight-message race; any activity in between restarts the
+//     wave. Worker death blackens the wave and re-elects the lowest
+//     surviving rank as initiator.
+//
+// Both planes stay conformant to the Transport contract, so the
+// engine above is topology-blind: the conformance suite runs the same
+// cases over star and mesh harnesses, and BenchmarkScaleoutTopology
+// (gated by BENCH_scaleout.json) pins the point of the exercise — the
+// same 4-locality search moves >= 25% fewer frames through the
+// coordinator over the mesh.
 //
 // Transports that implement Meter report frames, bytes, and steal
 // batch occupancy; the engine folds those into its Stats.

@@ -55,6 +55,20 @@ import (
 // an optional incumbent-node blob on kBound, and an objective +
 // witness blob on kCancel, so the best node and decision witness
 // survive the death of the locality that found them.
+//
+// v5 adds the mesh vocabulary, spoken only by mesh-topology
+// deployments (WireOptions.Topology): kPeerAddr (worker→hub at
+// registration, Blob = the worker's advertised peer-listener address),
+// kPeers (hub→worker, Blob = the rank-indexed peer address table —
+// see appendPeerTable), kPeerHello (the first frame on a direct
+// worker↔worker connection: From = the dialing rank, Want = the wire
+// version), kGossip (an epidemic bound push, Obj = the bound; unlike
+// kBound it carries no node blob — retention stays at the hub), and
+// kToken (the decentralised termination wave's circulating token:
+// Seq = the probe round, Obj = the accumulated task count, Want = the
+// colour bits, tokBlack|tokActive). All five reuse existing frame
+// slots, so the frame struct and the optional-header machinery are
+// unchanged.
 
 const (
 	fDelta = 1 << 0 // header carries a coalesced live-task delta
@@ -79,9 +93,9 @@ type frame struct {
 	HasPB bool
 	PS    int64 // piggybacked best-available-priority summary (PrioNone = no work)
 	HasPS bool
-	Obj   int64      // kBound: the broadcast bound; kCancel: witness objective
-	Want  int        // kSteal: max tasks; kHello: protocol version; kWelcome: deployment size; kDeath: dead rank
-	Blob  []byte     // kHello/kWelcome/kReject/kGather payload; kBound/kCancel retained node
+	Obj   int64      // kBound: the broadcast bound; kCancel: witness objective; kGossip: gossiped bound; kToken: accumulated count
+	Want  int        // kSteal: max tasks; kHello/kPeerHello: protocol version; kWelcome: deployment size; kDeath: dead rank; kToken: colour bits
+	Blob  []byte     // kHello/kWelcome/kReject/kGather payload; kBound/kCancel retained node; kPeerAddr address; kPeers table
 	Tasks []WireTask // kStealR payload
 	Acks  []uint64   // kAck payload: completed hand-over ids
 }
@@ -112,13 +126,15 @@ func appendFrame(dst []byte, f *frame) []byte {
 		dst = binary.AppendVarint(dst, f.PS)
 	}
 	switch f.Kind {
-	case kSteal, kHello, kWelcome, kDeath:
+	case kSteal, kHello, kWelcome, kDeath, kPeerHello, kToken:
 		dst = binary.AppendUvarint(dst, uint64(f.Want))
-	case kBound, kCancel:
+	}
+	switch f.Kind {
+	case kBound, kCancel, kGossip, kToken:
 		dst = binary.AppendVarint(dst, f.Obj)
 	}
 	switch f.Kind {
-	case kHello, kWelcome, kReject, kGather, kBound, kCancel:
+	case kHello, kWelcome, kReject, kGather, kBound, kCancel, kPeerAddr, kPeers:
 		dst = binary.AppendUvarint(dst, uint64(len(f.Blob)))
 		dst = append(dst, f.Blob...)
 	case kStealR:
@@ -182,6 +198,16 @@ func (r *frameReader) bytes() ([]byte, error) {
 	return out, nil
 }
 
+// byte pops a single raw byte.
+func (r *frameReader) byte() (byte, error) {
+	if len(r.b) == 0 {
+		return 0, fmt.Errorf("dist: truncated byte in frame")
+	}
+	v := r.b[0]
+	r.b = r.b[1:]
+	return v, nil
+}
+
 // parseFrame decodes one frame body. The body slice must be dedicated
 // to this frame: Blob and task payloads alias it.
 func parseFrame(b []byte, f *frame) error {
@@ -190,7 +216,7 @@ func parseFrame(b []byte, f *frame) error {
 		return fmt.Errorf("dist: frame body of %d bytes", len(b))
 	}
 	f.Kind = kind(b[0])
-	if f.Kind > kPing {
+	if f.Kind > kToken {
 		return fmt.Errorf("dist: unknown frame kind %d", f.Kind)
 	}
 	flags := b[1]
@@ -226,19 +252,21 @@ func parseFrame(b []byte, f *frame) error {
 		f.HasPS = true
 	}
 	switch f.Kind {
-	case kSteal, kHello, kWelcome, kDeath:
+	case kSteal, kHello, kWelcome, kDeath, kPeerHello, kToken:
 		w, err := r.uvarint()
 		if err != nil {
 			return err
 		}
 		f.Want = int(w)
-	case kBound, kCancel:
+	}
+	switch f.Kind {
+	case kBound, kCancel, kGossip, kToken:
 		if f.Obj, err = r.varint(); err != nil {
 			return err
 		}
 	}
 	switch f.Kind {
-	case kHello, kWelcome, kReject, kGather, kBound, kCancel:
+	case kHello, kWelcome, kReject, kGather, kBound, kCancel, kPeerAddr, kPeers:
 		if f.Blob, err = r.bytes(); err != nil {
 			return err
 		}
@@ -294,4 +322,50 @@ func parseFrame(b []byte, f *frame) error {
 		return fmt.Errorf("dist: %d trailing bytes in frame kind %d", len(r.b), f.Kind)
 	}
 	return nil
+}
+
+// kToken colour bits, carried in Want.
+const (
+	tokBlack  = 1 << 0 // a visited rank received tasks behind the token
+	tokActive = 1 << 1 // some visited rank has ever held live work
+)
+
+// maxPeerTable bounds a peer-supplied address count before allocation.
+const maxPeerTable = 1 << 16
+
+// appendPeerTable encodes a rank-indexed peer address table (the kPeers
+// blob): a uvarint count followed by counted strings. Slot 0 — the
+// hub's slot — is conventionally empty: workers reach rank 0 over the
+// registration connection they already hold.
+func appendPeerTable(dst []byte, addrs []string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(addrs)))
+	for _, a := range addrs {
+		dst = binary.AppendUvarint(dst, uint64(len(a)))
+		dst = append(dst, a...)
+	}
+	return dst
+}
+
+// parsePeerTable decodes a kPeers blob.
+func parsePeerTable(b []byte) ([]string, error) {
+	r := &frameReader{b: b}
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > maxPeerTable {
+		return nil, fmt.Errorf("dist: peer table of %d addresses", n)
+	}
+	addrs := make([]string, n)
+	for i := range addrs {
+		bs, err := r.bytes()
+		if err != nil {
+			return nil, err
+		}
+		addrs[i] = string(bs)
+	}
+	if len(r.b) != 0 {
+		return nil, fmt.Errorf("dist: %d trailing bytes in peer table", len(r.b))
+	}
+	return addrs, nil
 }

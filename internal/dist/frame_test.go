@@ -44,6 +44,16 @@ func TestFrameRoundTrip(t *testing.T) {
 		{Kind: kDeath, From: 0, Want: 3},
 		{Kind: kPing, From: 2},
 		{Kind: kPing, From: 1, Delta: 5, PB: -2, HasPB: true, PS: 1, HasPS: true},
+		// v5: mesh registration, peer tables, direct peer hellos,
+		// epidemic bounds, and termination-wave tokens.
+		{Kind: kPeerAddr, Blob: []byte("10.0.0.7:41231")},
+		{Kind: kPeers, To: 2, Blob: appendPeerTable(nil, []string{"", "10.0.0.7:41231", "10.0.0.9:35011"})},
+		{Kind: kPeerHello, From: 3, Want: wireVersion},
+		{Kind: kGossip, From: 2, To: 1, Obj: 456},
+		{Kind: kGossip, From: 0, Obj: math.MinInt64 + 1, PB: 456, HasPB: true, PS: 2, HasPS: true},
+		{Kind: kToken, From: 1, To: 2, Seq: 9, Obj: 0, Want: 0},
+		{Kind: kToken, From: 4, To: 0, Seq: 1 << 33, Obj: -17, Want: tokBlack | tokActive},
+		{Kind: kToken, From: 2, To: 3, Seq: 12, Obj: 3, Want: tokActive, PB: 7, HasPB: true},
 	}
 	for i, f := range frames {
 		body := appendFrame(nil, &f)
@@ -60,29 +70,79 @@ func TestFrameRoundTrip(t *testing.T) {
 // Truncations and bit flips must error, never panic or over-allocate:
 // frame bodies come off the network.
 func TestFrameParseRobustness(t *testing.T) {
-	f := frame{Kind: kStealR, From: 1, To: 2, Seq: 9, Delta: 3, PB: 11, HasPB: true, PS: 2, HasPS: true,
-		Tasks: []WireTask{{Payload: []byte("payload-bytes"), ID: TaskID(1, 77), Depth: 5, Prio: 7, Bound: 40}}}
-	body := appendFrame(nil, &f)
-	for cut := 0; cut < len(body); cut++ {
-		var g frame
-		if err := parseFrame(body[:cut], &g); err == nil {
-			t.Fatalf("parse of %d/%d-byte truncation succeeded", cut, len(body))
-		}
+	bodies := [][]byte{
+		appendFrame(nil, &frame{Kind: kStealR, From: 1, To: 2, Seq: 9, Delta: 3, PB: 11, HasPB: true, PS: 2, HasPS: true,
+			Tasks: []WireTask{{Payload: []byte("payload-bytes"), ID: TaskID(1, 77), Depth: 5, Prio: 7, Bound: 40}}}),
+		// A v5 body too: the peer table and token paths parse from the
+		// same reader and deserve the same truncation/bit-flip sweep.
+		appendFrame(nil, &frame{Kind: kPeers, To: 1, PB: 3, HasPB: true,
+			Blob: appendPeerTable(nil, []string{"", "h1:1", "h2:2"})}),
+		appendFrame(nil, &frame{Kind: kToken, From: 2, To: 0, Seq: 41, Obj: -2, Want: tokBlack}),
 	}
 	rng := rand.New(rand.NewSource(42))
-	for trial := 0; trial < 2000; trial++ {
-		mut := append([]byte(nil), body...)
-		for flips := 1 + rng.Intn(3); flips > 0; flips-- {
-			mut[rng.Intn(len(mut))] ^= byte(1 << rng.Intn(8))
+	for _, body := range bodies {
+		for cut := 0; cut < len(body); cut++ {
+			var g frame
+			if err := parseFrame(body[:cut], &g); err == nil {
+				t.Fatalf("parse of %d/%d-byte truncation succeeded", cut, len(body))
+			}
+		}
+		for trial := 0; trial < 2000; trial++ {
+			mut := append([]byte(nil), body...)
+			for flips := 1 + rng.Intn(3); flips > 0; flips-- {
+				mut[rng.Intn(len(mut))] ^= byte(1 << rng.Intn(8))
+			}
+			var g frame
+			_ = parseFrame(mut, &g) // must not panic
 		}
 		var g frame
-		_ = parseFrame(mut, &g) // must not panic
+		if err := parseFrame(append(append([]byte(nil), body...), 0xFF), &g); err == nil {
+			t.Fatal("trailing bytes accepted")
+		}
 	}
 	var g frame
-	if err := parseFrame([]byte{byte(kPing + 1), 0}, &g); err == nil {
+	if err := parseFrame([]byte{byte(kToken + 1), 0}, &g); err == nil {
 		t.Fatal("unknown kind accepted")
 	}
-	if err := parseFrame(append(append([]byte(nil), body...), 0xFF), &g); err == nil {
+}
+
+// The peer table codec bounds its inputs: tables come out of a
+// registration frame, before the sender is trusted.
+func TestPeerTableRoundTripAndRobustness(t *testing.T) {
+	tables := [][]string{
+		{},
+		{""},
+		{"", "127.0.0.1:9001"},
+		{"", "10.1.2.3:1", "10.1.2.4:2", "10.1.2.5:3"},
+	}
+	for _, addrs := range tables {
+		b := appendPeerTable(nil, addrs)
+		got, err := parsePeerTable(b)
+		if err != nil {
+			t.Fatalf("table %v: %v", addrs, err)
+		}
+		if len(got) != len(addrs) {
+			t.Fatalf("table %v round-tripped to %v", addrs, got)
+		}
+		for i := range addrs {
+			if got[i] != addrs[i] {
+				t.Fatalf("slot %d = %q, want %q", i, got[i], addrs[i])
+			}
+		}
+	}
+	full := appendPeerTable(nil, []string{"", "a:1", "b:2"})
+	for cut := 0; cut < len(full); cut++ {
+		if _, err := parsePeerTable(full[:cut]); err == nil {
+			t.Fatalf("truncation to %d/%d bytes accepted", cut, len(full))
+		}
+	}
+	if _, err := parsePeerTable(append(append([]byte(nil), full...), 0)); err == nil {
 		t.Fatal("trailing bytes accepted")
+	}
+	// A claimed count beyond the table bound must be rejected before
+	// any allocation proportional to it.
+	huge := []byte{0xFF, 0xFF, 0xFF, 0xFF, 0x7F}
+	if _, err := parsePeerTable(huge); err == nil {
+		t.Fatal("oversized table accepted")
 	}
 }

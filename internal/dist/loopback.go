@@ -17,6 +17,14 @@ type LoopbackOptions struct {
 	// to peer localities, simulating the PGAS bound-broadcast latency:
 	// peers prune against stale bounds in the meantime.
 	BoundLatency time.Duration
+	// Wave selects mesh-style termination: instead of closing Done when
+	// the globally shared live-task count hits zero, each rank keeps
+	// its own counter and a Safra-style token wave (wave.go) detects
+	// quiescence — the in-process model of the mesh topology, and the
+	// reference implementation the wave's property tests drive. The
+	// shared counters are still maintained for LiveAt observability,
+	// but they no longer decide termination.
+	Wave bool
 }
 
 // LoopbackNetwork is a set of in-process localities connected by
@@ -61,7 +69,48 @@ func NewLoopback(n int, opts LoopbackOptions) *LoopbackNetwork {
 	for i := range net.trs {
 		net.trs[i] = &loopback{net: net, rank: i, deaths: newDeathBox(n)}
 	}
+	if opts.Wave {
+		for i := range net.trs {
+			t := net.trs[i]
+			t.wave = newWaveNode(i, n, func(to int, tok waveToken) {
+				peer := net.trs[to]
+				if !peer.closed.Load() {
+					// Asynchronous like a wire: the token leaves this
+					// goroutine, and a send to a dying rank is simply
+					// lost (the watchdog regenerates the probe).
+					go peer.wave.onToken(tok)
+				}
+			}, func() {
+				net.doneOnce.Do(func() { close(net.done) })
+			})
+		}
+		go net.waveLoop()
+	}
 	return net
+}
+
+// waveLoop paces every live rank's wave, standing in for the wire
+// transports' flush-quantum tickers.
+func (ln *LoopbackNetwork) waveLoop() {
+	t := time.NewTicker(time.Millisecond)
+	defer t.Stop()
+	for {
+		select {
+		case <-ln.done:
+			return
+		case <-t.C:
+			anyLive := false
+			for _, tr := range ln.trs {
+				if !tr.closed.Load() {
+					anyLive = true
+					tr.wave.tick()
+				}
+			}
+			if !anyLive {
+				return
+			}
+		}
+	}
 }
 
 // Transports returns the network's localities, indexed by rank.
@@ -107,6 +156,11 @@ func (ln *LoopbackNetwork) Kill(rank int) {
 	for _, peer := range ln.trs {
 		if peer.rank != rank && !peer.closed.Load() {
 			peer.deaths.announce(rank)
+			if ln.opts.Wave {
+				// Survivors drop the corpse from the ring; the lowest
+				// surviving rank inherits the initiator role.
+				peer.wave.markDead(rank)
+			}
 		}
 	}
 	ln.reconcile(rank)
@@ -131,15 +185,21 @@ func (ln *LoopbackNetwork) reconcile(rank int) {
 	if removed == 0 {
 		return
 	}
-	if ln.live.Add(-removed) == 0 && removed > 0 {
+	if ln.live.Add(-removed) == 0 && removed > 0 && !ln.opts.Wave {
 		ln.doneOnce.Do(func() { close(ln.done) })
 	}
 }
 
 func (ln *LoopbackNetwork) addTasks(rank int, delta int64) {
+	// The shared counters stay maintained for LiveAt observability, but
+	// in wave mode they never decide termination: that is the ring's
+	// job, fed through each rank's own counter.
 	ln.liveAt[rank].Add(delta)
-	if ln.live.Add(delta) == 0 && delta < 0 {
+	if ln.live.Add(delta) == 0 && delta < 0 && !ln.opts.Wave {
 		ln.doneOnce.Do(func() { close(ln.done) })
+	}
+	if ln.opts.Wave {
+		ln.trs[rank].wave.add(delta)
 	}
 }
 
@@ -171,6 +231,7 @@ type loopback struct {
 	closed atomic.Bool
 	deaths *deathBox
 	ctr    wireCounters
+	wave   *waveNode // nil unless LoopbackOptions.Wave
 }
 
 var _ Transport = (*loopback)(nil)
@@ -243,6 +304,11 @@ func (t *loopback) Steal(victim int) (WireTask, bool, error) {
 	t.ctr.framesSent.Add(1) // the request
 	t.ctr.framesRecv.Add(1) // the reply
 	if ok {
+		if t.wave != nil {
+			// Blacken BEFORE the stolen task becomes visible: work just
+			// migrated here behind any token that already passed.
+			t.wave.blacken()
+		}
 		t.ctr.stealReplies.Add(1)
 		t.ctr.stealTasks.Add(1)
 		// Logical bytes moved, credited to the sent side (the only

@@ -1,0 +1,1274 @@
+package dist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The mesh topology (wire protocol v5) flattens the star: workers dial
+// each other directly, so steal requests, replies, and completion acks
+// travel one hop instead of two and never cross the coordinator.
+// Registration still happens at the coordinator — each worker
+// advertises a peer listener address (kPeerAddr) right after its
+// hello, and the coordinator hands every worker the full rank-indexed
+// address table (kPeers) with its welcome. Rank r then dials ranks
+// 1..r-1 and accepts connections from ranks r+1..size-1, identified by
+// a kPeerHello carrying the dialer's rank; slot 0 needs no dial
+// because the registration connection doubles as the rank-0 peer link.
+//
+// With no hub seeing every frame, two star-era mechanisms are
+// replaced:
+//
+//   - bounds spread epidemic-style: a broadcast gossips to a couple of
+//     random peers (kGossip), improvements re-gossip, every frame
+//     piggybacks its sender's best bound, and an anti-entropy loop
+//     pushes the local best to one random peer per interval — so the
+//     incumbent still reaches everyone without a fan-out hub. The
+//     node-carrying broadcast still goes to the coordinator, which
+//     remains the incumbent store that survives its finder's death.
+//   - live-task deltas never cross the wire at all: each rank folds
+//     AddTasks into its waveNode and the Safra-style termination wave
+//     (wave.go) detects global quiescence with a circulating token.
+//
+// The coordinator keeps registration, the incumbent store, death
+// detection (heartbeat liveness on the registration connections, with
+// kDeath fan-out as the single source of death truth), cancellation
+// fan-out, and result aggregation — little enough that its residual
+// state fits in a Snapshot a standby could adopt.
+
+// meshGossipFan is how many random peers a fresh bound is pushed to.
+const meshGossipFan = 2
+
+// meshGossipInterval paces the worker anti-entropy loop: each worker
+// pushes its best bound to one random peer this often until the search
+// ends.
+const meshGossipInterval = 25 * time.Millisecond
+
+// meshHubGossipInterval paces the hub's anti-entropy loop. The hub
+// never pushes improvements eagerly — de-loading the coordinator is
+// the mesh's whole point, and the piggyback layer spreads its bounds
+// for free (every steal reply it serves stamps pb, every task it hands
+// over carries a bound snapshot), so an eager push would mostly repeat
+// what ordinary traffic already said. The residual anti-entropy tick
+// is tighter than the workers' to bound the latency of the one case
+// piggybacks miss — an improvement at an otherwise quiet hub — and
+// carried-bound suppression makes the no-news tick free.
+const meshHubGossipInterval = 5 * time.Millisecond
+
+// tokenOf unpacks a kToken frame.
+func tokenOf(f *frame) waveToken {
+	return waveToken{
+		round:  f.Seq,
+		q:      f.Obj,
+		black:  f.Want&tokBlack != 0,
+		active: f.Want&tokActive != 0,
+	}
+}
+
+// colourBits packs a token's colour into the Want field.
+func colourBits(tok waveToken) int {
+	bits := 0
+	if tok.black {
+		bits |= tokBlack
+	}
+	if tok.active {
+		bits |= tokActive
+	}
+	return bits
+}
+
+// waitMesh is Listener.Wait for TopologyMesh deployments.
+func (l *Listener) waitMesh(workers int) (Transport, error) {
+	deadline := time.Now().Add(l.opts.RegTimeout)
+	h := &meshHub{
+		size:      workers + 1,
+		conns:     make([]*wconn, workers+1),
+		opts:      l.opts,
+		spec:      l.spec,
+		started:   make(chan struct{}),
+		done:      make(chan struct{}),
+		deaths:    newDeathBox(workers + 1),
+		blobs:     make([][]byte, workers+1),
+		contrib:   make([]bool, workers+1),
+		gotAll:    make(chan struct{}),
+		peerPrio:  newPeerPrios(workers + 1),
+		peerAddrs: make([]string, workers+1),
+		alive:     make([]bool, workers+1),
+		ln:        l.ln,
+	}
+	for i := range h.alive {
+		h.alive[i] = true
+	}
+	h.pbStamp.Store(math.MinInt64)
+	h.pbSeen.Store(math.MinInt64)
+	h.wave = newWaveNode(0, workers+1, h.sendToken, h.terminate)
+	var lastReject error
+	regFailed := func(err error) (Transport, error) {
+		registered := 0
+		for _, cn := range h.conns {
+			if cn != nil {
+				cn.close()
+				registered++
+			}
+		}
+		missing := fmt.Sprintf("ranks %d..%d", registered+1, workers)
+		if registered+1 == workers {
+			missing = fmt.Sprintf("rank %d", workers)
+		}
+		if lastReject != nil {
+			return nil, fmt.Errorf("dist: registration timed out with %d/%d workers (missing %s): %v (last rejected candidate: %v)", registered, workers, missing, err, lastReject)
+		}
+		return nil, fmt.Errorf("dist: registration timed out with %d/%d workers (missing %s): %w", registered, workers, missing, err)
+	}
+	for rank := 1; rank <= workers; {
+		if d, ok := l.ln.(*net.TCPListener); ok {
+			d.SetDeadline(deadline)
+		}
+		c, err := l.ln.Accept()
+		if err != nil {
+			return regFailed(err)
+		}
+		cn := newWconn(c, &h.ctr)
+		cn.pb = &h.pbStamp
+		cn.ps = selfPrioFn(&h.h)
+		cn.psFrom = 0
+		c.SetReadDeadline(deadline)
+		var hello frame
+		if err := cn.recv(&hello); err != nil || hello.Kind != kHello {
+			cn.close()
+			lastReject = fmt.Errorf("bad registration from %v", c.RemoteAddr())
+			continue
+		}
+		if hello.Want != wireVersion {
+			cn.send(&frame{Kind: kReject, Blob: []byte(fmt.Sprintf("wire protocol mismatch: coordinator speaks v%d, worker v%d", wireVersion, hello.Want))})
+			cn.close()
+			lastReject = fmt.Errorf("worker %v speaks wire protocol v%d, want v%d", c.RemoteAddr(), hello.Want, wireVersion)
+			continue
+		}
+		if string(hello.Blob) != l.spec {
+			cn.send(&frame{Kind: kReject, Blob: []byte(fmt.Sprintf("spec mismatch: coordinator runs %q, worker runs %q", l.spec, string(hello.Blob)))})
+			cn.close()
+			lastReject = fmt.Errorf("worker %v registered with mismatched spec %q (coordinator: %q)", c.RemoteAddr(), string(hello.Blob), l.spec)
+			continue
+		}
+		// The mesh handshake continues: the worker must advertise the
+		// peer listener address its rank will be reachable on.
+		var pa frame
+		if err := cn.recv(&pa); err != nil || pa.Kind != kPeerAddr || len(pa.Blob) == 0 {
+			cn.send(&frame{Kind: kReject, Blob: []byte("mesh registration requires a peer address")})
+			cn.close()
+			lastReject = fmt.Errorf("worker %v sent no peer address", c.RemoteAddr())
+			continue
+		}
+		c.SetReadDeadline(time.Time{})
+		h.conns[rank] = cn
+		h.peerAddrs[rank] = string(pa.Blob)
+		rank++
+	}
+	if d, ok := l.ln.(*net.TCPListener); ok {
+		d.SetDeadline(time.Time{})
+	}
+	table := appendPeerTable(nil, h.peerAddrs)
+	for rank := 1; rank <= workers; rank++ {
+		if err := h.conns[rank].send(&frame{Kind: kWelcome, To: rank, Want: h.size, Blob: []byte(l.spec)}); err != nil {
+			return nil, fmt.Errorf("dist: welcoming worker %d: %w", rank, err)
+		}
+		if err := h.conns[rank].send(&frame{Kind: kPeers, To: rank, Blob: table}); err != nil {
+			return nil, fmt.Errorf("dist: sending peer table to worker %d: %w", rank, err)
+		}
+	}
+	for rank := 1; rank <= workers; rank++ {
+		go h.serve(rank)
+	}
+	go h.livenessLoop()
+	go h.flushLoop()
+	go h.gossipLoop()
+	return h, nil
+}
+
+// meshHub is the mesh coordinator: rank 0's endpoint, shrunk to
+// registration, incumbent retention, death detection, cancellation
+// fan-out, and aggregation. It routes no steal traffic and keeps no
+// live count — the wave owns termination.
+type meshHub struct {
+	size    int
+	conns   []*wconn // index by rank; conns[0] is nil
+	opts    WireOptions
+	spec    string
+	h       atomic.Value
+	started chan struct{}
+	stOnce  sync.Once
+
+	wave     *waveNode
+	done     chan struct{}
+	doneOnce sync.Once
+	deaths   *deathBox
+	inc      incumbentBox
+
+	pending  pendingSteals
+	ackMu    sync.Mutex
+	ackBuf   []uint64
+	pbStamp  atomic.Int64
+	pbSeen   atomic.Int64
+	peerPrio []atomic.Int64
+	ctr      wireCounters
+
+	gatherMu sync.Mutex
+	blobs    [][]byte
+	contrib  []bool
+	have     int
+	gotAll   chan struct{}
+
+	peerAddrs []string
+	aliveMu   sync.Mutex
+	alive     []bool
+
+	closed atomic.Bool
+	ln     net.Listener
+}
+
+var _ Transport = (*meshHub)(nil)
+var _ Meter = (*meshHub)(nil)
+var _ PrioAware = (*meshHub)(nil)
+var _ IncumbentStore = (*meshHub)(nil)
+
+func (h *meshHub) Rank() int { return 0 }
+func (h *meshHub) Size() int { return h.size }
+
+func (h *meshHub) Wire() WireStats { return h.ctr.snapshot() }
+
+// BestKnown implements IncumbentStore; retention still lives here so
+// the optimum survives its finder's death even on a mesh.
+func (h *meshHub) BestKnown() (int64, []byte, bool) { return h.inc.best() }
+
+func (h *meshHub) PeerBestPrio(rank int) (int, bool) { return peerBestPrio(h.peerPrio, rank) }
+
+func (h *meshHub) Start(hd Handler) {
+	h.h.Store(hd)
+	h.stOnce.Do(func() { close(h.started) })
+}
+
+func (h *meshHub) handler() Handler {
+	<-h.started
+	hd, _ := h.h.Load().(Handler)
+	return hd
+}
+
+func (h *meshHub) livenessLoop() { livenessWatch(h.conns, h.opts, &h.closed) }
+
+func (h *meshHub) meldBound(from int, obj int64) {
+	raiseMax(&h.pbStamp, obj)
+	if raiseMax(&h.pbSeen, obj) {
+		if hd := h.handler(); hd != nil {
+			hd.OnBound(from, obj)
+		}
+	}
+}
+
+// serve routes one worker's registration connection. Unlike the star
+// hub it forwards nothing between workers: everything arriving here is
+// addressed to rank 0 or is coordinator business (cancel fan-out,
+// gather, token, gossip).
+func (h *meshHub) serve(rank int) {
+	cn := h.conns[rank]
+	for {
+		var f frame
+		if err := cn.recv(&f); err != nil {
+			h.workerDied(rank)
+			return
+		}
+		if f.HasPB {
+			h.meldBound(f.From, f.PB)
+			f.HasPB = false
+		}
+		if f.HasPS {
+			notePeerPrio(h.peerPrio, f.From, f.PS)
+		}
+		switch f.Kind {
+		case kSteal:
+			var tasks []WireTask
+			if hd := h.handler(); hd != nil {
+				tasks = collectSteal(hd, f.From, f.Want)
+			}
+			cn.send(&frame{Kind: kStealR, From: 0, To: f.From, Seq: f.Seq, Tasks: tasks})
+		case kStealR:
+			if len(f.Tasks) > 0 {
+				// Blacken BEFORE the tasks become visible: the wave must
+				// see the migration before it can see the work.
+				h.wave.blacken()
+			}
+			if !h.pending.resolve(f.Seq, stealRes{tasks: f.Tasks}) && len(f.Tasks) > 0 {
+				if hd := h.handler(); hd != nil {
+					for _, t := range f.Tasks {
+						hd.OnTask(t)
+					}
+				}
+			}
+		case kBound:
+			if len(f.Blob) > 0 {
+				h.inc.keep(f.Obj, f.Blob)
+				f.Blob = nil
+			}
+			h.meldBound(f.From, f.Obj)
+		case kGossip:
+			h.meldBound(f.From, f.Obj)
+		case kCancel:
+			if len(f.Blob) > 0 {
+				h.inc.keep(f.Obj, f.Blob)
+				f.Blob = nil
+			}
+			if hd := h.handler(); hd != nil {
+				hd.OnCancel(f.From)
+			}
+			// Decision broadcasts stay a coordinator fan-out: a cancel
+			// must reach everyone promptly, not epidemically.
+			h.fanOut(&f, rank)
+		case kToken:
+			h.wave.onToken(tokenOf(&f))
+		case kAck:
+			// Mesh acks travel origin-direct; only rank 0's own land here.
+			for _, id := range f.Acks {
+				if TaskOrigin(id) == 0 {
+					if hd := h.handler(); hd != nil {
+						hd.OnAck(f.From, id)
+					}
+				}
+			}
+		case kDelta, kPing:
+		case kGather:
+			h.contribute(f.From, f.Blob)
+		}
+	}
+}
+
+func (h *meshHub) forward(rank int, f *frame) bool {
+	if rank <= 0 || rank >= h.size {
+		return false
+	}
+	cn := h.conns[rank]
+	if cn == nil || cn.dead.Load() {
+		return false
+	}
+	return cn.send(f) == nil
+}
+
+func (h *meshHub) fanOut(f *frame, except int) {
+	for rank := 1; rank < h.size; rank++ {
+		if rank == except {
+			continue
+		}
+		h.forward(rank, f)
+	}
+}
+
+// workerDied mirrors the star hub's death handling minus the count
+// reconciliation: the wave simply stops summing the dead rank, which
+// removes its outstanding contribution in one move, while survivors'
+// ledger registrations keep everything replayable counted.
+func (h *meshHub) workerDied(rank int) {
+	cn := h.conns[rank]
+	if !cn.mourned.CompareAndSwap(false, true) {
+		return
+	}
+	cn.dead.Store(true)
+	h.pending.failVictim(rank)
+	h.aliveMu.Lock()
+	h.alive[rank] = false
+	h.aliveMu.Unlock()
+	select {
+	case <-h.done:
+		h.contribute(rank, nil)
+		return
+	default:
+	}
+	h.deaths.announce(rank)
+	h.fanOut(&frame{Kind: kDeath, From: 0, Want: rank}, rank)
+	h.contribute(rank, nil)
+	h.wave.markDead(rank)
+}
+
+// terminate ends the search everywhere, once. On the mesh it is only
+// ever reached through the wave's conclusion.
+func (h *meshHub) terminate() {
+	h.doneOnce.Do(func() {
+		close(h.done)
+		h.fanOut(&frame{Kind: kTerminate}, 0)
+	})
+}
+
+// sendToken launches or forwards a wave token. A failed send is
+// deliberately dropped: the victim is dying, and the wave's watchdog
+// regenerates the probe under a fresh round.
+func (h *meshHub) sendToken(to int, tok waveToken) {
+	h.forward(to, &frame{Kind: kToken, From: 0, To: to, Seq: tok.round, Obj: tok.q, Want: colourBits(tok)})
+}
+
+func (h *meshHub) Steal(victim int) (WireTask, bool, error) {
+	if victim <= 0 || victim >= h.size {
+		return WireTask{}, false, fmt.Errorf("dist: steal from invalid rank %d", victim)
+	}
+	seq, ch := h.pending.register(victim)
+	if !h.forward(victim, &frame{Kind: kSteal, From: 0, To: victim, Seq: seq, Want: h.opts.StealBatch}) {
+		h.pending.drop(seq)
+		return WireTask{}, false, nil
+	}
+	select {
+	case res := <-ch:
+		if len(res.tasks) == 0 {
+			return WireTask{}, false, nil
+		}
+		h.ctr.stealReplies.Add(1)
+		h.ctr.stealTasks.Add(int64(len(res.tasks)))
+		if hd := h.handler(); hd != nil {
+			for _, t := range res.tasks[1:] {
+				hd.OnTask(t)
+			}
+		}
+		return res.tasks[0], true, nil
+	case <-h.done:
+		h.pending.drop(seq)
+		return WireTask{}, false, nil
+	case <-time.After(stealTimeout):
+		h.pending.drop(seq)
+		return WireTask{}, false, nil
+	}
+}
+
+// gossipTargets picks up to n distinct random live worker ranks for
+// whom obj would still be news (nothing sent or received on their
+// connection has carried it yet): the epidemic push spends frames on
+// information, not on re-delivery the piggybacks already did.
+func (h *meshHub) gossipTargets(n int, obj int64) []int {
+	h.aliveMu.Lock()
+	var live []int
+	for r := 1; r < h.size; r++ {
+		if h.alive[r] && h.conns[r] != nil && h.conns[r].hasNews(obj) {
+			live = append(live, r)
+		}
+	}
+	h.aliveMu.Unlock()
+	rand.Shuffle(len(live), func(i, j int) { live[i], live[j] = live[j], live[i] })
+	if len(live) > n {
+		live = live[:n]
+	}
+	return live
+}
+
+// BroadcastBound retains the node (the hub IS the incumbent store) and
+// arms the pb stamp; per-frame piggybacks and the hub's anti-entropy
+// loop spread the bound without a per-improvement frame burst.
+func (h *meshHub) BroadcastBound(obj int64, node []byte) error {
+	h.inc.keep(obj, node)
+	raiseMax(&h.pbStamp, obj)
+	return nil
+}
+
+func (h *meshHub) Cancel(obj int64, witness []byte) error {
+	h.inc.keep(obj, witness)
+	h.fanOut(&frame{Kind: kCancel, From: 0, Obj: obj}, 0)
+	return nil
+}
+
+func (h *meshHub) Ack(origin int, id uint64) error {
+	if origin <= 0 || origin >= h.size {
+		return fmt.Errorf("dist: ack to invalid rank %d", origin)
+	}
+	h.ackMu.Lock()
+	h.ackBuf = append(h.ackBuf, id)
+	h.ackMu.Unlock()
+	return nil
+}
+
+func (h *meshHub) drainAcks() {
+	h.ackMu.Lock()
+	ids := h.ackBuf
+	h.ackBuf = nil
+	h.ackMu.Unlock()
+	if len(ids) == 0 {
+		return
+	}
+	byOrigin := make(map[int][]uint64)
+	for _, id := range ids {
+		if origin := TaskOrigin(id); origin > 0 && origin < h.size {
+			byOrigin[origin] = append(byOrigin[origin], id)
+		}
+	}
+	for origin, ids := range byOrigin {
+		for len(ids) > 0 {
+			n := len(ids)
+			if n > maxStealBatch {
+				n = maxStealBatch
+			}
+			h.forward(origin, &frame{Kind: kAck, From: 0, To: origin, Acks: ids[:n]})
+			ids = ids[n:]
+		}
+	}
+}
+
+// flushLoop drains coalesced acks and paces the wave once per quantum.
+// Like the star's ack flusher it must outlive termination detection,
+// stopping only when the hub closes.
+func (h *meshHub) flushLoop() {
+	t := time.NewTicker(h.opts.FlushQuantum)
+	defer t.Stop()
+	for range t.C {
+		if h.closed.Load() {
+			return
+		}
+		h.drainAcks()
+		h.wave.tick()
+	}
+}
+
+// gossipLoop is the hub's anti-entropy push: its best bound to one
+// random live worker per interval, and only when the connection has
+// not already carried it (see meshHubGossipInterval).
+func (h *meshHub) gossipLoop() {
+	t := time.NewTicker(meshHubGossipInterval)
+	defer t.Stop()
+	for range t.C {
+		if h.closed.Load() {
+			return
+		}
+		select {
+		case <-h.done:
+			return
+		default:
+		}
+		if b := h.pbStamp.Load(); b != math.MinInt64 {
+			for _, r := range h.gossipTargets(1, b) {
+				h.forward(r, &frame{Kind: kGossip, From: 0, Obj: b})
+			}
+		}
+	}
+}
+
+// AddTasks folds the delta into the wave's local counter: on a mesh,
+// live-task accounting costs zero frames.
+func (h *meshHub) AddTasks(delta int64) { h.wave.add(delta) }
+
+func (h *meshHub) Done() <-chan struct{} { return h.done }
+
+func (h *meshHub) Deaths() <-chan int { return h.deaths.ch }
+
+func (h *meshHub) contribute(rank int, blob []byte) {
+	h.gatherMu.Lock()
+	defer h.gatherMu.Unlock()
+	if h.contrib[rank] {
+		return
+	}
+	h.contrib[rank] = true
+	h.blobs[rank] = blob
+	h.have++
+	if h.have == h.size {
+		close(h.gotAll)
+	}
+}
+
+func (h *meshHub) Gather(payload []byte) ([][]byte, error) {
+	h.contribute(0, payload)
+	<-h.gotAll
+	h.gatherMu.Lock()
+	defer h.gatherMu.Unlock()
+	return h.blobs, nil
+}
+
+func (h *meshHub) Close() error {
+	if !h.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	h.stOnce.Do(func() { close(h.started) })
+	for _, cn := range h.conns {
+		if cn != nil {
+			cn.close()
+		}
+	}
+	if h.ln != nil {
+		h.ln.Close()
+	}
+	return nil
+}
+
+// dialMesh is DialOpts for TopologyMesh: register with the
+// coordinator, advertise a peer listener, then complete the mesh by
+// dialing every lower rank and accepting every higher one. It returns
+// only when the full mesh is up, so a returned transport can steal
+// from (and be stolen from by) any peer immediately.
+func dialMesh(addr, spec string, opts WireOptions) (Transport, error) {
+	c, err := dialRetry(addr)
+	if err != nil {
+		return nil, err
+	}
+	pl, err := net.Listen("tcp", ":0")
+	if err != nil {
+		c.Close()
+		return nil, fmt.Errorf("dist: binding mesh peer listener: %w", err)
+	}
+	// Advertise the host this worker reaches the coordinator from (its
+	// routable interface) joined with the peer listener's port.
+	host, _, err := net.SplitHostPort(c.LocalAddr().String())
+	if err != nil {
+		c.Close()
+		pl.Close()
+		return nil, fmt.Errorf("dist: resolving advertised address: %w", err)
+	}
+	_, port, err := net.SplitHostPort(pl.Addr().String())
+	if err != nil {
+		c.Close()
+		pl.Close()
+		return nil, fmt.Errorf("dist: resolving peer listener port: %w", err)
+	}
+	adv := net.JoinHostPort(host, port)
+
+	w := &meshWorker{
+		opts:      opts,
+		started:   make(chan struct{}),
+		done:      make(chan struct{}),
+		flushStop: make(chan struct{}),
+	}
+	w.pbStamp.Store(math.MinInt64)
+	w.pbSeen.Store(math.MinInt64)
+	cn := newWconn(c, &w.ctr)
+	fail := func(err error) (Transport, error) {
+		cn.close()
+		pl.Close()
+		for _, pc := range w.peers {
+			if pc != nil && pc != cn {
+				pc.close()
+			}
+		}
+		return nil, err
+	}
+	if err := cn.send(&frame{Kind: kHello, Want: wireVersion, Blob: []byte(spec)}); err != nil {
+		return fail(fmt.Errorf("dist: registering with %s: %w", addr, err))
+	}
+	if err := cn.send(&frame{Kind: kPeerAddr, Blob: []byte(adv)}); err != nil {
+		return fail(fmt.Errorf("dist: advertising peer address to %s: %w", addr, err))
+	}
+	var welcome frame
+	if err := cn.recv(&welcome); err != nil {
+		return fail(fmt.Errorf("dist: registration reply from %s: %w", addr, err))
+	}
+	switch welcome.Kind {
+	case kWelcome:
+	case kReject:
+		return fail(fmt.Errorf("dist: coordinator refused registration: %s", string(welcome.Blob)))
+	default:
+		return fail(fmt.Errorf("dist: unexpected registration reply kind %d", welcome.Kind))
+	}
+	var peersF frame
+	if err := cn.recv(&peersF); err != nil || peersF.Kind != kPeers {
+		return fail(fmt.Errorf("dist: no peer table from %s: %v", addr, err))
+	}
+	table, err := parsePeerTable(peersF.Blob)
+	if err != nil {
+		return fail(fmt.Errorf("dist: bad peer table from %s: %w", addr, err))
+	}
+	w.rank = welcome.To
+	w.size = welcome.Want
+	if len(table) != w.size {
+		return fail(fmt.Errorf("dist: peer table has %d slots for a size-%d deployment", len(table), w.size))
+	}
+	w.peers = make([]*wconn, w.size)
+	w.peers[0] = cn
+	w.peerPrio = newPeerPrios(w.size)
+	w.deaths = newDeathBox(w.size)
+	w.wave = newWaveNode(w.rank, w.size, w.sendToken, func() {
+		w.doneOnce.Do(func() { close(w.done) })
+	})
+	cn.pb = &w.pbStamp
+	cn.ps = selfPrioFn(&w.h)
+	cn.psFrom = w.rank
+
+	hookPeer := func(pcn *wconn) {
+		pcn.pb = &w.pbStamp
+		pcn.ps = selfPrioFn(&w.h)
+		pcn.psFrom = w.rank
+	}
+	// Dial the lower ranks; their listeners were bound before their
+	// hellos, so the addresses in the table are already accepting.
+	for r := 1; r < w.rank; r++ {
+		pc, err := dialRetry(table[r])
+		if err != nil {
+			return fail(fmt.Errorf("dist: dialing mesh peer %d at %s: %w", r, table[r], err))
+		}
+		pcn := newWconn(pc, &w.ctr)
+		hookPeer(pcn)
+		if err := pcn.send(&frame{Kind: kPeerHello, From: w.rank, Want: wireVersion}); err != nil {
+			pcn.close()
+			return fail(fmt.Errorf("dist: greeting mesh peer %d: %w", r, err))
+		}
+		w.peers[r] = pcn
+	}
+	// Accept the higher ranks, identified by their kPeerHello. Strays
+	// (port scans, stale dials) are dropped without consuming a slot;
+	// only the registration window itself is fatal.
+	regDeadline := time.Now().Add(opts.RegTimeout)
+	for got := 0; got < w.size-1-w.rank; {
+		if d, ok := pl.(*net.TCPListener); ok {
+			d.SetDeadline(regDeadline)
+		}
+		pc, err := pl.Accept()
+		if err != nil {
+			return fail(fmt.Errorf("dist: accepting mesh peers (have %d of %d): %w", got, w.size-1-w.rank, err))
+		}
+		pcn := newWconn(pc, &w.ctr)
+		pc.SetReadDeadline(regDeadline)
+		var ph frame
+		if err := pcn.recv(&ph); err != nil || ph.Kind != kPeerHello || ph.Want != wireVersion ||
+			ph.From <= w.rank || ph.From >= w.size || w.peers[ph.From] != nil {
+			pcn.close()
+			continue
+		}
+		pc.SetReadDeadline(time.Time{})
+		hookPeer(pcn)
+		w.peers[ph.From] = pcn
+		got++
+	}
+	pl.Close()
+	go w.pingLoop()
+	return w, nil
+}
+
+// meshWorker is a non-coordinator locality on a mesh: the registration
+// connection to the coordinator (doubling as the rank-0 peer link)
+// plus one direct connection per fellow worker.
+type meshWorker struct {
+	rank    int
+	size    int
+	opts    WireOptions
+	h       atomic.Value
+	started chan struct{}
+	stOnce  sync.Once
+
+	peers []*wconn // index by rank; peers[0] is the hub conn, peers[rank] nil
+
+	wave     *waveNode
+	done     chan struct{}
+	doneOnce sync.Once
+	deaths   *deathBox
+
+	pending  pendingSteals
+	ackMu    sync.Mutex
+	ackBuf   []uint64
+	pbStamp  atomic.Int64
+	pbSeen   atomic.Int64
+	peerPrio []atomic.Int64
+	ctr      wireCounters
+
+	flushStop chan struct{}
+	flushOnce sync.Once
+	closed    atomic.Bool
+}
+
+var _ Transport = (*meshWorker)(nil)
+var _ Meter = (*meshWorker)(nil)
+var _ PrioAware = (*meshWorker)(nil)
+var _ IncumbentStore = (*meshWorker)(nil)
+
+func (w *meshWorker) Rank() int { return w.rank }
+func (w *meshWorker) Size() int { return w.size }
+
+func (w *meshWorker) Wire() WireStats { return w.ctr.snapshot() }
+
+// BestKnown implements IncumbentStore vacuously: retention lives at
+// the coordinator, and only rank 0's answer is ever consulted.
+func (w *meshWorker) BestKnown() (int64, []byte, bool) { return 0, nil, false }
+
+func (w *meshWorker) PeerBestPrio(rank int) (int, bool) { return peerBestPrio(w.peerPrio, rank) }
+
+func (w *meshWorker) hub() *wconn { return w.peers[0] }
+
+// connTo is the direct link to a rank (the hub conn for rank 0), nil
+// when the rank is invalid, ourselves, or its link is gone.
+func (w *meshWorker) connTo(rank int) *wconn {
+	if rank < 0 || rank >= w.size || rank == w.rank {
+		return nil
+	}
+	cn := w.peers[rank]
+	if cn == nil || cn.dead.Load() {
+		return nil
+	}
+	return cn
+}
+
+func (w *meshWorker) Start(h Handler) {
+	w.h.Store(h)
+	w.stOnce.Do(func() { close(w.started) })
+	go w.readHub()
+	for r := 1; r < w.size; r++ {
+		if r == w.rank || w.peers[r] == nil {
+			continue
+		}
+		go w.readPeer(r)
+	}
+	go w.flushLoop()
+	go w.gossipLoop()
+}
+
+func (w *meshWorker) handler() Handler {
+	hd, _ := w.h.Load().(Handler)
+	return hd
+}
+
+func (w *meshWorker) meldBound(from int, obj int64) bool {
+	raiseMax(&w.pbStamp, obj)
+	if raiseMax(&w.pbSeen, obj) {
+		w.handler().OnBound(from, obj)
+		return true
+	}
+	return false
+}
+
+// noteHeader applies a frame's piggybacked bound and summary.
+func (w *meshWorker) noteHeader(f *frame) {
+	if f.HasPB {
+		w.meldBound(f.From, f.PB)
+	}
+	if f.HasPS && f.From != w.rank {
+		notePeerPrio(w.peerPrio, f.From, f.PS)
+	}
+}
+
+// onGossip melds an epidemic bound push and, when it was news here,
+// re-gossips it: improvements ripple outward, duplicates die out.
+func (w *meshWorker) onGossip(f *frame) {
+	if w.meldBound(f.From, f.Obj) {
+		w.gossip(f.Obj, meshGossipFan)
+	}
+}
+
+// onStealR delivers a steal reply, blackening the wave BEFORE the
+// carried tasks become visible to the engine or its counter.
+func (w *meshWorker) onStealR(f *frame) {
+	if len(f.Tasks) > 0 {
+		w.wave.blacken()
+	}
+	if !w.pending.resolve(f.Seq, stealRes{tasks: f.Tasks}) && len(f.Tasks) > 0 {
+		for _, t := range f.Tasks {
+			w.handler().OnTask(t)
+		}
+	}
+}
+
+func (w *meshWorker) serveSteal(cn *wconn, f *frame) {
+	tasks := collectSteal(w.handler(), f.From, f.Want)
+	cn.send(&frame{Kind: kStealR, From: w.rank, To: f.From, Seq: f.Seq, Tasks: tasks})
+}
+
+// readHub serves the coordinator connection: control traffic (death,
+// terminate, cancel fan-outs, acks from rank 0) plus the rank-0 leg of
+// the data plane (hub steals, tokens crossing rank 0).
+func (w *meshWorker) readHub() {
+	for {
+		var f frame
+		if err := w.hub().recv(&f); err != nil {
+			// The coordinator is gone: registration, incumbent store and
+			// death authority died with it — the deployment is over.
+			w.pending.failAll()
+			w.stopFlush()
+			w.doneOnce.Do(func() { close(w.done) })
+			return
+		}
+		w.noteHeader(&f)
+		switch f.Kind {
+		case kSteal:
+			w.serveSteal(w.hub(), &f)
+		case kStealR:
+			w.onStealR(&f)
+		case kBound:
+			w.meldBound(f.From, f.Obj)
+		case kGossip:
+			w.onGossip(&f)
+		case kCancel:
+			w.handler().OnCancel(f.From)
+		case kAck:
+			for _, id := range f.Acks {
+				w.handler().OnAck(f.From, id)
+			}
+		case kToken:
+			w.wave.onToken(tokenOf(&f))
+		case kDeath:
+			w.peerDied(f.Want)
+		case kTerminate:
+			w.doneOnce.Do(func() { close(w.done) })
+		}
+	}
+}
+
+// readPeer serves one direct worker↔worker connection. A read error
+// fails in-flight steals aimed at that peer fast, but death authority
+// stays with the coordinator: only a kDeath (whose liveness watchdog
+// sees the same broken worker) retires the rank everywhere at once.
+func (w *meshWorker) readPeer(rank int) {
+	cn := w.peers[rank]
+	for {
+		var f frame
+		if err := cn.recv(&f); err != nil {
+			w.pending.failVictim(rank)
+			return
+		}
+		w.noteHeader(&f)
+		switch f.Kind {
+		case kSteal:
+			w.serveSteal(cn, &f)
+		case kStealR:
+			w.onStealR(&f)
+		case kGossip:
+			w.onGossip(&f)
+		case kAck:
+			for _, id := range f.Acks {
+				w.handler().OnAck(f.From, id)
+			}
+		case kToken:
+			w.wave.onToken(tokenOf(&f))
+		}
+	}
+}
+
+// peerDied processes a coordinator death notice.
+func (w *meshWorker) peerDied(rank int) {
+	if rank <= 0 || rank >= w.size || rank == w.rank {
+		return
+	}
+	w.pending.failVictim(rank)
+	if cn := w.peers[rank]; cn != nil {
+		cn.close()
+	}
+	w.wave.markDead(rank)
+	w.deaths.announce(rank)
+}
+
+// pingLoop heartbeats the coordinator connection only: peer links
+// carry no liveness protocol of their own, because the coordinator's
+// watchdog is the one place deaths are decided.
+func (w *meshWorker) pingLoop() {
+	t := time.NewTicker(w.opts.Heartbeat)
+	defer t.Stop()
+	var lastSent uint64
+	for {
+		select {
+		case <-w.flushStop:
+			return
+		case <-t.C:
+			cn := w.hub()
+			if cn.dead.Load() {
+				return
+			}
+			if n := cn.nSent.Load(); n != lastSent {
+				lastSent = n
+				continue
+			}
+			cn.send(&frame{Kind: kPing, From: w.rank})
+			lastSent = cn.nSent.Load()
+		}
+	}
+}
+
+func (w *meshWorker) stopFlush() {
+	w.flushOnce.Do(func() { close(w.flushStop) })
+}
+
+// flushLoop drains coalesced acks and paces the wave once per quantum.
+// There is no delta leg: AddTasks never leaves the rank on a mesh.
+func (w *meshWorker) flushLoop() {
+	t := time.NewTicker(w.opts.FlushQuantum)
+	defer t.Stop()
+	for {
+		select {
+		case <-w.flushStop:
+			return
+		case <-t.C:
+			w.drainAcks()
+			w.wave.tick()
+		}
+	}
+}
+
+// gossip pushes a bound to up to n distinct random live ranks
+// (including rank 0: the hub gossips too) for whom it is still news —
+// a connection that already carried the bound, in either direction,
+// as a piggyback or an explicit frame, is skipped.
+func (w *meshWorker) gossip(obj int64, n int) {
+	var live []int
+	for r := 0; r < w.size; r++ {
+		if r == w.rank {
+			continue
+		}
+		if cn := w.connTo(r); cn != nil && cn.hasNews(obj) {
+			live = append(live, r)
+		}
+	}
+	rand.Shuffle(len(live), func(i, j int) { live[i], live[j] = live[j], live[i] })
+	if len(live) > n {
+		live = live[:n]
+	}
+	for _, r := range live {
+		if cn := w.connTo(r); cn != nil {
+			cn.send(&frame{Kind: kGossip, From: w.rank, To: r, Obj: obj})
+		}
+	}
+}
+
+// gossipLoop is the anti-entropy push: the local best bound to one
+// random peer per interval, so a bound missed by the epidemic fan-out
+// still reaches everyone.
+func (w *meshWorker) gossipLoop() {
+	t := time.NewTicker(meshGossipInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-w.flushStop:
+			return
+		case <-w.done:
+			return
+		case <-t.C:
+			if b := w.pbStamp.Load(); b != math.MinInt64 {
+				w.gossip(b, 1)
+			}
+		}
+	}
+}
+
+func (w *meshWorker) sendToken(to int, tok waveToken) {
+	if cn := w.connTo(to); cn != nil {
+		cn.send(&frame{Kind: kToken, From: w.rank, To: to, Seq: tok.round, Obj: tok.q, Want: colourBits(tok)})
+	}
+}
+
+func (w *meshWorker) Steal(victim int) (WireTask, bool, error) {
+	if victim < 0 || victim >= w.size || victim == w.rank {
+		return WireTask{}, false, fmt.Errorf("dist: steal from invalid rank %d", victim)
+	}
+	cn := w.connTo(victim)
+	if cn == nil {
+		return WireTask{}, false, nil
+	}
+	seq, ch := w.pending.register(victim)
+	if err := cn.send(&frame{Kind: kSteal, From: w.rank, To: victim, Seq: seq, Want: w.opts.StealBatch}); err != nil {
+		w.pending.drop(seq)
+		return WireTask{}, false, nil
+	}
+	select {
+	case res := <-ch:
+		if len(res.tasks) == 0 {
+			return WireTask{}, false, nil
+		}
+		w.ctr.stealReplies.Add(1)
+		w.ctr.stealTasks.Add(int64(len(res.tasks)))
+		for _, t := range res.tasks[1:] {
+			w.handler().OnTask(t)
+		}
+		return res.tasks[0], true, nil
+	case <-w.done:
+		w.pending.drop(seq)
+		return WireTask{}, false, nil
+	case <-time.After(stealTimeout):
+		w.pending.drop(seq)
+		return WireTask{}, false, nil
+	}
+}
+
+// BroadcastBound sends the node-carrying broadcast to the coordinator
+// (the retention that survives this rank's death) and gossips the bare
+// bound to a couple of random peers.
+func (w *meshWorker) BroadcastBound(obj int64, node []byte) error {
+	raiseMax(&w.pbStamp, obj)
+	err := w.hub().send(&frame{Kind: kBound, From: w.rank, Obj: obj, Blob: node})
+	w.gossip(obj, meshGossipFan)
+	return err
+}
+
+func (w *meshWorker) Cancel(obj int64, witness []byte) error {
+	return w.hub().send(&frame{Kind: kCancel, From: w.rank, Obj: obj, Blob: witness})
+}
+
+// Ack queues a hand-over completion ack. Unlike the star there is no
+// relay: the flusher sends each origin's coalesced batch over the
+// direct link.
+func (w *meshWorker) Ack(origin int, id uint64) error {
+	if origin < 0 || origin >= w.size || origin == w.rank {
+		return fmt.Errorf("dist: ack to invalid rank %d", origin)
+	}
+	w.ackMu.Lock()
+	w.ackBuf = append(w.ackBuf, id)
+	w.ackMu.Unlock()
+	return nil
+}
+
+func (w *meshWorker) drainAcks() {
+	w.ackMu.Lock()
+	ids := w.ackBuf
+	w.ackBuf = nil
+	w.ackMu.Unlock()
+	if len(ids) == 0 {
+		return
+	}
+	byOrigin := make(map[int][]uint64)
+	for _, id := range ids {
+		if origin := TaskOrigin(id); origin >= 0 && origin < w.size && origin != w.rank {
+			byOrigin[origin] = append(byOrigin[origin], id)
+		}
+	}
+	for origin, ids := range byOrigin {
+		cn := w.connTo(origin)
+		if cn == nil {
+			continue // origin is dead; its ledger died with it
+		}
+		for len(ids) > 0 {
+			n := len(ids)
+			if n > maxStealBatch {
+				n = maxStealBatch
+			}
+			if cn.send(&frame{Kind: kAck, From: w.rank, To: origin, Acks: ids[:n]}) != nil {
+				break
+			}
+			ids = ids[n:]
+		}
+	}
+}
+
+// AddTasks folds the delta into the wave's local counter — zero
+// frames, zero coordinator involvement.
+func (w *meshWorker) AddTasks(delta int64) { w.wave.add(delta) }
+
+func (w *meshWorker) Done() <-chan struct{} { return w.done }
+
+func (w *meshWorker) Deaths() <-chan int { return w.deaths.ch }
+
+func (w *meshWorker) Gather(payload []byte) ([][]byte, error) {
+	if err := w.hub().send(&frame{Kind: kGather, From: w.rank, Blob: payload}); err != nil {
+		return nil, fmt.Errorf("dist: sending gather payload: %w", err)
+	}
+	return nil, nil
+}
+
+func (w *meshWorker) Close() error {
+	if w.closed.CompareAndSwap(false, true) {
+		// Best-effort final ack flush; there are no deltas to flush.
+		w.drainAcks()
+		w.stopFlush()
+		for _, cn := range w.peers {
+			if cn != nil {
+				cn.close()
+			}
+		}
+	}
+	return nil
+}
+
+// HubSnapshot is the mesh coordinator's residual state: everything a
+// standby needs to adopt the deployment (re-binding the address and
+// re-accepting the registration connections is the transport's job; a
+// full standby protocol is future work, but the state is deliberately
+// small enough to ship on every change).
+type HubSnapshot struct {
+	Spec      string
+	Size      int
+	PeerAddrs []string // rank-indexed; slot 0 empty
+	Alive     []bool   // rank-indexed liveness, as last decided by the hub
+	BestObj   int64    // retained incumbent objective (valid when HasBest)
+	BestNode  []byte   // retained incumbent witness
+	HasBest   bool
+}
+
+const hubSnapshotVersion = 1
+
+// Snapshot serialises the coordinator's residual state.
+func (h *meshHub) Snapshot() []byte {
+	b := binary.AppendUvarint(nil, hubSnapshotVersion)
+	b = binary.AppendUvarint(b, uint64(h.size))
+	b = binary.AppendUvarint(b, uint64(len(h.spec)))
+	b = append(b, h.spec...)
+	b = appendPeerTable(b, h.peerAddrs)
+	h.aliveMu.Lock()
+	for _, a := range h.alive {
+		if a {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
+		}
+	}
+	h.aliveMu.Unlock()
+	if obj, node, ok := h.inc.best(); ok {
+		b = append(b, 1)
+		b = binary.AppendVarint(b, obj)
+		b = binary.AppendUvarint(b, uint64(len(node)))
+		b = append(b, node...)
+	} else {
+		b = append(b, 0)
+	}
+	return b
+}
+
+// DecodeHubSnapshot parses a meshHub.Snapshot blob.
+func DecodeHubSnapshot(b []byte) (*HubSnapshot, error) {
+	r := &frameReader{b: b}
+	ver, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if ver != hubSnapshotVersion {
+		return nil, fmt.Errorf("dist: hub snapshot version %d, want %d", ver, hubSnapshotVersion)
+	}
+	size, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if size > maxPeerTable {
+		return nil, fmt.Errorf("dist: hub snapshot size %d", size)
+	}
+	spec, err := r.bytes()
+	if err != nil {
+		return nil, err
+	}
+	s := &HubSnapshot{Spec: string(spec), Size: int(size)}
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n != size {
+		return nil, fmt.Errorf("dist: hub snapshot peer table has %d slots, want %d", n, size)
+	}
+	s.PeerAddrs = make([]string, n)
+	for i := range s.PeerAddrs {
+		a, err := r.bytes()
+		if err != nil {
+			return nil, err
+		}
+		s.PeerAddrs[i] = string(a)
+	}
+	s.Alive = make([]bool, size)
+	for i := range s.Alive {
+		v, err := r.byte()
+		if err != nil {
+			return nil, err
+		}
+		s.Alive[i] = v != 0
+	}
+	has, err := r.byte()
+	if err != nil {
+		return nil, err
+	}
+	if has != 0 {
+		obj, err := r.varint()
+		if err != nil {
+			return nil, err
+		}
+		node, err := r.bytes()
+		if err != nil {
+			return nil, err
+		}
+		s.BestObj, s.BestNode, s.HasBest = obj, node, true
+	}
+	if len(r.b) != 0 {
+		return nil, fmt.Errorf("dist: %d trailing bytes in hub snapshot", len(r.b))
+	}
+	return s, nil
+}

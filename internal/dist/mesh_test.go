@@ -1,0 +1,334 @@
+package dist
+
+import (
+	"encoding/binary"
+	"io"
+	"net"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+)
+
+// Mesh-specific transport behaviour, beyond the shared conformance
+// suite: steal traffic bypasses the coordinator entirely, peer
+// priority summaries refresh over the direct links, and bounds
+// delivered by gossip stay monotone at every receiver.
+
+// meshDeployment builds a 1+workers TCP mesh and returns the
+// transports rank-indexed.
+func meshDeployment(t *testing.T, n int) []Transport {
+	t.Helper()
+	return makeTCP(t, n, WireOptions{Topology: TopologyMesh})
+}
+
+// Direct-steal conservation: a worker draining another worker moves
+// every task exactly once, and none of the steal traffic crosses the
+// coordinator — the whole point of the mesh. The star routes four
+// frames per exchange through the hub; here the hub's frame counters
+// must stay flat (heartbeats aside) while dozens of exchanges run.
+func TestMeshDirectStealConservation(t *testing.T) {
+	trs := meshDeployment(t, 3)
+	hs := startAll(trs)
+	const total = 64
+	for i := 0; i < total; i++ {
+		hs[1].push(WireTask{Payload: []byte{byte(i)}, Depth: i, Prio: i % 7})
+	}
+	before := trs[0].(Meter).Wire()
+
+	seen := make(map[byte]int)
+	record := func(ts ...WireTask) {
+		for _, wt := range ts {
+			seen[wt.Payload[0]]++
+		}
+	}
+	exchanges := 0
+	for {
+		wt, ok, err := trs[2].Steal(1)
+		if err != nil {
+			t.Fatalf("direct steal: %v", err)
+		}
+		exchanges++
+		if !ok {
+			break
+		}
+		record(wt)
+		record(hs[2].drain()...)
+	}
+	record(hs[1].drain()...) // anything the victim kept
+
+	if len(seen) != total {
+		t.Fatalf("saw %d distinct tasks, want %d", len(seen), total)
+	}
+	for id, n := range seen {
+		if n != 1 {
+			t.Fatalf("task %d seen %d times (lost or duplicated)", id, n)
+		}
+	}
+
+	after := trs[0].(Meter).Wire()
+	hubDelta := (after.FramesSent + after.FramesRecv) - (before.FramesSent + before.FramesRecv)
+	// The star hub would have relayed 4 frames per exchange (request
+	// in, request out, reply in, reply out). Allow a little heartbeat
+	// and wave noise, but the steal traffic itself must be absent.
+	if hubDelta >= int64(2*exchanges) {
+		t.Fatalf("coordinator saw %d frames across %d direct exchanges; steal traffic is crossing the hub", hubDelta, exchanges)
+	}
+}
+
+// Peer-summary staleness: a thief's view of its victim's best
+// stealable priority refreshes from the direct steal reply itself —
+// the frame that empties the victim also reports it empty, so the
+// thief never re-targets a victim on a summary the theft invalidated.
+func TestMeshPeerSummaryStaleness(t *testing.T) {
+	trs := meshDeployment(t, 3)
+	hs := startAll(trs)
+	pa2, ok := trs[2].(PrioAware)
+	if !ok {
+		t.Fatal("mesh worker is not PrioAware")
+	}
+
+	hs[1].push(WireTask{Payload: []byte("x"), Depth: 1, Prio: 4})
+	// Gossiped bounds piggyback the sender's summary over the direct
+	// peer links; repeat until the fan-out lands on rank 2.
+	bound := int64(0)
+	eventually(t, "rank 2 to learn rank 1's summary from gossip", func() bool {
+		bound++
+		trs[1].BroadcastBound(bound, nil)
+		p, known := pa2.PeerBestPrio(1)
+		return known && p == 4
+	})
+
+	// The steal reply that drains rank 1 must itself refresh rank 2's
+	// view to empty — no later broadcast required.
+	if _, ok, err := trs[2].Steal(1); !ok || err != nil {
+		t.Fatalf("steal from stocked rank 1: ok=%v err=%v", ok, err)
+	}
+	eventually(t, "the steal reply to mark rank 1 empty at rank 2", func() bool {
+		p, known := pa2.PeerBestPrio(1)
+		return known && p == PrioNone
+	})
+}
+
+// Gossip bound monotonicity: epidemic spread delivers bounds in no
+// particular order and with duplicates, but every endpoint melds
+// before delivering — so the sequence each handler observes is
+// strictly increasing, and all ranks converge on the global maximum.
+func TestMeshGossipBoundMonotonicity(t *testing.T) {
+	trs := meshDeployment(t, 4)
+	hs := startAll(trs)
+	const rounds = 60
+	globalMax := int64(0)
+	for i := 1; i <= rounds; i++ {
+		for r := range trs {
+			b := int64(10*i + r)
+			if b > globalMax {
+				globalMax = b
+			}
+			trs[r].BroadcastBound(b, nil)
+		}
+	}
+	for r := range trs {
+		r := r
+		// Every rank converges on at least the best bound some OTHER
+		// rank published (its own best is only ever heard as an
+		// epidemic echo, so it can't be required).
+		want := int64(10*rounds + len(trs) - 1)
+		if r == len(trs)-1 {
+			want = int64(10*rounds + len(trs) - 2)
+		}
+		eventually(t, "rank to converge on the global maximum", func() bool {
+			return hs[r].boundMax.Load() >= want
+		})
+	}
+	for r := range trs {
+		hs[r].mu.Lock()
+		bounds := append([]int64{}, hs[r].bounds...)
+		hs[r].mu.Unlock()
+		if !sort.SliceIsSorted(bounds, func(i, j int) bool { return bounds[i] < bounds[j] }) {
+			t.Errorf("rank %d delivered a non-monotone bound sequence: %v", r, bounds)
+		}
+		for i := 1; i < len(bounds); i++ {
+			if bounds[i] == bounds[i-1] {
+				t.Errorf("rank %d delivered duplicate bound %d", r, bounds[i])
+			}
+		}
+		if len(bounds) > 0 && bounds[len(bounds)-1] > globalMax {
+			t.Errorf("rank %d delivered bound %d beyond the published max %d", r, bounds[len(bounds)-1], globalMax)
+		}
+	}
+}
+
+// The coordinator's residual state round-trips through its snapshot:
+// spec, peer table, liveness, and the retained incumbent — everything
+// a standby would need to adopt the deployment.
+func TestMeshHubSnapshotRoundTrip(t *testing.T) {
+	trs := meshDeployment(t, 3)
+	startAll(trs)
+	trs[1].BroadcastBound(42, []byte("best-node"))
+	store := trs[0].(IncumbentStore)
+	eventually(t, "the hub to retain the incumbent", func() bool {
+		obj, _, ok := store.BestKnown()
+		return ok && obj == 42
+	})
+	trs[2].Close()
+	awaitDeath(t, trs[1], 2)
+	// Give the hub's own death bookkeeping a beat to settle.
+	time.Sleep(20 * time.Millisecond)
+
+	blob := trs[0].(*meshHub).Snapshot()
+	snap, err := DecodeHubSnapshot(blob)
+	if err != nil {
+		t.Fatalf("decode snapshot: %v", err)
+	}
+	// The stored spec carries the topology fold appended at
+	// registration, so a standby adopting it would refuse star dials.
+	if snap.Spec != "conformance topology=mesh" || snap.Size != 3 {
+		t.Fatalf("snapshot identity = %q/%d, want the topology-folded spec and size 3", snap.Spec, snap.Size)
+	}
+	if len(snap.PeerAddrs) != 3 || snap.PeerAddrs[0] != "" || snap.PeerAddrs[1] == "" || snap.PeerAddrs[2] == "" {
+		t.Fatalf("snapshot peer table = %v", snap.PeerAddrs)
+	}
+	if !snap.Alive[0] || !snap.Alive[1] || snap.Alive[2] {
+		t.Fatalf("snapshot liveness = %v, want rank 2 dead", snap.Alive)
+	}
+	if !snap.HasBest || snap.BestObj != 42 || string(snap.BestNode) != "best-node" {
+		t.Fatalf("snapshot incumbent = %d %q %v", snap.BestObj, snap.BestNode, snap.HasBest)
+	}
+}
+
+// rawSend writes one length-prefixed frame over a bare connection,
+// bypassing wconn: registration-rejection tests need to speak broken
+// protocol on purpose.
+func rawSend(t *testing.T, c net.Conn, f *frame) {
+	t.Helper()
+	buf := appendFrame(make([]byte, 4), f)
+	binary.LittleEndian.PutUint32(buf[:4], uint32(len(buf)-4))
+	if _, err := c.Write(buf); err != nil {
+		t.Fatalf("raw send: %v", err)
+	}
+}
+
+func rawRecv(t *testing.T, c net.Conn) *frame {
+	t.Helper()
+	var hdr [4]byte
+	if _, err := io.ReadFull(c, hdr[:]); err != nil {
+		t.Fatalf("raw recv header: %v", err)
+	}
+	body := make([]byte, binary.LittleEndian.Uint32(hdr[:]))
+	if _, err := io.ReadFull(c, body); err != nil {
+		t.Fatalf("raw recv body: %v", err)
+	}
+	var f frame
+	if err := parseFrame(body, &f); err != nil {
+		t.Fatalf("raw recv parse: %v", err)
+	}
+	return &f
+}
+
+// A v4 worker dialing a v5 coordinator is rejected by name — the
+// version gate is what lets the wire protocol evolve without silent
+// cross-version corruption — and the deployment still completes once a
+// well-versioned worker arrives.
+func TestMeshRegistrationRejectsOldWireVersion(t *testing.T) {
+	opts := WireOptions{Topology: TopologyMesh}
+	l, err := NewListenerOpts("127.0.0.1:0", "conformance", opts)
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	type waitRes struct {
+		tr  Transport
+		err error
+	}
+	waitCh := make(chan waitRes, 1)
+	go func() {
+		tr, err := l.Wait(1)
+		waitCh <- waitRes{tr, err}
+	}()
+
+	c, err := net.Dial("tcp", l.Addr())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+	rawSend(t, c, &frame{Kind: kHello, Want: 4, Blob: []byte(topoSpec("conformance", opts))})
+	reject := rawRecv(t, c)
+	if reject.Kind != kReject {
+		t.Fatalf("old-version hello answered with kind %d, want kReject", reject.Kind)
+	}
+	if msg := string(reject.Blob); !strings.Contains(msg, "wire protocol mismatch") ||
+		!strings.Contains(msg, "v5") || !strings.Contains(msg, "v4") {
+		t.Fatalf("rejection %q does not name both versions", msg)
+	}
+
+	// The listener is still accepting: a current-version worker
+	// registers and the deployment comes up.
+	go func() {
+		tr, err := DialOpts(l.Addr(), "conformance", opts)
+		if err == nil {
+			t.Cleanup(func() { tr.Close() })
+		}
+	}()
+	res := <-waitCh
+	if res.err != nil {
+		t.Fatalf("wait after rejected candidate: %v", res.err)
+	}
+	t.Cleanup(func() { res.tr.Close() })
+}
+
+// Mesh registration demands a peer address after the hello: a worker
+// that never advertises one cannot be dialed by its peers and must be
+// turned away during registration, not discovered broken later.
+func TestMeshRegistrationRequiresPeerAddr(t *testing.T) {
+	opts := WireOptions{Topology: TopologyMesh, RegTimeout: 2 * time.Second}
+	l, err := NewListenerOpts("127.0.0.1:0", "conformance", opts)
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer l.Close()
+	waitErr := make(chan error, 1)
+	go func() {
+		tr, err := l.Wait(1)
+		if err == nil {
+			tr.Close()
+		}
+		waitErr <- err
+	}()
+
+	c, err := net.Dial("tcp", l.Addr())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+	rawSend(t, c, &frame{Kind: kHello, Want: wireVersion, Blob: []byte(topoSpec("conformance", opts))})
+	rawSend(t, c, &frame{Kind: kPing}) // anything but kPeerAddr
+	reject := rawRecv(t, c)
+	if reject.Kind != kReject || !strings.Contains(string(reject.Blob), "peer address") {
+		t.Fatalf("peer-addr-less registration answered with %d %q, want a kReject naming the peer address", reject.Kind, reject.Blob)
+	}
+	// No other worker arrives: registration times out rather than
+	// accepting the broken candidate.
+	if err := <-waitErr; err == nil {
+		t.Fatal("Wait succeeded without any valid worker")
+	}
+}
+
+// Star and mesh deployments must not interconnect: the topology is
+// folded into the spec either side checks at registration.
+func TestTopologySpecMismatchRejected(t *testing.T) {
+	l, err := NewListenerOpts("127.0.0.1:0", "conformance", WireOptions{Topology: TopologyMesh, RegTimeout: 2 * time.Second})
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer l.Close()
+	go func() {
+		tr, err := l.Wait(1)
+		if err == nil {
+			tr.Close()
+		}
+	}()
+	_, err = DialOpts(l.Addr(), "conformance", WireOptions{Topology: TopologyStar})
+	if err == nil || !strings.Contains(err.Error(), "spec mismatch") {
+		t.Fatalf("star worker joined a mesh coordinator: %v", err)
+	}
+}

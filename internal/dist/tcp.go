@@ -35,10 +35,12 @@ const (
 	// dial keeps retrying (the coordinator may not be listening yet).
 	dialTimeout = 30 * time.Second
 	// wireVersion is checked at registration: v1 (gob), v2 (binary
-	// frames), v3 (per-task priorities + priority summaries) and v4
+	// frames), v3 (per-task priorities + priority summaries), v4
 	// (hand-over ids, completion acks, death notification, heartbeats)
-	// peers must not silently garble each other.
-	wireVersion = 4
+	// and v5 (mesh topology: peer address exchange, direct peer frames,
+	// bound gossip, termination-wave tokens) peers must not silently
+	// garble each other.
+	wireVersion = 5
 )
 
 // stealTimeout bounds a steal request whose reply never arrives; a
@@ -77,7 +79,24 @@ type WireOptions struct {
 	// its first frame — typically instance loading. Default
 	// DefaultLivenessTimeout.
 	LivenessTimeout time.Duration
+	// Topology selects how worker↔worker traffic flows. TopologyStar
+	// (the default) routes everything through the coordinator and
+	// detects termination by the hub's global live-task count.
+	// TopologyMesh has workers dial each other directly for steal,
+	// reply, and ack traffic, spreads bounds epidemic-style, and
+	// replaces the hub count with a Safra-style termination wave; the
+	// coordinator shrinks to registration, incumbent retention, death
+	// detection, and aggregation. Both sides of a deployment must agree
+	// (the topology is folded into the spec check at registration).
+	Topology string
 }
+
+// Topology values for WireOptions.Topology (and the engine-level
+// configuration that feeds it).
+const (
+	TopologyStar = "star"
+	TopologyMesh = "mesh"
+)
 
 // Defaults for WireOptions.
 const (
@@ -123,6 +142,11 @@ const (
 	kAck                   // From = thief, To = origin, Seq = hand-over id
 	kDeath                 // hub→workers: Want = dead rank
 	kPing                  // liveness heartbeat; header fields only
+	kPeerAddr              // mesh worker→hub at registration: Blob = advertised peer listener address
+	kPeers                 // hub→worker: Blob = rank-indexed peer address table
+	kPeerHello             // first frame on a direct peer conn: From = dialer rank, Want = wire version
+	kGossip                // epidemic bound push: From = origin, Obj = gossiped bound
+	kToken                 // termination-wave token: Seq = round, Obj = accumulated count, Want = colour bits
 )
 
 // wconn is one length-prefix-framed TCP connection with serialised
@@ -157,14 +181,38 @@ type wconn struct {
 	ps     func() int64
 	psFrom int
 	ctr    *wireCounters
+
+	// carried is the best bound this connection has demonstrably
+	// conveyed in either direction — stamped as a pb piggyback or an
+	// explicit kGossip/kBound, sent or received. The mesh's epidemic
+	// push consults it to suppress gossip that would tell the peer
+	// nothing new: every ordinary frame already spreads bounds for
+	// free, so explicit gossip frames are spent only on actual news.
+	carried atomic.Int64
 }
 
 // psNothing tells send to skip the summary stamp (no handler yet).
 const psNothing = math.MinInt64
 
 func newWconn(c net.Conn, ctr *wireCounters) *wconn {
-	return &wconn{c: c, br: bufio.NewReaderSize(c, 64<<10), ctr: ctr}
+	cn := &wconn{c: c, br: bufio.NewReaderSize(c, 64<<10), ctr: ctr}
+	cn.carried.Store(math.MinInt64)
+	return cn
 }
+
+// noteCarried records bound knowledge that crossed this connection.
+func (cn *wconn) noteCarried(f *frame) {
+	if f.HasPB {
+		raiseMax(&cn.carried, f.PB)
+	}
+	if f.Kind == kGossip || f.Kind == kBound {
+		raiseMax(&cn.carried, f.Obj)
+	}
+}
+
+// hasNews reports whether obj would be news to the peer behind this
+// connection, as far as the traffic so far can prove.
+func (cn *wconn) hasNews(obj int64) bool { return obj > cn.carried.Load() }
 
 func (cn *wconn) send(f *frame) error {
 	if cn.dead.Load() {
@@ -200,6 +248,7 @@ func (cn *wconn) send(f *frame) error {
 		return err
 	}
 	cn.nSent.Add(1)
+	cn.noteCarried(f)
 	if cn.ctr != nil {
 		cn.ctr.framesSent.Add(1)
 		cn.ctr.bytesSent.Add(int64(len(buf)))
@@ -230,6 +279,7 @@ func (cn *wconn) recv(f *frame) error {
 		return err
 	}
 	cn.nRecvd.Add(1)
+	cn.noteCarried(f)
 	if cn.ctr != nil {
 		cn.ctr.framesRecv.Add(1)
 		cn.ctr.bytesRecv.Add(int64(4 + ln))
@@ -397,7 +447,19 @@ func NewListenerOpts(addr, spec string, opts WireOptions) (*Listener, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Listener{ln: ln, spec: spec, opts: opts.withDefaults()}, nil
+	opts = opts.withDefaults()
+	return &Listener{ln: ln, spec: topoSpec(spec, opts), opts: opts}, nil
+}
+
+// topoSpec folds the topology into the deployment spec, so a star
+// coordinator and a mesh worker (or vice versa) reject each other at
+// registration with an explicit spec mismatch instead of wedging on
+// frames the other side never sends.
+func topoSpec(spec string, opts WireOptions) string {
+	if opts.Topology == TopologyMesh {
+		return spec + " topology=mesh"
+	}
+	return spec
 }
 
 // Addr returns the bound address (useful with a ":0" listen address).
@@ -422,6 +484,9 @@ func (l *Listener) Close() error { return l.ln.Close() }
 func (l *Listener) Wait(workers int) (Transport, error) {
 	if workers < 1 {
 		return nil, fmt.Errorf("dist: coordinator needs at least 1 worker, got %d", workers)
+	}
+	if l.opts.Topology == TopologyMesh {
+		return l.waitMesh(workers)
 	}
 	deadline := time.Now().Add(l.opts.RegTimeout)
 	h := &hub{
@@ -583,26 +648,31 @@ func (h *hub) BestKnown() (int64, []byte, bool) { return h.inc.best() }
 // that wedges before contributing, or the terminal collective would
 // block forever (worker pings keep flowing until the worker itself
 // closes).
-func (h *hub) livenessLoop() {
-	t := time.NewTicker(h.opts.Heartbeat)
+func (h *hub) livenessLoop() { livenessWatch(h.conns, h.opts, &h.closed) }
+
+// livenessWatch is the detector shared by the star and mesh hubs: a
+// worker connection silent past LivenessTimeout is declared dead by
+// closing it, which fails its serve loop into the died path.
+func livenessWatch(conns []*wconn, opts WireOptions, closed *atomic.Bool) {
+	t := time.NewTicker(opts.Heartbeat)
 	defer t.Stop()
 	// Per-rank watchdog state: the recv-counter value last seen and
 	// when it last changed. The clock lives here, on the watchdog's
 	// tick, so the frame hot path pays one counter increment and no
 	// time.Now().
-	seen := make([]uint64, h.size)
-	changed := make([]time.Time, h.size)
+	seen := make([]uint64, len(conns))
+	changed := make([]time.Time, len(conns))
 	now := time.Now()
 	for i := range changed {
 		changed[i] = now
 	}
 	for range t.C {
-		if h.closed.Load() {
+		if closed.Load() {
 			return
 		}
 		now := time.Now()
-		for rank := 1; rank < h.size; rank++ {
-			cn := h.conns[rank]
+		for rank := 1; rank < len(conns); rank++ {
+			cn := conns[rank]
 			if cn == nil || cn.dead.Load() {
 				continue
 			}
@@ -610,7 +680,7 @@ func (h *hub) livenessLoop() {
 				seen[rank], changed[rank] = n, now
 				continue
 			}
-			if now.Sub(changed[rank]) > h.opts.LivenessTimeout {
+			if now.Sub(changed[rank]) > opts.LivenessTimeout {
 				cn.close()
 			}
 		}
@@ -994,24 +1064,34 @@ func Dial(addr, spec string) (Transport, error) {
 	return DialOpts(addr, spec, WireOptions{})
 }
 
+// dialRetry dials addr, retrying while the peer is not yet listening.
+func dialRetry(addr string) (net.Conn, error) {
+	deadline := time.Now().Add(dialTimeout)
+	for {
+		c, err := net.DialTimeout("tcp", addr, 2*time.Second)
+		if err == nil {
+			return c, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("dist: dialing coordinator %s: %w", addr, err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
 // DialOpts is Dial with explicit framing options. StealBatch is a
 // thief-side knob (each endpoint requests its own batch size), while
 // FlushQuantum paces this worker's delta flushes; deployments normally
 // use the same options everywhere but are not required to.
 func DialOpts(addr, spec string, opts WireOptions) (Transport, error) {
 	opts = opts.withDefaults()
-	var c net.Conn
-	var err error
-	deadline := time.Now().Add(dialTimeout)
-	for {
-		c, err = net.DialTimeout("tcp", addr, 2*time.Second)
-		if err == nil {
-			break
-		}
-		if time.Now().After(deadline) {
-			return nil, fmt.Errorf("dist: dialing coordinator %s: %w", addr, err)
-		}
-		time.Sleep(100 * time.Millisecond)
+	spec = topoSpec(spec, opts)
+	if opts.Topology == TopologyMesh {
+		return dialMesh(addr, spec, opts)
+	}
+	c, err := dialRetry(addr)
+	if err != nil {
+		return nil, err
 	}
 	w := &worker{
 		opts:      opts,
