@@ -548,6 +548,104 @@ func BenchmarkScaleoutTopology(b *testing.B) {
 }
 
 // ------------------------------------------------------------------
+// Memory-bounded search (Config.PoolBudget): the per-locality memory
+// accountant must cap the resident frontier — pressure-aware steal
+// ranking, deepened cutoffs, and finally cold-bucket spill to disk —
+// without changing the enumeration result, and must cost next to
+// nothing when the frontier fits in RAM. The UTS binomial soak tree is
+// the spawn-heavy stress case: the budget coordination floods the pool
+// far past any sensible budget. poolpeak-B/op is the accountant's
+// encoded-size estimate of the largest resident frontier (the proxy
+// for peak pool RSS), spilled/op the tasks that crossed to disk.
+// Budgets are derived from the measured unbounded peak: "fits-in-ram"
+// (4x peak: accounting on, spill never fires — the overhead row),
+// 1/4 and 1/16 of peak (the spill rows), plus the tentpole pairing of
+// a tight budget under distributed stack stealing, where starved
+// localities pull work via kSplit stack splits. The fits-in-ram
+// ns/node tax (<= 1.10x) and the 1/16-budget peak (<= 0.5x unbounded)
+// are gated by cmd/benchguard via BENCH_memory.json.
+func BenchmarkMemoryBudget(b *testing.B) {
+	utsS := &uts.Space{Shape: uts.Binomial, B0: 2000, M: 6, Q: 0.166, Seed: 401}
+	w := benchWorkers()
+	if w > 8 {
+		w = 8
+	}
+	base := core.Config{Workers: w, Budget: 500}
+	// One unbounded probe pins the oracle count and the peak the
+	// budget rows are fractions of.
+	wantNodes, probe := uts.Count(utsS, core.Budget, base)
+	peak := probe.PoolPeakBytes
+	if peak == 0 {
+		b.Fatal("probe run recorded no pool peak")
+	}
+
+	run := func(b *testing.B, budget int64) {
+		cfg := base
+		cfg.PoolBudget = budget
+		if budget > 0 {
+			cfg.SpillDir = b.TempDir()
+		}
+		var nodes, peakSum, spilled int64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			got, st := uts.Count(utsS, core.Budget, cfg)
+			if got != wantNodes {
+				b.Fatalf("count %d under budget %d, want %d", got, budget, wantNodes)
+			}
+			nodes += st.Nodes
+			peakSum += st.PoolPeakBytes
+			spilled += st.SpilledTasks
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(nodes), "ns/node")
+		b.ReportMetric(float64(peakSum)/float64(b.N), "poolpeak-B/op")
+		b.ReportMetric(float64(spilled)/float64(b.N), "spilled/op")
+	}
+	b.Run("uts/unbounded", func(b *testing.B) { run(b, 0) })
+	b.Run("uts/fits-in-ram", func(b *testing.B) { run(b, peak*4) })
+	b.Run("uts/budget=1of4", func(b *testing.B) { run(b, peak/4) })
+	b.Run("uts/budget=1of16", func(b *testing.B) { run(b, peak/16) })
+
+	// The tentpole pairing: the same tree under -skeleton stacksteal
+	// -dist with a tight budget, over a 4-locality loopback deployment.
+	b.Run("uts/stacksteal-dist-1of16", func(b *testing.B) {
+		var nodes, peakSum, spilled int64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			net := dist.NewLoopback(4, dist.LoopbackOptions{})
+			trs := net.Transports()
+			cfg := core.Config{Workers: 2, PoolBudget: peak / 16, SpillDir: b.TempDir()}
+			results := make([]core.EnumResult[int64], 4)
+			errs := make([]error, 4)
+			var wg sync.WaitGroup
+			for r := 0; r < 4; r++ {
+				wg.Add(1)
+				go func(r int) {
+					defer wg.Done()
+					results[r], errs[r] = core.DistEnum(trs[r], uts.Codec(), core.StackStealing,
+						utsS, uts.Root(utsS), uts.CountProblem(), cfg)
+				}(r)
+			}
+			wg.Wait()
+			net.Close()
+			for r, err := range errs {
+				if err != nil {
+					b.Fatalf("rank %d: %v", r, err)
+				}
+			}
+			if results[0].Value != wantNodes {
+				b.Fatalf("dist count %d, want %d", results[0].Value, wantNodes)
+			}
+			nodes += results[0].Stats.Nodes
+			peakSum += results[0].Stats.PoolPeakBytes
+			spilled += results[0].Stats.SpilledTasks
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(nodes), "ns/node")
+		b.ReportMetric(float64(peakSum)/float64(b.N), "poolpeak-B/op")
+		b.ReportMetric(float64(spilled)/float64(b.N), "spilled/op")
+	})
+}
+
+// ------------------------------------------------------------------
 // Wire protocol v2 throughput: how fast do stolen tasks cross a
 // locality boundary, and at what protocol cost? The matrix covers the
 // three v2 levers — transport (loopback hand-over vs real TCP), codec

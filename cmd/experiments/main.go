@@ -270,9 +270,14 @@ func figure4() {
 	// rerun over `yewpar -dist`), batch is the mean tasks per steal
 	// reply, pf-hit the share of remote work served from the
 	// steal-ahead buffer instead of a blocking round trip.
+	// The mem columns are the per-locality accountant's view: peak
+	// resident frontier (max tasks across localities, with its encoded
+	// byte estimate) and tasks spilled to disk — zero unless the run
+	// sets -pool-budget.
 	locSweep := []int{1, 2, 4, 8, 16, 17}
-	fmt.Printf("%-26s %6s %10s %10s %10s %12s %6s %7s\n",
-		"Skeleton", "locs", "time(s)", "speedup", "frames", "wire-bytes", "batch", "pf-hit")
+	fmt.Printf("%-26s %6s %10s %10s %10s %12s %6s %7s %10s %12s %8s\n",
+		"Skeleton", "locs", "time(s)", "speedup", "frames", "wire-bytes", "batch", "pf-hit",
+		"pool-peak", "pool-peakB", "spilled")
 	for _, sk := range skels {
 		var base time.Duration
 		for _, L := range locSweep {
@@ -291,9 +296,10 @@ func figure4() {
 			if L == 1 {
 				base = t
 			}
-			fmt.Printf("%-26s %6d %10.3f %10.2f %10d %12d %6.2f %6.0f%%\n",
+			fmt.Printf("%-26s %6d %10.3f %10.2f %10d %12d %6.2f %6.0f%% %10d %12d %8d\n",
 				sk.name, L, sec(t), sec(base)/sec(t), ws.Frames, ws.WireBytes,
-				ws.BatchOccupancy(), 100*ws.PrefetchHitRate())
+				ws.BatchOccupancy(), 100*ws.PrefetchHitRate(),
+				ws.PoolPeakTasks, ws.PoolPeakBytes, ws.SpilledTasks)
 		}
 		fmt.Println()
 	}

@@ -163,6 +163,26 @@ func TestDistributedBudgetKnapsack(t *testing.T) {
 	testDistMatchesSingle(t, []string{"-app", "knapsack", "-items", "20", "-skeleton", "budget", "-b", "5000", "-workers", "2"})
 }
 
+// Distributed stack stealing (wire protocol v6): no proactive spawning
+// at all — every task crossing the wire was carved out of a live
+// generator stack by an on-demand kSplit. Runs on both topologies: on
+// the star the split request is hub-forwarded, on the mesh it travels
+// a direct worker-to-worker connection.
+func TestDistributedStackStealKnapsack(t *testing.T) {
+	testDistMatchesSingle(t, []string{"-app", "knapsack", "-items", "22", "-skeleton", "stacksteal", "-workers", "2"})
+}
+
+func TestDistributedMeshStackStealKnapsack(t *testing.T) {
+	testDistMatchesSingle(t, []string{"-app", "knapsack", "-items", "22", "-skeleton", "stacksteal", "-workers", "2", "-topology", "mesh"})
+}
+
+// A memory-budgeted deployment must spill instead of growing the pool
+// and still produce the exact single-process enumeration count.
+func TestDistributedPoolBudgetUTS(t *testing.T) {
+	testDistMatchesSingle(t, []string{"-app", "uts", "-uts-b0", "500", "-uts-m", "4", "-uts-q", "0.2",
+		"-skeleton", "depthbounded", "-d", "4", "-workers", "2", "-pool-budget", "16384"})
+}
+
 // The fault-tolerance acceptance test: a real 4-process TCP deployment
 // (1 coordinator + 3 workers) in which one worker is SIGKILLed
 // mid-maxclique must still terminate, exit cleanly, and report the

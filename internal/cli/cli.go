@@ -28,17 +28,19 @@ import (
 
 // Options are the parsed command-line options.
 type Options struct {
-	App      string
-	Skeleton string
-	Workers  int
-	Locs     int
-	DCutoff  int
-	Budget   int64
-	Chunked  bool
-	StealLat time.Duration
-	BoundLat time.Duration
-	Pool     string
-	Order    string
+	App        string
+	Skeleton   string
+	Workers    int
+	Locs       int
+	DCutoff    int
+	Budget     int64
+	Chunked    bool
+	StealLat   time.Duration
+	BoundLat   time.Duration
+	Pool       string
+	PoolBudget int64
+	SpillDir   string
+	Order      string
 	// order is Order parsed and validated by ParseArgs; everything
 	// downstream (Config, the stats printers) reads this, so a typo'd
 	// -order fails at parse time instead of silently degrading to an
@@ -88,6 +90,8 @@ func ParseArgs(args []string) (*Options, error) {
 	fs.DurationVar(&o.StealLat, "steal-latency", 0, "simulated remote-steal latency")
 	fs.DurationVar(&o.BoundLat, "bound-latency", 0, "simulated bound-broadcast latency")
 	fs.StringVar(&o.Pool, "pool", "depthpool", "workpool: depthpool|deque")
+	fs.Int64Var(&o.PoolBudget, "pool-budget", 0, "per-locality workpool memory budget in bytes (0 = unbounded); pressured localities deepen cutoffs and spill cold tasks to disk")
+	fs.StringVar(&o.SpillDir, "spill-dir", "", "base directory for -pool-budget spill segments (empty = system temp dir); segments live in a per-run temp subdirectory removed on exit")
 	fs.StringVar(&o.Order, "order", "none", "task scheduling order: none|discrepancy|bound")
 	fs.StringVar(&o.File, "f", "", "DIMACS .clq input (clique apps; SIP target)")
 	fs.StringVar(&o.Gen, "gen", "", "named generated instance (clique apps)")
@@ -170,6 +174,8 @@ func (o *Options) Config() core.Config {
 	if o.Pool == "deque" {
 		cfg.Pool = core.DequeKind
 	}
+	cfg.PoolBudget = o.PoolBudget
+	cfg.SpillDir = o.SpillDir
 	cfg.Order = o.order
 	cfg.MaxFailures = o.MaxFailures
 	cfg.Topology = o.Topology
@@ -315,6 +321,10 @@ func Run(args []string, w io.Writer) error {
 			fmt.Fprintf(w, "wire: frames=%d bytes=%d batch=%.2f prefetch-hits=%d (%.0f%%)\n",
 				stats.Frames, stats.WireBytes, stats.BatchOccupancy(),
 				stats.PrefetchHits, 100*stats.PrefetchHitRate())
+		}
+		if stats.PoolPeakTasks > 0 || stats.SpilledTasks > 0 {
+			fmt.Fprintf(w, "mem: pool-peak=%d tasks (%d bytes est) spilled=%d tasks (%d bytes)\n",
+				stats.PoolPeakTasks, stats.PoolPeakBytes, stats.SpilledTasks, stats.SpillBytes)
 		}
 	}
 	if trace != nil {

@@ -45,8 +45,8 @@ func RunDist(o *Options, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	if coord != core.DepthBounded && coord != core.Budget {
-		return fmt.Errorf("-dist supports the pool-based skeletons (depthbounded, budget), not %q", o.Skeleton)
+	if coord == core.Sequential {
+		return fmt.Errorf("-dist supports the pool-based skeletons (depthbounded, budget, stacksteal), not %q", o.Skeleton)
 	}
 	// Reject unsupported apps before the transport comes up: a
 	// coordinator must not sit listening for workers only to fail
@@ -187,6 +187,8 @@ func RunDist(o *Options, w io.Writer) error {
 			stats.PrefetchHits, 100*stats.PrefetchHitRate())
 		fmt.Fprintf(w, "fault: deaths=%d replayed=%d ledger-peak=%d\n",
 			stats.Deaths, stats.ReplayedTasks, stats.LedgerPeak)
+		fmt.Fprintf(w, "mem: pool-peak=%d tasks (%d bytes est) spilled=%d tasks (%d bytes)\n",
+			stats.PoolPeakTasks, stats.PoolPeakBytes, stats.SpilledTasks, stats.SpillBytes)
 	}
 	return nil
 }

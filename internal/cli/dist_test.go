@@ -24,11 +24,9 @@ func TestDistRejectsUnknownRole(t *testing.T) {
 }
 
 func TestDistRejectsNonPoolSkeleton(t *testing.T) {
-	for _, skel := range []string{"seq", "stacksteal"} {
-		err := Run([]string{"-dist", "coordinator", "-skeleton", skel}, io.Discard)
-		if err == nil || !strings.Contains(err.Error(), "pool-based") {
-			t.Fatalf("skeleton %s: err = %v", skel, err)
-		}
+	err := Run([]string{"-dist", "coordinator", "-skeleton", "seq"}, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "pool-based") {
+		t.Fatalf("skeleton seq: err = %v", err)
 	}
 }
 

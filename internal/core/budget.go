@@ -40,6 +40,14 @@ func runBudget[S, N any](e *engine[S, N], visitors []visitor[N], root N) {
 				return
 			}
 			if backtracks >= budget {
+				if e.memPressured(w) {
+					// Memory pressure suspends shedding: keep searching
+					// this stack in place (the budget re-arms, so the
+					// check repeats) until the pool is back under its
+					// soft threshold.
+					backtracks = 0
+					continue
+				}
 				for i := 0; i < len(stack); i++ {
 					if stack[i].HasNext() {
 						for stack[i].HasNext() {

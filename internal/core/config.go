@@ -86,6 +86,23 @@ type Config struct {
 	// single mutex-shared pool per locality (the pre-sharding design,
 	// kept as an ablation and oracle reference).
 	PoolShards int
+	// PoolBudget bounds the memory a locality's workpool may hold, in
+	// bytes (tasks × a per-task estimate derived from the node's
+	// encoded size). 0, the default, is unbounded. Under a budget the
+	// locality responds to pressure in preference order: it advertises
+	// itself as a prime steal victim so thieves drain it first, the
+	// pool-based coordinations trade spawning for inline expansion
+	// (Depth-Bounded expands below the cutoff, Budget stops shedding),
+	// and past the hard threshold the coldest tasks — deepest depth, or
+	// worst priority under an ordering mode — are spilled to a
+	// per-locality disk segment file and re-admitted when the in-RAM
+	// pool drains. Spilling is result-invariant: the same nodes are
+	// visited, only where the frontier waits changes.
+	PoolBudget int64
+	// SpillDir is the directory under which spill segment directories
+	// are created (os.MkdirTemp, removed when the search ends). Empty
+	// uses the OS temp dir. Only meaningful with PoolBudget set.
+	SpillDir string
 	// NoRecycle disables generator recycling: every expansion calls the
 	// GenFactory even for applications whose generators implement
 	// ResettableGenerator. Kept as an ablation for measuring the

@@ -21,7 +21,12 @@ func runDepthBounded[S, N any](e *engine[S, N], visitors []visitor[N], root N) {
 			return
 		}
 		gc := e.caches[w]
-		if t.Depth < e.cfg.DCutoff {
+		// Memory pressure deepens the cutoff: above the budget's soft
+		// threshold the worker searches in place instead of spawning,
+		// trading parallel slack for zero frontier growth. Checked per
+		// task (two atomic loads), so relief is immediate once thieves
+		// or the spiller bring the pool back down.
+		if t.Depth < e.cfg.DCutoff && !e.memPressured(w) {
 			g := gc.gen(0, t.Node)
 			for i := 0; g.HasNext(); i++ {
 				child := g.Next()

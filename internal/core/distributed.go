@@ -102,12 +102,13 @@ func bestRetained[N any](tr dist.Transport, codec Codec[N]) (N, int64, bool) {
 }
 
 // distCoordination validates that a coordination is available across
-// processes. Stack-Stealing splits live generator stacks over shared
-// memory and Sequential is single-worker by definition; the pool-based
-// coordinations are the distributed ones, as in the paper.
+// processes. Only Sequential is excluded (single-worker by
+// definition): the pool-based coordinations distribute through
+// transport steals, and Stack-Stealing distributes through on-demand
+// wire splits (kSplit) of live generator stacks.
 func distCoordination(coord Coordination) error {
-	if coord != DepthBounded && coord != Budget {
-		return fmt.Errorf("core: coordination %v not supported across processes (use depthbounded or budget)", coord)
+	if coord == Sequential {
+		return fmt.Errorf("core: coordination %v not supported across processes (it is single-worker by definition; use depthbounded, budget, or stacksteal)", coord)
 	}
 	return nil
 }
@@ -121,12 +122,21 @@ func distCoordination(coord Coordination) error {
 // deployment without negotiation.
 func runDistEngine[S, N any](coord Coordination, space S, gf GenFactory[S, N], cfg Config, m *Metrics, cancel *canceller, vs []visitor[N], root N, fab *fabric[N], prio *prioAssigner[S, N]) {
 	e := newEngine(space, gf, cfg, m, cancel, fab, prio)
+	if coord == StackStealing {
+		// Install the split gates before the transport starts serving:
+		// a peer's kSplit may arrive the moment registration completes.
+		e.installSplitGates()
+	}
 	fab.start(cancel)
 	switch coord {
 	case DepthBounded:
 		runDepthBounded(e, vs, root)
 	case Budget:
 		runBudget(e, vs, root)
+	case StackStealing:
+		runStackStealDist(e, vs, root)
+	default:
+		panic("core: unknown coordination")
 	}
 }
 
@@ -166,6 +176,7 @@ func DistOpt[S, N any](tr dist.Transport, codec Codec[N], coord Coordination, sp
 	stats.Broadcasts = inc.broadcasts()
 	fab.wireStats(&stats)
 	fab.faultStats(&stats)
+	fab.memStats(&stats)
 	node, obj, has := inc.result()
 
 	share := distShare{Obj: obj, Has: has, Stats: stats}
@@ -222,6 +233,7 @@ func DistEnum[S, N, M any](tr dist.Transport, codec Codec[N], coord Coordination
 	stats.Elapsed = time.Since(start)
 	fab.wireStats(&stats)
 	fab.faultStats(&stats)
+	fab.memStats(&stats)
 	value := combineEnum[S, N, M](p.Monoid, vs)
 
 	var vbuf bytes.Buffer
@@ -288,6 +300,7 @@ func DistDecide[S, N any](tr dist.Transport, codec Codec[N], coord Coordination,
 	stats.Elapsed = time.Since(start)
 	fab.wireStats(&stats)
 	fab.faultStats(&stats)
+	fab.memStats(&stats)
 	node, obj, found := wit.get()
 
 	share := distShare{Obj: obj, Has: found, Stats: stats}

@@ -68,7 +68,7 @@ func runDistOptLoopback(t *testing.T, ranks int, coord Coordination, cfg Config)
 
 func TestDistOptMatchesSequential(t *testing.T) {
 	want := SequentialOpt(toySpace12(), toyNode{}, toyOptProblem())
-	for _, coord := range []Coordination{DepthBounded, Budget} {
+	for _, coord := range []Coordination{DepthBounded, Budget, StackStealing} {
 		got := runDistOptLoopback(t, 3, coord, Config{Workers: 2, DCutoff: 2, Budget: 8})
 		if got.Objective != want.Objective {
 			t.Errorf("%v: distributed objective %d, want %d", coord, got.Objective, want.Objective)
@@ -213,8 +213,8 @@ func TestDistOptOrderedMatchesUnordered(t *testing.T) {
 func TestDistOptRejectsUnsupportedCoordination(t *testing.T) {
 	net := dist.NewLoopback(2, dist.LoopbackOptions{})
 	defer net.Close()
-	_, err := DistOpt(net.Transports()[0], GobCodec[toyNode]{}, StackStealing, toySpace12(), toyNode{}, toyOptProblem(), Config{})
+	_, err := DistOpt(net.Transports()[0], GobCodec[toyNode]{}, Sequential, toySpace12(), toyNode{}, toyOptProblem(), Config{})
 	if err == nil {
-		t.Fatal("stack-stealing across processes should be rejected")
+		t.Fatal("sequential across processes should be rejected")
 	}
 }

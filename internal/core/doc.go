@@ -74,6 +74,42 @@
 // priority histogram; BENCH_ordered.json records the node-count and
 // pool-throughput wins.
 //
+// # Memory-bounded search
+//
+// Config.PoolBudget caps each locality's resident task frontier at a
+// byte budget — the pool's task count times a per-task estimate taken
+// from the encoded size of the root under the deployment codec (gob
+// for single-process runs without one). Every pool run carries the
+// accountant (Stats.PoolPeakTasks/PoolPeakBytes are always recorded);
+// a budget arms its pressure responses, applied in order of
+// preference, cheapest first:
+//
+//  1. Hand work to thieves. A pressured locality clamps the steal-rank
+//     and best-priority summaries it advertises to the most attractive
+//     values, so idle peers preferentially steal from victims under
+//     pressure — relief that costs the victim nothing.
+//  2. Deepen cutoffs. Depth-bounded and budget workers under pressure
+//     stop spawning and expand inline instead (the same trade their
+//     cutoff already makes, applied dynamically), stopping frontier
+//     growth at the source without touching results.
+//  3. Spill the coldest buckets. If a push still lands the pool past
+//     its budget, the coldest tasks — deepest depth, or worst priority
+//     under Config.Order — are batch-encoded and appended to a segment
+//     file under a per-run os.MkdirTemp directory (Config.SpillDir;
+//     "" = the system temp dir), and re-admitted LIFO when the
+//     resident pool drains. Segments are removed on every exit path —
+//     normal, cancelled, or locality death — so a killed worker's
+//     spill never leaks into a fault-tolerance replay.
+//
+// Spilling is result-invariant (oracle tests pin exact enum counts and
+// equal optima at budgets the unbounded frontier exceeds many-fold),
+// and the accountant itself is within noise of the unbounded engine
+// when the frontier fits in RAM — BenchmarkMemoryBudget measures both,
+// recorded in BENCH_memory.json and gated in CI. Stack-stealing keeps
+// almost nothing pooled to begin with; its distributed form pulls work
+// via live-stack splits (dist protocol v6 kSplit) rather than pools,
+// so it is naturally the memory-leanest -dist coordination.
+//
 // Idle workers do not spin: after a few failed probe rounds a worker
 // parks on its locality's parker and is woken by the next local push,
 // adopted steal reply, or prefetched task (with a growing timeout to

@@ -68,7 +68,8 @@ func newEngine[S, N any](space S, gf GenFactory[S, N], cfg Config, m *Metrics, c
 // literal field fam), so a received subtree's descendants keep the
 // origin's ledger entry alive until the whole subtree completes.
 func (e *engine[S, N]) spawnTask(w int, sh *WorkerStats, t Task[N]) {
-	e.fab.trs[e.topo.locality(w)].AddTasks(1)
+	loc := e.topo.locality(w)
+	e.fab.trs[loc].AddTasks(1)
 	if t.fam != nil {
 		t.fam.pending.Add(1)
 	}
@@ -77,6 +78,20 @@ func (e *engine[S, N]) spawnTask(w int, sh *WorkerStats, t Task[N]) {
 		sh.notePrio(t.Prio)
 	}
 	e.topo.push(w, t)
+	if m := e.topo.mem[loc]; m != nil {
+		// Memory governor, last-resort response: the spawner that pushed
+		// the pool past its hard threshold spills the coldest tasks.
+		m.maybeSpill(e.topo.pools[loc])
+	}
+}
+
+// memPressured reports whether worker w's locality is above its memory
+// budget's soft threshold — the signal on which coordinations trade
+// spawning for inline expansion.
+func (e *engine[S, N]) memPressured(w int) bool {
+	loc := e.topo.locality(w)
+	m := e.topo.mem[loc]
+	return m != nil && m.pressured(e.topo.pools[loc].Tasks())
 }
 
 // finishTask deregisters one completed task. Every task obtained by a
@@ -103,6 +118,21 @@ func (e *engine[S, N]) runPoolWorkers(root N, visitors []visitor[N], runTask fun
 			start := time.Now()
 			inner(w, v, sh, t)
 			tr.record(w, t.Depth, start, time.Now())
+		}
+	}
+	// Calibrate the memory governors' per-task byte estimate from the
+	// root node, and guarantee their spill directories are removed on
+	// every exit path — normal termination, cancellation, and (in a
+	// loopback fault test) a killed locality whose zombie workers drain
+	// here with everyone else.
+	spillCodec := e.fab.codec
+	if spillCodec == nil {
+		spillCodec = GobCodec[N]{}
+	}
+	for _, m := range e.topo.mem {
+		if m != nil {
+			m.calibrate(spillCodec, root)
+			defer m.close()
 		}
 	}
 	if e.fab.hasRoot {

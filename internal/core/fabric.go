@@ -138,6 +138,28 @@ func (f *fabric[N]) faultStats(s *Stats) {
 	}
 }
 
+// memStats folds the memory-governor counters — pool residency peaks,
+// tasks and bytes spilled — into s. Call after all workers have joined.
+func (f *fabric[N]) memStats(s *Stats) {
+	for _, loc := range f.locs {
+		sp, _ := loc.pool.(*ShardedPool[N])
+		if sp == nil {
+			continue
+		}
+		peak := sp.PeakTasks()
+		if peak > s.PoolPeakTasks {
+			s.PoolPeakTasks = peak
+		}
+		if m := loc.mem; m != nil {
+			if pb := peak * m.perTask.Load(); pb > s.PoolPeakBytes {
+				s.PoolPeakBytes = pb
+			}
+			s.SpilledTasks += m.spilledTotal.Load()
+			s.SpillBytes += m.spillBytes.Load()
+		}
+	}
+}
+
 // locState is one in-process locality's engine endpoint: the
 // dist.Handler serving its peers. The pool is installed by the engine
 // before the fabric starts; coordinations without pools (sequential,
@@ -146,8 +168,13 @@ type locState[N any] struct {
 	idx  int // index among in-process localities
 	rank int // global rank
 	pool Pool[N]
-	led  *ledger[N] // supervision ledger; nil for pool-less coordinations
-	fab  *fabric[N]
+	led  *ledger[N]   // supervision ledger; nil for pool-less coordinations
+	mem  *memState[N] // memory accountant (set with the pool)
+	// split, when set (stack-stealing runs), is the rendezvous through
+	// which a remote kSplit request reaches this locality's running
+	// workers' live generator stacks.
+	split *splitGate[N]
+	fab   *fabric[N]
 	// wake, when set (by the engine's topology), releases a parked
 	// worker of this locality after work arrives from outside the
 	// worker loops — an adopted late steal reply or batch extra.
@@ -157,6 +184,7 @@ type locState[N any] struct {
 var _ dist.Handler = (*locState[string])(nil)
 var _ dist.MultiStealer = (*locState[string])(nil)
 var _ dist.StealRanker = (*locState[string])(nil)
+var _ dist.StackSplitter = (*locState[string])(nil)
 
 // famDone records one drain of a family's supervision counter; the
 // last drain acks the origin, retiring the ledger entry whose replay
@@ -185,6 +213,14 @@ func (h *locState[N]) ServeSteal(thief int) (dist.WireTask, bool) {
 	if !ok {
 		return dist.WireTask{}, false
 	}
+	return h.exportTask(thief, t)
+}
+
+// exportTask hands one registered local task over to thief: ledger
+// entry minted, bound stamped, node encoded on a wire fabric. On
+// failure the task goes back to the pool (it is registered live work)
+// and false is reported.
+func (h *locState[N]) exportTask(thief int, t Task[N]) (dist.WireTask, bool) {
 	id, ok := h.handOver(thief, t)
 	if !ok {
 		// Dead thief or full ledger: keep the task, serve nothing.
@@ -310,17 +346,61 @@ func (h *locState[N]) BestStealPrio() (int, bool) {
 	if h.pool == nil {
 		return 0, false
 	}
+	// Pressure advertisement, the memory governor's cheapest response: a
+	// locality over its budget's soft threshold claims the best possible
+	// rank, so priority-aware thieves drain it before anyone else —
+	// every task handed away is memory it no longer holds.
+	if h.mem != nil && h.mem.pressured(int64(h.pool.Size())) {
+		return 0, true
+	}
 	if sr, ok := h.pool.(stealRanked); ok {
 		r := sr.StealRank()
 		if r < 0 {
-			return 0, false
+			return h.splitRank()
 		}
 		return r, true
 	}
 	if h.pool.Size() > 0 {
 		return 0, true
 	}
+	return h.splitRank()
+}
+
+// splitRank advertises splittable (not yet materialised) work: under
+// the stack-stealing coordination a locality whose pool is empty but
+// whose workers hold live generator stacks still has work a kSplit can
+// export. It ranks worst — materialising costs the victim a split — so
+// thieves prefer pool-resident work anywhere else first.
+func (h *locState[N]) splitRank() (int, bool) {
+	if g := h.split; g != nil && g.splittable() {
+		return maxTaskPrio, true
+	}
 	return 0, false
+}
+
+// ServeSplit implements dist.StackSplitter: export up to max tasks to a
+// work-starved peer, from the pool's spares when it has any, otherwise
+// by asking a running worker to split the bottom of its live generator
+// stack (the paper's (spawn-stack) rule, on demand over the wire). May
+// block briefly — transports serve it off their read loops.
+func (h *locState[N]) ServeSplit(thief, max int) []dist.WireTask {
+	if h.pool == nil {
+		return nil
+	}
+	if out := h.ServeStealMulti(thief, max); len(out) > 0 {
+		return out
+	}
+	g := h.split
+	if g == nil {
+		return nil
+	}
+	var out []dist.WireTask
+	for _, t := range g.request(max, splitServeWait, nil) {
+		if wt, ok := h.exportTask(thief, t); ok {
+			out = append(out, wt)
+		}
+	}
+	return out
 }
 
 // OnBound implements dist.Handler: merge a peer's bound into the local

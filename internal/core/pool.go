@@ -157,6 +157,21 @@ func (p *DepthPool[N]) MinDepth() int {
 // work by depth (shallower = more promising to a thief).
 func (p *DepthPool[N]) StealRank() int { return p.MinDepth() }
 
+// SpillBatch implements spiller: it removes up to max tasks from the
+// deepest buckets first — the coldest work in depth order, the last a
+// thief would take and the cheapest to park on disk — and returns them.
+func (p *DepthPool[N]) SpillBatch(max int) []Task[N] {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var out []Task[N]
+	for d := p.max; d >= 0 && len(out) < max; d-- {
+		for p.heads[d] < len(p.buckets[d]) && len(out) < max {
+			out = append(out, p.takeAt(d))
+		}
+	}
+	return out
+}
+
 // Deque is a conventional work-stealing double-ended queue: owners pop
 // newest-first (LIFO), thieves steal oldest-first (FIFO). It ignores
 // depth and therefore does not preserve heuristic search order; it is
@@ -241,6 +256,24 @@ func (q *Deque[N]) MinDepth() int {
 // StealRank implements stealRanked.
 func (q *Deque[N]) StealRank() int { return q.MinDepth() }
 
+// SpillBatch implements spiller: a deque has no depth or priority
+// structure, so the oldest tasks (the thief end) are spilled first.
+func (q *Deque[N]) SpillBatch(max int) []Task[N] {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	var out []Task[N]
+	var zero Task[N]
+	for q.head < len(q.items) && len(out) < max {
+		out = append(out, q.items[q.head])
+		q.items[q.head] = zero
+		q.head++
+	}
+	if q.head >= len(q.items) {
+		q.reset()
+	}
+	return out
+}
+
 func newPool[N any](kind PoolKind) Pool[N] {
 	switch kind {
 	case DequeKind:
@@ -259,6 +292,90 @@ func newPool[N any](kind PoolKind) Pool[N] {
 // priority-aware victim selection.
 type stealRanked interface{ StealRank() int }
 
+// spiller is implemented by pools that can bulk-remove their coldest
+// tasks — deepest depth, or worst priority — for the memory governor to
+// park on disk. The removed tasks remain registered live work; the
+// caller owns re-admitting them.
+type spiller[N any] interface{ SpillBatch(max int) []Task[N] }
+
+// raiseMax64 lifts a to at least v.
+func raiseMax64(a *atomic.Int64, v int64) {
+	for {
+		cur := a.Load()
+		if v <= cur || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// countedPool wraps one shard of a ShardedPool so every push, pop,
+// steal, and spill updates the parent's shared aggregate task counter.
+// The engine's owner path bypasses the ShardedPool aggregate via
+// Shard(i), so the count must be maintained here, at the shard
+// boundary, for Size and StealRank to trust it.
+type countedPool[N any] struct {
+	inner Pool[N]
+	tasks *atomic.Int64
+	peak  *atomic.Int64
+}
+
+func (p *countedPool[N]) Push(t Task[N]) {
+	p.inner.Push(t)
+	if c := p.tasks.Add(1); c > p.peak.Load() {
+		raiseMax64(p.peak, c)
+	}
+}
+
+func (p *countedPool[N]) Pop() (Task[N], bool) {
+	t, ok := p.inner.Pop()
+	if ok {
+		p.tasks.Add(-1)
+	}
+	return t, ok
+}
+
+func (p *countedPool[N]) Steal() (Task[N], bool) {
+	t, ok := p.inner.Steal()
+	if ok {
+		p.tasks.Add(-1)
+	}
+	return t, ok
+}
+
+func (p *countedPool[N]) Size() int { return p.inner.Size() }
+
+// StealRank implements stealRanked by forwarding to the wrapped pool.
+func (p *countedPool[N]) StealRank() int {
+	if sr, ok := p.inner.(stealRanked); ok {
+		return sr.StealRank()
+	}
+	if p.inner.Size() > 0 {
+		return 0
+	}
+	return -1
+}
+
+// MinDepth forwards to the wrapped pool when it ranks by depth.
+func (p *countedPool[N]) MinDepth() int {
+	if md, ok := p.inner.(interface{ MinDepth() int }); ok {
+		return md.MinDepth()
+	}
+	return p.StealRank()
+}
+
+// SpillBatch implements spiller by forwarding to the wrapped pool.
+func (p *countedPool[N]) SpillBatch(max int) []Task[N] {
+	sp, ok := p.inner.(spiller[N])
+	if !ok {
+		return nil
+	}
+	out := sp.SpillBatch(max)
+	if len(out) > 0 {
+		p.tasks.Add(-int64(len(out)))
+	}
+	return out
+}
+
 // ShardedPool splits one locality's workpool into per-worker shards so
 // that owner pushes and pops never contend on a shared mutex. It
 // implements Pool as the locality's transport-facing aggregate: a
@@ -272,17 +389,22 @@ type stealRanked interface{ StealRank() int }
 type ShardedPool[N any] struct {
 	shards []Pool[N]
 	next   atomic.Uint32 // round-robin cursor for unowned pushes
+	tasks  atomic.Int64  // resident tasks across all shards
+	peak   atomic.Int64  // high-water mark of tasks
 }
 
 // NewShardedPool returns a pool of n shards of the given kind. n < 1 is
 // treated as 1 (the single shared pool of the pre-sharding design).
+// Each shard is wrapped so pushes and pops — including owner traffic
+// through Shard(i) — maintain one atomic aggregate count, keeping Size
+// and the idle-scan StealRank off the per-shard locks.
 func NewShardedPool[N any](kind PoolKind, n int) *ShardedPool[N] {
 	if n < 1 {
 		n = 1
 	}
 	p := &ShardedPool[N]{shards: make([]Pool[N], n)}
 	for i := range p.shards {
-		p.shards[i] = newPool[N](kind)
+		p.shards[i] = &countedPool[N]{inner: newPool[N](kind), tasks: &p.tasks, peak: &p.peak}
 	}
 	return p
 }
@@ -356,8 +478,13 @@ func (p *ShardedPool[N]) StealExcept(except int) (Task[N], bool) {
 
 // StealRank implements stealRanked: the best (lowest) rank across all
 // shards, -1 when the whole pool is empty. This is the value a locality
-// advertises to peers for priority-aware victim selection.
+// advertises to peers for priority-aware victim selection. The empty
+// case — the common one on the hot idle-scan path — is answered from
+// the aggregate counter without touching any shard lock.
 func (p *ShardedPool[N]) StealRank() int {
+	if p.tasks.Load() <= 0 {
+		return -1
+	}
 	best := -1
 	for _, s := range p.shards {
 		d := -1
@@ -373,11 +500,46 @@ func (p *ShardedPool[N]) StealRank() int {
 	return best
 }
 
-// Size implements Pool: total backlog across shards.
+// Size implements Pool: total backlog across shards, answered from the
+// aggregate counter (no shard locks). A concurrent push/steal pair can
+// make the raw counter transiently negative; clamp to zero.
 func (p *ShardedPool[N]) Size() int {
-	n := 0
-	for _, s := range p.shards {
-		n += s.Size()
+	n := p.tasks.Load()
+	if n < 0 {
+		n = 0
 	}
-	return n
+	return int(n)
+}
+
+// Tasks reports the resident-task count (same value as Size, unclamped
+// int64 form for the memory governor's threshold tests).
+func (p *ShardedPool[N]) Tasks() int64 { return p.tasks.Load() }
+
+// PeakTasks reports the high-water mark of resident tasks.
+func (p *ShardedPool[N]) PeakTasks() int64 { return p.peak.Load() }
+
+// SpillBatch implements spiller: up to max of the coldest tasks across
+// shards, an even quota from each so no one shard loses its hot work to
+// make the batch.
+func (p *ShardedPool[N]) SpillBatch(max int) []Task[N] {
+	if max <= 0 {
+		return nil
+	}
+	quota := max/len(p.shards) + 1
+	var out []Task[N]
+	for _, s := range p.shards {
+		if len(out) >= max {
+			break
+		}
+		sp, ok := s.(spiller[N])
+		if !ok {
+			continue
+		}
+		n := quota
+		if rem := max - len(out); n > rem {
+			n = rem
+		}
+		out = append(out, sp.SpillBatch(n)...)
+	}
+	return out
 }

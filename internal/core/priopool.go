@@ -115,3 +115,18 @@ func (p *PrioBucketPool[N]) BestPrio() int {
 // StealRank implements stealRanked: the pool ranks its work by
 // priority.
 func (p *PrioBucketPool[N]) StealRank() int { return p.BestPrio() }
+
+// SpillBatch implements spiller: it removes up to max tasks from the
+// worst-priority (highest) buckets first — the work every scheduler
+// here would serve last — and returns them.
+func (p *PrioBucketPool[N]) SpillBatch(max int) []Task[N] {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var out []Task[N]
+	for pr := len(p.buckets) - 1; pr >= 0 && len(out) < max; pr-- {
+		for p.heads[pr] < len(p.buckets[pr]) && len(out) < max {
+			out = append(out, p.takeAt(pr))
+		}
+	}
+	return out
+}

@@ -103,6 +103,18 @@ type Stats struct {
 	Deaths        int64
 	ReplayedTasks int64
 	LedgerPeak    int64
+
+	// Memory-governor counters (Config.PoolBudget; the peaks are live
+	// for every pool-based run). PoolPeakTasks/PoolPeakBytes are the
+	// largest resident workpool any locality reached (bytes via the
+	// calibrated per-task estimate; merges take the max — peaks are
+	// per-locality high-water marks, not additive); SpilledTasks and
+	// SpillBytes count tasks and segment bytes parked on disk by
+	// pressure spills, summed across localities.
+	PoolPeakTasks int64
+	PoolPeakBytes int64
+	SpilledTasks  int64
+	SpillBytes    int64
 }
 
 // BatchOccupancy is the mean number of tasks per non-empty steal
@@ -153,6 +165,14 @@ func (s *Stats) merge(o Stats) {
 	if o.LedgerPeak > s.LedgerPeak {
 		s.LedgerPeak = o.LedgerPeak
 	}
+	if o.PoolPeakTasks > s.PoolPeakTasks {
+		s.PoolPeakTasks = o.PoolPeakTasks
+	}
+	if o.PoolPeakBytes > s.PoolPeakBytes {
+		s.PoolPeakBytes = o.PoolPeakBytes
+	}
+	s.SpilledTasks += o.SpilledTasks
+	s.SpillBytes += o.SpillBytes
 }
 
 func (s *Stats) add(w WorkerStats) {

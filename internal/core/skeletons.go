@@ -80,6 +80,7 @@ func Enum[S, N, M any](coord Coordination, space S, root N, p EnumProblem[S, N, 
 	stats := m.total()
 	stats.Elapsed = time.Since(start)
 	fab.wireStats(&stats)
+	fab.memStats(&stats)
 	return EnumResult[M]{Value: combineEnum[S, N, M](p.Monoid, vs), Stats: stats}
 }
 
@@ -108,6 +109,7 @@ func Opt[S, N any](coord Coordination, space S, root N, p OptProblem[S, N], cfg 
 	stats.Elapsed = time.Since(start)
 	stats.Broadcasts = inc.broadcasts()
 	fab.wireStats(&stats)
+	fab.memStats(&stats)
 	node, obj, has := inc.result()
 	return OptResult[N]{Best: node, Objective: obj, Found: has, Stats: stats}
 }
@@ -131,6 +133,7 @@ func Decide[S, N any](coord Coordination, space S, root N, p DecisionProblem[S, 
 	stats := m.total()
 	stats.Elapsed = time.Since(start)
 	fab.wireStats(&stats)
+	fab.memStats(&stats)
 	node, obj, found := wit.get()
 	return DecisionResult[N]{Witness: node, Objective: obj, Found: found, Stats: stats}
 }

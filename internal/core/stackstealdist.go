@@ -1,0 +1,245 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file is the Stack-Stealing coordination over the engine
+// substrate — the form that distributes. The classic single-process
+// runStackStealing (stacksteal.go) rendezvouses thieves and victims
+// over shared-memory channels; here the same (spawn-stack) rule is
+// served on demand through the locality fabric: an idle worker first
+// drains its locality's pool, then asks a local running sibling to
+// split, and finally sends a kSplit over the transport, which the
+// victim locality answers by splitting the bottom of one of its
+// workers' live generator stacks and exporting the node(s) through the
+// ordinary hand-over (ledger + codec) path. That makes
+// `-skeleton stacksteal -dist` legal — the one hole in the distributed
+// coordination matrix — and gives memory-starved localities a way to
+// pull work that was never materialised as tasks.
+
+const (
+	// splitServeWait bounds how long a transport-serving goroutine
+	// waits for a running worker to answer a remote kSplit. Workers
+	// poll their gate every expansion step, so the wait only runs out
+	// when the locality went idle after the request was posted.
+	splitServeWait = 10 * time.Millisecond
+	// splitLocalWait bounds an idle worker's wait on its own locality's
+	// gate before falling through to the transport ring.
+	splitLocalWait = 2 * time.Millisecond
+	// splitWant is the default cap on tasks per split hand-over; the
+	// victim donates one node unless Chunked, which donates the whole
+	// lowest stack level up to this cap.
+	splitWant = 64
+)
+
+// splitGate is one locality's rendezvous between work-starved thieves
+// and its running workers' live generator stacks. Thieves post
+// requests; every running worker polls the gate once per expansion
+// step (one atomic load when idle) and the first to claim a request —
+// a CAS, so a timed-out requester can abandon it instead — answers
+// with the split of its own stack.
+type splitGate[N any] struct {
+	mu      sync.Mutex
+	reqs    []*splitReq[N]
+	pending atomic.Int64 // len(reqs): the workers' poll fast path
+	active  atomic.Int64 // workers currently running a task
+}
+
+type splitReq[N any] struct {
+	max     int
+	claimed atomic.Bool
+	resp    chan []Task[N] // buffered 1; sent exactly once, by the claimant
+}
+
+// splittable reports whether any worker currently holds a live stack.
+func (g *splitGate[N]) splittable() bool { return g.active.Load() > 0 }
+
+// request posts a split request and waits for a running worker to
+// answer. Returns nil when the locality has no running workers, no
+// worker answered within wait, or abort fired first. The returned
+// tasks are registered live work owned by the caller.
+func (g *splitGate[N]) request(max int, wait time.Duration, abort <-chan struct{}) []Task[N] {
+	if g.active.Load() == 0 {
+		return nil
+	}
+	req := &splitReq[N]{max: max, resp: make(chan []Task[N], 1)}
+	g.mu.Lock()
+	g.reqs = append(g.reqs, req)
+	g.pending.Store(int64(len(g.reqs)))
+	g.mu.Unlock()
+	timer := time.NewTimer(wait)
+	defer timer.Stop()
+	select {
+	case ts := <-req.resp:
+		return ts
+	case <-timer.C:
+	case <-abort:
+	}
+	if req.claimed.CompareAndSwap(false, true) {
+		return nil // abandoned before any worker claimed it
+	}
+	// A worker won the claim race; its answer is imminent and carries
+	// registered tasks that must not be dropped.
+	return <-req.resp
+}
+
+// take claims one pending request, skipping abandoned ones. Callers
+// that get a request MUST send on its resp channel exactly once.
+func (g *splitGate[N]) take() *splitReq[N] {
+	if g.pending.Load() == 0 {
+		return nil
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for len(g.reqs) > 0 {
+		req := g.reqs[0]
+		g.reqs = g.reqs[1:]
+		g.pending.Store(int64(len(g.reqs)))
+		if req.claimed.CompareAndSwap(false, true) {
+			return req
+		}
+	}
+	return nil
+}
+
+// enter and exit bracket a worker running a task. The last worker out
+// answers every pending request with nothing, so thieves are not left
+// waiting out their timeout against a locality that just went idle.
+func (g *splitGate[N]) enter() { g.active.Add(1) }
+
+func (g *splitGate[N]) exit() {
+	if g.active.Add(-1) > 0 {
+		return
+	}
+	for {
+		req := g.take()
+		if req == nil {
+			return
+		}
+		req.resp <- nil
+	}
+}
+
+// installSplitGates equips every in-process locality with a split gate,
+// making its locState answer dist.StackSplitter requests. Must run
+// before the fabric starts serving peers.
+func (e *engine[S, N]) installSplitGates() {
+	e.topo.splitters = make([]*splitGate[N], len(e.fab.locs))
+	for i, loc := range e.fab.locs {
+		g := &splitGate[N]{}
+		e.topo.splitters[i] = g
+		loc.split = g
+	}
+}
+
+// runStackStealDist runs the Stack-Stealing coordination on the pool
+// engine. Each task is searched depth-first in place — no proactive
+// spawning at all — and work moves only when a thief asks: the gate
+// poll at the top of the expansion loop answers local siblings and
+// remote kSplit requests alike by splitting the bottom-most
+// non-exhausted generator (Listing 3's (spawn-stack) rule; all
+// remaining nodes of that level under cfg.Chunked).
+func runStackStealDist[S, N any](e *engine[S, N], visitors []visitor[N], root N) {
+	if e.topo.splitters == nil {
+		e.installSplitGates()
+	}
+	chunked := e.cfg.Chunked
+	e.runPoolWorkers(root, visitors, func(w int, v visitor[N], sh *WorkerStats, t Task[N]) {
+		gate := e.topo.splitters[e.topo.locality(w)]
+		gate.enter()
+		defer gate.exit()
+		defer e.finishTask(w, t)
+		if e.cancel.cancelled() {
+			return
+		}
+		if v.visit(t.Node) != descend {
+			return
+		}
+		gc := e.caches[w]
+		sc := e.scratch[w]
+		stack := sc.stack[:0]
+		disc := sc.disc[:0]
+		yields := sc.yields[:0]
+		defer func() {
+			sc.stack, sc.disc, sc.yields = stack[:0], disc, yields
+		}()
+		stack = append(stack, gc.gen(0, t.Node))
+		disc = append(disc, t.Prio)
+		yields = append(yields, 0)
+		for len(stack) > 0 {
+			if e.cancel.cancelled() {
+				return
+			}
+			if req := gate.take(); req != nil {
+				req.resp <- splitStack(e, w, sh, &t, stack, disc, yields, req.max, chunked)
+			}
+			top := len(stack) - 1
+			g := stack[top]
+			if !g.HasNext() {
+				stack[top] = nil
+				stack = stack[:top]
+				disc = disc[:top]
+				yields = yields[:top]
+				sh.Backtracks++
+				continue
+			}
+			child := g.Next()
+			childIdx := yields[top]
+			yields[top]++
+			switch v.visit(child) {
+			case descend:
+				stack = append(stack, gc.gen(len(stack), child))
+				disc = append(disc, discChild(disc[top], int(childIdx)))
+				yields = append(yields, 0)
+			case pruneLevel:
+				stack[top] = nil
+				stack = stack[:top]
+				disc = disc[:top]
+				yields = yields[:top]
+				sh.Backtracks++
+			}
+		}
+	})
+}
+
+// splitStack donates work from the bottom of a live generator stack:
+// the lowest level with unexplored nodes — heuristically the largest
+// pending subtrees — yields its next node, or all its remaining nodes
+// (capped at max) under chunking. Donated tasks are registered exactly
+// as spawnTask would, but handed to the requester instead of pushed:
+// the requester runs them locally or exports them over the wire.
+func splitStack[S, N any](e *engine[S, N], w int, sh *WorkerStats, t *Task[N], stack []NodeGenerator[N], disc, yields []int32, max int, chunked bool) []Task[N] {
+	if !chunked || max < 1 {
+		max = 1
+	}
+	loc := e.topo.locality(w)
+	var out []Task[N]
+	for i := 0; i < len(stack); i++ {
+		for stack[i].HasNext() && len(out) < max {
+			child := stack[i].Next()
+			nt := Task[N]{
+				Node:  child,
+				Depth: t.Depth + i + 1,
+				Prio:  e.prio.childPrio(disc[i], int(yields[i]), child),
+				fam:   t.fam,
+			}
+			yields[i]++
+			e.fab.trs[loc].AddTasks(1)
+			if nt.fam != nil {
+				nt.fam.pending.Add(1)
+			}
+			sh.Spawns++
+			if e.ordered {
+				sh.notePrio(nt.Prio)
+			}
+			out = append(out, nt)
+		}
+		if len(out) > 0 {
+			return out // (spawn-stack): only the lowest non-exhausted level donates
+		}
+	}
+	return nil
+}

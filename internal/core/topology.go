@@ -56,6 +56,8 @@ type topology[N any] struct {
 	backoff     []*stealBackoff  // per in-process locality; nil when no peers
 	prioAware   []dist.PrioAware // per in-process locality; nil entries when unsupported
 	ordered     bool             // rank victims by priority summaries
+	mem         []*memState[N]   // per in-process locality memory accountant
+	splitters   []*splitGate[N]  // per in-process locality; stack-stealing runs only
 	vscratch    []*victimScratch // per worker: victim-order scratch
 	// dead[rank] marks globally dead localities: skipped permanently
 	// by victim selection (their transports would only fail the steal,
@@ -89,8 +91,13 @@ func newTopology[N any](fab *fabric[N], cfg Config) *topology[N] {
 		parkers:     make([]*parker, nloc),
 		prioAware:   make([]dist.PrioAware, nloc),
 		ordered:     cfg.Order != OrderNone,
+		mem:         make([]*memState[N], nloc),
 		vscratch:    make([]*victimScratch, cfg.Workers),
 		dead:        make([]atomic.Bool, fab.size),
+	}
+	spillCodec := fab.codec
+	if spillCodec == nil {
+		spillCodec = GobCodec[N]{} // single-process runs carry no app codec
 	}
 	for w := range tp.vscratch {
 		tp.vscratch[w] = &victimScratch{}
@@ -129,6 +136,8 @@ func newTopology[N any](fab *fabric[N], cfg Config) *topology[N] {
 		}
 		tp.pools[i] = NewShardedPool[N](cfg.Pool, shards)
 		fab.locs[i].pool = tp.pools[i]
+		tp.mem[i] = newMemState[N](cfg.PoolBudget, cfg.SpillDir, spillCodec)
+		fab.locs[i].mem = tp.mem[i]
 		if fab.size > 1 {
 			fab.locs[i].led = newLedger[N](fab.locs[i].rank, cfg.LedgerCap)
 		}
@@ -255,6 +264,33 @@ func (tp *topology[N]) popOrSteal(w int, sh *WorkerStats) (Task[N], bool) {
 		default:
 		}
 	}
+	// The in-RAM frontier is dry: re-admit a spilled segment before
+	// paying any transport round trip — the work is already ours.
+	if m := tp.mem[loc]; m != nil {
+		if t, ok := m.readmit(tp.pools[loc], tp.parkers[loc].wake); ok {
+			return t, true
+		}
+	}
+	// Stack-stealing: before leaving the locality, ask a running
+	// sibling to split its live stack — still no transport involved.
+	if tp.splitters != nil {
+		if g := tp.splitters[loc]; g != nil {
+			var abort <-chan struct{}
+			if tp.fab.cancel != nil {
+				abort = tp.fab.cancel.ch
+			}
+			if ts := g.request(splitWant, splitLocalWait, abort); len(ts) > 0 {
+				for _, t := range ts[1:] {
+					tp.pools[loc].Push(t)
+				}
+				if len(ts) > 1 {
+					tp.parkers[loc].wake()
+				}
+				sh.LocalSteals++
+				return ts[0], true
+			}
+		}
+	}
 	vs := tp.victims[loc]
 	if len(vs) == 0 {
 		var zero Task[N]
@@ -276,8 +312,22 @@ func (tp *topology[N]) popOrSteal(w int, sh *WorkerStats) (Task[N], bool) {
 		return zero, false
 	}
 	guided := tp.ordered && tp.prioAware[loc] != nil
+	// Stack-stealing rides kSplit where the transport supports it: the
+	// victim serves pool spares if it has any and splits a live stack
+	// otherwise, so the sweep reaches work an ordinary Steal cannot see.
+	var splitTr dist.SplitStealer
+	if tp.splitters != nil {
+		splitTr, _ = tp.fab.trs[loc].(dist.SplitStealer)
+	}
 	for i, v := range order {
-		wt, ok, err := tp.fab.trs[loc].Steal(v)
+		var wt dist.WireTask
+		var ok bool
+		var err error
+		if splitTr != nil {
+			wt, ok, err = splitTr.SplitSteal(v)
+		} else {
+			wt, ok, err = tp.fab.trs[loc].Steal(v)
+		}
 		if err != nil || !ok {
 			sh.StealsFail++
 			continue
@@ -310,6 +360,9 @@ func (tp *topology[N]) localBacklog(loc int) int {
 	n := tp.pools[loc].Size()
 	if tp.ahead != nil {
 		n += len(tp.ahead[loc].buf)
+	}
+	if m := tp.mem[loc]; m != nil {
+		n += int(m.onDisk.Load()) // spilled segments are claimable work
 	}
 	return n
 }

@@ -118,11 +118,13 @@ func completeStolen(holder, spawner Transport) {
 type recHandler struct {
 	mu         sync.Mutex
 	tasks      []WireTask
+	splitTasks []WireTask // tasks only a stack split can reach (not pool-stealable)
 	adopted    []WireTask // late steal replies re-homed via OnTask
 	acks       []uint64   // hand-over ids acked back to this locality
 	boundMax   atomic.Int64
 	bounds     []int64 // delivery order, for monotonicity of the merge
 	cancelled  atomic.Int64
+	splits     atomic.Int64 // ServeSplit calls that reached the split list
 	serveDelay time.Duration
 }
 
@@ -138,6 +140,30 @@ func (h *recHandler) ServeSteal(thief int) (WireTask, bool) {
 	t := h.tasks[0]
 	h.tasks = h.tasks[1:]
 	return t, true
+}
+
+// ServeSplit implements StackSplitter the way a real locality does:
+// pool work first, then work only a live-stack split can produce.
+func (h *recHandler) ServeSplit(thief, max int) []WireTask {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var out []WireTask
+	for len(out) < max && len(h.tasks) > 0 {
+		out = append(out, h.tasks[0])
+		h.tasks = h.tasks[1:]
+	}
+	if len(out) < max && len(h.splitTasks) > 0 {
+		out = append(out, h.splitTasks[0])
+		h.splitTasks = h.splitTasks[1:]
+		h.splits.Add(1)
+	}
+	return out
+}
+
+func (h *recHandler) pushSplit(t WireTask) {
+	h.mu.Lock()
+	h.splitTasks = append(h.splitTasks, t)
+	h.mu.Unlock()
 }
 
 func (h *recHandler) OnTask(t WireTask) {
@@ -267,6 +293,55 @@ func TestConformanceStealRequestReply(t *testing.T) {
 			got, ok, err = trs[1].Steal(2)
 			if err != nil || !ok || !bytes.Equal(got.Payload, []byte("w2")) {
 				t.Fatalf("worker-to-worker steal: %+v ok=%v err=%v", got, ok, err)
+			}
+		})
+	}
+}
+
+// Every bundled transport must speak kSplit (v6): a split steal
+// reaches work a pool steal cannot — the victim handler's live
+// generator stacks — while still preferring pool work when it exists.
+func TestConformanceSplitSteal(t *testing.T) {
+	for _, h := range harnesses() {
+		t.Run(h.name, func(t *testing.T) {
+			trs := h.make(t, 3)
+			hs := startAll(trs)
+
+			ss, ok := trs[0].(SplitStealer)
+			if !ok {
+				t.Fatalf("%T does not implement SplitStealer", trs[0])
+			}
+			// Pool work wins when present. (Pushed alone: a batching
+			// transport would otherwise carry the split task home as a
+			// re-homed extra in the same reply.)
+			hs[1].push(WireTask{Payload: []byte("pooled"), Depth: 2})
+			got, ok, err := ss.SplitSteal(1)
+			if err != nil || !ok || !bytes.Equal(got.Payload, []byte("pooled")) {
+				t.Fatalf("split steal with pool work: %+v ok=%v err=%v", got, ok, err)
+			}
+			// Pool dry: the split path serves.
+			hs[1].pushSplit(WireTask{Payload: []byte("split-a"), Depth: 5})
+			got, ok, err = ss.SplitSteal(1)
+			if err != nil || !ok || !bytes.Equal(got.Payload, []byte("split-a")) {
+				t.Fatalf("split steal from dry pool: %+v ok=%v err=%v", got, ok, err)
+			}
+			if hs[1].splits.Load() == 0 {
+				t.Fatal("victim's split list never served")
+			}
+			// Nothing splittable either: empty-handed, not an error.
+			if _, ok, err := ss.SplitSteal(1); ok || err != nil {
+				t.Fatalf("split steal from empty victim: ok=%v err=%v", ok, err)
+			}
+			// Worker→worker split routes too (hub-forwarded on the star,
+			// direct on the mesh).
+			wss, ok := trs[1].(SplitStealer)
+			if !ok {
+				t.Fatalf("%T does not implement SplitStealer", trs[1])
+			}
+			hs[2].pushSplit(WireTask{Payload: []byte("split-b"), Depth: 7})
+			got, ok, err = wss.SplitSteal(2)
+			if err != nil || !ok || !bytes.Equal(got.Payload, []byte("split-b")) {
+				t.Fatalf("worker-to-worker split steal: %+v ok=%v err=%v", got, ok, err)
 			}
 		})
 	}

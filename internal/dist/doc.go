@@ -39,7 +39,7 @@
 // to each other and the coordinator drops out of the steal and bound
 // planes — see "Mesh topology and the termination wave" below.
 //
-// # Wire protocol (v5)
+// # Wire protocol (v6)
 //
 // The TCP transport speaks a length-prefixed binary frame format (v1
 // was a gob stream per message): a little-endian uint32 body length,
@@ -192,6 +192,29 @@
 // (gated by BENCH_scaleout.json) pins the point of the exercise — the
 // same 4-locality search moves >= 25% fewer frames through the
 // coordinator over the mesh.
+//
+// # On-demand stack splitting (v6)
+//
+// The stack-stealing coordination holds its unexplored work inside
+// running workers' live generator stacks, not in a pool — so through
+// v5 it had nothing a remote ServeSteal could serve, and -dist
+// rejected it. v6 closes that hole with one frame kind: kSplit, a
+// steal request with split semantics (From = thief, To = victim,
+// Want = max tasks, exactly like kSteal). A victim whose pool is dry
+// answers by asking one of its running workers to split its live
+// generator stack bottom-up — the paper's (spawn-stack) rule, served
+// over the wire — and exports the handed-over nodes. The reply is an
+// ordinary kStealR, so steal correlation, batching, hand-over
+// supervision ids, and the mesh wave's blackening rules all apply
+// unchanged; a transport-level thief calls SplitSteal (the
+// SplitStealer extension) and a victim-side handler opts in through
+// the StackSplitter extension, with handlers that lack it falling
+// back to plain pool service. Because a split may wait a few
+// milliseconds for a worker to reach a poll point, endpoints serve
+// kSplit off their read loops. The same request also serves the
+// memory story: a locality under Config.PoolBudget pressure would
+// rather have its stack split on demand than materialise spawns it
+// must then spill (see internal/core's "Memory-bounded search").
 //
 // Transports that implement Meter report frames, bytes, and steal
 // batch occupancy; the engine folds those into its Stats.

@@ -69,6 +69,14 @@ import (
 // colour bits, tokBlack|tokActive). All five reuse existing frame
 // slots, so the frame struct and the optional-header machinery are
 // unchanged.
+//
+// v6 adds kSplit: a steal request with split semantics (Want = max
+// tasks, like kSteal). The victim locality serves it from its pool if
+// it can, and otherwise asks one of its running workers to split the
+// bottom of its live generator stack — the stack-stealing
+// coordination's (spawn-stack) rule, served on demand across the wire.
+// The reply is an ordinary kStealR carrying the donated task(s), so
+// steal correlation and mesh wave accounting are untouched.
 
 const (
 	fDelta = 1 << 0 // header carries a coalesced live-task delta
@@ -126,7 +134,7 @@ func appendFrame(dst []byte, f *frame) []byte {
 		dst = binary.AppendVarint(dst, f.PS)
 	}
 	switch f.Kind {
-	case kSteal, kHello, kWelcome, kDeath, kPeerHello, kToken:
+	case kSteal, kHello, kWelcome, kDeath, kPeerHello, kToken, kSplit:
 		dst = binary.AppendUvarint(dst, uint64(f.Want))
 	}
 	switch f.Kind {
@@ -216,7 +224,7 @@ func parseFrame(b []byte, f *frame) error {
 		return fmt.Errorf("dist: frame body of %d bytes", len(b))
 	}
 	f.Kind = kind(b[0])
-	if f.Kind > kToken {
+	if f.Kind > kSplit {
 		return fmt.Errorf("dist: unknown frame kind %d", f.Kind)
 	}
 	flags := b[1]
@@ -252,7 +260,7 @@ func parseFrame(b []byte, f *frame) error {
 		f.HasPS = true
 	}
 	switch f.Kind {
-	case kSteal, kHello, kWelcome, kDeath, kPeerHello, kToken:
+	case kSteal, kHello, kWelcome, kDeath, kPeerHello, kToken, kSplit:
 		w, err := r.uvarint()
 		if err != nil {
 			return err

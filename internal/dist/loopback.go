@@ -238,6 +238,7 @@ var _ Transport = (*loopback)(nil)
 var _ Meter = (*loopback)(nil)
 var _ PrioAware = (*loopback)(nil)
 var _ IncumbentStore = (*loopback)(nil)
+var _ SplitStealer = (*loopback)(nil)
 
 // Wire implements Meter with logical message counts: the frames a wire
 // transport would have sent for the same traffic, and payload bytes
@@ -317,6 +318,46 @@ func (t *loopback) Steal(victim int) (WireTask, bool, error) {
 		t.ctr.bytesSent.Add(int64(len(wt.Payload)))
 	}
 	return wt, ok, nil
+}
+
+// SplitSteal is Steal with split semantics: the victim's handler may
+// fall back to splitting a running worker's live generator stack when
+// its pool is dry. Like Steal it returns one task; a handler serving a
+// chunked batch re-homes the extras itself before returning (the
+// loopback hand-over is by reference, so ServeSplit callers on this
+// network are asked for a single task).
+func (t *loopback) SplitSteal(victim int) (WireTask, bool, error) {
+	if victim < 0 || victim >= len(t.net.trs) || victim == t.rank {
+		return WireTask{}, false, fmt.Errorf("dist: steal from invalid rank %d", victim)
+	}
+	if t.closed.Load() {
+		return WireTask{}, false, nil
+	}
+	if lat := t.net.opts.StealLatency; lat > 0 {
+		time.Sleep(lat)
+	}
+	ts := collectSplit(t.net.trs[victim].handler(), t.rank, 1)
+	t.ctr.framesSent.Add(1) // the request
+	t.ctr.framesRecv.Add(1) // the reply
+	if len(ts) == 0 {
+		return WireTask{}, false, nil
+	}
+	if t.wave != nil {
+		// Blacken BEFORE the stolen task becomes visible: work just
+		// migrated here behind any token that already passed.
+		t.wave.blacken()
+	}
+	t.ctr.stealReplies.Add(1)
+	t.ctr.stealTasks.Add(int64(len(ts)))
+	if h := t.handler(); h != nil {
+		for _, extra := range ts[1:] {
+			h.OnTask(extra)
+		}
+	}
+	for i := range ts {
+		t.ctr.bytesSent.Add(int64(len(ts[i].Payload)))
+	}
+	return ts[0], true, nil
 }
 
 func (t *loopback) BroadcastBound(obj int64, node []byte) error {

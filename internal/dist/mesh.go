@@ -297,6 +297,17 @@ func (h *meshHub) serve(rank int) {
 				tasks = collectSteal(hd, f.From, f.Want)
 			}
 			cn.send(&frame{Kind: kStealR, From: 0, To: f.From, Seq: f.Seq, Tasks: tasks})
+		case kSplit:
+			// Served off the serve loop: the split gate may block briefly
+			// waiting for a running worker's poll point.
+			thief, seq, want := f.From, f.Seq, f.Want
+			go func() {
+				var tasks []WireTask
+				if hd := h.handler(); hd != nil {
+					tasks = collectSplit(hd, thief, want)
+				}
+				cn.send(&frame{Kind: kStealR, From: 0, To: thief, Seq: seq, Tasks: tasks})
+			}()
 		case kStealR:
 			if len(f.Tasks) > 0 {
 				// Blacken BEFORE the tasks become visible: the wave must
@@ -410,11 +421,20 @@ func (h *meshHub) sendToken(to int, tok waveToken) {
 }
 
 func (h *meshHub) Steal(victim int) (WireTask, bool, error) {
+	return h.stealVia(kSteal, victim)
+}
+
+// SplitSteal is Steal with split semantics; see hub.SplitSteal.
+func (h *meshHub) SplitSteal(victim int) (WireTask, bool, error) {
+	return h.stealVia(kSplit, victim)
+}
+
+func (h *meshHub) stealVia(k kind, victim int) (WireTask, bool, error) {
 	if victim <= 0 || victim >= h.size {
 		return WireTask{}, false, fmt.Errorf("dist: steal from invalid rank %d", victim)
 	}
 	seq, ch := h.pending.register(victim)
-	if !h.forward(victim, &frame{Kind: kSteal, From: 0, To: victim, Seq: seq, Want: h.opts.StealBatch}) {
+	if !h.forward(victim, &frame{Kind: k, From: 0, To: victim, Seq: seq, Want: h.opts.StealBatch}) {
 		h.pending.drop(seq)
 		return WireTask{}, false, nil
 	}
@@ -862,6 +882,17 @@ func (w *meshWorker) serveSteal(cn *wconn, f *frame) {
 	cn.send(&frame{Kind: kStealR, From: w.rank, To: f.From, Seq: f.Seq, Tasks: tasks})
 }
 
+// serveSplit answers a kSplit off the read loop: the split gate may
+// block briefly waiting for a running worker's next poll point, and the
+// loop must keep draining the connection's other traffic meanwhile.
+func (w *meshWorker) serveSplit(cn *wconn, f *frame) {
+	thief, seq, want := f.From, f.Seq, f.Want
+	go func() {
+		tasks := collectSplit(w.handler(), thief, want)
+		cn.send(&frame{Kind: kStealR, From: w.rank, To: thief, Seq: seq, Tasks: tasks})
+	}()
+}
+
 // readHub serves the coordinator connection: control traffic (death,
 // terminate, cancel fan-outs, acks from rank 0) plus the rank-0 leg of
 // the data plane (hub steals, tokens crossing rank 0).
@@ -880,6 +911,8 @@ func (w *meshWorker) readHub() {
 		switch f.Kind {
 		case kSteal:
 			w.serveSteal(w.hub(), &f)
+		case kSplit:
+			w.serveSplit(w.hub(), &f)
 		case kStealR:
 			w.onStealR(&f)
 		case kBound:
@@ -918,6 +951,8 @@ func (w *meshWorker) readPeer(rank int) {
 		switch f.Kind {
 		case kSteal:
 			w.serveSteal(cn, &f)
+		case kSplit:
+			w.serveSplit(cn, &f)
 		case kStealR:
 			w.onStealR(&f)
 		case kGossip:
@@ -1043,6 +1078,15 @@ func (w *meshWorker) sendToken(to int, tok waveToken) {
 }
 
 func (w *meshWorker) Steal(victim int) (WireTask, bool, error) {
+	return w.stealVia(kSteal, victim)
+}
+
+// SplitSteal is Steal with split semantics; see hub.SplitSteal.
+func (w *meshWorker) SplitSteal(victim int) (WireTask, bool, error) {
+	return w.stealVia(kSplit, victim)
+}
+
+func (w *meshWorker) stealVia(k kind, victim int) (WireTask, bool, error) {
 	if victim < 0 || victim >= w.size || victim == w.rank {
 		return WireTask{}, false, fmt.Errorf("dist: steal from invalid rank %d", victim)
 	}
@@ -1051,7 +1095,7 @@ func (w *meshWorker) Steal(victim int) (WireTask, bool, error) {
 		return WireTask{}, false, nil
 	}
 	seq, ch := w.pending.register(victim)
-	if err := cn.send(&frame{Kind: kSteal, From: w.rank, To: victim, Seq: seq, Want: w.opts.StealBatch}); err != nil {
+	if err := cn.send(&frame{Kind: k, From: w.rank, To: victim, Seq: seq, Want: w.opts.StealBatch}); err != nil {
 		w.pending.drop(seq)
 		return WireTask{}, false, nil
 	}

@@ -2,6 +2,7 @@ package dist
 
 import (
 	"encoding/binary"
+	"fmt"
 	"io"
 	"net"
 	"sort"
@@ -257,7 +258,7 @@ func TestMeshRegistrationRejectsOldWireVersion(t *testing.T) {
 		t.Fatalf("old-version hello answered with kind %d, want kReject", reject.Kind)
 	}
 	if msg := string(reject.Blob); !strings.Contains(msg, "wire protocol mismatch") ||
-		!strings.Contains(msg, "v5") || !strings.Contains(msg, "v4") {
+		!strings.Contains(msg, fmt.Sprintf("v%d", wireVersion)) || !strings.Contains(msg, "v4") {
 		t.Fatalf("rejection %q does not name both versions", msg)
 	}
 

@@ -36,11 +36,12 @@ const (
 	dialTimeout = 30 * time.Second
 	// wireVersion is checked at registration: v1 (gob), v2 (binary
 	// frames), v3 (per-task priorities + priority summaries), v4
-	// (hand-over ids, completion acks, death notification, heartbeats)
-	// and v5 (mesh topology: peer address exchange, direct peer frames,
-	// bound gossip, termination-wave tokens) peers must not silently
-	// garble each other.
-	wireVersion = 5
+	// (hand-over ids, completion acks, death notification, heartbeats),
+	// v5 (mesh topology: peer address exchange, direct peer frames,
+	// bound gossip, termination-wave tokens) and v6 (on-demand stack
+	// splitting: kSplit requests served by splitting a running worker's
+	// live generator stack) peers must not silently garble each other.
+	wireVersion = 6
 )
 
 // stealTimeout bounds a steal request whose reply never arrives; a
@@ -147,6 +148,7 @@ const (
 	kPeerHello             // first frame on a direct peer conn: From = dialer rank, Want = wire version
 	kGossip                // epidemic bound push: From = origin, Obj = gossiped bound
 	kToken                 // termination-wave token: Seq = round, Obj = accumulated count, Want = colour bits
+	kSplit                 // steal with split semantics: From = thief, To = victim, Want = max tasks; reply is a kStealR
 )
 
 // wconn is one length-prefix-framed TCP connection with serialised
@@ -759,6 +761,24 @@ func (h *hub) serve(rank int) {
 			if !h.forward(f.To, &f) {
 				cn.send(&frame{Kind: kStealR, From: f.To, To: f.From, Seq: f.Seq})
 			}
+		case kSplit:
+			if f.To == 0 {
+				// Served off the serve loop: the split gate may block
+				// briefly waiting for a running worker's poll point, and
+				// this loop must keep draining rank's other traffic.
+				thief, seq, want := f.From, f.Seq, f.Want
+				go func() {
+					var tasks []WireTask
+					if hd := h.handler(); hd != nil {
+						tasks = collectSplit(hd, thief, want)
+					}
+					cn.send(&frame{Kind: kStealR, From: 0, To: thief, Seq: seq, Tasks: tasks})
+				}()
+				break
+			}
+			if !h.forward(f.To, &f) {
+				cn.send(&frame{Kind: kStealR, From: f.To, To: f.From, Seq: f.Seq})
+			}
 		case kStealR:
 			if f.To == 0 {
 				if !h.pending.resolve(f.Seq, stealRes{tasks: f.Tasks}) && len(f.Tasks) > 0 {
@@ -897,11 +917,23 @@ func (h *hub) terminate() {
 }
 
 func (h *hub) Steal(victim int) (WireTask, bool, error) {
+	return h.stealVia(kSteal, victim)
+}
+
+// SplitSteal is Steal with split semantics (kSplit): the victim falls
+// back to splitting a running worker's live generator stack when its
+// pool is dry. The reply is an ordinary kStealR, so correlation and
+// batch re-homing are shared with plain steals.
+func (h *hub) SplitSteal(victim int) (WireTask, bool, error) {
+	return h.stealVia(kSplit, victim)
+}
+
+func (h *hub) stealVia(k kind, victim int) (WireTask, bool, error) {
 	if victim <= 0 || victim >= h.size {
 		return WireTask{}, false, fmt.Errorf("dist: steal from invalid rank %d", victim)
 	}
 	seq, ch := h.pending.register(victim)
-	if !h.forward(victim, &frame{Kind: kSteal, From: 0, To: victim, Seq: seq, Want: h.opts.StealBatch}) {
+	if !h.forward(victim, &frame{Kind: k, From: 0, To: victim, Seq: seq, Want: h.opts.StealBatch}) {
 		h.pending.drop(seq)
 		return WireTask{}, false, nil
 	}
@@ -1288,6 +1320,14 @@ func (w *worker) readLoop() {
 		case kSteal:
 			tasks := collectSteal(w.handler(), f.From, f.Want)
 			w.cn.send(&frame{Kind: kStealR, From: w.rank, To: f.From, Seq: f.Seq, Tasks: tasks})
+		case kSplit:
+			// Served off the read loop: the split gate may block briefly
+			// waiting for a running worker's next poll point.
+			thief, seq, want := f.From, f.Seq, f.Want
+			go func() {
+				tasks := collectSplit(w.handler(), thief, want)
+				w.cn.send(&frame{Kind: kStealR, From: w.rank, To: thief, Seq: seq, Tasks: tasks})
+			}()
 		case kStealR:
 			if !w.pending.resolve(f.Seq, stealRes{tasks: f.Tasks}) && len(f.Tasks) > 0 {
 				// Late reply to a timed-out steal: the tasks left their
@@ -1316,11 +1356,20 @@ func (w *worker) readLoop() {
 }
 
 func (w *worker) Steal(victim int) (WireTask, bool, error) {
+	return w.stealVia(kSteal, victim)
+}
+
+// SplitSteal is Steal with split semantics; see hub.SplitSteal.
+func (w *worker) SplitSteal(victim int) (WireTask, bool, error) {
+	return w.stealVia(kSplit, victim)
+}
+
+func (w *worker) stealVia(k kind, victim int) (WireTask, bool, error) {
 	if victim < 0 || victim >= w.size || victim == w.rank {
 		return WireTask{}, false, fmt.Errorf("dist: steal from invalid rank %d", victim)
 	}
 	seq, ch := w.pending.register(victim)
-	if err := w.cn.send(&frame{Kind: kSteal, From: w.rank, To: victim, Seq: seq, Want: w.opts.StealBatch}); err != nil {
+	if err := w.cn.send(&frame{Kind: k, From: w.rank, To: victim, Seq: seq, Want: w.opts.StealBatch}); err != nil {
 		w.pending.drop(seq)
 		return WireTask{}, false, err
 	}

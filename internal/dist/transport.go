@@ -182,6 +182,28 @@ func (d *deathBox) announce(rank int) bool {
 	return true
 }
 
+// StackSplitter is an optional Handler extension for localities that
+// can split a live generator stack on demand (the stack-stealing
+// coordination's (spawn-stack) rule). ServeSplit is like
+// ServeStealMulti but may *create* work that was never materialised as
+// pool tasks: when the pool is empty, the locality asks one of its
+// running workers to split the bottom of its expansion stack and hands
+// the donated nodes over. It may block briefly (a few milliseconds)
+// while a worker reaches its next poll point, so wire transports serve
+// it off their read loops. An empty reply means the locality had
+// neither pool work nor a splittable stack.
+type StackSplitter interface {
+	ServeSplit(thief, max int) []WireTask
+}
+
+// SplitStealer is an optional Transport extension: SplitSteal is Steal
+// with split semantics — the victim falls back to splitting a running
+// worker's live stack when its pool is dry. Transports implement it
+// only when their peers speak the kSplit vocabulary (protocol v6).
+type SplitStealer interface {
+	SplitSteal(victim int) (WireTask, bool, error)
+}
+
 // MultiStealer is an optional Handler extension for transports whose
 // steal replies carry batches. A handler that implements it decides
 // how many tasks (up to max, at least zero) one thief may take in a
@@ -190,6 +212,24 @@ func (d *deathBox) announce(rank int) bool {
 // transports fall back to calling ServeSteal up to max times.
 type MultiStealer interface {
 	ServeStealMulti(thief, max int) []WireTask
+}
+
+// collectSplit gathers up to want tasks for one split-steal reply: the
+// StackSplitter path when the handler has one (which itself prefers
+// pool work and falls back to splitting a live stack), else a plain
+// pool steal — a peer speaking kSplit to a pool-only locality still
+// gets whatever a kSteal would have.
+func collectSplit(hd Handler, thief, want int) []WireTask {
+	if hd == nil {
+		return nil
+	}
+	if want < 1 {
+		want = 1
+	}
+	if sp, ok := hd.(StackSplitter); ok {
+		return sp.ServeSplit(thief, want)
+	}
+	return collectSteal(hd, thief, want)
 }
 
 // collectSteal gathers up to want tasks from a handler for one steal
