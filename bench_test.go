@@ -548,6 +548,132 @@ func BenchmarkScaleoutTopology(b *testing.B) {
 }
 
 // ------------------------------------------------------------------
+// Coordinator failover (wire protocol v7): arming -standby makes the
+// hub replicate its residual state (ledger hand-overs, bound stamps,
+// death set, early gather shares) to the lowest worker rank, which
+// promotes itself and finishes the search if the coordinator dies.
+// The insurance premium is the extra kHubDelta/kHubSnap traffic on
+// the coordinator's wire; the standby-on/standby-off ns/op ratio is
+// gated by cmd/benchguard via BENCH_failover.json. The takeover arm
+// (coordinator killed at 60ms, result asserted at the promoted rank)
+// is informational: it proves the bench measures a deployment that
+// really can fail over, but its wall time includes the blackout and
+// re-dial, which are latency floors, not throughput.
+
+// failoverTransports brings up a real-TCP 1-coordinator + 3-worker
+// star deployment in process with the given wire options.
+func failoverTransports(b *testing.B, opts dist.WireOptions) []dist.Transport {
+	b.Helper()
+	l, err := dist.NewListenerOpts("127.0.0.1:0", "failover", opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	trs := make([]dist.Transport, 4)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var derr error
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tr, err := dist.DialOpts(l.Addr(), "failover", opts)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				derr = err
+				return
+			}
+			trs[tr.Rank()] = tr
+		}()
+	}
+	coord, err := l.Wait(3)
+	wg.Wait()
+	if err != nil || derr != nil {
+		b.Fatalf("failover deployment: %v / %v", err, derr)
+	}
+	trs[0] = coord
+	return trs
+}
+
+// runFailover executes one distributed maxclique solve and returns the
+// coordinator endpoint's frame total. Both arms run rank 0 as a pure
+// coordinator (core.Config.Standby) so their worker counts match and
+// the standby-on/standby-off difference isolates the wire-level
+// replication tax. With kill set, the coordinator's endpoint is closed
+// mid-search and the exact optimum must come out of the promoted
+// rank 1 instead.
+func runFailover(b *testing.B, g *graph.Graph, wire dist.WireOptions, kill bool, want int64) float64 {
+	b.Helper()
+	trs := failoverTransports(b, wire)
+	defer func() {
+		for _, tr := range trs {
+			tr.Close()
+		}
+	}()
+	s := maxclique.NewSpace(g)
+	cfg := core.Config{Workers: 2, DCutoff: 2, MaxFailures: -1, Standby: true}
+	results := make([]core.OptResult[maxclique.Node], 4)
+	errs := make([]error, 4)
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			results[r], errs[r] = core.DistOpt(trs[r], maxclique.Codec(), core.DepthBounded,
+				s, maxclique.Root(s), maxclique.OptProblem(), cfg)
+		}(r)
+	}
+	if kill {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			time.Sleep(60 * time.Millisecond)
+			trs[0].Close() // the coordinator dies; rank 1 must take over
+		}()
+	}
+	wg.Wait()
+	reader := 0
+	if kill {
+		reader = 1
+		if !dist.Promoted(trs[1]) {
+			b.Fatal("rank 1 did not adopt the coordinator role")
+		}
+	}
+	if errs[reader] != nil {
+		b.Fatalf("rank %d: %v", reader, errs[reader])
+	}
+	if !results[reader].Found || results[reader].Best.Clique.Count() != int(want) {
+		b.Fatalf("clique size = %d (found=%v), want %d",
+			results[reader].Best.Clique.Count(), results[reader].Found, want)
+	}
+	ws := trs[0].(dist.Meter).Wire()
+	return float64(ws.FramesSent + ws.FramesRecv)
+}
+
+func BenchmarkFailover(b *testing.B) {
+	g := graph.Random(130, 0.8, 42)
+	best, _ := maxclique.SeqHandcoded(g)
+	want := int64(best.Count())
+	for _, tc := range []struct {
+		name string
+		wire dist.WireOptions
+		kill bool
+	}{
+		{"standby-off", dist.WireOptions{}, false},
+		{"standby-on", dist.WireOptions{Standby: true}, false},
+		{"takeover", dist.WireOptions{Standby: true}, true},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			var frames float64
+			for i := 0; i < b.N; i++ {
+				frames += runFailover(b, g, tc.wire, tc.kill, want)
+			}
+			b.ReportMetric(frames/float64(b.N), "coordframes/op")
+		})
+	}
+}
+
+// ------------------------------------------------------------------
 // Memory-bounded search (Config.PoolBudget): the per-locality memory
 // accountant must cap the resident frontier — pressure-aware steal
 // ranking, deepened cutoffs, and finally cold-bucket spill to disk —

@@ -6,6 +6,7 @@ package yewpar
 // the acceptance workloads (knapsack and maxclique).
 
 import (
+	"bytes"
 	"fmt"
 	"net"
 	"os"
@@ -15,6 +16,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"yewpar/internal/dist"
 )
 
 var (
@@ -105,6 +108,41 @@ func runDeployment(t *testing.T, bin string, appFlags []string) string {
 		}
 	}
 	return string(out)
+}
+
+// watchWriter is a concurrency-safe sink for a subprocess's combined
+// output that fires arm exactly once when trigger first appears. Used
+// as exec.Cmd Stdout/Stderr it has no data-loss window: Wait blocks
+// until the final Write has landed, unlike an os.Pipe drained by a
+// goroutine racing Wait's descriptor close (which can drop the output
+// burst a process writes just before exiting — the result lines, in
+// these tests).
+type watchWriter struct {
+	mu      sync.Mutex
+	buf     bytes.Buffer
+	trigger string
+	armed   bool
+	arm     func()
+}
+
+func (w *watchWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	w.buf.Write(p)
+	fire := !w.armed && strings.Contains(w.buf.String(), w.trigger)
+	if fire {
+		w.armed = true
+	}
+	w.mu.Unlock()
+	if fire {
+		w.arm()
+	}
+	return len(p), nil
+}
+
+func (w *watchWriter) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.String()
 }
 
 // resultLine extracts the first line of a run's output (the answer).
@@ -228,56 +266,35 @@ func testMaxCliqueSurvivesWorkerSIGKILL(t *testing.T, extraFlags []string) {
 		}
 	}()
 
+	// Watch the coordinator's output; once every worker has registered
+	// and the search is underway, SIGKILL one worker.
+	killed := make(chan struct{})
+	ww := &watchWriter{trigger: "all 3 workers registered", arm: func() {
+		go func() {
+			time.Sleep(250 * time.Millisecond)
+			workers[1].Process.Kill() // SIGKILL, mid-search
+			close(killed)
+		}()
+	}}
 	coord := exec.Command(bin, append(appFlags, "-dist", "coordinator", "-dist-workers", "3", "-dist-addr", addr)...)
-	stdout, err := coord.StdoutPipe()
-	if err != nil {
-		t.Fatal(err)
-	}
-	coord.Stderr = coord.Stdout
+	coord.Stdout = ww
+	coord.Stderr = ww
 	if err := coord.Start(); err != nil {
 		t.Fatalf("starting coordinator: %v", err)
 	}
-
-	// Stream the coordinator's output; once every worker has
-	// registered and the search is underway, SIGKILL one worker.
-	outCh := make(chan string, 1)
-	killed := make(chan struct{})
-	go func() {
-		var sb strings.Builder
-		buf := make([]byte, 4096)
-		for {
-			n, err := stdout.Read(buf)
-			sb.Write(buf[:n])
-			if strings.Contains(sb.String(), "all 3 workers registered") {
-				select {
-				case <-killed:
-				default:
-					go func() {
-						time.Sleep(250 * time.Millisecond)
-						workers[1].Process.Kill() // SIGKILL, mid-search
-						close(killed)
-					}()
-				}
-			}
-			if err != nil {
-				outCh <- sb.String()
-				return
-			}
-		}
-	}()
 
 	done := make(chan error, 1)
 	go func() { done <- coord.Wait() }()
 	var out string
 	select {
 	case err := <-done:
-		out = <-outCh
+		out = ww.String()
 		if err != nil {
 			t.Fatalf("coordinator failed after worker SIGKILL: %v\n%s", err, out)
 		}
 	case <-time.After(120 * time.Second):
 		coord.Process.Kill()
-		t.Fatalf("deployment hung after worker SIGKILL\npartial output:\n%s", <-outCh)
+		t.Fatalf("deployment hung after worker SIGKILL\npartial output:\n%s", ww.String())
 	}
 	select {
 	case <-killed:
@@ -300,6 +317,221 @@ func testMaxCliqueSurvivesWorkerSIGKILL(t *testing.T, extraFlags []string) {
 		if werr := w.Wait(); werr != nil {
 			t.Errorf("surviving worker %d failed: %v", i, werr)
 		}
+	}
+}
+
+// The coordinator-failover acceptance test (wire protocol v7): a real
+// 4-process TCP deployment launched with -standby in which the
+// COORDINATOR is SIGKILLed mid-maxclique. The lowest worker rank holds
+// a replica of the hub's residual state, promotes itself, finishes the
+// search, and prints the exact optimum of the failure-free run — on
+// its own stdout, since the original result owner is a corpse. Runs
+// once per topology: on star the survivors re-dial the promoted hub's
+// pre-bound listener; on mesh the takeover is pure role migration over
+// the existing peer links.
+func TestDistributedMaxCliqueSurvivesCoordinatorSIGKILL(t *testing.T) {
+	testMaxCliqueSurvivesCoordinatorSIGKILL(t, nil, false)
+}
+
+func TestDistributedMeshMaxCliqueSurvivesCoordinatorSIGKILL(t *testing.T) {
+	testMaxCliqueSurvivesCoordinatorSIGKILL(t, []string{"-topology", "mesh"}, false)
+}
+
+// Staggered double death: the coordinator dies first, the standby
+// takes over, and then a regular worker dies too. The promoted
+// coordinator's death machinery (ledger replay, replicated-mirror
+// replay) must absorb the second death like the original hub would
+// have. -max-failures 2 keeps both deaths inside the budget.
+func TestDistributedMaxCliqueSurvivesCoordinatorThenWorkerSIGKILL(t *testing.T) {
+	testMaxCliqueSurvivesCoordinatorSIGKILL(t, nil, true)
+}
+
+func testMaxCliqueSurvivesCoordinatorSIGKILL(t *testing.T, extraFlags []string, alsoKillWorker bool) {
+	bin := yewparBinary(t)
+	appFlags := []string{"-app", "maxclique", "-n", "160", "-p", "0.8", "-skeleton", "depthbounded",
+		"-d", "2", "-workers", "2", "-standby", "-max-failures", "1"}
+	if alsoKillWorker {
+		// A bigger instance keeps the search alive past the second,
+		// later kill; the budget covers both deaths.
+		appFlags[3] = "170"
+		appFlags[len(appFlags)-1] = "2"
+	}
+	appFlags = append(appFlags, extraFlags...)
+
+	single, err := exec.Command(bin, appFlags...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("single-process run failed: %v\n%s", err, single)
+	}
+	wantAnswer := resultLine(t, string(single))
+
+	// The kill arms when every worker has registered and fires 250ms
+	// later. A lucky run can legitimately finish the whole search
+	// inside that window — not a bug, just steal-scheduling variance —
+	// so retry the launch until the SIGKILL provably lands mid-search.
+	var workers []*exec.Cmd
+	var workerOut []*bytes.Buffer
+	landed := false
+	for attempt := 1; attempt <= 4 && !landed; attempt++ {
+		workers, workerOut, landed = launchAndKillCoordinator(t, bin, appFlags, alsoKillWorker)
+		if !landed {
+			t.Logf("attempt %d: search finished before the chaos kill fired; retrying", attempt)
+		}
+	}
+	if !landed {
+		t.Fatal("search finished before the chaos kill fired on every attempt")
+	}
+	defer func() {
+		for _, w := range workers {
+			w.Process.Kill()
+			w.Wait()
+		}
+	}()
+
+	// Every surviving worker must finish on its own: the promoted one
+	// prints the result, the others exit silently and cleanly.
+	deadline := time.After(120 * time.Second)
+	for i, w := range workers {
+		exited := make(chan error, 1)
+		go func(w *exec.Cmd) { exited <- w.Wait() }(w)
+		select {
+		case werr := <-exited:
+			if alsoKillWorker && i == 2 {
+				break // the second corpse; any exit status goes
+			}
+			if werr != nil {
+				t.Errorf("surviving worker %d failed: %v\noutput:\n%s", i, werr, workerOut[i].String())
+			}
+		case <-deadline:
+			t.Fatalf("worker %d hung after coordinator SIGKILL\noutput so far:\n%s", i, workerOut[i].String())
+		}
+	}
+
+	// Exactly one survivor — the promoted standby — owns the result.
+	var answers []string
+	var promotedOut string
+	for i := range workerOut {
+		out := workerOut[i].String()
+		for _, line := range strings.Split(out, "\n") {
+			if strings.HasPrefix(line, "maximum clique size:") {
+				answers = append(answers, line)
+				promotedOut = out
+			}
+		}
+	}
+	if len(answers) != 1 {
+		t.Fatalf("want exactly one result line from the promoted worker, got %d: %v\nworker outputs:\n%s\n%s\n%s",
+			len(answers), answers, workerOut[0].String(), workerOut[1].String(), workerOut[2].String())
+	}
+	if answers[0] != wantAnswer {
+		t.Fatalf("answer after coordinator SIGKILL %q != failure-free answer %q\npromoted output:\n%s", answers[0], wantAnswer, promotedOut)
+	}
+	wantDeaths := "deaths=1"
+	if alsoKillWorker {
+		wantDeaths = "deaths=2"
+	}
+	if !strings.Contains(promotedOut, wantDeaths) {
+		t.Errorf("promoted worker's stats do not report %s:\n%s", wantDeaths, promotedOut)
+	}
+}
+
+// launchAndKillCoordinator runs one attempt of the coordinator-failover
+// scenario: a 4-process deployment whose coordinator output is watched
+// for "all 3 workers registered"; that line arms a ChaosPlan that
+// SIGKILLs the coordinator 250ms later (and, in the double-death
+// variant, rank 3 at 900ms). It returns once the coordinator process
+// has exited. landed reports whether the kill beat the search; when
+// false the attempt's workers have been reaped and the returned
+// handles are nil. procMu orders the kill callback against the worker
+// launches (the plan cannot fire before registration, but -race wants
+// the ordering proved).
+func launchAndKillCoordinator(t *testing.T, bin string, appFlags []string, alsoKillWorker bool) (workers []*exec.Cmd, workerOut []*bytes.Buffer, landed bool) {
+	t.Helper()
+	addr := freeAddr(t)
+
+	var procMu sync.Mutex
+	var coord *exec.Cmd
+	var liveWorkers []*exec.Cmd
+	var stopChaos func()
+	var chaosMu sync.Mutex
+	killedCoord := make(chan struct{})
+	ww := &watchWriter{trigger: "all 3 workers registered", arm: func() {
+		plan := dist.ChaosPlan{Kills: []dist.ChaosKill{{Rank: 0, After: 250 * time.Millisecond}}}
+		if alsoKillWorker {
+			plan.Kills = append(plan.Kills, dist.ChaosKill{Rank: 3, After: 900 * time.Millisecond})
+		}
+		stop := plan.Start(func(rank int) {
+			procMu.Lock()
+			defer procMu.Unlock()
+			if rank == 0 {
+				coord.Process.Kill()
+				close(killedCoord)
+				return
+			}
+			liveWorkers[rank-1].Process.Kill()
+		})
+		chaosMu.Lock()
+		stopChaos = stop
+		chaosMu.Unlock()
+	}}
+	t.Cleanup(func() {
+		chaosMu.Lock()
+		stop := stopChaos
+		chaosMu.Unlock()
+		if stop != nil {
+			stop()
+		}
+	})
+
+	coord = exec.Command(bin, append(appFlags, "-dist", "coordinator", "-dist-workers", "3", "-dist-addr", addr)...)
+	coord.Stdout = ww
+	coord.Stderr = ww
+	if err := coord.Start(); err != nil {
+		t.Fatalf("starting coordinator: %v", err)
+	}
+
+	// The coordinator is already listening, so staggered dials register
+	// in launch order and worker i gets rank i+1. The double-death
+	// variant depends on that: its second kill must provably hit a
+	// non-standby rank (killing the promoted standby itself is the
+	// documented unsurvivable case).
+	var wouts []*bytes.Buffer
+	for i := 0; i < 3; i++ {
+		if i > 0 && alsoKillWorker {
+			time.Sleep(300 * time.Millisecond)
+		}
+		buf := new(bytes.Buffer)
+		w := exec.Command(bin, append(appFlags, "-dist", "worker", "-dist-addr", addr)...)
+		w.Stdout = buf
+		w.Stderr = buf
+		if err := w.Start(); err != nil {
+			t.Fatalf("starting worker: %v", err)
+		}
+		procMu.Lock()
+		liveWorkers = append(liveWorkers, w)
+		procMu.Unlock()
+		wouts = append(wouts, buf)
+	}
+
+	// The coordinator dies by SIGKILL: its exit is an error by design.
+	coordDone := make(chan struct{})
+	go func() { coord.Wait(); close(coordDone) }()
+	select {
+	case <-coordDone:
+	case <-time.After(120 * time.Second):
+		coord.Process.Kill()
+		t.Fatal("coordinator still alive long after the chaos plan should have fired")
+	}
+	select {
+	case <-killedCoord:
+		return liveWorkers, wouts, true
+	default:
+		// The search won the race against the kill timer: reap this
+		// attempt's workers so the caller can go again.
+		for _, w := range liveWorkers {
+			w.Process.Kill()
+			w.Wait()
+		}
+		return nil, nil, false
 	}
 }
 

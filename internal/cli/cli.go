@@ -73,6 +73,7 @@ type Options struct {
 	MaxFailures int
 	RegTimeout  time.Duration
 	Topology    string
+	Standby     bool
 }
 
 // ParseArgs parses command-line arguments into Options.
@@ -116,6 +117,7 @@ func ParseArgs(args []string) (*Options, error) {
 	fs.IntVar(&o.MaxFailures, "max-failures", -1, "dist: worker deaths tolerated before the run reports an error (-1 = unlimited; deaths are always repaired by subtree replay)")
 	fs.DurationVar(&o.RegTimeout, "reg-timeout", 0, "dist coordinator: registration window before missing workers fail the deployment (0 = default)")
 	fs.StringVar(&o.Topology, "topology", "star", "steal/termination topology: star (hub-routed, coordinator live count) or mesh (direct peer steals, gossip bounds, termination wave)")
+	fs.BoolVar(&o.Standby, "standby", false, "dist: arm coordinator failover — rank 0 runs as a pure coordinator and replicates its state to the lowest worker rank, which takes over and finishes the search if the coordinator dies (all ranks must agree)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -179,6 +181,7 @@ func (o *Options) Config() core.Config {
 	cfg.Order = o.order
 	cfg.MaxFailures = o.MaxFailures
 	cfg.Topology = o.Topology
+	cfg.Standby = o.Standby
 	return cfg
 }
 

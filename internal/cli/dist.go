@@ -26,6 +26,14 @@ import (
 // The coordinator prints the aggregated result and metrics; workers
 // print nothing on success.
 
+// isPrinter reports whether this rank owns result output: the
+// coordinator, or — after a v7 failover — the worker promoted in its
+// place (the original rank 0 is dead and prints nothing). Evaluated
+// after the search returns, once any promotion has happened.
+func isPrinter(tr dist.Transport) bool {
+	return tr.Rank() == 0 || dist.Promoted(tr)
+}
+
 // distSpec canonicalises the options that must agree across all
 // processes of a deployment.
 func (o *Options) distSpec() string {
@@ -60,7 +68,7 @@ func RunDist(o *Options, w io.Writer) error {
 	var tr dist.Transport
 	switch o.Dist {
 	case "coordinator":
-		l, err := dist.NewListenerOpts(o.DistAddr, o.distSpec(), dist.WireOptions{RegTimeout: o.RegTimeout, Topology: o.Topology})
+		l, err := dist.NewListenerOpts(o.DistAddr, o.distSpec(), dist.WireOptions{RegTimeout: o.RegTimeout, Topology: o.Topology, Standby: o.Standby})
 		if err != nil {
 			return fmt.Errorf("dist: listening on %s: %w", o.DistAddr, err)
 		}
@@ -73,7 +81,7 @@ func RunDist(o *Options, w io.Writer) error {
 		fmt.Fprintf(w, "dist: all %d workers registered\n", o.DistWorkers)
 	case "worker":
 		var err error
-		tr, err = dist.DialOpts(o.DistAddr, o.distSpec(), dist.WireOptions{Topology: o.Topology})
+		tr, err = dist.DialOpts(o.DistAddr, o.distSpec(), dist.WireOptions{Topology: o.Topology, Standby: o.Standby})
 		if err != nil {
 			return err
 		}
@@ -95,7 +103,7 @@ func RunDist(o *Options, w io.Writer) error {
 			return err
 		}
 		stats = res.Stats
-		if tr.Rank() == 0 {
+		if isPrinter(tr) {
 			fmt.Fprintf(w, "maximum clique size: %d\n", res.Best.Clique.Count())
 		}
 	case "kclique":
@@ -112,7 +120,7 @@ func RunDist(o *Options, w io.Writer) error {
 			return err
 		}
 		stats = res.Stats
-		if tr.Rank() == 0 {
+		if isPrinter(tr) {
 			fmt.Fprintf(w, "%d-clique exists: %v\n", o.KBound, res.Found)
 		}
 	case "knapsack":
@@ -122,7 +130,7 @@ func RunDist(o *Options, w io.Writer) error {
 			return err
 		}
 		stats = res.Stats
-		if tr.Rank() == 0 {
+		if isPrinter(tr) {
 			fmt.Fprintf(w, "optimal profit: %d (items=%d cap=%d)\n", res.Objective, len(s.Items), s.Cap)
 		}
 	case "tsp":
@@ -132,7 +140,7 @@ func RunDist(o *Options, w io.Writer) error {
 			return err
 		}
 		stats = res.Stats
-		if tr.Rank() == 0 {
+		if isPrinter(tr) {
 			fmt.Fprintf(w, "optimal tour cost: %d (%d cities)\n", -res.Objective, s.N)
 		}
 	case "uts":
@@ -145,7 +153,7 @@ func RunDist(o *Options, w io.Writer) error {
 			return err
 		}
 		stats = res.Stats
-		if tr.Rank() == 0 {
+		if isPrinter(tr) {
 			fmt.Fprintf(w, "tree size: %d\n", res.Value)
 		}
 	case "queens":
@@ -155,7 +163,7 @@ func RunDist(o *Options, w io.Writer) error {
 			return err
 		}
 		stats = res.Stats
-		if tr.Rank() == 0 {
+		if isPrinter(tr) {
 			fmt.Fprintf(w, "%d-queens solutions: %d\n", o.N, res.Value)
 		}
 	case "sip":
@@ -165,14 +173,14 @@ func RunDist(o *Options, w io.Writer) error {
 			return err
 		}
 		stats = res.Stats
-		if tr.Rank() == 0 {
+		if isPrinter(tr) {
 			fmt.Fprintf(w, "pattern (%d vertices) found in target (%d vertices): %v\n", s.P.N, s.T.N, res.Found)
 		}
 	default:
 		return fmt.Errorf("app %q is not available in -dist mode (supported: maxclique kclique knapsack tsp uts queens sip)", o.App)
 	}
 
-	if tr.Rank() == 0 && o.ShowStats {
+	if isPrinter(tr) && o.ShowStats {
 		fmt.Fprintf(w, "skeleton=%s workers=%d localities=%d elapsed=%v\n",
 			coord, stats.Workers, tr.Size(), time.Since(start).Round(time.Millisecond))
 		fmt.Fprintf(w, "nodes=%d prunes=%d spawns=%d steals=%d/%d backtracks=%d broadcasts=%d\n",

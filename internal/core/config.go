@@ -135,6 +135,18 @@ type Config struct {
 	// cluster mesh uses. Multi-process runs must configure the same
 	// topology on every rank (enforced at registration).
 	Topology string
+	// Standby arms coordinator failover on a distributed run (wire
+	// protocol v7): the coordinator replicates its residual state to
+	// the lowest live worker rank, which promotes itself and finishes
+	// the search should rank 0 die mid-run. Under Standby rank 0 runs
+	// as a pure coordinator — zero local workers — so its death can
+	// never strand unsupervised subtrees: every task it ever held was
+	// handed over under ledger supervision and is replayed by the
+	// survivors. Every rank of a deployment must agree on this flag
+	// (enforced by the transport's spec handshake). Coordinator deaths
+	// count against MaxFailures like any other. Ignored by
+	// single-process runs.
+	Standby bool
 	// Seed seeds victim selection for work stealing. Default 1.
 	Seed int64
 	// Trace, if non-nil, records every task execution for workload

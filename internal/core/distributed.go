@@ -43,18 +43,19 @@ func decodeShare(b []byte) (distShare, error) {
 }
 
 // gatherShares runs the terminal collective: every locality
-// contributes its share, and rank 0 gets everyone's back, decoded,
-// with the surviving localities' Stats merged into agg. Non-root
-// callers get (nil, nil). A dead locality's slot is nil — its live
-// subtrees were replayed by the survivors, so its missing share costs
-// only its metrics (and, for enumeration, its partial value, which is
-// why DistEnum refuses deaths).
+// contributes its share, and rank 0 — or, after a coordinator
+// failover, the promoted rank — gets everyone's back, decoded, with
+// the surviving localities' Stats merged into agg. Other callers get
+// (nil, nil). A dead locality's slot is nil — its live subtrees were
+// replayed by the survivors, so its missing share costs only its
+// metrics (and, for enumeration, its partial value, which is why
+// DistEnum refuses deaths).
 func gatherShares(tr dist.Transport, share distShare, agg *Stats) ([]*distShare, error) {
 	blobs, err := tr.Gather(encodeShare(share))
 	if err != nil {
 		return nil, fmt.Errorf("core: gathering results: %w", err)
 	}
-	if tr.Rank() != 0 {
+	if tr.Rank() != 0 && !dist.Promoted(tr) {
 		return nil, nil
 	}
 	shares := make([]*distShare, len(blobs))
@@ -142,12 +143,21 @@ func runDistEngine[S, N any](coord Coordination, space S, gf GenFactory[S, N], c
 
 // distDefaults normalises a distributed config: each process hosts
 // exactly one locality, and latency injection is meaningless when the
-// network is real.
-func distDefaults(cfg Config) Config {
+// network is real. On a standby deployment rank 0 becomes a pure
+// coordinator — zero local workers — so that no subtree can ever live
+// only in its pool: the root it seeds is handed over under ledger
+// supervision, making coordinator death fully survivable (Workers is
+// set after withDefaults, which would otherwise re-default 0 to
+// GOMAXPROCS).
+func distDefaults(cfg Config, tr dist.Transport) Config {
 	cfg.Localities = 1
 	cfg.StealLatency = 0
 	cfg.BoundLatency = 0
-	return cfg.withDefaults()
+	cfg = cfg.withDefaults()
+	if cfg.Standby && tr.Rank() == 0 {
+		cfg.Workers = 0
+	}
+	return cfg
 }
 
 // DistOpt runs this process's locality of a distributed optimisation
@@ -160,7 +170,7 @@ func DistOpt[S, N any](tr dist.Transport, codec Codec[N], coord Coordination, sp
 	if err := distCoordination(coord); err != nil {
 		return OptResult[N]{}, err
 	}
-	cfg = distDefaults(cfg)
+	cfg = distDefaults(cfg, tr)
 	fab := newDistFabric(tr, codec)
 	m := newMetrics(cfg.Workers)
 	cancel := newCanceller()
@@ -221,7 +231,7 @@ func DistEnum[S, N, M any](tr dist.Transport, codec Codec[N], coord Coordination
 	if err := distCoordination(coord); err != nil {
 		return EnumResult[M]{}, err
 	}
-	cfg = distDefaults(cfg)
+	cfg = distDefaults(cfg, tr)
 	fab := newDistFabric(tr, codec)
 	m := newMetrics(cfg.Workers)
 	cancel := newCanceller()
@@ -274,7 +284,7 @@ func DistDecide[S, N any](tr dist.Transport, codec Codec[N], coord Coordination,
 	if err := distCoordination(coord); err != nil {
 		return DecisionResult[N]{}, err
 	}
-	cfg = distDefaults(cfg)
+	cfg = distDefaults(cfg, tr)
 	fab := newDistFabric(tr, codec)
 	m := newMetrics(cfg.Workers)
 	cancel := newCanceller()

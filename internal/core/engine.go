@@ -179,6 +179,19 @@ func (e *engine[S, N]) runPoolWorkers(root N, visitors []visitor[N], runTask fun
 		parkBase = 500 * time.Microsecond
 	}
 
+	if e.cfg.Workers == 0 {
+		// Pure coordinator (a standby deployment's rank 0): no local
+		// workers, but the transport keeps serving steals against the
+		// seeded root and the death watchers must stay alive until
+		// global termination — their ledger replays are what make this
+		// rank's hand-overs survivable.
+		select {
+		case <-done:
+		case <-e.cancel.ch:
+		}
+		return
+	}
+
 	var wg sync.WaitGroup
 	for w := 0; w < e.cfg.Workers; w++ {
 		wg.Add(1)

@@ -187,6 +187,112 @@ func TestDistEnumDeathErrors(t *testing.T) {
 	}
 }
 
+// runDistOptCoordinatorKill runs DistOpt over `ranks` loopback
+// localities with Standby armed and kills rank 0 once a survivor
+// provably holds live work — the root hand-over is then
+// ledger-supervised, so the coordinator's death loses nothing. It
+// returns every rank's result and error: the zombie rank 0 returns
+// garbage, the promoted rank (the lowest survivor, rank 1) owns the
+// aggregated result.
+func runDistOptCoordinatorKill(t *testing.T, ranks int, cfg Config, opts dist.LoopbackOptions) ([]OptResult[toyNode], []error) {
+	t.Helper()
+	net := dist.NewLoopback(ranks, opts)
+	trs := net.Transports()
+	defer net.Close()
+
+	space := faultSpace()
+	results := make([]OptResult[toyNode], ranks)
+	errs := make([]error, ranks)
+	var wg sync.WaitGroup
+	for r := 0; r < ranks; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			results[r], errs[r] = DistOpt(trs[r], GobCodec[toyNode]{}, DepthBounded, space, toyNode{}, toyOptProblem(), cfg)
+		}(r)
+	}
+	go func() {
+		deadline := time.Now().Add(30 * time.Second)
+		for time.Now().Before(deadline) {
+			spread := false
+			for r := 1; r < ranks; r++ {
+				if net.LiveAt(r) > 0 {
+					spread = true
+					break
+				}
+			}
+			if spread {
+				break
+			}
+			time.Sleep(10 * time.Microsecond)
+		}
+		net.Kill(0)
+	}()
+	wg.Wait()
+	return results, errs
+}
+
+// Coordinator death over loopback: Kill(0) hands the collector role to
+// the lowest survivor, which must still produce the exact optimum.
+// Under Standby rank 0 runs zero workers, so every task it ever held
+// (the seeded root) left under ledger supervision before it died.
+func TestDistOptSurvivesCoordinatorDeath(t *testing.T) {
+	want := SequentialOpt(faultSpace(), toyNode{}, toyOptProblem())
+	cfg := Config{Workers: 2, DCutoff: 3, MaxFailures: -1, Standby: true}
+	results, errs := runDistOptCoordinatorKill(t, 4, cfg, dist.LoopbackOptions{})
+	if errs[1] != nil {
+		t.Fatalf("promoted rank 1: %v", errs[1])
+	}
+	got := results[1]
+	if !got.Found || got.Objective != want.Objective {
+		t.Fatalf("objective after coordinator death = %d (found=%v), want %d", got.Objective, got.Found, want.Objective)
+	}
+	if got.Stats.Deaths != 1 {
+		t.Fatalf("Deaths = %d, want 1", got.Stats.Deaths)
+	}
+}
+
+// The same coordinator death under the mesh topology's wave
+// termination: the dead initiator's role moves to the lowest survivor
+// (the same rank that adopts the collector role), and the wave must
+// still conclude with the exact optimum.
+func TestDistOptMeshSurvivesCoordinatorDeath(t *testing.T) {
+	want := SequentialOpt(faultSpace(), toyNode{}, toyOptProblem())
+	cfg := Config{Workers: 2, DCutoff: 3, MaxFailures: -1, Standby: true}
+	results, errs := runDistOptCoordinatorKill(t, 4, cfg, dist.LoopbackOptions{Wave: true})
+	if errs[1] != nil {
+		t.Fatalf("promoted rank 1: %v", errs[1])
+	}
+	got := results[1]
+	if !got.Found || got.Objective != want.Objective {
+		t.Fatalf("objective after coordinator death = %d (found=%v), want %d", got.Objective, got.Found, want.Objective)
+	}
+	if got.Stats.Deaths != 1 {
+		t.Fatalf("Deaths = %d, want 1", got.Stats.Deaths)
+	}
+}
+
+// Spill segments must not outlive a run that loses its coordinator:
+// every locality's memory governor removes its spill directory on
+// every exit path, including the promoted-survivor termination after
+// Kill(0).
+func TestDistOptCoordinatorDeathSpillCleanup(t *testing.T) {
+	dir := t.TempDir()
+	want := SequentialOpt(faultSpace(), toyNode{}, toyOptProblem())
+	cfg := Config{Workers: 2, DCutoff: 3, MaxFailures: -1, Standby: true,
+		PoolBudget: 8 << 10, SpillDir: dir}
+	results, errs := runDistOptCoordinatorKill(t, 3, cfg, dist.LoopbackOptions{})
+	if errs[1] != nil {
+		t.Fatalf("promoted rank 1: %v", errs[1])
+	}
+	if got := results[1]; !got.Found || got.Objective != want.Objective {
+		t.Fatalf("objective after coordinator death = %d (found=%v), want %d", got.Objective, got.Found, want.Objective)
+	}
+	if left := spillLeftovers(t, dir); len(left) != 0 {
+		t.Fatalf("spill directory not cleaned after coordinator death: %v", left)
+	}
+}
+
 // Replay statistics flow to rank 0: a death mid-search should usually
 // leave replayed subtree roots behind, and the ledger peak is
 // reported. This is a smoke check on the plumbing (the exact counts

@@ -140,6 +140,28 @@ func (l *ledger[N]) reap(rank int) []Task[N] {
 	return tasks
 }
 
+// reapAll removes every outstanding entry regardless of holder,
+// returning the retained tasks for local re-enqueueing. Used when a
+// coordinator that RELAYED completion acks dies (star topology): any
+// ack could have died unrelayed in its buffers, leaving the entry —
+// and the registration it continues — outstanding forever. Replaying
+// every entry is the only safe continuation: execution is idempotent,
+// a replica racing the original holder's completion is at worst
+// re-explored work, and retire stays a no-op for whichever ack
+// arrives after the reap. Unlike reap no rank is marked dead, so
+// hand-overs resume once the promoted coordinator is serving.
+func (l *ledger[N]) reapAll() []Task[N] {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var tasks []Task[N]
+	for id, e := range l.entries {
+		tasks = append(tasks, e.task)
+		delete(l.entries, id)
+	}
+	l.replayed += int64(len(tasks))
+	return tasks
+}
+
 // stats reports the retention peak and replayed-task count.
 func (l *ledger[N]) stats() (peak int, replayed int64) {
 	l.mu.Lock()

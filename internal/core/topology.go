@@ -134,6 +134,12 @@ func newTopology[N any](fab *fabric[N], cfg Config) *topology[N] {
 		if shards <= 0 {
 			shards = localWorkers[i]
 		}
+		if shards <= 0 {
+			// A pure-coordinator locality (standby deployments run rank 0
+			// with zero workers) still needs a pool: it seeds the root and
+			// serves steals against it.
+			shards = 1
+		}
 		tp.pools[i] = NewShardedPool[N](cfg.Pool, shards)
 		fab.locs[i].pool = tp.pools[i]
 		tp.mem[i] = newMemState[N](cfg.PoolBudget, cfg.SpillDir, spillCodec)
@@ -438,7 +444,18 @@ func (tp *topology[N]) fromWire(loc int, wt dist.WireTask) Task[N] {
 func (tp *topology[N]) onDeath(loc, rank int) bool {
 	first := tp.dead[rank].CompareAndSwap(false, true)
 	if led := tp.fab.locs[loc].led; led != nil {
-		for _, t := range led.reap(rank) {
+		tasks := led.reap(rank)
+		if rank == 0 && first {
+			if ar, ok := tp.fab.trs[loc].(dist.AckRelay); ok && ar.AcksRelayed() {
+				// The coordinator relayed completion acks; any ack in
+				// flight at its death is gone, and with it the retire of
+				// the entry it was for. Replay everything outstanding —
+				// idempotent, and the only way every registration is
+				// guaranteed a continuation (see ledger.reapAll).
+				tasks = append(tasks, led.reapAll()...)
+			}
+		}
+		for _, t := range tasks {
 			tp.pools[loc].Push(t)
 			tp.parkers[loc].wake()
 		}

@@ -1,0 +1,62 @@
+package dist
+
+import (
+	"sync"
+	"time"
+)
+
+// Chaos harness: a declarative schedule of rank deaths, reusable
+// across the fault-injection surfaces the repo already has — the
+// loopback network's Kill, a subprocess deployment's SIGKILL, or any
+// other func(rank). Tests and experiments describe WHAT dies WHEN;
+// the harness owns the timers, so a chaos scenario reads as data:
+//
+//	stop := dist.ChaosPlan{Kills: []dist.ChaosKill{
+//		{Rank: 0, After: 30 * time.Millisecond},
+//		{Rank: 2, After: 60 * time.Millisecond},
+//	}}.Start(func(rank int) { procs[rank].Kill() })
+//	defer stop()
+//
+// The harness deliberately has no liveness opinions: killing an
+// already-dead rank must be a no-op of the injected kill func (both
+// LoopbackNetwork.Kill and process SIGKILL are idempotent).
+
+// ChaosKill schedules one rank's death.
+type ChaosKill struct {
+	Rank  int           // who dies
+	After time.Duration // measured from ChaosPlan.Start
+}
+
+// ChaosPlan is a schedule of deaths to inject into a deployment.
+type ChaosPlan struct {
+	Kills []ChaosKill
+}
+
+// Start arms the plan: each kill fires on its own timer, calling the
+// injected kill func with the victim's rank. The returned stop func
+// cancels any kills still pending (already-fired ones are history)
+// and waits for in-flight kill callbacks to return; it is safe to
+// call more than once.
+func (p ChaosPlan) Start(kill func(rank int)) (stop func()) {
+	var wg sync.WaitGroup
+	timers := make([]*time.Timer, 0, len(p.Kills))
+	for _, k := range p.Kills {
+		k := k
+		wg.Add(1)
+		timers = append(timers, time.AfterFunc(k.After, func() {
+			defer wg.Done()
+			kill(k.Rank)
+		}))
+	}
+	var cancelOnce sync.Once
+	return func() {
+		cancelOnce.Do(func() {
+			for _, t := range timers {
+				if t.Stop() {
+					wg.Done() // never fired, never will
+				}
+			}
+		})
+		wg.Wait()
+	}
+}

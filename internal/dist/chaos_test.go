@@ -1,0 +1,163 @@
+package dist
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// The chaos harness itself: fired kills reach the injected func with
+// the right rank, stop() cancels pending kills and is idempotent.
+func TestChaosPlanFiresAndCancels(t *testing.T) {
+	var mu sync.Mutex
+	var got []int
+	stop := ChaosPlan{Kills: []ChaosKill{
+		{Rank: 2, After: 0},
+		{Rank: 5, After: time.Millisecond},
+		{Rank: 7, After: time.Hour}, // must be cancelled, not waited for
+	}}.Start(func(rank int) {
+		mu.Lock()
+		got = append(got, rank)
+		mu.Unlock()
+	})
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		n := len(got)
+		mu.Unlock()
+		if n == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("scheduled kills did not fire: got %v", got)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	stop()
+	stop() // idempotent
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 2 || (got[0] != 2 && got[0] != 5) {
+		t.Fatalf("kills fired = %v, want ranks 2 and 5 only", got)
+	}
+}
+
+// failoverHarnesses builds the four deployment variants with standby
+// armed (the loopback network needs no flag: its Kill(0) always hands
+// the collector role to the lowest survivor).
+func failoverHarnesses() []harness {
+	return []harness{
+		{name: "loopback", make: func(t *testing.T, n int) []Transport {
+			net := NewLoopback(n, LoopbackOptions{})
+			t.Cleanup(func() { net.Close() })
+			return net.Transports()
+		}},
+		{name: "tcp", make: func(t *testing.T, n int) []Transport {
+			return makeTCP(t, n, WireOptions{Standby: true})
+		}},
+		{name: "loopback-mesh", make: func(t *testing.T, n int) []Transport {
+			net := NewLoopback(n, LoopbackOptions{Wave: true})
+			t.Cleanup(func() { net.Close() })
+			return net.Transports()
+		}},
+		{name: "tcp-mesh", make: func(t *testing.T, n int) []Transport {
+			return makeTCP(t, n, WireOptions{Topology: TopologyMesh, Standby: true})
+		}},
+	}
+}
+
+// The coordinator-failover contract, driven by the chaos harness:
+// rank 0 dies mid-search and the lowest survivor adopts the
+// coordinator role. Afterwards the deployment must still (a) notify
+// every survivor of the death, (b) report the promotion through the
+// Promoter interface, (c) keep bounds flowing between survivors, (d)
+// not terminate while survivor work is live, (e) terminate when it
+// drains, and (f) complete the terminal Gather at the promoted rank
+// with a nil slot for the corpse.
+func TestConformanceCoordinatorDeathFailover(t *testing.T) {
+	for _, h := range failoverHarnesses() {
+		t.Run(h.name, func(t *testing.T) {
+			trs := h.make(t, 4)
+			hs := startAll(trs)
+
+			// Rank 1 (the standby) holds the sentinel live work that
+			// must keep the search open across the takeover.
+			trs[1].AddTasks(1)
+			// Give a wire transport one flush quantum so the +1 and the
+			// hub's first replication snapshot are on the wire before
+			// the coordinator dies.
+			time.Sleep(100 * time.Millisecond)
+
+			var killed atomic.Bool
+			stop := ChaosPlan{Kills: []ChaosKill{{Rank: 0, After: 10 * time.Millisecond}}}.Start(func(rank int) {
+				kill(t, h, trs, rank)
+				killed.Store(true)
+			})
+			defer stop()
+
+			for _, r := range []int{1, 2, 3} {
+				awaitDeath(t, trs[r], 0)
+			}
+			if !killed.Load() {
+				t.Fatal("death observed before the chaos plan fired")
+			}
+
+			// The lowest survivor — and nobody else — promotes itself.
+			eventually(t, "rank 1 to adopt the coordinator role", func() bool { return Promoted(trs[1]) })
+			if Promoted(trs[2]) || Promoted(trs[3]) {
+				t.Fatal("a rank other than the lowest survivor promoted itself")
+			}
+
+			// Bounds still flow between survivors through the new
+			// coordinator (star) or the untouched peer links (mesh).
+			trs[2].BroadcastBound(99, []byte("post-takeover"))
+			eventually(t, "bound to reach surviving rank 3", func() bool { return hs[3].boundMax.Load() == 99 })
+
+			// The sentinel still holds the search open: takeover must
+			// not force termination.
+			select {
+			case <-trs[1].Done():
+				t.Fatal("coordinator death terminated a search with live survivor work")
+			default:
+			}
+
+			// Draining the survivor work ends the search everywhere.
+			trs[1].AddTasks(-1)
+			for _, r := range []int{1, 2, 3} {
+				select {
+				case <-trs[r].Done():
+				case <-time.After(10 * time.Second):
+					t.Fatalf("rank %d not released after survivor work drained", r)
+				}
+			}
+
+			// The terminal collective completes at the promoted rank,
+			// with a nil slot for the dead coordinator.
+			var got [][]byte
+			var wg sync.WaitGroup
+			for _, r := range []int{1, 2, 3} {
+				wg.Add(1)
+				go func(r int) {
+					defer wg.Done()
+					blobs, err := trs[r].Gather([]byte{byte(r)})
+					if err != nil {
+						t.Errorf("rank %d gather: %v", r, err)
+					}
+					if r == 1 {
+						got = blobs
+					}
+				}(r)
+			}
+			wg.Wait()
+			if len(got) != 4 || got[0] != nil {
+				t.Fatalf("gather after coordinator death = %v, want 4 slots with nil for rank 0", got)
+			}
+			for _, r := range []int{1, 2, 3} {
+				if len(got[r]) != 1 || got[r][0] != byte(r) {
+					t.Fatalf("gather slot %d = %v, want [%d]", r, got[r], r)
+				}
+			}
+		})
+	}
+}

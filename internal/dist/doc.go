@@ -39,7 +39,7 @@
 // to each other and the coordinator drops out of the steal and bound
 // planes — see "Mesh topology and the termination wave" below.
 //
-// # Wire protocol (v6)
+// # Wire protocol (v7)
 //
 // The TCP transport speaks a length-prefixed binary frame format (v1
 // was a gob stream per message): a little-endian uint32 body length,
@@ -137,12 +137,13 @@
 // absorbed as long as the coordinator lives — supervision chains root
 // at rank 0, and an entry is acked only when its whole subtree has
 // completed, so even staggered multi-rank deaths replay from the
-// earliest surviving supervisor. Coordinator (rank 0) death is out of
-// scope in both topologies: even in the mesh, where routing,
-// termination detection, and bound spread are decentralised, rank 0
-// still owns registration, the incumbent store, and result
-// aggregation, and its loss ends the deployment (workers observe the
-// broken connection and unblock). Enumeration searches cannot be
+// earliest surviving supervisor. Through v6, coordinator (rank 0)
+// death was out of scope in both topologies: even in the mesh, where
+// routing, termination detection, and bound spread are decentralised,
+// rank 0 still owned registration, the incumbent store, and result
+// aggregation, and its loss ended the deployment. v7 removes that
+// caveat for deployments armed with WireOptions.Standby — see
+// "Coordinator failover (v7)" below. Enumeration searches cannot be
 // repaired by replay — a dead rank's partial monoid value is
 // unrecoverable and replaying its subtrees would double-count — so
 // DistEnum reports a death as an error rather than return a silently
@@ -215,6 +216,57 @@
 // memory story: a locality under Config.PoolBudget pressure would
 // rather have its stack split on demand than materialise spawns it
 // must then spill (see internal/core's "Memory-bounded search").
+//
+// # Coordinator failover (v7)
+//
+// v7 makes coordinator death itself survivable. Arming a deployment
+// with WireOptions.Standby (`-standby`, which every rank must agree
+// on) changes two things while nothing is failing:
+//
+//   - Rank 0 runs as a pure coordinator. The engine layer
+//     (core.Config.Standby) gives it zero local workers, so the root
+//     it seeds leaves its pool only through ledger-supervised steals
+//     and no subtree can ever live exclusively in the one process
+//     whose death we are insuring against.
+//   - The hub replicates its residual state to the lowest live worker
+//     rank — the standby. Residual means exactly what death
+//     reconciliation and replay cannot reconstruct from the survivors:
+//     the mirror of supervised hand-over records, the best bound stamp
+//     and retained incumbent, the set of already-mourned ranks, and
+//     any gather shares contributed early. Deltas coalesce into
+//     kHubDelta frames on the existing flush cadence, with a periodic
+//     kHubSnap full snapshot as the resync fallback, so the no-failure
+//     premium is a few dozen frames per search and an ns/op tax gated
+//     at 1.10x by BENCH_failover.json.
+//
+// When the coordinator dies, the standby observes the broken
+// connection (or liveness timeout), promotes itself — epoch 0 becomes
+// 1 — and rebuilds a hub from the replicated state at its own rank. In
+// the star the other survivors re-dial the standby's promotion
+// listener, which was bound at registration time so the address is
+// known before any failure: the kRejoin hello carries each rank's
+// cumulative live-count contribution and bound stamp, and the kWelcome
+// reply re-seeds them with the promoted hub's, so termination
+// accounting and incumbent knowledge cross the takeover without loss.
+// In the mesh the data plane already runs over direct peer links, so
+// takeover is pure role migration: no re-dialing, the promoted rank
+// simply assumes the control plane (incumbent store, death fan-out,
+// wave initiation, terminal Gather). Either way the search finishes
+// and the promoted rank — not the corpse — aggregates and reports the
+// result (Promoted/the Promoter extension tells callers which rank
+// that is).
+//
+// The epoch fences double takeover: exactly one promotion is allowed,
+// so the death of the promoted coordinator ends the deployment, as
+// does losing rank 0 and the standby together before the takeover
+// completes. Worker deaths before, during, and after the takeover
+// remain survivable through the v4 replay machinery — the staggered
+// coordinator-then-worker chaos test exercises precisely that.
+//
+// ChaosPlan is the reusable fault-injection harness behind those
+// tests: a schedule of rank kills at offsets from an armed start,
+// driving either the loopback network's Kill or a real SIGKILL of a
+// deployed process.
 //
 // Transports that implement Meter report frames, bytes, and steal
 // batch occupancy; the engine folds those into its Stats.

@@ -77,6 +77,21 @@ import (
 // coordination's (spawn-stack) rule, served on demand across the wire.
 // The reply is an ordinary kStealR carrying the donated task(s), so
 // steal correlation and mesh wave accounting are untouched.
+//
+// v7 adds the coordinator-failover vocabulary, spoken only by standby
+// deployments (WireOptions.Standby): kHubSnap (hub→standby, Blob = a
+// full residual-state snapshot — see encodeHubSnapshot), kHubDelta
+// (hub→standby, a coalesced incremental update; Want = the subtype,
+// with the mirrored hand-over riding in Tasks, retired ids in Acks,
+// and the incumbent node or gather payload in Blob), and kRejoin
+// (worker→promoted hub after a coordinator death: From = the rank,
+// Want = the epoch the worker expects the promoted hub to be serving,
+// Obj = the rank's cumulative live-task contribution, from which the
+// promoted hub rebuilds the global count), and kLeave (mesh
+// worker→peers during a post-termination Close: after a takeover the
+// survivors run death detection decentrally on their own peer links,
+// and the in-band goodbye — TCP-ordered ahead of the close — is what
+// lets them tell a finished peer's exit from a crash).
 
 const (
 	fDelta = 1 << 0 // header carries a coalesced live-task delta
@@ -134,33 +149,53 @@ func appendFrame(dst []byte, f *frame) []byte {
 		dst = binary.AppendVarint(dst, f.PS)
 	}
 	switch f.Kind {
-	case kSteal, kHello, kWelcome, kDeath, kPeerHello, kToken, kSplit:
+	case kSteal, kHello, kWelcome, kDeath, kPeerHello, kToken, kSplit, kHubDelta, kRejoin:
 		dst = binary.AppendUvarint(dst, uint64(f.Want))
 	}
 	switch f.Kind {
-	case kBound, kCancel, kGossip, kToken:
+	case kBound, kCancel, kGossip, kToken, kHubDelta, kRejoin:
 		dst = binary.AppendVarint(dst, f.Obj)
 	}
 	switch f.Kind {
-	case kHello, kWelcome, kReject, kGather, kBound, kCancel, kPeerAddr, kPeers:
+	case kHello, kWelcome, kReject, kGather, kBound, kCancel, kPeerAddr, kPeers, kHubSnap:
 		dst = binary.AppendUvarint(dst, uint64(len(f.Blob)))
 		dst = append(dst, f.Blob...)
 	case kStealR:
-		dst = binary.AppendUvarint(dst, uint64(len(f.Tasks)))
-		for i := range f.Tasks {
-			t := &f.Tasks[i]
-			dst = binary.AppendUvarint(dst, uint64(len(t.Payload)))
-			dst = append(dst, t.Payload...)
-			dst = binary.AppendUvarint(dst, t.ID)
-			dst = binary.AppendVarint(dst, int64(t.Depth))
-			dst = binary.AppendVarint(dst, int64(t.Prio))
-			dst = binary.AppendVarint(dst, t.Bound)
-		}
+		dst = appendTasks(dst, f.Tasks)
 	case kAck:
-		dst = binary.AppendUvarint(dst, uint64(len(f.Acks)))
-		for _, id := range f.Acks {
-			dst = binary.AppendUvarint(dst, id)
-		}
+		dst = appendAcks(dst, f.Acks)
+	case kHubDelta:
+		// A delta carries all three payload slots (most empty for any
+		// given subtype): blob, then tasks, then acks.
+		dst = binary.AppendUvarint(dst, uint64(len(f.Blob)))
+		dst = append(dst, f.Blob...)
+		dst = appendTasks(dst, f.Tasks)
+		dst = appendAcks(dst, f.Acks)
+	}
+	return dst
+}
+
+// appendTasks encodes a steal-reply task batch (also the kHubDelta
+// mirror payload).
+func appendTasks(dst []byte, tasks []WireTask) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(tasks)))
+	for i := range tasks {
+		t := &tasks[i]
+		dst = binary.AppendUvarint(dst, uint64(len(t.Payload)))
+		dst = append(dst, t.Payload...)
+		dst = binary.AppendUvarint(dst, t.ID)
+		dst = binary.AppendVarint(dst, int64(t.Depth))
+		dst = binary.AppendVarint(dst, int64(t.Prio))
+		dst = binary.AppendVarint(dst, t.Bound)
+	}
+	return dst
+}
+
+// appendAcks encodes a hand-over id batch.
+func appendAcks(dst []byte, acks []uint64) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(acks)))
+	for _, id := range acks {
+		dst = binary.AppendUvarint(dst, id)
 	}
 	return dst
 }
@@ -224,7 +259,7 @@ func parseFrame(b []byte, f *frame) error {
 		return fmt.Errorf("dist: frame body of %d bytes", len(b))
 	}
 	f.Kind = kind(b[0])
-	if f.Kind > kSplit {
+	if f.Kind > kLeave {
 		return fmt.Errorf("dist: unknown frame kind %d", f.Kind)
 	}
 	flags := b[1]
@@ -260,7 +295,7 @@ func parseFrame(b []byte, f *frame) error {
 		f.HasPS = true
 	}
 	switch f.Kind {
-	case kSteal, kHello, kWelcome, kDeath, kPeerHello, kToken, kSplit:
+	case kSteal, kHello, kWelcome, kDeath, kPeerHello, kToken, kSplit, kHubDelta, kRejoin:
 		w, err := r.uvarint()
 		if err != nil {
 			return err
@@ -268,68 +303,98 @@ func parseFrame(b []byte, f *frame) error {
 		f.Want = int(w)
 	}
 	switch f.Kind {
-	case kBound, kCancel, kGossip, kToken:
+	case kBound, kCancel, kGossip, kToken, kHubDelta, kRejoin:
 		if f.Obj, err = r.varint(); err != nil {
 			return err
 		}
 	}
 	switch f.Kind {
-	case kHello, kWelcome, kReject, kGather, kBound, kCancel, kPeerAddr, kPeers:
+	case kHello, kWelcome, kReject, kGather, kBound, kCancel, kPeerAddr, kPeers, kHubSnap:
 		if f.Blob, err = r.bytes(); err != nil {
 			return err
 		}
 	case kStealR:
-		n, err := r.uvarint()
-		if err != nil {
+		if f.Tasks, err = parseTasks(r); err != nil {
 			return err
-		}
-		if n > maxStealBatch {
-			return fmt.Errorf("dist: steal reply of %d tasks", n)
-		}
-		if n > 0 {
-			f.Tasks = make([]WireTask, n)
-			for i := range f.Tasks {
-				t := &f.Tasks[i]
-				if t.Payload, err = r.bytes(); err != nil {
-					return err
-				}
-				if t.ID, err = r.uvarint(); err != nil {
-					return err
-				}
-				if v, err = r.varint(); err != nil {
-					return err
-				}
-				t.Depth = int(v)
-				if v, err = r.varint(); err != nil {
-					return err
-				}
-				t.Prio = int(v)
-				if t.Bound, err = r.varint(); err != nil {
-					return err
-				}
-			}
 		}
 	case kAck:
-		n, err := r.uvarint()
-		if err != nil {
+		if f.Acks, err = parseAcks(r); err != nil {
 			return err
 		}
-		if n > maxStealBatch {
-			return fmt.Errorf("dist: ack batch of %d ids", n)
+	case kHubDelta:
+		if f.Blob, err = r.bytes(); err != nil {
+			return err
 		}
-		if n > 0 {
-			f.Acks = make([]uint64, n)
-			for i := range f.Acks {
-				if f.Acks[i], err = r.uvarint(); err != nil {
-					return err
-				}
-			}
+		if f.Tasks, err = parseTasks(r); err != nil {
+			return err
+		}
+		if f.Acks, err = parseAcks(r); err != nil {
+			return err
 		}
 	}
 	if len(r.b) != 0 {
 		return fmt.Errorf("dist: %d trailing bytes in frame kind %d", len(r.b), f.Kind)
 	}
 	return nil
+}
+
+// parseTasks decodes a task batch (the kStealR payload, also the
+// kHubDelta mirror payload).
+func parseTasks(r *frameReader) ([]WireTask, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > maxStealBatch {
+		return nil, fmt.Errorf("dist: steal reply of %d tasks", n)
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	tasks := make([]WireTask, n)
+	for i := range tasks {
+		t := &tasks[i]
+		if t.Payload, err = r.bytes(); err != nil {
+			return nil, err
+		}
+		if t.ID, err = r.uvarint(); err != nil {
+			return nil, err
+		}
+		var v int64
+		if v, err = r.varint(); err != nil {
+			return nil, err
+		}
+		t.Depth = int(v)
+		if v, err = r.varint(); err != nil {
+			return nil, err
+		}
+		t.Prio = int(v)
+		if t.Bound, err = r.varint(); err != nil {
+			return nil, err
+		}
+	}
+	return tasks, nil
+}
+
+// parseAcks decodes a hand-over id batch.
+func parseAcks(r *frameReader) ([]uint64, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > maxStealBatch {
+		return nil, fmt.Errorf("dist: ack batch of %d ids", n)
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	acks := make([]uint64, n)
+	for i := range acks {
+		if acks[i], err = r.uvarint(); err != nil {
+			return nil, err
+		}
+	}
+	return acks, nil
 }
 
 // kToken colour bits, carried in Want.

@@ -43,6 +43,12 @@ type LoopbackNetwork struct {
 	done     chan struct{}
 	doneOnce sync.Once
 
+	// promoted is the rank that adopted the coordinator role after
+	// Kill(0), -1 while rank 0 lives. The loopback stand-in for v7
+	// failover: shared memory needs no state replication, so takeover
+	// is just the gather responsibility moving to the lowest survivor.
+	promoted atomic.Int32
+
 	inc incumbentBox
 
 	gatherMu    sync.Mutex
@@ -66,6 +72,7 @@ func NewLoopback(n int, opts LoopbackOptions) *LoopbackNetwork {
 		contributed: make([]bool, n),
 		gathered:    make(chan struct{}),
 	}
+	net.promoted.Store(-1)
 	for i := range net.trs {
 		net.trs[i] = &loopback{net: net, rank: i, deaths: newDeathBox(n)}
 	}
@@ -163,6 +170,16 @@ func (ln *LoopbackNetwork) Kill(rank int) {
 			}
 		}
 	}
+	if rank == 0 {
+		// Coordinator death: the lowest survivor adopts the terminal
+		// collective (Gather) and the result-owner role.
+		for r := 1; r < len(ln.trs); r++ {
+			if !ln.trs[r].closed.Load() {
+				ln.promoted.Store(int32(r))
+				break
+			}
+		}
+	}
 	ln.reconcile(rank)
 }
 
@@ -239,6 +256,7 @@ var _ Meter = (*loopback)(nil)
 var _ PrioAware = (*loopback)(nil)
 var _ IncumbentStore = (*loopback)(nil)
 var _ SplitStealer = (*loopback)(nil)
+var _ Promoter = (*loopback)(nil)
 
 // Wire implements Meter with logical message counts: the frames a wire
 // transport would have sent for the same traffic, and payload bytes
@@ -438,13 +456,18 @@ func (t *loopback) Done() <-chan struct{} { return t.net.done }
 
 func (t *loopback) Deaths() <-chan int { return t.deaths.ch }
 
+// Promoted reports whether this rank adopted the coordinator role
+// after a Kill(0).
+func (t *loopback) Promoted() bool { return int(t.net.promoted.Load()) == t.rank }
+
 func (t *loopback) Gather(payload []byte) ([][]byte, error) {
-	if t.rank != 0 {
+	collector := t.rank == 0 || t.Promoted()
+	if !collector {
 		t.ctr.framesSent.Add(1)
 		t.ctr.bytesSent.Add(int64(len(payload)))
 	}
 	t.net.contribute(t.rank, payload)
-	if t.rank != 0 {
+	if !collector {
 		return nil, nil
 	}
 	<-t.net.gathered

@@ -1,7 +1,7 @@
 package dist
 
 import (
-	"encoding/binary"
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -104,6 +104,11 @@ func (l *Listener) waitMesh(workers int) (Transport, error) {
 	}
 	for i := range h.alive {
 		h.alive[i] = true
+	}
+	if l.opts.Standby {
+		h.standby = true
+		h.mirror = newHubMirror()
+		h.repl = newHubRepl()
 	}
 	h.pbStamp.Store(math.MinInt64)
 	h.pbSeen.Store(math.MinInt64)
@@ -224,10 +229,22 @@ type meshHub struct {
 	contrib  []bool
 	have     int
 	gotAll   chan struct{}
+	// aborted marks a Close that ran before the gather completed — see
+	// hub.aborted; the mesh coordinator dies the same way.
+	aborted bool
 
 	peerAddrs []string
 	aliveMu   sync.Mutex
 	alive     []bool
+
+	// Failover state (v7, WireOptions.Standby). The mesh hub is never
+	// itself a promoted standby — takeover is role migration at the
+	// surviving workers — so unlike the star hub it only ever runs the
+	// replication side: mirror of its own hand-overs, delta queue to
+	// the lowest live rank.
+	standby bool
+	mirror  *hubMirror
+	repl    *hubRepl
 
 	closed atomic.Bool
 	ln     net.Listener
@@ -296,6 +313,7 @@ func (h *meshHub) serve(rank int) {
 			if hd := h.handler(); hd != nil {
 				tasks = collectSteal(hd, f.From, f.Want)
 			}
+			h.mirrorHandOver(f.From, tasks)
 			cn.send(&frame{Kind: kStealR, From: 0, To: f.From, Seq: f.Seq, Tasks: tasks})
 		case kSplit:
 			// Served off the serve loop: the split gate may block briefly
@@ -306,6 +324,7 @@ func (h *meshHub) serve(rank int) {
 				if hd := h.handler(); hd != nil {
 					tasks = collectSplit(hd, thief, want)
 				}
+				h.mirrorHandOver(thief, tasks)
 				cn.send(&frame{Kind: kStealR, From: 0, To: thief, Seq: seq, Tasks: tasks})
 			}()
 		case kStealR:
@@ -323,7 +342,9 @@ func (h *meshHub) serve(rank int) {
 			}
 		case kBound:
 			if len(f.Blob) > 0 {
-				h.inc.keep(f.Obj, f.Blob)
+				if h.inc.keep(f.Obj, f.Blob) {
+					h.noteIncumbent(f.Obj, f.Blob)
+				}
 				f.Blob = nil
 			}
 			h.meldBound(f.From, f.Obj)
@@ -331,7 +352,9 @@ func (h *meshHub) serve(rank int) {
 			h.meldBound(f.From, f.Obj)
 		case kCancel:
 			if len(f.Blob) > 0 {
-				h.inc.keep(f.Obj, f.Blob)
+				if h.inc.keep(f.Obj, f.Blob) {
+					h.noteIncumbent(f.Obj, f.Blob)
+				}
 				f.Blob = nil
 			}
 			if hd := h.handler(); hd != nil {
@@ -349,6 +372,10 @@ func (h *meshHub) serve(rank int) {
 					if hd := h.handler(); hd != nil {
 						hd.OnAck(f.From, id)
 					}
+					if h.mirror != nil {
+						h.mirror.retire(id)
+						h.repl.noteRetire(id)
+					}
 				}
 			}
 		case kDelta, kPing:
@@ -356,6 +383,53 @@ func (h *meshHub) serve(rank int) {
 			h.contribute(f.From, f.Blob)
 		}
 	}
+}
+
+// mirrorHandOver records rank 0's own hand-overs in the failover
+// mirror before the reply ships; see hub.mirrorHandOver.
+func (h *meshHub) mirrorHandOver(thief int, tasks []WireTask) {
+	if h.mirror == nil {
+		return
+	}
+	for _, t := range tasks {
+		if t.ID == 0 {
+			continue
+		}
+		h.mirror.add(thief, t)
+		h.repl.noteMirrorAdd(thief, t)
+	}
+}
+
+// noteIncumbent replicates an incumbent improvement to the standby.
+func (h *meshHub) noteIncumbent(obj int64, node []byte) {
+	if h.repl != nil {
+		h.repl.noteIncumbent(obj, node)
+	}
+}
+
+// retargetRepl points replication at the lowest surviving rank and
+// forces it a full base snapshot.
+func (h *meshHub) retargetRepl() {
+	for r := 1; r < h.size; r++ {
+		cn := h.conns[r]
+		if cn != nil && !cn.dead.Load() && !cn.mourned.Load() {
+			h.repl.setTarget(r)
+			return
+		}
+	}
+	h.repl.setTarget(-1)
+}
+
+// flushRepl drains the replication queue once per flush quantum.
+func (h *meshHub) flushRepl() {
+	if h.repl == nil {
+		return
+	}
+	t := h.repl.targetRank()
+	if t <= 0 || t >= h.size {
+		return
+	}
+	h.repl.flushTo(h.conns[t], h.snapshotBlob)
 }
 
 func (h *meshHub) forward(rank int, f *frame) bool {
@@ -383,6 +457,14 @@ func (h *meshHub) fanOut(f *frame, except int) {
 // removes its outstanding contribution in one move, while survivors'
 // ledger registrations keep everything replayable counted.
 func (h *meshHub) workerDied(rank int) {
+	if h.closed.Load() {
+		// The hub itself is going away (Close tears the connections
+		// down one by one): the workers are not dying, and mourning
+		// them would broadcast spurious kDeath frames over conns not
+		// yet torn down. Survivors of a coordinator crash detect it on
+		// their own hub links and must see exactly one death, rank 0's.
+		return
+	}
 	cn := h.conns[rank]
 	if !cn.mourned.CompareAndSwap(false, true) {
 		return
@@ -401,6 +483,16 @@ func (h *meshHub) workerDied(rank int) {
 	h.deaths.announce(rank)
 	h.fanOut(&frame{Kind: kDeath, From: 0, Want: rank}, rank)
 	h.contribute(rank, nil)
+	if h.mirror != nil {
+		// Survivors' ledgers replay the dead rank's supervised work;
+		// the mirror entries it held are dead weight at the standby.
+		for _, t := range h.mirror.takeHolder(rank) {
+			h.repl.noteRetire(t.ID)
+		}
+		if rank == h.repl.targetRank() {
+			h.retargetRepl()
+		}
+	}
 	h.wave.markDead(rank)
 }
 
@@ -484,13 +576,17 @@ func (h *meshHub) gossipTargets(n int, obj int64) []int {
 // arms the pb stamp; per-frame piggybacks and the hub's anti-entropy
 // loop spread the bound without a per-improvement frame burst.
 func (h *meshHub) BroadcastBound(obj int64, node []byte) error {
-	h.inc.keep(obj, node)
+	if h.inc.keep(obj, node) {
+		h.noteIncumbent(obj, node)
+	}
 	raiseMax(&h.pbStamp, obj)
 	return nil
 }
 
 func (h *meshHub) Cancel(obj int64, witness []byte) error {
-	h.inc.keep(obj, witness)
+	if h.inc.keep(obj, witness) {
+		h.noteIncumbent(obj, witness)
+	}
 	h.fanOut(&frame{Kind: kCancel, From: 0, Obj: obj}, 0)
 	return nil
 }
@@ -542,6 +638,7 @@ func (h *meshHub) flushLoop() {
 			return
 		}
 		h.drainAcks()
+		h.flushRepl()
 		h.wave.tick()
 	}
 }
@@ -578,14 +675,20 @@ func (h *meshHub) Done() <-chan struct{} { return h.done }
 func (h *meshHub) Deaths() <-chan int { return h.deaths.ch }
 
 func (h *meshHub) contribute(rank int, blob []byte) {
+	if rank < 0 || rank >= h.size {
+		return
+	}
 	h.gatherMu.Lock()
 	defer h.gatherMu.Unlock()
-	if h.contrib[rank] {
+	if h.aborted || h.contrib[rank] {
 		return
 	}
 	h.contrib[rank] = true
 	h.blobs[rank] = blob
 	h.have++
+	if h.repl != nil {
+		h.repl.noteGather(rank, blob)
+	}
 	if h.have == h.size {
 		close(h.gotAll)
 	}
@@ -596,6 +699,9 @@ func (h *meshHub) Gather(payload []byte) ([][]byte, error) {
 	<-h.gotAll
 	h.gatherMu.Lock()
 	defer h.gatherMu.Unlock()
+	if h.aborted {
+		return nil, errors.New("dist: gather aborted: coordinator endpoint closed mid-search")
+	}
 	return h.blobs, nil
 }
 
@@ -612,6 +718,15 @@ func (h *meshHub) Close() error {
 	if h.ln != nil {
 		h.ln.Close()
 	}
+	// See hub.Close: a pre-termination Close is this endpoint's death;
+	// release the local engine and any Gather stranded on it.
+	h.gatherMu.Lock()
+	if h.have < h.size {
+		h.aborted = true
+		close(h.gotAll)
+	}
+	h.gatherMu.Unlock()
+	h.doneOnce.Do(func() { close(h.done) })
 	return nil
 }
 
@@ -651,6 +766,10 @@ func dialMesh(addr, spec string, opts WireOptions) (Transport, error) {
 		started:   make(chan struct{}),
 		done:      make(chan struct{}),
 		flushStop: make(chan struct{}),
+	}
+	if opts.Standby {
+		w.standby = true
+		w.store = newStandbyState()
 	}
 	w.pbStamp.Store(math.MinInt64)
 	w.pbSeen.Store(math.MinInt64)
@@ -699,9 +818,7 @@ func dialMesh(addr, spec string, opts WireOptions) (Transport, error) {
 	w.peers[0] = cn
 	w.peerPrio = newPeerPrios(w.size)
 	w.deaths = newDeathBox(w.size)
-	w.wave = newWaveNode(w.rank, w.size, w.sendToken, func() {
-		w.doneOnce.Do(func() { close(w.done) })
-	})
+	w.wave = newWaveNode(w.rank, w.size, w.sendToken, w.waveConcluded)
 	cn.pb = &w.pbStamp
 	cn.ps = selfPrioFn(&w.h)
 	cn.psFrom = w.rank
@@ -785,21 +902,48 @@ type meshWorker struct {
 	flushStop chan struct{}
 	flushOnce sync.Once
 	closed    atomic.Bool
+
+	// Failover state (v7, WireOptions.Standby). Mesh takeover is role
+	// migration, not redial: every survivor already holds a direct
+	// connection to every other, so when the coordinator dies the
+	// elected standby starts answering coordinator traffic over the
+	// peer links it has and the others redirect theirs.
+	standby  bool
+	epoch    atomic.Uint32 // 0 normal, 1 after rank 0's death was handled
+	store    *standbyState // replicated hub state (standby candidates only)
+	promoted atomic.Bool   // this rank adopted the coordinator role
+	hubRank  atomic.Int32  // where coordinator traffic goes (0 until takeover)
+	inc      incumbentBox  // incumbent store, once promoted
+	mirror   *hubMirror    // adopted mirror of rank 0's hand-overs
+
+	// Promoted-gather state, initialised at takeover.
+	gatherMu sync.Mutex
+	blobs    [][]byte
+	contrib  []bool
+	have     int
+	gotAll   chan struct{}
 }
 
 var _ Transport = (*meshWorker)(nil)
 var _ Meter = (*meshWorker)(nil)
 var _ PrioAware = (*meshWorker)(nil)
 var _ IncumbentStore = (*meshWorker)(nil)
+var _ Promoter = (*meshWorker)(nil)
 
 func (w *meshWorker) Rank() int { return w.rank }
 func (w *meshWorker) Size() int { return w.size }
 
 func (w *meshWorker) Wire() WireStats { return w.ctr.snapshot() }
 
-// BestKnown implements IncumbentStore vacuously: retention lives at
-// the coordinator, and only rank 0's answer is ever consulted.
-func (w *meshWorker) BestKnown() (int64, []byte, bool) { return 0, nil, false }
+// BestKnown implements IncumbentStore: vacuous normally (retention
+// lives at the coordinator, and only rank 0's answer is consulted),
+// real once this rank adopted the coordinator role.
+func (w *meshWorker) BestKnown() (int64, []byte, bool) {
+	if w.promoted.Load() {
+		return w.inc.best()
+	}
+	return 0, nil, false
+}
 
 func (w *meshWorker) PeerBestPrio(rank int) (int, bool) { return peerBestPrio(w.peerPrio, rank) }
 
@@ -900,6 +1044,9 @@ func (w *meshWorker) readHub() {
 	for {
 		var f frame
 		if err := w.hub().recv(&f); err != nil {
+			if w.failover() {
+				return
+			}
 			// The coordinator is gone: registration, incumbent store and
 			// death authority died with it — the deployment is over.
 			w.pending.failAll()
@@ -931,6 +1078,14 @@ func (w *meshWorker) readHub() {
 			w.peerDied(f.Want)
 		case kTerminate:
 			w.doneOnce.Do(func() { close(w.done) })
+		case kHubSnap:
+			if w.store != nil {
+				w.store.applySnap(f.Blob)
+			}
+		case kHubDelta:
+			if w.store != nil {
+				w.store.applyDelta(&f)
+			}
 		}
 	}
 }
@@ -945,6 +1100,25 @@ func (w *meshWorker) readPeer(rank int) {
 		var f frame
 		if err := cn.recv(&f); err != nil {
 			w.pending.failVictim(rank)
+			if w.epoch.Load() == 1 && !cn.left.Load() {
+				// Post-takeover there is no coordinator watchdog: every
+				// survivor sees the broken link itself and runs the
+				// death protocol decentrally. All survivors reach the
+				// same conclusion from the same evidence, so no fan-out
+				// is needed. A peer that said kLeave first is exempt —
+				// it finished and exited; only a silent break is a death.
+				select {
+				case <-w.done:
+				default:
+					cn.dead.Store(true)
+					w.deaths.announce(rank)
+					w.wave.markDead(rank)
+					if w.promoted.Load() {
+						w.contributeP(rank, nil)
+						w.replayMirrorP(rank)
+					}
+				}
+			}
 			return
 		}
 		w.noteHeader(&f)
@@ -957,8 +1131,41 @@ func (w *meshWorker) readPeer(rank int) {
 			w.onStealR(&f)
 		case kGossip:
 			w.onGossip(&f)
+		case kBound:
+			// Node-carrying broadcasts reach the promoted incumbent
+			// store over the peer link that used to be worker↔worker
+			// only.
+			if w.promoted.Load() && len(f.Blob) > 0 {
+				w.inc.keep(f.Obj, f.Blob)
+			}
+			w.meldBound(f.From, f.Obj)
+		case kCancel:
+			if w.promoted.Load() {
+				if len(f.Blob) > 0 {
+					w.inc.keep(f.Obj, f.Blob)
+				}
+				w.handler().OnCancel(f.From)
+				w.fanPeers(&frame{Kind: kCancel, From: f.From, Obj: f.Obj}, rank)
+			} else {
+				w.handler().OnCancel(f.From)
+			}
+		case kGather:
+			if w.promoted.Load() {
+				w.contributeP(f.From, f.Blob)
+			}
+		case kLeave:
+			cn.left.Store(true)
+		case kTerminate:
+			w.doneOnce.Do(func() { close(w.done) })
 		case kAck:
 			for _, id := range f.Acks {
+				if TaskOrigin(id) == 0 {
+					// A redirected ack for one of the dead coordinator's
+					// hand-overs: retire the mirrored root (nil-safe when
+					// this rank never adopted the mirror).
+					w.mirror.retire(id)
+					continue
+				}
 				w.handler().OnAck(f.From, id)
 			}
 		case kToken:
@@ -979,6 +1186,158 @@ func (w *meshWorker) peerDied(rank int) {
 	w.wave.markDead(rank)
 	w.deaths.announce(rank)
 }
+
+// failover handles the loss of the coordinator connection on a
+// standby deployment. Unlike the star, no rank redials anyone: the
+// mesh already connects every survivor to every other, so takeover is
+// pure role migration — the lowest live rank (the same one the dead
+// hub was replicating to) starts answering coordinator traffic, and
+// everyone else redirects theirs to it. Returns false when this
+// deployment cannot (or need not) fail over, sending readHub to the
+// fail-stop path.
+func (w *meshWorker) failover() bool {
+	if !w.standby {
+		return false
+	}
+	select {
+	case <-w.done:
+		return false // normal post-termination disconnect
+	default:
+	}
+	if !w.epoch.CompareAndSwap(0, 1) {
+		return false
+	}
+	w.pending.failVictim(0)
+	w.hub().dead.Store(true)
+	w.deaths.announce(0)
+	// The wave stops summing rank 0 and, because 0 was the initiator,
+	// re-elects the lowest live rank to launch future probes — the
+	// exact rank that also adopts the coordinator role.
+	w.wave.markDead(0)
+	cand := failoverCandidate(w.size, w.deaths)
+	if cand < 0 {
+		return false
+	}
+	w.hubRank.Store(int32(cand))
+	if cand != w.rank {
+		return true
+	}
+	// This rank is the standby: seed the coordinator role from the
+	// replicated state and start serving it over the existing links.
+	st := w.store.view()
+	w.gatherMu.Lock()
+	w.blobs = make([][]byte, w.size)
+	w.contrib = make([]bool, w.size)
+	w.gotAll = make(chan struct{})
+	w.gatherMu.Unlock()
+	m := newHubMirror()
+	m.install(st.mirror)
+	w.mirror = m
+	if st.hasBest {
+		w.inc.keep(st.bestObj, st.bestNod)
+		raiseMax(&w.pbStamp, st.bestObj)
+	}
+	w.promoted.Store(true)
+	// Rank 0 will never contribute a gather payload; neither will the
+	// ranks the dead hub had already mourned. Replay gather slots the
+	// hub had collected before dying, then the dead holders' mirrored
+	// hand-overs — the one set of supervision roots no surviving
+	// ledger replays.
+	w.contributeP(0, nil)
+	for r, blob := range st.gather {
+		w.contributeP(r, blob)
+	}
+	for _, r := range st.dead {
+		if r == 0 || r == w.rank {
+			continue
+		}
+		w.deaths.announce(r)
+		w.wave.markDead(r)
+		w.contributeP(r, nil)
+	}
+	for _, r := range st.dead {
+		if r != w.rank {
+			w.replayMirrorP(r)
+		}
+	}
+	w.replayMirrorP(0)
+	return true
+}
+
+// contributeP fills a promoted-gather slot (first write wins).
+func (w *meshWorker) contributeP(rank int, blob []byte) {
+	if rank < 0 || rank >= w.size {
+		return
+	}
+	w.gatherMu.Lock()
+	defer w.gatherMu.Unlock()
+	if w.contrib == nil || w.contrib[rank] {
+		return
+	}
+	w.contrib[rank] = true
+	w.blobs[rank] = blob
+	w.have++
+	if w.have == w.size {
+		close(w.gotAll)
+	}
+}
+
+// replayMirrorP replays a dead holder's mirrored hand-overs into the
+// local engine, blackening the wave first: the migration must be
+// visible to the token before the work is.
+func (w *meshWorker) replayMirrorP(holder int) {
+	ts := w.mirror.takeHolder(holder)
+	if len(ts) == 0 {
+		return
+	}
+	hd := w.handler()
+	if hd == nil {
+		return
+	}
+	w.wave.blacken()
+	for _, t := range ts {
+		hd.OnTask(t)
+	}
+}
+
+// fanPeers forwards a frame to every live peer except `except` and
+// this rank — the promoted stand-in for the hub's fan-out.
+func (w *meshWorker) fanPeers(f *frame, except int) {
+	for r := 1; r < w.size; r++ {
+		if r == except || r == w.rank {
+			continue
+		}
+		if cn := w.connTo(r); cn != nil {
+			cn.send(f)
+		}
+	}
+}
+
+// waveConcluded runs when the termination wave proves global
+// quiescence at this rank. Normally only rank 0 concludes; after a
+// takeover the promoted rank does, and it fans the termination to the
+// survivors exactly as the dead coordinator would have.
+func (w *meshWorker) waveConcluded() {
+	w.doneOnce.Do(func() {
+		close(w.done)
+		if w.promoted.Load() {
+			w.fanPeers(&frame{Kind: kTerminate}, -1)
+		}
+	})
+}
+
+// hubConn is the connection coordinator traffic should use: the
+// registration conn normally, the promoted rank's peer link after a
+// takeover, nil when this rank IS the coordinator now.
+func (w *meshWorker) hubConn() *wconn {
+	if hr := int(w.hubRank.Load()); hr != 0 {
+		return w.connTo(hr)
+	}
+	return w.hub()
+}
+
+// Promoted reports whether this rank adopted the coordinator role.
+func (w *meshWorker) Promoted() bool { return w.promoted.Load() }
 
 // pingLoop heartbeats the coordinator connection only: peer links
 // carry no liveness protocol of their own, because the coordinator's
@@ -1124,13 +1483,27 @@ func (w *meshWorker) stealVia(k kind, victim int) (WireTask, bool, error) {
 // bound to a couple of random peers.
 func (w *meshWorker) BroadcastBound(obj int64, node []byte) error {
 	raiseMax(&w.pbStamp, obj)
-	err := w.hub().send(&frame{Kind: kBound, From: w.rank, Obj: obj, Blob: node})
+	var err error
+	if w.promoted.Load() {
+		w.inc.keep(obj, node)
+	} else if cn := w.hubConn(); cn != nil {
+		err = cn.send(&frame{Kind: kBound, From: w.rank, Obj: obj, Blob: node})
+	}
 	w.gossip(obj, meshGossipFan)
 	return err
 }
 
 func (w *meshWorker) Cancel(obj int64, witness []byte) error {
-	return w.hub().send(&frame{Kind: kCancel, From: w.rank, Obj: obj, Blob: witness})
+	if w.promoted.Load() {
+		w.inc.keep(obj, witness)
+		w.fanPeers(&frame{Kind: kCancel, From: w.rank, Obj: obj}, -1)
+		return nil
+	}
+	cn := w.hubConn()
+	if cn == nil {
+		return nil // takeover in flight; the witness is already retained via kBound gossip
+	}
+	return cn.send(&frame{Kind: kCancel, From: w.rank, Obj: obj, Blob: witness})
 }
 
 // Ack queues a hand-over completion ack. Unlike the star there is no
@@ -1139,6 +1512,12 @@ func (w *meshWorker) Cancel(obj int64, witness []byte) error {
 func (w *meshWorker) Ack(origin int, id uint64) error {
 	if origin < 0 || origin >= w.size || origin == w.rank {
 		return fmt.Errorf("dist: ack to invalid rank %d", origin)
+	}
+	if origin == 0 && w.promoted.Load() {
+		// An adopted hand-over of the dead coordinator completed here:
+		// this rank IS the supervision authority for it now.
+		w.mirror.retire(id)
+		return nil
 	}
 	w.ackMu.Lock()
 	w.ackBuf = append(w.ackBuf, id)
@@ -1161,7 +1540,23 @@ func (w *meshWorker) drainAcks() {
 		}
 	}
 	for origin, ids := range byOrigin {
-		cn := w.connTo(origin)
+		dest := origin
+		if origin == 0 {
+			// Acks for the dead coordinator's hand-overs chase the
+			// mirror: retire locally when this rank adopted it, else
+			// redirect to the promoted rank.
+			hr := int(w.hubRank.Load())
+			if hr == w.rank {
+				for _, id := range ids {
+					w.mirror.retire(id)
+				}
+				continue
+			}
+			if hr != 0 {
+				dest = hr
+			}
+		}
+		cn := w.connTo(dest)
 		if cn == nil {
 			continue // origin is dead; its ledger died with it
 		}
@@ -1170,7 +1565,7 @@ func (w *meshWorker) drainAcks() {
 			if n > maxStealBatch {
 				n = maxStealBatch
 			}
-			if cn.send(&frame{Kind: kAck, From: w.rank, To: origin, Acks: ids[:n]}) != nil {
+			if cn.send(&frame{Kind: kAck, From: w.rank, To: dest, Acks: ids[:n]}) != nil {
 				break
 			}
 			ids = ids[n:]
@@ -1187,7 +1582,24 @@ func (w *meshWorker) Done() <-chan struct{} { return w.done }
 func (w *meshWorker) Deaths() <-chan int { return w.deaths.ch }
 
 func (w *meshWorker) Gather(payload []byte) ([][]byte, error) {
-	if err := w.hub().send(&frame{Kind: kGather, From: w.rank, Blob: payload}); err != nil {
+	if w.promoted.Load() {
+		// The promoted rank runs the terminal collective the dead
+		// coordinator would have: collect every survivor's payload
+		// (dead ranks' slots were nil-filled at takeover).
+		w.contributeP(w.rank, payload)
+		w.gatherMu.Lock()
+		ch := w.gotAll
+		w.gatherMu.Unlock()
+		<-ch
+		w.gatherMu.Lock()
+		defer w.gatherMu.Unlock()
+		return w.blobs, nil
+	}
+	cn := w.hubConn()
+	if cn == nil {
+		return nil, fmt.Errorf("dist: no route to coordinator for gather")
+	}
+	if err := cn.send(&frame{Kind: kGather, From: w.rank, Blob: payload}); err != nil {
 		return nil, fmt.Errorf("dist: sending gather payload: %w", err)
 	}
 	return nil, nil
@@ -1198,6 +1610,23 @@ func (w *meshWorker) Close() error {
 		// Best-effort final ack flush; there are no deltas to flush.
 		w.drainAcks()
 		w.stopFlush()
+		select {
+		case <-w.done:
+			// Normal post-termination exit. Say goodbye in-band before
+			// closing: after a takeover the survivors classify broken
+			// peer links themselves, and a rank whose kTerminate is
+			// still queued behind other traffic must read this exit as
+			// a finished peer leaving, not a death to replay. TCP
+			// ordering puts the kLeave ahead of the close on every link.
+			for _, cn := range w.peers {
+				if cn != nil {
+					cn.send(&frame{Kind: kLeave, From: w.rank})
+				}
+			}
+		default:
+			// Pre-termination Close abandons live work: stay silent so
+			// peers run the death protocol and replay this rank.
+		}
 		for _, cn := range w.peers {
 			if cn != nil {
 				cn.close()
@@ -1207,112 +1636,29 @@ func (w *meshWorker) Close() error {
 	return nil
 }
 
-// HubSnapshot is the mesh coordinator's residual state: everything a
-// standby needs to adopt the deployment (re-binding the address and
-// re-accepting the registration connections is the transport's job; a
-// full standby protocol is future work, but the state is deliberately
-// small enough to ship on every change).
-type HubSnapshot struct {
-	Spec      string
-	Size      int
-	PeerAddrs []string // rank-indexed; slot 0 empty
-	Alive     []bool   // rank-indexed liveness, as last decided by the hub
-	BestObj   int64    // retained incumbent objective (valid when HasBest)
-	BestNode  []byte   // retained incumbent witness
-	HasBest   bool
-}
+// Snapshot serialises the coordinator's residual state (the same
+// HubSnapshot a standby star hub replicates; see failover.go).
+func (h *meshHub) Snapshot() []byte { return h.snapshotBlob() }
 
-const hubSnapshotVersion = 1
-
-// Snapshot serialises the coordinator's residual state.
-func (h *meshHub) Snapshot() []byte {
-	b := binary.AppendUvarint(nil, hubSnapshotVersion)
-	b = binary.AppendUvarint(b, uint64(h.size))
-	b = binary.AppendUvarint(b, uint64(len(h.spec)))
-	b = append(b, h.spec...)
-	b = appendPeerTable(b, h.peerAddrs)
+// snapshotBlob captures the mesh hub's residual state for a kHubSnap.
+func (h *meshHub) snapshotBlob() []byte {
+	s := &HubSnapshot{
+		Epoch:     0,
+		Spec:      h.spec,
+		Size:      h.size,
+		PeerAddrs: h.peerAddrs,
+		Mirror:    h.mirror.entries(),
+	}
 	h.aliveMu.Lock()
-	for _, a := range h.alive {
-		if a {
-			b = append(b, 1)
-		} else {
-			b = append(b, 0)
-		}
-	}
+	s.Alive = append([]bool(nil), h.alive...)
 	h.aliveMu.Unlock()
-	if obj, node, ok := h.inc.best(); ok {
-		b = append(b, 1)
-		b = binary.AppendVarint(b, obj)
-		b = binary.AppendUvarint(b, uint64(len(node)))
-		b = append(b, node...)
-	} else {
-		b = append(b, 0)
-	}
-	return b
-}
-
-// DecodeHubSnapshot parses a meshHub.Snapshot blob.
-func DecodeHubSnapshot(b []byte) (*HubSnapshot, error) {
-	r := &frameReader{b: b}
-	ver, err := r.uvarint()
-	if err != nil {
-		return nil, err
-	}
-	if ver != hubSnapshotVersion {
-		return nil, fmt.Errorf("dist: hub snapshot version %d, want %d", ver, hubSnapshotVersion)
-	}
-	size, err := r.uvarint()
-	if err != nil {
-		return nil, err
-	}
-	if size > maxPeerTable {
-		return nil, fmt.Errorf("dist: hub snapshot size %d", size)
-	}
-	spec, err := r.bytes()
-	if err != nil {
-		return nil, err
-	}
-	s := &HubSnapshot{Spec: string(spec), Size: int(size)}
-	n, err := r.uvarint()
-	if err != nil {
-		return nil, err
-	}
-	if n != size {
-		return nil, fmt.Errorf("dist: hub snapshot peer table has %d slots, want %d", n, size)
-	}
-	s.PeerAddrs = make([]string, n)
-	for i := range s.PeerAddrs {
-		a, err := r.bytes()
-		if err != nil {
-			return nil, err
+	s.BestObj, s.BestNode, s.HasBest = h.inc.best()
+	h.gatherMu.Lock()
+	for r, c := range h.contrib {
+		if c {
+			s.Gather = append(s.Gather, GatherSlot{Rank: r, Blob: h.blobs[r]})
 		}
-		s.PeerAddrs[i] = string(a)
 	}
-	s.Alive = make([]bool, size)
-	for i := range s.Alive {
-		v, err := r.byte()
-		if err != nil {
-			return nil, err
-		}
-		s.Alive[i] = v != 0
-	}
-	has, err := r.byte()
-	if err != nil {
-		return nil, err
-	}
-	if has != 0 {
-		obj, err := r.varint()
-		if err != nil {
-			return nil, err
-		}
-		node, err := r.bytes()
-		if err != nil {
-			return nil, err
-		}
-		s.BestObj, s.BestNode, s.HasBest = obj, node, true
-	}
-	if len(r.b) != 0 {
-		return nil, fmt.Errorf("dist: %d trailing bytes in hub snapshot", len(r.b))
-	}
-	return s, nil
+	h.gatherMu.Unlock()
+	return encodeHubSnapshot(s)
 }

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -40,8 +41,10 @@ const (
 	// v5 (mesh topology: peer address exchange, direct peer frames,
 	// bound gossip, termination-wave tokens) and v6 (on-demand stack
 	// splitting: kSplit requests served by splitting a running worker's
-	// live generator stack) peers must not silently garble each other.
-	wireVersion = 6
+	// live generator stack) and v7 (coordinator failover: hub state
+	// replication to a standby, epoch-fenced rejoin after a takeover)
+	// peers must not silently garble each other.
+	wireVersion = 7
 )
 
 // stealTimeout bounds a steal request whose reply never arrives; a
@@ -90,6 +93,15 @@ type WireOptions struct {
 	// detection, and aggregation. Both sides of a deployment must agree
 	// (the topology is folded into the spec check at registration).
 	Topology string
+	// Standby arms coordinator failover: the hub replicates its
+	// residual state (peer addresses, incumbent, hand-over mirror,
+	// gather progress) to the lowest live worker rank, every worker
+	// pre-binds a promotion listener whose address is exchanged at
+	// registration, and on rank 0's death the replicated rank promotes
+	// itself while the rest re-dial it. Costs one replication frame
+	// stream hub→standby; off by default. Both sides of a deployment
+	// must agree (folded into the spec check, like Topology).
+	Standby bool
 }
 
 // Topology values for WireOptions.Topology (and the engine-level
@@ -149,6 +161,10 @@ const (
 	kGossip                // epidemic bound push: From = origin, Obj = gossiped bound
 	kToken                 // termination-wave token: Seq = round, Obj = accumulated count, Want = colour bits
 	kSplit                 // steal with split semantics: From = thief, To = victim, Want = max tasks; reply is a kStealR
+	kHubSnap               // hub→standby: Blob = full residual-state snapshot (encodeHubSnapshot)
+	kHubDelta              // hub→standby: Want = subtype (hubDelta*), payload in Tasks/Acks/Blob
+	kRejoin                // worker→promoted hub: From = rank, Want = expected epoch, Obj = cumulative live-task contribution
+	kLeave                 // mesh worker→peers at post-termination Close: the sender is exiting, not dying
 )
 
 // wconn is one length-prefix-framed TCP connection with serialised
@@ -164,6 +180,12 @@ type wconn struct {
 	// mourned latches the one-time death processing for the peer
 	// behind this connection (hub side).
 	mourned atomic.Bool
+	// left records an in-band kLeave: the peer announced a normal
+	// post-termination exit, so the connection breaking right after is
+	// a shutdown, not a death. Only consulted where death detection is
+	// decentralised (the mesh after a coordinator failover) — everywhere
+	// else the hub's done-gate already classifies the disconnect.
+	left atomic.Bool
 	// nSent/nRecvd count frames in each direction: the heartbeat
 	// layer's raw material. Counters, not timestamps, keep the per-
 	// frame cost to one relaxed increment — the watchdogs (pingLoop,
@@ -174,7 +196,12 @@ type wconn struct {
 
 	// endpoint hooks; any may be nil.
 	pending *atomic.Int64 // coalesced live-task delta, drained per send
-	pb      *atomic.Int64 // best known bound, stamped per send
+	// cum accumulates every delta this endpoint has put on a wire
+	// (standby deployments only). cum + pending is the rank's exact
+	// cumulative live-task contribution at any instant — the number a
+	// kRejoin reports so a promoted hub can rebuild the global count.
+	cum *atomic.Int64
+	pb  *atomic.Int64 // best known bound, stamped per send
 	// ps reports the owning endpoint's best stealable priority for the
 	// v3 summary piggyback (psNothing = don't stamp). Only frames the
 	// endpoint originates (From == psFrom) are stamped: forwarded
@@ -222,11 +249,13 @@ func (cn *wconn) send(f *frame) error {
 	}
 	cn.wmu.Lock()
 	defer cn.wmu.Unlock()
+	drained := false
 	if cn.pending != nil && f.Delta == 0 {
 		// Drain under wmu: flushes reach the wire in issue order, so a
 		// steal reply always carries every delta issued before its
 		// tasks left the pool (the termination-safety invariant).
 		f.Delta = cn.pending.Swap(0)
+		drained = f.Delta != 0
 	}
 	// kBound frames carry their news in Obj; stamping the same value
 	// as a piggyback would make the receiver's header merge mark the
@@ -246,8 +275,17 @@ func (cn *wconn) send(f *frame) error {
 	binary.LittleEndian.PutUint32(buf[:4], uint32(len(buf)-4))
 	cn.wbuf = buf
 	if _, err := cn.c.Write(buf); err != nil {
+		if drained {
+			// Put the drained delta back: a failover recomputes the
+			// rank's contribution from cum + pending, so a delta that
+			// died with the connection must stay accounted.
+			cn.pending.Add(f.Delta)
+		}
 		cn.dead.Store(true)
 		return err
+	}
+	if cn.cum != nil && f.Delta != 0 {
+		cn.cum.Add(f.Delta)
 	}
 	cn.nSent.Add(1)
 	cn.noteCarried(f)
@@ -459,7 +497,13 @@ func NewListenerOpts(addr, spec string, opts WireOptions) (*Listener, error) {
 // frames the other side never sends.
 func topoSpec(spec string, opts WireOptions) string {
 	if opts.Topology == TopologyMesh {
-		return spec + " topology=mesh"
+		spec += " topology=mesh"
+	}
+	if opts.Standby {
+		// A standby deployment changes the registration sequence
+		// (kPeerAddr/kPeers on a star) — mixed deployments must reject
+		// each other instead of wedging.
+		spec += " standby=1"
 	}
 	return spec
 }
@@ -498,6 +542,7 @@ func (l *Listener) Wait(workers int) (Transport, error) {
 		opts:     l.opts,
 		started:  make(chan struct{}),
 		done:     make(chan struct{}),
+		doneOnce: new(sync.Once),
 		deaths:   newDeathBox(workers + 1),
 		blobs:    make([][]byte, workers+1),
 		contrib:  make([]bool, workers+1),
@@ -507,6 +552,13 @@ func (l *Listener) Wait(workers int) (Transport, error) {
 	}
 	h.pbStamp.Store(math.MinInt64)
 	h.pbSeen.Store(math.MinInt64)
+	if l.opts.Standby {
+		h.standby = true
+		h.snapSpec = l.spec
+		h.peerAddrs = make([]string, workers+1)
+		h.mirror = newHubMirror()
+		h.repl = newHubRepl()
+	}
 	var lastReject error
 	regFailed := func(err error) (Transport, error) {
 		registered := 0
@@ -560,6 +612,21 @@ func (l *Listener) Wait(workers int) (Transport, error) {
 			lastReject = fmt.Errorf("worker %v registered with mismatched spec %q (coordinator: %q)", c.RemoteAddr(), string(hello.Blob), l.spec)
 			continue
 		}
+		if l.opts.Standby {
+			// A standby worker follows its hello with the promotion
+			// listener it pre-bound — the address survivors re-dial
+			// after a takeover.
+			c.SetReadDeadline(deadline)
+			var pa frame
+			if err := cn.recv(&pa); err != nil || pa.Kind != kPeerAddr || len(pa.Blob) == 0 {
+				cn.send(&frame{Kind: kReject, Blob: []byte("standby registration requires a promotion listener address")})
+				cn.close()
+				lastReject = fmt.Errorf("worker %v sent no promotion listener address", c.RemoteAddr())
+				continue
+			}
+			c.SetReadDeadline(time.Time{})
+			h.peerAddrs[rank] = string(pa.Blob)
+		}
 		h.conns[rank] = cn
 		rank++
 	}
@@ -569,6 +636,17 @@ func (l *Listener) Wait(workers int) (Transport, error) {
 	for rank := 1; rank <= workers; rank++ {
 		if err := h.conns[rank].send(&frame{Kind: kWelcome, To: rank, Want: h.size, Blob: []byte(l.spec)}); err != nil {
 			return nil, fmt.Errorf("dist: welcoming worker %d: %w", rank, err)
+		}
+	}
+	if l.opts.Standby {
+		// Every worker gets the full promotion-address table: each one
+		// must be able to find whichever rank the takeover elects. The
+		// first replication flush ships the standby its base snapshot.
+		table := appendPeerTable(nil, h.peerAddrs)
+		for rank := 1; rank <= workers; rank++ {
+			if err := h.conns[rank].send(&frame{Kind: kPeers, To: rank, Blob: table}); err != nil {
+				return nil, fmt.Errorf("dist: sending promotion addresses to worker %d: %w", rank, err)
+			}
 		}
 	}
 	for rank := 1; rank <= workers; rank++ {
@@ -581,14 +659,26 @@ func (l *Listener) Wait(workers int) (Transport, error) {
 
 // hub is the coordinator transport: rank 0's endpoint plus the router
 // for worker↔worker traffic and the home of the global live-task
-// counter.
+// counter. Under failover the same struct serves a promoted worker:
+// self names the rank it runs at (0 for the original coordinator),
+// and done/doneOnce/deaths are shared with the worker endpoint it
+// grew out of.
 type hub struct {
 	size    int
-	conns   []*wconn // index by rank; conns[0] is nil
+	self    int      // the rank this hub serves at (0 unless promoted)
+	conns   []*wconn // index by rank; conns[self] is nil
 	opts    WireOptions
 	h       atomic.Value
 	started chan struct{}
 	stOnce  sync.Once
+
+	// failover state (nil/zero unless WireOptions.Standby).
+	standby   bool
+	epoch     uint64     // 0 original coordinator, 1 after the takeover
+	snapSpec  string     // deployment spec, carried in snapshots
+	peerAddrs []string   // rank-indexed promotion-listener addresses
+	mirror    *hubMirror // replicated rank-0 hand-overs
+	repl      *hubRepl   // replication queue towards the standby
 
 	// live is the global live-task count; liveAt[rank] is each rank's
 	// contribution to it (the deltas it has flushed). The split is the
@@ -598,10 +688,13 @@ type hub struct {
 	// (including the ledger copies covering everything handed to the
 	// dead rank) stay counted until the survivors themselves finish
 	// or replay them.
-	live     atomic.Int64
-	liveAt   []atomic.Int64
-	done     chan struct{}
-	doneOnce sync.Once
+	live   atomic.Int64
+	liveAt []atomic.Int64
+	done   chan struct{}
+	// doneOnce is a pointer so a promoted hub can share the latch with
+	// the worker endpoint it grew out of (both reach for the same done
+	// channel).
+	doneOnce *sync.Once
 	deaths   *deathBox
 	inc      incumbentBox
 
@@ -621,6 +714,11 @@ type hub struct {
 	contrib  []bool
 	have     int
 	gotAll   chan struct{}
+	// aborted marks a Close that ran before the gather completed: the
+	// coordinator endpoint is gone mid-search (a simulated death), so a
+	// blocked Gather must fail rather than wait for contributions that
+	// can no longer arrive.
+	aborted bool
 
 	closed atomic.Bool
 	ln     net.Listener
@@ -631,8 +729,12 @@ var _ Meter = (*hub)(nil)
 var _ PrioAware = (*hub)(nil)
 var _ IncumbentStore = (*hub)(nil)
 
-func (h *hub) Rank() int { return 0 }
+func (h *hub) Rank() int { return h.self }
 func (h *hub) Size() int { return h.size }
+
+// Promoted implements Promoter: true only for a hub that took over
+// from a dead coordinator.
+func (h *hub) Promoted() bool { return h.self != 0 }
 
 func (h *hub) Wire() WireStats { return h.ctr.snapshot() }
 
@@ -750,19 +852,20 @@ func (h *hub) serve(rank int) {
 		}
 		switch f.Kind {
 		case kSteal:
-			if f.To == 0 {
+			if f.To == h.self {
 				var tasks []WireTask
 				if hd := h.handler(); hd != nil {
 					tasks = collectSteal(hd, f.From, f.Want)
 				}
-				cn.send(&frame{Kind: kStealR, From: 0, To: f.From, Seq: f.Seq, Tasks: tasks})
+				h.mirrorHandOver(f.From, tasks)
+				cn.send(&frame{Kind: kStealR, From: h.self, To: f.From, Seq: f.Seq, Tasks: tasks})
 				break
 			}
 			if !h.forward(f.To, &f) {
 				cn.send(&frame{Kind: kStealR, From: f.To, To: f.From, Seq: f.Seq})
 			}
 		case kSplit:
-			if f.To == 0 {
+			if f.To == h.self {
 				// Served off the serve loop: the split gate may block
 				// briefly waiting for a running worker's poll point, and
 				// this loop must keep draining rank's other traffic.
@@ -772,7 +875,8 @@ func (h *hub) serve(rank int) {
 					if hd := h.handler(); hd != nil {
 						tasks = collectSplit(hd, thief, want)
 					}
-					cn.send(&frame{Kind: kStealR, From: 0, To: thief, Seq: seq, Tasks: tasks})
+					h.mirrorHandOver(thief, tasks)
+					cn.send(&frame{Kind: kStealR, From: h.self, To: thief, Seq: seq, Tasks: tasks})
 				}()
 				break
 			}
@@ -780,7 +884,7 @@ func (h *hub) serve(rank int) {
 				cn.send(&frame{Kind: kStealR, From: f.To, To: f.From, Seq: f.Seq})
 			}
 		case kStealR:
-			if f.To == 0 {
+			if f.To == h.self {
 				if !h.pending.resolve(f.Seq, stealRes{tasks: f.Tasks}) && len(f.Tasks) > 0 {
 					// The request timed out before this reply landed;
 					// the tasks are ours now — keep them as local work.
@@ -802,14 +906,18 @@ func (h *hub) serve(rank int) {
 			// retention wants the blob, so the relay is stripped to
 			// the bound itself (workers read only Obj).
 			if len(f.Blob) > 0 {
-				h.inc.keep(f.Obj, f.Blob)
+				if h.inc.keep(f.Obj, f.Blob) {
+					h.noteIncumbent(f.Obj, f.Blob)
+				}
 				f.Blob = nil
 			}
 			h.meldBound(f.From, f.Obj)
 			h.fanOut(&f, rank)
 		case kCancel:
 			if len(f.Blob) > 0 {
-				h.inc.keep(f.Obj, f.Blob)
+				if h.inc.keep(f.Obj, f.Blob) {
+					h.noteIncumbent(f.Obj, f.Blob)
+				}
 				f.Blob = nil
 			}
 			if hd := h.handler(); hd != nil {
@@ -826,10 +934,21 @@ func (h *hub) serve(rank int) {
 			// the ack certifies was completed by the sender anyway.
 			var relay []uint64
 			for _, id := range f.Acks {
-				if TaskOrigin(id) == 0 {
+				if origin := TaskOrigin(id); origin == h.self {
 					if hd := h.handler(); hd != nil {
 						hd.OnAck(f.From, id)
 					}
+					if h.self == 0 && h.mirror != nil {
+						h.mirror.retire(id)
+						h.repl.noteRetire(id)
+					}
+					continue
+				} else if origin == 0 {
+					// Promoted hub: an ack certifying one of the dead
+					// coordinator's hand-overs. Its ledger is gone; the
+					// mirror entry is what must retire so the subtree is
+					// never replayed.
+					h.mirror.retire(id)
 					continue
 				}
 				relay = append(relay, id)
@@ -845,6 +964,30 @@ func (h *hub) serve(rank int) {
 		case kGather:
 			h.contribute(f.From, f.Blob)
 		}
+	}
+}
+
+// mirrorHandOver records the coordinator's own hand-overs in the
+// failover mirror before the reply ships: should the thief die after
+// a takeover, the promoted hub replays exactly these supervision
+// roots. Unsupervised tasks (ID 0) have nothing to replay.
+func (h *hub) mirrorHandOver(thief int, tasks []WireTask) {
+	if h.mirror == nil || h.self != 0 {
+		return
+	}
+	for _, t := range tasks {
+		if t.ID == 0 {
+			continue
+		}
+		h.mirror.add(thief, t)
+		h.repl.noteMirrorAdd(thief, t)
+	}
+}
+
+// noteIncumbent replicates an incumbent improvement to the standby.
+func (h *hub) noteIncumbent(obj int64, node []byte) {
+	if h.repl != nil && h.self == 0 {
+		h.repl.noteIncumbent(obj, node)
 	}
 }
 
@@ -883,6 +1026,14 @@ func (h *hub) fanOut(f *frame, except int) {
 // still be replayed counted, so the count reaches zero exactly when
 // the surviving search (replays included) is done.
 func (h *hub) workerDied(rank int) {
+	if h.closed.Load() {
+		// The hub itself is going away (Close tears the connections
+		// down one by one): the workers are not dying, and mourning
+		// them here would broadcast spurious kDeath frames to conns
+		// not yet torn down — survivors of a coordinator crash must
+		// see exactly one death, rank 0's, detected on their own side.
+		return
+	}
 	cn := h.conns[rank]
 	if !cn.mourned.CompareAndSwap(false, true) {
 		return
@@ -899,13 +1050,83 @@ func (h *hub) workerDied(rank int) {
 	default:
 	}
 	h.deaths.announce(rank)
-	h.fanOut(&frame{Kind: kDeath, From: 0, Want: rank}, rank)
+	h.fanOut(&frame{Kind: kDeath, From: h.self, Want: rank}, rank)
 	h.contribute(rank, nil)
+	if h.mirror != nil {
+		if h.self == 0 {
+			// The engine-level ledger replays these hand-overs itself
+			// (they re-export under fresh ids if re-stolen); the old
+			// mirror entries are dead weight at the standby too.
+			for _, t := range h.mirror.takeHolder(rank) {
+				h.repl.noteRetire(t.ID)
+			}
+			if rank == h.repl.targetRank() {
+				h.retargetRepl()
+			}
+		} else {
+			// Promoted hub: replay the dead rank's share of the old
+			// coordinator's hand-overs — the one set of roots no
+			// surviving ledger supervises.
+			h.replayMirror(rank)
+		}
+	}
 	if removed := h.liveAt[rank].Swap(0); removed != 0 {
 		if h.live.Add(-removed) == 0 && removed > 0 {
 			h.terminate()
 		}
 	}
+}
+
+// retargetRepl points replication at the lowest surviving rank and
+// forces it a full base snapshot.
+func (h *hub) retargetRepl() {
+	for r := 1; r < h.size; r++ {
+		cn := h.conns[r]
+		if cn != nil && !cn.dead.Load() && !cn.mourned.Load() {
+			h.repl.setTarget(r)
+			return
+		}
+	}
+	h.repl.setTarget(-1) // no survivors to replicate to
+}
+
+// flushRepl drains the replication queue once per flush quantum.
+func (h *hub) flushRepl() {
+	if h.repl == nil || h.self != 0 {
+		return
+	}
+	t := h.repl.targetRank()
+	if t <= 0 || t >= h.size {
+		return
+	}
+	h.repl.flushTo(h.conns[t], h.snapshotBlob)
+}
+
+// snapshotBlob captures the hub's residual state for a kHubSnap.
+func (h *hub) snapshotBlob() []byte {
+	s := &HubSnapshot{
+		Epoch:     h.epoch,
+		Spec:      h.snapSpec,
+		Size:      h.size,
+		PeerAddrs: h.peerAddrs,
+		Alive:     make([]bool, h.size),
+		Mirror:    h.mirror.entries(),
+	}
+	s.Alive[h.self] = true
+	for r := 0; r < h.size; r++ {
+		if cn := h.conns[r]; cn != nil && !cn.mourned.Load() {
+			s.Alive[r] = true
+		}
+	}
+	s.BestObj, s.BestNode, s.HasBest = h.inc.best()
+	h.gatherMu.Lock()
+	for r, c := range h.contrib {
+		if c {
+			s.Gather = append(s.Gather, GatherSlot{Rank: r, Blob: h.blobs[r]})
+		}
+	}
+	h.gatherMu.Unlock()
+	return encodeHubSnapshot(s)
 }
 
 // terminate ends the search everywhere, once.
@@ -929,11 +1150,11 @@ func (h *hub) SplitSteal(victim int) (WireTask, bool, error) {
 }
 
 func (h *hub) stealVia(k kind, victim int) (WireTask, bool, error) {
-	if victim <= 0 || victim >= h.size {
+	if victim < 0 || victim >= h.size || victim == h.self {
 		return WireTask{}, false, fmt.Errorf("dist: steal from invalid rank %d", victim)
 	}
 	seq, ch := h.pending.register(victim)
-	if !h.forward(victim, &frame{Kind: k, From: 0, To: victim, Seq: seq, Want: h.opts.StealBatch}) {
+	if !h.forward(victim, &frame{Kind: k, From: h.self, To: victim, Seq: seq, Want: h.opts.StealBatch}) {
 		h.pending.drop(seq)
 		return WireTask{}, false, nil
 	}
@@ -966,15 +1187,19 @@ func (h *hub) stealVia(k kind, victim int) (WireTask, bool, error) {
 // retention) and fans out the bound alone: workers have no use for
 // the encoded node, so it never costs fan-out bandwidth.
 func (h *hub) BroadcastBound(obj int64, node []byte) error {
-	h.inc.keep(obj, node)
+	if h.inc.keep(obj, node) {
+		h.noteIncumbent(obj, node)
+	}
 	raiseMax(&h.pbStamp, obj)
-	h.fanOut(&frame{Kind: kBound, From: 0, Obj: obj}, 0)
+	h.fanOut(&frame{Kind: kBound, From: h.self, Obj: obj}, h.self)
 	return nil
 }
 
 func (h *hub) Cancel(obj int64, witness []byte) error {
-	h.inc.keep(obj, witness)
-	h.fanOut(&frame{Kind: kCancel, From: 0, Obj: obj}, 0)
+	if h.inc.keep(obj, witness) {
+		h.noteIncumbent(obj, witness)
+	}
+	h.fanOut(&frame{Kind: kCancel, From: h.self, Obj: obj}, h.self)
 	return nil
 }
 
@@ -982,7 +1207,14 @@ func (h *hub) Cancel(obj int64, witness []byte) error {
 // the hub's ack flusher drains the buffer once per quantum, one frame
 // per origin, exactly like a worker's coalescing.
 func (h *hub) Ack(origin int, id uint64) error {
-	if origin <= 0 || origin >= h.size {
+	if origin == 0 && h.self != 0 {
+		// Promoted hub completing one of the dead coordinator's
+		// hand-overs (adopted via a mirror replay): the origin ledger
+		// is gone, the mirror entry is what retires.
+		h.mirror.retire(id)
+		return nil
+	}
+	if origin <= 0 || origin >= h.size || origin == h.self {
 		return fmt.Errorf("dist: ack to invalid rank %d", origin)
 	}
 	h.ackMu.Lock()
@@ -1002,7 +1234,14 @@ func (h *hub) drainAcks() {
 	}
 	byOrigin := make(map[int][]uint64)
 	for _, id := range ids {
-		if origin := TaskOrigin(id); origin > 0 && origin < h.size {
+		origin := TaskOrigin(id)
+		if origin == 0 && h.self != 0 {
+			// Inherited from the worker endpoint at promotion: an ack
+			// for a dead-coordinator hand-over retires its mirror entry.
+			h.mirror.retire(id)
+			continue
+		}
+		if origin > 0 && origin < h.size && origin != h.self {
 			byOrigin[origin] = append(byOrigin[origin], id)
 		}
 	}
@@ -1012,7 +1251,7 @@ func (h *hub) drainAcks() {
 			if n > maxStealBatch {
 				n = maxStealBatch
 			}
-			h.forward(origin, &frame{Kind: kAck, From: 0, To: origin, Acks: ids[:n]})
+			h.forward(origin, &frame{Kind: kAck, From: h.self, To: origin, Acks: ids[:n]})
 			ids = ids[n:]
 		}
 	}
@@ -1029,6 +1268,7 @@ func (h *hub) ackFlushLoop() {
 			return
 		}
 		h.drainAcks()
+		h.flushRepl()
 	}
 }
 
@@ -1043,31 +1283,40 @@ func (h *hub) addAt(rank int, delta int64) {
 	}
 }
 
-func (h *hub) AddTasks(delta int64) { h.addAt(0, delta) }
+func (h *hub) AddTasks(delta int64) { h.addAt(h.self, delta) }
 
 func (h *hub) Done() <-chan struct{} { return h.done }
 
 func (h *hub) Deaths() <-chan int { return h.deaths.ch }
 
 func (h *hub) contribute(rank int, blob []byte) {
+	if rank < 0 || rank >= h.size {
+		return
+	}
 	h.gatherMu.Lock()
 	defer h.gatherMu.Unlock()
-	if h.contrib[rank] {
+	if h.aborted || h.contrib[rank] {
 		return
 	}
 	h.contrib[rank] = true
 	h.blobs[rank] = blob
 	h.have++
+	if h.repl != nil && h.self == 0 {
+		h.repl.noteGather(rank, blob)
+	}
 	if h.have == h.size {
 		close(h.gotAll)
 	}
 }
 
 func (h *hub) Gather(payload []byte) ([][]byte, error) {
-	h.contribute(0, payload)
+	h.contribute(h.self, payload)
 	<-h.gotAll
 	h.gatherMu.Lock()
 	defer h.gatherMu.Unlock()
+	if h.aborted {
+		return nil, errors.New("dist: gather aborted: coordinator endpoint closed mid-search")
+	}
 	return h.blobs, nil
 }
 
@@ -1085,6 +1334,19 @@ func (h *hub) Close() error {
 	if h.ln != nil {
 		h.ln.Close()
 	}
+	// A Close before global termination is this endpoint's death (the
+	// in-process analogue of SIGKILL — chaos harnesses close a live
+	// coordinator on purpose). Release anything still parked on this
+	// endpoint: the local engine waiting on Done, and a Gather that can
+	// never complete because the workers now contribute to the promoted
+	// standby instead.
+	h.gatherMu.Lock()
+	if h.have < h.size {
+		h.aborted = true
+		close(h.gotAll)
+	}
+	h.gatherMu.Unlock()
+	h.doneOnce.Do(func() { close(h.done) })
 	return nil
 }
 
@@ -1096,9 +1358,13 @@ func Dial(addr, spec string) (Transport, error) {
 	return DialOpts(addr, spec, WireOptions{})
 }
 
-// dialRetry dials addr, retrying while the peer is not yet listening.
+// dialRetry dials addr, retrying while the peer is not yet listening,
+// with jittered exponential backoff: a whole deployment's workers
+// re-reaching a just-promoted standby (or racing a slow coordinator
+// launch) must not stampede the listener in lockstep.
 func dialRetry(addr string) (net.Conn, error) {
 	deadline := time.Now().Add(dialTimeout)
+	backoff := 25 * time.Millisecond
 	for {
 		c, err := net.DialTimeout("tcp", addr, 2*time.Second)
 		if err == nil {
@@ -1107,7 +1373,10 @@ func dialRetry(addr string) (net.Conn, error) {
 		if time.Now().After(deadline) {
 			return nil, fmt.Errorf("dist: dialing coordinator %s: %w", addr, err)
 		}
-		time.Sleep(100 * time.Millisecond)
+		time.Sleep(backoff/2 + time.Duration(rand.Int63n(int64(backoff))))
+		if backoff < 400*time.Millisecond {
+			backoff *= 2
+		}
 	}
 }
 
@@ -1127,6 +1396,7 @@ func DialOpts(addr, spec string, opts WireOptions) (Transport, error) {
 	}
 	w := &worker{
 		opts:      opts,
+		standby:   opts.Standby,
 		started:   make(chan struct{}),
 		done:      make(chan struct{}),
 		flushStop: make(chan struct{}),
@@ -1134,29 +1404,74 @@ func DialOpts(addr, spec string, opts WireOptions) (Transport, error) {
 	w.pbStamp.Store(math.MinInt64)
 	w.pbSeen.Store(math.MinInt64)
 	cn := newWconn(c, &w.ctr)
-	if err := cn.send(&frame{Kind: kHello, Want: wireVersion, Blob: []byte(spec)}); err != nil {
+	fail := func(err error) (Transport, error) {
 		cn.close()
-		return nil, fmt.Errorf("dist: registering with %s: %w", addr, err)
+		if w.promoLn != nil {
+			w.promoLn.Close()
+		}
+		return nil, err
+	}
+	if opts.Standby {
+		// Pre-bind the promotion listener before saying hello: the
+		// address every worker advertises must be accepting from the
+		// instant it is exchanged — a takeover can happen any time
+		// after, and re-dialing workers land in the kernel backlog
+		// until the candidate's accept loop starts.
+		pl, err := net.Listen("tcp", ":0")
+		if err != nil {
+			return fail(fmt.Errorf("dist: binding promotion listener: %w", err))
+		}
+		w.promoLn = pl
+	}
+	if err := cn.send(&frame{Kind: kHello, Want: wireVersion, Blob: []byte(spec)}); err != nil {
+		return fail(fmt.Errorf("dist: registering with %s: %w", addr, err))
+	}
+	if opts.Standby {
+		// Advertise the promotion listener under the host the
+		// registration connection actually uses (the listener itself
+		// is bound to the wildcard address).
+		host, _, err := net.SplitHostPort(c.LocalAddr().String())
+		if err != nil {
+			return fail(fmt.Errorf("dist: resolving promotion address: %w", err))
+		}
+		_, port, err := net.SplitHostPort(w.promoLn.Addr().String())
+		if err != nil {
+			return fail(fmt.Errorf("dist: resolving promotion address: %w", err))
+		}
+		adv := net.JoinHostPort(host, port)
+		if err := cn.send(&frame{Kind: kPeerAddr, Blob: []byte(adv)}); err != nil {
+			return fail(fmt.Errorf("dist: advertising promotion address to %s: %w", addr, err))
+		}
 	}
 	var welcome frame
 	if err := cn.recv(&welcome); err != nil {
-		cn.close()
-		return nil, fmt.Errorf("dist: registration reply from %s: %w", addr, err)
+		return fail(fmt.Errorf("dist: registration reply from %s: %w", addr, err))
 	}
 	switch welcome.Kind {
 	case kWelcome:
 	case kReject:
-		cn.close()
-		return nil, fmt.Errorf("dist: coordinator refused registration: %s", string(welcome.Blob))
+		return fail(fmt.Errorf("dist: coordinator refused registration: %s", string(welcome.Blob)))
 	default:
-		cn.close()
-		return nil, fmt.Errorf("dist: unexpected registration reply kind %d", welcome.Kind)
+		return fail(fmt.Errorf("dist: unexpected registration reply kind %d", welcome.Kind))
 	}
-	w.cn = cn
+	w.cn.Store(cn)
 	w.rank = welcome.To
 	w.size = welcome.Want
 	w.peerPrio = newPeerPrios(w.size)
 	w.deaths = newDeathBox(w.size)
+	if opts.Standby {
+		var pf frame
+		if err := cn.recv(&pf); err != nil || pf.Kind != kPeers {
+			return fail(fmt.Errorf("dist: waiting for promotion address table from %s: %w", addr, err))
+		}
+		table, err := parsePeerTable(pf.Blob)
+		if err != nil || len(table) != w.size {
+			return fail(fmt.Errorf("dist: bad promotion address table from %s (%d entries, want %d)", addr, len(table), w.size))
+		}
+		w.peerAddrs = table
+		w.store = newStandbyState()
+		cn.cum = &w.cumSent
+	}
 	cn.pending = &w.delta
 	cn.pb = &w.pbStamp
 	cn.ps = selfPrioFn(&w.h)
@@ -1169,9 +1484,12 @@ func DialOpts(addr, spec string, opts WireOptions) (Transport, error) {
 }
 
 // worker is a non-coordinator locality's endpoint: one connection to
-// the hub carrying all of its traffic.
+// the hub carrying all of its traffic. Under failover the connection
+// is swappable (a takeover re-points it at the promoted hub) and, if
+// this rank itself promotes, every Transport method delegates to the
+// hub it becomes.
 type worker struct {
-	cn      *wconn
+	cn      atomic.Pointer[wconn]
 	rank    int
 	size    int
 	opts    WireOptions
@@ -1182,6 +1500,15 @@ type worker struct {
 	done     chan struct{}
 	doneOnce sync.Once
 	deaths   *deathBox
+
+	// failover state (zero unless WireOptions.Standby).
+	standby   bool
+	epoch     atomic.Uint32       // 0 original coordinator alive, 1 after the takeover
+	cumSent   atomic.Int64        // cumulative live-task delta put on a wire
+	peerAddrs []string            // rank-indexed promotion-listener addresses
+	promoLn   net.Listener        // this rank's pre-bound promotion listener
+	store     *standbyState       // replicated hub state (filled only at the standby)
+	promo     atomic.Pointer[hub] // the hub this rank became, if promoted
 
 	pending  pendingSteals
 	delta    atomic.Int64 // coalesced live-task delta, drained by sends
@@ -1201,10 +1528,31 @@ var _ Transport = (*worker)(nil)
 var _ Meter = (*worker)(nil)
 var _ PrioAware = (*worker)(nil)
 var _ IncumbentStore = (*worker)(nil)
+var _ Promoter = (*worker)(nil)
+var _ AckRelay = (*worker)(nil)
+
+// AcksRelayed implements AckRelay: star acks travel through the hub,
+// so a dying coordinator can eat an in-flight ack — the engine must
+// replay every outstanding hand-over when rank 0 dies.
+func (w *worker) AcksRelayed() bool { return true }
+
+// conn is the current hub connection (swapped by a takeover).
+func (w *worker) conn() *wconn { return w.cn.Load() }
+
+// Promoted implements Promoter: true once this rank took over as
+// coordinator — the signal for result extraction to consult this
+// locality where it would have consulted rank 0.
+func (w *worker) Promoted() bool { return w.promo.Load() != nil }
 
 // BestKnown implements IncumbentStore vacuously: retention lives at
-// the hub, and only rank 0's answer is ever consulted.
-func (w *worker) BestKnown() (int64, []byte, bool) { return 0, nil, false }
+// the hub, and only rank 0's answer is ever consulted — unless this
+// rank became the hub, whose inherited retention is then the answer.
+func (w *worker) BestKnown() (int64, []byte, bool) {
+	if h := w.promo.Load(); h != nil {
+		return h.BestKnown()
+	}
+	return 0, nil, false
+}
 
 // pingLoop keeps the connection audibly alive: whenever nothing has
 // been sent for a heartbeat, an empty kPing goes out (carrying, as
@@ -1219,16 +1567,19 @@ func (w *worker) pingLoop() {
 		case <-w.flushStop:
 			return
 		case <-t.C:
-			if w.cn.dead.Load() {
-				return
+			cn := w.conn()
+			if cn.dead.Load() {
+				// A takeover may swap in a live connection; keep
+				// ticking until the flusher is stopped for good.
+				continue
 			}
 			// Anything sent since the last tick is heartbeat enough.
-			if n := w.cn.nSent.Load(); n != lastSent {
+			if n := cn.nSent.Load(); n != lastSent {
 				lastSent = n
 				continue
 			}
-			w.cn.send(&frame{Kind: kPing, From: w.rank})
-			lastSent = w.cn.nSent.Load()
+			cn.send(&frame{Kind: kPing, From: w.rank})
+			lastSent = cn.nSent.Load()
 		}
 	}
 }
@@ -1236,18 +1587,40 @@ func (w *worker) pingLoop() {
 func (w *worker) Rank() int { return w.rank }
 func (w *worker) Size() int { return w.size }
 
-func (w *worker) Wire() WireStats { return w.ctr.snapshot() }
+func (w *worker) Wire() WireStats {
+	s := w.ctr.snapshot()
+	if h := w.promo.Load(); h != nil {
+		// The hub this rank became counts its own traffic; the report
+		// spans both lives.
+		hs := h.ctr.snapshot()
+		s.FramesSent += hs.FramesSent
+		s.FramesRecv += hs.FramesRecv
+		s.BytesSent += hs.BytesSent
+		s.BytesRecv += hs.BytesRecv
+		s.StealTasks += hs.StealTasks
+		s.StealReplies += hs.StealReplies
+	}
+	return s
+}
 
 // PeerBestPrio implements PrioAware. A worker hears summaries on the
 // frames routed to it — the hub's own traffic, and forwarded frames
 // (steal replies, bound relays) stamped by their origin — so its view
-// of a peer refreshes whenever they exchange work.
-func (w *worker) PeerBestPrio(rank int) (int, bool) { return peerBestPrio(w.peerPrio, rank) }
+// of a peer refreshes whenever they exchange work. After a promotion
+// the hub's table is the live one.
+func (w *worker) PeerBestPrio(rank int) (int, bool) {
+	if h := w.promo.Load(); h != nil {
+		if p, ok := peerBestPrio(h.peerPrio, rank); ok {
+			return p, ok
+		}
+	}
+	return peerBestPrio(w.peerPrio, rank)
+}
 
 func (w *worker) Start(h Handler) {
 	w.h.Store(h)
 	w.stOnce.Do(func() { close(w.started) })
-	go w.readLoop()
+	go w.readLoop(w.conn())
 	go w.flushLoop()
 }
 
@@ -1289,7 +1662,7 @@ func (w *worker) flushLoop() {
 			// may drain the accumulator between the two, which would
 			// put an empty kDelta frame on the wire.
 			if d := w.delta.Swap(0); d != 0 {
-				if w.cn.send(&frame{Kind: kDelta, From: w.rank, Delta: d}) != nil {
+				if w.conn().send(&frame{Kind: kDelta, From: w.rank, Delta: d}) != nil {
 					// The connection is dead (the hub declares us so);
 					// keep the value for Close's best-effort flush.
 					w.delta.Add(d)
@@ -1299,12 +1672,18 @@ func (w *worker) flushLoop() {
 	}
 }
 
-func (w *worker) readLoop() {
+func (w *worker) readLoop(cn *wconn) {
 	for {
 		var f frame
-		if err := w.cn.recv(&f); err != nil {
-			// The hub is gone: no more work or termination signal can
-			// ever arrive, so release anyone waiting.
+		if err := cn.recv(&f); err != nil {
+			// The hub is gone. Under standby the takeover protocol gets
+			// first refusal (promote or rejoin); when it declines — not
+			// a standby deployment, a second coordinator death, no
+			// survivors — no more work or termination signal can ever
+			// arrive, so release anyone waiting.
+			if w.failover() {
+				return
+			}
 			w.pending.failAll()
 			w.stopFlush()
 			w.doneOnce.Do(func() { close(w.done) })
@@ -1319,14 +1698,14 @@ func (w *worker) readLoop() {
 		switch f.Kind {
 		case kSteal:
 			tasks := collectSteal(w.handler(), f.From, f.Want)
-			w.cn.send(&frame{Kind: kStealR, From: w.rank, To: f.From, Seq: f.Seq, Tasks: tasks})
+			cn.send(&frame{Kind: kStealR, From: w.rank, To: f.From, Seq: f.Seq, Tasks: tasks})
 		case kSplit:
 			// Served off the read loop: the split gate may block briefly
 			// waiting for a running worker's next poll point.
 			thief, seq, want := f.From, f.Seq, f.Want
 			go func() {
 				tasks := collectSplit(w.handler(), thief, want)
-				w.cn.send(&frame{Kind: kStealR, From: w.rank, To: thief, Seq: seq, Tasks: tasks})
+				cn.send(&frame{Kind: kStealR, From: w.rank, To: thief, Seq: seq, Tasks: tasks})
 			}()
 		case kStealR:
 			if !w.pending.resolve(f.Seq, stealRes{tasks: f.Tasks}) && len(f.Tasks) > 0 {
@@ -1351,6 +1730,14 @@ func (w *worker) readLoop() {
 			w.deaths.announce(f.Want)
 		case kTerminate:
 			w.doneOnce.Do(func() { close(w.done) })
+		case kHubSnap:
+			if w.store != nil {
+				w.store.applySnap(f.Blob)
+			}
+		case kHubDelta:
+			if w.store != nil {
+				w.store.applyDelta(&f)
+			}
 		}
 	}
 }
@@ -1365,11 +1752,14 @@ func (w *worker) SplitSteal(victim int) (WireTask, bool, error) {
 }
 
 func (w *worker) stealVia(k kind, victim int) (WireTask, bool, error) {
+	if h := w.promo.Load(); h != nil {
+		return h.stealVia(k, victim)
+	}
 	if victim < 0 || victim >= w.size || victim == w.rank {
 		return WireTask{}, false, fmt.Errorf("dist: steal from invalid rank %d", victim)
 	}
 	seq, ch := w.pending.register(victim)
-	if err := w.cn.send(&frame{Kind: k, From: w.rank, To: victim, Seq: seq, Want: w.opts.StealBatch}); err != nil {
+	if err := w.conn().send(&frame{Kind: k, From: w.rank, To: victim, Seq: seq, Want: w.opts.StealBatch}); err != nil {
 		w.pending.drop(seq)
 		return WireTask{}, false, err
 	}
@@ -1396,12 +1786,18 @@ func (w *worker) stealVia(k kind, victim int) (WireTask, bool, error) {
 }
 
 func (w *worker) BroadcastBound(obj int64, node []byte) error {
+	if h := w.promo.Load(); h != nil {
+		return h.BroadcastBound(obj, node)
+	}
 	raiseMax(&w.pbStamp, obj)
-	return w.cn.send(&frame{Kind: kBound, From: w.rank, Obj: obj, Blob: node})
+	return w.conn().send(&frame{Kind: kBound, From: w.rank, Obj: obj, Blob: node})
 }
 
 func (w *worker) Cancel(obj int64, witness []byte) error {
-	return w.cn.send(&frame{Kind: kCancel, From: w.rank, Obj: obj, Blob: witness})
+	if h := w.promo.Load(); h != nil {
+		return h.Cancel(obj, witness)
+	}
+	return w.conn().send(&frame{Kind: kCancel, From: w.rank, Obj: obj, Blob: witness})
 }
 
 // Ack queues a hand-over completion ack towards the origin's ledger.
@@ -1412,6 +1808,9 @@ func (w *worker) Cancel(obj int64, witness []byte) error {
 // task. Retirement latency only delays ledger turnover, never
 // correctness.
 func (w *worker) Ack(origin int, id uint64) error {
+	if h := w.promo.Load(); h != nil {
+		return h.Ack(origin, id)
+	}
 	if origin < 0 || origin >= w.size || origin == w.rank {
 		return fmt.Errorf("dist: ack to invalid rank %d", origin)
 	}
@@ -1422,8 +1821,10 @@ func (w *worker) Ack(origin int, id uint64) error {
 }
 
 // drainAcks sends the coalesced ack buffer, chunked under the frame
-// limit. Undeliverable acks are dropped — the connection is dead, and
-// with it any chance of (or need for) retiring remote ledger entries.
+// limit. Undeliverable acks go back in the buffer: on a plain death
+// they are moot (the remote ledger died with its locality), but under
+// failover the buffer is what the promoted hub inherits, and a
+// rejoined worker's next drain delivers them over the new connection.
 func (w *worker) drainAcks() {
 	w.ackMu.Lock()
 	ids := w.ackBuf
@@ -1434,7 +1835,10 @@ func (w *worker) drainAcks() {
 		if n > maxStealBatch {
 			n = maxStealBatch
 		}
-		if w.cn.send(&frame{Kind: kAck, From: w.rank, Acks: ids[:n]}) != nil {
+		if w.conn().send(&frame{Kind: kAck, From: w.rank, Acks: ids[:n]}) != nil {
+			w.ackMu.Lock()
+			w.ackBuf = append(w.ackBuf, ids...)
+			w.ackMu.Unlock()
 			return
 		}
 		ids = ids[n:]
@@ -1443,7 +1847,13 @@ func (w *worker) drainAcks() {
 
 // AddTasks coalesces: the delta joins the accumulator and rides out on
 // the next frame of any kind, or on the flusher's next quantum tick.
+// A promoted rank applies deltas straight to the global count it now
+// owns.
 func (w *worker) AddTasks(delta int64) {
+	if h := w.promo.Load(); h != nil {
+		h.AddTasks(delta)
+		return
+	}
 	w.delta.Add(delta)
 }
 
@@ -1452,7 +1862,10 @@ func (w *worker) Done() <-chan struct{} { return w.done }
 func (w *worker) Deaths() <-chan int { return w.deaths.ch }
 
 func (w *worker) Gather(payload []byte) ([][]byte, error) {
-	if err := w.cn.send(&frame{Kind: kGather, From: w.rank, Blob: payload}); err != nil {
+	if h := w.promo.Load(); h != nil {
+		return h.Gather(payload)
+	}
+	if err := w.conn().send(&frame{Kind: kGather, From: w.rank, Blob: payload}); err != nil {
 		return nil, fmt.Errorf("dist: sending gather payload: %w", err)
 	}
 	return nil, nil
@@ -1460,15 +1873,24 @@ func (w *worker) Gather(payload []byte) ([][]byte, error) {
 
 func (w *worker) Close() error {
 	if w.closed.CompareAndSwap(false, true) {
+		if h := w.promo.Load(); h != nil {
+			// The hub this rank became owns the connections (and the
+			// promotion listener); its Close is the whole shutdown.
+			w.stopFlush()
+			return h.Close()
+		}
 		// Best-effort final ack and delta flush, so a deployment that
 		// closes a worker cleanly does not strand termination on lost
 		// counts or unretired ledger entries.
 		w.drainAcks()
 		if d := w.delta.Swap(0); d != 0 {
-			w.cn.send(&frame{Kind: kDelta, From: w.rank, Delta: d})
+			w.conn().send(&frame{Kind: kDelta, From: w.rank, Delta: d})
 		}
 		w.stopFlush()
-		w.cn.close()
+		w.conn().close()
+		if w.promoLn != nil {
+			w.promoLn.Close()
+		}
 	}
 	return nil
 }

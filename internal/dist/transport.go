@@ -124,6 +124,36 @@ type IncumbentStore interface {
 	BestKnown() (obj int64, node []byte, ok bool)
 }
 
+// Promoter is an optional Transport extension implemented by endpoints
+// that can inherit the coordinator role when rank 0 dies mid-search
+// (wire protocol v7, WireOptions.Standby). Promoted reports whether
+// THIS endpoint has taken the role over: after a takeover it — not
+// rank 0, which is dead — holds the incumbent retention and receives
+// the terminal Gather, so result extraction consults Promoted wherever
+// it would have tested Rank() == 0.
+type Promoter interface {
+	Promoted() bool
+}
+
+// Promoted reports whether tr has taken over the coordinator role
+// (false for transports that cannot).
+func Promoted(tr Transport) bool {
+	p, ok := tr.(Promoter)
+	return ok && p.Promoted()
+}
+
+// AckRelay is an optional Transport extension reporting whether this
+// endpoint's completion acks travel THROUGH the coordinator rather
+// than directly to their origin. The engine consults it when rank 0
+// dies: on a relaying topology (the star) any in-flight ack may have
+// died unrelayed in the coordinator's buffers, so the only safe
+// continuation of every outstanding hand-over is a local replay
+// (ledger reapAll). Mesh acks are origin-direct and the loopback's
+// are immediate, so neither implements this.
+type AckRelay interface {
+	AcksRelayed() bool
+}
+
 // incumbentBox is the shared retention cell behind IncumbentStore.
 type incumbentBox struct {
 	mu   sync.Mutex
@@ -132,18 +162,21 @@ type incumbentBox struct {
 	ok   bool
 }
 
-// keep retains (obj, node) when it beats the current retained pair.
-// nil nodes are never retained: a bound without its node cannot
-// reconstruct a result.
-func (b *incumbentBox) keep(obj int64, node []byte) {
+// keep retains (obj, node) when it beats the current retained pair,
+// reporting whether the retention improved (the replication layer
+// ships only improvements). nil nodes are never retained: a bound
+// without its node cannot reconstruct a result.
+func (b *incumbentBox) keep(obj int64, node []byte) bool {
 	if node == nil {
-		return
+		return false
 	}
 	b.mu.Lock()
-	if !b.ok || obj > b.obj {
+	improved := !b.ok || obj > b.obj
+	if improved {
 		b.obj, b.node, b.ok = obj, node, true
 	}
 	b.mu.Unlock()
+	return improved
 }
 
 func (b *incumbentBox) best() (int64, []byte, bool) {
@@ -180,6 +213,15 @@ func (d *deathBox) announce(rank int) bool {
 	default: // buffer sized to the deployment; can only overflow on duplicates
 	}
 	return true
+}
+
+// isDead reports whether rank's death has been announced here. The
+// failover path uses it to pick the takeover candidate: the lowest
+// rank not known dead is the rank the hub was replicating to.
+func (d *deathBox) isDead(rank int) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.seen[rank]
 }
 
 // StackSplitter is an optional Handler extension for localities that
