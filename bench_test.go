@@ -1021,3 +1021,92 @@ func BenchmarkTransportThroughput(b *testing.B) {
 		runTransportThroughput(b, "tcp", dist.DefaultStealBatch, knapsack.Codec(), knapNodes, false)
 	})
 }
+
+// ------------------------------------------------------------------
+// Link-fault tolerance (wire protocol v8): every frame carries a
+// sequence + CRC32C trailer, and arming -link-grace additionally puts
+// a bounded retransmit log behind every connection so a severed link
+// can resume instead of dying. The grace-on/grace-off ns/op ratio on a
+// fault-free deployment is the session tax, gated by cmd/benchguard
+// via BENCH_netfault.json. The partition arm (one worker cut for
+// 200ms mid-search, result asserted with zero deaths) is
+// informational: it proves the bench measures a deployment that
+// really can resume, but its wall time includes the cut itself.
+
+// runNetFault executes one distributed maxclique solve over a real-TCP
+// star deployment and returns the summed session-resume count.
+func runNetFault(b *testing.B, g *graph.Graph, wire dist.WireOptions, want int64) float64 {
+	b.Helper()
+	trs := failoverTransports(b, wire)
+	defer func() {
+		for _, tr := range trs {
+			tr.Close()
+		}
+	}()
+	s := maxclique.NewSpace(g)
+	cfg := core.Config{Workers: 2, DCutoff: 2}
+	results := make([]core.OptResult[maxclique.Node], 4)
+	errs := make([]error, 4)
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			results[r], errs[r] = core.DistOpt(trs[r], maxclique.Codec(), core.DepthBounded,
+				s, maxclique.Root(s), maxclique.OptProblem(), cfg)
+		}(r)
+	}
+	if wire.Fault != nil {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			time.Sleep(60 * time.Millisecond)
+			wire.Fault.Partition([]int{2}, 200*time.Millisecond)
+		}()
+	}
+	wg.Wait()
+	if errs[0] != nil {
+		b.Fatalf("rank 0: %v", errs[0])
+	}
+	if !results[0].Found || results[0].Best.Clique.Count() != int(want) {
+		b.Fatalf("clique size = %d (found=%v), want %d",
+			results[0].Best.Clique.Count(), results[0].Found, want)
+	}
+	if results[0].Stats.Deaths != 0 {
+		b.Fatalf("deaths=%d on a sub-grace deployment", results[0].Stats.Deaths)
+	}
+	var resumes float64
+	for _, tr := range trs {
+		if m, ok := tr.(dist.Meter); ok {
+			resumes += float64(m.Wire().Resumes)
+		}
+	}
+	return resumes
+}
+
+func BenchmarkNetFault(b *testing.B) {
+	g := graph.Random(130, 0.8, 42)
+	best, _ := maxclique.SeqHandcoded(g)
+	want := int64(best.Count())
+	b.Run("grace-off", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			runNetFault(b, g, dist.WireOptions{}, want)
+		}
+	})
+	b.Run("grace-on", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			runNetFault(b, g, dist.WireOptions{LinkGrace: 2 * time.Second}, want)
+		}
+	})
+	b.Run("partition", func(b *testing.B) {
+		var resumes float64
+		for i := 0; i < b.N; i++ {
+			resumes += runNetFault(b, g,
+				dist.WireOptions{LinkGrace: 2 * time.Second, Fault: dist.NewFaultPlan(int64(i))}, want)
+		}
+		if resumes == 0 {
+			b.Fatal("partition arm completed without a single session resume")
+		}
+		b.ReportMetric(resumes/float64(b.N), "resumes/op")
+	})
+}

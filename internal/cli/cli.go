@@ -74,6 +74,7 @@ type Options struct {
 	RegTimeout  time.Duration
 	Topology    string
 	Standby     bool
+	LinkGrace   time.Duration
 }
 
 // ParseArgs parses command-line arguments into Options.
@@ -118,6 +119,7 @@ func ParseArgs(args []string) (*Options, error) {
 	fs.DurationVar(&o.RegTimeout, "reg-timeout", 0, "dist coordinator: registration window before missing workers fail the deployment (0 = default)")
 	fs.StringVar(&o.Topology, "topology", "star", "steal/termination topology: star (hub-routed, coordinator live count) or mesh (direct peer steals, gossip bounds, termination wave)")
 	fs.BoolVar(&o.Standby, "standby", false, "dist: arm coordinator failover — rank 0 runs as a pure coordinator and replicates its state to the lowest worker rank, which takes over and finishes the search if the coordinator dies (all ranks must agree)")
+	fs.DurationVar(&o.LinkGrace, "link-grace", 0, "dist: arm resumable links (wire protocol v8) — a broken connection is kept alive for this grace window while the dialing side reconnects and replays unacknowledged frames, so transient partitions shorter than the grace heal with zero deaths (0 = off; all ranks must agree)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -182,6 +184,7 @@ func (o *Options) Config() core.Config {
 	cfg.MaxFailures = o.MaxFailures
 	cfg.Topology = o.Topology
 	cfg.Standby = o.Standby
+	cfg.LinkGrace = o.LinkGrace
 	return cfg
 }
 

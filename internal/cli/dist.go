@@ -68,7 +68,7 @@ func RunDist(o *Options, w io.Writer) error {
 	var tr dist.Transport
 	switch o.Dist {
 	case "coordinator":
-		l, err := dist.NewListenerOpts(o.DistAddr, o.distSpec(), dist.WireOptions{RegTimeout: o.RegTimeout, Topology: o.Topology, Standby: o.Standby})
+		l, err := dist.NewListenerOpts(o.DistAddr, o.distSpec(), dist.WireOptions{RegTimeout: o.RegTimeout, Topology: o.Topology, Standby: o.Standby, LinkGrace: o.LinkGrace})
 		if err != nil {
 			return fmt.Errorf("dist: listening on %s: %w", o.DistAddr, err)
 		}
@@ -81,7 +81,7 @@ func RunDist(o *Options, w io.Writer) error {
 		fmt.Fprintf(w, "dist: all %d workers registered\n", o.DistWorkers)
 	case "worker":
 		var err error
-		tr, err = dist.DialOpts(o.DistAddr, o.distSpec(), dist.WireOptions{Topology: o.Topology, Standby: o.Standby})
+		tr, err = dist.DialOpts(o.DistAddr, o.distSpec(), dist.WireOptions{Topology: o.Topology, Standby: o.Standby, LinkGrace: o.LinkGrace})
 		if err != nil {
 			return err
 		}
@@ -193,8 +193,8 @@ func RunDist(o *Options, w io.Writer) error {
 		fmt.Fprintf(w, "wire: frames=%d bytes=%d batch=%.2f prefetch-hits=%d (%.0f%%)\n",
 			stats.Frames, stats.WireBytes, stats.BatchOccupancy(),
 			stats.PrefetchHits, 100*stats.PrefetchHitRate())
-		fmt.Fprintf(w, "fault: deaths=%d replayed=%d ledger-peak=%d\n",
-			stats.Deaths, stats.ReplayedTasks, stats.LedgerPeak)
+		fmt.Fprintf(w, "fault: deaths=%d replayed=%d ledger-peak=%d resumes=%d\n",
+			stats.Deaths, stats.ReplayedTasks, stats.LedgerPeak, stats.LinkResumes)
 		fmt.Fprintf(w, "mem: pool-peak=%d tasks (%d bytes est) spilled=%d tasks (%d bytes)\n",
 			stats.PoolPeakTasks, stats.PoolPeakBytes, stats.SpilledTasks, stats.SpillBytes)
 	}

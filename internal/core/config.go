@@ -3,6 +3,8 @@ package core
 import (
 	"runtime"
 	"time"
+
+	"yewpar/internal/dist"
 )
 
 // PoolKind selects the workpool implementation used by the pool-based
@@ -147,6 +149,26 @@ type Config struct {
 	// count against MaxFailures like any other. Ignored by
 	// single-process runs.
 	Standby bool
+	// LinkGrace arms resumable links on a distributed run (wire
+	// protocol v8): every connection becomes a supervised session with
+	// sequence-numbered frames and a bounded retransmit log. A broken
+	// connection is kept alive for this grace window — the surviving
+	// side parks, the dialing side reconnects and replays the
+	// unacknowledged backlog — so a transient partition shorter than
+	// the grace heals with zero deaths and zero replayed tasks. A
+	// heartbeat-silent peer is first quarantined (suspected: excluded
+	// from victim selection, steals against it fail fast) and only
+	// mourned once the grace expires on top of the liveness timeout.
+	// Zero, the default, disables sessions: any connection loss is a
+	// death, as in v7. Every rank must agree on whether sessions are
+	// armed (enforced by the transport's spec handshake).
+	LinkGrace time.Duration
+	// NetFault, if non-nil, injects deterministic network faults
+	// (latency, loss, duplication, corruption, partitions — see
+	// dist.FaultPlan) into the run's links: the loopback network's
+	// in-process calls and, on the coordinator of a distributed run,
+	// the wire transport's frames. Testing and experiments only.
+	NetFault *dist.FaultPlan
 	// Seed seeds victim selection for work stealing. Default 1.
 	Seed int64
 	// Trace, if non-nil, records every task execution for workload

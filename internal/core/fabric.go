@@ -53,6 +53,7 @@ func newLoopbackFabric[N any](cfg Config) *fabric[N] {
 		StealLatency: cfg.StealLatency,
 		BoundLatency: cfg.BoundLatency,
 		Wave:         cfg.Topology == dist.TopologyMesh,
+		Fault:        cfg.NetFault,
 	})
 	f := &fabric[N]{
 		trs:     net.Transports(),
@@ -117,6 +118,7 @@ func (f *fabric[N]) wireStats(s *Stats) {
 			s.WireBytes += ws.BytesSent
 			s.BatchTasks += ws.StealTasks
 			s.BatchReplies += ws.StealReplies
+			s.LinkResumes += ws.Resumes
 		}
 	}
 }

@@ -103,6 +103,10 @@ type Stats struct {
 	Deaths        int64
 	ReplayedTasks int64
 	LedgerPeak    int64
+	// LinkResumes counts v8 session resumes completed by this process's
+	// transports (Config.LinkGrace): connections that broke and healed
+	// without a death. Summed across localities on merge.
+	LinkResumes int64
 
 	// Memory-governor counters (Config.PoolBudget; the peaks are live
 	// for every pool-based run). PoolPeakTasks/PoolPeakBytes are the
@@ -162,6 +166,7 @@ func (s *Stats) merge(o Stats) {
 		s.Deaths = o.Deaths
 	}
 	s.ReplayedTasks += o.ReplayedTasks
+	s.LinkResumes += o.LinkResumes
 	if o.LedgerPeak > s.LedgerPeak {
 		s.LedgerPeak = o.LedgerPeak
 	}

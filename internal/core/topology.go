@@ -50,15 +50,16 @@ type topology[N any] struct {
 	workerLoc   []int
 	workerShard []int
 	rngs        []*rand.Rand
-	victims     [][]int          // per in-process locality: global ranks to rob
-	ahead       []*aheadBuf[N]   // per in-process locality; nil when disabled
-	parkers     []*parker        // per in-process locality
-	backoff     []*stealBackoff  // per in-process locality; nil when no peers
-	prioAware   []dist.PrioAware // per in-process locality; nil entries when unsupported
-	ordered     bool             // rank victims by priority summaries
-	mem         []*memState[N]   // per in-process locality memory accountant
-	splitters   []*splitGate[N]  // per in-process locality; stack-stealing runs only
-	vscratch    []*victimScratch // per worker: victim-order scratch
+	victims     [][]int           // per in-process locality: global ranks to rob
+	ahead       []*aheadBuf[N]    // per in-process locality; nil when disabled
+	parkers     []*parker         // per in-process locality
+	backoff     []*stealBackoff   // per in-process locality; nil when no peers
+	prioAware   []dist.PrioAware  // per in-process locality; nil entries when unsupported
+	health      []dist.LinkHealth // per in-process locality; nil entries when unsupported
+	ordered     bool              // rank victims by priority summaries
+	mem         []*memState[N]    // per in-process locality memory accountant
+	splitters   []*splitGate[N]   // per in-process locality; stack-stealing runs only
+	vscratch    []*victimScratch  // per worker: victim-order scratch
 	// dead[rank] marks globally dead localities: skipped permanently
 	// by victim selection (their transports would only fail the steal,
 	// but probing a corpse still costs a round trip or a timeout).
@@ -90,6 +91,7 @@ func newTopology[N any](fab *fabric[N], cfg Config) *topology[N] {
 		victims:     make([][]int, nloc),
 		parkers:     make([]*parker, nloc),
 		prioAware:   make([]dist.PrioAware, nloc),
+		health:      make([]dist.LinkHealth, nloc),
 		ordered:     cfg.Order != OrderNone,
 		mem:         make([]*memState[N], nloc),
 		vscratch:    make([]*victimScratch, cfg.Workers),
@@ -152,6 +154,9 @@ func newTopology[N any](fab *fabric[N], cfg Config) *topology[N] {
 		if pa, ok := fab.trs[i].(dist.PrioAware); ok {
 			tp.prioAware[i] = pa
 		}
+		if lh, ok := fab.trs[i].(dist.LinkHealth); ok {
+			tp.health[i] = lh
+		}
 		for rank := 0; rank < fab.size; rank++ {
 			if rank != fab.locs[i].rank {
 				tp.victims[i] = append(tp.victims[i], rank)
@@ -204,10 +209,18 @@ func (tp *topology[N]) push(w int, t Task[N]) {
 func (tp *topology[N]) victimOrder(loc int, rng *rand.Rand, sc *victimScratch) []int {
 	vs := tp.victims[loc]
 	buf := sc.order[:0]
+	lh := tp.health[loc]
 	start := rng.Intn(len(vs))
 	for i := 0; i < len(vs); i++ {
 		v := vs[(start+i)%len(vs)]
 		if tp.dead[v].Load() {
+			continue
+		}
+		if lh != nil && lh.Suspected(v) {
+			// Quarantined, not mourned: the link is heartbeat-silent or
+			// its session is suspended mid-resume. Steals against it can
+			// only fail until it heals or is declared dead, so skip it
+			// this sweep — it re-enters the ring the moment it resumes.
 			continue
 		}
 		buf = append(buf, v)

@@ -27,25 +27,47 @@ type ChaosKill struct {
 	After time.Duration // measured from ChaosPlan.Start
 }
 
-// ChaosPlan is a schedule of deaths to inject into a deployment.
-type ChaosPlan struct {
-	Kills []ChaosKill
+// ChaosPartition schedules one network partition against the plan's
+// FaultPlan: Ranks on one side, everyone else on the other.
+type ChaosPartition struct {
+	Ranks []int         // one side of the split
+	After time.Duration // measured from ChaosPlan.Start
+	Dur   time.Duration // how long until the heal; 0 means until stop
 }
 
-// Start arms the plan: each kill fires on its own timer, calling the
-// injected kill func with the victim's rank. The returned stop func
-// cancels any kills still pending (already-fired ones are history)
-// and waits for in-flight kill callbacks to return; it is safe to
-// call more than once.
+// ChaosPlan is a schedule of deaths and partitions to inject into a
+// deployment. Kills and Partitions compose: ChaosPlan schedules WHO
+// dies and WHEN the network splits, Net decides WHICH links lie in
+// between (latency, loss, duplication, corruption).
+type ChaosPlan struct {
+	Kills      []ChaosKill
+	Partitions []ChaosPartition
+	Net        *FaultPlan // required when Partitions is non-empty
+}
+
+// Start arms the plan: each kill and partition fires on its own
+// timer, kills calling the injected kill func with the victim's rank,
+// partitions driving Net.Partition/Heal. The returned stop func
+// cancels anything still pending (already-fired events are history),
+// waits for in-flight callbacks to return, and heals a partition left
+// open; it is safe to call more than once.
 func (p ChaosPlan) Start(kill func(rank int)) (stop func()) {
 	var wg sync.WaitGroup
-	timers := make([]*time.Timer, 0, len(p.Kills))
+	timers := make([]*time.Timer, 0, len(p.Kills)+len(p.Partitions))
 	for _, k := range p.Kills {
 		k := k
 		wg.Add(1)
 		timers = append(timers, time.AfterFunc(k.After, func() {
 			defer wg.Done()
 			kill(k.Rank)
+		}))
+	}
+	for _, part := range p.Partitions {
+		part := part
+		wg.Add(1)
+		timers = append(timers, time.AfterFunc(part.After, func() {
+			defer wg.Done()
+			p.Net.Partition(part.Ranks, part.Dur)
 		}))
 	}
 	var cancelOnce sync.Once
@@ -58,5 +80,8 @@ func (p ChaosPlan) Start(kill func(rank int)) (stop func()) {
 			}
 		})
 		wg.Wait()
+		if p.Net != nil {
+			p.Net.Heal()
+		}
 	}
 }

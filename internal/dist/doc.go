@@ -39,7 +39,7 @@
 // to each other and the coordinator drops out of the steal and bound
 // planes — see "Mesh topology and the termination wave" below.
 //
-// # Wire protocol (v7)
+// # Wire protocol (v8)
 //
 // The TCP transport speaks a length-prefixed binary frame format (v1
 // was a gob stream per message): a little-endian uint32 body length,
@@ -264,12 +264,63 @@
 // coordinator-then-worker chaos test exercises precisely that.
 //
 // ChaosPlan is the reusable fault-injection harness behind those
-// tests: a schedule of rank kills at offsets from an armed start,
-// driving either the loopback network's Kill or a real SIGKILL of a
-// deployed process.
+// tests: a schedule of rank kills (and, since v8, link partitions) at
+// offsets from an armed start, driving either the loopback network's
+// Kill or a real SIGKILL of a deployed process.
 //
-// Transports that implement Meter report frames, bytes, and steal
-// batch occupancy; the engine folds those into its Stats.
+// # Link-fault tolerance (v8)
+//
+// Through v7 the runtime equated a connection with a locality: any
+// I/O error — a flapping switch, a dropped NAT binding, a few seconds
+// of packet loss — was read as a death, triggering mourning, ledger
+// replay, and (for rank 0) a full coordinator failover. Correct, but
+// maximally expensive. v8 separates link failure from process failure
+// with three mechanisms:
+//
+//   - Checksummed, sequenced frames. Every frame gains an eight-byte
+//     trailer — a per-connection link sequence and a CRC32C over body
+//     and sequence — covered by the length prefix. The receiver
+//     accepts the next sequence, silently skips duplicates
+//     (retransmission overlap), and treats a gap or CRC mismatch as a
+//     link failure: corruption can no longer desync the
+//     length-prefixed stream or deliver a wrong frame.
+//   - Resumable sessions. With WireOptions.LinkGrace > 0
+//     (`-link-grace`), every connection of the deployment — hub links,
+//     mesh peer links, post-failover rejoin links — is registered as a
+//     session at handshake time (the id rides kWelcome, kPeerHello, or
+//     kRejoin). Outgoing frames are copied into a bounded retransmit
+//     log; on an I/O error the surviving sides suspend the session for
+//     the grace window instead of mourning. The dialing side redials
+//     and offers kResume (session id + receive high-water mark), the
+//     accepting side answers with its own mark, both replay exactly
+//     the frames the other missed, and traffic continues — steal
+//     replies, acks, deltas, and gossip cross the reconnect with no
+//     death, no replay, no failover. A session that cannot resume
+//     inside the grace (or whose log was trimmed past what the peer
+//     needs) breaks, collapsing to the v4 death path, which is always
+//     safe. Stats.LinkResumes counts the saves.
+//   - Suspicion before mourning. A rank whose link is suspended (or
+//     whose heartbeats have gone quiet past LivenessTimeout) is
+//     quarantined, not mourned: the engine's victim selection skips it
+//     (the LinkHealth extension) and steals aimed at it fail fast, but
+//     death — with its irreversible replay — is declared only after
+//     the grace window closes on top of the liveness timeout. A
+//     suspect that resumes re-enters the victim order as if nothing
+//     happened.
+//
+// FaultPlan is the deterministic network fault injector behind the v8
+// tests: seeded per-link latency/jitter/drop/duplication/corruption/
+// reordering plus scheduled partitions (Partition/Heal), consulted by
+// the TCP framing layer around every physical write and by the
+// loopback network around every delivery. It composes with ChaosPlan
+// — kills schedule who dies, the net plan schedules which links lie —
+// and powers the partition conformance suite: a partition shorter
+// than the grace must be invisible (zero deaths, zero replayed tasks,
+// exact optimum) on every transport and topology.
+//
+// Transports that implement Meter report frames, bytes, steal batch
+// occupancy, and session resumes; the engine folds those into its
+// Stats.
 //
 // # Codec registration contract
 //

@@ -677,6 +677,9 @@ func (h *hub) adoptDeployment(dead map[int]bool) {
 			expected[r] = true
 		}
 	}
+	if h.opts.LinkGrace > 0 {
+		h.sessions = newSessRegistry()
+	}
 	deadline := time.Now().Add(h.opts.LivenessTimeout)
 	for len(expected) > 0 && !h.closed.Load() {
 		if d, ok := h.ln.(*net.TCPListener); ok {
@@ -698,6 +701,13 @@ func (h *hub) adoptDeployment(dead map[int]bool) {
 			continue
 		}
 		c.SetReadDeadline(time.Time{})
+		if h.sessions != nil && rj.Seq != 0 {
+			// The rejoining worker minted a fresh session for the
+			// promoted link and carried its id in the kRejoin.
+			cn.sess = newSession(rj.Seq, h.opts.LinkGrace)
+			h.sessions.add(rj.Seq, cn)
+		}
+		cn.attachFault(h.opts.Fault, h.self, rj.From)
 		h.conns[rj.From] = cn
 		h.addAt(rj.From, rj.Obj)
 		if rj.Delta != 0 {
@@ -720,6 +730,11 @@ func (h *hub) adoptDeployment(dead map[int]bool) {
 	}
 	if d, ok := h.ln.(*net.TCPListener); ok {
 		d.SetDeadline(time.Time{})
+	}
+	if h.sessions != nil {
+		// The rejoin window is over; the promotion listener now serves
+		// session resumes for the links it just accepted.
+		go acceptResumes(h.ln, h.sessions, &h.closed)
 	}
 	for r := range expected {
 		h.deadNoConn(r)
@@ -780,7 +795,19 @@ func (w *worker) rejoin(cand int, rep int64) bool {
 	cn.pb = &w.pbStamp
 	cn.ps = selfPrioFn(&w.h)
 	cn.psFrom = w.rank
-	if err := cn.send(&frame{Kind: kRejoin, From: w.rank, Want: int(w.epoch.Load()), Obj: rep}); err != nil {
+	rj := &frame{Kind: kRejoin, From: w.rank, Want: int(w.epoch.Load()), Obj: rep}
+	if w.opts.LinkGrace > 0 {
+		// Mint a fresh resumable session for the promoted link — the old
+		// hub session died with the old coordinator — and carry its id
+		// in the kRejoin for the promoted hub to register.
+		s := newSession(mintSessionID(w.rank), w.opts.LinkGrace)
+		s.rank = w.rank
+		s.redial = sessionRedialer(addr)
+		cn.sess = s
+		rj.Seq = s.id
+	}
+	cn.attachFault(w.opts.Fault, w.rank, cand)
+	if err := cn.send(rj); err != nil {
 		cn.close()
 		return false
 	}

@@ -92,6 +92,26 @@ import (
 // survivors run death detection decentrally on their own peer links,
 // and the in-band goodbye — TCP-ordered ahead of the close — is what
 // lets them tell a finished peer's exit from a crash).
+//
+// v8 adds link-fault tolerance. The body encoding above is untouched;
+// instead every frame gains a fixed eight-byte trailer,
+//
+//	uint32 little-endian link sequence | uint32 CRC32C(body ‖ seq)
+//
+// covered by the length prefix (len = body + 8). The sequence is a
+// per-connection counter of delivered frames — the receiver accepts
+// seq == last+1, silently skips seq <= last (a retransmitted
+// duplicate), and treats a gap as a link failure — and the CRC turns a
+// corrupted frame into a link failure instead of a desynced
+// length-prefixed stream. On a link failure with LinkGrace > 0 the
+// surviving sides keep the logical session alive: the dialing side
+// reconnects and sends kResume (Seq = the session id minted at
+// registration, Obj = the highest link sequence it has received), the
+// accepting side replies kResume with its own receive high-water mark,
+// and both retransmit the frames the other missed from a bounded
+// replay log. kResume frames themselves travel with sequence 0 and are
+// never counted or logged. kReject answers a resume for an unknown or
+// expired session, collapsing the link to the v4 death path.
 
 const (
 	fDelta = 1 << 0 // header carries a coalesced live-task delta
@@ -153,7 +173,7 @@ func appendFrame(dst []byte, f *frame) []byte {
 		dst = binary.AppendUvarint(dst, uint64(f.Want))
 	}
 	switch f.Kind {
-	case kBound, kCancel, kGossip, kToken, kHubDelta, kRejoin:
+	case kBound, kCancel, kGossip, kToken, kHubDelta, kRejoin, kResume:
 		dst = binary.AppendVarint(dst, f.Obj)
 	}
 	switch f.Kind {
@@ -259,7 +279,7 @@ func parseFrame(b []byte, f *frame) error {
 		return fmt.Errorf("dist: frame body of %d bytes", len(b))
 	}
 	f.Kind = kind(b[0])
-	if f.Kind > kLeave {
+	if f.Kind > kResume {
 		return fmt.Errorf("dist: unknown frame kind %d", f.Kind)
 	}
 	flags := b[1]
@@ -303,7 +323,7 @@ func parseFrame(b []byte, f *frame) error {
 		f.Want = int(w)
 	}
 	switch f.Kind {
-	case kBound, kCancel, kGossip, kToken, kHubDelta, kRejoin:
+	case kBound, kCancel, kGossip, kToken, kHubDelta, kRejoin, kResume:
 		if f.Obj, err = r.varint(); err != nil {
 			return err
 		}

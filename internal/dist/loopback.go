@@ -25,6 +25,15 @@ type LoopbackOptions struct {
 	// shared counters are still maintained for LiveAt observability,
 	// but they no longer decide termination.
 	Wave bool
+	// Fault, if non-nil, injects network faults into the in-process
+	// links: steals across a severed partition fail like a timed-out
+	// wire steal, bound broadcasts and acks to severed peers are
+	// queued and delivered at Heal, and per-link latency adds to the
+	// steal cost. Loopback partitions are payload-plane only — no
+	// liveness watchdog runs here, so a partition never kills a rank
+	// (deaths stay 0), which is exactly the contract the session layer
+	// gives the wire transports under LinkGrace.
+	Fault *FaultPlan
 }
 
 // LoopbackNetwork is a set of in-process localities connected by
@@ -257,6 +266,13 @@ var _ PrioAware = (*loopback)(nil)
 var _ IncumbentStore = (*loopback)(nil)
 var _ SplitStealer = (*loopback)(nil)
 var _ Promoter = (*loopback)(nil)
+var _ LinkHealth = (*loopback)(nil)
+
+// Suspected implements LinkHealth: a peer across a severed loopback
+// partition is quarantined — the victim order skips it until the heal.
+func (t *loopback) Suspected(rank int) bool {
+	return t.net.opts.Fault.Severed(t.rank, rank)
+}
 
 // Wire implements Meter with logical message counts: the frames a wire
 // transport would have sent for the same traffic, and payload bytes
@@ -312,8 +328,16 @@ func (t *loopback) Steal(victim int) (WireTask, bool, error) {
 	if t.closed.Load() {
 		return WireTask{}, false, nil
 	}
+	if t.net.opts.Fault.Severed(t.rank, victim) {
+		return WireTask{}, false, nil
+	}
 	if lat := t.net.opts.StealLatency; lat > 0 {
 		time.Sleep(lat)
+	}
+	if p := t.net.opts.Fault; p != nil {
+		if lat := p.latency(t.rank, victim); lat > 0 {
+			time.Sleep(lat)
+		}
 	}
 	vh := t.net.trs[victim].handler()
 	if vh == nil {
@@ -351,8 +375,16 @@ func (t *loopback) SplitSteal(victim int) (WireTask, bool, error) {
 	if t.closed.Load() {
 		return WireTask{}, false, nil
 	}
+	if t.net.opts.Fault.Severed(t.rank, victim) {
+		return WireTask{}, false, nil
+	}
 	if lat := t.net.opts.StealLatency; lat > 0 {
 		time.Sleep(lat)
+	}
+	if p := t.net.opts.Fault; p != nil {
+		if lat := p.latency(t.rank, victim); lat > 0 {
+			time.Sleep(lat)
+		}
 	}
 	ts := collectSplit(t.net.trs[victim].handler(), t.rank, 1)
 	t.ctr.framesSent.Add(1) // the request
@@ -388,6 +420,17 @@ func (t *loopback) BroadcastBound(obj int64, node []byte) error {
 			continue
 		}
 		t.ctr.framesSent.Add(1)
+		if plan := t.net.opts.Fault; plan != nil && plan.Severed(t.rank, peer.rank) {
+			// The bound crosses the partition when it heals — the
+			// loopback model of a session replaying its backlog.
+			p := peer
+			plan.OnHeal(func() {
+				if h := p.handler(); h != nil {
+					h.OnBound(t.rank, obj)
+				}
+			})
+			continue
+		}
 		if lat := t.net.opts.BoundLatency; lat > 0 {
 			p := peer
 			time.AfterFunc(lat, func() {
@@ -433,6 +476,17 @@ func (t *loopback) Ack(origin int, id uint64) error {
 		return nil
 	}
 	t.ctr.framesSent.Add(1)
+	if plan := t.net.opts.Fault; plan != nil && plan.Severed(t.rank, origin) {
+		// Queue the ack for the heal: the origin's ledger entry stays
+		// registered across the partition, exactly like a suspended
+		// session holding the ack in its retransmit log.
+		plan.OnHeal(func() {
+			if h := t.net.trs[origin].handler(); h != nil {
+				h.OnAck(t.rank, id)
+			}
+		})
+		return nil
+	}
 	if h := t.net.trs[origin].handler(); h != nil {
 		h.OnAck(t.rank, id)
 	}

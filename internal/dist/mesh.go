@@ -172,6 +172,7 @@ func (l *Listener) waitMesh(workers int) (Transport, error) {
 			continue
 		}
 		c.SetReadDeadline(time.Time{})
+		cn.attachFault(l.opts.Fault, 0, rank)
 		h.conns[rank] = cn
 		h.peerAddrs[rank] = string(pa.Blob)
 		rank++
@@ -179,9 +180,20 @@ func (l *Listener) waitMesh(workers int) (Transport, error) {
 	if d, ok := l.ln.(*net.TCPListener); ok {
 		d.SetDeadline(time.Time{})
 	}
+	if l.opts.LinkGrace > 0 {
+		h.sessions = newSessRegistry()
+	}
 	table := appendPeerTable(nil, h.peerAddrs)
 	for rank := 1; rank <= workers; rank++ {
-		if err := h.conns[rank].send(&frame{Kind: kWelcome, To: rank, Want: h.size, Blob: []byte(l.spec)}); err != nil {
+		welcome := &frame{Kind: kWelcome, To: rank, Want: h.size, Blob: []byte(l.spec)}
+		if h.sessions != nil {
+			cn := h.conns[rank]
+			id := mintSessionID(rank)
+			cn.sess = newSession(id, l.opts.LinkGrace)
+			h.sessions.add(id, cn)
+			welcome.Seq = id
+		}
+		if err := h.conns[rank].send(welcome); err != nil {
 			return nil, fmt.Errorf("dist: welcoming worker %d: %w", rank, err)
 		}
 		if err := h.conns[rank].send(&frame{Kind: kPeers, To: rank, Blob: table}); err != nil {
@@ -190,6 +202,9 @@ func (l *Listener) waitMesh(workers int) (Transport, error) {
 	}
 	for rank := 1; rank <= workers; rank++ {
 		go h.serve(rank)
+	}
+	if h.sessions != nil {
+		go acceptResumes(h.ln, h.sessions, &h.closed)
 	}
 	go h.livenessLoop()
 	go h.flushLoop()
@@ -246,14 +261,16 @@ type meshHub struct {
 	mirror  *hubMirror
 	repl    *hubRepl
 
-	closed atomic.Bool
-	ln     net.Listener
+	closed   atomic.Bool
+	ln       net.Listener
+	sessions *sessRegistry // v8 resumable sessions, nil when LinkGrace == 0
 }
 
 var _ Transport = (*meshHub)(nil)
 var _ Meter = (*meshHub)(nil)
 var _ PrioAware = (*meshHub)(nil)
 var _ IncumbentStore = (*meshHub)(nil)
+var _ LinkHealth = (*meshHub)(nil)
 
 func (h *meshHub) Rank() int { return 0 }
 func (h *meshHub) Size() int { return h.size }
@@ -278,6 +295,15 @@ func (h *meshHub) handler() Handler {
 }
 
 func (h *meshHub) livenessLoop() { livenessWatch(h.conns, h.opts, &h.closed) }
+
+// Suspected implements LinkHealth; see meshWorker.Suspected.
+func (h *meshHub) Suspected(rank int) bool {
+	if rank <= 0 || rank >= h.size {
+		return false
+	}
+	cn := h.conns[rank]
+	return cn != nil && !cn.dead.Load() && cn.suspectedPeer()
+}
 
 func (h *meshHub) meldBound(from int, obj int64) {
 	raiseMax(&h.pbStamp, obj)
@@ -524,6 +550,12 @@ func (h *meshHub) SplitSteal(victim int) (WireTask, bool, error) {
 func (h *meshHub) stealVia(k kind, victim int) (WireTask, bool, error) {
 	if victim <= 0 || victim >= h.size {
 		return WireTask{}, false, fmt.Errorf("dist: steal from invalid rank %d", victim)
+	}
+	if cn := h.conns[victim]; cn == nil || !cn.reachable() {
+		// Dead or quarantined behind a suspended session: fail the
+		// steal immediately instead of blocking a worker slot on the
+		// steal timeout.
+		return WireTask{}, false, nil
 	}
 	seq, ch := h.pending.register(victim)
 	if !h.forward(victim, &frame{Kind: k, From: 0, To: victim, Seq: seq, Want: h.opts.StealBatch}) {
@@ -822,6 +854,18 @@ func dialMesh(addr, spec string, opts WireOptions) (Transport, error) {
 	cn.pb = &w.pbStamp
 	cn.ps = selfPrioFn(&w.h)
 	cn.psFrom = w.rank
+	if opts.LinkGrace > 0 && welcome.Seq != 0 {
+		// The coordinator minted a resumable session and carried its id
+		// in the welcome; this side dials the resume after a loss.
+		s := newSession(welcome.Seq, opts.LinkGrace)
+		s.rank = w.rank
+		s.redial = sessionRedialer(addr)
+		cn.sess = s
+	}
+	cn.attachFault(opts.Fault, w.rank, 0)
+	if opts.LinkGrace > 0 {
+		w.sessions = newSessRegistry()
+	}
 
 	hookPeer := func(pcn *wconn) {
 		pcn.pb = &w.pbStamp
@@ -837,7 +881,18 @@ func dialMesh(addr, spec string, opts WireOptions) (Transport, error) {
 		}
 		pcn := newWconn(pc, &w.ctr)
 		hookPeer(pcn)
-		if err := pcn.send(&frame{Kind: kPeerHello, From: w.rank, Want: wireVersion}); err != nil {
+		ph := &frame{Kind: kPeerHello, From: w.rank, Want: wireVersion}
+		if opts.LinkGrace > 0 {
+			// The dialing side mints the peer-link session and carries
+			// its id in the hello; the acceptor registers it for resumes.
+			s := newSession(mintSessionID(w.rank), opts.LinkGrace)
+			s.rank = w.rank
+			s.redial = sessionRedialer(table[r])
+			pcn.sess = s
+			ph.Seq = s.id
+		}
+		pcn.attachFault(opts.Fault, w.rank, r)
+		if err := pcn.send(ph); err != nil {
 			pcn.close()
 			return fail(fmt.Errorf("dist: greeting mesh peer %d: %w", r, err))
 		}
@@ -865,10 +920,24 @@ func dialMesh(addr, spec string, opts WireOptions) (Transport, error) {
 		}
 		pc.SetReadDeadline(time.Time{})
 		hookPeer(pcn)
+		if opts.LinkGrace > 0 && ph.Seq != 0 {
+			s := newSession(ph.Seq, opts.LinkGrace)
+			s.rank = w.rank
+			pcn.sess = s
+			w.sessions.add(s.id, pcn)
+		}
+		pcn.attachFault(opts.Fault, w.rank, ph.From)
 		w.peers[ph.From] = pcn
 		got++
 	}
-	pl.Close()
+	if opts.LinkGrace > 0 {
+		// The peer listener stays open: dialing-side peers resume their
+		// severed sessions against it. Close tears it down.
+		w.pl = pl
+		go acceptResumes(pl, w.sessions, &w.closed)
+	} else {
+		pl.Close()
+	}
 	go w.pingLoop()
 	return w, nil
 }
@@ -903,6 +972,12 @@ type meshWorker struct {
 	flushOnce sync.Once
 	closed    atomic.Bool
 
+	// v8 resumable sessions: the peer listener stays open after
+	// registration so severed dialing-side peers can resume, and the
+	// registry maps session ids to the accepted peer conns.
+	pl       net.Listener
+	sessions *sessRegistry
+
 	// Failover state (v7, WireOptions.Standby). Mesh takeover is role
 	// migration, not redial: every survivor already holds a direct
 	// connection to every other, so when the coordinator dies the
@@ -927,6 +1002,7 @@ type meshWorker struct {
 var _ Transport = (*meshWorker)(nil)
 var _ Meter = (*meshWorker)(nil)
 var _ PrioAware = (*meshWorker)(nil)
+var _ LinkHealth = (*meshWorker)(nil)
 var _ IncumbentStore = (*meshWorker)(nil)
 var _ Promoter = (*meshWorker)(nil)
 
@@ -960,6 +1036,14 @@ func (w *meshWorker) connTo(rank int) *wconn {
 		return nil
 	}
 	return cn
+}
+
+// Suspected implements LinkHealth: a peer behind a quarantined link
+// (suspended session or heartbeat silence) should be skipped by the
+// victim order until it resumes or is mourned.
+func (w *meshWorker) Suspected(rank int) bool {
+	cn := w.connTo(rank)
+	return cn != nil && cn.suspectedPeer()
 }
 
 func (w *meshWorker) Start(h Handler) {
@@ -1450,7 +1534,7 @@ func (w *meshWorker) stealVia(k kind, victim int) (WireTask, bool, error) {
 		return WireTask{}, false, fmt.Errorf("dist: steal from invalid rank %d", victim)
 	}
 	cn := w.connTo(victim)
-	if cn == nil {
+	if cn == nil || !cn.reachable() {
 		return WireTask{}, false, nil
 	}
 	seq, ch := w.pending.register(victim)
@@ -1631,6 +1715,9 @@ func (w *meshWorker) Close() error {
 			if cn != nil {
 				cn.close()
 			}
+		}
+		if w.pl != nil {
+			w.pl.Close()
 		}
 	}
 	return nil

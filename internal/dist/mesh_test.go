@@ -1,9 +1,8 @@
 package dist
 
 import (
-	"encoding/binary"
+	"bufio"
 	"fmt"
-	"io"
 	"net"
 	"sort"
 	"strings"
@@ -198,31 +197,22 @@ func TestMeshHubSnapshotRoundTrip(t *testing.T) {
 	}
 }
 
-// rawSend writes one length-prefixed frame over a bare connection,
-// bypassing wconn: registration-rejection tests need to speak broken
-// protocol on purpose.
+// rawSend writes one v8-framed frame over a bare connection, bypassing
+// wconn: registration-rejection tests need to speak broken protocol on
+// purpose (while still passing the CRC gate). The link sequence is 0 so
+// the receiver treats each frame as out-of-band.
 func rawSend(t *testing.T, c net.Conn, f *frame) {
 	t.Helper()
-	buf := appendFrame(make([]byte, 4), f)
-	binary.LittleEndian.PutUint32(buf[:4], uint32(len(buf)-4))
-	if _, err := c.Write(buf); err != nil {
+	if _, err := c.Write(encodeFrame(nil, f, 0)); err != nil {
 		t.Fatalf("raw send: %v", err)
 	}
 }
 
 func rawRecv(t *testing.T, c net.Conn) *frame {
 	t.Helper()
-	var hdr [4]byte
-	if _, err := io.ReadFull(c, hdr[:]); err != nil {
-		t.Fatalf("raw recv header: %v", err)
-	}
-	body := make([]byte, binary.LittleEndian.Uint32(hdr[:]))
-	if _, err := io.ReadFull(c, body); err != nil {
-		t.Fatalf("raw recv body: %v", err)
-	}
 	var f frame
-	if err := parseFrame(body, &f); err != nil {
-		t.Fatalf("raw recv parse: %v", err)
+	if _, _, err := readRawFrame(bufio.NewReader(c), &f); err != nil {
+		t.Fatalf("raw recv: %v", err)
 	}
 	return &f
 }

@@ -1,13 +1,9 @@
 package dist
 
 import (
-	"bufio"
-	"encoding/binary"
 	"errors"
 	"fmt"
-	"io"
 	"math"
-	"math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -41,10 +37,12 @@ const (
 	// v5 (mesh topology: peer address exchange, direct peer frames,
 	// bound gossip, termination-wave tokens) and v6 (on-demand stack
 	// splitting: kSplit requests served by splitting a running worker's
-	// live generator stack) and v7 (coordinator failover: hub state
+	// live generator stack), v7 (coordinator failover: hub state
 	// replication to a standby, epoch-fenced rejoin after a takeover)
-	// peers must not silently garble each other.
-	wireVersion = 7
+	// and v8 (link-fault tolerance: a sequence + CRC32C frame trailer
+	// and resumable sessions, see session.go) — peers must not silently
+	// garble each other.
+	wireVersion = 8
 )
 
 // stealTimeout bounds a steal request whose reply never arrives; a
@@ -102,6 +100,22 @@ type WireOptions struct {
 	// stream hub→standby; off by default. Both sides of a deployment
 	// must agree (folded into the spec check, like Topology).
 	Standby bool
+	// LinkGrace arms the v8 resumable-session layer: on an I/O error
+	// (or frame corruption) both sides of a connection keep the logical
+	// session alive for this long, the dialing side reconnects, and a
+	// kResume handshake retransmits exactly the frames the other side
+	// missed — no death notice, no ledger replay, no failover. The
+	// liveness watchdog becomes two-phase: heartbeat silence past
+	// LivenessTimeout first *suspects* a rank (steals bypass it), and
+	// mourns only after LivenessTimeout+LinkGrace. Zero disables
+	// sessions entirely (crash-stop, the pre-v8 behaviour). Both sides
+	// of a deployment must agree (folded into the spec check).
+	LinkGrace time.Duration
+	// Fault, when non-nil, injects deterministic link faults (latency,
+	// loss, duplication, corruption, reordering, partitions) around
+	// every frame this endpoint sends. In-process test deployments
+	// share one plan across all endpoints; see FaultPlan.
+	Fault *FaultPlan
 }
 
 // Topology values for WireOptions.Topology (and the engine-level
@@ -165,6 +179,7 @@ const (
 	kHubDelta              // hub→standby: Want = subtype (hubDelta*), payload in Tasks/Acks/Blob
 	kRejoin                // worker→promoted hub: From = rank, Want = expected epoch, Obj = cumulative live-task contribution
 	kLeave                 // mesh worker→peers at post-termination Close: the sender is exiting, not dying
+	kResume                // v8 session resume handshake: Seq = session id, Obj = receive high-water mark; travels with link sequence 0
 )
 
 // wconn is one length-prefix-framed TCP connection with serialised
@@ -172,11 +187,31 @@ const (
 // owning endpoint's coalesced live-task delta is drained into, and its
 // best bound stamped onto, every frame that leaves.
 type wconn struct {
-	c    net.Conn
-	br   *bufio.Reader
+	// cur is the current physical connection. A resumable session (v8)
+	// swaps it on reconnect; everything else about the wconn — the
+	// sequence counters, the endpoint hooks, the identity the rest of
+	// the deployment holds — survives the swap.
+	cur  atomic.Pointer[connIO]
 	wmu  sync.Mutex
 	wbuf []byte
-	dead atomic.Bool
+	// sendSeq (under wmu) and recvSeq are the v8 link-sequence
+	// counters: every non-resume frame is stamped with the next send
+	// sequence, and the receiver accepts exactly last+1 — a duplicate
+	// (retransmit overlap) is skipped, a gap fails the link.
+	sendSeq uint64
+	recvSeq atomic.Uint64
+	// sess, when non-nil, makes the connection resumable (LinkGrace>0).
+	sess *session
+	// suspect marks heartbeat silence past LivenessTimeout inside the
+	// grace window: the rank is quarantined (steals bypass it) but not
+	// yet mourned. Cleared when traffic moves again.
+	suspect atomic.Bool
+	// fault injection (nil outside fault-injected deployments). fFrom
+	// and fTo name this connection's directed link in the plan.
+	plan       *FaultPlan
+	fFrom, fTo int
+	held       []byte // reorder hold-back slot (under wmu)
+	dead       atomic.Bool
 	// mourned latches the one-time death processing for the peer
 	// behind this connection (hub side).
 	mourned atomic.Bool
@@ -224,9 +259,16 @@ type wconn struct {
 const psNothing = math.MinInt64
 
 func newWconn(c net.Conn, ctr *wireCounters) *wconn {
-	cn := &wconn{c: c, br: bufio.NewReaderSize(c, 64<<10), ctr: ctr}
+	cn := &wconn{ctr: ctr}
+	cn.cur.Store(newConnIO(c))
 	cn.carried.Store(math.MinInt64)
 	return cn
+}
+
+// attachFault points the connection at a fault plan, naming its
+// directed link. No-op for a nil plan.
+func (cn *wconn) attachFault(p *FaultPlan, from, to int) {
+	cn.plan, cn.fFrom, cn.fTo = p, from, to
 }
 
 // noteCarried records bound knowledge that crossed this connection.
@@ -246,6 +288,12 @@ func (cn *wconn) hasNews(obj int64) bool { return obj > cn.carried.Load() }
 func (cn *wconn) send(f *frame) error {
 	if cn.dead.Load() {
 		return errors.New("dist: connection closed")
+	}
+	if s := cn.sess; s != nil && f.Kind == kPing && s.isSuspended() {
+		// Heartbeats carry no payload of their own: dropping them while
+		// suspended keeps the retransmit log for real traffic (the
+		// pending delta rides the next logged frame instead).
+		return nil
 	}
 	cn.wmu.Lock()
 	defer cn.wmu.Unlock()
@@ -270,11 +318,43 @@ func (cn *wconn) send(f *frame) error {
 			f.PS, f.HasPS = p, true
 		}
 	}
-	buf := append(cn.wbuf[:0], 0, 0, 0, 0)
-	buf = appendFrame(buf, f)
-	binary.LittleEndian.PutUint32(buf[:4], uint32(len(buf)-4))
+	var seq uint32
+	if f.Kind != kResume {
+		cn.sendSeq++
+		seq = uint32(cn.sendSeq)
+	}
+	buf := encodeFrame(cn.wbuf, f, seq)
 	cn.wbuf = buf
-	if _, err := cn.c.Write(buf); err != nil {
+	if s := cn.sess; s != nil && f.Kind != kResume {
+		// The session owns delivery from here: the frame is logged
+		// (clean, before any fault-plan mutation) and will reach the
+		// peer over this connection or a resumed successor — or be
+		// absorbed by the death path when the session breaks. The delta
+		// it carries is therefore counted as put-on-a-wire now, and
+		// never re-added: cum + pending stays the rank's exact
+		// cumulative contribution either way.
+		s.appendLog(cn.sendSeq, buf)
+		if cn.cum != nil && f.Delta != 0 {
+			cn.cum.Add(f.Delta)
+		}
+		cn.nSent.Add(1)
+		cn.noteCarried(f)
+		if cn.ctr != nil {
+			cn.ctr.framesSent.Add(1)
+			cn.ctr.bytesSent.Add(int64(len(buf)))
+		}
+		if s.isSuspended() {
+			return nil // queued; the resume replays it
+		}
+		if err := cn.writeFault(buf); err != nil {
+			// Physical failure with a live session: suspend, and let
+			// the reader drive (dialing side) or await (accepting
+			// side) the resume.
+			s.suspend()
+		}
+		return nil
+	}
+	if err := cn.writeFault(buf); err != nil {
 		if drained {
 			// Put the drained delta back: a failover recomputes the
 			// rank's contribution from cum + pending, so a delta that
@@ -296,38 +376,134 @@ func (cn *wconn) send(f *frame) error {
 	return nil
 }
 
-func (cn *wconn) recv(f *frame) error {
-	var hdr [4]byte
-	if _, err := io.ReadFull(cn.br, hdr[:]); err != nil {
-		cn.dead.Store(true)
+// writeFault realises the link's fault plan around one physical frame
+// write. The clean bytes are already in the retransmit log, so with a
+// session attached a mutation here only ever costs a resume round,
+// never correctness. Called under wmu.
+func (cn *wconn) writeFault(buf []byte) error {
+	nio := cn.cur.Load()
+	p := cn.plan
+	if p == nil {
+		_, err := nio.c.Write(buf)
 		return err
 	}
-	ln := binary.LittleEndian.Uint32(hdr[:])
-	if ln > maxFrameBody {
-		cn.dead.Store(true)
-		return fmt.Errorf("dist: frame body of %d bytes exceeds limit", ln)
+	act, severed := p.act(cn.fFrom, cn.fTo)
+	if severed {
+		// A partition: kill the physical connection so the peer's
+		// reader notices too, and report a write failure — the session
+		// (or the death path) takes it from here.
+		nio.c.Close()
+		return errLinkSevered
 	}
-	// A dedicated allocation per frame: blob and task payloads alias
-	// the body and may be retained by the handler.
-	body := make([]byte, ln)
-	if _, err := io.ReadFull(cn.br, body); err != nil {
-		cn.dead.Store(true)
+	if act.delay > 0 {
+		time.Sleep(act.delay)
+	}
+	if act.drop {
+		// Swallowed: the receiver sees a sequence gap on the next
+		// frame and fails the link into the resume path.
+		return nil
+	}
+	out := buf
+	if act.corrupt {
+		out = append([]byte(nil), buf...)
+		out[4+(len(out)-4)/2] ^= 0x40 // flip a bit mid-body; the CRC catches it
+	}
+	if act.reorder && cn.sess != nil && cn.held == nil {
+		cn.held = append([]byte(nil), out...)
+		return nil
+	}
+	if _, err := nio.c.Write(out); err != nil {
 		return err
 	}
-	if err := parseFrame(body, f); err != nil {
-		cn.dead.Store(true)
-		return err
+	if held := cn.held; held != nil {
+		cn.held = nil
+		if _, err := nio.c.Write(held); err != nil {
+			return err
+		}
 	}
-	cn.nRecvd.Add(1)
-	cn.noteCarried(f)
-	if cn.ctr != nil {
-		cn.ctr.framesRecv.Add(1)
-		cn.ctr.bytesRecv.Add(int64(4 + ln))
+	if act.dup {
+		_, err := nio.c.Write(out)
+		return err
 	}
 	return nil
 }
 
-func (cn *wconn) close() { cn.dead.Store(true); cn.c.Close() }
+func (cn *wconn) recv(f *frame) error {
+	for {
+		nio := cn.cur.Load()
+		seq, n, err := readRawFrame(nio.br, f)
+		if err != nil {
+			// Close the physical connection before deciding anything:
+			// on a CRC failure or sequence gap the stream is still
+			// open, and the peer only learns the link failed when its
+			// writes start failing.
+			nio.c.Close()
+			if cn.await(nio) {
+				continue
+			}
+			cn.dead.Store(true)
+			return err
+		}
+		if seq != 0 {
+			next := cn.recvSeq.Load() + 1
+			if seq != uint32(next) {
+				if int32(seq-uint32(next)) < 0 {
+					// A retransmitted duplicate (resume overlap, or an
+					// injected dup): already delivered, skip silently.
+					continue
+				}
+				// A gap: frames were lost in flight (an injected drop
+				// or reorder, or a half-written stream). Fail the
+				// link; the resume path retransmits in order.
+				nio.c.Close()
+				if cn.await(nio) {
+					continue
+				}
+				cn.dead.Store(true)
+				return fmt.Errorf("dist: link sequence gap (got %d, want %d)", seq, uint32(next))
+			}
+			cn.recvSeq.Store(next)
+		}
+		cn.nRecvd.Add(1)
+		cn.noteCarried(f)
+		if cn.ctr != nil {
+			cn.ctr.framesRecv.Add(1)
+			cn.ctr.bytesRecv.Add(int64(n))
+		}
+		return nil
+	}
+}
+
+func (cn *wconn) close() {
+	cn.dead.Store(true)
+	if cn.sess != nil {
+		cn.sess.breakSess()
+	}
+	cn.cur.Load().c.Close()
+}
+
+// reachable reports whether the peer behind this connection can
+// receive traffic promptly: not dead, and not suspended inside a
+// resume window (a suspended session swallows writes into the log,
+// which would turn a steal request into a silent timeout).
+func (cn *wconn) reachable() bool {
+	if cn.dead.Load() {
+		return false
+	}
+	if cn.sess != nil && cn.sess.isSuspended() {
+		return false
+	}
+	return true
+}
+
+// suspectedPeer reports the two-phase liveness state: heartbeat
+// silence past LivenessTimeout, or a suspended session.
+func (cn *wconn) suspectedPeer() bool {
+	if cn.suspect.Load() {
+		return true
+	}
+	return cn.sess != nil && cn.sess.isSuspended()
+}
 
 // prioUnknown marks a peerPrio slot nothing has been heard from.
 const prioUnknown = -2
@@ -505,6 +681,12 @@ func topoSpec(spec string, opts WireOptions) string {
 		// each other instead of wedging.
 		spec += " standby=1"
 	}
+	if opts.LinkGrace > 0 {
+		// Sessions change what a broken connection means: a graced
+		// endpoint and a crash-stop one must not mix, or one side
+		// mourns while the other waits.
+		spec += " grace=1"
+	}
 	return spec
 }
 
@@ -627,14 +809,29 @@ func (l *Listener) Wait(workers int) (Transport, error) {
 			c.SetReadDeadline(time.Time{})
 			h.peerAddrs[rank] = string(pa.Blob)
 		}
+		cn.attachFault(l.opts.Fault, 0, rank)
 		h.conns[rank] = cn
 		rank++
 	}
 	if d, ok := l.ln.(*net.TCPListener); ok {
 		d.SetDeadline(time.Time{})
 	}
+	if l.opts.LinkGrace > 0 {
+		h.sessions = newSessRegistry()
+	}
 	for rank := 1; rank <= workers; rank++ {
-		if err := h.conns[rank].send(&frame{Kind: kWelcome, To: rank, Want: h.size, Blob: []byte(l.spec)}); err != nil {
+		welcome := &frame{Kind: kWelcome, To: rank, Want: h.size, Blob: []byte(l.spec)}
+		if h.sessions != nil {
+			// Mint the resumable session and carry its id in the
+			// welcome: the worker resumes against it after any later
+			// connection loss.
+			cn := h.conns[rank]
+			id := mintSessionID(rank)
+			cn.sess = newSession(id, l.opts.LinkGrace)
+			h.sessions.add(id, cn)
+			welcome.Seq = id
+		}
+		if err := h.conns[rank].send(welcome); err != nil {
 			return nil, fmt.Errorf("dist: welcoming worker %d: %w", rank, err)
 		}
 	}
@@ -651,6 +848,11 @@ func (l *Listener) Wait(workers int) (Transport, error) {
 	}
 	for rank := 1; rank <= workers; rank++ {
 		go h.serve(rank)
+	}
+	if h.sessions != nil {
+		// The registration listener's second life: accepting resume
+		// handshakes for the sessions minted above.
+		go acceptResumes(h.ln, h.sessions, &h.closed)
 	}
 	go h.livenessLoop()
 	go h.ackFlushLoop()
@@ -722,12 +924,16 @@ type hub struct {
 
 	closed atomic.Bool
 	ln     net.Listener
+	// sessions indexes the resumable sessions this hub accepts resumes
+	// for (nil unless LinkGrace > 0).
+	sessions *sessRegistry
 }
 
 var _ Transport = (*hub)(nil)
 var _ Meter = (*hub)(nil)
 var _ PrioAware = (*hub)(nil)
 var _ IncumbentStore = (*hub)(nil)
+var _ LinkHealth = (*hub)(nil)
 
 func (h *hub) Rank() int { return h.self }
 func (h *hub) Size() int { return h.size }
@@ -782,9 +988,19 @@ func livenessWatch(conns []*wconn, opts WireOptions, closed *atomic.Bool) {
 			}
 			if n := cn.nRecvd.Load(); n != seen[rank] {
 				seen[rank], changed[rank] = n, now
+				cn.suspect.Store(false)
 				continue
 			}
-			if now.Sub(changed[rank]) > opts.LivenessTimeout {
+			silent := now.Sub(changed[rank])
+			if opts.LinkGrace > 0 && silent > opts.LivenessTimeout && silent <= opts.LivenessTimeout+opts.LinkGrace {
+				// Two-phase mourning: quarantine first. The rank drops
+				// out of victim orders and steal routing, but its
+				// session — and everything queued on it — survives
+				// until the grace window closes.
+				cn.suspect.Store(true)
+				continue
+			}
+			if silent > opts.LivenessTimeout+opts.LinkGrace {
 				cn.close()
 			}
 		}
@@ -861,7 +1077,10 @@ func (h *hub) serve(rank int) {
 				cn.send(&frame{Kind: kStealR, From: h.self, To: f.From, Seq: f.Seq, Tasks: tasks})
 				break
 			}
-			if !h.forward(f.To, &f) {
+			if !h.reachableRank(f.To) || !h.forward(f.To, &f) {
+				// Dead or quarantined victim: release the thief
+				// empty-handed now instead of letting it ride the
+				// steal timeout.
 				cn.send(&frame{Kind: kStealR, From: f.To, To: f.From, Seq: f.Seq})
 			}
 		case kSplit:
@@ -880,7 +1099,7 @@ func (h *hub) serve(rank int) {
 				}()
 				break
 			}
-			if !h.forward(f.To, &f) {
+			if !h.reachableRank(f.To) || !h.forward(f.To, &f) {
 				cn.send(&frame{Kind: kStealR, From: f.To, To: f.From, Seq: f.Seq})
 			}
 		case kStealR:
@@ -989,6 +1208,27 @@ func (h *hub) noteIncumbent(obj int64, node []byte) {
 	if h.repl != nil && h.self == 0 {
 		h.repl.noteIncumbent(obj, node)
 	}
+}
+
+// reachableRank reports whether rank can receive traffic promptly
+// (alive, and not suspended or suspected inside a grace window).
+func (h *hub) reachableRank(rank int) bool {
+	if rank <= 0 || rank >= h.size || rank == h.self {
+		return false
+	}
+	cn := h.conns[rank]
+	return cn != nil && cn.reachable() && !cn.suspect.Load()
+}
+
+// Suspected implements LinkHealth: true while rank is quarantined by
+// the two-phase watchdog or mid-resume on a suspended session. Victim
+// selection skips suspected ranks; steals aimed at them fail fast.
+func (h *hub) Suspected(rank int) bool {
+	if rank <= 0 || rank >= h.size || rank == h.self {
+		return false
+	}
+	cn := h.conns[rank]
+	return cn != nil && !cn.dead.Load() && cn.suspectedPeer()
 }
 
 // forward sends a frame to a worker; false when the worker is gone.
@@ -1152,6 +1392,9 @@ func (h *hub) SplitSteal(victim int) (WireTask, bool, error) {
 func (h *hub) stealVia(k kind, victim int) (WireTask, bool, error) {
 	if victim < 0 || victim >= h.size || victim == h.self {
 		return WireTask{}, false, fmt.Errorf("dist: steal from invalid rank %d", victim)
+	}
+	if !h.reachableRank(victim) {
+		return WireTask{}, false, nil
 	}
 	seq, ch := h.pending.register(victim)
 	if !h.forward(victim, &frame{Kind: k, From: h.self, To: victim, Seq: seq, Want: h.opts.StealBatch}) {
@@ -1358,28 +1601,6 @@ func Dial(addr, spec string) (Transport, error) {
 	return DialOpts(addr, spec, WireOptions{})
 }
 
-// dialRetry dials addr, retrying while the peer is not yet listening,
-// with jittered exponential backoff: a whole deployment's workers
-// re-reaching a just-promoted standby (or racing a slow coordinator
-// launch) must not stampede the listener in lockstep.
-func dialRetry(addr string) (net.Conn, error) {
-	deadline := time.Now().Add(dialTimeout)
-	backoff := 25 * time.Millisecond
-	for {
-		c, err := net.DialTimeout("tcp", addr, 2*time.Second)
-		if err == nil {
-			return c, nil
-		}
-		if time.Now().After(deadline) {
-			return nil, fmt.Errorf("dist: dialing coordinator %s: %w", addr, err)
-		}
-		time.Sleep(backoff/2 + time.Duration(rand.Int63n(int64(backoff))))
-		if backoff < 400*time.Millisecond {
-			backoff *= 2
-		}
-	}
-}
-
 // DialOpts is Dial with explicit framing options. StealBatch is a
 // thief-side knob (each endpoint requests its own batch size), while
 // FlushQuantum paces this worker's delta flushes; deployments normally
@@ -1457,6 +1678,15 @@ func DialOpts(addr, spec string, opts WireOptions) (Transport, error) {
 	w.cn.Store(cn)
 	w.rank = welcome.To
 	w.size = welcome.Want
+	if opts.LinkGrace > 0 && welcome.Seq != 0 {
+		// The hub minted a resumable session and carried its id in the
+		// welcome; this side dials the resume after a connection loss.
+		s := newSession(welcome.Seq, opts.LinkGrace)
+		s.rank = w.rank
+		s.redial = sessionRedialer(addr)
+		cn.sess = s
+	}
+	cn.attachFault(opts.Fault, w.rank, 0)
 	w.peerPrio = newPeerPrios(w.size)
 	w.deaths = newDeathBox(w.size)
 	if opts.Standby {
@@ -1530,6 +1760,7 @@ var _ PrioAware = (*worker)(nil)
 var _ IncumbentStore = (*worker)(nil)
 var _ Promoter = (*worker)(nil)
 var _ AckRelay = (*worker)(nil)
+var _ LinkHealth = (*worker)(nil)
 
 // AcksRelayed implements AckRelay: star acks travel through the hub,
 // so a dying coordinator can eat an in-flight ack — the engine must
@@ -1599,6 +1830,7 @@ func (w *worker) Wire() WireStats {
 		s.BytesRecv += hs.BytesRecv
 		s.StealTasks += hs.StealTasks
 		s.StealReplies += hs.StealReplies
+		s.Resumes += hs.Resumes
 	}
 	return s
 }
@@ -1615,6 +1847,20 @@ func (w *worker) PeerBestPrio(rank int) (int, bool) {
 		}
 	}
 	return peerBestPrio(w.peerPrio, rank)
+}
+
+// Suspected implements LinkHealth: with only the hub link to go on, a
+// suspended session makes every peer unreachable (steals route through
+// the hub), so all non-self ranks are suspected while it resumes.
+func (w *worker) Suspected(rank int) bool {
+	if h := w.promo.Load(); h != nil {
+		return h.Suspected(rank)
+	}
+	if rank == w.rank || rank < 0 || rank >= w.size {
+		return false
+	}
+	cn := w.conn()
+	return cn.sess != nil && cn.sess.isSuspended()
 }
 
 func (w *worker) Start(h Handler) {
@@ -1757,6 +2003,12 @@ func (w *worker) stealVia(k kind, victim int) (WireTask, bool, error) {
 	}
 	if victim < 0 || victim >= w.size || victim == w.rank {
 		return WireTask{}, false, fmt.Errorf("dist: steal from invalid rank %d", victim)
+	}
+	if cn := w.conn(); cn.sess != nil && cn.sess.isSuspended() {
+		// The hub link is mid-resume: a request would sit in the
+		// retransmit log until the link heals — fail fast and keep
+		// expanding the local frontier instead.
+		return WireTask{}, false, nil
 	}
 	seq, ch := w.pending.register(victim)
 	if err := w.conn().send(&frame{Kind: k, From: w.rank, To: victim, Seq: seq, Want: w.opts.StealBatch}); err != nil {

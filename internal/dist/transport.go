@@ -309,6 +309,16 @@ type WireStats struct {
 	BytesRecv    int64
 	StealTasks   int64 // tasks received in steal replies (batch occupancy numerator)
 	StealReplies int64 // non-empty steal replies received (batch occupancy denominator)
+	Resumes      int64 // v8 session resumes completed at this endpoint
+}
+
+// LinkHealth is implemented by transports with a two-phase liveness
+// view (v8): Suspected reports a rank quarantined by heartbeat silence
+// or a mid-resume link — still alive as far as anyone knows, but not
+// worth aiming steals at. Victim selection skips suspected ranks; they
+// either recover (and rejoin the order) or graduate to Deaths().
+type LinkHealth interface {
+	Suspected(rank int) bool
 }
 
 // Meter is implemented by transports that count their traffic.
@@ -324,6 +334,7 @@ type wireCounters struct {
 	bytesRecv    atomic.Int64
 	stealTasks   atomic.Int64
 	stealReplies atomic.Int64
+	resumes      atomic.Int64
 }
 
 func (c *wireCounters) snapshot() WireStats {
@@ -334,6 +345,7 @@ func (c *wireCounters) snapshot() WireStats {
 		BytesRecv:    c.bytesRecv.Load(),
 		StealTasks:   c.stealTasks.Load(),
 		StealReplies: c.stealReplies.Load(),
+		Resumes:      c.resumes.Load(),
 	}
 }
 
