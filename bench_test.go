@@ -321,6 +321,49 @@ func BenchmarkSkeletonTax(b *testing.B) {
 	})
 }
 
+// BenchmarkHotPathPrefetch compares the adaptive multi-inflight
+// steal-ahead pipeline (StealAheadMax=4, the default) against strictly
+// single-inflight prefetching (StealAheadMax=1) on the
+// latency-injected loopback transport — the reproducible steal-heavy
+// workload; a real-TCP deployment on a small instance drains before
+// steal traffic ramps. hitrate is the fraction of transport steals
+// served from the steal-ahead buffer instead of a blocking round trip,
+// accumulated over every solve of the run; the adaptive governor must
+// not do worse than the fixed pipeline it replaced (gated as a
+// guard ratio in BENCH_engine.json, with headroom — hit rates on a
+// time-sliced host are noisy). Needs GOMAXPROCS > 1: on a single
+// scheduler thread the busy locality starves the stealing ones and no
+// transport steal ever lands.
+func BenchmarkHotPathPrefetch(b *testing.B) {
+	g := table1Graph("brock400_1")
+	want, _ := maxclique.Solve(g, core.Sequential, core.Config{})
+	arms := []struct {
+		name string
+		max  int
+	}{{"single", 1}, {"adaptive", 0}} // 0 = default cap of 4
+	for _, arm := range arms {
+		b.Run(arm.name, func(b *testing.B) {
+			var hits, oks float64
+			for i := 0; i < b.N; i++ {
+				cfg := core.Config{
+					Workers: 8, Localities: 4, DCutoff: 3,
+					StealLatency:  200 * time.Microsecond,
+					StealAheadMax: arm.max,
+				}
+				clique, st := maxclique.Solve(g, core.DepthBounded, cfg)
+				if clique.Count() != want.Count() {
+					b.Fatalf("clique size = %d, want %d", clique.Count(), want.Count())
+				}
+				hits += float64(st.PrefetchHits)
+				oks += float64(st.StealsOK)
+			}
+			if oks > 0 {
+				b.ReportMetric(hits/oks, "hitrate")
+			}
+		})
+	}
+}
+
 // BenchmarkNodeThroughput measures multi-worker node throughput of the
 // pool-based engine under the two pool layouts: per-worker shards
 // (default) vs the single mutex-shared pool per locality

@@ -25,6 +25,12 @@
 //     priority pool ≥3× faster than the retired heap", "mesh moves
 //     ≥25% fewer coordinator frames than star") stay guarded on any
 //     machine.
+//   - allocation rows: objects with "bench" and "max_allocs" — the
+//     measured allocs/op (the benchmark must call b.ReportAllocs) must
+//     stay at or under max_allocs, with no slack: allocation counts are
+//     deterministic, so any increase is a real regression. An optional
+//     "metric" key substitutes another reported unit (e.g. a
+//     b.ReportMetric "allocs/frame"). Guards the zero-alloc wire path.
 //
 // Usage:
 //
@@ -54,11 +60,20 @@ type ratioRule struct {
 	max       float64
 }
 
+// allocRule guards a reported allocation metric of bench <= max.
+// Unlike absolute ns/op rows no slack applies: allocation counts do
+// not vary with host speed.
+type allocRule struct {
+	bench  string
+	metric string
+	max    float64
+}
+
 // harvest walks a decoded JSON value collecting absolute baselines and
 // ratio rules. Rows are enforced only when they sit under a key whose
 // name contains "guard" (the guarded flag), so recorded-but-volatile
 // measurements elsewhere in the documents stay informational.
-func harvest(v any, guarded bool, abs map[string]float64, ratios *[]ratioRule) {
+func harvest(v any, guarded bool, abs map[string]float64, ratios *[]ratioRule, allocs *[]allocRule) {
 	switch x := v.(type) {
 	case map[string]any:
 		if name, ok := x["bench"].(string); ok && guarded {
@@ -70,16 +85,22 @@ func harvest(v any, guarded bool, abs map[string]float64, ratios *[]ratioRule) {
 					}
 					*ratios = append(*ratios, ratioRule{bench: name, vs: vs, metric: metric, max: mr})
 				}
+			} else if ma, ok := x["max_allocs"].(float64); ok {
+				metric, _ := x["metric"].(string)
+				if metric == "" {
+					metric = "allocs/op"
+				}
+				*allocs = append(*allocs, allocRule{bench: name, metric: metric, max: ma})
 			} else if ns, ok := x["ns_op"].(float64); ok {
 				abs[name] = ns
 			}
 		}
 		for key, val := range x {
-			harvest(val, guarded || strings.Contains(key, "guard"), abs, ratios)
+			harvest(val, guarded || strings.Contains(key, "guard"), abs, ratios, allocs)
 		}
 	case []any:
 		for _, val := range x {
-			harvest(val, guarded, abs, ratios)
+			harvest(val, guarded, abs, ratios, allocs)
 		}
 	}
 }
@@ -118,6 +139,7 @@ func main() {
 	flag.Parse()
 	abs := map[string]float64{}
 	var ratios []ratioRule
+	var allocs []allocRule
 	for _, path := range strings.Split(*flagBaseline, ",") {
 		path = strings.TrimSpace(path)
 		if path == "" {
@@ -133,7 +155,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "benchguard: parsing %s: %v\n", path, err)
 			os.Exit(2)
 		}
-		harvest(doc, false, abs, &ratios)
+		harvest(doc, false, abs, &ratios, &allocs)
 	}
 
 	measured := map[string]map[string]float64{}
@@ -191,6 +213,21 @@ func main() {
 		}
 		fmt.Printf("benchguard: %-44s %s ratio %6.3f  max %6.3f  %s\n",
 			r.bench+"/"+r.vs, r.metric, got, r.max, verdict)
+	}
+	for _, a := range allocs {
+		got, ok := measured[a.bench][a.metric]
+		if !ok {
+			fmt.Printf("benchguard: allocs %s (%s) skipped (not measured; missing b.ReportAllocs?)\n", a.bench, a.metric)
+			continue
+		}
+		checked++
+		verdict := "ok"
+		if got > a.max {
+			verdict = "REGRESSION"
+			failures++
+		}
+		fmt.Printf("benchguard: %-44s %s %8.4f  max %8.4f  %s\n",
+			a.bench, a.metric, got, a.max, verdict)
 	}
 	if checked == 0 {
 		fmt.Fprintln(os.Stderr, "benchguard: nothing to check (no measured benchmark has a baseline)")

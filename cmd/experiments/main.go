@@ -18,8 +18,10 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"os"
 	"runtime"
 	"runtime/debug"
+	"runtime/pprof"
 	"time"
 
 	"yewpar/internal/apps/knapsack"
@@ -45,6 +47,9 @@ var (
 	flagRuns       = flag.Int("runs", 3, "repetitions per measurement (median reported)")
 	flagWorkers    = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS-1, min 1)")
 	flagWPL        = flag.Int("wpl", 1, "figure 4: workers per locality")
+	flagCPUProf    = flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
+	flagMemProf    = flag.String("memprofile", "", "write an end-of-run heap profile to this file")
+	flagMutexProf  = flag.String("mutexprofile", "", "sample all mutex contention and write the profile to this file")
 )
 
 func main() {
@@ -72,6 +77,29 @@ func main() {
 	}
 	fmt.Printf("host: %d cores; parallel workers: %d; runs per point: %d\n\n",
 		runtime.NumCPU(), *flagWorkers, *flagRuns)
+	if *flagCPUProf != "" {
+		f, err := os.Create(*flagCPUProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+			os.Exit(1)
+		}
+		defer func() { pprof.StopCPUProfile(); f.Close() }()
+	}
+	if *flagMutexProf != "" {
+		runtime.SetMutexProfileFraction(1)
+		defer writeProfile("mutex", *flagMutexProf)
+	}
+	if *flagMemProf != "" {
+		path := *flagMemProf
+		defer func() {
+			runtime.GC()
+			writeProfile("heap", path)
+		}()
+	}
 	if *flagTable1 {
 		table1()
 	}
@@ -89,6 +117,20 @@ func main() {
 	}
 	if *flagOrdered {
 		ordered()
+	}
+}
+
+// writeProfile dumps a named runtime/pprof profile, complaining on
+// stderr instead of failing: the experiment results already printed.
+func writeProfile(name, path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%sprofile: %v\n", name, err)
+		return
+	}
+	defer f.Close()
+	if err := pprof.Lookup(name).WriteTo(f, 0); err != nil {
+		fmt.Fprintf(os.Stderr, "%sprofile: %v\n", name, err)
 	}
 }
 

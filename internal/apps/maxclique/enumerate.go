@@ -35,13 +35,14 @@ func IsMaximal(s *Space, n Node) bool {
 	}
 	common, _ := bitset.MakePair(s.G.N)
 	common.Fill()
+	surviving := s.G.N
 	n.Clique.ForEach(func(v int) bool {
-		common.IntersectWith(s.G.Adj[v])
-		return true
+		surviving = bitset.IntersectIntoCount(common, common, s.G.Adj[v])
+		return surviving > 0
 	})
 	// Adjacency excludes self-loops, so members are already absent
 	// from their own neighbourhoods; any surviving vertex extends C.
-	return common.Empty()
+	return surviving == 0
 }
 
 // CountMaximalProblem counts the maximal cliques of the graph.

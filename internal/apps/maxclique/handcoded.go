@@ -68,14 +68,13 @@ func (st *hcState) colourInto(depth int, p bitset.Set) ([]int32, []int32) {
 		c++
 		st.class.CopyFrom(st.uncol)
 		for {
-			v := st.class.Min()
+			v := st.class.PopNext()
 			if v < 0 {
 				break
 			}
 			order = append(order, int32(v))
 			colour = append(colour, c)
 			st.uncol.Remove(v)
-			st.class.Remove(v)
 			st.class.DifferenceWith(st.g.Adj[v])
 		}
 	}
@@ -97,9 +96,7 @@ func (st *hcState) expand(size int, p bitset.Set, depth int) {
 		st.report(size + 1)
 		local.Remove(v)
 		next := st.nexts[depth]
-		next.CopyFrom(local)
-		next.IntersectWith(st.g.Adj[v])
-		if !next.Empty() {
+		if bitset.IntersectIntoCount(next, local, st.g.Adj[v]) > 0 {
 			st.expand(size+1, next, depth+1)
 		}
 		st.current.Remove(v)

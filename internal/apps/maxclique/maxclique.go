@@ -161,13 +161,18 @@ func (g *gen) Next() Node {
 	}
 	clique.CopyFrom(g.parent.Clique)
 	clique.Add(v)
-	cands.CopyFrom(g.remaining)
-	cands.IntersectWith(g.s.G.Adj[v])
+	bitset.IntersectInto(cands, g.remaining, g.s.G.Adj[v])
+	// The extension bound is colour[k] - 1, not colour[k]: colour[k]
+	// bounds the largest clique within {order[0..k]}, which counts v
+	// itself — and v's whole colour class is an independent set, so
+	// none of its other members survive the candidate intersection.
+	// This is the MCSa prune (size + colour[i] <= best): with it the
+	// skeleton searches exactly the hand-coded solver's tree.
 	return Node{
 		Clique: clique,
 		Size:   g.parent.Size + 1,
 		Cands:  cands,
-		Bound:  int(g.colour[g.k]),
+		Bound:  int(g.colour[g.k]) - 1,
 	}
 }
 
@@ -195,14 +200,14 @@ func greedyColourInto(g *graph.Graph, p bitset.Set, order, colour []int32, uncol
 		c++
 		class.CopyFrom(uncoloured)
 		for {
-			v := class.Min()
+			// PopNext fuses the Min+Remove pair into one scan.
+			v := class.PopNext()
 			if v < 0 {
 				break
 			}
 			order = append(order, int32(v))
 			colour = append(colour, c)
 			uncoloured.Remove(v)
-			class.Remove(v)
 			class.DifferenceWith(g.Adj[v])
 		}
 	}

@@ -242,8 +242,10 @@ func TestGenChildOrderIsReverseColour(t *testing.T) {
 		if !child.Clique.Contains(v) {
 			t.Fatalf("child %d should add vertex %d", len(order)-1-i, v)
 		}
-		if child.Bound != int(colour[i]) {
-			t.Fatalf("child bound %d, want colour %d", child.Bound, colour[i])
+		// The extension bound is the MCSa colour[i] - 1: v's own colour
+		// class cannot survive the candidate intersection.
+		if child.Bound != int(colour[i])-1 {
+			t.Fatalf("child bound %d, want colour-1 %d", child.Bound, int(colour[i])-1)
 		}
 		i--
 	}

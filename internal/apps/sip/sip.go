@@ -146,8 +146,9 @@ func Root(s *Space) Node {
 type gen struct {
 	s      *Space
 	parent Node
-	pos    int // assignment position being filled
-	t      int // next target vertex to test
+	pos    int        // assignment position being filled
+	cand   bitset.Set // adjacency-consistent unassigned target vertices
+	built  bool
 	buf    Node
 	ok     bool
 }
@@ -162,7 +163,27 @@ func Gen(s *Space, parent Node) core.NodeGenerator[Node] {
 	return &gen{s: s, parent: parent, pos: parent.Depth()}
 }
 
-// feasible checks target vertex t for assignment position pos.
+// buildCand materialises the candidate set for assignment position
+// pos: every unassigned target vertex, intersected with the target
+// neighbourhood of each already-assigned pattern neighbour. One
+// word-parallel IntersectInto per assigned neighbour replaces the
+// per-vertex HasEdge scan of the naive filter; the per-vertex degree
+// and neighbourhood-degree checks run only on the survivors.
+func (g *gen) buildCand() {
+	g.cand = bitset.New(g.s.T.N)
+	g.cand.Fill()
+	g.cand.DifferenceWith(g.parent.Used)
+	for i, u := range g.parent.Assigned {
+		if g.s.padj[g.pos][i] {
+			bitset.IntersectInto(g.cand, g.cand, g.s.T.Adj[int(u)])
+		}
+	}
+	g.built = true
+}
+
+// feasible checks target vertex t for assignment position pos (the
+// naive reference filter; the generator itself uses the candidate
+// bitset of buildCand, which accepts exactly the same vertices).
 func (g *gen) feasible(t int) bool {
 	if g.parent.Used.Contains(t) {
 		return false
@@ -186,10 +207,18 @@ func (g *gen) HasNext() bool {
 	if g.ok {
 		return true
 	}
-	for g.t < g.s.T.N {
-		t := g.t
-		g.t++
-		if !g.feasible(t) {
+	if !g.built {
+		g.buildCand()
+	}
+	pv := g.s.Order[g.pos]
+	for {
+		// PopNext consumes candidates in ascending order, matching the
+		// naive filter's scan order exactly.
+		t := g.cand.PopNext()
+		if t < 0 {
+			return false
+		}
+		if g.s.tdeg[t] < g.s.pdeg[pv] || !ndsDominates(g.s.tnds[t], g.s.pnds[pv]) {
 			continue
 		}
 		assigned := make([]int32, len(g.parent.Assigned)+1)
@@ -201,7 +230,6 @@ func (g *gen) HasNext() bool {
 		g.ok = true
 		return true
 	}
-	return false
 }
 
 func (g *gen) Next() Node {

@@ -119,8 +119,17 @@ func (s Set) IntersectWith(o Set) {
 	if len(s.words) != len(o.words) {
 		panic("bitset: IntersectWith capacity mismatch")
 	}
-	for i := range s.words {
-		s.words[i] &= o.words[i]
+	sw := s.words
+	ow := o.words[:len(sw)]
+	i := 0
+	for ; i+4 <= len(sw); i += 4 {
+		sw[i] &= ow[i]
+		sw[i+1] &= ow[i+1]
+		sw[i+2] &= ow[i+2]
+		sw[i+3] &= ow[i+3]
+	}
+	for ; i < len(sw); i++ {
+		sw[i] &= ow[i]
 	}
 }
 
@@ -139,8 +148,17 @@ func (s Set) DifferenceWith(o Set) {
 	if len(s.words) != len(o.words) {
 		panic("bitset: DifferenceWith capacity mismatch")
 	}
-	for i := range s.words {
-		s.words[i] &^= o.words[i]
+	sw := s.words
+	ow := o.words[:len(sw)]
+	i := 0
+	for ; i+4 <= len(sw); i += 4 {
+		sw[i] &^= ow[i]
+		sw[i+1] &^= ow[i+1]
+		sw[i+2] &^= ow[i+2]
+		sw[i+3] &^= ow[i+3]
+	}
+	for ; i < len(sw); i++ {
+		sw[i] &^= ow[i]
 	}
 }
 

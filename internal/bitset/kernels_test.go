@@ -1,0 +1,192 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The fused kernels must be bit-for-bit equivalent to a naive
+// word-by-word reference at every capacity — including the unroll
+// boundary cases (0, 63, 64, 65, 128: empty, one word minus a bit,
+// exactly one word, just over, exactly on the 4-word unroll edge
+// wants 256/257 too) — and when dst aliases an input.
+
+// kernelCaps are the capacities every property below sweeps: the empty
+// set, the word edges, the unroll boundary (4 words = 256 bits) and a
+// tail-remainder size.
+var kernelCaps = []int{0, 1, 63, 64, 65, 127, 128, 129, 255, 256, 257, 300}
+
+// refIntersect is the trusted reference: dst = a & b one word at a
+// time with no unrolling or fusion.
+func refIntersect(a, b Set) Set {
+	dst := New(a.n)
+	for i := range dst.words {
+		dst.words[i] = a.words[i] & b.words[i]
+	}
+	return dst
+}
+
+func randomSet(n int, rng *rand.Rand) Set {
+	s := New(n)
+	if n == 0 {
+		return s
+	}
+	// Mix densities so both sparse and dense words appear.
+	p := rng.Float64()
+	for v := 0; v < n; v++ {
+		if rng.Float64() < p {
+			s.Add(v)
+		}
+	}
+	return s
+}
+
+func TestIntersectIntoMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range kernelCaps {
+		for trial := 0; trial < 25; trial++ {
+			a, b := randomSet(n, rng), randomSet(n, rng)
+			want := refIntersect(a, b)
+
+			dst := New(n)
+			IntersectInto(dst, a, b)
+			if !dst.Equal(want) {
+				t.Fatalf("n=%d trial=%d: IntersectInto = %v, want %v", n, trial, dst, want)
+			}
+
+			// Aliased dst = a: the inputs must still be read correctly.
+			aCopy := a.Clone()
+			IntersectInto(aCopy, aCopy, b)
+			if !aCopy.Equal(want) {
+				t.Fatalf("n=%d trial=%d: aliased dst=a gave %v, want %v", n, trial, aCopy, want)
+			}
+			bCopy := b.Clone()
+			IntersectInto(bCopy, a, bCopy)
+			if !bCopy.Equal(want) {
+				t.Fatalf("n=%d trial=%d: aliased dst=b gave %v, want %v", n, trial, bCopy, want)
+			}
+		}
+	}
+}
+
+func TestIntersectIntoCountMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range kernelCaps {
+		for trial := 0; trial < 25; trial++ {
+			a, b := randomSet(n, rng), randomSet(n, rng)
+			want := refIntersect(a, b)
+
+			dst := New(n)
+			got := IntersectIntoCount(dst, a, b)
+			if !dst.Equal(want) {
+				t.Fatalf("n=%d trial=%d: IntersectIntoCount wrote %v, want %v", n, trial, dst, want)
+			}
+			if got != want.Count() {
+				t.Fatalf("n=%d trial=%d: count %d, want %d", n, trial, got, want.Count())
+			}
+
+			aCopy := a.Clone()
+			if got := IntersectIntoCount(aCopy, aCopy, b); got != want.Count() || !aCopy.Equal(want) {
+				t.Fatalf("n=%d trial=%d: aliased count %d set %v, want %d %v",
+					n, trial, got, aCopy, want.Count(), want)
+			}
+		}
+	}
+}
+
+func TestIntersectIntoCapacityMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("capacity mismatch did not panic")
+		}
+	}()
+	IntersectInto(New(64), New(128), New(128))
+}
+
+func TestPopNextDrainsInOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range kernelCaps {
+		for trial := 0; trial < 25; trial++ {
+			s := randomSet(n, rng)
+			ref := s.Clone()
+			var got []int
+			for {
+				v := s.PopNext()
+				if v == -1 {
+					break
+				}
+				got = append(got, v)
+			}
+			// PopNext must yield exactly the elements, ascending, and
+			// leave the set empty.
+			var want []int
+			ref.ForEach(func(v int) bool { want = append(want, v); return true })
+			if len(got) != len(want) {
+				t.Fatalf("n=%d trial=%d: popped %d elements, want %d", n, trial, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("n=%d trial=%d: pop %d = %d, want %d", n, trial, i, got[i], want[i])
+				}
+			}
+			if !s.Empty() {
+				t.Fatalf("n=%d trial=%d: set not empty after draining", n, trial)
+			}
+		}
+	}
+}
+
+func TestPopNextEmpty(t *testing.T) {
+	for _, n := range []int{0, 64, 300} {
+		if v := New(n).PopNext(); v != -1 {
+			t.Fatalf("PopNext on empty cap-%d set = %d, want -1", n, v)
+		}
+	}
+}
+
+// FuzzIntersectKernels cross-checks both fused intersection kernels
+// against the reference on fuzzer-chosen word patterns. The capacity
+// is derived from the shorter input so corpus entries of any length
+// are meaningful.
+func FuzzIntersectKernels(f *testing.F) {
+	f.Add([]byte{0xff, 0x00, 0xaa}, []byte{0x0f, 0xf0, 0x55})
+	f.Add([]byte{}, []byte{})
+	f.Add(make([]byte, 40), make([]byte, 33))
+	f.Fuzz(func(t *testing.T, ab, bb []byte) {
+		nBytes := len(ab)
+		if len(bb) < nBytes {
+			nBytes = len(bb)
+		}
+		if nBytes > 128 {
+			nBytes = 128
+		}
+		n := nBytes * 8
+		a, b := New(n), New(n)
+		for i := 0; i < nBytes; i++ {
+			for bit := 0; bit < 8; bit++ {
+				if ab[i]&(1<<bit) != 0 {
+					a.Add(i*8 + bit)
+				}
+				if bb[i]&(1<<bit) != 0 {
+					b.Add(i*8 + bit)
+				}
+			}
+		}
+		want := refIntersect(a, b)
+		dst := New(n)
+		IntersectInto(dst, a, b)
+		if !dst.Equal(want) {
+			t.Fatalf("IntersectInto mismatch: %v want %v", dst, want)
+		}
+		dst2 := New(n)
+		if c := IntersectIntoCount(dst2, a, b); c != want.Count() || !dst2.Equal(want) {
+			t.Fatalf("IntersectIntoCount %d/%v, want %d/%v", c, dst2, want.Count(), want)
+		}
+		// PopNext on the intersection must agree with Min.
+		probe := want.Clone()
+		wantMin := probe.Min()
+		if got := dst.PopNext(); got != wantMin && !(got == -1 && wantMin == -1) {
+			t.Fatalf("PopNext %d, want Min %d", got, wantMin)
+		}
+	})
+}

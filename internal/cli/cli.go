@@ -67,6 +67,11 @@ type Options struct {
 	ShowStats bool
 	TraceRun  bool
 
+	CPUProfile   string
+	MemProfile   string
+	MutexProfile string
+	PprofAddr    string
+
 	Dist        string
 	DistAddr    string
 	DistWorkers int
@@ -112,6 +117,10 @@ func ParseArgs(args []string) (*Options, error) {
 	fs.StringVar(&o.UTSShape, "uts-shape", "binomial", "uts: binomial|geometric")
 	fs.BoolVar(&o.ShowStats, "stats", true, "print search statistics")
 	fs.BoolVar(&o.TraceRun, "trace", false, "print a per-task workload summary")
+	fs.StringVar(&o.CPUProfile, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&o.MemProfile, "memprofile", "", "write an end-of-run heap profile to this file")
+	fs.StringVar(&o.MutexProfile, "mutexprofile", "", "sample all mutex contention and write the profile to this file")
+	fs.StringVar(&o.PprofAddr, "pprof-addr", "", "serve net/http/pprof on this address for live inspection (intended for -dist workers)")
 	fs.StringVar(&o.Dist, "dist", "", "multi-process role: coordinator|worker (empty = single process)")
 	fs.StringVar(&o.DistAddr, "dist-addr", "127.0.0.1:9967", "coordinator address for -dist")
 	fs.IntVar(&o.DistWorkers, "dist-workers", 2, "coordinator: worker processes to wait for")
@@ -215,12 +224,23 @@ func LoadGraph(o *Options) (*graph.Graph, error) {
 }
 
 // Run executes the selected application and writes a human-readable
-// report to w.
-func Run(args []string, w io.Writer) error {
+// report to w. Profile hooks (-cpuprofile and friends) bracket the
+// whole run, including the distributed roles — a -dist worker with
+// -pprof-addr serves live pprof for its entire lifetime.
+func Run(args []string, w io.Writer) (err error) {
 	o, err := ParseArgs(args)
 	if err != nil {
 		return err
 	}
+	stopProf, err := startProfiles(o)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil && err == nil {
+			err = perr
+		}
+	}()
 	if o.Dist != "" {
 		return RunDist(o, w)
 	}

@@ -68,6 +68,15 @@ type Config struct {
 	// zero-latency loopback, where a steal is a direct call). Negative
 	// disables prefetching entirely.
 	StealAhead int
+	// StealAheadMax caps the adaptive prefetch pipeline: the most
+	// background steals one locality may have outstanding at once.
+	// The governor moves the live depth between 1 and this cap by
+	// comparing the steal round-trip EWMA with the rate the locality
+	// consumes prefetched work, and collapses to 1 whenever a sweep
+	// finds every peer empty. 0 selects the default (4); 1 restores
+	// strictly single-inflight prefetching. Meaningful only where
+	// steal-ahead itself runs (see StealAhead).
+	StealAheadMax int
 	// Pool selects the workpool implementation. Ignored when Order is
 	// set: ordered scheduling requires the priority-bucketed pool.
 	Pool PoolKind

@@ -110,6 +110,19 @@
 // via live-stack splits (dist protocol v6 kSplit) rather than pools,
 // so it is naturally the memory-leanest -dist coordination.
 //
+// Localities hide steal latency with adaptive steal-ahead: the
+// topology keeps a small buffer of prefetched remote tasks and
+// maintains 1–4 speculative steals in flight, governed by an EWMA of
+// the steal round-trip time against the locality's measured task
+// consumption rate — a long pipe relative to how fast workers drain
+// the buffer earns more inflight slots, and an empty sweep collapses
+// the window back to one so a drained neighbourhood is not hammered
+// with speculative requests. Config.StealAheadMax caps the window (1
+// restores the strictly single-inflight pipeline, for ablation); the
+// prefetch oracle tests pin result equality at every depth, and
+// BenchmarkHotPathPrefetch gates the governor's hit rate against the
+// fixed pipeline in CI.
+//
 // Idle workers do not spin: after a few failed probe rounds a worker
 // parks on its locality's parker and is woken by the next local push,
 // adopted steal reply, or prefetched task (with a growing timeout to
@@ -123,7 +136,10 @@
 // reallocated, and EphemeralGenerator additionally lets the pure
 // depth-first loop reuse one child buffer per generator (problems then
 // supply Copy so the engine can retain incumbents/witnesses safely).
-// This is what closes most of the paper's Table 1 "skeleton tax"
+// Together with the fused single-pass bitset kernels of
+// internal/bitset (IntersectInto, IntersectIntoCount, PopNext — the
+// expansion and colouring inner loops of the bitset applications),
+// this is what closes most of the paper's Table 1 "skeleton tax"
 // against the hand-coded solver; BenchmarkSkeletonTax measures it and
-// BENCH_engine.json records it.
+// BENCH_engine.json records and gates it.
 package core

@@ -2,6 +2,7 @@ package core
 
 import (
 	"math/rand"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -40,10 +41,14 @@ import (
 // buffer: after a successful remote steal, the next steal is issued in
 // the background while the stolen task runs, so a worker going idle
 // often finds a task already waiting instead of paying a blocking
-// round trip. The buffer is bounded and at most one prefetch is in
-// flight per locality; a prefetch whose transport-level request times
-// out is re-homed by the transport via Handler.OnTask exactly like any
-// late steal reply, so prefetched work is never lost.
+// round trip. The buffer is bounded, and the number of prefetch steals
+// in flight per locality is adaptive (see aheadBuf): a governor
+// pipelines between 1 and Config.StealAheadMax outstanding steals
+// according to how steal round-trip time compares with the rate the
+// locality consumes prefetched work, collapsing back to 1 whenever a
+// sweep finds every peer empty. A prefetch whose transport-level
+// request times out is re-homed by the transport via Handler.OnTask
+// exactly like any late steal reply, so prefetched work is never lost.
 type topology[N any] struct {
 	fab         *fabric[N]
 	pools       []*ShardedPool[N]
@@ -72,12 +77,83 @@ type victimScratch struct {
 	keys  []int
 }
 
-// aheadBuf is one locality's steal-ahead state. The single-inflight
-// gate bounds background steal pressure and makes rng goroutine-safe.
+// defaultStealAheadMax is the prefetch pipeline cap when
+// Config.StealAheadMax is zero.
+const defaultStealAheadMax = 4
+
+// vscratchPool recycles victim-ranking scratch across concurrent
+// prefetch goroutines (each sweep owns one scratch until it finishes).
+var vscratchPool = sync.Pool{New: func() any { return &victimScratch{} }}
+
+// aheadBuf is one locality's steal-ahead state. Prefetch pressure is
+// bounded by the inflight token channel and *adapted* by a governor:
+// the live target of outstanding steals is the steal round-trip EWMA
+// divided by the EWMA of the gap between buffer claims — when a steal
+// takes R ns and local workers drain a prefetched task every G ns,
+// roughly R/G steals must be pipelined for the buffer never to run
+// dry — clamped to [1, max]. An empty sweep (every reachable peer
+// refused) collapses the target to 1, so an idle cluster is probed by
+// at most one background steal per locality, exactly the pre-adaptive
+// behaviour; demand and successful steals rebuild the pipeline.
 type aheadBuf[N any] struct {
 	buf      chan Task[N]
-	inflight chan struct{} // capacity 1: acquired by the prefetching goroutine
+	inflight chan struct{} // capacity max: tokens bound outstanding prefetch steals
+	max      int32
+	target   atomic.Int32 // live pipeline depth, 1..max
+	stealRTT atomic.Int64 // EWMA of one successful steal's round trip (ns)
+	popGap   atomic.Int64 // EWMA of the gap between ahead-buffer claims (ns)
+	lastPop  atomic.Int64 // unix-ns stamp of the last buffer claim
+	rngMu    sync.Mutex   // guards rng (victim sweeps start concurrently)
 	rng      *rand.Rand
+}
+
+// ewmaShift is the EWMA decay: new = old + (sample-old)/2^3.
+const ewmaShift = 3
+
+// ewmaUpdate folds a sample into an EWMA cell. The read-modify-write
+// is deliberately not atomic as a unit: a lost update under a race
+// only slows the estimate, and the governor is a heuristic.
+func ewmaUpdate(a *atomic.Int64, sample int64) {
+	old := a.Load()
+	if old == 0 {
+		a.Store(sample)
+		return
+	}
+	a.Store(old + (sample-old)>>ewmaShift)
+}
+
+// noteRTT records one successful steal's round trip and retargets.
+func (sa *aheadBuf[N]) noteRTT(d time.Duration) {
+	if d > 0 {
+		ewmaUpdate(&sa.stealRTT, d.Nanoseconds())
+		sa.retarget()
+	}
+}
+
+// notePop records a buffer claim (the consumption side of the
+// governor's ratio) and retargets.
+func (sa *aheadBuf[N]) notePop() {
+	now := time.Now().UnixNano()
+	if last := sa.lastPop.Swap(now); last != 0 && now > last {
+		ewmaUpdate(&sa.popGap, now-last)
+	}
+	sa.retarget()
+}
+
+// retarget recomputes the live pipeline depth from the two EWMAs.
+func (sa *aheadBuf[N]) retarget() {
+	rtt, gap := sa.stealRTT.Load(), sa.popGap.Load()
+	if rtt <= 0 || gap <= 0 {
+		return // not enough signal yet: stay where we are
+	}
+	want := int32(rtt / gap)
+	if want < 1 {
+		want = 1
+	}
+	if want > sa.max {
+		want = sa.max
+	}
+	sa.target.Store(want)
 }
 
 func newTopology[N any](fab *fabric[N], cfg Config) *topology[N] {
@@ -166,11 +242,18 @@ func newTopology[N any](fab *fabric[N], cfg Config) *topology[N] {
 			tp.backoff[i] = newStealBackoff(boBase, boMax)
 		}
 		if tp.ahead != nil {
-			tp.ahead[i] = &aheadBuf[N]{
+			maxIn := cfg.StealAheadMax
+			if maxIn <= 0 {
+				maxIn = defaultStealAheadMax
+			}
+			sa := &aheadBuf[N]{
 				buf:      make(chan Task[N], depth),
-				inflight: make(chan struct{}, 1),
+				inflight: make(chan struct{}, maxIn),
+				max:      int32(maxIn),
 				rng:      rand.New(rand.NewSource(cfg.Seed ^ 0x5DEECE66D + int64(fab.locs[i].rank)*104729)),
 			}
+			sa.target.Store(1) // conservative start; the governor widens it
+			tp.ahead[i] = sa
 		}
 	}
 	for w := 0; w < cfg.Workers; w++ {
@@ -275,6 +358,7 @@ func (tp *topology[N]) popOrSteal(w int, sh *WorkerStats) (Task[N], bool) {
 		case t := <-tp.ahead[loc].buf:
 			sh.StealsOK++
 			sh.PrefetchHits++
+			tp.ahead[loc].notePop()
 			if bo := tp.backoffAt(loc); bo != nil {
 				bo.reset()
 			}
@@ -338,10 +422,18 @@ func (tp *topology[N]) popOrSteal(w int, sh *WorkerStats) (Task[N], bool) {
 	if tp.splitters != nil {
 		splitTr, _ = tp.fab.trs[loc].(dist.SplitStealer)
 	}
+	var sa *aheadBuf[N]
+	if tp.ahead != nil {
+		sa = tp.ahead[loc]
+	}
 	for i, v := range order {
 		var wt dist.WireTask
 		var ok bool
 		var err error
+		var t0 time.Time
+		if sa != nil {
+			t0 = time.Now()
+		}
 		if splitTr != nil {
 			wt, ok, err = splitTr.SplitSteal(v)
 		} else {
@@ -350,6 +442,11 @@ func (tp *topology[N]) popOrSteal(w int, sh *WorkerStats) (Task[N], bool) {
 		if err != nil || !ok {
 			sh.StealsFail++
 			continue
+		}
+		if sa != nil {
+			// A blocking steal's round trip is the same signal the
+			// prefetch governor pipelines against.
+			sa.noteRTT(time.Since(t0))
 		}
 		sh.StealsOK++
 		// An ordered steal is one whose victim ranking was informed by
@@ -396,16 +493,25 @@ func (tp *topology[N]) backoffAt(loc int) *stealBackoff {
 }
 
 // prefetch issues one background steal round for a locality, if
-// steal-ahead is enabled, its buffer has room, and no prefetch is
-// already in flight. A stolen task lands in the buffer (or spills to
-// the pool if the buffer filled meanwhile); either way it is a
-// registered live task that local workers will drain before the global
-// count can reach zero.
+// steal-ahead is enabled, its buffer has room, and the adaptive
+// pipeline is below its current target depth (each outstanding round
+// holds one inflight token; the governor moves the target between 1
+// and the token capacity). A stolen task lands in the buffer (or
+// spills to the pool if the buffer filled meanwhile); either way it
+// is a registered live task that local workers will drain before the
+// global count can reach zero — the OnTask adoption invariant is
+// untouched by pipelining, because every round is an ordinary
+// transport steal.
 func (tp *topology[N]) prefetch(loc int) {
 	if tp.ahead == nil {
 		return
 	}
 	sa := tp.ahead[loc]
+	if len(sa.inflight) >= int(sa.target.Load()) {
+		// The pipeline is at its adaptive depth. (The check races with
+		// token release, but the token capacity still bounds pressure.)
+		return
+	}
 	select {
 	case sa.inflight <- struct{}{}:
 	default:
@@ -417,12 +523,18 @@ func (tp *topology[N]) prefetch(loc int) {
 	}
 	go func() {
 		defer func() { <-sa.inflight }()
-		order := tp.victimOrder(loc, sa.rng, &victimScratch{})
+		sc := vscratchPool.Get().(*victimScratch)
+		defer vscratchPool.Put(sc)
+		sa.rngMu.Lock()
+		order := tp.victimOrder(loc, sa.rng, sc)
+		sa.rngMu.Unlock()
 		for _, v := range order {
+			t0 := time.Now()
 			wt, ok, err := tp.fab.trs[loc].Steal(v)
 			if err != nil || !ok {
 				continue
 			}
+			sa.noteRTT(time.Since(t0))
 			t := tp.fromWire(loc, wt)
 			select {
 			case sa.buf <- t:
@@ -434,6 +546,10 @@ func (tp *topology[N]) prefetch(loc int) {
 			tp.parkers[loc].wake()
 			return
 		}
+		// Empty sweep: every reachable peer refused. Collapse the
+		// pipeline so an idle cluster sees at most one background probe
+		// per locality until work (and demand) reappears.
+		sa.target.Store(1)
 	}()
 }
 

@@ -1,0 +1,123 @@
+package dist
+
+import (
+	"net"
+	"runtime"
+	"testing"
+)
+
+// Steady-state allocation census of the wire hot path (the zero-alloc
+// claim of the fused-kernel/zero-alloc-wire PR): header-only frames —
+// deltas, acks, the flush-quantum traffic — must move through
+// encodeFrame's reused scratch, the vectored batch buffers, and
+// readRawFrameInto's recycled read image without per-frame heap
+// allocation. Gated at <= 1 alloc/frame by cmd/benchguard via
+// BENCH_transport.json (the budget tolerates incidental runtime
+// allocation; the measured number should sit near zero).
+
+// benchWirePair returns two wconns joined by a real TCP loopback
+// connection.
+func benchWirePair(b *testing.B) (snd, rcv *wconn, cleanup func()) {
+	b.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	type accepted struct {
+		c   net.Conn
+		err error
+	}
+	ch := make(chan accepted, 1)
+	go func() {
+		c, err := ln.Accept()
+		ch <- accepted{c, err}
+	}()
+	cc, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		ln.Close()
+		b.Fatal(err)
+	}
+	ac := <-ch
+	ln.Close()
+	if ac.err != nil {
+		cc.Close()
+		b.Fatal(ac.err)
+	}
+	snd = newWconn(cc, nil)
+	rcv = newWconn(ac.c, nil)
+	return snd, rcv, func() {
+		cc.Close()
+		ac.c.Close()
+	}
+}
+
+// drainFrames receives exactly n frames on cn, reporting the first
+// error on the returned channel (nil on success).
+func drainFrames(cn *wconn, n int) chan error {
+	done := make(chan error, 1)
+	go func() {
+		var f frame
+		for i := 0; i < n; i++ {
+			if err := cn.recv(&f); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	return done
+}
+
+// BenchmarkHotPathWireAllocs/send-recv: one header-only kDelta frame
+// per op through send and recv. allocs/op IS allocs per frame, both
+// endpoints combined (same process, same heap).
+//
+// BenchmarkHotPathWireAllocs/sendmany: one vectored 8-frame flush
+// batch (7 acks + 1 delta, the flush-quantum shape) per op; the
+// reported allocs/frame divides the heap delta over every frame moved.
+func BenchmarkHotPathWireAllocs(b *testing.B) {
+	b.Run("send-recv", func(b *testing.B) {
+		snd, rcv, cleanup := benchWirePair(b)
+		defer cleanup()
+		done := drainFrames(rcv, b.N)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := snd.send(&frame{Kind: kDelta, From: 1, Delta: 1}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := <-done; err != nil {
+			b.Fatal(err)
+		}
+	})
+	b.Run("sendmany", func(b *testing.B) {
+		const batch = 8
+		snd, rcv, cleanup := benchWirePair(b)
+		defer cleanup()
+		done := drainFrames(rcv, b.N*batch)
+		fs := make([]*frame, batch)
+		frames := make([]frame, batch)
+		b.ReportAllocs()
+		b.ResetTimer()
+		var ms0, ms1 runtime.MemStats
+		runtime.ReadMemStats(&ms0)
+		for i := 0; i < b.N; i++ {
+			for j := range frames {
+				frames[j] = frame{Kind: kAck, From: 1, To: 0}
+			}
+			frames[batch-1] = frame{Kind: kDelta, From: 1, Delta: -1}
+			for j := range fs {
+				fs[j] = &frames[j]
+			}
+			if err := snd.sendMany(fs); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := <-done; err != nil {
+			b.Fatal(err)
+		}
+		runtime.ReadMemStats(&ms1)
+		b.ReportMetric(float64(ms1.Mallocs-ms0.Mallocs)/float64(b.N*batch), "allocs/frame")
+	})
+}

@@ -37,6 +37,23 @@ var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 // bridge, never against correctness.
 const sessLogBudget = 4 << 20
 
+// frameBuf is one pooled encoded-frame image. The session retransmit
+// log recycles these through frameBufPool, so the steady-state send
+// path stops paying one heap allocation per logged frame: a buffer is
+// taken at appendLog and returned when its entry leaves the log — a
+// budget trim, a resume's trimThrough, or the session breaking.
+type frameBuf struct{ b []byte }
+
+var frameBufPool = sync.Pool{New: func() any { return new(frameBuf) }}
+
+func newFrameBuf(src []byte) *frameBuf {
+	fb := frameBufPool.Get().(*frameBuf)
+	fb.b = append(fb.b[:0], src...)
+	return fb
+}
+
+func (fb *frameBuf) release() { frameBufPool.Put(fb) }
+
 // resumeTimeout bounds one resume handshake exchange.
 const resumeTimeout = 5 * time.Second
 
@@ -66,32 +83,52 @@ func encodeFrame(dst []byte, f *frame, seq uint32) []byte {
 // readRawFrame reads and verifies one v8 frame, returning its link
 // sequence and total wire size. A CRC mismatch is a connection
 // failure, not a parse error: the stream can no longer be trusted.
+// The body gets a dedicated allocation: blob and task payloads alias
+// it and may be retained by the handler.
 func readRawFrame(br *bufio.Reader, f *frame) (uint32, int, error) {
-	var hdr [4]byte
-	if _, err := io.ReadFull(br, hdr[:]); err != nil {
-		return 0, 0, err
+	seq, n, _, err := readRawFrameInto(br, f, nil)
+	return seq, n, err
+}
+
+// readRawFrameInto is readRawFrame reading the frame image into buf
+// (grown as needed) and returning the possibly-grown buffer. The
+// caller owns the reuse decision: a frame whose Blob or Tasks are
+// empty aliases nothing, so its buffer can back the next read; one
+// that carries an aliasing payload must keep its buffer for as long
+// as the handler may hold the payload.
+func readRawFrameInto(br *bufio.Reader, f *frame, buf []byte) (uint32, int, []byte, error) {
+	// Peek+Discard instead of ReadFull into a local: a stack array
+	// passed through the io.Reader interface escapes, costing one heap
+	// allocation per frame on an otherwise allocation-free path.
+	hdr, err := br.Peek(4)
+	if err != nil {
+		return 0, 0, buf, err
 	}
-	ln := binary.LittleEndian.Uint32(hdr[:])
+	ln := binary.LittleEndian.Uint32(hdr)
+	br.Discard(4)
 	if ln > maxFrameBody+8 {
-		return 0, 0, fmt.Errorf("dist: frame body of %d bytes exceeds limit", ln)
+		return 0, 0, buf, fmt.Errorf("dist: frame body of %d bytes exceeds limit", ln)
 	}
 	if ln < 10 {
-		return 0, 0, fmt.Errorf("dist: v8 frame of %d bytes is shorter than its trailer", ln)
+		return 0, 0, buf, fmt.Errorf("dist: v8 frame of %d bytes is shorter than its trailer", ln)
 	}
-	// A dedicated allocation per frame: blob and task payloads alias
-	// the body and may be retained by the handler.
-	body := make([]byte, ln)
+	body := buf
+	if uint32(cap(body)) < ln {
+		body = make([]byte, ln)
+	} else {
+		body = body[:ln]
+	}
 	if _, err := io.ReadFull(br, body); err != nil {
-		return 0, 0, err
+		return 0, 0, body, err
 	}
 	if got, want := binary.LittleEndian.Uint32(body[ln-4:]), crc32.Checksum(body[:ln-4], castagnoli); got != want {
-		return 0, 0, fmt.Errorf("dist: frame CRC mismatch (got %#x, want %#x)", got, want)
+		return 0, 0, body, fmt.Errorf("dist: frame CRC mismatch (got %#x, want %#x)", got, want)
 	}
 	seq := binary.LittleEndian.Uint32(body[ln-8 : ln-4])
 	if err := parseFrame(body[:ln-8], f); err != nil {
-		return 0, 0, err
+		return 0, 0, body, err
 	}
-	return seq, int(4 + ln), nil
+	return seq, int(4 + ln), body, nil
 }
 
 // mintSessionID tags a fresh session id with the rank it serves, so a
@@ -109,7 +146,7 @@ const (
 
 type sessEntry struct {
 	seq uint64
-	buf []byte
+	buf *frameBuf
 }
 
 // session is the resumable-link state shared by one wconn's sender and
@@ -176,10 +213,17 @@ func (s *session) suspendLocked() {
 	})
 }
 
-// breakSess collapses the session for good, releasing a parked reader.
+// breakSess collapses the session for good, releasing a parked reader
+// and recycling the retransmit log (nothing can ever replay it).
 func (s *session) breakSess() {
 	s.mu.Lock()
 	s.state = sessBroken
+	for i := range s.log {
+		s.log[i].buf.release()
+		s.log[i].buf = nil
+	}
+	s.log = nil
+	s.logBytes = 0
 	s.cond.Broadcast()
 	s.mu.Unlock()
 }
@@ -187,14 +231,22 @@ func (s *session) breakSess() {
 // appendLog records an encoded frame (trailer included, clean of any
 // fault-plan mutation) for retransmission, trimming the oldest entries
 // past the byte budget. The caller holds the owning wconn's wmu, so
-// entries arrive in sequence order.
+// entries arrive in sequence order. The copy lives in a pooled buffer,
+// returned to the pool when the entry leaves the log.
 func (s *session) appendLog(seq uint64, buf []byte) {
-	cp := append([]byte(nil), buf...)
+	cp := newFrameBuf(buf)
 	s.mu.Lock()
+	if s.state == sessBroken {
+		// Nothing will ever replay a broken session's log; recycle now.
+		s.mu.Unlock()
+		cp.release()
+		return
+	}
 	s.log = append(s.log, sessEntry{seq: seq, buf: cp})
-	s.logBytes += len(cp)
+	s.logBytes += len(cp.b)
 	for s.logBytes > sessLogBudget && len(s.log) > 1 {
-		s.logBytes -= len(s.log[0].buf)
+		s.logBytes -= len(s.log[0].buf.b)
+		s.log[0].buf.release()
 		s.log[0].buf = nil
 		s.log = s.log[1:]
 	}
@@ -216,18 +268,20 @@ func (s *session) replayAfter(w io.Writer, peerRecv, sendSeq uint64) error {
 		if s.log[i].seq <= peerRecv {
 			continue
 		}
-		if _, err := w.Write(s.log[i].buf); err != nil {
+		if _, err := w.Write(s.log[i].buf.b); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// trimThrough drops log entries the peer has confirmed receiving.
+// trimThrough drops log entries the peer has confirmed receiving,
+// returning their buffers to the frame pool.
 func (s *session) trimThrough(peerRecv uint64) {
 	s.mu.Lock()
 	for len(s.log) > 0 && s.log[0].seq <= peerRecv {
-		s.logBytes -= len(s.log[0].buf)
+		s.logBytes -= len(s.log[0].buf.b)
+		s.log[0].buf.release()
 		s.log[0].buf = nil
 		s.log = s.log[1:]
 	}
@@ -309,7 +363,7 @@ func (cn *wconn) tryResume(c net.Conn) (ok, fatal bool) {
 	nio := newConnIO(c)
 	c.SetDeadline(time.Now().Add(resumeTimeout))
 	req := &frame{Kind: kResume, From: s.rank, Seq: s.id, Obj: int64(cn.recvSeq.Load())}
-	if _, err := c.Write(encodeFrame(nil, req, 0)); err != nil {
+	if _, err := c.Write(encodeFrame(make([]byte, 0, 64), req, 0)); err != nil {
 		c.Close()
 		return false, false
 	}
@@ -419,7 +473,7 @@ func handleResume(c net.Conn, reg *sessRegistry) {
 	}
 	old := cn.cur.Load()
 	rep := &frame{Kind: kResume, From: s.rank, Seq: s.id, Obj: int64(cn.recvSeq.Load())}
-	if _, err := c.Write(encodeFrame(nil, rep, 0)); err != nil {
+	if _, err := c.Write(encodeFrame(make([]byte, 0, 64), rep, 0)); err != nil {
 		c.Close()
 		return
 	}

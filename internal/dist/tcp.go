@@ -194,6 +194,16 @@ type wconn struct {
 	cur  atomic.Pointer[connIO]
 	wmu  sync.Mutex
 	wbuf []byte
+	// wbatch holds the per-frame wire images of an in-progress sendMany
+	// and wvec the vectored-write view over them; both reuse capacity
+	// across batches (under wmu).
+	wbatch [][]byte
+	wvec   net.Buffers
+	// rbuf is the reader goroutine's reusable frame image. recv hands
+	// it off (and re-allocates lazily) whenever a frame's parsed Blob
+	// or Tasks alias it; header-only traffic — the steady state —
+	// recycles it read after read.
+	rbuf []byte
 	// sendSeq (under wmu) and recvSeq are the v8 link-sequence
 	// counters: every non-resume frame is stamped with the next send
 	// sequence, and the receiver accepts exactly last+1 — a duplicate
@@ -259,7 +269,9 @@ type wconn struct {
 const psNothing = math.MinInt64
 
 func newWconn(c net.Conn, ctr *wireCounters) *wconn {
-	cn := &wconn{ctr: ctr}
+	// The encode scratch starts at a size covering every header-only
+	// frame, so the steady-state send path never grows it.
+	cn := &wconn{ctr: ctr, wbuf: make([]byte, 0, 256)}
 	cn.cur.Store(newConnIO(c))
 	cn.carried.Store(math.MinInt64)
 	return cn
@@ -285,25 +297,18 @@ func (cn *wconn) noteCarried(f *frame) {
 // connection, as far as the traffic so far can prove.
 func (cn *wconn) hasNews(obj int64) bool { return obj > cn.carried.Load() }
 
-func (cn *wconn) send(f *frame) error {
-	if cn.dead.Load() {
-		return errors.New("dist: connection closed")
-	}
-	if s := cn.sess; s != nil && f.Kind == kPing && s.isSuspended() {
-		// Heartbeats carry no payload of their own: dropping them while
-		// suspended keeps the retransmit log for real traffic (the
-		// pending delta rides the next logged frame instead).
-		return nil
-	}
-	cn.wmu.Lock()
-	defer cn.wmu.Unlock()
-	drained := false
+// stampLocked drains the endpoint's coalesced live-task delta into f
+// and stamps the piggybacked bound and priority summary. It returns
+// the drained delta (0 when f already carried one, or none was
+// pending), so a failed crash-stop write can restore the accumulator.
+// Called under wmu: flushes reach the wire in issue order, so a steal
+// reply always carries every delta issued before its tasks left the
+// pool (the termination-safety invariant).
+func (cn *wconn) stampLocked(f *frame) int64 {
+	var drained int64
 	if cn.pending != nil && f.Delta == 0 {
-		// Drain under wmu: flushes reach the wire in issue order, so a
-		// steal reply always carries every delta issued before its
-		// tasks left the pool (the termination-safety invariant).
 		f.Delta = cn.pending.Swap(0)
-		drained = f.Delta != 0
+		drained = f.Delta
 	}
 	// kBound frames carry their news in Obj; stamping the same value
 	// as a piggyback would make the receiver's header merge mark the
@@ -318,6 +323,22 @@ func (cn *wconn) send(f *frame) error {
 			f.PS, f.HasPS = p, true
 		}
 	}
+	return drained
+}
+
+func (cn *wconn) send(f *frame) error {
+	if cn.dead.Load() {
+		return errors.New("dist: connection closed")
+	}
+	if s := cn.sess; s != nil && f.Kind == kPing && s.isSuspended() {
+		// Heartbeats carry no payload of their own: dropping them while
+		// suspended keeps the retransmit log for real traffic (the
+		// pending delta rides the next logged frame instead).
+		return nil
+	}
+	cn.wmu.Lock()
+	defer cn.wmu.Unlock()
+	drained := cn.stampLocked(f) != 0
 	var seq uint32
 	if f.Kind != kResume {
 		cn.sendSeq++
@@ -372,6 +393,102 @@ func (cn *wconn) send(f *frame) error {
 	if cn.ctr != nil {
 		cn.ctr.framesSent.Add(1)
 		cn.ctr.bytesSent.Add(int64(len(buf)))
+	}
+	return nil
+}
+
+// sendMany transmits a batch of frames with one vectored write
+// (writev) instead of one syscall per frame — the flush-quantum path
+// uses it to put a tick's coalesced acks and delta on the wire in a
+// single flush. Each frame is still individually stamped, sequenced,
+// CRC'd, and session-logged, so resume and accounting semantics are
+// exactly those of consecutive send calls; only the number of
+// physical writes changes. Fault-injected links fall back to
+// per-frame writes (a plan's drop/corrupt/reorder actions are defined
+// per frame).
+func (cn *wconn) sendMany(fs []*frame) error {
+	switch len(fs) {
+	case 0:
+		return nil
+	case 1:
+		return cn.send(fs[0])
+	}
+	if cn.dead.Load() {
+		return errors.New("dist: connection closed")
+	}
+	if cn.plan != nil { // attachFault precedes traffic; safe unlocked
+		var err error
+		for _, f := range fs {
+			if e := cn.send(f); e != nil && err == nil {
+				err = e
+			}
+		}
+		return err
+	}
+	cn.wmu.Lock()
+	defer cn.wmu.Unlock()
+	if cap(cn.wbatch) < len(fs) {
+		nb := make([][]byte, len(fs))
+		copy(nb, cn.wbatch[:cap(cn.wbatch)])
+		cn.wbatch = nb
+	}
+	cn.wbatch = cn.wbatch[:len(fs)]
+	s := cn.sess
+	var drained int64
+	for i, f := range fs {
+		if d := cn.stampLocked(f); d != 0 {
+			drained = d
+		}
+		var seq uint32
+		if f.Kind != kResume {
+			cn.sendSeq++
+			seq = uint32(cn.sendSeq)
+		}
+		cn.wbatch[i] = encodeFrame(cn.wbatch[i], f, seq)
+		if s != nil && f.Kind != kResume {
+			// Logged frames are owed to the peer from here (see send):
+			// their deltas count as put-on-a-wire immediately.
+			s.appendLog(cn.sendSeq, cn.wbatch[i])
+			if cn.cum != nil && f.Delta != 0 {
+				cn.cum.Add(f.Delta)
+			}
+			cn.nSent.Add(1)
+			cn.noteCarried(f)
+			if cn.ctr != nil {
+				cn.ctr.framesSent.Add(1)
+				cn.ctr.bytesSent.Add(int64(len(cn.wbatch[i])))
+			}
+		}
+	}
+	if s != nil {
+		if s.isSuspended() {
+			return nil // queued; the resume replays the batch
+		}
+		cn.wvec = append(cn.wvec[:0], cn.wbatch...)
+		if _, err := cn.wvec.WriteTo(cn.cur.Load().c); err != nil {
+			s.suspend()
+		}
+		return nil
+	}
+	cn.wvec = append(cn.wvec[:0], cn.wbatch...)
+	if _, err := cn.wvec.WriteTo(cn.cur.Load().c); err != nil {
+		if drained != 0 {
+			// Keep the drained delta accounted; see send.
+			cn.pending.Add(drained)
+		}
+		cn.dead.Store(true)
+		return err
+	}
+	for i, f := range fs {
+		if cn.cum != nil && f.Delta != 0 {
+			cn.cum.Add(f.Delta)
+		}
+		cn.nSent.Add(1)
+		cn.noteCarried(f)
+		if cn.ctr != nil {
+			cn.ctr.framesSent.Add(1)
+			cn.ctr.bytesSent.Add(int64(len(cn.wbatch[i])))
+		}
 	}
 	return nil
 }
@@ -431,7 +548,16 @@ func (cn *wconn) writeFault(buf []byte) error {
 func (cn *wconn) recv(f *frame) error {
 	for {
 		nio := cn.cur.Load()
-		seq, n, err := readRawFrame(nio.br, f)
+		seq, n, body, err := readRawFrameInto(nio.br, f, cn.rbuf)
+		if err == nil && len(f.Blob) == 0 && len(f.Tasks) == 0 {
+			// Header-only frame: nothing aliases the image, so it backs
+			// the next read. Frames that carry an aliasing payload keep
+			// their image (the handler may retain Blob or task payloads
+			// indefinitely) and the next read allocates afresh.
+			cn.rbuf = body
+		} else {
+			cn.rbuf = nil
+		}
 		if err != nil {
 			// Close the physical connection before deciding anything:
 			// on a CRC failure or sequence gap the stream is still
@@ -1489,15 +1615,30 @@ func (h *hub) drainAcks() {
 		}
 	}
 	for origin, ids := range byOrigin {
+		var fs []*frame
 		for len(ids) > 0 {
 			n := len(ids)
 			if n > maxStealBatch {
 				n = maxStealBatch
 			}
-			h.forward(origin, &frame{Kind: kAck, From: h.self, To: origin, Acks: ids[:n]})
+			fs = append(fs, &frame{Kind: kAck, From: h.self, To: origin, Acks: ids[:n]})
 			ids = ids[n:]
 		}
+		h.forwardMany(origin, fs)
 	}
+}
+
+// forwardMany is forward for a batch of frames, put on the wire with
+// one vectored flush.
+func (h *hub) forwardMany(rank int, fs []*frame) bool {
+	if rank <= 0 || rank >= h.size {
+		return false
+	}
+	cn := h.conns[rank]
+	if cn == nil || cn.dead.Load() {
+		return false
+	}
+	return cn.sendMany(fs) == nil
 }
 
 // ackFlushLoop drains the hub's coalesced acks once per quantum. It
@@ -1891,10 +2032,12 @@ func (w *worker) stopFlush() {
 	w.flushOnce.Do(func() { close(w.flushStop) })
 }
 
-// flushLoop is the pool-quantum tick: whatever live-task delta has
-// accumulated since the last outgoing frame is flushed in one kDelta
-// frame. This is what turns one-frame-per-spawn into one flush per
-// quantum; sends of any other kind drain the accumulator for free.
+// flushLoop is the pool-quantum tick: whatever completion acks and
+// live-task delta have accumulated since the last outgoing frame are
+// flushed — as one vectored write covering the whole tick, not one
+// syscall per frame. This is what turns one-frame-per-spawn into one
+// flush per quantum; sends of any other kind drain the accumulator
+// for free.
 func (w *worker) flushLoop() {
 	t := time.NewTicker(w.opts.FlushQuantum)
 	defer t.Stop()
@@ -1903,17 +2046,48 @@ func (w *worker) flushLoop() {
 		case <-w.flushStop:
 			return
 		case <-t.C:
-			w.drainAcks()
-			// Swap, don't Load-then-send: a concurrent outgoing frame
-			// may drain the accumulator between the two, which would
-			// put an empty kDelta frame on the wire.
-			if d := w.delta.Swap(0); d != 0 {
-				if w.conn().send(&frame{Kind: kDelta, From: w.rank, Delta: d}) != nil {
-					// The connection is dead (the hub declares us so);
-					// keep the value for Close's best-effort flush.
-					w.delta.Add(d)
-				}
-			}
+			w.flushTick()
+		}
+	}
+}
+
+// flushTick drains one quantum's coalesced acks and delta onto the
+// wire in a single vectored flush. The delta uses Swap, not
+// Load-then-send: a concurrent outgoing frame may drain the
+// accumulator between the two, which would put an empty kDelta frame
+// on the wire.
+func (w *worker) flushTick() {
+	w.ackMu.Lock()
+	ids := w.ackBuf
+	w.ackBuf = nil
+	w.ackMu.Unlock()
+	var fs []*frame
+	for rest := ids; len(rest) > 0; {
+		n := len(rest)
+		if n > maxStealBatch {
+			n = maxStealBatch
+		}
+		fs = append(fs, &frame{Kind: kAck, From: w.rank, Acks: rest[:n]})
+		rest = rest[n:]
+	}
+	d := w.delta.Swap(0)
+	if d != 0 {
+		fs = append(fs, &frame{Kind: kDelta, From: w.rank, Delta: d})
+	}
+	if len(fs) == 0 {
+		return
+	}
+	if w.conn().sendMany(fs) != nil {
+		// The connection is dead (the hub declares us so); keep
+		// everything for Close's best-effort flush — and, under
+		// failover, for the promoted hub this buffer hands over to.
+		if len(ids) > 0 {
+			w.ackMu.Lock()
+			w.ackBuf = append(w.ackBuf, ids...)
+			w.ackMu.Unlock()
+		}
+		if d != 0 {
+			w.delta.Add(d)
 		}
 	}
 }
